@@ -1,0 +1,208 @@
+//! Gap-correlation and window-estimation attacks against OPE instances.
+//!
+//! Any *stateless* OPE necessarily embeds plaintext geometry into the
+//! ciphertext space: large plaintext gaps tend to produce large ciphertext
+//! gaps (Boldyreva et al.'s window one-wayness analysis makes this
+//! quantitative). Popa's mutable OPE (mOPE, see `dpe-ope::mope`) removes
+//! that channel — encodings depend on ranks and insertion order only. These
+//! two attacks make the difference measurable, which is how the repository
+//! justifies calling mOPE the "ideal-security" member of the OPE class
+//! while Fig. 1 keeps both in the same row (both still leak order).
+//!
+//! * [`gap_correlation`] — Pearson correlation between adjacent plaintext
+//!   gaps and adjacent ciphertext gaps over the sorted column. Stateless
+//!   OPE: strongly positive. mOPE: ≈ 0 (or exactly undefined when the
+//!   state was rebalanced to equidistant encodings — reported as 0).
+//! * [`window_estimation_attack`] — a ciphertext-only attacker who knows
+//!   the domain linearly interpolates `v̂ = ct · |domain| / |range|` and
+//!   wins when `v̂` lands within `tolerance · |domain|` of the truth. On
+//!   skewed (clustered) columns this recovers much more under stateless
+//!   OPE than under mOPE, whose equidistant encodings only betray rank.
+
+use crate::metrics::AttackOutcome;
+
+/// Pearson correlation between adjacent-gap vectors of the sorted column.
+///
+/// `pairs` holds `(plaintext, ciphertext)` for *distinct* plaintexts; the
+/// function sorts by plaintext (ciphertext order is then identical, or the
+/// input was not order-preserving — a debug assertion guards this) and
+/// correlates `p[i+1] − p[i]` with `c[i+1] − c[i]`.
+///
+/// Returns 0.0 when fewer than 3 points or when either gap vector is
+/// constant (zero variance — e.g. a freshly rebalanced mOPE state).
+pub fn gap_correlation(pairs: &[(u64, u128)]) -> f64 {
+    if pairs.len() < 3 {
+        return 0.0;
+    }
+    let mut sorted = pairs.to_vec();
+    sorted.sort_unstable_by_key(|&(p, _)| p);
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].1 < w[1].1),
+        "input is not order-preserving"
+    );
+
+    let pgaps: Vec<f64> = sorted.windows(2).map(|w| (w[1].0 - w[0].0) as f64).collect();
+    let cgaps: Vec<f64> = sorted.windows(2).map(|w| (w[1].1 - w[0].1) as f64).collect();
+    pearson(&pgaps, &cgaps)
+}
+
+/// Pearson's r; 0.0 when either side has zero variance.
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Linear-interpolation estimation: the attacker knows the plaintext domain
+/// `[domain_lo, domain_hi]` and the encoding range `[0, range_end)`, sees
+/// only ciphertexts, and guesses `v̂ = domain_lo + ct/range_end · |domain|`.
+///
+/// A guess counts as recovered when `|v̂ − v| ≤ tolerance · |domain|`.
+/// `truth` must align with `ciphertexts` (evaluation oracle only).
+pub fn window_estimation_attack(
+    ciphertexts: &[u128],
+    truth: &[u64],
+    domain_lo: u64,
+    domain_hi: u64,
+    range_end: u128,
+    tolerance: f64,
+) -> AttackOutcome {
+    assert_eq!(ciphertexts.len(), truth.len(), "evaluation oracle must align");
+    assert!(domain_hi >= domain_lo, "empty domain");
+    assert!(range_end > 0, "empty range");
+    assert!((0.0..1.0).contains(&tolerance), "tolerance must be in [0, 1)");
+
+    let dom_size = (domain_hi - domain_lo) as f64;
+    let window = tolerance * dom_size;
+    let mut recovered = 0;
+    for (&ct, &v) in ciphertexts.iter().zip(truth) {
+        let frac = ct as f64 / range_end as f64;
+        let estimate = domain_lo as f64 + frac * dom_size;
+        if (estimate - v as f64).abs() <= window {
+            recovered += 1;
+        }
+    }
+    AttackOutcome { recovered, total: ciphertexts.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_crypto::SymmetricKey;
+    use dpe_ope::{MopeState, OpeDomain, OpeScheme};
+
+    /// Clustered plaintexts: three tight clusters with huge gaps between
+    /// them — the shape on which gap leakage is most visible.
+    fn clustered_values() -> Vec<u64> {
+        let mut v = Vec::new();
+        for i in 0..40u64 {
+            v.push(1_000 + i * 3);
+        }
+        for i in 0..40u64 {
+            v.push(2_000_000_000 + i * 5);
+        }
+        for i in 0..40u64 {
+            v.push(4_100_000_000 + i * 2);
+        }
+        v
+    }
+
+    #[test]
+    fn stateless_ope_gaps_correlate() {
+        let s = OpeScheme::new(&SymmetricKey::from_bytes([61; 32]), OpeDomain::new(0, u32::MAX as u64 * 2));
+        let pairs: Vec<(u64, u128)> =
+            clustered_values().iter().map(|&v| (v, s.encrypt(v).unwrap())).collect();
+        let r = gap_correlation(&pairs);
+        assert!(r > 0.8, "stateless OPE should leak gaps strongly, r = {r}");
+    }
+
+    #[test]
+    fn mope_gaps_do_not_correlate() {
+        let mut m = MopeState::new();
+        // Insert in a scrambled deterministic order.
+        let mut values = clustered_values();
+        let n = values.len();
+        for i in 0..n {
+            values.swap(i, (i * 7 + 3) % n);
+        }
+        let pairs: Vec<(u64, u128)> =
+            values.iter().map(|&v| (v, m.encode(v).unwrap())).collect();
+        // Re-read current encodings (mutations may have superseded some).
+        let pairs: Vec<(u64, u128)> = pairs.iter().map(|&(v, _)| (v, m.lookup(v).unwrap())).collect();
+        let r = gap_correlation(&pairs);
+        assert!(r.abs() < 0.4, "mOPE should not leak gaps, r = {r}");
+    }
+
+    #[test]
+    fn rebalanced_mope_has_zero_gap_variance() {
+        let mut m = MopeState::with_range_bits(9);
+        for v in clustered_values() {
+            m.encode(v).unwrap();
+        }
+        assert!(m.rebalance_count() > 0 || m.len() < 120);
+        // After an equidistant rebalance all ciphertext gaps are (nearly)
+        // equal; correlation collapses toward 0.
+        let pairs: Vec<(u64, u128)> = m.encodings().collect();
+        let r = gap_correlation(&pairs);
+        assert!(r.abs() < 0.2, "equidistant encodings still correlate? r = {r}");
+    }
+
+    #[test]
+    fn window_attack_beats_mope_on_skewed_data() {
+        let domain_hi = u32::MAX as u64 * 2;
+        let s = OpeScheme::new(&SymmetricKey::from_bytes([62; 32]), OpeDomain::new(0, domain_hi));
+        let values = clustered_values();
+
+        let ope_cts: Vec<u128> = values.iter().map(|&v| s.encrypt(v).unwrap()).collect();
+        let ope = window_estimation_attack(
+            &ope_cts,
+            &values,
+            0,
+            domain_hi,
+            OpeDomain::new(0, domain_hi).range_size(),
+            0.15,
+        );
+
+        let mut m = MopeState::new();
+        for &v in &values {
+            m.encode(v).unwrap();
+        }
+        let mope_cts: Vec<u128> = values.iter().map(|&v| m.lookup(v).unwrap()).collect();
+        let mope = window_estimation_attack(&mope_cts, &values, 0, domain_hi, 1u128 << 64, 0.15);
+
+        assert!(
+            ope.success_rate() > mope.success_rate() + 0.2,
+            "expected stateless OPE ({}) to leak well beyond mOPE ({})",
+            ope,
+            mope
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        assert_eq!(gap_correlation(&[]), 0.0);
+        assert_eq!(gap_correlation(&[(1, 10)]), 0.0);
+        assert_eq!(gap_correlation(&[(1, 10), (2, 20)]), 0.0);
+        // Constant gaps → zero variance → 0.
+        let equidistant: Vec<(u64, u128)> = (0..10).map(|i| (i * 5, (i as u128) * 100)).collect();
+        assert_eq!(gap_correlation(&equidistant), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation oracle must align")]
+    fn window_attack_rejects_misaligned_oracle() {
+        window_estimation_attack(&[1, 2], &[1], 0, 10, 100, 0.1);
+    }
+}

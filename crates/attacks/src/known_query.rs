@@ -1,0 +1,151 @@
+//! The known-query attack of Sanamrad & Kossmann [9]: the known-plaintext
+//! attack instantiated for query logs.
+//!
+//! The adversary holds a few `(plaintext query, encrypted query)` pairs —
+//! e.g. queries it induced the client to issue — and builds a token
+//! dictionary from them (under DET, each plaintext token always maps to the
+//! same ciphertext token). It then applies the dictionary to the *rest* of
+//! the encrypted log and counts how many ciphertext tokens it can name.
+//!
+//! The attack quantifies a real DET weakness the paper's Step-4 assessment
+//! inherits: security degrades gracefully-but-surely with attacker
+//! knowledge, which is why PROB slots (structure distance's constants) are
+//! strictly better whenever the measure allows them.
+
+use crate::metrics::AttackOutcome;
+use std::collections::BTreeMap;
+
+/// A query as a token sequence (the attack is representation-agnostic; the
+/// caller tokenizes however the scheme did).
+pub type TokenSeq = Vec<String>;
+
+/// Runs the known-query attack.
+///
+/// * `known_pairs` — aligned (plaintext tokens, ciphertext tokens) pairs;
+///   misaligned pairs (length mismatch) are skipped, as a real attacker
+///   would discard them.
+/// * `target_enc` — the encrypted queries under attack;
+/// * `target_plain` — the aligned true plaintexts (evaluation only).
+///
+/// Returns recovery over all *tokens* of the target set.
+pub fn known_query_attack(
+    known_pairs: &[(TokenSeq, TokenSeq)],
+    target_enc: &[TokenSeq],
+    target_plain: &[TokenSeq],
+) -> AttackOutcome {
+    assert_eq!(target_enc.len(), target_plain.len(), "evaluation oracle must align");
+
+    // Build the dictionary ciphertext-token → plaintext-token. Positional
+    // alignment works because Enc(Q) preserves query structure (Example 4).
+    let mut dictionary: BTreeMap<&String, &String> = BTreeMap::new();
+    for (plain, enc) in known_pairs {
+        if plain.len() != enc.len() {
+            continue;
+        }
+        for (p, c) in plain.iter().zip(enc) {
+            dictionary.insert(c, p);
+        }
+    }
+
+    let mut recovered = 0;
+    let mut total = 0;
+    for (enc, plain) in target_enc.iter().zip(target_plain) {
+        if enc.len() != plain.len() {
+            // Cannot happen for structure-preserving encryption; count the
+            // tokens as unrecovered to stay conservative.
+            total += plain.len();
+            continue;
+        }
+        for (c, p) in enc.iter().zip(plain) {
+            total += 1;
+            if dictionary.get(c).map(|g| *g == p).unwrap_or(false) {
+                recovered += 1;
+            }
+        }
+    }
+    AttackOutcome { recovered, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulated DET token encryption: stable per-token mapping.
+    fn det(tokens: &[&str]) -> TokenSeq {
+        tokens.iter().map(|t| format!("e{:x}", hash(t))).collect()
+    }
+
+    fn plain(tokens: &[&str]) -> TokenSeq {
+        tokens.iter().map(|t| t.to_string()).collect()
+    }
+
+    fn hash(s: &str) -> u64 {
+        s.bytes().fold(1469598103934665603u64, |h, b| (h ^ b as u64).wrapping_mul(1099511628211))
+    }
+
+    #[test]
+    fn shared_tokens_recovered() {
+        let known = vec![(
+            plain(&["SELECT", "ra", "FROM", "photoobj"]),
+            det(&["SELECT", "ra", "FROM", "photoobj"]),
+        )];
+        // Target shares SELECT/FROM/photoobj but not "dec".
+        let target_p = vec![plain(&["SELECT", "dec", "FROM", "photoobj"])];
+        let target_e = vec![det(&["SELECT", "dec", "FROM", "photoobj"])];
+        let outcome = known_query_attack(&known, &target_e, &target_p);
+        assert_eq!(outcome.recovered, 3);
+        assert_eq!(outcome.total, 4);
+    }
+
+    #[test]
+    fn more_knowledge_more_recovery() {
+        let q1 = ["SELECT", "ra", "FROM", "photoobj"];
+        let q2 = ["SELECT", "dec", "FROM", "specobj"];
+        let target_tokens = ["SELECT", "ra", "FROM", "specobj"];
+        let target_p = vec![plain(&target_tokens)];
+        let target_e = vec![det(&target_tokens)];
+
+        let little = known_query_attack(
+            &[(plain(&q1), det(&q1))],
+            &target_e,
+            &target_p,
+        );
+        let lots = known_query_attack(
+            &[(plain(&q1), det(&q1)), (plain(&q2), det(&q2))],
+            &target_e,
+            &target_p,
+        );
+        assert!(lots.recovered > little.recovered);
+        assert_eq!(lots.recovered, 4);
+    }
+
+    #[test]
+    fn prob_tokens_resist() {
+        // Under PROB the "same" token encrypts differently each time, so
+        // the dictionary never matches the target's fresh ciphertexts.
+        let known = vec![(plain(&["SELECT", "ra"]), plain(&["r1", "r2"]))];
+        let target_p = vec![plain(&["SELECT", "ra"])];
+        let target_e = vec![plain(&["r3", "r4"])]; // fresh randomness
+        let outcome = known_query_attack(&known, &target_e, &target_p);
+        assert_eq!(outcome.recovered, 0);
+    }
+
+    #[test]
+    fn misaligned_known_pairs_skipped() {
+        let known = vec![(plain(&["a", "b"]), plain(&["x"]))]; // bogus pair
+        let target_p = vec![plain(&["a"])];
+        let target_e = vec![plain(&["x"])];
+        let outcome = known_query_attack(&known, &target_e, &target_p);
+        assert_eq!(outcome.recovered, 0);
+        assert_eq!(outcome.total, 1);
+    }
+
+    #[test]
+    fn no_knowledge_no_recovery() {
+        let target_p = vec![plain(&["SELECT", "ra"])];
+        let target_e = vec![det(&["SELECT", "ra"])];
+        let outcome = known_query_attack(&[], &target_e, &target_p);
+        assert_eq!(outcome.recovered, 0);
+        assert_eq!(outcome.total, 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Attack bookkeeping.
+
+use std::fmt;
+
+/// Result of an attack run: how much plaintext was recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Correctly recovered items.
+    pub recovered: usize,
+    /// Total items attacked.
+    pub total: usize,
+}
+
+impl AttackOutcome {
+    /// Recovery rate ∈ [0, 1]; zero for empty inputs.
+    pub fn success_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.1}%)", self.recovered, self.total, self.success_rate() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        assert_eq!(AttackOutcome { recovered: 3, total: 4 }.success_rate(), 0.75);
+        assert_eq!(AttackOutcome { recovered: 0, total: 0 }.success_rate(), 0.0);
+        assert_eq!(
+            AttackOutcome { recovered: 1, total: 2 }.to_string(),
+            "1/2 (50.0%)"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! P1d — distance computation: plaintext vs encrypted logs.
+//!
+//! The DPE promise is that the *provider* computes distances on
+//! ciphertexts; this bench quantifies the overhead (encrypted identifiers
+//! are longer hex strings, access areas use OPE-sized coordinates — the
+//! algorithms are identical).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpe_bench::{experiment_domains, experiment_log, log_only_fixtures};
+use dpe_distance::{
+    AccessAreaDistance, DistanceMatrix, StructureDistance, TokenDistance,
+};
+
+fn bench_distances(c: &mut Criterion) {
+    let log = experiment_log(30, 0xD1);
+    let fixtures = log_only_fixtures(&log).expect("fixtures");
+    let mut access = fixtures.access_area.0;
+    let enc_domains = access.encrypted_domains().expect("encrypted domains");
+
+    let mut group = c.benchmark_group("distance_matrix_30q");
+    group.sample_size(20);
+
+    group.bench_function("token_plain", |b| {
+        b.iter(|| DistanceMatrix::compute(&log, &TokenDistance).unwrap());
+    });
+    group.bench_function("token_encrypted", |b| {
+        b.iter(|| DistanceMatrix::compute(&fixtures.token.1, &TokenDistance).unwrap());
+    });
+
+    group.bench_function("structure_plain", |b| {
+        b.iter(|| DistanceMatrix::compute(&log, &StructureDistance).unwrap());
+    });
+    group.bench_function("structure_encrypted", |b| {
+        b.iter(|| DistanceMatrix::compute(&fixtures.structural.1, &StructureDistance).unwrap());
+    });
+
+    let d_plain = AccessAreaDistance::new(experiment_domains());
+    let d_enc = AccessAreaDistance::new(enc_domains);
+    group.bench_function("access_area_plain", |b| {
+        b.iter(|| DistanceMatrix::compute(&log, &d_plain).unwrap());
+    });
+    group.bench_function("access_area_encrypted", |b| {
+        b.iter(|| DistanceMatrix::compute(&fixtures.access_area.1, &d_enc).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! P1e — end-to-end pipeline costs: encrypting whole logs under each DPE
+//! scheme, encrypting a database under CryptDB onions, and executing an
+//! encrypted query through the proxy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpe_bench::{
+    experiment_cryptdb_config, experiment_database, experiment_domains, experiment_log,
+    experiment_master,
+};
+use dpe_core::scheme::{AccessAreaDpe, QueryEncryptor, StructuralDpe, TokenDpe};
+use dpe_cryptdb::CryptDbProxy;
+use dpe_sql::parse_query;
+use dpe_workload::sky_catalog;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let log = experiment_log(30, 0xE2E);
+    let master = experiment_master();
+
+    let mut group = c.benchmark_group("encrypt_log_30q");
+    group.sample_size(10);
+    group.bench_function("token_scheme", |b| {
+        b.iter_batched(
+            || TokenDpe::new(&master),
+            |mut s| s.encrypt_log(&log).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("structural_scheme", |b| {
+        b.iter_batched(
+            || StructuralDpe::new(&master, 1),
+            |mut s| s.encrypt_log(&log).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("access_area_scheme", |b| {
+        b.iter_batched(
+            || AccessAreaDpe::new(&master, &experiment_domains(), &log, 1),
+            |mut s| s.encrypt_log(&log).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    let plain_db = experiment_database(50, 0xE2E);
+    let mut group = c.benchmark_group("cryptdb");
+    group.sample_size(10);
+    group.bench_function("encrypt_database_50rows", |b| {
+        b.iter(|| {
+            CryptDbProxy::new(
+                &plain_db,
+                &sky_catalog(),
+                &experiment_domains(),
+                &experiment_cryptdb_config(),
+                &master,
+            )
+            .unwrap()
+        });
+    });
+
+    let mut proxy = CryptDbProxy::new(
+        &plain_db,
+        &sky_catalog(),
+        &experiment_domains(),
+        &experiment_cryptdb_config(),
+        &master,
+    )
+    .unwrap();
+    let q = parse_query("SELECT objid FROM photoobj WHERE ra BETWEEN 50000 AND 250000 AND class = 'STAR'").unwrap();
+    proxy.execute(&q).unwrap(); // warm adjustment
+    group.bench_function("execute_encrypted_query", |b| {
+        b.iter(|| proxy.execute(&q).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

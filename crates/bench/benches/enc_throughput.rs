@@ -1,0 +1,67 @@
+//! P1a — encryption throughput of every PPE class on query-log-sized
+//! payloads. No paper-side numbers exist (the paper reports none); the
+//! measured values go into EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dpe_crypto::kdf::SlotLabel;
+use dpe_crypto::scheme::SymmetricScheme;
+use dpe_crypto::{DetScheme, JoinGroup, MasterKey, ProbScheme};
+use dpe_ope::{OpeDomain, OpeScheme};
+use dpe_paillier::{KeyPair, TEST_PRIME_BITS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PAYLOAD: &[u8] = b"SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 200";
+
+fn bench_classes(c: &mut Criterion) {
+    let master = MasterKey::from_bytes([1; 32]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("enc_throughput");
+    group.throughput(Throughput::Bytes(PAYLOAD.len() as u64));
+
+    let prob = ProbScheme::new(&SlotLabel::Constant("bench").derive(&master));
+    group.bench_function("PROB_aes_ctr", |b| {
+        b.iter(|| prob.encrypt(PAYLOAD, &mut rng));
+    });
+
+    let det = DetScheme::new(&SlotLabel::Constant("bench").derive(&master));
+    group.bench_function("DET_siv", |b| {
+        b.iter(|| det.encrypt(PAYLOAD, &mut rng));
+    });
+
+    let join = JoinGroup::new(&master, "bench");
+    group.bench_function("JOIN_shared_det", |b| {
+        b.iter(|| join.scheme().encrypt(PAYLOAD, &mut rng));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("enc_values");
+    let ope = OpeScheme::new(
+        &SlotLabel::Constant("bench-ope").derive(&master),
+        OpeDomain::new(0, 1 << 32),
+    );
+    let mut v = 0u64;
+    group.bench_function("OPE_u64", |b| {
+        b.iter(|| {
+            v = (v + 7919) & 0xFFFF_FFFF;
+            ope.encrypt(v).unwrap()
+        });
+    });
+
+    let keypair = KeyPair::generate(TEST_PRIME_BITS, &mut rng);
+    group.bench_function("HOM_paillier_encrypt_u64", |b| {
+        b.iter_batched(
+            || rng.clone(),
+            |mut r| keypair.public().encrypt_u64(123_456, &mut r),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classes
+}
+criterion_main!(benches);

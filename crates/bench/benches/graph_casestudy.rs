@@ -1,0 +1,81 @@
+//! P1e — cost profile of the graph case study: graph encryption and the
+//! three graph distance measures, plain vs encrypted inputs.
+//!
+//! Under DPE the provider computes distances on encrypted graphs whose
+//! labels are longer (hex pseudonyms), so the set operations pay for label
+//! length; this bench records that overhead — the "price of encryption" in
+//! compute rather than in mining quality (which is zero by Definition 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpe_crypto::MasterKey;
+use dpe_graphdpe::{
+    DegreeSequenceDistance, DetGraphEncryptor, EdgeJaccard, Graph, GraphDistance, GraphWorkload,
+    VertexJaccard,
+};
+
+fn corpus() -> Vec<Graph> {
+    GraphWorkload::new(99).community_corpus(4, 10, 10)
+}
+
+fn bench_graph_casestudy(c: &mut Criterion) {
+    let plain = corpus();
+    let enc = DetGraphEncryptor::new(&MasterKey::from_bytes([21; 32]));
+    let encrypted: Vec<Graph> = plain.iter().map(|g| enc.encrypt_graph(g)).collect();
+
+    let mut group = c.benchmark_group("graph_encrypt");
+    group.bench_function("det_relabel_corpus40", |b| {
+        b.iter(|| {
+            plain
+                .iter()
+                .map(|g| enc.encrypt_graph(g))
+                .map(|g| g.edge_count())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("graph_distance_all_pairs_n40");
+    for (name, side) in [("plain", &plain), ("encrypted", &encrypted)] {
+        group.bench_with_input(format!("edge_jaccard_{name}"), side, |b, gs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..gs.len() {
+                    for j in i + 1..gs.len() {
+                        acc += EdgeJaccard.distance(&gs[i], &gs[j]);
+                    }
+                }
+                acc
+            });
+        });
+        group.bench_with_input(format!("vertex_jaccard_{name}"), side, |b, gs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..gs.len() {
+                    for j in i + 1..gs.len() {
+                        acc += VertexJaccard.distance(&gs[i], &gs[j]);
+                    }
+                }
+                acc
+            });
+        });
+        group.bench_with_input(format!("degree_sequence_{name}"), side, |b, gs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..gs.len() {
+                    for j in i + 1..gs.len() {
+                        acc += DegreeSequenceDistance.distance(&gs[i], &gs[j]);
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_graph_casestudy
+}
+criterion_main!(benches);

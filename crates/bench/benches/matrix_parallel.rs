@@ -1,0 +1,49 @@
+//! P1d — ablation: sequential vs crossbeam-parallel distance-matrix
+//! computation (the O(n²) heart of the outsourced-mining pipeline).
+//!
+//! Results are bit-identical by construction (asserted in the setup); the
+//! bench records what the parallel path buys at realistic log sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpe_distance::{DistanceMatrix, StructureDistance, TokenDistance};
+use dpe_workload::{LogConfig, LogGenerator};
+
+fn bench_matrix_parallel(c: &mut Criterion) {
+    let log = LogGenerator::generate(&LogConfig { queries: 80, seed: 0xBEEF, ..Default::default() });
+
+    // Sanity: identical output on both paths.
+    let seq = DistanceMatrix::compute(&log, &TokenDistance).unwrap();
+    let par = DistanceMatrix::compute_parallel(&log, &TokenDistance, 4).unwrap();
+    assert!(seq.identical(&par), "parallel path must be bit-identical");
+
+    let mut group = c.benchmark_group("token_matrix_n80");
+    group.bench_function("sequential", |b| {
+        b.iter(|| DistanceMatrix::compute(&log, &TokenDistance).unwrap());
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| DistanceMatrix::compute_parallel(&log, &TokenDistance, t).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("structure_matrix_n80");
+    group.bench_function("sequential", |b| {
+        b.iter(|| DistanceMatrix::compute(&log, &StructureDistance).unwrap());
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", 4usize), &4usize, |b, &t| {
+        b.iter(|| DistanceMatrix::compute_parallel(&log, &StructureDistance, t).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_matrix_parallel
+}
+criterion_main!(benches);

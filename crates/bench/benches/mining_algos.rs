@@ -1,0 +1,37 @@
+//! P1f — mining-algorithm costs on a query-log-sized distance matrix.
+//! Demonstrates the outsourcing economics: the provider pays these costs on
+//! ciphertext distance matrices, identically to plaintext ones.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpe_distance::DistanceMatrix;
+use dpe_mining::{complete_link, db_outliers, dbscan, kmedoids, DbscanConfig, OutlierConfig};
+
+fn matrix(n: usize) -> DistanceMatrix {
+    DistanceMatrix::from_fn(n, |i, j| {
+        let x = ((i * 31 + j * 17) % 97) as f64 / 97.0;
+        0.05 + 0.9 * x
+    })
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let m = matrix(60);
+    let mut group = c.benchmark_group("mining_60x60");
+    group.sample_size(20);
+
+    group.bench_function("kmedoids_k4", |b| {
+        b.iter(|| kmedoids(&m, 4));
+    });
+    group.bench_function("dbscan", |b| {
+        b.iter(|| dbscan(&m, DbscanConfig { eps: 0.45, min_pts: 3 }));
+    });
+    group.bench_function("complete_link", |b| {
+        b.iter(|| complete_link(&m));
+    });
+    group.bench_function("db_outliers", |b| {
+        b.iter(|| db_outliers(&m, OutlierConfig { p: 0.7, d: 0.6 }));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! P1c — ablation: stateless range-bisection OPE vs mutable OPE (mOPE).
+//!
+//! The two instances of the OPE class trade leakage against cost shape:
+//! the stateless scheme pays O(log |domain|) PRF calls *per encryption*
+//! and keeps no state; mOPE pays a cheap tree insert per new value but
+//! carries state and occasionally rebalances (mutations). This bench
+//! quantifies both sides of the trade; the leakage side is measured by the
+//! gap-correlation experiment in the `fig1` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpe_crypto::SymmetricKey;
+use dpe_ope::{MopeState, OpeDomain, OpeScheme};
+
+fn lcg_values(n: usize) -> Vec<u64> {
+    let mut x = 0x2545f4914f6cdd1du64;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 16
+        })
+        .collect()
+}
+
+fn bench_mope_vs_ope(c: &mut Criterion) {
+    let key = SymmetricKey::from_bytes([77; 32]);
+    let values = lcg_values(1_000);
+
+    let mut group = c.benchmark_group("ope_instance_encode_1000");
+    group.bench_function("stateless_bisection", |b| {
+        let scheme = OpeScheme::new(&key, OpeDomain::full());
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &v in &values {
+                acc ^= scheme.encrypt(v).unwrap();
+            }
+            acc
+        });
+    });
+    group.bench_function("mope_random_order", |b| {
+        b.iter_batched(
+            MopeState::new,
+            |mut m| {
+                let mut acc = 0u128;
+                for &v in &values {
+                    acc ^= m.encode(v).unwrap();
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("mope_sorted_order_worst_case", |b| {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        b.iter_batched(
+            MopeState::new,
+            |mut m| {
+                let mut acc = 0u128;
+                for &v in &sorted {
+                    acc ^= m.encode(v).unwrap();
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    // Re-encoding an already-known value: mOPE is a pure map lookup,
+    // the stateless scheme re-walks the tree.
+    let mut group = c.benchmark_group("ope_instance_reencode");
+    let scheme = OpeScheme::new(&key, OpeDomain::full());
+    group.bench_function("stateless_bisection", |b| {
+        b.iter(|| scheme.encrypt(values[0]).unwrap());
+    });
+    let mut warm = MopeState::new();
+    for &v in &values {
+        warm.encode(v).unwrap();
+    }
+    group.bench_function("mope_warm_lookup", |b| {
+        b.iter(|| warm.encode(values[0]).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mope_vs_ope
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! P1b — OPE encryption cost vs domain size. The range-bisection walk is
+//! O(log |domain|) PRF calls, so time should grow linearly in domain bits;
+//! this ablation documents the design choice of DESIGN.md §3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpe_crypto::SymmetricKey;
+use dpe_ope::{OpeDomain, OpeScheme};
+
+fn bench_ope_scaling(c: &mut Criterion) {
+    let key = SymmetricKey::from_bytes([9; 32]);
+    let mut group = c.benchmark_group("ope_domain_scaling");
+    for bits in [16u32, 24, 32, 48, 63] {
+        let domain = OpeDomain::new(0, (1u64 << bits) - 1);
+        let scheme = OpeScheme::new(&key, domain);
+        let mut v = 1u64;
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                v = (v.wrapping_mul(6364136223846793005).wrapping_add(1)) & ((1 << bits) - 1);
+                scheme.encrypt(v).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ope_roundtrip");
+    let scheme = OpeScheme::new(&key, OpeDomain::new(0, (1 << 32) - 1));
+    let ct = scheme.encrypt(123_456_789).unwrap();
+    group.bench_function("decrypt_u32_domain", |b| {
+        b.iter(|| scheme.decrypt(ct).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ope_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! P1c — Paillier (HOM onion) operation costs over the from-scratch bignum:
+//! keygen, encryption, homomorphic addition, scalar multiplication,
+//! decryption.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpe_paillier::{KeyPair, TEST_PRIME_BITS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let keypair = KeyPair::generate(TEST_PRIME_BITS, &mut rng);
+    let ct_a = keypair.public().encrypt_u64(41, &mut rng);
+    let ct_b = keypair.public().encrypt_u64(1, &mut rng);
+
+    let mut group = c.benchmark_group("paillier");
+    group.sample_size(10);
+
+    group.bench_function("keygen_128bit_primes", |b| {
+        b.iter_batched(
+            || rng.clone(),
+            |mut r| KeyPair::generate(TEST_PRIME_BITS, &mut r),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("encrypt_u64", |b| {
+        b.iter_batched(
+            || rng.clone(),
+            |mut r| keypair.public().encrypt_u64(123_456_789, &mut r),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("homomorphic_add", |b| {
+        b.iter(|| keypair.public().add(&ct_a, &ct_b));
+    });
+
+    group.bench_function("scalar_mul", |b| {
+        b.iter(|| keypair.public().mul_scalar(&ct_a, 1000));
+    });
+
+    group.bench_function("decrypt", |b| {
+        b.iter(|| keypair.private().decrypt_u64(&ct_a).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paillier);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! **Experiment S1 — the §IV-C claim: "a higher security level than one …
+//! that uses CryptDB as it is".**
+//!
+//! For attributes that occur *only* inside arithmetic aggregates, the
+//! access-area scheme keeps them at PROB, while CryptDB-as-is stores
+//! ORD (OPE) and — after equality workloads — DET onions. This experiment
+//! builds both configurations over the same database, hands the stored
+//! onion columns to the passive attacker of the threat model, and measures
+//! recovery:
+//!
+//! * CryptDB-as-is: sorting attack on the ORD onion, frequency attack on
+//!   the DET-adjusted EQ onion;
+//! * PROB-only (the paper's scheme): the same attacks against the RND
+//!   cells.
+//!
+//! Run: `cargo run --release -p dpe-bench --bin security_vs_cryptdb`
+
+use dpe_attacks::{frequency_attack, sorting_attack};
+use dpe_bench::*;
+use dpe_core::scheme::aggregate_only_attributes;
+use dpe_cryptdb::column::{ColumnPolicy, CryptDbConfig};
+use dpe_cryptdb::onion::Onion;
+use dpe_cryptdb::CryptDbProxy;
+use dpe_minidb::Value;
+use dpe_sql::parse_query;
+use dpe_workload::sky_catalog;
+
+/// The aggregate-only workload: `z` appears exclusively inside SUM/AVG.
+fn aggregate_only_log() -> Vec<dpe_sql::Query> {
+    [
+        "SELECT AVG(z) FROM specobj WHERE specclass = 'QSO'",
+        "SELECT SUM(z) FROM specobj WHERE bestobjid < 500000",
+        "SELECT AVG(z), SUM(z) FROM specobj",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect()
+}
+
+fn column_values(proxy: &CryptDbProxy, table: &str, column: &str) -> Vec<Value> {
+    let enc_table = proxy.schema().enc_table_name(table).unwrap();
+    let t = proxy.encrypted_database().table(enc_table).unwrap();
+    let idx = t.schema().column_index(column).unwrap();
+    t.rows().iter().map(|r| r[idx].clone()).collect()
+}
+
+/// Rebuilds the database with a Zipf-skewed `specobj.z` column. Frequency
+/// analysis is only meaningful against skewed value distributions (real
+/// redshift surveys cluster around popular shells); the generator's
+/// near-unique draws would make *every* configuration trivially "secure"
+/// against it and the comparison vacuous.
+fn skew_z_column(db: &dpe_minidb::Database) -> dpe_minidb::Database {
+    // Zipf-ish support: value i covers proportionally 1/(i+1) of the rows.
+    const SHELLS: [i64; 8] = [1480, 1520, 1555, 1600, 1640, 1700, 1750, 1810];
+    let cumulative: Vec<f64> = {
+        let weights: Vec<f64> = (0..SHELLS.len()).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total;
+                Some(*acc)
+            })
+            .collect()
+    };
+    let mut out = dpe_minidb::Database::new();
+    let mut names: Vec<&String> = db.tables().map(|(n, _)| n).collect();
+    names.sort();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for name in names {
+        let t = db.table(name).unwrap();
+        out.create_table(t.schema().clone()).expect("fresh db");
+        let z_idx = if name == "specobj" { t.schema().column_index("z") } else { None };
+        for row in t.rows() {
+            let mut row = row.clone();
+            if let Some(zi) = z_idx {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+                let shell = cumulative.iter().position(|&c| u <= c).unwrap_or(SHELLS.len() - 1);
+                row[zi] = Value::Int(SHELLS[shell]);
+            }
+            out.insert(name, row).expect("copy row");
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("=== S1: access-area scheme vs CryptDB-as-is on aggregate-only attributes ===\n");
+
+    let log = aggregate_only_log();
+    let agg_only = aggregate_only_attributes(&log);
+    println!("  workload: {} queries; aggregate-only attributes: {:?}\n", log.len(), agg_only);
+    assert!(agg_only.contains("z"), "z must be aggregate-only in this workload");
+
+    let plain_db = skew_z_column(&experiment_database(300, 0x51));
+    // Ground truth for the attacker's evaluation oracle.
+    let z_truth: Vec<i64> = plain_db
+        .table("specobj")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| match r[2] {
+            Value::Int(v) => v,
+            _ => unreachable!("z is non-null in the workload"),
+        })
+        .collect();
+    let z_truth_strings: Vec<String> = z_truth.iter().map(|v| v.to_string()).collect();
+    let mut aux: std::collections::BTreeMap<String, usize> = Default::default();
+    for t in &z_truth_strings {
+        *aux.entry(t.clone()).or_default() += 1;
+    }
+    let aux: Vec<(String, usize)> = aux.into_iter().collect();
+
+    // --- Configuration A: CryptDB as it is (full onions on z). ---
+    let full_cfg = experiment_cryptdb_config();
+    let mut full = CryptDbProxy::new(
+        &plain_db,
+        &sky_catalog(),
+        &experiment_domains(),
+        &full_cfg,
+        &experiment_master(),
+    )
+    .expect("full proxy");
+    // An equality workload elsewhere forces DET exposure of z — simulate
+    // the worst case by adjusting (CryptDB would after `WHERE z = …`).
+    let eq_query = parse_query("SELECT specid FROM specobj WHERE z = 1").unwrap();
+    full.execute(&eq_query).expect("adjusting execution");
+
+    let z_col = full.schema().column("z").unwrap();
+    let ord_cells = column_values(&full, "specobj", &z_col.onion_column(Onion::Ord));
+    let ord_cts: Vec<u128> = ord_cells
+        .iter()
+        .map(|v| match v {
+            Value::Int(ct) => *ct as u128,
+            _ => unreachable!(),
+        })
+        .collect();
+    let sort_full = sorting_attack(&ord_cts, &z_truth, &z_truth).success_rate();
+
+    let eq_cells = column_values(&full, "specobj", &z_col.onion_column(Onion::Eq));
+    let eq_cts: Vec<String> = eq_cells
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        })
+        .collect();
+    let freq_full = frequency_attack(&eq_cts, &z_truth_strings, &aux).success_rate();
+
+    // --- Configuration B: the paper's scheme (z frozen at PROB). ---
+    let prob_cfg = CryptDbConfig::default()
+        .with_join_group("obj", &["objid", "bestobjid"])
+        .with_policy("z", ColumnPolicy::ProbOnly);
+    let prob = CryptDbProxy::new(
+        &plain_db,
+        &sky_catalog(),
+        &experiment_domains(),
+        &prob_cfg,
+        &experiment_master(),
+    )
+    .expect("prob proxy");
+
+    let z_col_b = prob.schema().column("z").unwrap();
+    assert!(!z_col_b.onions.ord && !z_col_b.onions.hom && !z_col_b.onions.eq_adjustable);
+    let rnd_cells = column_values(&prob, "specobj", &z_col_b.onion_column(Onion::Eq));
+    let rnd_cts: Vec<String> = rnd_cells
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        })
+        .collect();
+    let freq_prob = frequency_attack(&rnd_cts, &z_truth_strings, &aux).success_rate();
+    // No ORD onion exists: the sorting attack has no ciphertexts to sort.
+    let sort_prob = 0.0;
+
+    println!("  attack success on attribute z ({} values):\n", z_truth.len());
+    println!("  {:<34} {:>16} {:>16}", "configuration", "sorting attack", "frequency attack");
+    println!(
+        "  {:<34} {:>15.1}% {:>15.1}%",
+        "CryptDB as-is (ORD + DET exposed)",
+        sort_full * 100.0,
+        freq_full * 100.0
+    );
+    println!(
+        "  {:<34} {:>15.1}% {:>15.1}%",
+        "paper's scheme (PROB only)",
+        sort_prob * 100.0,
+        freq_prob * 100.0
+    );
+
+    // The claim, quantified: the paper's configuration must reduce both
+    // attack surfaces to (near-)nothing while CryptDB-as-is bleeds.
+    assert!(sort_full > 0.9, "sorting attack should succeed against exposed OPE");
+    assert!(freq_prob < 0.05, "RND cells must defeat frequency analysis");
+    assert!(sort_prob == 0.0, "no ORD onion → no sorting attack surface");
+    assert!(
+        freq_full > freq_prob,
+        "DET exposure must leak more than RND ({freq_full} vs {freq_prob})"
+    );
+
+    println!("\nS1 complete: the access-area scheme strictly reduces the attack surface");
+    println!("on aggregate-only attributes versus CryptDB-as-is (§IV-C claim confirmed).");
+}

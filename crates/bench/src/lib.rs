@@ -1,0 +1,131 @@
+//! # dpe-bench — experiment harnesses and benchmarks
+//!
+//! The paper is a 4-page short paper whose "evaluation" consists of
+//! **Table I** and **Fig. 1** plus three analytic claims; every binary here
+//! regenerates one of them (see DESIGN.md §4 for the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table I: derived classes + exhaustive DPE verification per measure, with negative controls |
+//! | `fig1` | Fig. 1: empirical leakage profile per PPE class and the derived security ordering |
+//! | `mining_equivalence` | §III claim: mining results identical on plaintext and ciphertext |
+//! | `security_vs_cryptdb` | §IV-C claim: the access-area scheme beats CryptDB-as-is on aggregate-only attributes |
+//!
+//! The Criterion benches (`cargo bench -p dpe-bench`) measure the
+//! performance of every layer (encryption classes, OPE scaling, Paillier,
+//! distances plaintext-vs-encrypted, end-to-end log encryption, mining).
+//!
+//! This library module holds the fixtures shared by binaries and benches so
+//! each experiment is a short, readable program.
+
+use dpe_core::scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};
+use dpe_core::CoreError;
+use dpe_crypto::MasterKey;
+use dpe_cryptdb::column::CryptDbConfig;
+use dpe_distance::DomainCatalog;
+use dpe_minidb::Database;
+use dpe_sql::Query;
+use dpe_workload::{generate_database, sky_catalog, sky_domains, LogConfig, LogGenerator};
+
+/// The master key every experiment derives its schemes from (fixed so runs
+/// are reproducible; rotating it changes ciphertexts but no verdicts).
+pub fn experiment_master() -> MasterKey {
+    MasterKey::from_bytes([0xA5; 32])
+}
+
+/// The default experiment log (all templates).
+pub fn experiment_log(queries: usize, seed: u64) -> Vec<Query> {
+    LogGenerator::generate(&LogConfig { queries, seed, ..Default::default() })
+}
+
+/// A result-safe experiment log (no arithmetic aggregates — see
+/// `LogConfig::result_safe`).
+pub fn result_safe_log(queries: usize, seed: u64) -> Vec<Query> {
+    LogGenerator::generate(&LogConfig::result_safe(queries, seed))
+}
+
+/// The experiment database.
+pub fn experiment_database(rows: usize, seed: u64) -> Database {
+    generate_database(rows, seed)
+}
+
+/// The domain catalog shared by all experiments.
+pub fn experiment_domains() -> DomainCatalog {
+    sky_domains()
+}
+
+/// The CryptDB configuration used by the result-distance experiments.
+pub fn experiment_cryptdb_config() -> CryptDbConfig {
+    CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"])
+}
+
+/// Builds the four schemes and encrypts `log` with each, returning
+/// `(token, structural, access_area, result)` encrypted logs plus the live
+/// schemes for further use.
+pub struct SchemeFixtures {
+    /// Token scheme + its encryption of the log.
+    pub token: (TokenDpe, Vec<Query>),
+    /// Structural scheme + encrypted log.
+    pub structural: (StructuralDpe, Vec<Query>),
+    /// Access-area scheme + encrypted log.
+    pub access_area: (AccessAreaDpe, Vec<Query>),
+}
+
+/// Encrypts `log` under the three log-only schemes (token / structural /
+/// access-area). The result scheme needs a database; build it separately
+/// with [`result_fixture`].
+pub fn log_only_fixtures(log: &[Query]) -> Result<SchemeFixtures, CoreError> {
+    let master = experiment_master();
+    let mut token = TokenDpe::new(&master);
+    let token_log = token.encrypt_log(log)?;
+    let mut structural = StructuralDpe::new(&master, 7);
+    let structural_log = structural.encrypt_log(log)?;
+    let mut access = AccessAreaDpe::new(&master, &experiment_domains(), log, 7);
+    let access_log = access.encrypt_log(log)?;
+    Ok(SchemeFixtures {
+        token: (token, token_log),
+        structural: (structural, structural_log),
+        access_area: (access, access_log),
+    })
+}
+
+/// Builds the result-distance scheme over a fresh database and encrypts the
+/// (result-safe) log.
+pub fn result_fixture(
+    plain_db: &Database,
+    log: &[Query],
+) -> Result<(ResultDpe, Vec<Query>), CoreError> {
+    let mut dpe = ResultDpe::new(
+        plain_db,
+        &sky_catalog(),
+        &experiment_domains(),
+        &experiment_cryptdb_config(),
+        &experiment_master(),
+    )?;
+    dpe.prepare_for_log(log)?;
+    let enc_log = dpe.encrypt_log(log)?;
+    Ok((dpe, enc_log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let log = experiment_log(12, 1);
+        let fixtures = log_only_fixtures(&log).unwrap();
+        assert_eq!(fixtures.token.1.len(), 12);
+        assert_eq!(fixtures.structural.1.len(), 12);
+        assert_eq!(fixtures.access_area.1.len(), 12);
+    }
+
+    #[test]
+    fn result_fixture_builds() {
+        let db = experiment_database(20, 2);
+        let log = result_safe_log(10, 3);
+        let (dpe, enc) = result_fixture(&db, &log).unwrap();
+        assert_eq!(enc.len(), 10);
+        assert!(dpe.encrypted_database().table_count() > 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Core arithmetic on [`BigUint`]: add, sub, mul, div/rem, shifts, pow.
+//!
+//! Division is Knuth's Algorithm D (TAOCP vol. 2, 4.3.1) on 64-bit digits
+//! with 128-bit intermediates. Multiplication is schoolbook — operand sizes
+//! in this workspace (≤ 4096 bits for Paillier n²) stay well below the
+//! Karatsuba crossover for our access patterns.
+
+use crate::BigUint;
+use std::ops::{Add, Div, Mul, Rem, Shl, Shr, Sub};
+
+impl BigUint {
+    /// `self + other`.
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`; panics if `other > self` (unsigned underflow).
+    pub fn sub_ref(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    /// Saturating subtraction: returns `0` when `other > self`.
+    pub fn saturating_sub(&self, other: &BigUint) -> BigUint {
+        if self < other {
+            BigUint::zero()
+        } else {
+            self.sub_ref(other)
+        }
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Quotient and remainder of `self / divisor`; panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Short division by a single limb.
+    fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (BigUint::from_limbs(quotient), rem as u64)
+    }
+
+    /// Knuth Algorithm D for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        const BASE: u128 = 1 << 64;
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor << shift; // normalized: top bit of top limb set
+        let mut u = (self << shift).limbs;
+        let n = v.limbs.len();
+        let m = u.len() - n;
+        u.push(0); // u has m + n + 1 digits
+
+        let v_hi = v.limbs[n - 1];
+        let v_next = v.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ = (u[j+n]·B + u[j+n-1]) / v[n-1] and correct it
+            // until q̂·v[n-2] ≤ B·r̂ + u[j+n-2]; q̂ is then off by at most 1.
+            let top = (u[j + n] as u128) << 64 | u[j + n - 1] as u128;
+            let mut qhat = top / v_hi as u128;
+            let mut rhat = top % v_hi as u128;
+            while qhat >= BASE
+                || qhat * v_next as u128 > (rhat << 64 | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_hi as u128;
+                if rhat >= BASE {
+                    break;
+                }
+            }
+
+            // Multiply-and-subtract q̂·v from u[j .. j+n], tracking borrow.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v.limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = u[j + i] as i128 - (p as u64) as i128 + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = u[j + n] as i128 - carry as i128 + borrow;
+            u[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            // Rare "add back" correction when q̂ was one too large.
+            if borrow < 0 {
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = u[j + i] as u128 + v.limbs[i] as u128 + carry;
+                    u[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+
+        let rem = BigUint::from_limbs(u[..n].to_vec()) >> shift;
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// `self ^ exp` by binary exponentiation (non-modular; grows quickly).
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:ident) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$impl_fn(rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$impl_fn(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$impl_fn(rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Sub, sub, sub_ref);
+forward_binop!(Mul, mul, mul_ref);
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        (&self).div_rem(rhs).1
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push(l << bit_shift | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in out.iter_mut().rev() {
+                let new_carry = *l << (64 - bit_shift);
+                *l = *l >> bit_shift | carry;
+                carry = new_carry;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        &self << shift
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        &self >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn n(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = n(u128::MAX);
+        let sum = &a + &BigUint::one();
+        assert_eq!(sum.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = BigUint::from_limbs(vec![0, 0, 1]); // 2^128
+        assert_eq!(&a - &BigUint::one(), n(u128::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &n(1) - &n(2);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(n(1).saturating_sub(&n(5)), BigUint::zero());
+        assert_eq!(n(5).saturating_sub(&n(1)), n(4));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (a, b) in [(0u128, 5), (7, 9), (u64::MAX as u128, u64::MAX as u128)] {
+            assert_eq!(&n(a) * &n(b), n(a * b));
+        }
+    }
+
+    #[test]
+    fn mul_large() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let a = n(u128::MAX);
+        let sq = &a * &a;
+        let expect = &(&(BigUint::one() << 256usize) - &(BigUint::one() << 129usize)) + &BigUint::one();
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn div_rem_single_limb() {
+        let a = n(1_000_000_007u128 * 97 + 13);
+        let (q, r) = a.div_rem(&n(1_000_000_007));
+        assert_eq!(q, n(97));
+        assert_eq!(r, n(13));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from_hex("100000000000000000000000000000000000000001").unwrap();
+        let b = BigUint::from_hex("ffffffffffffffffffffff").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_exercises_add_back() {
+        // Constructed so the q̂ estimate overshoots: u = B^2·(B-1), v = B·(B-1)+1.
+        let b_minus_1 = u64::MAX;
+        let u = BigUint::from_limbs(vec![0, 0, b_minus_1]);
+        let v = BigUint::from_limbs(vec![1, b_minus_1]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = n(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let v = n(0b1011);
+        assert_eq!(&v << 1usize, n(0b10110));
+        assert_eq!(&v << 64usize, BigUint::from_limbs(vec![0, 0b1011]));
+        assert_eq!(&v >> 2usize, n(0b10));
+        assert_eq!(&v >> 200usize, BigUint::zero());
+        assert_eq!(&(&v << 67usize) >> 67usize, v);
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(n(3).pow(0), BigUint::one());
+        assert_eq!(n(3).pow(5), n(243));
+        assert_eq!(n(2).pow(130), BigUint::one() << 130usize);
+    }
+}

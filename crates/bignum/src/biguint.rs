@@ -1,0 +1,333 @@
+//! The [`BigUint`] type: representation, construction, conversion, ordering.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs, so two
+/// equal values always have identical limb vectors and `Eq`/`Hash` derive
+/// correctly. Zero is the empty limb vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// The value `2`.
+    pub fn two() -> Self {
+        BigUint { limbs: vec![2] }
+    }
+
+    /// Builds a value from little-endian limbs, dropping trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// `true` iff the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(hi) => self.limbs.len() * 64 - hi.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian indexing); out-of-range bits are `0`.
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Big-endian byte encoding with no leading zero bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Parses a big-endian byte string (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut buf = [0u8; 8];
+            buf[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(buf));
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError::Empty);
+        }
+        let mut value = BigUint::zero();
+        for ch in s.chars() {
+            let digit = ch.to_digit(16).ok_or(ParseBigUintError::InvalidDigit(ch))?;
+            value = &(&value << 4usize) + &BigUint::from(digit as u64);
+        }
+        Ok(value)
+    }
+
+    /// Hexadecimal encoding without a prefix; `"0"` for zero.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        s
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_limbs(vec![v])
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                Ordering::Equal
+            }
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::Display for BigUint {
+    /// Decimal rendering via repeated division by 10^19 (the largest power of
+    /// ten fitting a limb), so the cost is quadratic in limb count but with a
+    /// large constant divisor — fine for logging and tests.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut parts: Vec<u64> = Vec::new();
+        let mut rest = self.clone();
+        let chunk = BigUint::from(CHUNK);
+        while !rest.is_zero() {
+            let (q, r) = rest.div_rem(&chunk);
+            parts.push(r.to_u64().expect("remainder below 10^19 fits in u64"));
+            rest = q;
+        }
+        let mut s = parts.last().unwrap().to_string();
+        for part in parts.iter().rev().skip(1) {
+            s.push_str(&format!("{part:019}"));
+        }
+        write!(f, "{s}")
+    }
+}
+
+/// Error produced when parsing a [`BigUint`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBigUintError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a digit in the radix.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBigUintError::Empty => write!(f, "empty string"),
+            ParseBigUintError::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigUintError::Empty);
+        }
+        let ten = BigUint::from(10u64);
+        let mut value = BigUint::zero();
+        for ch in s.chars() {
+            let digit = ch.to_digit(10).ok_or(ParseBigUintError::InvalidDigit(ch))?;
+            value = &(&value * &ten) + &BigUint::from(digit as u64);
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized() {
+        assert!(BigUint::from_limbs(vec![0, 0, 0]).is_zero());
+        assert_eq!(BigUint::zero().limbs().len(), 0);
+        assert_eq!(BigUint::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn bit_len_matches_u64() {
+        for v in [1u64, 2, 3, 255, 256, u64::MAX] {
+            assert_eq!(BigUint::from(v).bit_len(), 64 - v.leading_zeros() as usize);
+        }
+        assert_eq!(BigUint::from(u128::MAX).bit_len(), 128);
+    }
+
+    #[test]
+    fn ordering_by_magnitude() {
+        let small = BigUint::from(u64::MAX);
+        let big = BigUint::from(u64::MAX as u128 + 1);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.clone().cmp(&big), Ordering::Equal);
+    }
+
+    #[test]
+    fn bytes_be_strips_leading_zeros() {
+        let v = BigUint::from(0x01_02_03u64);
+        assert_eq!(v.to_bytes_be(), vec![1, 2, 3]);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1, 2, 3]), v);
+        assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn display_small_and_large() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from(12345u64).to_string(), "12345");
+        // 2^128 = 340282366920938463463374607431768211456
+        let v = &(&BigUint::from(u128::MAX) + &BigUint::one());
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn parse_decimal() {
+        let v: BigUint = "340282366920938463463374607431768211456".parse().unwrap();
+        assert_eq!(v, &BigUint::from(u128::MAX) + &BigUint::one());
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = BigUint::from_hex("deadbeefcafebabe1234567890abcdef").unwrap();
+        assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
+        assert_eq!(BigUint::zero().to_hex(), "0");
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = BigUint::from(0b1010u64);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(64));
+    }
+
+    #[test]
+    fn u128_conversions() {
+        let v = BigUint::from(u128::MAX);
+        assert_eq!(v.to_u128(), Some(u128::MAX));
+        assert_eq!(v.to_u64(), None);
+        assert_eq!(BigUint::from(7u64).to_u64(), Some(7));
+    }
+}

@@ -1,0 +1,219 @@
+//! A minimal signed big integer, used internally by the extended Euclidean
+//! algorithm and exposed for completeness.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+/// A signed arbitrary-precision integer: a sign and a [`BigUint`] magnitude.
+///
+/// The invariant `magnitude == 0 ⇒ sign == Plus` keeps equality structural.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+    }
+
+    /// Builds a non-negative integer from a magnitude.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        BigInt { sign: Sign::Plus, mag }
+    }
+
+    /// Builds an integer from an explicit sign and magnitude.
+    pub fn new(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Floor division: the largest `q` with `q·rhs ≤ self` (sign-aware).
+    ///
+    /// Together with the callers' update rule this keeps the extended-Euclid
+    /// remainders non-negative.
+    pub fn div_floor(&self, rhs: &BigInt) -> BigInt {
+        assert!(!rhs.is_zero(), "BigInt division by zero");
+        let (q, r) = self.mag.div_rem(&rhs.mag);
+        let same_sign = self.sign == rhs.sign;
+        if same_sign {
+            BigInt::new(Sign::Plus, q)
+        } else if r.is_zero() {
+            BigInt::new(Sign::Minus, q)
+        } else {
+            // Round toward negative infinity.
+            BigInt::new(Sign::Minus, &q + &BigUint::one())
+        }
+    }
+
+    /// Reduces into `[0, m)` treating `self` as an element of ℤ/mℤ.
+    pub fn rem_euclid_biguint(&self, m: &BigUint) -> BigUint {
+        let r = &self.mag % m;
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt::new(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::new(Sign::Plus, BigUint::from(v as u64))
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        match self.sign {
+            _ if self.is_zero() => BigInt::zero(),
+            Sign::Plus => BigInt::new(Sign::Minus, self.mag.clone()),
+            Sign::Minus => BigInt::new(Sign::Plus, self.mag.clone()),
+        }
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.sign == rhs.sign {
+            BigInt::new(self.sign, &self.mag + &rhs.mag)
+        } else {
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::new(self.sign, &self.mag - &rhs.mag),
+                Ordering::Less => BigInt::new(rhs.sign, &rhs.mag - &self.mag),
+            }
+        }
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::new(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_normalizes_sign() {
+        assert_eq!(BigInt::new(Sign::Minus, BigUint::zero()), BigInt::zero());
+        assert!(!BigInt::zero().is_negative());
+    }
+
+    #[test]
+    fn signed_add_sub() {
+        assert_eq!(&i(5) + &i(-3), i(2));
+        assert_eq!(&i(3) + &i(-5), i(-2));
+        assert_eq!(&i(-3) + &i(-5), i(-8));
+        assert_eq!(&i(3) - &i(5), i(-2));
+        assert_eq!(&i(-3) - &i(-3), BigInt::zero());
+    }
+
+    #[test]
+    fn signed_mul() {
+        assert_eq!(&i(-4) * &i(5), i(-20));
+        assert_eq!(&i(-4) * &i(-5), i(20));
+        assert_eq!(&i(0) * &i(-5), BigInt::zero());
+    }
+
+    #[test]
+    fn div_floor_rounds_down() {
+        assert_eq!(i(7).div_floor(&i(2)), i(3));
+        assert_eq!(i(-7).div_floor(&i(2)), i(-4));
+        assert_eq!(i(7).div_floor(&i(-2)), i(-4));
+        assert_eq!(i(-7).div_floor(&i(-2)), i(3));
+        assert_eq!(i(-6).div_floor(&i(2)), i(-3));
+    }
+
+    #[test]
+    fn rem_euclid_wraps_negative() {
+        let m = BigUint::from(7u64);
+        assert_eq!(i(-3).rem_euclid_biguint(&m), BigUint::from(4u64));
+        assert_eq!(i(10).rem_euclid_biguint(&m), BigUint::from(3u64));
+        assert_eq!(i(-14).rem_euclid_biguint(&m), BigUint::zero());
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+}

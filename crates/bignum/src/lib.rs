@@ -1,0 +1,123 @@
+//! # dpe-bignum — arbitrary-precision integers
+//!
+//! A small, dependency-free big-integer library implementing exactly what the
+//! Paillier cryptosystem (the paper's HOM class, Fig. 1) needs:
+//!
+//! * [`BigUint`]: unsigned magnitudes with schoolbook add/sub/mul and Knuth
+//!   Algorithm D division,
+//! * modular arithmetic: [`BigUint::modpow`], [`BigUint::modinv`], gcd/lcm,
+//! * probabilistic primality testing (Miller–Rabin) and random prime
+//!   generation in [`prime`],
+//! * uniform random sampling below a bound in [`random`].
+//!
+//! The representation is a little-endian vector of `u64` limbs with no
+//! trailing zero limbs (a *normalized* form), so `BigUint::zero()` has zero
+//! limbs. All arithmetic is value-semantics over borrowed operands; operators
+//! are implemented for `&BigUint` to avoid accidental clones in hot loops.
+//!
+//! This is a reference implementation for reproducing the mining semantics of
+//! the ICDE 2018 DPE paper — it is **not** constant-time and must not be used
+//! to protect real data.
+
+mod arith;
+mod biguint;
+mod int;
+mod modular;
+pub mod prime;
+pub mod random;
+
+pub use biguint::{BigUint, ParseBigUintError};
+pub use int::{BigInt, Sign};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+        proptest::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_biguint(6), b in arb_biguint(6)) {
+            prop_assert_eq!(&a + &b, &b + &a);
+        }
+
+        #[test]
+        fn add_associates(a in arb_biguint(4), b in arb_biguint(4), c in arb_biguint(4)) {
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_biguint(5), b in arb_biguint(5)) {
+            prop_assert_eq!(&a * &b, &b * &a);
+        }
+
+        #[test]
+        fn mul_distributes(a in arb_biguint(4), b in arb_biguint(4), c in arb_biguint(4)) {
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn sub_inverts_add(a in arb_biguint(6), b in arb_biguint(6)) {
+            let sum = &a + &b;
+            prop_assert_eq!(&sum - &b, a);
+        }
+
+        #[test]
+        fn divrem_reconstructs(a in arb_biguint(8), b in arb_biguint(4)) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn shift_roundtrip(a in arb_biguint(5), s in 0usize..200) {
+            prop_assert_eq!(&(&a << s) >> s, a);
+        }
+
+        #[test]
+        fn bytes_roundtrip(a in arb_biguint(6)) {
+            let bytes = a.to_bytes_be();
+            prop_assert_eq!(BigUint::from_bytes_be(&bytes), a);
+        }
+
+        #[test]
+        fn decimal_roundtrip(a in arb_biguint(4)) {
+            let s = a.to_string();
+            prop_assert_eq!(s.parse::<BigUint>().unwrap(), a);
+        }
+
+        #[test]
+        fn modpow_matches_naive(b in 0u64..1000, e in 0u32..24, m in 2u64..10_000) {
+            let mut expect = 1u128;
+            for _ in 0..e {
+                expect = expect * (b as u128 % m as u128) % m as u128;
+            }
+            let got = BigUint::from(b).modpow(&BigUint::from(e as u64), &BigUint::from(m));
+            prop_assert_eq!(got, BigUint::from(expect as u64));
+        }
+
+        #[test]
+        fn gcd_divides_both(a in arb_biguint(4), b in arb_biguint(4)) {
+            prop_assume!(!a.is_zero() && !b.is_zero());
+            let g = a.gcd(&b);
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        }
+
+        #[test]
+        fn modinv_is_inverse(a in 1u64..1_000_000, m in 2u64..1_000_000) {
+            let a = BigUint::from(a);
+            let m = BigUint::from(m);
+            if a.gcd(&m).is_one() {
+                let inv = a.modinv(&m).expect("coprime values must be invertible");
+                prop_assert_eq!((&a * &inv) % &m, BigUint::one());
+            } else {
+                prop_assert!(a.modinv(&m).is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Modular arithmetic: modpow, gcd, lcm, and modular inverse.
+
+use crate::{BigInt, BigUint};
+
+impl BigUint {
+    /// `(self + other) mod m`.
+    pub fn modadd(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        &(self + other) % m
+    }
+
+    /// `(self - other) mod m`, wrapping into `[0, m)`.
+    pub fn modsub(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let a = self % m;
+        let b = other % m;
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+
+    /// `(self * other) mod m`.
+    pub fn modmul(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        &(self * other) % m
+    }
+
+    /// `self ^ exp mod m` by left-to-right binary exponentiation.
+    ///
+    /// Panics if `m` is zero. `x^0 mod 1` is `0` (everything is `0` mod 1).
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus must be nonzero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self % m;
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.modmul(&base, m);
+            }
+            if i + 1 < exp.bit_len() {
+                base = base.modmul(&base, m);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid); `gcd(0, b) = b`.
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = std::mem::replace(&mut b, r);
+        }
+        a
+    }
+
+    /// Least common multiple; `lcm(0, b) = 0`.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let g = self.gcd(other);
+        &(self / &g) * other
+    }
+
+    /// Modular inverse: the unique `x ∈ [0, m)` with `self·x ≡ 1 (mod m)`,
+    /// or `None` when `gcd(self, m) ≠ 1`.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        // Extended Euclid over signed integers: track x with a·x ≡ r (mod m).
+        let mut r0 = BigInt::from_biguint(self % m);
+        let mut r1 = BigInt::from_biguint(m.clone());
+        let mut x0 = BigInt::from(1i64);
+        let mut x1 = BigInt::from(0i64);
+        while !r1.is_zero() {
+            let q = r0.div_floor(&r1);
+            let r2 = &r0 - &(&q * &r1);
+            r0 = std::mem::replace(&mut r1, r2);
+            let x2 = &x0 - &(&q * &x1);
+            x0 = std::mem::replace(&mut x1, x2);
+        }
+        if !r0.magnitude().is_one() {
+            return None;
+        }
+        Some(x0.rem_euclid_biguint(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn modpow_basics() {
+        assert_eq!(n(2).modpow(&n(10), &n(1000)), n(24)); // 1024 mod 1000
+        assert_eq!(n(5).modpow(&n(0), &n(7)), n(1));
+        assert_eq!(n(5).modpow(&n(117), &n(1)), n(0));
+    }
+
+    #[test]
+    fn modpow_fermat_little() {
+        // a^(p-1) ≡ 1 (mod p) for prime p and a not divisible by p.
+        let p = n(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(n(a).modpow(&(&p - &BigUint::one()), &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn modpow_large_operands() {
+        // 2^(2^64) mod (2^89 - 1): since 2^89 ≡ 1 the exponent reduces
+        // mod 89, and 2^64 ≡ 67 (mod 89) → expect 2^67.
+        let m = &(BigUint::one() << 89usize) - &BigUint::one();
+        let exp = BigUint::one() << 64usize;
+        assert_eq!(n(2).modpow(&exp, &m), BigUint::one() << 67usize);
+    }
+
+    #[test]
+    fn modsub_wraps() {
+        assert_eq!(n(3).modsub(&n(5), &n(7)), n(5));
+        assert_eq!(n(5).modsub(&n(3), &n(7)), n(2));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(n(48).gcd(&n(36)), n(12));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(48).lcm(&n(36)), n(144));
+        assert_eq!(n(0).lcm(&n(5)), n(0));
+    }
+
+    #[test]
+    fn modinv_known_values() {
+        assert_eq!(n(3).modinv(&n(7)), Some(n(5))); // 3·5 = 15 ≡ 1 (mod 7)
+        assert_eq!(n(2).modinv(&n(4)), None); // gcd 2
+        assert_eq!(n(1).modinv(&n(2)), Some(n(1)));
+        assert_eq!(n(10).modinv(&n(1)), None);
+    }
+
+    #[test]
+    fn modinv_large_prime() {
+        let p = n(1_000_000_007);
+        let a = n(123_456_789);
+        let inv = a.modinv(&p).unwrap();
+        assert_eq!(a.modmul(&inv, &p), BigUint::one());
+    }
+}

@@ -1,0 +1,204 @@
+//! Primality testing and random prime generation.
+//!
+//! Paillier key generation needs random primes of a few hundred bits. We use
+//! trial division by small primes as a cheap filter, then Miller–Rabin with
+//! random bases. For inputs below 2^64 the fixed witness set
+//! `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` makes the test
+//! deterministic (Sorenson & Webster, 2015).
+
+use crate::random::uniform_below;
+use crate::BigUint;
+use rand::RngCore;
+
+/// Small primes used for trial-division screening.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Deterministic witness set for 64-bit inputs.
+const DET_WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Number of random Miller–Rabin rounds for larger candidates
+/// (error probability ≤ 4^-24 per composite).
+const MR_ROUNDS: usize = 24;
+
+/// Probabilistic primality test.
+///
+/// Deterministic for `n < 2^64`; otherwise Miller–Rabin with [`MR_ROUNDS`]
+/// random bases drawn from `rng`.
+pub fn is_prime<R: RngCore>(n: &BigUint, rng: &mut R) -> bool {
+    if n < &BigUint::two() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from(p);
+        if n == &p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d · 2^s with d odd.
+    let n_minus_1 = n - &BigUint::one();
+    let s = trailing_zeros(&n_minus_1);
+    let d = &n_minus_1 >> s;
+
+    if n.bit_len() <= 64 {
+        DET_WITNESSES
+            .iter()
+            .all(|&a| miller_rabin_round(n, &n_minus_1, &d, s, &BigUint::from(a)))
+    } else {
+        let hi = n - &BigUint::two(); // witnesses in [2, n-2]
+        (0..MR_ROUNDS).all(|_| {
+            let a = &uniform_below(&(&hi - &BigUint::one()), rng) + &BigUint::two();
+            miller_rabin_round(n, &n_minus_1, &d, s, &a)
+        })
+    }
+}
+
+/// One Miller–Rabin round: returns `true` when `a` is *not* a witness of
+/// compositeness (i.e. `n` is still possibly prime).
+fn miller_rabin_round(n: &BigUint, n_minus_1: &BigUint, d: &BigUint, s: usize, a: &BigUint) -> bool {
+    let mut x = a.modpow(d, n);
+    if x.is_one() || &x == n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = x.modmul(&x, n);
+        if &x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false; // non-trivial square root of 1
+        }
+    }
+    false
+}
+
+fn trailing_zeros(n: &BigUint) -> usize {
+    debug_assert!(!n.is_zero());
+    let mut count = 0;
+    for &limb in n.limbs() {
+        if limb == 0 {
+            count += 64;
+        } else {
+            return count + limb.trailing_zeros() as usize;
+        }
+    }
+    count
+}
+
+/// Generates a random prime with exactly `bits` significant bits.
+///
+/// The top two bits are forced to 1 (so products of two such primes have
+/// exactly `2·bits` bits, as Paillier keygen expects) and the low bit is
+/// forced to 1. Panics if `bits < 3`.
+pub fn gen_prime<R: RngCore>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 3, "prime size must be at least 3 bits");
+    loop {
+        let mut bytes = vec![0u8; (bits + 7) / 8];
+        rng.fill_bytes(&mut bytes);
+        let mut candidate = BigUint::from_bytes_be(&bytes) >> (bytes.len() * 8 - bits);
+        // Force exact bit length, a second-highest bit, and oddness.
+        candidate = &candidate
+            | &(&(&BigUint::one() << (bits - 1)) | &(&BigUint::one() << (bits - 2)));
+        candidate = &candidate | &BigUint::one();
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+impl std::ops::BitOr<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitor(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs().len() >= rhs.limbs().len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = long.limbs().to_vec();
+        for (i, &l) in short.limbs().iter().enumerate() {
+            limbs[i] |= l;
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD15EA5E)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 251, 257, 65_537, 1_000_000_007] {
+            assert!(is_prime(&BigUint::from(p), &mut r), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 9, 255, 1_000_000_008, 65_536] {
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // 561, 1105, 1729 … fool Fermat but not Miller–Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825_265] {
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_to_base_2_rejected() {
+        let mut r = rng();
+        for c in [2047u64, 3277, 4033, 4681, 8321, 15841, 29341] {
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} fools base 2 only");
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^89 - 1 is a Mersenne prime.
+        let mut r = rng();
+        let p = &(BigUint::one() << 89usize) - &BigUint::one();
+        assert!(is_prime(&p, &mut r));
+        // 2^67 - 1 = 193707721 × 761838257287 is not.
+        let c = &(BigUint::one() << 67usize) - &BigUint::one();
+        assert!(!is_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bit_length() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_prime_product_has_double_bits() {
+        let mut r = rng();
+        let p = gen_prime(96, &mut r);
+        let q = gen_prime(96, &mut r);
+        assert_eq!((&p * &q).bit_len(), 192);
+    }
+}

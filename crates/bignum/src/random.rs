@@ -1,0 +1,112 @@
+//! Uniform random sampling of big integers.
+
+use crate::BigUint;
+use rand::RngCore;
+
+/// Samples uniformly from `[0, bound)` by rejection on the top limb.
+///
+/// Panics if `bound` is zero.
+pub fn uniform_below<R: RngCore>(bound: &BigUint, rng: &mut R) -> BigUint {
+    assert!(!bound.is_zero(), "sampling bound must be positive");
+    let bits = bound.bit_len();
+    let bytes = (bits + 7) / 8;
+    let excess_bits = bytes * 8 - bits;
+    let mut buf = vec![0u8; bytes];
+    loop {
+        rng.fill_bytes(&mut buf);
+        buf[0] &= 0xFF >> excess_bits; // candidate < 2^bits, so P(accept) > 1/2
+        let candidate = BigUint::from_bytes_be(&buf);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Samples uniformly from `[lo, hi)`. Panics when `lo >= hi`.
+pub fn uniform_range<R: RngCore>(lo: &BigUint, hi: &BigUint, rng: &mut R) -> BigUint {
+    assert!(lo < hi, "empty sampling range");
+    lo + &uniform_below(&(hi - lo), rng)
+}
+
+/// Samples a uniform element of the multiplicative group `(ℤ/nℤ)*`,
+/// i.e. a value in `[1, n)` coprime to `n`. Used for Paillier randomness.
+pub fn uniform_coprime<R: RngCore>(n: &BigUint, rng: &mut R) -> BigUint {
+    assert!(n > &BigUint::one(), "modulus must exceed 1");
+    loop {
+        let candidate = uniform_range(&BigUint::one(), n, rng);
+        if candidate.gcd(n).is_one() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_below_stays_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from(1000u64);
+        for _ in 0..500 {
+            assert!(uniform_below(&bound, &mut r) < bound);
+        }
+    }
+
+    #[test]
+    fn uniform_below_covers_small_domain() {
+        let mut r = rng();
+        let bound = BigUint::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = uniform_below(&bound, &mut r).to_u64().unwrap() as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut r = rng();
+        let lo = BigUint::from(100u64);
+        let hi = BigUint::from(110u64);
+        for _ in 0..200 {
+            let v = uniform_range(&lo, &hi, &mut r);
+            assert!(v >= lo && v < hi);
+        }
+    }
+
+    #[test]
+    fn uniform_coprime_is_coprime() {
+        let mut r = rng();
+        let n = BigUint::from(36u64);
+        for _ in 0..100 {
+            let v = uniform_coprime(&n, &mut r);
+            assert!(v.gcd(&n).is_one());
+            assert!(v >= BigUint::one() && v < n);
+        }
+    }
+
+    #[test]
+    fn large_bound_sampling() {
+        let mut r = rng();
+        let bound = BigUint::one() << 521usize;
+        let sample = uniform_below(&bound, &mut r);
+        assert!(sample < bound);
+        assert!(sample.bit_len() > 400, "overwhelmingly likely for uniform draw");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn empty_range_panics() {
+        let mut r = rng();
+        let v = BigUint::from(5u64);
+        uniform_range(&v, &v, &mut r);
+    }
+}

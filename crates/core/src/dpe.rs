@@ -1,0 +1,136 @@
+//! Definitions 1 and 2, executable.
+//!
+//! **Definition 1 (DPE).** `Enc` is d-distance-preserving iff
+//! `∀x, y: d(Enc(x), Enc(y)) = d(x, y)`. Over a finite log the quantifier is
+//! checkable exhaustively; [`verify_dpe`] does exactly that and reports the
+//! worst deviation (which must be 0.0 — all our distances are exact
+//! rationals evaluated identically on both sides).
+//!
+//! **Definition 2 (c-equivalence).** `Enc` ensures c-equivalence iff
+//! `∀x: Enc(c(x)) = c(Enc(x))`. The per-notion commuting squares live in
+//! [`crate::verify`]; this module provides the generic shape.
+
+use dpe_distance::QueryDistance;
+use dpe_sql::Query;
+
+use crate::error::CoreError;
+
+/// Outcome of an exhaustive Definition-1 check over a log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpeReport {
+    /// Number of unordered pairs checked (`n·(n−1)/2`).
+    pub pairs_checked: usize,
+    /// Largest `|d(Enc x, Enc y) − d(x, y)|` observed.
+    pub max_abs_diff: f64,
+    /// Number of pairs with any deviation at all.
+    pub violating_pairs: usize,
+    /// `true` iff every pair matched exactly.
+    pub preserved: bool,
+}
+
+impl DpeReport {
+    /// Renders a one-line verdict for the experiment harnesses.
+    pub fn verdict(&self) -> String {
+        if self.preserved {
+            format!("PRESERVED ({} pairs, max |Δ| = 0)", self.pairs_checked)
+        } else {
+            format!(
+                "VIOLATED ({} of {} pairs, max |Δ| = {:.6})",
+                self.violating_pairs, self.pairs_checked, self.max_abs_diff
+            )
+        }
+    }
+}
+
+/// Exhaustively checks Definition 1 for a log and its encryption.
+///
+/// `d_plain` measures plaintext queries, `d_enc` the encrypted ones — they
+/// are distinct instances because two measures carry state (the database
+/// for result distance, the domain catalog for access-area distance) whose
+/// encrypted counterpart differs.
+pub fn verify_dpe<DP, DE>(
+    plain: &[Query],
+    encrypted: &[Query],
+    d_plain: &DP,
+    d_enc: &DE,
+) -> Result<DpeReport, CoreError>
+where
+    DP: QueryDistance,
+    DE: QueryDistance,
+{
+    assert_eq!(
+        plain.len(),
+        encrypted.len(),
+        "encrypted log must align 1:1 with the plaintext log"
+    );
+    let n = plain.len();
+    let mut pairs_checked = 0;
+    let mut violating_pairs = 0;
+    let mut max_abs_diff: f64 = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let dp = d_plain.distance(&plain[i], &plain[j])?;
+            let de = d_enc.distance(&encrypted[i], &encrypted[j])?;
+            let diff = (dp - de).abs();
+            pairs_checked += 1;
+            if diff != 0.0 {
+                violating_pairs += 1;
+                max_abs_diff = max_abs_diff.max(diff);
+            }
+        }
+    }
+    Ok(DpeReport {
+        pairs_checked,
+        max_abs_diff,
+        violating_pairs,
+        preserved: violating_pairs == 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_distance::TokenDistance;
+    use dpe_sql::parse_query;
+
+    fn log(sqls: &[&str]) -> Vec<Query> {
+        sqls.iter().map(|s| parse_query(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn identity_encryption_trivially_preserves() {
+        let l = log(&[
+            "SELECT ra FROM t WHERE dec > 5",
+            "SELECT dec FROM t",
+            "SELECT ra FROM u WHERE ra = 1",
+        ]);
+        let report = verify_dpe(&l, &l, &TokenDistance, &TokenDistance).unwrap();
+        assert!(report.preserved);
+        assert_eq!(report.pairs_checked, 3);
+        assert_eq!(report.max_abs_diff, 0.0);
+        assert!(report.verdict().starts_with("PRESERVED"));
+    }
+
+    #[test]
+    fn broken_encryption_detected() {
+        // "Encryption" that collapses all queries to one destroys distances.
+        let plain = log(&[
+            "SELECT ra FROM t WHERE dec > 5",
+            "SELECT dec FROM t",
+            "SELECT ra FROM u",
+        ]);
+        let broken = log(&["SELECT x FROM y", "SELECT x FROM y", "SELECT x FROM y"]);
+        let report = verify_dpe(&plain, &broken, &TokenDistance, &TokenDistance).unwrap();
+        assert!(!report.preserved);
+        assert!(report.violating_pairs > 0);
+        assert!(report.max_abs_diff > 0.0);
+        assert!(report.verdict().starts_with("VIOLATED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "align 1:1")]
+    fn misaligned_logs_panic() {
+        let l = log(&["SELECT ra FROM t"]);
+        let _ = verify_dpe(&l, &[], &TokenDistance, &TokenDistance);
+    }
+}

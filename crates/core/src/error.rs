@@ -1,0 +1,60 @@
+//! Error type for the KIT-DPE layer.
+
+use dpe_cryptdb::CryptDbError;
+use dpe_distance::DistanceError;
+use std::fmt;
+
+/// Errors from scheme construction, query encryption or verification.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An attribute needed by the scheme has no domain entry.
+    MissingDomain(String),
+    /// OPE constant encryption failed (out of domain / overflow).
+    OpeFailure {
+        /// Attribute.
+        attribute: String,
+        /// Offending value.
+        value: i64,
+    },
+    /// Distance computation failed.
+    Distance(DistanceError),
+    /// CryptDB layer failure (result-distance scheme).
+    CryptDb(CryptDbError),
+    /// A constant's type conflicts with its attribute's domain.
+    TypeMismatch {
+        /// Attribute.
+        attribute: String,
+        /// Description of the conflict.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingDomain(a) => write!(f, "attribute {a} has no domain"),
+            CoreError::OpeFailure { attribute, value } => {
+                write!(f, "OPE cannot encrypt {value} for attribute {attribute}")
+            }
+            CoreError::Distance(e) => write!(f, "distance computation failed: {e}"),
+            CoreError::CryptDb(e) => write!(f, "CryptDB layer failed: {e}"),
+            CoreError::TypeMismatch { attribute, detail } => {
+                write!(f, "type mismatch on {attribute}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DistanceError> for CoreError {
+    fn from(e: DistanceError) -> Self {
+        CoreError::Distance(e)
+    }
+}
+
+impl From<CryptDbError> for CoreError {
+    fn from(e: CryptDbError) -> Self {
+        CoreError::CryptDb(e)
+    }
+}

@@ -1,0 +1,45 @@
+//! # dpe-core — the paper's contribution: KIT-DPE
+//!
+//! *Distance-Based Data Mining over Encrypted Data* (Tex, Schäler, Böhm —
+//! ICDE 2018) proposes **distance-preserving encryption** (DPE) and the
+//! **KIT-DPE** engineering procedure. This crate is that contribution,
+//! executable:
+//!
+//! * [`dpe`] — Definition 1 (DPE) and Definition 2 (c-equivalence) as
+//!   checkable predicates over query logs;
+//! * [`taxonomy`] — Fig. 1: the property-preserving encryption class
+//!   lattice with its security levels;
+//! * [`notions`] — the four equivalence notions of the SQL case study
+//!   (token, structural, result, access-area) with their per-slot
+//!   requirements and shared-information columns;
+//! * [`selection`] — Definition 6: *appropriate* class selection — for each
+//!   slot, the maximally secure class that still ensures the notion;
+//! * [`scheme`] — concrete, runnable DPE schemes for all four measures,
+//!   built from the classes the selection engine picks;
+//! * [`verify`] — the empirical harness: exhaustive pairwise
+//!   distance-preservation checks, c-equivalence commuting squares, and
+//!   mining-result invariance;
+//! * [`table1`] — regenerates the paper's Table I from the machinery and
+//!   cross-checks it against the published row contents;
+//! * [`procedure`] — the four KIT-DPE steps as an orchestrated pipeline.
+
+pub mod dpe;
+pub mod error;
+pub mod notions;
+pub mod procedure;
+pub mod scheme;
+pub mod selection;
+pub mod table1;
+pub mod taxonomy;
+pub mod verify;
+
+pub use dpe::DpeReport;
+pub use error::CoreError;
+pub use notions::{EquivalenceNotion, SharedInformation};
+pub use scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};
+pub use selection::{ConstChoice, SlotChoice, TableRow};
+pub use taxonomy::Taxonomy;
+
+// The class enum lives in dpe-crypto (lowest common crate); it is part of
+// this crate's conceptual API.
+pub use dpe_crypto::EncryptionClass;

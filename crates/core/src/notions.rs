@@ -1,0 +1,233 @@
+//! The four equivalence notions of the SQL case study (paper §IV-B) and the
+//! *capability requirements* each imposes on the three encryption slots.
+//!
+//! A notion is ensured by an encryption class iff the class preserves the
+//! plaintext properties the characteristic function depends on. Encoding
+//! the requirement as a *capability predicate* (rather than hardcoding the
+//! class) lets Definition 6 derive Table I instead of quoting it.
+
+use dpe_crypto::EncryptionClass;
+use std::fmt;
+
+/// The four notions, one per distance measure of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EquivalenceNotion {
+    /// `c = tokens` — token-based query-string distance.
+    Token,
+    /// `c = features` — query-structure distance.
+    Structural,
+    /// `c = result_tuples` — query-result distance (Definition 4).
+    Result,
+    /// `c = access_A` for every attribute — access-area distance.
+    AccessArea,
+}
+
+/// The *Shared Information* columns of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedInformation {
+    /// The (encrypted) query log itself.
+    pub log: bool,
+    /// The content of all accessed attributes (encrypted database).
+    pub db_content: bool,
+    /// The attribute domains.
+    pub domains: bool,
+}
+
+/// The three slots of the high-level scheme (paper §IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// `EncRel`.
+    Relation,
+    /// `EncAttr`.
+    Attribute,
+    /// `EncA.Const` for constants of attribute `A`.
+    Constant,
+}
+
+/// How constants of an attribute are *used* by queries, which determines
+/// the capability their encryption must preserve. (The constant slot of the
+/// result and access-area rows is usage-dependent — the "via CryptDB"
+/// entries of Table I.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstUsage {
+    /// Equality predicates (`=`, `IN`) on categorical or key attributes.
+    Equality,
+    /// Range predicates (`<`, `BETWEEN`, …) and ORDER BY on ordered
+    /// attributes.
+    Range,
+    /// The attribute occurs **only** inside arithmetic aggregates
+    /// (`SUM`/`AVG`) — no predicate ever touches it.
+    AggregateOnly,
+}
+
+impl EquivalenceNotion {
+    /// All four notions, in Table I row order.
+    pub const ALL: [EquivalenceNotion; 4] = [
+        EquivalenceNotion::Token,
+        EquivalenceNotion::Structural,
+        EquivalenceNotion::Result,
+        EquivalenceNotion::AccessArea,
+    ];
+
+    /// The distance measure's name (Table I column 1).
+    pub fn measure_name(self) -> &'static str {
+        match self {
+            EquivalenceNotion::Token => "Token-Based Query-String Distance",
+            EquivalenceNotion::Structural => "Query-Structure Distance",
+            EquivalenceNotion::Result => "Query-Result Distance",
+            EquivalenceNotion::AccessArea => "Query-Access-Area Distance",
+        }
+    }
+
+    /// The notion's name (Table I column 3).
+    pub fn name(self) -> &'static str {
+        match self {
+            EquivalenceNotion::Token => "Token Equivalence",
+            EquivalenceNotion::Structural => "Structural Equivalence",
+            EquivalenceNotion::Result => "Result Equivalence",
+            EquivalenceNotion::AccessArea => "Access-Area Equivalence",
+        }
+    }
+
+    /// The characteristic function `c` (Table I column 4).
+    pub fn characteristic(self) -> &'static str {
+        match self {
+            EquivalenceNotion::Token => "tokens",
+            EquivalenceNotion::Structural => "features",
+            EquivalenceNotion::Result => "result tuples",
+            EquivalenceNotion::AccessArea => "access_A",
+        }
+    }
+
+    /// The shared information the measure needs (Table I column 2).
+    pub fn shared_information(self) -> SharedInformation {
+        match self {
+            EquivalenceNotion::Token | EquivalenceNotion::Structural => {
+                SharedInformation { log: true, db_content: false, domains: false }
+            }
+            EquivalenceNotion::Result => {
+                SharedInformation { log: true, db_content: true, domains: false }
+            }
+            EquivalenceNotion::AccessArea => {
+                SharedInformation { log: true, db_content: false, domains: true }
+            }
+        }
+    }
+
+    /// Whether `class` *ensures* this notion on a name slot
+    /// (relation/attribute names).
+    ///
+    /// Names participate in every characteristic (tokens, features, routed
+    /// tables, attribute axes), always through *equality*, so the class
+    /// must be deterministic. Constants are the interesting slot — see
+    /// [`EquivalenceNotion::const_ensures`].
+    pub fn name_slot_ensures(self, class: EncryptionClass) -> bool {
+        class.preserves_equality()
+    }
+
+    /// Whether `class` ensures this notion for constants used as `usage`.
+    pub fn const_ensures(self, usage: ConstUsage, class: EncryptionClass) -> bool {
+        match self {
+            // Constants are ordinary tokens: equality must be preserved.
+            EquivalenceNotion::Token => class.preserves_equality(),
+            // features(Q) drops constants entirely: any class works.
+            EquivalenceNotion::Structural => true,
+            // The provider must execute the predicate on ciphertexts.
+            EquivalenceNotion::Result => match usage {
+                ConstUsage::Equality => class.preserves_equality(),
+                ConstUsage::Range => class.preserves_order(),
+                ConstUsage::AggregateOnly => class.supports_aggregation(),
+            },
+            // Access areas need the *geometry* of the predicate: equality
+            // and ranges must land on one order-preserved axis; attributes
+            // never touched by predicates contribute nothing.
+            EquivalenceNotion::AccessArea => match usage {
+                ConstUsage::Equality => class.preserves_equality(),
+                ConstUsage::Range => class.preserves_order(),
+                ConstUsage::AggregateOnly => true, // the §IV-C observation
+            },
+        }
+    }
+}
+
+impl fmt::Display for EquivalenceNotion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for SharedInformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        write!(
+            f,
+            "log={} db-content={} domains={}",
+            mark(self.log),
+            mark(self.db_content),
+            mark(self.domains)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EncryptionClass::*;
+    use EquivalenceNotion::*;
+
+    #[test]
+    fn shared_information_matches_table_1() {
+        assert_eq!(
+            Token.shared_information(),
+            SharedInformation { log: true, db_content: false, domains: false }
+        );
+        assert_eq!(
+            Result.shared_information(),
+            SharedInformation { log: true, db_content: true, domains: false }
+        );
+        assert_eq!(
+            AccessArea.shared_information(),
+            SharedInformation { log: true, db_content: false, domains: true }
+        );
+    }
+
+    #[test]
+    fn name_slots_require_determinism() {
+        for notion in EquivalenceNotion::ALL {
+            assert!(!notion.name_slot_ensures(Prob), "{notion}: PROB cannot name-slot");
+            assert!(!notion.name_slot_ensures(Hom));
+            assert!(notion.name_slot_ensures(Det));
+            assert!(notion.name_slot_ensures(Ope), "subclasses of DET also ensure");
+        }
+    }
+
+    #[test]
+    fn structural_constants_accept_prob() {
+        assert!(Structural.const_ensures(ConstUsage::Equality, Prob));
+        assert!(Structural.const_ensures(ConstUsage::Range, Prob));
+    }
+
+    #[test]
+    fn token_constants_need_determinism() {
+        assert!(!Token.const_ensures(ConstUsage::Equality, Prob));
+        assert!(Token.const_ensures(ConstUsage::Equality, Det));
+    }
+
+    #[test]
+    fn result_constants_per_usage() {
+        assert!(Result.const_ensures(ConstUsage::Equality, Det));
+        assert!(!Result.const_ensures(ConstUsage::Equality, Prob));
+        assert!(Result.const_ensures(ConstUsage::Range, Ope));
+        assert!(!Result.const_ensures(ConstUsage::Range, Det));
+        assert!(Result.const_ensures(ConstUsage::AggregateOnly, Hom));
+        assert!(!Result.const_ensures(ConstUsage::AggregateOnly, Prob));
+    }
+
+    #[test]
+    fn access_area_aggregate_only_accepts_prob() {
+        // The §IV-C security win over CryptDB-as-is.
+        assert!(AccessArea.const_ensures(ConstUsage::AggregateOnly, Prob));
+        assert!(AccessArea.const_ensures(ConstUsage::Range, Ope));
+        assert!(!AccessArea.const_ensures(ConstUsage::Range, Det));
+    }
+}

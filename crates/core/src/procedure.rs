@@ -1,0 +1,143 @@
+//! The KIT-DPE procedure (paper §III-B): four steps, orchestrated.
+//!
+//! 1. **Security model** — threat model (passive attacks instantiated for
+//!    query logs [9]) + the high-level scheme `(EncRel, EncAttr,
+//!    {EncA.Const})`.
+//! 2. **Equivalence notion** — per distance measure (§IV-B).
+//! 3. **Ensuring the notion** — appropriate PPE classes (Definition 6) and
+//!    a concrete scheme instance.
+//! 4. **Security assessment** — by reduction: only classes with known
+//!    security are used, so the assessment reads the class levels off
+//!    Fig. 1.
+
+use crate::notions::EquivalenceNotion;
+use crate::selection::{derive_row, TableRow};
+use std::fmt;
+
+/// Step 1: the security model of the SQL case study.
+#[derive(Debug, Clone)]
+pub struct SecurityModel {
+    /// Attacks shielded against (passive only, instantiated for logs).
+    pub threat_model: Vec<&'static str>,
+    /// The high-level encryption scheme description.
+    pub high_level_scheme: &'static str,
+}
+
+impl SecurityModel {
+    /// The model of §IV-A.
+    pub fn sql_log_default() -> Self {
+        SecurityModel {
+            threat_model: vec![
+                "query-only attack (ciphertext-only instantiated for logs)",
+                "known-query attack (known-plaintext instantiated for logs)",
+                "chosen-query attack (chosen-plaintext instantiated for logs)",
+            ],
+            high_level_scheme: "(EncRel, EncAttr, {EncA.Const : Attribute A}) — encrypt relation \
+                                names, attribute names and constants; keywords, operators and \
+                                query structure stay in the clear (Example 4)",
+        }
+    }
+}
+
+/// Step 4: per-slot security levels of one scheme, read off Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityAssessment {
+    /// Security level of `EncRel` (0..=3, higher is better).
+    pub rel_level: u8,
+    /// Security level of `EncAttr`.
+    pub attr_level: u8,
+    /// Effective (weakest) security level of the constants slot.
+    pub const_level: u8,
+}
+
+/// The result of running KIT-DPE for one distance measure.
+#[derive(Debug, Clone)]
+pub struct KitDpeOutcome {
+    /// Step 1.
+    pub security_model: SecurityModel,
+    /// Step 2: the chosen notion.
+    pub notion: EquivalenceNotion,
+    /// Step 3: the appropriate classes (one Table I row).
+    pub row: TableRow,
+    /// Step 4.
+    pub assessment: SecurityAssessment,
+}
+
+/// Runs the (class-level) KIT-DPE procedure for one measure. The concrete
+/// scheme instances of Step 3 are in [`crate::scheme`]; this function
+/// produces the engineering artifact (the Table I row + assessment).
+pub fn run_kit_dpe(notion: EquivalenceNotion) -> KitDpeOutcome {
+    let security_model = SecurityModel::sql_log_default();
+    let row = derive_row(notion);
+    let assessment = SecurityAssessment {
+        rel_level: row.enc_rel.security_level(),
+        attr_level: row.enc_attr.security_level(),
+        const_level: row.enc_const.weakest_level(),
+    };
+    KitDpeOutcome { security_model, notion, row, assessment }
+}
+
+impl fmt::Display for KitDpeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "KIT-DPE for {}", self.notion.measure_name())?;
+        writeln!(f, "  step 1  threat model: {}", self.security_model.threat_model.join("; "))?;
+        writeln!(f, "          scheme: {}", self.security_model.high_level_scheme)?;
+        writeln!(
+            f,
+            "  step 2  notion: {} (c = {})",
+            self.notion.name(),
+            self.notion.characteristic()
+        )?;
+        writeln!(
+            f,
+            "  step 3  EncRel = {}, EncAttr = {}, EncA.Const = {}",
+            self.row.enc_rel,
+            self.row.enc_attr,
+            crate::table1::render_const_choice(&self.row.enc_const)
+        )?;
+        writeln!(
+            f,
+            "  step 4  security levels (0-3): rel {}, attr {}, const {}",
+            self.assessment.rel_level, self.assessment.attr_level, self.assessment.const_level
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EquivalenceNotion::*;
+
+    #[test]
+    fn assessment_levels_reflect_fig_1() {
+        assert_eq!(run_kit_dpe(Token).assessment.const_level, 2); // DET
+        assert_eq!(run_kit_dpe(Structural).assessment.const_level, 3); // PROB
+        assert_eq!(run_kit_dpe(Result).assessment.const_level, 1); // OPE weakest
+        assert_eq!(run_kit_dpe(AccessArea).assessment.const_level, 1); // OPE weakest
+    }
+
+    #[test]
+    fn name_slots_level_2_everywhere() {
+        for notion in EquivalenceNotion::ALL {
+            let outcome = run_kit_dpe(notion);
+            assert_eq!(outcome.assessment.rel_level, 2);
+            assert_eq!(outcome.assessment.attr_level, 2);
+        }
+    }
+
+    #[test]
+    fn display_names_all_steps() {
+        let text = run_kit_dpe(Token).to_string();
+        for step in ["step 1", "step 2", "step 3", "step 4"] {
+            assert!(text.contains(step), "missing {step}:\n{text}");
+        }
+        assert!(text.contains("query-only attack"));
+    }
+
+    #[test]
+    fn threat_model_is_passive_only() {
+        let model = SecurityModel::sql_log_default();
+        assert_eq!(model.threat_model.len(), 3);
+        assert!(model.threat_model.iter().all(|t| t.contains("attack")));
+    }
+}

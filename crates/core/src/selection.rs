@@ -1,0 +1,202 @@
+//! Definition 6: *appropriate* encryption-class selection.
+//!
+//! > For a given equivalence notion and encryption algorithm in
+//! > `(EncAttr, EncRel, {EncA.Const})`, an encryption class is appropriate
+//! > … if (1) it ensures the equivalence notion and (2) provides the
+//! > highest possible security.
+//!
+//! The engine walks the taxonomy top-down (most secure row first) and picks
+//! the first class whose capabilities ensure the notion — recomputing the
+//! paper's Table I instead of hardcoding it. (`table1.rs` then asserts the
+//! recomputation matches the published table.)
+
+use crate::notions::{ConstUsage, EquivalenceNotion};
+use crate::taxonomy::Taxonomy;
+use dpe_crypto::EncryptionClass;
+use std::fmt;
+
+/// The chosen class for the constant slot: either one class for all
+/// constants, or per-usage classes (the "via CryptDB" rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstChoice {
+    /// One class covers every constant.
+    Uniform(EncryptionClass),
+    /// Usage-dependent classes (equality / range / aggregate-only).
+    PerUsage {
+        /// Constants in equality predicates.
+        equality: EncryptionClass,
+        /// Constants in range predicates.
+        range: EncryptionClass,
+        /// Constants of attributes only used in arithmetic aggregates.
+        aggregate_only: EncryptionClass,
+    },
+}
+
+impl ConstChoice {
+    /// The lowest security level among the involved classes — the slot's
+    /// effective security.
+    pub fn weakest_level(&self) -> u8 {
+        match self {
+            ConstChoice::Uniform(c) => c.security_level(),
+            ConstChoice::PerUsage { equality, range, aggregate_only } => equality
+                .security_level()
+                .min(range.security_level())
+                .min(aggregate_only.security_level()),
+        }
+    }
+}
+
+impl fmt::Display for ConstChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstChoice::Uniform(c) => write!(f, "{c}"),
+            ConstChoice::PerUsage { equality, range, aggregate_only } => {
+                write!(f, "eq:{equality} range:{range} agg-only:{aggregate_only}")
+            }
+        }
+    }
+}
+
+/// The appropriate class for one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotChoice {
+    /// A name slot (relation/attribute).
+    Name(EncryptionClass),
+    /// The constant slot.
+    Constant(ConstChoice),
+}
+
+/// One derived row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// The notion (carries measure name, characteristic, shared info).
+    pub notion: EquivalenceNotion,
+    /// Appropriate class for `EncRel`.
+    pub enc_rel: EncryptionClass,
+    /// Appropriate class for `EncAttr`.
+    pub enc_attr: EncryptionClass,
+    /// Appropriate choice for `{EncA.Const}`.
+    pub enc_const: ConstChoice,
+}
+
+/// Definition 6 for a name slot: the most secure class that ensures the
+/// notion. Classes in the same row are tried in the figure's left-to-right
+/// order; for name slots only one per row ever qualifies.
+pub fn appropriate_name_class(notion: EquivalenceNotion) -> EncryptionClass {
+    for row in Taxonomy.rows() {
+        for class in row {
+            if notion.name_slot_ensures(class) {
+                return class;
+            }
+        }
+    }
+    unreachable!("JOIN-OPE (bottom) preserves equality, so a class always exists")
+}
+
+/// Definition 6 for the constant slot of one usage.
+pub fn appropriate_const_class(notion: EquivalenceNotion, usage: ConstUsage) -> EncryptionClass {
+    for row in Taxonomy.rows() {
+        for class in row {
+            if notion.const_ensures(usage, class) {
+                return class;
+            }
+        }
+    }
+    unreachable!("every usage is satisfiable by some class in the taxonomy")
+}
+
+/// Derives the full constant-slot choice for a notion: uniform when all
+/// three usages agree, per-usage otherwise.
+pub fn appropriate_const_choice(notion: EquivalenceNotion) -> ConstChoice {
+    let equality = appropriate_const_class(notion, ConstUsage::Equality);
+    let range = appropriate_const_class(notion, ConstUsage::Range);
+    let aggregate_only = appropriate_const_class(notion, ConstUsage::AggregateOnly);
+    if equality == range && range == aggregate_only {
+        ConstChoice::Uniform(equality)
+    } else {
+        ConstChoice::PerUsage { equality, range, aggregate_only }
+    }
+}
+
+/// Derives one Table I row.
+pub fn derive_row(notion: EquivalenceNotion) -> TableRow {
+    TableRow {
+        notion,
+        enc_rel: appropriate_name_class(notion),
+        enc_attr: appropriate_name_class(notion),
+        enc_const: appropriate_const_choice(notion),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EncryptionClass::*;
+    use EquivalenceNotion::*;
+
+    #[test]
+    fn name_slots_always_det() {
+        // Every row of Table I has DET for EncRel and EncAttr.
+        for notion in EquivalenceNotion::ALL {
+            assert_eq!(appropriate_name_class(notion), Det, "{notion}");
+        }
+    }
+
+    #[test]
+    fn token_row_matches_paper() {
+        let row = derive_row(Token);
+        assert_eq!(row.enc_const, ConstChoice::Uniform(Det));
+    }
+
+    #[test]
+    fn structural_row_gets_prob_constants() {
+        // The highest-security class for an unconstrained slot is PROB —
+        // the security argument of Table I row 2.
+        let row = derive_row(Structural);
+        assert_eq!(row.enc_const, ConstChoice::Uniform(Prob));
+    }
+
+    #[test]
+    fn result_row_is_cryptdb_composite() {
+        let row = derive_row(Result);
+        assert_eq!(
+            row.enc_const,
+            ConstChoice::PerUsage { equality: Det, range: Ope, aggregate_only: Hom }
+        );
+    }
+
+    #[test]
+    fn access_area_row_is_cryptdb_without_hom() {
+        // "via CryptDB, except HOM": aggregate-only constants stay PROB.
+        let row = derive_row(AccessArea);
+        assert_eq!(
+            row.enc_const,
+            ConstChoice::PerUsage { equality: Det, range: Ope, aggregate_only: Prob }
+        );
+    }
+
+    #[test]
+    fn access_area_strictly_more_secure_than_result_row() {
+        // The paper's §IV-C claim, in class-lattice terms: the weakest
+        // constant class of the access-area row is at least as secure, and
+        // the aggregate-only slot strictly more secure.
+        let result = derive_row(Result).enc_const;
+        let access = derive_row(AccessArea).enc_const;
+        let (ConstChoice::PerUsage { aggregate_only: r_agg, .. }, ConstChoice::PerUsage { aggregate_only: a_agg, .. }) =
+            (&result, &access)
+        else {
+            panic!("both rows are composite")
+        };
+        assert!(a_agg.security_level() > r_agg.security_level());
+    }
+
+    #[test]
+    fn selection_always_prefers_higher_rows() {
+        // Structural constants: PROB (level 3) must beat DET (level 2) even
+        // though both ensure the notion.
+        use crate::notions::ConstUsage::*;
+        assert_eq!(appropriate_const_class(Structural, Equality), Prob);
+        assert_eq!(appropriate_const_class(Token, Equality), Det);
+        assert_eq!(appropriate_const_class(Result, Range), Ope);
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 1 — the property-preserving encryption taxonomy — as data.
+
+use dpe_crypto::EncryptionClass;
+
+/// The taxonomy of Fig. 1: security rows (top = most secure) and subclass
+/// edges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Taxonomy;
+
+impl Taxonomy {
+    /// The security rows, most secure first — exactly the figure's layout.
+    pub fn rows(&self) -> Vec<Vec<EncryptionClass>> {
+        use EncryptionClass::*;
+        vec![vec![Prob], vec![Hom, Det], vec![Ope, Join], vec![JoinOpe]]
+    }
+
+    /// The `→: subclass` edges of the figure, as (subclass, superclass).
+    pub fn subclass_edges(&self) -> Vec<(EncryptionClass, EncryptionClass)> {
+        let mut edges = Vec::new();
+        for class in EncryptionClass::ALL {
+            for &parent in class.parents() {
+                edges.push((class, parent));
+            }
+        }
+        edges
+    }
+
+    /// ASCII rendering of the figure (for the F1 experiment output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("  security\n");
+        for (level, row) in self.rows().iter().enumerate() {
+            let names: Vec<&str> = row.iter().map(|c| c.name()).collect();
+            out.push_str(&format!(
+                "    {}   {}\n",
+                ["high", "    ", "    ", "low "][level],
+                names.join("   ")
+            ));
+        }
+        out.push_str("  edges (subclass → superclass): ");
+        let edges: Vec<String> = self
+            .subclass_edges()
+            .iter()
+            .map(|(a, b)| format!("{a} → {b}"))
+            .collect();
+        out.push_str(&edges.join(", "));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EncryptionClass::*;
+
+    #[test]
+    fn rows_cover_all_classes_once() {
+        let rows = Taxonomy.rows();
+        let flat: Vec<EncryptionClass> = rows.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), EncryptionClass::ALL.len());
+        for class in EncryptionClass::ALL {
+            assert_eq!(flat.iter().filter(|&&c| c == class).count(), 1);
+        }
+    }
+
+    #[test]
+    fn rows_agree_with_security_levels() {
+        for (i, row) in Taxonomy.rows().iter().enumerate() {
+            let expected_level = 3 - i as u8;
+            for class in row {
+                assert_eq!(class.security_level(), expected_level, "{class}");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_match_the_figure() {
+        let edges = Taxonomy.subclass_edges();
+        assert!(edges.contains(&(Hom, Prob)));
+        assert!(edges.contains(&(Ope, Det)));
+        assert!(edges.contains(&(Join, Det)));
+        assert!(edges.contains(&(JoinOpe, Ope)));
+        assert!(edges.contains(&(JoinOpe, Join)));
+        assert_eq!(edges.len(), 5);
+    }
+
+    #[test]
+    fn render_mentions_every_class() {
+        let text = Taxonomy.render();
+        for class in EncryptionClass::ALL {
+            assert!(text.contains(class.name()), "missing {class}");
+        }
+    }
+}

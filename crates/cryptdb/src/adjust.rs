@@ -1,0 +1,233 @@
+//! Onion adjustment: peeling RND → DET in place.
+//!
+//! CryptDB's proxy issues `UPDATE t SET c = DECRYPT_RND(key, c)` when a
+//! query first needs server-side equality on `c`. Here the proxy walks the
+//! stored column, strips the RND layer from every cell, and records the new
+//! exposure in the schema. Adjustment is monotone: a column never goes back
+//! up, and columns frozen by policy (`eq_adjustable = false`) refuse.
+
+use crate::error::CryptDbError;
+use crate::onion::{EqLayer, Onion};
+use crate::schema::EncryptedSchema;
+use dpe_minidb::Database;
+use dpe_sql::{analysis, AggArg, AggFunc, Expr, Query, SelectItem};
+use std::collections::BTreeSet;
+
+/// Columns whose EQ onion must be at DET for `query` to run server-side:
+/// equality/IN predicates, GROUP BY keys, join columns, and `COUNT(col)`
+/// arguments.
+pub fn columns_needing_det(query: &Query) -> BTreeSet<String> {
+    let mut need = BTreeSet::new();
+    for join in &query.joins {
+        need.insert(join.left.column.clone());
+        need.insert(join.right.column.clone());
+    }
+    for c in &query.group_by {
+        need.insert(c.column.clone());
+    }
+    for item in &query.select {
+        if let SelectItem::Aggregate { func: AggFunc::Count, arg: AggArg::Column(c) } = item {
+            need.insert(c.column.clone());
+        }
+    }
+    if let Some(expr) = &query.where_clause {
+        collect_eq_columns(expr, &mut need);
+    }
+    need
+}
+
+fn collect_eq_columns(expr: &Expr, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Comparison { col, op, .. } => {
+            if matches!(op, dpe_sql::CompareOp::Eq | dpe_sql::CompareOp::Ne) {
+                out.insert(col.column.clone());
+            }
+        }
+        Expr::InList { col, .. } => {
+            out.insert(col.column.clone());
+        }
+        Expr::ColumnEq { left, right } => {
+            out.insert(left.column.clone());
+            out.insert(right.column.clone());
+        }
+        Expr::Between { .. } | Expr::IsNull { .. } => {}
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_eq_columns(a, out);
+            collect_eq_columns(b, out);
+        }
+        Expr::Not(inner) => collect_eq_columns(inner, out),
+    }
+}
+
+/// Adjusts one column's EQ onion to DET (no-op when already there).
+pub fn adjust_to_det(
+    schema: &mut EncryptedSchema,
+    enc_db: &mut Database,
+    column: &str,
+) -> Result<(), CryptDbError> {
+    let col = schema.column(column)?;
+    if col.eq_layer == EqLayer::Det {
+        return Ok(());
+    }
+    if !col.onions.eq_adjustable {
+        return Err(CryptDbError::AdjustmentForbidden(column.to_string()));
+    }
+
+    let enc_table = schema.enc_table_name(&col.table)?.to_string();
+    let onion_col = col.onion_column(Onion::Eq);
+
+    // Peel every stored cell; abort on the first malformed cell.
+    let mut failure = None;
+    enc_db.table_mut(&enc_table)?.map_column(&onion_col, |cell| {
+        if failure.is_some() {
+            return cell.clone();
+        }
+        match schema.column(column).and_then(|c| c.peel_rnd(cell)) {
+            Ok(peeled) => peeled,
+            Err(e) => {
+                failure = Some(e);
+                cell.clone()
+            }
+        }
+    })?;
+    if let Some(e) = failure {
+        return Err(e);
+    }
+
+    schema.column_mut(column)?.eq_layer = EqLayer::Det;
+    Ok(())
+}
+
+/// Adjusts every column `query` needs; returns the columns that moved.
+pub fn adjust_for_query(
+    schema: &mut EncryptedSchema,
+    enc_db: &mut Database,
+    query: &Query,
+) -> Result<Vec<String>, CryptDbError> {
+    let mut moved = Vec::new();
+    for column in columns_needing_det(query) {
+        let before = schema.column(&column)?.eq_layer;
+        adjust_to_det(schema, enc_db, &column)?;
+        if before == EqLayer::Rnd {
+            moved.push(column);
+        }
+    }
+    Ok(moved)
+}
+
+/// Adjusts **all** columns mentioned by any query of `log` — plus every
+/// column the log projects — to DET. The result-distance DPE scheme calls
+/// this once so the provider sees deterministic result tuples.
+pub fn adjust_log_columns(
+    schema: &mut EncryptedSchema,
+    enc_db: &mut Database,
+    log: &[Query],
+) -> Result<(), CryptDbError> {
+    let mut columns = BTreeSet::new();
+    for q in log {
+        columns.extend(analysis::attributes(q));
+    }
+    for column in columns {
+        adjust_to_det(schema, enc_db, &column)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{ColumnPolicy, CryptDbConfig};
+    use crate::encryptor::encrypt_database;
+    use dpe_crypto::MasterKey;
+    use dpe_minidb::Value;
+    use dpe_sql::parse_query;
+    use dpe_workload::{generate_database, sky_catalog, sky_domains};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(cfg: CryptDbConfig) -> (EncryptedSchema, Database) {
+        let plain = generate_database(20, 5);
+        let schema =
+            EncryptedSchema::build(&sky_catalog(), &sky_domains(), &cfg, &MasterKey::from_bytes([9; 32]))
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = encrypt_database(&plain, &schema, &mut rng).unwrap();
+        (schema, enc)
+    }
+
+    #[test]
+    fn detects_equality_columns() {
+        let q = parse_query(
+            "SELECT class, COUNT(objid) FROM photoobj \
+             WHERE class = 'STAR' AND ra > 5 AND dec IN (1, 2) GROUP BY class",
+        )
+        .unwrap();
+        let need = columns_needing_det(&q);
+        assert!(need.contains("class") && need.contains("dec") && need.contains("objid"));
+        assert!(!need.contains("ra"), "range-only columns stay at RND");
+    }
+
+    #[test]
+    fn join_columns_detected() {
+        let q = parse_query(
+            "SELECT z FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid",
+        )
+        .unwrap();
+        let need = columns_needing_det(&q);
+        assert!(need.contains("objid") && need.contains("bestobjid"));
+    }
+
+    #[test]
+    fn adjustment_makes_cells_deterministic() {
+        let (mut schema, mut enc) = setup(CryptDbConfig::default());
+        adjust_to_det(&mut schema, &mut enc, "class").unwrap();
+        assert_eq!(schema.column("class").unwrap().eq_layer, EqLayer::Det);
+
+        // After peeling, equal plaintext classes share ciphertexts.
+        let enc_name = schema.enc_table_name("photoobj").unwrap();
+        let class = schema.column("class").unwrap();
+        let col = class.onion_column(Onion::Eq);
+        let phys = enc.table(enc_name).unwrap();
+        let idx = phys.schema().column_index(&col).unwrap();
+        let distinct: std::collections::BTreeSet<&Value> =
+            phys.rows().iter().map(|r| &r[idx]).collect();
+        assert!(distinct.len() <= 3, "at most 3 classes → ≤ 3 DET ciphertexts");
+    }
+
+    #[test]
+    fn adjustment_is_idempotent() {
+        let (mut schema, mut enc) = setup(CryptDbConfig::default());
+        adjust_to_det(&mut schema, &mut enc, "class").unwrap();
+        let snapshot: Vec<_> = {
+            let t = enc.table(schema.enc_table_name("photoobj").unwrap()).unwrap();
+            t.rows().to_vec()
+        };
+        adjust_to_det(&mut schema, &mut enc, "class").unwrap();
+        let after: Vec<_> = {
+            let t = enc.table(schema.enc_table_name("photoobj").unwrap()).unwrap();
+            t.rows().to_vec()
+        };
+        assert_eq!(snapshot, after);
+    }
+
+    #[test]
+    fn frozen_columns_refuse() {
+        let cfg = CryptDbConfig::default().with_policy("z", ColumnPolicy::ProbOnly);
+        let (mut schema, mut enc) = setup(cfg);
+        assert!(matches!(
+            adjust_to_det(&mut schema, &mut enc, "z"),
+            Err(CryptDbError::AdjustmentForbidden(_))
+        ));
+    }
+
+    #[test]
+    fn adjust_for_query_reports_moved_columns() {
+        let (mut schema, mut enc) = setup(CryptDbConfig::default());
+        let q = parse_query("SELECT objid FROM photoobj WHERE class = 'STAR'").unwrap();
+        let moved = adjust_for_query(&mut schema, &mut enc, &q).unwrap();
+        assert_eq!(moved, vec!["class".to_string()]);
+        // Second time: nothing moves.
+        let moved = adjust_for_query(&mut schema, &mut enc, &q).unwrap();
+        assert!(moved.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-column onion configuration.
+
+use std::collections::BTreeMap;
+
+/// Which onions a column physically carries, and whether its EQ onion may
+/// ever be adjusted below RND.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnionSet {
+    /// EQ onion present (always true — every column can at least be
+    /// fetched).
+    pub eq: bool,
+    /// EQ onion may be adjusted RND → DET. `false` freezes the column at
+    /// PROB security (the paper's aggregate-only attributes).
+    pub eq_adjustable: bool,
+    /// ORD onion (OPE) present — integer columns used in ranges/ORDER BY.
+    pub ord: bool,
+    /// HOM onion (Paillier) present — columns summed/averaged.
+    pub hom: bool,
+    /// JOIN group: columns sharing a group share the DET key, enabling
+    /// encrypted equi-joins (the JOIN class of Fig. 1).
+    pub join_group: Option<String>,
+}
+
+/// High-level per-column policy, lowered to an [`OnionSet`] by the schema
+/// builder depending on the column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnPolicy {
+    /// CryptDB-as-is: every capability the type supports (EQ adjustable,
+    /// ORD + HOM for integers).
+    Full,
+    /// Everything but HOM.
+    NoHom,
+    /// PROB only: EQ onion frozen at RND, no ORD, no HOM. The §IV-C
+    /// configuration for attributes that occur *only* inside arithmetic
+    /// aggregates under access-area distance.
+    ProbOnly,
+}
+
+/// Whole-database configuration.
+#[derive(Debug, Clone)]
+pub struct CryptDbConfig {
+    /// Default policy for columns not listed in `overrides`.
+    pub default_policy: ColumnPolicy,
+    /// Per-attribute policy overrides (keyed by unqualified column name).
+    pub overrides: BTreeMap<String, ColumnPolicy>,
+    /// Join groups: column name → group name.
+    pub join_groups: BTreeMap<String, String>,
+    /// Paillier prime size in bits (tests use the small preset).
+    pub paillier_prime_bits: usize,
+    /// Seed for key generation and the RND layers.
+    pub seed: u64,
+}
+
+impl Default for CryptDbConfig {
+    fn default() -> Self {
+        CryptDbConfig {
+            default_policy: ColumnPolicy::Full,
+            overrides: BTreeMap::new(),
+            join_groups: BTreeMap::new(),
+            paillier_prime_bits: dpe_paillier::TEST_PRIME_BITS,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl CryptDbConfig {
+    /// The policy applying to `column`.
+    pub fn policy_for(&self, column: &str) -> ColumnPolicy {
+        self.overrides.get(column).copied().unwrap_or(self.default_policy)
+    }
+
+    /// Registers a join group over the given columns.
+    pub fn with_join_group(mut self, group: &str, columns: &[&str]) -> Self {
+        for c in columns {
+            self.join_groups.insert(c.to_string(), group.to_string());
+        }
+        self
+    }
+
+    /// Sets a per-column override.
+    pub fn with_policy(mut self, column: &str, policy: ColumnPolicy) -> Self {
+        self.overrides.insert(column.to_string(), policy);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_win() {
+        let cfg = CryptDbConfig::default().with_policy("z", ColumnPolicy::ProbOnly);
+        assert_eq!(cfg.policy_for("z"), ColumnPolicy::ProbOnly);
+        assert_eq!(cfg.policy_for("ra"), ColumnPolicy::Full);
+    }
+
+    #[test]
+    fn join_group_builder() {
+        let cfg = CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"]);
+        assert_eq!(cfg.join_groups.get("objid").unwrap(), "obj");
+        assert_eq!(cfg.join_groups.get("bestobjid").unwrap(), "obj");
+        assert!(cfg.join_groups.get("ra").is_none());
+    }
+}

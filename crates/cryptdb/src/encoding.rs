@@ -1,0 +1,99 @@
+//! Canonical byte encoding of plaintext values and hex identifiers.
+//!
+//! DET/RND schemes operate on bytes; values are encoded with a one-byte type
+//! tag so `Int(1)` and `Str("1")` can never collide. Encrypted identifiers
+//! and ciphertext-bearing string cells are rendered as lowercase hex with a
+//! leading letter so they lex as SQL identifiers.
+
+use dpe_crypto::Ciphertext;
+use dpe_minidb::Value;
+
+/// Encodes a value for symmetric encryption.
+pub fn encode_value(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Int(i) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(b'i');
+            out.extend_from_slice(&i.to_be_bytes());
+            out
+        }
+        Value::Str(s) => {
+            let mut out = Vec::with_capacity(1 + s.len());
+            out.push(b's');
+            out.extend_from_slice(s.as_bytes());
+            out
+        }
+        Value::Null => vec![b'n'],
+    }
+}
+
+/// Decodes bytes produced by [`encode_value`].
+pub fn decode_value(bytes: &[u8]) -> Option<Value> {
+    match bytes.split_first()? {
+        (b'i', rest) => Some(Value::Int(i64::from_be_bytes(rest.try_into().ok()?))),
+        (b's', rest) => Some(Value::Str(String::from_utf8(rest.to_vec()).ok()?)),
+        (b'n', []) => Some(Value::Null),
+        _ => None,
+    }
+}
+
+/// Renders a ciphertext as an identifier-safe token: `x` + lowercase hex.
+pub fn ident_hex(ct: &Ciphertext) -> String {
+    format!("x{}", ct.to_hex())
+}
+
+/// Parses an [`ident_hex`] token back into ciphertext bytes.
+pub fn parse_ident_hex(s: &str) -> Option<Ciphertext> {
+    let hex = s.strip_prefix('x')?;
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for i in (0..hex.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(&hex[i..i + 2], 16).ok()?);
+    }
+    Some(Ciphertext(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrips() {
+        for v in [Value::Int(0), Value::Int(-42), Value::Int(i64::MAX), Value::Str("αβ".into()), Value::Str(String::new()), Value::Null] {
+            assert_eq!(decode_value(&encode_value(&v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn tags_prevent_cross_type_collisions() {
+        assert_ne!(encode_value(&Value::Int(49)), encode_value(&Value::Str("1".into())));
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert_eq!(decode_value(&[]), None);
+        assert_eq!(decode_value(&[b'i', 0, 0]), None); // short int
+        assert_eq!(decode_value(&[b'q', 1]), None); // unknown tag
+        assert_eq!(decode_value(&[b'n', 0]), None); // trailing byte
+    }
+
+    #[test]
+    fn ident_hex_roundtrips_and_lexes() {
+        let ct = Ciphertext(vec![0xde, 0xad, 0x00, 0x01]);
+        let s = ident_hex(&ct);
+        assert_eq!(s, "xdead0001");
+        assert_eq!(parse_ident_hex(&s), Some(ct));
+        // Lexes as one SQL identifier:
+        let toks = dpe_sql::token::lex(&s).unwrap();
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_ident_hex("dead"), None); // missing prefix
+        assert_eq!(parse_ident_hex("xdea"), None); // odd length
+        assert_eq!(parse_ident_hex("xzz"), None); // non-hex
+    }
+}

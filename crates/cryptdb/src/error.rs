@@ -1,0 +1,65 @@
+//! Error type for the CryptDB layer.
+
+use dpe_minidb::DbError;
+use std::fmt;
+
+/// Errors from schema building, rewriting or encrypted execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptDbError {
+    /// The plaintext schema has no such table.
+    UnknownTable(String),
+    /// The plaintext schema has no such column.
+    UnknownColumn(String),
+    /// The query needs a capability the column's onions do not provide
+    /// (e.g. a range predicate on a column without an ORD onion).
+    MissingOnion {
+        /// Column name.
+        column: String,
+        /// The capability the query needed.
+        needed: &'static str,
+    },
+    /// The query needs DET exposure but the column is frozen at RND
+    /// (`eq_adjustable = false`).
+    AdjustmentForbidden(String),
+    /// A query shape the rewriter does not support (e.g. grouped SUM).
+    UnsupportedQuery(String),
+    /// An integer attribute lacks a domain entry (needed for OPE).
+    MissingDomain(String),
+    /// OPE ciphertext exceeds the i64 storage range — the attribute's
+    /// domain is too large for the configured expansion.
+    OpeOverflow(String),
+    /// Underlying engine error.
+    Db(DbError),
+    /// A ciphertext failed to decrypt during result post-processing.
+    Decrypt(String),
+}
+
+impl fmt::Display for CryptDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptDbError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            CryptDbError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            CryptDbError::MissingOnion { column, needed } => {
+                write!(f, "column {column} lacks the onion needed for {needed}")
+            }
+            CryptDbError::AdjustmentForbidden(c) => {
+                write!(f, "column {c} is frozen at RND; equality exposure forbidden by policy")
+            }
+            CryptDbError::UnsupportedQuery(m) => write!(f, "unsupported query shape: {m}"),
+            CryptDbError::MissingDomain(a) => write!(f, "attribute {a} has no domain"),
+            CryptDbError::OpeOverflow(a) => {
+                write!(f, "OPE ciphertexts for attribute {a} overflow i64 storage")
+            }
+            CryptDbError::Db(e) => write!(f, "engine error: {e}"),
+            CryptDbError::Decrypt(m) => write!(f, "decryption failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptDbError {}
+
+impl From<DbError> for CryptDbError {
+    fn from(e: DbError) -> Self {
+        CryptDbError::Db(e)
+    }
+}

@@ -1,0 +1,50 @@
+//! # dpe-cryptdb — CryptDB-style onion encryption over `dpe-minidb`
+//!
+//! A re-implementation of the CryptDB [8] architecture as far as the
+//! paper's Table I relies on it (rows "Query-Result Distance" and
+//! "Query-Access-Area Distance" both say *via CryptDB*):
+//!
+//! * **Onions per column** ([`onion`]): the EQ onion (`RND` wrapping `DET`,
+//!   optionally in a JOIN group), the ORD onion (an OPE ciphertext) for
+//!   ordered columns, and the HOM onion (Paillier) for columns that appear
+//!   in arithmetic aggregates. Columns can be configured to *omit* onions —
+//!   the knob the paper's §IV-C uses: for access-area distance,
+//!   aggregate-only attributes keep **PROB** security by dropping HOM/ORD
+//!   and never adjusting EQ below RND.
+//! * **Encrypted schema** ([`schema`]): table and column names are encrypted
+//!   with DET, so the provider's catalog leaks only equality of names.
+//! * **Data encryption** ([`encryptor`]): a plaintext [`dpe_minidb::Database`]
+//!   becomes an encrypted one, with one physical column per onion.
+//! * **Query rewriting** ([`rewrite`]): a plaintext query is mapped onto the
+//!   encrypted schema — equality predicates to the EQ onion with DET
+//!   constants, range predicates and ORDER BY to the ORD onion with OPE
+//!   constants, arithmetic aggregates to HOM fetches folded with Paillier.
+//! * **Onion adjustment** ([`adjust`]): peeling RND → DET in place when a
+//!   query needs server-side equality, exactly like CryptDB's
+//!   `UPDATE … SET c = DECRYPT_RND(c)`.
+//! * **The proxy** ([`proxy`]): the trusted component holding the master
+//!   key; it encrypts, rewrites, executes against the untrusted engine, and
+//!   decrypts results. The *untrusted* side is everything a
+//!   [`dpe_minidb::Database`] sees.
+//!
+//! Simplification vs. the real system (documented in DESIGN.md §5): the ORD
+//! onion is stored at the OPE layer from the start (CryptDB would peel its
+//! RND wrapper on the first range query; every experiment here issues range
+//! queries immediately), and the SEARCH onion is omitted (no LIKE in the
+//! dialect).
+
+pub mod adjust;
+pub mod column;
+pub mod encoding;
+pub mod encryptor;
+pub mod error;
+pub mod onion;
+pub mod proxy;
+pub mod rewrite;
+pub mod schema;
+
+pub use column::{ColumnPolicy, OnionSet};
+pub use error::CryptDbError;
+pub use onion::{EqLayer, Onion};
+pub use proxy::CryptDbProxy;
+pub use schema::EncryptedSchema;

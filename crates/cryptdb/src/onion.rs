@@ -1,0 +1,79 @@
+//! The onion model: which onions a column carries and the EQ onion's layer
+//! state machine.
+
+use std::fmt;
+
+/// The three onions of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Onion {
+    /// Equality onion: RND wrapping DET (possibly JOIN-keyed).
+    Eq,
+    /// Order onion: OPE.
+    Ord,
+    /// Aggregate onion: Paillier.
+    Hom,
+}
+
+impl Onion {
+    /// Physical column suffix in the encrypted schema.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Onion::Eq => "_eq",
+            Onion::Ord => "_ord",
+            Onion::Hom => "_hom",
+        }
+    }
+}
+
+impl fmt::Display for Onion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Onion::Eq => write!(f, "EQ"),
+            Onion::Ord => write!(f, "ORD"),
+            Onion::Hom => write!(f, "HOM"),
+        }
+    }
+}
+
+/// Current exposure of the EQ onion.
+///
+/// Fresh columns sit at [`EqLayer::Rnd`]; a query needing server-side
+/// equality triggers adjustment to [`EqLayer::Det`]. Layers only ever move
+/// downward (CryptDB never re-wraps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EqLayer {
+    /// Outer probabilistic layer intact — maximum security, no predicates.
+    Rnd,
+    /// DET exposed — equality predicates and joins possible.
+    Det,
+}
+
+impl fmt::Display for EqLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqLayer::Rnd => write!(f, "RND"),
+            EqLayer::Det => write!(f, "DET"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_distinct() {
+        let all = [Onion::Eq, Onion::Ord, Onion::Hom];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i].suffix(), all[j].suffix());
+            }
+        }
+    }
+
+    #[test]
+    fn layer_order_models_peeling() {
+        // RND is "above" DET; adjustment moves downward only.
+        assert!(EqLayer::Rnd < EqLayer::Det);
+    }
+}

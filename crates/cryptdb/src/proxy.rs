@@ -1,0 +1,386 @@
+//! The CryptDB proxy: the trusted component tying everything together.
+
+use crate::adjust;
+use crate::column::CryptDbConfig;
+use crate::encryptor::{encrypt_database, hom_decrypt_error, parse_hom_cell};
+use crate::error::CryptDbError;
+use crate::rewrite::{rewrite_query, HomItem, OutputSpec, RewrittenQuery};
+use crate::schema::EncryptedSchema;
+use dpe_crypto::MasterKey;
+use dpe_distance::DomainCatalog;
+use dpe_minidb::{execute, Database, ResultSet, TableSchema, Value};
+use dpe_paillier::EncryptedSum;
+use dpe_sql::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The proxy owns the key material, the encrypted schema and — standing in
+/// for the untrusted provider — the encrypted database.
+pub struct CryptDbProxy {
+    schema: EncryptedSchema,
+    enc_db: Database,
+    rng: StdRng,
+}
+
+impl CryptDbProxy {
+    /// Encrypts `plain_db` under a fresh schema derived from `master`.
+    pub fn new(
+        plain_db: &Database,
+        table_schemas: &[TableSchema],
+        domains: &DomainCatalog,
+        config: &CryptDbConfig,
+        master: &MasterKey,
+    ) -> Result<Self, CryptDbError> {
+        let schema = EncryptedSchema::build(table_schemas, domains, config, master)?;
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
+        let enc_db = encrypt_database(plain_db, &schema, &mut rng)?;
+        Ok(CryptDbProxy { schema, enc_db, rng })
+    }
+
+    /// The encrypted schema (key material included — trusted side only).
+    pub fn schema(&self) -> &EncryptedSchema {
+        &self.schema
+    }
+
+    /// The encrypted database — everything the untrusted provider sees.
+    pub fn encrypted_database(&self) -> &Database {
+        &self.enc_db
+    }
+
+    /// End-to-end execution: adjust onions, rewrite, run on the encrypted
+    /// engine, decrypt the results. What a client of the proxy observes is
+    /// plaintext-in, plaintext-out.
+    pub fn execute(&mut self, q: &Query) -> Result<ResultSet, CryptDbError> {
+        adjust::adjust_for_query(&mut self.schema, &mut self.enc_db, q)?;
+        // DISTINCT compares ciphertexts server-side: projected columns need
+        // DET exposure for ciphertext equality to mirror plaintext equality.
+        if q.distinct {
+            for attr in dpe_sql::analysis::attributes(q) {
+                adjust::adjust_to_det(&mut self.schema, &mut self.enc_db, &attr)?;
+            }
+        }
+        let rewritten = rewrite_query(q, &self.schema)?;
+        let enc_result = self.run_rewritten(&rewritten)?;
+        self.decrypt_result(&rewritten, enc_result)
+    }
+
+    /// Executes the encrypted side only: returns the rewritten query and
+    /// the raw encrypted result set (what the provider computes distances
+    /// on). Arithmetic aggregates are rejected — their folded ciphertexts
+    /// are probabilistic and carry no deterministic tuple representation.
+    pub fn execute_encrypted(&mut self, q: &Query) -> Result<(Query, ResultSet), CryptDbError> {
+        adjust::adjust_for_query(&mut self.schema, &mut self.enc_db, q)?;
+        let rewritten = rewrite_query(q, &self.schema)?;
+        let Some(enc_query) = rewritten.query else {
+            return Err(CryptDbError::UnsupportedQuery(
+                "arithmetic aggregates have no deterministic encrypted results".into(),
+            ));
+        };
+        let result = execute(&self.enc_db, &enc_query)?;
+        Ok((enc_query, result))
+    }
+
+    /// Pre-adjusts every column any query of `log` touches (the
+    /// result-distance DPE scheme's setup step).
+    pub fn adjust_for_log(&mut self, log: &[Query]) -> Result<(), CryptDbError> {
+        adjust::adjust_log_columns(&mut self.schema, &mut self.enc_db, log)
+    }
+
+    fn run_rewritten(&mut self, rewritten: &RewrittenQuery) -> Result<ResultSet, CryptDbError> {
+        match (&rewritten.query, &rewritten.hom) {
+            (Some(q), None) => Ok(execute(&self.enc_db, q)?),
+            (None, Some(plan)) => {
+                // Server side: fetch the HOM cells and fold with the public
+                // key (the Paillier product is CryptDB's server UDF).
+                let fetched = execute(&self.enc_db, &plan.fetch)?;
+                let public = self.schema.paillier().public().clone();
+                let mut row = Vec::with_capacity(plan.items.len());
+                for (idx, _item) in plan.items.iter().enumerate() {
+                    let mut sum = EncryptedSum::new(&public, &mut self.rng);
+                    for r in &fetched.rows {
+                        if r[idx].is_null() {
+                            continue;
+                        }
+                        sum.add(&parse_hom_cell(&r[idx])?);
+                    }
+                    row.push((sum.count(), sum.into_ciphertext()));
+                }
+                // Pack the fold results into a synthetic one-row result set:
+                // column i holds ciphertext hex, with the count in a header
+                // row encoded as Int — handled in decrypt_result.
+                let rows = vec![row
+                    .iter()
+                    .flat_map(|(count, ct)| {
+                        [Value::Int(*count as i64), Value::Str(ct.value().to_hex())]
+                    })
+                    .collect()];
+                Ok(ResultSet { columns: vec![], rows })
+            }
+            _ => Err(CryptDbError::UnsupportedQuery("malformed rewrite plan".into())),
+        }
+    }
+
+    fn decrypt_result(
+        &self,
+        rewritten: &RewrittenQuery,
+        enc: ResultSet,
+    ) -> Result<ResultSet, CryptDbError> {
+        let mut rows = Vec::with_capacity(enc.rows.len());
+        match &rewritten.hom {
+            None => {
+                for enc_row in &enc.rows {
+                    let mut row = Vec::with_capacity(rewritten.outputs.len());
+                    for (spec, cell) in rewritten.outputs.iter().zip(enc_row) {
+                        row.push(self.decrypt_cell(spec, cell)?);
+                    }
+                    rows.push(row);
+                }
+            }
+            Some(plan) => {
+                // One synthetic row: (count, ct_hex) pairs per item.
+                let packed = &enc.rows[0];
+                let mut row = Vec::with_capacity(rewritten.outputs.len());
+                let mut count_any = 0i64;
+                for spec in &rewritten.outputs {
+                    match spec {
+                        OutputSpec::Hom(idx) => {
+                            let Value::Int(count) = packed[idx * 2] else {
+                                return Err(CryptDbError::Decrypt("bad HOM packing".into()));
+                            };
+                            count_any = count;
+                            let ct = parse_hom_cell(&packed[idx * 2 + 1])?;
+                            let dec = self
+                                .schema
+                                .paillier()
+                                .private()
+                                .decrypt(&ct)
+                                .map_err(hom_decrypt_error)?;
+                            let total = dec
+                                .to_u128()
+                                .ok_or_else(|| CryptDbError::Decrypt("HOM sum overflow".into()))?;
+                            // Each folded term was shifted by 2^63.
+                            let sum =
+                                total as i128 - (count as i128) * (1i128 << 63);
+                            let value = match &plan.items[*idx] {
+                                _ if count == 0 => Value::Null,
+                                HomItem::Sum(_) => Value::Int(sum as i64),
+                                HomItem::Avg(_) => {
+                                    Value::Int((sum.div_euclid(count as i128)) as i64)
+                                }
+                            };
+                            row.push(value);
+                        }
+                        OutputSpec::PlainInt => {
+                            // COUNT(*) in an arithmetic query: the fetch row
+                            // count equals the total row count.
+                            row.push(Value::Int(count_any));
+                        }
+                        other => {
+                            return Err(CryptDbError::UnsupportedQuery(format!(
+                                "{other:?} inside a HOM plan"
+                            )))
+                        }
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        Ok(ResultSet { columns: rewritten.headers.clone(), rows })
+    }
+
+    fn decrypt_cell(&self, spec: &OutputSpec, cell: &Value) -> Result<Value, CryptDbError> {
+        match spec {
+            OutputSpec::PlainInt => Ok(cell.clone()),
+            OutputSpec::EqColumn(plain) => {
+                if cell.is_null() {
+                    return Ok(Value::Null);
+                }
+                self.schema.column(plain)?.decrypt_eq_cell(cell)
+            }
+            OutputSpec::OrdColumn(plain) => match cell {
+                Value::Null => Ok(Value::Null),
+                Value::Int(ct) => Ok(Value::Int(self.schema.column(plain)?.ope_decrypt(*ct)?)),
+                Value::Str(_) => Err(CryptDbError::Decrypt("ORD cell is not an int".into())),
+            },
+            OutputSpec::Hom(_) => Err(CryptDbError::Decrypt("HOM outside a HOM plan".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{ColumnPolicy, CryptDbConfig};
+    use dpe_sql::parse_query;
+    use dpe_workload::{generate_database, sky_catalog, sky_domains, LogConfig, LogGenerator};
+
+    fn proxy_with(config: CryptDbConfig) -> (Database, CryptDbProxy) {
+        let plain = generate_database(40, 77);
+        let proxy = CryptDbProxy::new(
+            &plain,
+            &sky_catalog(),
+            &sky_domains(),
+            &config,
+            &MasterKey::from_bytes([3; 32]),
+        )
+        .unwrap();
+        (plain, proxy)
+    }
+
+    fn proxy() -> (Database, CryptDbProxy) {
+        proxy_with(CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"]))
+    }
+
+    /// The central CryptDB correctness property: encrypted execution
+    /// produces the same rows as plaintext execution.
+    #[track_caller]
+    fn assert_transparent(plain: &Database, proxy: &mut CryptDbProxy, sql: &str) {
+        let q = parse_query(sql).unwrap();
+        let expect = execute(plain, &q).unwrap();
+        let got = proxy.execute(&q).unwrap();
+        // Compare as multisets: ORDER BY on non-OPE columns may permute.
+        let mut a = expect.rows.clone();
+        let mut b = got.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "query: {sql}");
+    }
+
+    #[test]
+    fn equality_queries_transparent() {
+        let (plain, mut proxy) = proxy();
+        assert_transparent(&plain, &mut proxy, "SELECT objid FROM photoobj WHERE class = 'STAR'");
+        assert_transparent(&plain, &mut proxy, "SELECT ra, dec FROM photoobj WHERE objid = 7");
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT objid FROM photoobj WHERE class IN ('QSO', 'GALAXY')",
+        );
+    }
+
+    #[test]
+    fn range_queries_transparent() {
+        let (plain, mut proxy) = proxy();
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT objid FROM photoobj WHERE ra BETWEEN 100000 AND 250000",
+        );
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT objid, rmag FROM photoobj WHERE rmag > 2000 ORDER BY rmag DESC LIMIT 7",
+        );
+        assert_transparent(&plain, &mut proxy, "SELECT objid FROM photoobj WHERE NOT ra < 180000");
+    }
+
+    #[test]
+    fn join_queries_transparent() {
+        let (plain, mut proxy) = proxy();
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT photoobj.objid, specobj.z FROM photoobj \
+             JOIN specobj ON photoobj.objid = specobj.bestobjid WHERE specobj.z > 1000000",
+        );
+    }
+
+    #[test]
+    fn group_by_and_count_transparent() {
+        let (plain, mut proxy) = proxy();
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT class, COUNT(*) FROM photoobj WHERE rmag < 2500 GROUP BY class ORDER BY class",
+        );
+        assert_transparent(&plain, &mut proxy, "SELECT COUNT(*) FROM photoobj");
+    }
+
+    #[test]
+    fn min_max_transparent() {
+        let (plain, mut proxy) = proxy();
+        assert_transparent(&plain, &mut proxy, "SELECT MIN(ra), MAX(dec) FROM photoobj");
+    }
+
+    #[test]
+    fn distinct_transparent() {
+        let (plain, mut proxy) = proxy();
+        assert_transparent(&plain, &mut proxy, "SELECT DISTINCT class FROM photoobj");
+    }
+
+    #[test]
+    fn wildcard_transparent() {
+        let (plain, mut proxy) = proxy();
+        assert_transparent(&plain, &mut proxy, "SELECT * FROM neighbors");
+    }
+
+    #[test]
+    fn sum_avg_via_hom() {
+        let (plain, mut proxy) = proxy();
+        let q = parse_query("SELECT SUM(z), AVG(z) FROM specobj WHERE z > 1000").unwrap();
+        let expect = execute(&plain, &q).unwrap();
+        let got = proxy.execute(&q).unwrap();
+        assert_eq!(expect.rows, got.rows);
+    }
+
+    #[test]
+    fn sum_over_empty_selection_is_null() {
+        let (plain, mut proxy) = proxy();
+        let q = parse_query("SELECT SUM(z) FROM specobj WHERE z > 6999999 AND z < 2").unwrap();
+        let expect = execute(&plain, &q).unwrap();
+        let got = proxy.execute(&q).unwrap();
+        assert_eq!(expect.rows, got.rows);
+        assert_eq!(got.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn whole_workload_is_transparent() {
+        let (plain, mut proxy) = proxy();
+        let log = LogGenerator::generate(&LogConfig { queries: 60, seed: 5, ..Default::default() });
+        for q in &log {
+            let expect = execute(&plain, q).unwrap();
+            let got = proxy.execute(q).unwrap();
+            let mut a = expect.rows.clone();
+            let mut b = got.rows.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "query: {q}");
+        }
+    }
+
+    #[test]
+    fn encrypted_results_are_deterministic_after_adjustment() {
+        let (_, mut proxy) = proxy();
+        let q = parse_query("SELECT class FROM photoobj WHERE class = 'STAR'").unwrap();
+        let (_, r1) = proxy.execute_encrypted(&q).unwrap();
+        let (_, r2) = proxy.execute_encrypted(&q).unwrap();
+        assert_eq!(r1.rows, r2.rows);
+    }
+
+    #[test]
+    fn prob_only_columns_reject_predicates() {
+        let cfg = CryptDbConfig::default().with_policy("z", ColumnPolicy::ProbOnly);
+        let (_, mut proxy) = proxy_with(cfg);
+        let q = parse_query("SELECT specid FROM specobj WHERE z = 5").unwrap();
+        assert!(matches!(
+            proxy.execute(&q),
+            Err(CryptDbError::AdjustmentForbidden(_))
+        ));
+        let q = parse_query("SELECT specid FROM specobj WHERE z > 5").unwrap();
+        assert!(matches!(proxy.execute(&q), Err(CryptDbError::MissingOnion { .. })));
+    }
+
+    #[test]
+    fn encrypted_database_never_contains_class_names() {
+        let (_, proxy) = proxy();
+        for (_, table) in proxy.encrypted_database().tables() {
+            for row in table.rows() {
+                for cell in row {
+                    if let Value::Str(s) = cell {
+                        assert!(!s.contains("STAR") && !s.contains("GALAXY"));
+                    }
+                }
+            }
+        }
+    }
+}

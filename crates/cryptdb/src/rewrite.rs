@@ -1,0 +1,611 @@
+//! Query rewriting: plaintext query → encrypted query + decryption plan.
+//!
+//! Each element maps to the onion that supports its operation:
+//!
+//! | plaintext element | encrypted element |
+//! |---|---|
+//! | table `t` | `EncRel(t)` |
+//! | `col` in SELECT/GROUP BY | `col_eq` |
+//! | `col = lit`, `col IN (…)` | `col_eq` vs DET ciphertexts |
+//! | `col < lit`, `BETWEEN`, ORDER BY | `col_ord` vs OPE ciphertexts |
+//! | `SUM/AVG(col)` | Paillier fold over `col_hom` (ungrouped only) |
+//! | `COUNT(*)`, `COUNT(col)`, LIMIT | unchanged / `COUNT(col_eq)` |
+//! | `a = b` (join) | `a_eq = b_eq` (shared JOIN-group key required) |
+
+use crate::error::CryptDbError;
+use crate::onion::Onion;
+use crate::schema::EncryptedSchema;
+use dpe_minidb::Value;
+use dpe_sql::{
+    AggArg, AggFunc, ColumnRef, CompareOp, Expr, Join, Literal, OrderItem, Query, SelectItem,
+    TableRef,
+};
+
+/// How to decrypt one output column of the rewritten query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputSpec {
+    /// EQ onion cell of this plaintext column.
+    EqColumn(String),
+    /// Plaintext integer passed through (`COUNT`).
+    PlainInt,
+    /// OPE ciphertext of this plaintext column (`MIN`/`MAX`, ORD fetches).
+    OrdColumn(String),
+    /// Filled from the HOM plan at this aggregate index.
+    Hom(usize),
+}
+
+/// One arithmetic aggregate computed by Paillier folding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HomItem {
+    /// `SUM(col)`.
+    Sum(String),
+    /// `AVG(col)` (floor of sum / non-null count, matching the engine).
+    Avg(String),
+}
+
+/// Server-side fold plan for arithmetic aggregates.
+#[derive(Debug, Clone)]
+pub struct HomPlan {
+    /// Fetch query: selects the needed `_hom` columns with the rewritten
+    /// WHERE/joins.
+    pub fetch: Query,
+    /// Aggregates, indexed by [`OutputSpec::Hom`].
+    pub items: Vec<HomItem>,
+}
+
+/// The rewriting result.
+#[derive(Debug)]
+pub struct RewrittenQuery {
+    /// The encrypted query (absent when the whole query is a HOM plan).
+    pub query: Option<Query>,
+    /// Output decryption plan, one entry per result column.
+    pub outputs: Vec<OutputSpec>,
+    /// Output column headers (plaintext spellings, for client display).
+    pub headers: Vec<String>,
+    /// Arithmetic-aggregate plan, if any.
+    pub hom: Option<HomPlan>,
+}
+
+/// Rewrites `q` against `schema`.
+///
+/// The caller must have adjusted the EQ onions the query needs (see
+/// [`crate::adjust`]); rewriting itself is read-only.
+pub fn rewrite_query(q: &Query, schema: &EncryptedSchema) -> Result<RewrittenQuery, CryptDbError> {
+    let has_arith = q.select.iter().any(|s| {
+        matches!(s, SelectItem::Aggregate { func, .. } if func.is_arithmetic())
+    });
+    if has_arith {
+        return rewrite_arithmetic(q, schema);
+    }
+
+    let mut outputs = Vec::new();
+    let mut headers = Vec::new();
+    let mut select = Vec::new();
+    for item in &q.select {
+        match item {
+            SelectItem::Wildcard => {
+                // Expand `*` into the EQ onions of every column, in schema
+                // order — the proxy re-assembles plaintext rows from them.
+                for table_name in
+                    std::iter::once(&q.from.name).chain(q.joins.iter().map(|j| &j.table.name))
+                {
+                    let enc_table = schema
+                        .tables()
+                        .find(|t| &t.plain == table_name)
+                        .ok_or_else(|| CryptDbError::UnknownTable(table_name.clone()))?;
+                    for col_name in &enc_table.columns {
+                        let col = schema.column(col_name)?;
+                        select.push(SelectItem::Column(ColumnRef::bare(
+                            col.onion_column(Onion::Eq),
+                        )));
+                        outputs.push(OutputSpec::EqColumn(col_name.clone()));
+                        headers.push(col_name.clone());
+                    }
+                }
+            }
+            SelectItem::Column(c) => {
+                let col = schema.column(&c.column)?;
+                select.push(SelectItem::Column(enc_col_ref(schema, c, Onion::Eq)?));
+                outputs.push(OutputSpec::EqColumn(col.plain.clone()));
+                headers.push(c.to_string());
+            }
+            SelectItem::Aggregate { func, arg } => {
+                let (enc_item, spec) = rewrite_plain_aggregate(schema, *func, arg)?;
+                select.push(enc_item);
+                outputs.push(spec);
+                headers.push(match arg {
+                    AggArg::Star => format!("{func}(*)"),
+                    AggArg::Column(c) => format!("{func}({c})"),
+                });
+            }
+        }
+    }
+
+    let from = TableRef::new(schema.enc_table_name(&q.from.name)?.to_string());
+    let joins = q
+        .joins
+        .iter()
+        .map(|j| rewrite_join(schema, j))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let where_clause = q
+        .where_clause
+        .as_ref()
+        .map(|e| rewrite_expr(e, schema))
+        .transpose()?;
+
+    let group_by = q
+        .group_by
+        .iter()
+        .map(|c| enc_col_ref(schema, c, Onion::Eq))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let order_by = q
+        .order_by
+        .iter()
+        .map(|o| rewrite_order_item(schema, o, q.limit.is_some()))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(RewrittenQuery {
+        query: Some(Query {
+            distinct: q.distinct,
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit: q.limit,
+        }),
+        outputs,
+        headers,
+        hom: None,
+    })
+}
+
+fn enc_col_ref(
+    schema: &EncryptedSchema,
+    c: &ColumnRef,
+    onion: Onion,
+) -> Result<ColumnRef, CryptDbError> {
+    let col = schema.column(&c.column)?;
+    let needed = match onion {
+        Onion::Eq => col.onions.eq,
+        Onion::Ord => col.onions.ord,
+        Onion::Hom => col.onions.hom,
+    };
+    if !needed {
+        return Err(CryptDbError::MissingOnion {
+            column: c.column.clone(),
+            needed: match onion {
+                Onion::Eq => "equality",
+                Onion::Ord => "order",
+                Onion::Hom => "aggregation",
+            },
+        });
+    }
+    let table = match &c.table {
+        Some(t) => Some(schema.enc_table_name(t)?.to_string()),
+        None => None,
+    };
+    Ok(ColumnRef { table, column: col.onion_column(onion) })
+}
+
+fn rewrite_plain_aggregate(
+    schema: &EncryptedSchema,
+    func: AggFunc,
+    arg: &AggArg,
+) -> Result<(SelectItem, OutputSpec), CryptDbError> {
+    match (func, arg) {
+        (AggFunc::Count, AggArg::Star) => {
+            Ok((SelectItem::Aggregate { func, arg: AggArg::Star }, OutputSpec::PlainInt))
+        }
+        (AggFunc::Count, AggArg::Column(c)) => Ok((
+            SelectItem::Aggregate {
+                func,
+                arg: AggArg::Column(enc_col_ref(schema, c, Onion::Eq)?),
+            },
+            OutputSpec::PlainInt,
+        )),
+        (AggFunc::Min | AggFunc::Max, AggArg::Column(c)) => Ok((
+            SelectItem::Aggregate {
+                func,
+                arg: AggArg::Column(enc_col_ref(schema, c, Onion::Ord)?),
+            },
+            OutputSpec::OrdColumn(c.column.clone()),
+        )),
+        (AggFunc::Min | AggFunc::Max, AggArg::Star) => Err(CryptDbError::UnsupportedQuery(
+            "MIN/MAX(*) is not valid SQL".into(),
+        )),
+        (AggFunc::Sum | AggFunc::Avg, _) => {
+            unreachable!("arithmetic aggregates take the HOM path")
+        }
+    }
+}
+
+fn rewrite_join(schema: &EncryptedSchema, j: &Join) -> Result<Join, CryptDbError> {
+    check_join_group(schema, &j.left.column, &j.right.column)?;
+    Ok(Join {
+        table: TableRef::new(schema.enc_table_name(&j.table.name)?.to_string()),
+        left: enc_col_ref(schema, &j.left, Onion::Eq)?,
+        right: enc_col_ref(schema, &j.right, Onion::Eq)?,
+    })
+}
+
+fn check_join_group(
+    schema: &EncryptedSchema,
+    left: &str,
+    right: &str,
+) -> Result<(), CryptDbError> {
+    let lg = schema.column(left)?.join_group().map(str::to_string);
+    let rg = schema.column(right)?.join_group().map(str::to_string);
+    match (lg, rg) {
+        (Some(a), Some(b)) if a == b => Ok(()),
+        _ => Err(CryptDbError::UnsupportedQuery(format!(
+            "join between {left} and {right} requires a shared JOIN group"
+        ))),
+    }
+}
+
+fn rewrite_order_item(
+    schema: &EncryptedSchema,
+    o: &OrderItem,
+    has_limit: bool,
+) -> Result<OrderItem, CryptDbError> {
+    let col = schema.column(&o.col.column)?;
+    if col.onions.ord {
+        Ok(OrderItem { col: enc_col_ref(schema, &o.col, Onion::Ord)?, desc: o.desc })
+    } else if !has_limit {
+        // Without LIMIT the order cannot change the result *set*; sort by
+        // the EQ onion so the query stays executable (client re-sorts).
+        Ok(OrderItem { col: enc_col_ref(schema, &o.col, Onion::Eq)?, desc: o.desc })
+    } else {
+        Err(CryptDbError::MissingOnion { column: o.col.column.clone(), needed: "order (LIMIT)" })
+    }
+}
+
+fn det_literal(
+    schema: &EncryptedSchema,
+    col: &ColumnRef,
+    lit: &Literal,
+) -> Result<Literal, CryptDbError> {
+    if matches!(lit, Literal::Null) {
+        return Ok(Literal::Null);
+    }
+    let c = schema.column(&col.column)?;
+    let value = match lit {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Null => unreachable!(),
+    };
+    Ok(Literal::Str(crate::encoding::ident_hex(&c.det_value(&value))))
+}
+
+fn ope_literal(
+    schema: &EncryptedSchema,
+    col: &ColumnRef,
+    lit: &Literal,
+    clamp: Clamp,
+) -> Result<Literal, CryptDbError> {
+    let c = schema.column(&col.column)?;
+    match lit {
+        Literal::Int(v) => match c.ope_encrypt(*v) {
+            Ok(ct) => Ok(Literal::Int(ct)),
+            // Out-of-domain range constants are clamped to the nearest
+            // representable bound so the predicate keeps its meaning.
+            Err(CryptDbError::OpeOverflow(_)) => {
+                let bound = match clamp {
+                    Clamp::Low => i64::MIN,
+                    Clamp::High => i64::MAX,
+                };
+                Ok(Literal::Int(bound))
+            }
+            Err(e) => Err(e),
+        },
+        Literal::Null => Ok(Literal::Null),
+        Literal::Str(_) => Err(CryptDbError::MissingOnion {
+            column: col.column.clone(),
+            needed: "order on a string column",
+        }),
+    }
+}
+
+/// Which way an out-of-domain constant clamps.
+#[derive(Clone, Copy)]
+enum Clamp {
+    Low,
+    High,
+}
+
+fn rewrite_expr(e: &Expr, schema: &EncryptedSchema) -> Result<Expr, CryptDbError> {
+    Ok(match e {
+        Expr::Comparison { col, op, value } => match op {
+            CompareOp::Eq | CompareOp::Ne => Expr::Comparison {
+                col: enc_col_ref(schema, col, Onion::Eq)?,
+                op: *op,
+                value: det_literal(schema, col, value)?,
+            },
+            CompareOp::Lt | CompareOp::Le => Expr::Comparison {
+                col: enc_col_ref(schema, col, Onion::Ord)?,
+                op: *op,
+                value: ope_literal(schema, col, value, Clamp::High)?,
+            },
+            CompareOp::Gt | CompareOp::Ge => Expr::Comparison {
+                col: enc_col_ref(schema, col, Onion::Ord)?,
+                op: *op,
+                value: ope_literal(schema, col, value, Clamp::Low)?,
+            },
+        },
+        Expr::ColumnEq { left, right } => {
+            check_join_group(schema, &left.column, &right.column)?;
+            Expr::ColumnEq {
+                left: enc_col_ref(schema, left, Onion::Eq)?,
+                right: enc_col_ref(schema, right, Onion::Eq)?,
+            }
+        }
+        Expr::Between { col, low, high } => Expr::Between {
+            col: enc_col_ref(schema, col, Onion::Ord)?,
+            low: ope_literal(schema, col, low, Clamp::Low)?,
+            high: ope_literal(schema, col, high, Clamp::High)?,
+        },
+        Expr::InList { col, list } => Expr::InList {
+            col: enc_col_ref(schema, col, Onion::Eq)?,
+            list: list
+                .iter()
+                .map(|l| det_literal(schema, col, l))
+                .collect::<Result<_, _>>()?,
+        },
+        Expr::IsNull { col, negated } => Expr::IsNull {
+            col: enc_col_ref(schema, col, Onion::Eq)?,
+            negated: *negated,
+        },
+        Expr::And(a, b) => {
+            Expr::And(Box::new(rewrite_expr(a, schema)?), Box::new(rewrite_expr(b, schema)?))
+        }
+        Expr::Or(a, b) => {
+            Expr::Or(Box::new(rewrite_expr(a, schema)?), Box::new(rewrite_expr(b, schema)?))
+        }
+        Expr::Not(inner) => Expr::Not(Box::new(rewrite_expr(inner, schema)?)),
+    })
+}
+
+/// Arithmetic aggregates: every select item must be an aggregate and GROUP
+/// BY must be empty (CryptDB's HOM UDF limitation, matched here).
+fn rewrite_arithmetic(
+    q: &Query,
+    schema: &EncryptedSchema,
+) -> Result<RewrittenQuery, CryptDbError> {
+    if !q.group_by.is_empty() {
+        return Err(CryptDbError::UnsupportedQuery(
+            "grouped arithmetic aggregates are not supported by the HOM onion".into(),
+        ));
+    }
+    let mut items = Vec::new();
+    let mut outputs = Vec::new();
+    let mut headers = Vec::new();
+    let mut fetch_cols = Vec::new();
+    for item in &q.select {
+        let SelectItem::Aggregate { func, arg } = item else {
+            return Err(CryptDbError::UnsupportedQuery(
+                "plain columns cannot mix with arithmetic aggregates".into(),
+            ));
+        };
+        match (func, arg) {
+            (AggFunc::Sum, AggArg::Column(c)) | (AggFunc::Avg, AggArg::Column(c)) => {
+                let hom_ref = enc_col_ref(schema, c, Onion::Hom)?;
+                fetch_cols.push(SelectItem::Column(hom_ref));
+                let idx = items.len();
+                items.push(if *func == AggFunc::Sum {
+                    HomItem::Sum(c.column.clone())
+                } else {
+                    HomItem::Avg(c.column.clone())
+                });
+                outputs.push(OutputSpec::Hom(idx));
+                headers.push(format!("{func}({c})"));
+            }
+            (AggFunc::Count, AggArg::Star) => {
+                // Served from the fetch row count.
+                outputs.push(OutputSpec::PlainInt);
+                headers.push("COUNT(*)".into());
+            }
+            _ => {
+                return Err(CryptDbError::UnsupportedQuery(format!(
+                    "{func} cannot mix with SUM/AVG in this dialect",
+                )))
+            }
+        }
+    }
+    if fetch_cols.is_empty() {
+        return Err(CryptDbError::UnsupportedQuery("no HOM columns to fetch".into()));
+    }
+
+    let from = TableRef::new(schema.enc_table_name(&q.from.name)?.to_string());
+    let joins = q
+        .joins
+        .iter()
+        .map(|j| rewrite_join(schema, j))
+        .collect::<Result<Vec<_>, _>>()?;
+    let where_clause = q
+        .where_clause
+        .as_ref()
+        .map(|e| rewrite_expr(e, schema))
+        .transpose()?;
+
+    let fetch = Query {
+        distinct: false,
+        select: fetch_cols,
+        from,
+        joins,
+        where_clause,
+        group_by: Vec::new(),
+        order_by: Vec::new(),
+        limit: None,
+    };
+
+    Ok(RewrittenQuery { query: None, outputs, headers, hom: Some(HomPlan { fetch, items }) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::CryptDbConfig;
+    use dpe_crypto::MasterKey;
+    use dpe_sql::parse_query;
+    use dpe_workload::{sky_catalog, sky_domains};
+
+    fn schema() -> EncryptedSchema {
+        let cfg = CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"]);
+        EncryptedSchema::build(&sky_catalog(), &sky_domains(), &cfg, &MasterKey::from_bytes([1; 32]))
+            .unwrap()
+    }
+
+    fn rewrite(sql: &str) -> RewrittenQuery {
+        rewrite_query(&parse_query(sql).unwrap(), &schema()).unwrap()
+    }
+
+    #[test]
+    fn equality_routes_to_eq_onion_with_det_constant() {
+        let r = rewrite("SELECT objid FROM photoobj WHERE class = 'STAR'");
+        let q = r.query.unwrap();
+        let Some(Expr::Comparison { col, op: CompareOp::Eq, value }) = q.where_clause else {
+            panic!()
+        };
+        assert!(col.column.ends_with("_eq"));
+        assert!(matches!(value, Literal::Str(s) if s.starts_with('x')));
+    }
+
+    #[test]
+    fn det_constants_are_deterministic_and_column_scoped() {
+        let s = schema();
+        let lit = Literal::Str("STAR".into());
+        let c = ColumnRef::bare("class");
+        let a = det_literal(&s, &c, &lit).unwrap();
+        let b = det_literal(&s, &c, &lit).unwrap();
+        assert_eq!(a, b);
+        let other = det_literal(&s, &ColumnRef::bare("specclass"), &lit).unwrap();
+        assert_ne!(a, other, "per-attribute constant keys");
+    }
+
+    #[test]
+    fn ranges_route_to_ord_onion_with_ope_constants() {
+        let s = schema();
+        let r = rewrite("SELECT objid FROM photoobj WHERE ra BETWEEN 1000 AND 2000");
+        let q = r.query.unwrap();
+        let Some(Expr::Between { col, low, high }) = q.where_clause else { panic!() };
+        assert!(col.column.ends_with("_ord"));
+        let (Literal::Int(lo), Literal::Int(hi)) = (low, high) else { panic!() };
+        assert!(lo < hi, "OPE preserves order");
+        let ra = s.column("ra").unwrap();
+        assert_eq!(ra.ope_decrypt(lo).unwrap(), 1000);
+        assert_eq!(ra.ope_decrypt(hi).unwrap(), 2000);
+    }
+
+    #[test]
+    fn order_by_uses_ord_onion() {
+        let r = rewrite("SELECT objid FROM photoobj ORDER BY rmag DESC LIMIT 5");
+        let q = r.query.unwrap();
+        assert!(q.order_by[0].col.column.ends_with("_ord"));
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn order_by_string_without_limit_falls_back_to_eq() {
+        let r = rewrite("SELECT class, COUNT(*) FROM photoobj GROUP BY class ORDER BY class");
+        let q = r.query.unwrap();
+        assert!(q.order_by[0].col.column.ends_with("_eq"));
+    }
+
+    #[test]
+    fn order_by_string_with_limit_is_rejected() {
+        let err =
+            rewrite_query(&parse_query("SELECT class FROM photoobj ORDER BY class LIMIT 3").unwrap(), &schema())
+                .unwrap_err();
+        assert!(matches!(err, CryptDbError::MissingOnion { .. }));
+    }
+
+    #[test]
+    fn join_requires_shared_group() {
+        // objid/bestobjid share a group: fine.
+        let r = rewrite(
+            "SELECT z FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid",
+        );
+        let q = r.query.unwrap();
+        assert!(q.joins[0].left.column.ends_with("_eq"));
+        // ra/z do not:
+        let err = rewrite_query(
+            &parse_query("SELECT z FROM photoobj JOIN specobj ON photoobj.ra = specobj.z").unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CryptDbError::UnsupportedQuery(_)));
+    }
+
+    #[test]
+    fn count_star_passes_through() {
+        let r = rewrite("SELECT COUNT(*) FROM photoobj WHERE class = 'QSO'");
+        assert_eq!(r.outputs, vec![OutputSpec::PlainInt]);
+    }
+
+    #[test]
+    fn min_max_route_to_ord() {
+        let r = rewrite("SELECT MIN(ra), MAX(ra) FROM photoobj");
+        let q = r.query.unwrap();
+        for item in &q.select {
+            let SelectItem::Aggregate { arg: AggArg::Column(c), .. } = item else { panic!() };
+            assert!(c.column.ends_with("_ord"));
+        }
+        assert_eq!(
+            r.outputs,
+            vec![OutputSpec::OrdColumn("ra".into()), OutputSpec::OrdColumn("ra".into())]
+        );
+    }
+
+    #[test]
+    fn sum_avg_produce_hom_plan() {
+        let r = rewrite("SELECT AVG(z), SUM(z) FROM specobj WHERE z BETWEEN 10 AND 100000");
+        assert!(r.query.is_none());
+        let hom = r.hom.unwrap();
+        assert_eq!(hom.items, vec![HomItem::Avg("z".into()), HomItem::Sum("z".into())]);
+        assert_eq!(hom.fetch.select.len(), 2);
+        assert!(hom.fetch.where_clause.is_some());
+    }
+
+    #[test]
+    fn grouped_sum_rejected() {
+        let err = rewrite_query(
+            &parse_query("SELECT class, SUM(ra) FROM photoobj GROUP BY class").unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CryptDbError::UnsupportedQuery(_)));
+    }
+
+    #[test]
+    fn wildcard_expands_to_eq_onions() {
+        let r = rewrite("SELECT * FROM neighbors");
+        let q = r.query.unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(r.headers, vec!["neighborobjid", "distance"]);
+    }
+
+    #[test]
+    fn out_of_domain_range_constant_clamps() {
+        // 99_999_999 exceeds ra's domain; predicate must stay satisfiable
+        // for all in-domain values rather than erroring.
+        let r = rewrite("SELECT objid FROM photoobj WHERE ra < 99999999");
+        let q = r.query.unwrap();
+        let Some(Expr::Comparison { value: Literal::Int(v), .. }) = q.where_clause else {
+            panic!()
+        };
+        assert_eq!(v, i64::MAX);
+    }
+
+    #[test]
+    fn table_and_column_names_are_hidden() {
+        let r = rewrite("SELECT ra FROM photoobj WHERE dec > 0");
+        let text = r.query.unwrap().to_string();
+        assert!(!text.contains("photoobj"));
+        assert!(!text.contains("ra ") && !text.contains(" dec"));
+    }
+}

@@ -1,0 +1,476 @@
+//! The encrypted schema: name encryption, per-column key material, onion
+//! layout, and layer state.
+
+use crate::column::{ColumnPolicy, CryptDbConfig, OnionSet};
+use crate::encoding::{encode_value, ident_hex};
+use crate::error::CryptDbError;
+use crate::onion::{EqLayer, Onion};
+use dpe_crypto::kdf::SlotLabel;
+use dpe_crypto::scheme::SymmetricScheme;
+use dpe_crypto::{Ciphertext, DetScheme, MasterKey, ProbScheme};
+use dpe_distance::{AttributeDomain, DomainCatalog};
+use dpe_minidb::{ColumnType, TableSchema, Value};
+use dpe_ope::{OpeDomain, OpeScheme};
+use dpe_paillier::KeyPair;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Key material and onion layout of one plaintext column.
+pub struct ColumnCrypt {
+    /// Unqualified plaintext column name.
+    pub plain: String,
+    /// Owning plaintext table.
+    pub table: String,
+    /// Plaintext type.
+    pub ty: ColumnType,
+    /// Encrypted base identifier (onion columns append their suffix).
+    pub enc_base: String,
+    /// Onion layout.
+    pub onions: OnionSet,
+    /// Current EQ onion exposure.
+    pub eq_layer: EqLayer,
+    det: DetScheme,
+    rnd: ProbScheme,
+    ope: Option<OpeScheme>,
+    /// Domain offset: OPE operates on `(v - bias) as u64`.
+    ope_bias: i64,
+}
+
+impl ColumnCrypt {
+    /// Physical name of an onion column.
+    pub fn onion_column(&self, onion: Onion) -> String {
+        format!("{}{}", self.enc_base, onion.suffix())
+    }
+
+    /// DET ciphertext of a value (the EQ onion's inner layer).
+    pub fn det_value(&self, v: &Value) -> Ciphertext {
+        // DET ignores the RNG; pass a cheap throwaway.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        self.det.encrypt(&encode_value(v), &mut rng)
+    }
+
+    /// The EQ onion cell as stored: RND(DET(v)) while at RND, DET(v) once
+    /// adjusted.
+    pub fn eq_cell<R: RngCore>(&self, v: &Value, rng: &mut R) -> Value {
+        let det = self.det_value(v);
+        match self.eq_layer {
+            EqLayer::Rnd => Value::Str(ident_hex(&self.rnd.encrypt(det.as_bytes(), rng))),
+            EqLayer::Det => Value::Str(ident_hex(&det)),
+        }
+    }
+
+    /// Strips the RND layer from a stored EQ cell (adjustment step).
+    pub fn peel_rnd(&self, cell: &Value) -> Result<Value, CryptDbError> {
+        let Value::Str(s) = cell else {
+            return Err(CryptDbError::Decrypt(format!("{}: EQ cell is not a string", self.plain)));
+        };
+        let wrapped = crate::encoding::parse_ident_hex(s)
+            .ok_or_else(|| CryptDbError::Decrypt(format!("{}: malformed EQ cell", self.plain)))?;
+        let det = self
+            .rnd
+            .decrypt(&wrapped)
+            .map_err(|e| CryptDbError::Decrypt(format!("{}: {e}", self.plain)))?;
+        Ok(Value::Str(ident_hex(&Ciphertext(det))))
+    }
+
+    /// Decrypts an EQ cell back to the plaintext value (proxy side).
+    pub fn decrypt_eq_cell(&self, cell: &Value) -> Result<Value, CryptDbError> {
+        let Value::Str(s) = cell else {
+            return Err(CryptDbError::Decrypt(format!("{}: EQ cell is not a string", self.plain)));
+        };
+        let outer = crate::encoding::parse_ident_hex(s)
+            .ok_or_else(|| CryptDbError::Decrypt(format!("{}: malformed EQ cell", self.plain)))?;
+        let det_bytes = match self.eq_layer {
+            EqLayer::Rnd => Ciphertext(
+                self.rnd
+                    .decrypt(&outer)
+                    .map_err(|e| CryptDbError::Decrypt(format!("{}: {e}", self.plain)))?,
+            ),
+            EqLayer::Det => outer,
+        };
+        let plain = self
+            .det
+            .decrypt(&det_bytes)
+            .map_err(|e| CryptDbError::Decrypt(format!("{}: {e}", self.plain)))?;
+        crate::encoding::decode_value(&plain)
+            .ok_or_else(|| CryptDbError::Decrypt(format!("{}: bad value encoding", self.plain)))
+    }
+
+    /// OPE ciphertext of an integer value, biased into the scheme's domain
+    /// and checked to fit i64 storage.
+    pub fn ope_encrypt(&self, v: i64) -> Result<i64, CryptDbError> {
+        let ope = self
+            .ope
+            .as_ref()
+            .ok_or(CryptDbError::MissingOnion { column: self.plain.clone(), needed: "order" })?;
+        let biased = v
+            .checked_sub(self.ope_bias)
+            .filter(|b| *b >= 0)
+            .ok_or_else(|| CryptDbError::OpeOverflow(self.plain.clone()))? as u64;
+        let ct = ope
+            .encrypt(biased)
+            .map_err(|_| CryptDbError::OpeOverflow(self.plain.clone()))?;
+        i64::try_from(ct).map_err(|_| CryptDbError::OpeOverflow(self.plain.clone()))
+    }
+
+    /// Decrypts an OPE cell back to the plaintext integer.
+    pub fn ope_decrypt(&self, ct: i64) -> Result<i64, CryptDbError> {
+        let ope = self
+            .ope
+            .as_ref()
+            .ok_or(CryptDbError::MissingOnion { column: self.plain.clone(), needed: "order" })?;
+        let biased = ope
+            .decrypt(ct as u128)
+            .map_err(|e| CryptDbError::Decrypt(format!("{}: {e}", self.plain)))?;
+        Ok(biased as i64 + self.ope_bias)
+    }
+
+    /// `true` when the column's DET key is shared through a join group.
+    pub fn join_group(&self) -> Option<&str> {
+        self.onions.join_group.as_deref()
+    }
+}
+
+/// One encrypted table: its encrypted name and physical layout.
+pub struct EncTable {
+    /// Plaintext name.
+    pub plain: String,
+    /// Encrypted name.
+    pub enc_name: String,
+    /// Plaintext column names in declaration order.
+    pub columns: Vec<String>,
+}
+
+/// The full encrypted schema and key material. The proxy owns one.
+pub struct EncryptedSchema {
+    tables: BTreeMap<String, EncTable>,
+    columns: BTreeMap<String, ColumnCrypt>,
+    paillier: KeyPair,
+    rel_det: DetScheme,
+    attr_det: DetScheme,
+}
+
+impl EncryptedSchema {
+    /// Builds the encrypted schema for `schemas` under `master`.
+    ///
+    /// Column names must be globally unique (the workload schema guarantees
+    /// it); integer columns with ORD onions must appear in `domains`.
+    pub fn build(
+        schemas: &[TableSchema],
+        domains: &DomainCatalog,
+        config: &CryptDbConfig,
+        master: &MasterKey,
+    ) -> Result<Self, CryptDbError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let rel_det = DetScheme::new(&SlotLabel::Relation.derive(master));
+        let attr_det = DetScheme::new(&SlotLabel::Attribute.derive(master));
+
+        let mut tables = BTreeMap::new();
+        let mut columns: BTreeMap<String, ColumnCrypt> = BTreeMap::new();
+
+        for schema in schemas {
+            let enc_name = ident_hex(&rel_det.encrypt(schema.name.as_bytes(), &mut rng));
+            let mut column_names = Vec::with_capacity(schema.columns.len());
+            for col in &schema.columns {
+                if columns.contains_key(&col.name) {
+                    return Err(CryptDbError::UnsupportedQuery(format!(
+                        "column name {} is not globally unique",
+                        col.name
+                    )));
+                }
+                let policy = config.policy_for(&col.name);
+                let join_group = config.join_groups.get(&col.name).cloned();
+                let onions = lower_policy(policy, col.ty, join_group);
+
+                // DET key: shared via join group, or per-column.
+                let det_key = match &onions.join_group {
+                    Some(group) => SlotLabel::JoinGroup(group).derive(master),
+                    None => SlotLabel::OnionLayer(&col.name, "eq", "det").derive(master),
+                };
+                let rnd_key = SlotLabel::OnionLayer(&col.name, "eq", "rnd").derive(master);
+
+                let (ope, ope_bias) = if onions.ord {
+                    let Some(AttributeDomain::Int { lo, hi }) = domains.get(&col.name) else {
+                        return Err(CryptDbError::MissingDomain(col.name.clone()));
+                    };
+                    let size = (*hi - *lo) as u64;
+                    let ope_key = SlotLabel::OnionLayer(&col.name, "ord", "ope").derive(master);
+                    let scheme = OpeScheme::new(&ope_key, OpeDomain::new(0, size));
+                    // The largest ciphertext must fit i64 storage.
+                    if i64::try_from(scheme.domain().range_size() - 1).is_err() {
+                        return Err(CryptDbError::OpeOverflow(col.name.clone()));
+                    }
+                    (Some(scheme), *lo)
+                } else {
+                    (None, 0)
+                };
+
+                let enc_base = ident_hex(&attr_det.encrypt(col.name.as_bytes(), &mut rng));
+                columns.insert(
+                    col.name.clone(),
+                    ColumnCrypt {
+                        plain: col.name.clone(),
+                        table: schema.name.clone(),
+                        ty: col.ty,
+                        enc_base,
+                        onions,
+                        eq_layer: EqLayer::Rnd,
+                        det: DetScheme::new(&det_key),
+                        rnd: ProbScheme::new(&rnd_key),
+                        ope,
+                        ope_bias,
+                    },
+                );
+                column_names.push(col.name.clone());
+            }
+            tables.insert(
+                schema.name.clone(),
+                EncTable { plain: schema.name.clone(), enc_name, columns: column_names },
+            );
+        }
+
+        let paillier = KeyPair::generate(config.paillier_prime_bits, &mut rng);
+        Ok(EncryptedSchema { tables, columns, paillier, rel_det, attr_det })
+    }
+
+    /// The encrypted name of a plaintext table.
+    pub fn enc_table_name(&self, plain: &str) -> Result<&str, CryptDbError> {
+        self.tables
+            .get(plain)
+            .map(|t| t.enc_name.as_str())
+            .ok_or_else(|| CryptDbError::UnknownTable(plain.to_string()))
+    }
+
+    /// Re-derives the encrypted identifier for *any* table name under the
+    /// schema's relation-slot DET key — the identifier an ad-hoc query
+    /// rewriter would produce even for names not in the catalog (they
+    /// simply won't resolve server-side). For catalogued tables this equals
+    /// [`EncryptedSchema::enc_table_name`].
+    pub fn encrypt_table_ident(&self, name: &str) -> String {
+        let mut rng = StdRng::seed_from_u64(0); // DET ignores randomness
+        ident_hex(&self.rel_det.encrypt(name.as_bytes(), &mut rng))
+    }
+
+    /// Re-derives the encrypted identifier for *any* column name under the
+    /// attribute-slot DET key (base name, without an onion suffix).
+    pub fn encrypt_column_ident(&self, name: &str) -> String {
+        let mut rng = StdRng::seed_from_u64(0);
+        ident_hex(&self.attr_det.encrypt(name.as_bytes(), &mut rng))
+    }
+
+    /// Column crypto state by plaintext name.
+    pub fn column(&self, plain: &str) -> Result<&ColumnCrypt, CryptDbError> {
+        self.columns
+            .get(plain)
+            .ok_or_else(|| CryptDbError::UnknownColumn(plain.to_string()))
+    }
+
+    /// Mutable column crypto state (adjustment updates `eq_layer`).
+    pub fn column_mut(&mut self, plain: &str) -> Result<&mut ColumnCrypt, CryptDbError> {
+        self.columns
+            .get_mut(plain)
+            .ok_or_else(|| CryptDbError::UnknownColumn(plain.to_string()))
+    }
+
+    /// Iterates the plaintext tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &EncTable> {
+        self.tables.values()
+    }
+
+    /// Iterates all columns in name order.
+    pub fn columns(&self) -> impl Iterator<Item = &ColumnCrypt> {
+        self.columns.values()
+    }
+
+    /// The Paillier key pair (public half is server-visible).
+    pub fn paillier(&self) -> &KeyPair {
+        &self.paillier
+    }
+
+    /// Builds the physical (encrypted) table schemas for the engine.
+    pub fn physical_schemas(&self) -> Vec<TableSchema> {
+        self.tables
+            .values()
+            .map(|t| {
+                let mut cols: Vec<(String, ColumnType)> = Vec::new();
+                for plain_col in &t.columns {
+                    let c = &self.columns[plain_col];
+                    if c.onions.eq {
+                        cols.push((c.onion_column(Onion::Eq), ColumnType::Str));
+                    }
+                    if c.onions.ord {
+                        cols.push((c.onion_column(Onion::Ord), ColumnType::Int));
+                    }
+                    if c.onions.hom {
+                        cols.push((c.onion_column(Onion::Hom), ColumnType::Str));
+                    }
+                }
+                TableSchema::new(
+                    t.enc_name.clone(),
+                    cols.iter().map(|(n, ty)| (n.as_str(), *ty)).collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+fn lower_policy(policy: ColumnPolicy, ty: ColumnType, join_group: Option<String>) -> OnionSet {
+    let is_int = ty == ColumnType::Int;
+    match policy {
+        ColumnPolicy::Full => OnionSet {
+            eq: true,
+            eq_adjustable: true,
+            ord: is_int,
+            hom: is_int,
+            join_group,
+        },
+        ColumnPolicy::NoHom => OnionSet {
+            eq: true,
+            eq_adjustable: true,
+            ord: is_int,
+            hom: false,
+            join_group,
+        },
+        ColumnPolicy::ProbOnly => OnionSet {
+            eq: true,
+            eq_adjustable: false,
+            ord: false,
+            hom: false,
+            join_group: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_workload::{sky_catalog, sky_domains};
+
+    fn build() -> EncryptedSchema {
+        let cfg = CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"]);
+        EncryptedSchema::build(
+            &sky_catalog(),
+            &sky_domains(),
+            &cfg,
+            &MasterKey::from_bytes([7; 32]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn names_are_encrypted_and_deterministic() {
+        let a = build();
+        let b = build();
+        assert_eq!(a.enc_table_name("photoobj").unwrap(), b.enc_table_name("photoobj").unwrap());
+        assert_ne!(a.enc_table_name("photoobj").unwrap(), "photoobj");
+        assert!(a.enc_table_name("photoobj").unwrap().starts_with('x'));
+    }
+
+    #[test]
+    fn ad_hoc_ident_encryption_matches_catalog() {
+        let s = build();
+        // Re-deriving the identifier for a catalogued table equals the
+        // stored encrypted name; unknown names still produce stable tokens.
+        assert_eq!(
+            s.encrypt_table_ident("photoobj"),
+            s.enc_table_name("photoobj").unwrap()
+        );
+        assert_eq!(s.encrypt_table_ident("no_such"), s.encrypt_table_ident("no_such"));
+        let ra = s.column("ra").unwrap();
+        assert!(ra.onion_column(Onion::Eq).starts_with(&s.encrypt_column_ident("ra")));
+    }
+
+    #[test]
+    fn onion_layout_per_type() {
+        let s = build();
+        let ra = s.column("ra").unwrap();
+        assert!(ra.onions.eq && ra.onions.ord && ra.onions.hom);
+        let class = s.column("class").unwrap();
+        assert!(class.onions.eq && !class.onions.ord && !class.onions.hom);
+    }
+
+    #[test]
+    fn join_group_columns_share_det() {
+        let s = build();
+        let a = s.column("objid").unwrap();
+        let b = s.column("bestobjid").unwrap();
+        let v = Value::Int(12345);
+        assert_eq!(a.det_value(&v), b.det_value(&v));
+        // Non-grouped columns do not share keys.
+        let ra = s.column("ra").unwrap();
+        assert_ne!(a.det_value(&v), ra.det_value(&v));
+    }
+
+    #[test]
+    fn prob_only_policy_freezes_column() {
+        let cfg = CryptDbConfig::default().with_policy("z", ColumnPolicy::ProbOnly);
+        let s = EncryptedSchema::build(
+            &sky_catalog(),
+            &sky_domains(),
+            &cfg,
+            &MasterKey::from_bytes([7; 32]),
+        )
+        .unwrap();
+        let z = s.column("z").unwrap();
+        assert!(!z.onions.eq_adjustable && !z.onions.ord && !z.onions.hom);
+    }
+
+    #[test]
+    fn physical_schemas_expand_onions() {
+        let s = build();
+        let phys = s.physical_schemas();
+        assert_eq!(phys.len(), 3);
+        // photoobj: objid(eq,ord,hom) ra(3) dec(3) rmag(3) class(eq) = 13 cols.
+        let photo = phys
+            .iter()
+            .find(|t| t.name == s.enc_table_name("photoobj").unwrap())
+            .unwrap();
+        assert_eq!(photo.arity(), 13);
+    }
+
+    #[test]
+    fn ope_roundtrip_with_bias() {
+        let s = build();
+        let dec = s.column("dec").unwrap(); // domain [-90_000, 90_000]
+        for v in [-90_000, -1, 0, 45_000, 90_000] {
+            let ct = dec.ope_encrypt(v).unwrap();
+            assert_eq!(dec.ope_decrypt(ct).unwrap(), v);
+        }
+        // Order preserved across the sign boundary.
+        assert!(dec.ope_encrypt(-5).unwrap() < dec.ope_encrypt(5).unwrap());
+    }
+
+    #[test]
+    fn ope_rejects_out_of_domain() {
+        let s = build();
+        let dec = s.column("dec").unwrap();
+        assert!(matches!(dec.ope_encrypt(-90_001), Err(CryptDbError::OpeOverflow(_))));
+        assert!(matches!(dec.ope_encrypt(90_001), Err(CryptDbError::OpeOverflow(_))));
+    }
+
+    #[test]
+    fn eq_cell_rnd_is_probabilistic_det_is_not() {
+        let mut s = build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ra = s.column("ra").unwrap();
+        let v = Value::Int(100);
+        assert_ne!(ra.eq_cell(&v, &mut rng), ra.eq_cell(&v, &mut rng));
+        s.column_mut("ra").unwrap().eq_layer = EqLayer::Det;
+        let ra = s.column("ra").unwrap();
+        assert_eq!(ra.eq_cell(&v, &mut rng), ra.eq_cell(&v, &mut rng));
+    }
+
+    #[test]
+    fn decrypt_eq_cell_roundtrips_both_layers() {
+        let mut s = build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = Value::Str("STAR".into());
+        let cell = s.column("class").unwrap().eq_cell(&v, &mut rng);
+        assert_eq!(s.column("class").unwrap().decrypt_eq_cell(&cell).unwrap(), v);
+        // After peeling:
+        let peeled = s.column("class").unwrap().peel_rnd(&cell).unwrap();
+        s.column_mut("class").unwrap().eq_layer = EqLayer::Det;
+        assert_eq!(s.column("class").unwrap().decrypt_eq_cell(&peeled).unwrap(), v);
+    }
+}

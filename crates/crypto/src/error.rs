@@ -1,0 +1,39 @@
+//! Error type shared by the symmetric schemes.
+
+use std::fmt;
+
+/// Errors from encryption/decryption operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Ciphertext shorter than its mandatory header.
+    CiphertextTooShort {
+        /// Bytes required by the scheme's framing.
+        expected_at_least: usize,
+        /// Bytes actually provided.
+        got: usize,
+    },
+    /// The deterministic scheme's synthetic IV did not verify: the ciphertext
+    /// was corrupted or produced under a different key.
+    IntegrityCheckFailed,
+    /// The plaintext cannot be represented by this scheme (e.g. out of the
+    /// OPE domain).
+    UnsupportedPlaintext(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::CiphertextTooShort { expected_at_least, got } => {
+                write!(f, "ciphertext too short: need ≥ {expected_at_least} bytes, got {got}")
+            }
+            CryptoError::IntegrityCheckFailed => {
+                write!(f, "ciphertext failed integrity verification (wrong key or corrupted)")
+            }
+            CryptoError::UnsupportedPlaintext(msg) => {
+                write!(f, "unsupported plaintext: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

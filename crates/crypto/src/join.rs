@@ -1,0 +1,94 @@
+//! **JOIN** — the usage mode of DET in which join-compatible columns share
+//! one key (CryptDB's JOIN layer, and the paper's Fig. 1 JOIN class).
+//!
+//! With per-column DET keys, `Enc_colA(v) ≠ Enc_colB(v)` and equi-joins over
+//! ciphertexts are impossible. A [`JoinGroup`] deliberately gives a *set* of
+//! columns the same DET key so ciphertext equality spans the group — trading
+//! one security level (cross-column frequency linkage becomes possible,
+//! hence JOIN sits below DET in Fig. 1) for join capability.
+
+use crate::det::DetScheme;
+use crate::kdf::SlotLabel;
+use crate::keys::MasterKey;
+use crate::scheme::EncryptionClass;
+
+/// A named group of join-compatible columns sharing one DET key.
+#[derive(Clone)]
+pub struct JoinGroup {
+    name: String,
+    scheme: DetScheme,
+}
+
+impl JoinGroup {
+    /// Creates (or re-derives) the group `name` under `master`. The same
+    /// `(master, name)` always yields the same scheme, so every column in
+    /// the group encrypts values identically.
+    pub fn new(master: &MasterKey, name: &str) -> Self {
+        let key = SlotLabel::JoinGroup(name).derive(master);
+        JoinGroup {
+            name: name.to_string(),
+            scheme: DetScheme::with_class(&key, EncryptionClass::Join),
+        }
+    }
+
+    /// The group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared deterministic scheme (class reports [`EncryptionClass::Join`]).
+    pub fn scheme(&self) -> &DetScheme {
+        &self.scheme
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SymmetricScheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn master() -> MasterKey {
+        MasterKey::from_bytes([13; 32])
+    }
+
+    #[test]
+    fn same_group_same_ciphertexts() {
+        // Two "columns" in one group: ciphertext equality spans them,
+        // which is exactly what makes encrypted equi-joins work.
+        let mut rng = StdRng::seed_from_u64(0);
+        let g1 = JoinGroup::new(&master(), "objid");
+        let g2 = JoinGroup::new(&master(), "objid");
+        let a = g1.scheme().encrypt(b"587722982829850763", &mut rng);
+        let b = g2.scheme().encrypt(b"587722982829850763", &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_groups_different_ciphertexts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g1 = JoinGroup::new(&master(), "objid");
+        let g2 = JoinGroup::new(&master(), "specid");
+        assert_ne!(
+            g1.scheme().encrypt(b"42", &mut rng),
+            g2.scheme().encrypt(b"42", &mut rng)
+        );
+    }
+
+    #[test]
+    fn class_reports_join() {
+        let g = JoinGroup::new(&master(), "objid");
+        assert_eq!(g.scheme().class(), EncryptionClass::Join);
+        assert_eq!(g.scheme().class().security_level(), 1);
+        assert_eq!(g.name(), "objid");
+    }
+
+    #[test]
+    fn join_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = JoinGroup::new(&master(), "objid");
+        let ct = g.scheme().encrypt(b"12345", &mut rng);
+        assert_eq!(g.scheme().decrypt(&ct).unwrap(), b"12345");
+    }
+}

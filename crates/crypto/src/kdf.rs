@@ -1,0 +1,94 @@
+//! Slot labels for the high-level SQL encryption scheme.
+//!
+//! The paper's high-level scheme is the tuple
+//! `(EncRel, EncAttr, {EncA.Const : Attribute A})`. Each slot needs an
+//! independent key; constants additionally need a key *per attribute* so that
+//! frequency correlations across attributes are not created by key reuse.
+//! [`SlotLabel`] canonicalizes these label strings so every crate derives the
+//! same subkeys from a given [`crate::MasterKey`].
+
+use crate::keys::{MasterKey, SymmetricKey};
+
+/// The three slots of the high-level scheme, plus infrastructure slots used
+/// by the CryptDB onion layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SlotLabel<'a> {
+    /// `EncRel` — relation (table) names.
+    Relation,
+    /// `EncAttr` — attribute (column) names.
+    Attribute,
+    /// `EncA.Const` — constants belonging to attribute `A` (qualified name).
+    Constant(&'a str),
+    /// A named join group sharing one key across columns (JOIN usage mode).
+    JoinGroup(&'a str),
+    /// An onion layer key for a column: (column, onion, layer).
+    OnionLayer(&'a str, &'a str, &'a str),
+}
+
+impl SlotLabel<'_> {
+    /// Derives the slot's subkey from the master key.
+    pub fn derive(&self, master: &MasterKey) -> SymmetricKey {
+        match self {
+            SlotLabel::Relation => master.derive_parts(&["slot", "rel"]),
+            SlotLabel::Attribute => master.derive_parts(&["slot", "attr"]),
+            SlotLabel::Constant(attr) => master.derive_parts(&["slot", "const", attr]),
+            SlotLabel::JoinGroup(group) => master.derive_parts(&["slot", "join", group]),
+            SlotLabel::OnionLayer(col, onion, layer) => {
+                master.derive_parts(&["onion", col, onion, layer])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn master() -> MasterKey {
+        MasterKey::from_bytes([42; 32])
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let m = master();
+        let keys = [
+            SlotLabel::Relation.derive(&m),
+            SlotLabel::Attribute.derive(&m),
+            SlotLabel::Constant("photoobj.ra").derive(&m),
+            SlotLabel::Constant("photoobj.dec").derive(&m),
+            SlotLabel::JoinGroup("objid").derive(&m),
+            SlotLabel::OnionLayer("photoobj.ra", "eq", "det").derive(&m),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "slots {i} and {j} must not share keys");
+            }
+        }
+    }
+
+    #[test]
+    fn per_attribute_constant_keys() {
+        let m = master();
+        assert_eq!(
+            SlotLabel::Constant("t.a").derive(&m),
+            SlotLabel::Constant("t.a").derive(&m)
+        );
+        assert_ne!(
+            SlotLabel::Constant("t.a").derive(&m),
+            SlotLabel::Constant("t.b").derive(&m)
+        );
+    }
+
+    #[test]
+    fn onion_layers_are_separated() {
+        let m = master();
+        assert_ne!(
+            SlotLabel::OnionLayer("c", "eq", "rnd").derive(&m),
+            SlotLabel::OnionLayer("c", "eq", "det").derive(&m)
+        );
+        assert_ne!(
+            SlotLabel::OnionLayer("c", "eq", "det").derive(&m),
+            SlotLabel::OnionLayer("c", "ord", "det").derive(&m)
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # dpe-crypto — symmetric primitives and the PROB / DET / JOIN classes
+//!
+//! From-scratch implementations of everything the property-preserving
+//! encryption (PPE) taxonomy of the paper's Fig. 1 needs below the OPE/HOM
+//! level:
+//!
+//! * [`aes`] — the AES block cipher (FIPS-197), 128- and 256-bit keys,
+//!   validated against the FIPS appendix vectors;
+//! * [`sha256`] / [`hmac`] — SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104),
+//!   validated against RFC 4231;
+//! * [`ctr`] — counter-mode keystream on top of AES;
+//! * [`prf`] / [`kdf`] — a keyed PRF and label-based key derivation so one
+//!   master key can safely fan out into per-slot scheme keys;
+//! * [`prob`] — **PROB**: randomized AES-CTR (fresh random nonce per call) —
+//!   the paper's "randomized AES [12] is an instance of PROB";
+//! * [`det`] — **DET**: SIV-style deterministic encryption
+//!   (`IV = PRF(K_mac, plaintext)`, `ct = CTR(K_enc, IV, plaintext)`), so equal
+//!   plaintexts map to equal ciphertexts and nothing else is preserved;
+//! * [`join`] — **JOIN**: the CryptDB-style usage mode of DET in which one key
+//!   is shared across join-compatible columns;
+//! * [`fpe`] — format-preserving encryption (FF1-style Feistel), an
+//!   alternative **DET** instance whose ciphertexts stay in the column's
+//!   alphabet and length (the L-EncDB [10] approach).
+//!
+//! The [`scheme`] module defines the common [`scheme::SymmetricScheme`] trait
+//! plus the class descriptors ([`scheme::EncryptionClass`]) that the KIT-DPE
+//! selection engine (Definition 6) operates on.
+//!
+//! Reference implementation for reproducing the paper's mining semantics —
+//! **not** constant-time, **not** for production secrets.
+
+pub mod aes;
+pub mod ctr;
+pub mod det;
+pub mod error;
+pub mod fpe;
+pub mod hmac;
+pub mod join;
+pub mod kdf;
+pub mod keys;
+pub mod prf;
+pub mod prob;
+pub mod scheme;
+pub mod sha256;
+
+pub use det::DetScheme;
+pub use error::CryptoError;
+pub use fpe::{Alphabet, FpeScheme};
+pub use join::JoinGroup;
+pub use keys::{MasterKey, SymmetricKey};
+pub use prob::ProbScheme;
+pub use scheme::{Ciphertext, EncryptionClass, SymmetricScheme};

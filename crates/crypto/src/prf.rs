@@ -1,0 +1,81 @@
+//! A keyed pseudo-random function (HMAC-SHA256) with convenience output
+//! shapes. The OPE crate uses it to derive per-interval pivots; the DET class
+//! uses it as its synthetic IV.
+
+use crate::hmac::hmac_sha256;
+use crate::keys::SymmetricKey;
+
+/// Full 32-byte PRF output.
+pub fn prf(key: &SymmetricKey, input: &[u8]) -> [u8; 32] {
+    hmac_sha256(key.as_bytes(), input)
+}
+
+/// PRF truncated to a `u64` (big-endian top 8 bytes).
+pub fn prf_u64(key: &SymmetricKey, input: &[u8]) -> u64 {
+    let out = prf(key, input);
+    u64::from_be_bytes(out[..8].try_into().unwrap())
+}
+
+/// PRF truncated to a `u128` (big-endian top 16 bytes).
+pub fn prf_u128(key: &SymmetricKey, input: &[u8]) -> u128 {
+    let out = prf(key, input);
+    u128::from_be_bytes(out[..16].try_into().unwrap())
+}
+
+/// PRF output reduced uniformly-enough into `[0, bound)` for pivot selection.
+///
+/// Uses 128-bit multiplication to avoid the modulo-bias of a plain `%` when
+/// `bound` is large. Panics when `bound == 0`.
+pub fn prf_below(key: &SymmetricKey, input: &[u8], bound: u64) -> u64 {
+    assert!(bound > 0, "prf_below bound must be positive");
+    let wide = prf_u64(key, input) as u128 * bound as u128;
+    (wide >> 64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> SymmetricKey {
+        SymmetricKey::from_bytes([b; 32])
+    }
+
+    #[test]
+    fn deterministic_per_key_and_input() {
+        assert_eq!(prf(&key(1), b"x"), prf(&key(1), b"x"));
+        assert_ne!(prf(&key(1), b"x"), prf(&key(2), b"x"));
+        assert_ne!(prf(&key(1), b"x"), prf(&key(1), b"y"));
+    }
+
+    #[test]
+    fn truncations_are_prefixes() {
+        let full = prf(&key(3), b"abc");
+        assert_eq!(prf_u64(&key(3), b"abc").to_be_bytes(), full[..8]);
+        assert_eq!(prf_u128(&key(3), b"abc").to_be_bytes(), full[..16]);
+    }
+
+    #[test]
+    fn prf_below_respects_bound() {
+        for bound in [1u64, 2, 7, 1000, u64::MAX] {
+            for i in 0..50u32 {
+                let v = prf_below(&key(4), &i.to_be_bytes(), bound);
+                assert!(v < bound, "v={v} bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn prf_below_covers_small_range() {
+        let mut seen = [false; 5];
+        for i in 0..200u32 {
+            seen[prf_below(&key(5), &i.to_be_bytes(), 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn prf_below_zero_bound_panics() {
+        prf_below(&key(0), b"", 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! **PROB** — probabilistic encryption: randomized AES-256-CTR.
+//!
+//! Each call draws a fresh 12-byte nonce, so equal plaintexts map to distinct
+//! ciphertexts with overwhelming probability. This is the top (most secure)
+//! class of Fig. 1: ciphertexts reveal nothing but length.
+
+use crate::aes::Aes;
+use crate::ctr::ctr_xor;
+use crate::error::CryptoError;
+use crate::keys::SymmetricKey;
+use crate::scheme::{Ciphertext, EncryptionClass, SymmetricScheme};
+use rand::RngCore;
+
+/// Randomized AES-CTR. Ciphertext framing: `nonce (12) || body`.
+#[derive(Clone)]
+pub struct ProbScheme {
+    aes: Aes,
+}
+
+impl ProbScheme {
+    /// Builds the scheme from a symmetric key.
+    pub fn new(key: &SymmetricKey) -> Self {
+        ProbScheme { aes: Aes::new_256(key.as_bytes()) }
+    }
+}
+
+impl SymmetricScheme for ProbScheme {
+    fn encrypt(&self, plaintext: &[u8], rng: &mut dyn RngCore) -> Ciphertext {
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut nonce);
+        let mut out = Vec::with_capacity(12 + plaintext.len());
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        ctr_xor(&self.aes, &nonce, &mut out[12..]);
+        Ciphertext(out)
+    }
+
+    fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u8>, CryptoError> {
+        let bytes = ciphertext.as_bytes();
+        if bytes.len() < 12 {
+            return Err(CryptoError::CiphertextTooShort { expected_at_least: 12, got: bytes.len() });
+        }
+        let nonce: [u8; 12] = bytes[..12].try_into().unwrap();
+        let mut body = bytes[12..].to_vec();
+        ctr_xor(&self.aes, &nonce, &mut body);
+        Ok(body)
+    }
+
+    fn class(&self) -> EncryptionClass {
+        EncryptionClass::Prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ProbScheme, StdRng) {
+        (ProbScheme::new(&SymmetricKey::from_bytes([5; 32])), StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (scheme, mut rng) = setup();
+        for msg in [&b""[..], b"a", b"SELECT * FROM photoobj WHERE ra > 1.5"] {
+            let ct = scheme.encrypt(msg, &mut rng);
+            assert_eq!(scheme.decrypt(&ct).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn equal_plaintexts_different_ciphertexts() {
+        // The defining PROB property: Enc(x) ≠ Enc(x) (w.h.p.).
+        let (scheme, mut rng) = setup();
+        let a = scheme.encrypt(b"same", &mut rng);
+        let b = scheme.encrypt(b"same", &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn class_is_prob() {
+        let (scheme, _) = setup();
+        assert_eq!(scheme.class(), EncryptionClass::Prob);
+    }
+
+    #[test]
+    fn short_ciphertext_rejected() {
+        let (scheme, _) = setup();
+        let err = scheme.decrypt(&Ciphertext(vec![1, 2, 3])).unwrap_err();
+        assert!(matches!(err, CryptoError::CiphertextTooShort { .. }));
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let (scheme, mut rng) = setup();
+        let other = ProbScheme::new(&SymmetricKey::from_bytes([6; 32]));
+        let ct = scheme.encrypt(b"secret payload", &mut rng);
+        // CTR has no integrity; wrong key yields different bytes, not an error.
+        assert_ne!(other.decrypt(&ct).unwrap(), b"secret payload");
+    }
+}

@@ -1,0 +1,825 @@
+//! Query-access-area distance (the paper's Definition 5, after Nguyen et
+//! al. [16]).
+//!
+//! The access area of query `Q` regarding attribute `A` is the part of `A`'s
+//! domain accessed by `Q`; the per-attribute score is
+//!
+//! ```text
+//! δ_A(Q1, Q2) = 0  if access_A(Q1) = access_A(Q2)
+//!             = x  if the areas overlap           (default x = 0.5)
+//!             = 1  otherwise (disjoint)
+//! ```
+//!
+//! and `d_AE` averages δ over all attributes accessed by either query.
+//!
+//! ## Why intervals carry open/closed flags
+//!
+//! δ only asks *equal / overlapping / disjoint* — predicates that must
+//! survive encryption of the constants with an OPE scheme, i.e. a strictly
+//! monotone endpoint map. Integer reasoning like "`A > 5` equals `A ≥ 6`"
+//! or "`[1,2] ∪ [3,5]` merges to `[1,5]`" is **not** preserved by monotone
+//! maps (the encryption of 6 is not "one past" the encryption of 5). So the
+//! interval algebra here works over a continuous ordered domain: `A > 5`
+//! stays the half-open `(5, hi]`, and adjacent integer intervals never
+//! merge. Every union / intersection / complement / comparison below
+//! depends only on endpoint *order* and openness — both invariant under
+//! OPE — which is exactly what makes access-area equivalence achievable
+//! with the classes in Table I row 4.
+
+use crate::measure::{DistanceError, QueryDistance};
+use dpe_sql::{analysis, ColumnRef, CompareOp, Expr, Literal, Query};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One endpoint of an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Coordinate.
+    pub value: i64,
+    /// `true` when the endpoint itself is excluded.
+    pub open: bool,
+}
+
+/// A non-empty interval over an ordered domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    lo: Endpoint,
+    hi: Endpoint,
+}
+
+impl Interval {
+    /// Closed interval `[lo, hi]`; `None` when empty (`lo > hi`).
+    pub fn closed(lo: i64, hi: i64) -> Option<Interval> {
+        Interval::new(Endpoint { value: lo, open: false }, Endpoint { value: hi, open: false })
+    }
+
+    /// General constructor; `None` when the interval is empty.
+    pub fn new(lo: Endpoint, hi: Endpoint) -> Option<Interval> {
+        let empty = lo.value > hi.value || (lo.value == hi.value && (lo.open || hi.open));
+        if empty {
+            None
+        } else {
+            Some(Interval { lo, hi })
+        }
+    }
+
+    fn overlaps(&self, other: &Interval) -> bool {
+        // a.lo ≤ b.hi and b.lo ≤ a.hi, with openness breaking ties.
+        let below = |a: &Endpoint, b: &Endpoint| {
+            a.value < b.value || (a.value == b.value && !a.open && !b.open)
+        };
+        below(&self.lo, &other.hi) && below(&other.lo, &self.hi)
+    }
+
+    /// `true` when `self ∪ other` is one contiguous interval (overlap or
+    /// touching with at least one closed side).
+    fn touches(&self, other: &Interval) -> bool {
+        if self.overlaps(other) {
+            return true;
+        }
+        let touch = |a: &Endpoint, b: &Endpoint| a.value == b.value && !(a.open && b.open);
+        touch(&self.hi, &other.lo) || touch(&other.hi, &self.lo)
+    }
+}
+
+/// A normalized finite union of disjoint, non-touching intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>, // sorted by lo.value, pairwise non-touching
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        IntervalSet::default()
+    }
+
+    /// A single interval (or empty).
+    pub fn from_interval(i: Option<Interval>) -> Self {
+        IntervalSet { intervals: i.into_iter().collect() }
+    }
+
+    /// `true` iff no points.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The member intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    fn normalize(mut raw: Vec<Interval>) -> IntervalSet {
+        raw.sort_by(|a, b| {
+            a.lo.value
+                .cmp(&b.lo.value)
+                .then_with(|| a.lo.open.cmp(&b.lo.open)) // closed before open
+        });
+        let mut out: Vec<Interval> = Vec::with_capacity(raw.len());
+        for next in raw {
+            match out.last_mut() {
+                Some(last) if last.touches(&next) => {
+                    // Merge: keep the smaller lo (last's, by sort), extend hi.
+                    let hi = max_endpoint_hi(last.hi, next.hi);
+                    last.hi = hi;
+                }
+                _ => out.push(next),
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut raw = self.intervals.clone();
+        raw.extend(other.intervals.iter().copied());
+        IntervalSet::normalize(raw)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut raw = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                if !a.overlaps(b) {
+                    continue;
+                }
+                let lo = max_endpoint_lo(a.lo, b.lo);
+                let hi = min_endpoint_hi(a.hi, b.hi);
+                if let Some(i) = Interval::new(lo, hi) {
+                    raw.push(i);
+                }
+            }
+        }
+        IntervalSet::normalize(raw)
+    }
+
+    /// Complement within the closed domain `[lo, hi]`.
+    pub fn complement(&self, domain_lo: i64, domain_hi: i64) -> IntervalSet {
+        let mut raw = Vec::new();
+        let mut cursor = Endpoint { value: domain_lo, open: false };
+        for iv in &self.intervals {
+            // Gap before iv: [cursor, flip(iv.lo)).
+            let gap_hi = Endpoint { value: iv.lo.value, open: !iv.lo.open };
+            if let Some(g) = Interval::new(cursor, gap_hi) {
+                raw.push(g);
+            }
+            cursor = Endpoint { value: iv.hi.value, open: !iv.hi.open };
+        }
+        let end = Endpoint { value: domain_hi, open: false };
+        if let Some(g) = Interval::new(cursor, end) {
+            raw.push(g);
+        }
+        IntervalSet::normalize(raw)
+    }
+
+    /// `true` when the sets share at least one point.
+    pub fn overlaps(&self, other: &IntervalSet) -> bool {
+        self.intervals
+            .iter()
+            .any(|a| other.intervals.iter().any(|b| a.overlaps(b)))
+    }
+}
+
+fn max_endpoint_lo(a: Endpoint, b: Endpoint) -> Endpoint {
+    // For lower bounds: larger value wins; same value → open (stricter) wins.
+    match a.value.cmp(&b.value) {
+        std::cmp::Ordering::Greater => a,
+        std::cmp::Ordering::Less => b,
+        std::cmp::Ordering::Equal => {
+            if a.open {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn min_endpoint_hi(a: Endpoint, b: Endpoint) -> Endpoint {
+    match a.value.cmp(&b.value) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal => {
+            if a.open {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn max_endpoint_hi(a: Endpoint, b: Endpoint) -> Endpoint {
+    match a.value.cmp(&b.value) {
+        std::cmp::Ordering::Greater => a,
+        std::cmp::Ordering::Less => b,
+        std::cmp::Ordering::Equal => {
+            if a.open {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+/// The domain of one attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttributeDomain {
+    /// Ordered integer domain `[lo, hi]` (fixed-point reals included).
+    Int {
+        /// Minimum.
+        lo: i64,
+        /// Maximum.
+        hi: i64,
+    },
+    /// Categorical domain (string values compared by equality only).
+    Categorical(BTreeSet<String>),
+}
+
+/// The *Domains* shared information of Table I: attribute name → domain.
+///
+/// Keys are unqualified attribute names; the synthetic workload keeps column
+/// names globally unique (as SkyServer's schema effectively does), which the
+/// KIT-DPE layer checks when building encrypted catalogs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DomainCatalog {
+    entries: BTreeMap<String, AttributeDomain>,
+}
+
+impl DomainCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        DomainCatalog::default()
+    }
+
+    /// Registers an attribute domain.
+    pub fn insert(&mut self, attribute: impl Into<String>, domain: AttributeDomain) {
+        self.entries.insert(attribute.into(), domain);
+    }
+
+    /// Looks up an attribute.
+    pub fn get(&self, attribute: &str) -> Option<&AttributeDomain> {
+        self.entries.get(attribute)
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &AttributeDomain)> {
+        self.entries.iter()
+    }
+}
+
+/// The access area of a query regarding one attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessArea {
+    /// Region of an ordered domain.
+    Intervals(IntervalSet),
+    /// Subset of a categorical domain.
+    Categories(BTreeSet<String>),
+}
+
+impl AccessArea {
+    fn is_empty(&self) -> bool {
+        match self {
+            AccessArea::Intervals(s) => s.is_empty(),
+            AccessArea::Categories(c) => c.is_empty(),
+        }
+    }
+
+    fn overlaps(&self, other: &AccessArea) -> bool {
+        match (self, other) {
+            (AccessArea::Intervals(a), AccessArea::Intervals(b)) => a.overlaps(b),
+            (AccessArea::Categories(a), AccessArea::Categories(b)) => {
+                a.intersection(b).next().is_some()
+            }
+            // Mixed kinds never arise for a well-typed attribute.
+            _ => false,
+        }
+    }
+}
+
+/// Per-attribute predicate region during WHERE analysis: either the
+/// predicate does not mention the attribute (`Unconstrained`) or it
+/// restricts it to a region.
+enum Region {
+    Unconstrained,
+    Area(AccessArea),
+}
+
+/// Computes `access_A(Q)`: `None` when `Q` does not access `A` at all.
+pub fn access_area(
+    query: &Query,
+    attribute: &str,
+    catalog: &DomainCatalog,
+) -> Result<Option<AccessArea>, DistanceError> {
+    if !analysis::attributes(query).contains(attribute) {
+        return Ok(None);
+    }
+    let domain = catalog
+        .get(attribute)
+        .ok_or_else(|| DistanceError::MissingDomain(attribute.to_string()))?;
+
+    let full = full_area(domain);
+    let area = match &query.where_clause {
+        None => full,
+        Some(expr) => match eval_region(expr, attribute, domain)? {
+            Region::Unconstrained => full,
+            Region::Area(a) => a,
+        },
+    };
+    Ok(Some(area))
+}
+
+fn full_area(domain: &AttributeDomain) -> AccessArea {
+    match domain {
+        AttributeDomain::Int { lo, hi } => {
+            AccessArea::Intervals(IntervalSet::from_interval(Interval::closed(*lo, *hi)))
+        }
+        AttributeDomain::Categorical(cats) => AccessArea::Categories(cats.clone()),
+    }
+}
+
+fn empty_area(domain: &AttributeDomain) -> AccessArea {
+    match domain {
+        AttributeDomain::Int { .. } => AccessArea::Intervals(IntervalSet::empty()),
+        AttributeDomain::Categorical(_) => AccessArea::Categories(BTreeSet::new()),
+    }
+}
+
+fn refers_to(col: &ColumnRef, attribute: &str) -> bool {
+    col.column == attribute
+}
+
+fn eval_region(
+    expr: &Expr,
+    attribute: &str,
+    domain: &AttributeDomain,
+) -> Result<Region, DistanceError> {
+    Ok(match expr {
+        Expr::Comparison { col, op, value } if refers_to(col, attribute) => {
+            Region::Area(comparison_area(*op, value, domain))
+        }
+        Expr::Between { col, low, high } if refers_to(col, attribute) => {
+            match (domain, low, high) {
+                (AttributeDomain::Int { lo, hi }, Literal::Int(a), Literal::Int(b)) => {
+                    let clamp = IntervalSet::from_interval(Interval::closed(*lo, *hi));
+                    let set = IntervalSet::from_interval(Interval::closed(*a, *b));
+                    Region::Area(AccessArea::Intervals(set.intersect(&clamp)))
+                }
+                _ => Region::Area(empty_area(domain)),
+            }
+        }
+        Expr::InList { col, list } if refers_to(col, attribute) => {
+            let mut acc = empty_area(domain);
+            for lit in list {
+                let one = comparison_area(CompareOp::Eq, lit, domain);
+                acc = union_area(&acc, &one);
+            }
+            Region::Area(acc)
+        }
+        // IS NULL selects no point of the value domain; IS NOT NULL all.
+        Expr::IsNull { col, negated } if refers_to(col, attribute) => Region::Area(if *negated {
+            full_area(domain)
+        } else {
+            empty_area(domain)
+        }),
+        Expr::And(a, b) => {
+            match (eval_region(a, attribute, domain)?, eval_region(b, attribute, domain)?) {
+                (Region::Unconstrained, r) | (r, Region::Unconstrained) => r,
+                (Region::Area(x), Region::Area(y)) => Region::Area(intersect_area(&x, &y)),
+            }
+        }
+        Expr::Or(a, b) => {
+            match (eval_region(a, attribute, domain)?, eval_region(b, attribute, domain)?) {
+                // `pred(A) OR pred(B)` does not bound A.
+                (Region::Unconstrained, _) | (_, Region::Unconstrained) => Region::Unconstrained,
+                (Region::Area(x), Region::Area(y)) => Region::Area(union_area(&x, &y)),
+            }
+        }
+        Expr::Not(inner) => match eval_region(inner, attribute, domain)? {
+            Region::Unconstrained => Region::Unconstrained,
+            Region::Area(a) => Region::Area(complement_area(&a, domain)),
+        },
+        // Predicates on other attributes (incl. ColumnEq) impose no bound.
+        _ => Region::Unconstrained,
+    })
+}
+
+fn comparison_area(op: CompareOp, value: &Literal, domain: &AttributeDomain) -> AccessArea {
+    match (domain, value) {
+        (AttributeDomain::Int { lo, hi }, Literal::Int(c)) => {
+            let c = *c;
+            let (lo, hi) = (*lo, *hi);
+            let clamp = IntervalSet::from_interval(Interval::closed(lo, hi));
+            let set = match op {
+                CompareOp::Eq => IntervalSet::from_interval(Interval::closed(c, c)),
+                CompareOp::Ne => {
+                    IntervalSet::from_interval(Interval::closed(c, c)).complement(lo, hi)
+                }
+                CompareOp::Lt => IntervalSet::from_interval(Interval::new(
+                    Endpoint { value: lo, open: false },
+                    Endpoint { value: c, open: true },
+                )),
+                CompareOp::Le => IntervalSet::from_interval(Interval::closed(lo, c)),
+                CompareOp::Gt => IntervalSet::from_interval(Interval::new(
+                    Endpoint { value: c, open: true },
+                    Endpoint { value: hi, open: false },
+                )),
+                CompareOp::Ge => IntervalSet::from_interval(Interval::closed(c, hi)),
+            };
+            AccessArea::Intervals(set.intersect(&clamp))
+        }
+        (AttributeDomain::Categorical(cats), Literal::Str(s)) => {
+            let mut selected = BTreeSet::new();
+            match op {
+                CompareOp::Eq => {
+                    if cats.contains(s) {
+                        selected.insert(s.clone());
+                    }
+                }
+                CompareOp::Ne => {
+                    selected = cats.iter().filter(|c| *c != s).cloned().collect();
+                }
+                // Ordered comparisons on categorical attributes: not part of
+                // the workload; conservatively select nothing.
+                _ => {}
+            }
+            AccessArea::Categories(selected)
+        }
+        // NULL comparisons and type mismatches select nothing.
+        _ => empty_area(domain),
+    }
+}
+
+fn union_area(a: &AccessArea, b: &AccessArea) -> AccessArea {
+    match (a, b) {
+        (AccessArea::Intervals(x), AccessArea::Intervals(y)) => AccessArea::Intervals(x.union(y)),
+        (AccessArea::Categories(x), AccessArea::Categories(y)) => {
+            AccessArea::Categories(x.union(y).cloned().collect())
+        }
+        (x, y) => {
+            if x.is_empty() {
+                y.clone()
+            } else {
+                x.clone()
+            }
+        }
+    }
+}
+
+fn intersect_area(a: &AccessArea, b: &AccessArea) -> AccessArea {
+    match (a, b) {
+        (AccessArea::Intervals(x), AccessArea::Intervals(y)) => {
+            AccessArea::Intervals(x.intersect(y))
+        }
+        (AccessArea::Categories(x), AccessArea::Categories(y)) => {
+            AccessArea::Categories(x.intersection(y).cloned().collect())
+        }
+        (AccessArea::Intervals(_), _) => AccessArea::Intervals(IntervalSet::empty()),
+        (AccessArea::Categories(_), _) => AccessArea::Categories(BTreeSet::new()),
+    }
+}
+
+fn complement_area(a: &AccessArea, domain: &AttributeDomain) -> AccessArea {
+    match (a, domain) {
+        (AccessArea::Intervals(s), AttributeDomain::Int { lo, hi }) => {
+            AccessArea::Intervals(s.complement(*lo, *hi))
+        }
+        (AccessArea::Categories(sel), AttributeDomain::Categorical(cats)) => {
+            AccessArea::Categories(cats.difference(sel).cloned().collect())
+        }
+        _ => empty_area(domain),
+    }
+}
+
+/// The access-area distance measure (Definition 5).
+pub struct AccessAreaDistance {
+    catalog: DomainCatalog,
+    /// The overlap score `x ∈ (0, 1)`, default 0.5.
+    x: f64,
+}
+
+impl AccessAreaDistance {
+    /// Builds the measure with the paper's default `x = 0.5`.
+    pub fn new(catalog: DomainCatalog) -> Self {
+        AccessAreaDistance { catalog, x: 0.5 }
+    }
+
+    /// Overrides the overlap score. Panics unless `0 < x < 1`.
+    pub fn with_x(catalog: DomainCatalog, x: f64) -> Self {
+        assert!(x > 0.0 && x < 1.0, "x must lie in (0, 1)");
+        AccessAreaDistance { catalog, x }
+    }
+
+    /// δ_A for a pair of queries.
+    fn delta(&self, q1: &Query, q2: &Query, attribute: &str) -> Result<f64, DistanceError> {
+        let a1 = access_area(q1, attribute, &self.catalog)?;
+        let a2 = access_area(q2, attribute, &self.catalog)?;
+        // "Not accessed" compares as the empty area.
+        let e1;
+        let e2;
+        let (r1, r2) = match (&a1, &a2) {
+            (Some(x), Some(y)) => (x, y),
+            (Some(x), None) => {
+                e2 = empty_like(x);
+                (x, &e2)
+            }
+            (None, Some(y)) => {
+                e1 = empty_like(y);
+                (&e1, y)
+            }
+            (None, None) => return Ok(0.0),
+        };
+        Ok(if r1 == r2 {
+            0.0
+        } else if r1.overlaps(r2) {
+            self.x
+        } else {
+            1.0
+        })
+    }
+}
+
+fn empty_like(a: &AccessArea) -> AccessArea {
+    match a {
+        AccessArea::Intervals(_) => AccessArea::Intervals(IntervalSet::empty()),
+        AccessArea::Categories(_) => AccessArea::Categories(BTreeSet::new()),
+    }
+}
+
+impl QueryDistance for AccessAreaDistance {
+    fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError> {
+        let mut attrs = analysis::attributes(a);
+        attrs.extend(analysis::attributes(b));
+        if attrs.is_empty() {
+            return Ok(0.0);
+        }
+        let mut sum = 0.0;
+        for attr in &attrs {
+            sum += self.delta(a, b, attr)?;
+        }
+        Ok(sum / attrs.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "access-area"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_sql::parse_query;
+
+    fn catalog() -> DomainCatalog {
+        let mut c = DomainCatalog::new();
+        c.insert("ra", AttributeDomain::Int { lo: 0, hi: 360 });
+        c.insert("dec", AttributeDomain::Int { lo: -90, hi: 90 });
+        c.insert(
+            "class",
+            AttributeDomain::Categorical(
+                ["STAR", "GALAXY", "QSO"].iter().map(|s| s.to_string()).collect(),
+            ),
+        );
+        c
+    }
+
+    fn area(sql: &str, attr: &str) -> Option<AccessArea> {
+        access_area(&parse_query(sql).unwrap(), attr, &catalog()).unwrap()
+    }
+
+    fn d(a: &str, b: &str) -> f64 {
+        AccessAreaDistance::new(catalog())
+            .distance(&parse_query(a).unwrap(), &parse_query(b).unwrap())
+            .unwrap()
+    }
+
+    // ---- interval algebra ----
+
+    #[test]
+    fn interval_empty_detection() {
+        assert!(Interval::closed(5, 4).is_none());
+        assert!(Interval::closed(5, 5).is_some());
+        assert!(Interval::new(
+            Endpoint { value: 5, open: true },
+            Endpoint { value: 5, open: false }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn open_adjacent_intervals_do_not_merge() {
+        // (1,2) ∪ (2,3): the point 2 is missing → two components.
+        let a = IntervalSet::from_interval(Interval::new(
+            Endpoint { value: 1, open: true },
+            Endpoint { value: 2, open: true },
+        ));
+        let b = IntervalSet::from_interval(Interval::new(
+            Endpoint { value: 2, open: true },
+            Endpoint { value: 3, open: true },
+        ));
+        assert_eq!(a.union(&b).intervals().len(), 2);
+    }
+
+    #[test]
+    fn closed_touching_intervals_merge() {
+        // [1,2] ∪ (2,3] = [1,3].
+        let a = IntervalSet::from_interval(Interval::closed(1, 2));
+        let b = IntervalSet::from_interval(Interval::new(
+            Endpoint { value: 2, open: true },
+            Endpoint { value: 3, open: false },
+        ));
+        let u = a.union(&b);
+        assert_eq!(u.intervals().len(), 1);
+        assert_eq!(u, IntervalSet::from_interval(Interval::closed(1, 3)));
+    }
+
+    #[test]
+    fn integer_adjacency_does_not_merge() {
+        // [1,2] ∪ [3,5] stays two components over a continuous domain —
+        // deliberately, for OPE invariance.
+        let a = IntervalSet::from_interval(Interval::closed(1, 2));
+        let b = IntervalSet::from_interval(Interval::closed(3, 5));
+        assert_eq!(a.union(&b).intervals().len(), 2);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let s = IntervalSet::from_interval(Interval::closed(10, 20));
+        let c = s.complement(0, 100);
+        assert_eq!(c.intervals().len(), 2);
+        assert!(!s.overlaps(&c));
+        assert_eq!(c.complement(0, 100), s);
+    }
+
+    #[test]
+    fn intersect_open_closed_boundary() {
+        // (5, 10] ∩ [5, 5] = ∅ — the open bound excludes 5.
+        let gt5 = IntervalSet::from_interval(Interval::new(
+            Endpoint { value: 5, open: true },
+            Endpoint { value: 10, open: false },
+        ));
+        let eq5 = IntervalSet::from_interval(Interval::closed(5, 5));
+        assert!(gt5.intersect(&eq5).is_empty());
+        assert!(!gt5.overlaps(&eq5));
+    }
+
+    // ---- access-area extraction ----
+
+    #[test]
+    fn unaccessed_attribute_is_none() {
+        assert_eq!(area("SELECT ra FROM photoobj", "dec"), None);
+    }
+
+    #[test]
+    fn selected_without_predicate_is_full_domain() {
+        let a = area("SELECT ra FROM photoobj", "ra").unwrap();
+        assert_eq!(
+            a,
+            AccessArea::Intervals(IntervalSet::from_interval(Interval::closed(0, 360)))
+        );
+    }
+
+    #[test]
+    fn range_predicate_extracts_half_open() {
+        let a = area("SELECT ra FROM photoobj WHERE ra > 100", "ra").unwrap();
+        let expect = AccessArea::Intervals(IntervalSet::from_interval(Interval::new(
+            Endpoint { value: 100, open: true },
+            Endpoint { value: 360, open: false },
+        )));
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn and_intersects_or_unions() {
+        let a = area("SELECT ra FROM t WHERE ra > 100 AND ra <= 200", "ra").unwrap();
+        let expect = AccessArea::Intervals(IntervalSet::from_interval(Interval::new(
+            Endpoint { value: 100, open: true },
+            Endpoint { value: 200, open: false },
+        )));
+        assert_eq!(a, expect);
+
+        let a = area("SELECT ra FROM t WHERE ra < 10 OR ra > 350", "ra").unwrap();
+        if let AccessArea::Intervals(s) = &a {
+            assert_eq!(s.intervals().len(), 2);
+        } else {
+            panic!("expected intervals");
+        }
+    }
+
+    #[test]
+    fn or_with_other_attribute_unconstrains() {
+        // `ra > 100 OR dec > 0` puts no bound on ra.
+        let a = area("SELECT ra FROM t WHERE ra > 100 OR dec > 0", "ra").unwrap();
+        assert_eq!(
+            a,
+            AccessArea::Intervals(IntervalSet::from_interval(Interval::closed(0, 360)))
+        );
+    }
+
+    #[test]
+    fn not_complements() {
+        let a = area("SELECT ra FROM t WHERE NOT ra = 100", "ra").unwrap();
+        if let AccessArea::Intervals(s) = &a {
+            assert_eq!(s.intervals().len(), 2); // [0,100) ∪ (100,360]
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn categorical_areas() {
+        let a = area("SELECT ra FROM t WHERE class = 'STAR'", "class").unwrap();
+        assert_eq!(
+            a,
+            AccessArea::Categories(["STAR".to_string()].into_iter().collect())
+        );
+        let a = area("SELECT ra FROM t WHERE class IN ('STAR', 'QSO')", "class").unwrap();
+        assert_eq!(
+            a,
+            AccessArea::Categories(["STAR".to_string(), "QSO".to_string()].into_iter().collect())
+        );
+        let a = area("SELECT ra FROM t WHERE class != 'STAR'", "class").unwrap();
+        assert_eq!(
+            a,
+            AccessArea::Categories(["GALAXY".to_string(), "QSO".to_string()].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn missing_domain_is_an_error() {
+        let q = parse_query("SELECT unknown_attr FROM t WHERE unknown_attr > 1").unwrap();
+        assert!(matches!(
+            access_area(&q, "unknown_attr", &catalog()),
+            Err(DistanceError::MissingDomain(_))
+        ));
+    }
+
+    // ---- the distance itself ----
+
+    #[test]
+    fn identical_queries_zero() {
+        assert_eq!(d("SELECT ra FROM t WHERE ra > 10", "SELECT ra FROM t WHERE ra > 10"), 0.0);
+    }
+
+    #[test]
+    fn equal_areas_different_text_zero() {
+        // `ra > 10` and `NOT ra <= 10` describe the same region.
+        assert_eq!(d("SELECT ra FROM t WHERE ra > 10", "SELECT ra FROM t WHERE NOT ra <= 10"), 0.0);
+    }
+
+    #[test]
+    fn overlap_scores_x() {
+        assert_eq!(
+            d("SELECT ra FROM t WHERE ra BETWEEN 0 AND 100", "SELECT ra FROM t WHERE ra BETWEEN 50 AND 150"),
+            0.5
+        );
+    }
+
+    #[test]
+    fn disjoint_scores_one() {
+        assert_eq!(
+            d("SELECT ra FROM t WHERE ra < 50", "SELECT ra FROM t WHERE ra > 100"),
+            1.0
+        );
+    }
+
+    #[test]
+    fn averaging_over_attributes() {
+        // ra areas equal (δ=0), dec areas disjoint (δ=1) → d = 1/2.
+        assert_eq!(
+            d(
+                "SELECT ra FROM t WHERE ra > 10 AND dec < 0",
+                "SELECT ra FROM t WHERE ra > 10 AND dec > 10"
+            ),
+            0.5
+        );
+    }
+
+    #[test]
+    fn attribute_accessed_by_only_one_query() {
+        // dec accessed only by Q1 (nonempty) vs not accessed by Q2 → δ_dec = 1;
+        // ra equal → δ_ra = 0 → d = 0.5.
+        assert_eq!(d("SELECT ra FROM t WHERE dec > 0", "SELECT ra FROM t"), 0.5);
+    }
+
+    #[test]
+    fn custom_x() {
+        let m = AccessAreaDistance::with_x(catalog(), 0.25);
+        let q1 = parse_query("SELECT ra FROM t WHERE ra BETWEEN 0 AND 100").unwrap();
+        let q2 = parse_query("SELECT ra FROM t WHERE ra BETWEEN 50 AND 150").unwrap();
+        assert_eq!(m.distance(&q1, &q2).unwrap(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must lie in (0, 1)")]
+    fn x_bounds_enforced() {
+        AccessAreaDistance::with_x(catalog(), 1.0);
+    }
+
+    #[test]
+    fn select_star_queries_with_no_attributes() {
+        assert_eq!(d("SELECT * FROM t", "SELECT * FROM u"), 0.0);
+    }
+}

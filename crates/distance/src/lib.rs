@@ -1,0 +1,35 @@
+//! # dpe-distance — the four SQL query-distance measures of Table I
+//!
+//! | Measure | Characteristic `c` | Module |
+//! |---|---|---|
+//! | Token-based query-string distance (Def. 3) | `tokens(Q)` | [`token_distance`] |
+//! | Query-structure distance (SnipSuggest features) | `features(Q)` | [`structure_distance`] |
+//! | Query-result distance | `result_tuples(Q)` | [`result_distance`] |
+//! | Query-access-area distance (Def. 5) | `access_A(Q)` per attribute | [`access_area`] |
+//!
+//! The first three are Jaccard distances over their characteristic sets
+//! ([`jaccard`]); access-area distance averages a three-valued per-attribute
+//! overlap score δ ∈ {0, x, 1}.
+//!
+//! [`measure::QueryDistance`] is the common trait; [`matrix::DistanceMatrix`]
+//! materializes pairwise distances for the mining algorithms. All distances
+//! are **exact** rational computations rendered into `f64` as a final step:
+//! numerator and denominator are set cardinalities, so checking the DPE
+//! property `d(Enc(x), Enc(y)) = d(x, y)` with `==` is sound — both sides
+//! round the same rational the same way.
+
+pub mod access_area;
+pub mod jaccard;
+pub mod matrix;
+pub mod measure;
+pub mod result_distance;
+pub mod structure_distance;
+pub mod token_distance;
+
+pub use access_area::{AccessAreaDistance, AttributeDomain, DomainCatalog, IntervalSet};
+pub use jaccard::jaccard_distance;
+pub use matrix::DistanceMatrix;
+pub use measure::{DistanceError, QueryDistance};
+pub use result_distance::ResultDistance;
+pub use structure_distance::StructureDistance;
+pub use token_distance::TokenDistance;

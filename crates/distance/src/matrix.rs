@@ -1,0 +1,248 @@
+//! Pairwise distance matrices for the mining algorithms.
+//!
+//! Computing the matrix is the O(n²) heart of the outsourced-mining
+//! pipeline; [`DistanceMatrix::compute_parallel`] spreads the rows over
+//! crossbeam scoped threads for the measures that are pure functions
+//! (token, structure, access-area — result distance executes queries
+//! against the engine and is driven through the sequential path). Both
+//! paths produce bit-identical matrices; the `matrix_parallel` bench
+//! quantifies the speed-up.
+
+use crate::measure::{DistanceError, QueryDistance};
+use dpe_sql::Query;
+
+/// A symmetric n×n distance matrix with zero diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major full storage; symmetric by construction.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise distances of `queries` under `measure`.
+    pub fn compute<M: QueryDistance>(
+        queries: &[Query],
+        measure: &M,
+    ) -> Result<DistanceMatrix, DistanceError> {
+        let n = queries.len();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = measure.distance(&queries[i], &queries[j])?;
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        Ok(DistanceMatrix { n, data })
+    }
+
+    /// Computes all pairwise distances in parallel over `threads` workers.
+    ///
+    /// Rows are dealt out round-robin (row `i` costs `n − i` distance
+    /// calls, so striding balances the triangle). The result is
+    /// bit-identical to [`DistanceMatrix::compute`]: every cell is produced
+    /// by the same single `measure.distance` call, just on a different
+    /// thread. Requires a `Sync` measure — the three log-only measures are;
+    /// the result measure (which mutates an engine connection) is not, and
+    /// keeps using the sequential path.
+    pub fn compute_parallel<M: QueryDistance + Sync>(
+        queries: &[Query],
+        measure: &M,
+        threads: usize,
+    ) -> Result<DistanceMatrix, DistanceError> {
+        let n = queries.len();
+        let threads = threads.max(1).min(n.max(1));
+        // Each worker fills disjoint rows of its own result buffer slice;
+        // errors are collected per worker and the first one is reported.
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let row_refs: Vec<(usize, &mut Vec<f64>)> = rows.iter_mut().enumerate().collect();
+        let mut failure: Vec<Option<DistanceError>> = vec![None; threads];
+
+        crossbeam::thread::scope(|scope| {
+            let mut work: Vec<Vec<(usize, &mut Vec<f64>)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (idx, item) in row_refs.into_iter().enumerate() {
+                work[idx % threads].push(item);
+            }
+            for (chunk, fail_slot) in work.into_iter().zip(failure.iter_mut()) {
+                scope.spawn(move |_| {
+                    for (i, row) in chunk {
+                        let mut filled = vec![0.0f64; n];
+                        for (j, cell) in filled.iter_mut().enumerate().skip(i + 1) {
+                            match measure.distance(&queries[i], &queries[j]) {
+                                Ok(d) => *cell = d,
+                                Err(e) => {
+                                    *fail_slot = Some(e);
+                                    return;
+                                }
+                            }
+                        }
+                        *row = filled;
+                    }
+                });
+            }
+        })
+        .expect("worker panicked while computing distances");
+
+        if let Some(e) = failure.into_iter().flatten().next() {
+            return Err(e);
+        }
+
+        // Assemble: copy each upper-triangle row and mirror it.
+        let mut data = vec![0.0f64; n * n];
+        for (i, row) in rows.iter().enumerate() {
+            for j in i + 1..n {
+                let d = row[j];
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        Ok(DistanceMatrix { n, data })
+    }
+
+    /// Builds a matrix from a symmetric closure over indices (for tests and
+    /// synthetic mining inputs).
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> DistanceMatrix {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = f(i, j);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// `true` iff the two matrices are bit-identical — the strongest form of
+    /// the DPE check.
+    pub fn identical(&self, other: &DistanceMatrix) -> bool {
+        self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Largest absolute difference to another matrix (diagnostics for the
+    /// negative controls).
+    pub fn max_abs_diff(&self, other: &DistanceMatrix) -> f64 {
+        assert_eq!(self.n, other.n, "matrices must have equal size");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token_distance::TokenDistance;
+    use dpe_sql::parse_query;
+
+    #[test]
+    fn symmetric_zero_diagonal() {
+        let queries: Vec<_> = [
+            "SELECT ra FROM t",
+            "SELECT dec FROM t",
+            "SELECT ra FROM u WHERE ra > 5",
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+        let m = DistanceMatrix::compute(&queries, &TokenDistance).unwrap();
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_and_diff() {
+        let a = DistanceMatrix::from_fn(3, |i, j| (i + j) as f64 / 10.0);
+        let b = a.clone();
+        assert!(a.identical(&b));
+        let c = DistanceMatrix::from_fn(3, |i, j| (i + j) as f64 / 10.0 + 0.001);
+        assert!(!a.identical(&c));
+        assert!((a.max_abs_diff(&c) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let queries: Vec<_> = (0..25)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT ra, a{} FROM t{} WHERE objid = {}",
+                    i % 4,
+                    i % 3,
+                    i * 7
+                ))
+                .unwrap()
+            })
+            .collect();
+        let seq = DistanceMatrix::compute(&queries, &TokenDistance).unwrap();
+        for threads in [1, 2, 4, 7, 64] {
+            let par = DistanceMatrix::compute_parallel(&queries, &TokenDistance, threads).unwrap();
+            assert!(seq.identical(&par), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_propagates_errors() {
+        struct Failing;
+        impl QueryDistance for Failing {
+            fn distance(&self, _: &Query, _: &Query) -> Result<f64, DistanceError> {
+                Err(DistanceError::MissingDomain("boom".into()))
+            }
+            fn name(&self) -> &'static str {
+                "failing"
+            }
+        }
+        let queries: Vec<_> = (0..6)
+            .map(|i| parse_query(&format!("SELECT a FROM t WHERE b = {i}")).unwrap())
+            .collect();
+        let err = DistanceMatrix::compute_parallel(&queries, &Failing, 3).unwrap_err();
+        assert!(matches!(err, DistanceError::MissingDomain(_)));
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_sizes() {
+        let one = vec![parse_query("SELECT ra FROM t").unwrap()];
+        let m = DistanceMatrix::compute_parallel(&one, &TokenDistance, 8).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+        let none: Vec<dpe_sql::Query> = Vec::new();
+        assert!(DistanceMatrix::compute_parallel(&none, &TokenDistance, 8)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! The common distance-measure interface.
+
+use dpe_minidb::DbError;
+use dpe_sql::Query;
+use std::fmt;
+
+/// Errors surfaced while computing a distance (only the result measure can
+/// fail — it executes queries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistanceError {
+    /// Query execution failed (result distance).
+    Execution(DbError),
+    /// An attribute lacks a domain entry (access-area distance).
+    MissingDomain(String),
+}
+
+impl fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceError::Execution(e) => write!(f, "query execution failed: {e}"),
+            DistanceError::MissingDomain(a) => {
+                write!(f, "attribute {a} has no domain in the catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistanceError {}
+
+impl From<DbError> for DistanceError {
+    fn from(e: DbError) -> Self {
+        DistanceError::Execution(e)
+    }
+}
+
+/// A distance measure `d : Q × Q → [0, 1]` over SQL queries.
+///
+/// Implementations must be symmetric with `d(q, q) = 0`; the property tests
+/// in each module enforce this.
+pub trait QueryDistance {
+    /// Computes `d(a, b)`.
+    fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError>;
+
+    /// Short measure name as used in Table I.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,71 @@
+//! Query-structure distance: Jaccard over SnipSuggest feature sets.
+
+use crate::jaccard::jaccard_distance;
+use crate::measure::{DistanceError, QueryDistance};
+use dpe_sql::{feature_set, Query};
+
+/// `d_Struct(Q1, Q2) = JaccardDistance(features(Q1), features(Q2))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StructureDistance;
+
+impl QueryDistance for StructureDistance {
+    fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError> {
+        Ok(jaccard_distance(&feature_set(a), &feature_set(b)))
+    }
+
+    fn name(&self) -> &'static str {
+        "structure"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_sql::parse_query;
+
+    fn d(a: &str, b: &str) -> f64 {
+        StructureDistance
+            .distance(&parse_query(a).unwrap(), &parse_query(b).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn constants_are_invisible() {
+        // The defining property vs token distance: constants don't matter.
+        assert_eq!(
+            d("SELECT ra FROM t WHERE dec > 5", "SELECT ra FROM t WHERE dec > 99999"),
+            0.0
+        );
+    }
+
+    #[test]
+    fn operator_changes_matter() {
+        assert!(d("SELECT ra FROM t WHERE dec > 5", "SELECT ra FROM t WHERE dec < 5") > 0.0);
+    }
+
+    #[test]
+    fn exact_value_on_paper_shaped_queries() {
+        // Q1: {(SELECT, a1), (FROM, r), (WHERE, a2 >)}
+        // Q2: {(SELECT, a1), (FROM, r), (WHERE, a3 >)}
+        // |∩| = 2, |∪| = 4 → d = 1/2.
+        assert_eq!(
+            d("SELECT a1 FROM r WHERE a2 > 5", "SELECT a1 FROM r WHERE a3 > 7"),
+            0.5
+        );
+    }
+
+    #[test]
+    fn structural_elements_accumulate() {
+        let base = "SELECT ra FROM t";
+        assert!(d(base, "SELECT ra FROM t GROUP BY ra") > 0.0);
+        assert!(d(base, "SELECT ra FROM t ORDER BY ra") > 0.0);
+    }
+
+    #[test]
+    fn symmetric_and_self_zero() {
+        let a = "SELECT COUNT(*) FROM t GROUP BY c";
+        let b = "SELECT ra FROM u WHERE x BETWEEN 1 AND 2";
+        assert_eq!(d(a, b), d(b, a));
+        assert_eq!(d(a, a), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Graph distance measures from the literature — the "distance-measure
+//! variety" (Challenge 2 of the paper) for the graph domain.
+//!
+//! Three measures with genuinely different information needs, mirroring the
+//! SQL case study's spread:
+//!
+//! * [`VertexJaccard`] — Jaccard distance of vertex-label sets (label
+//!   identity across graphs matters → DET territory);
+//! * [`EdgeJaccard`] — Jaccard distance of edge sets (pairwise label
+//!   identity matters → DET);
+//! * [`DegreeSequenceDistance`] — normalized L1 between sorted degree
+//!   sequences (label-*free* → even PROB preserves it, the graph analogue
+//!   of the paper's "PROB for aggregate-only constants" observation).
+
+use crate::graph::Graph;
+use std::collections::BTreeSet;
+
+/// A distance measure `d : G × G → [0, 1]` over graphs.
+///
+/// Implementations must be symmetric with `d(g, g) = 0`; the proptests in
+/// this module enforce both.
+pub trait GraphDistance {
+    /// Computes `d(a, b)`.
+    fn distance(&self, a: &Graph, b: &Graph) -> f64;
+
+    /// Short measure name as used in the case-study table.
+    fn name(&self) -> &'static str;
+}
+
+/// Jaccard distance over two finite sets; 0 for two empty sets.
+fn jaccard_distance<T: Ord>(x: &BTreeSet<T>, y: &BTreeSet<T>) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    let inter = x.intersection(y).count() as f64;
+    let union = x.union(y).count() as f64;
+    1.0 - inter / union
+}
+
+/// `1 − |V₁ ∩ V₂| / |V₁ ∪ V₂]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VertexJaccard;
+
+impl GraphDistance for VertexJaccard {
+    fn distance(&self, a: &Graph, b: &Graph) -> f64 {
+        jaccard_distance(a.vertices(), b.vertices())
+    }
+
+    fn name(&self) -> &'static str {
+        "vertex-jaccard"
+    }
+}
+
+/// `1 − |E₁ ∩ E₂| / |E₁ ∪ E₂|`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeJaccard;
+
+impl GraphDistance for EdgeJaccard {
+    fn distance(&self, a: &Graph, b: &Graph) -> f64 {
+        jaccard_distance(a.edges(), b.edges())
+    }
+
+    fn name(&self) -> &'static str {
+        "edge-jaccard"
+    }
+}
+
+/// Normalized L1 distance between the sorted degree sequences, padding the
+/// shorter sequence with zeros: `Σ|dᵢ − d'ᵢ| / Σ max(dᵢ, d'ᵢ)` (0 when both
+/// graphs are edgeless and vertexless).
+///
+/// Depends only on the *multiset of degrees*, never on labels — so any
+/// injective relabelling, including per-graph randomized pseudonyms,
+/// preserves it exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeSequenceDistance;
+
+impl GraphDistance for DegreeSequenceDistance {
+    fn distance(&self, a: &Graph, b: &Graph) -> f64 {
+        let (sa, sb) = (a.degree_sequence(), b.degree_sequence());
+        let len = sa.len().max(sb.len());
+        if len == 0 {
+            return 0.0;
+        }
+        let get = |s: &[usize], i: usize| s.get(i).copied().unwrap_or(0);
+        let mut num = 0usize;
+        let mut den = 0usize;
+        for i in 0..len {
+            let (x, y) = (get(&sa, i), get(&sb, i));
+            num += x.abs_diff(y);
+            den += x.max(y);
+        }
+        if den == 0 {
+            // Both graphs are edgeless; their degree multisets differ only
+            // in zero-padding, which carries no structure.
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "degree-sequence"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(labels: &[&str]) -> Graph {
+        let mut g = Graph::new();
+        for w in labels.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_distance_zero() {
+        let g = path(&["a", "b", "c", "d"]);
+        assert_eq!(VertexJaccard.distance(&g, &g), 0.0);
+        assert_eq!(EdgeJaccard.distance(&g, &g), 0.0);
+        assert_eq!(DegreeSequenceDistance.distance(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn disjoint_graphs_distance_one() {
+        let g1 = path(&["a", "b", "c"]);
+        let g2 = path(&["x", "y", "z"]);
+        assert_eq!(VertexJaccard.distance(&g1, &g2), 1.0);
+        assert_eq!(EdgeJaccard.distance(&g1, &g2), 1.0);
+        // But their degree sequences are identical!
+        assert_eq!(DegreeSequenceDistance.distance(&g1, &g2), 0.0);
+    }
+
+    #[test]
+    fn vertex_jaccard_counts_overlap() {
+        let g1 = path(&["a", "b", "c"]);
+        let g2 = path(&["b", "c", "d"]);
+        // V1 = {a,b,c}, V2 = {b,c,d}: |∩| = 2, |∪| = 4.
+        assert!((VertexJaccard.distance(&g1, &g2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_jaccard_counts_shared_edges() {
+        let g1 = path(&["a", "b", "c"]);
+        let g2 = path(&["b", "c", "d"]);
+        // E1 = {ab, bc}, E2 = {bc, cd}: |∩| = 1, |∪| = 3.
+        assert!((EdgeJaccard.distance(&g1, &g2) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_sequence_partial_difference() {
+        // Star(3) degrees [3,1,1,1]; path of 4 degrees [2,2,1,1].
+        let mut star = Graph::new();
+        for l in ["p", "q", "r"] {
+            star.add_edge("c", l);
+        }
+        let p4 = path(&["a", "b", "c", "d"]);
+        // Sorted: [3,1,1,1] vs [2,2,1,1] → |Σdiff| = 2, Σmax = 3+2+1+1 = 7.
+        let d = DegreeSequenceDistance.distance(&star, &p4);
+        assert!((d - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let e = Graph::new();
+        let g = path(&["a", "b"]);
+        assert_eq!(VertexJaccard.distance(&e, &e), 0.0);
+        assert_eq!(EdgeJaccard.distance(&e, &e), 0.0);
+        assert_eq!(DegreeSequenceDistance.distance(&e, &e), 0.0);
+        assert_eq!(VertexJaccard.distance(&e, &g), 1.0);
+        assert_eq!(EdgeJaccard.distance(&e, &g), 1.0);
+        assert_eq!(DegreeSequenceDistance.distance(&e, &g), 1.0);
+    }
+
+    #[test]
+    fn edgeless_graphs_with_different_vertex_counts() {
+        let mut g1 = Graph::new();
+        g1.add_vertex("a");
+        let mut g2 = Graph::new();
+        g2.add_vertex("x");
+        g2.add_vertex("y");
+        // No structure to compare — degree-sequence distance is 0;
+        // vertex distance sees disjoint label sets.
+        assert_eq!(DegreeSequenceDistance.distance(&g1, &g2), 0.0);
+        assert_eq!(VertexJaccard.distance(&g1, &g2), 1.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(VertexJaccard.name(), "vertex-jaccard");
+        assert_eq!(EdgeJaccard.name(), "edge-jaccard");
+        assert_eq!(DegreeSequenceDistance.name(), "degree-sequence");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = Graph> {
+            // Up to 8 vertices from a small label pool, random edges.
+            proptest::collection::vec((0u8..8, 0u8..8), 0..20).prop_map(|pairs| {
+                let mut g = Graph::new();
+                for (x, y) in pairs {
+                    if x != y {
+                        g.add_edge(format!("v{x}"), format!("v{y}"));
+                    } else {
+                        g.add_vertex(format!("v{x}"));
+                    }
+                }
+                g
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn measures_are_symmetric_bounded(a in arb_graph(), b in arb_graph()) {
+                for d in [
+                    VertexJaccard.distance(&a, &b),
+                    EdgeJaccard.distance(&a, &b),
+                    DegreeSequenceDistance.distance(&a, &b),
+                ] {
+                    prop_assert!((0.0..=1.0).contains(&d), "distance out of range: {d}");
+                }
+                prop_assert_eq!(VertexJaccard.distance(&a, &b), VertexJaccard.distance(&b, &a));
+                prop_assert_eq!(EdgeJaccard.distance(&a, &b), EdgeJaccard.distance(&b, &a));
+                prop_assert_eq!(
+                    DegreeSequenceDistance.distance(&a, &b),
+                    DegreeSequenceDistance.distance(&b, &a)
+                );
+            }
+
+            #[test]
+            fn self_distance_zero(a in arb_graph()) {
+                prop_assert_eq!(VertexJaccard.distance(&a, &a), 0.0);
+                prop_assert_eq!(EdgeJaccard.distance(&a, &a), 0.0);
+                prop_assert_eq!(DegreeSequenceDistance.distance(&a, &a), 0.0);
+            }
+
+            #[test]
+            fn degree_sequence_is_relabel_invariant(a in arb_graph(), b in arb_graph()) {
+                // ANY injective relabelling (here: an order-scrambling one)
+                // leaves the measure unchanged — the key fact behind PROB's
+                // appropriateness for this measure.
+                let scramble = |v: &str| format!("zz{}", v.chars().rev().collect::<String>());
+                let d_plain = DegreeSequenceDistance.distance(&a, &b);
+                let d_enc = DegreeSequenceDistance.distance(&a.relabel(scramble), &b.relabel(scramble));
+                prop_assert_eq!(d_plain, d_enc);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The labelled-graph data type the case study encrypts.
+//!
+//! Graphs are simple and undirected with string-labelled vertices — the
+//! shape of co-access graphs mined from query logs (attributes as vertices,
+//! "used by the same query" as edges) and of most graph corpora the
+//! distance measures in [`crate::distance`] target. Canonical storage
+//! (sorted vertex set, normalized edge pairs) makes structural equality,
+//! hashing and the set algebra of the Jaccard measures exact.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An undirected edge, stored with its endpoints in sorted order so that
+/// `(a, b)` and `(b, a)` are one edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Lexicographically smaller endpoint.
+    pub a: String,
+    /// Lexicographically larger endpoint.
+    pub b: String,
+}
+
+impl Edge {
+    /// Builds the canonical edge between two distinct labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops (`a == b`) — the measures here are defined on
+    /// simple graphs.
+    pub fn new(x: impl Into<String>, y: impl Into<String>) -> Self {
+        let (x, y) = (x.into(), y.into());
+        assert_ne!(x, y, "self-loops are not part of the simple-graph model");
+        if x <= y {
+            Edge { a: x, b: y }
+        } else {
+            Edge { a: y, b: x }
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}—{}", self.a, self.b)
+    }
+}
+
+/// A simple undirected graph with string vertex labels.
+///
+/// Isolated vertices are representable (a vertex may appear without edges),
+/// which matters for vertex-set distance: two graphs can share no edge yet
+/// overlap heavily in vertices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    vertices: BTreeSet<String>,
+    edges: BTreeSet<Edge>,
+}
+
+impl Graph {
+    /// The empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Builds a graph from vertices and edges; edge endpoints are added as
+    /// vertices automatically.
+    pub fn from_parts(
+        vertices: impl IntoIterator<Item = String>,
+        edges: impl IntoIterator<Item = Edge>,
+    ) -> Self {
+        let mut g = Graph::new();
+        for v in vertices {
+            g.add_vertex(v);
+        }
+        for e in edges {
+            g.add_edge_canonical(e);
+        }
+        g
+    }
+
+    /// Adds a vertex (no-op if present).
+    pub fn add_vertex(&mut self, label: impl Into<String>) {
+        self.vertices.insert(label.into());
+    }
+
+    /// Adds an undirected edge, inserting endpoints as vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops.
+    pub fn add_edge(&mut self, x: impl Into<String>, y: impl Into<String>) {
+        self.add_edge_canonical(Edge::new(x, y));
+    }
+
+    fn add_edge_canonical(&mut self, e: Edge) {
+        self.vertices.insert(e.a.clone());
+        self.vertices.insert(e.b.clone());
+        self.edges.insert(e);
+    }
+
+    /// Vertex label set.
+    pub fn vertices(&self) -> &BTreeSet<String> {
+        &self.vertices
+    }
+
+    /// Canonical edge set.
+    pub fn edges(&self) -> &BTreeSet<Edge> {
+        &self.edges
+    }
+
+    /// Number of vertices — Definition 2's example characteristic.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `label` (0 for isolated or absent vertices).
+    pub fn degree(&self, label: &str) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.a == label || e.b == label)
+            .count()
+    }
+
+    /// The degree sequence, sorted descending — a label-free structural
+    /// characteristic (the `c` of degree-sequence equivalence).
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut seq: Vec<usize> = self.vertices.iter().map(|v| self.degree(v)).collect();
+        seq.sort_unstable_by(|a, b| b.cmp(a));
+        seq
+    }
+
+    /// Applies a vertex-label mapping, producing the relabelled graph.
+    ///
+    /// This is the graph analogue of the paper's item-wise `Enc`: the
+    /// encryption schemes in [`crate::scheme`] are exactly such mappings.
+    /// The mapping must be injective on this graph's vertices or edges
+    /// would collapse; the debug assertion guards against key misuse.
+    pub fn relabel(&self, mut f: impl FnMut(&str) -> String) -> Graph {
+        let vertices: BTreeSet<String> = self.vertices.iter().map(|v| f(v)).collect();
+        debug_assert_eq!(
+            vertices.len(),
+            self.vertices.len(),
+            "relabelling collided — encryption must be injective"
+        );
+        let edges: BTreeSet<Edge> = self
+            .edges
+            .iter()
+            .map(|e| Edge::new(f(&e.a), f(&e.b)))
+            .collect();
+        Graph { vertices, edges }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({} vertices, {} edges)",
+            self.vertex_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        g.add_edge("b", "c");
+        g.add_edge("c", "a");
+        g
+    }
+
+    #[test]
+    fn edge_canonical_order() {
+        assert_eq!(Edge::new("z", "a"), Edge::new("a", "z"));
+        assert_eq!(Edge::new("z", "a").a, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        Edge::new("a", "a");
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree("a"), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        g.add_edge("b", "a");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let mut g = Graph::new();
+        g.add_vertex("lonely");
+        g.add_edge("a", "b");
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.degree("lonely"), 0);
+        assert_eq!(g.degree_sequence(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn degree_sequence_sorted_descending() {
+        // Star on 4 leaves: center degree 4, leaves degree 1.
+        let mut g = Graph::new();
+        for leaf in ["l1", "l2", "l3", "l4"] {
+            g.add_edge("center", leaf);
+        }
+        assert_eq!(g.degree_sequence(), vec![4, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = triangle();
+        let enc = g.relabel(|v| format!("enc({v})"));
+        assert_eq!(enc.vertex_count(), 3);
+        assert_eq!(enc.edge_count(), 3);
+        assert_eq!(enc.degree_sequence(), g.degree_sequence());
+        assert!(enc.vertices().contains("enc(a)"));
+    }
+
+    #[test]
+    fn from_parts_adds_endpoints() {
+        let g = Graph::from_parts(
+            ["x".to_string()],
+            [Edge::new("p", "q")],
+        );
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(triangle().to_string(), "Graph(3 vertices, 3 edges)");
+    }
+}

@@ -1,0 +1,108 @@
+//! # dpe-graphdpe — KIT-DPE instantiated for labelled graphs
+//!
+//! The paper's procedure is explicitly generic: "KIT-DPE … establishes how
+//! to design a DPE-scheme for **arbitrary data** and distance measures",
+//! and Definition 2's running example of a characteristic is a *graph*
+//! property ("the number of vertices"). This crate carries out that second
+//! instantiation end-to-end, exercising every generic concept of
+//! `dpe-core` on a data type with nothing SQL about it — the
+//! "applicability of equivalence notions in different contexts" the
+//! conclusion names as future work.
+//!
+//! ## The four steps for graphs
+//!
+//! 1. **Security model** ([`scheme`]): hide vertex identities (attribute
+//!    names, user ids); the high-level scheme is the single-slot tuple
+//!    `(EncVertex)` applied item-wise to labels. Threat model: the same
+//!    passive attacks as the SQL study.
+//! 2. **Equivalence notions** ([`notions`]): vertex-set, edge-set and
+//!    degree-sequence equivalence — one per distance measure in
+//!    [`distance`] (vertex-Jaccard, edge-Jaccard, degree-sequence L1).
+//! 3. **Ensuring the notions** ([`notions::GraphNotion::appropriate_class`]):
+//!    the Definition-6 maximum-security search over the Fig. 1 lattice
+//!    yields DET for the set measures and **PROB for degree-sequence
+//!    distance** — the graph analogue of the paper's §IV-C observation
+//!    that label-free parts of a measure admit the top security class.
+//! 4. **Security assessment**: by construction the slots reuse
+//!    `dpe-crypto` classes whose leakage `dpe-attacks` measures; no new
+//!    analysis needed — precisely the property KIT-DPE is designed around.
+//!
+//! The case-study table (the crate's Table I analogue) is derived by
+//! [`notions::derive_table`] and verified pairwise-exhaustively by
+//! [`verify::verify_graph_dpe`]; [`workload`] generates community-structured
+//! corpora and bridges SQL logs to co-access graphs so the two case studies
+//! compose.
+
+pub mod distance;
+pub mod graph;
+pub mod notions;
+pub mod scheme;
+pub mod verify;
+pub mod workload;
+
+pub use distance::{DegreeSequenceDistance, EdgeJaccard, GraphDistance, VertexJaccard};
+pub use graph::{Edge, Graph};
+pub use notions::{derive_table, GraphNotion, GraphTableRow};
+pub use scheme::{DetGraphEncryptor, ProbGraphEncryptor};
+pub use verify::{verify_graph_dpe, GraphDpeReport};
+pub use workload::{coaccess_graph, window_coaccess_graph, GraphWorkload};
+
+#[cfg(test)]
+mod mining_invariance {
+    //! The headline claim, for graphs: distance-based mining on the
+    //! encrypted corpus returns *identical* results.
+
+    use super::*;
+    use dpe_crypto::MasterKey;
+    use dpe_distance::DistanceMatrix;
+    use dpe_mining::{
+        adjusted_rand_index, agglomerative, dbscan, kmedoids, DbscanConfig, Linkage,
+    };
+
+    fn matrices<M: GraphDistance>(measure: &M) -> (DistanceMatrix, DistanceMatrix, Vec<usize>) {
+        let mut wl = GraphWorkload::new(2026);
+        let plain = wl.community_corpus(3, 8, 7);
+        let truth = GraphWorkload::community_truth(3, 8);
+        let enc = DetGraphEncryptor::new(&MasterKey::from_bytes([8; 32]));
+        let encrypted: Vec<Graph> = plain.iter().map(|g| enc.encrypt_graph(g)).collect();
+        let m_plain =
+            DistanceMatrix::from_fn(plain.len(), |i, j| measure.distance(&plain[i], &plain[j]));
+        let m_enc = DistanceMatrix::from_fn(encrypted.len(), |i, j| {
+            measure.distance(&encrypted[i], &encrypted[j])
+        });
+        (m_plain, m_enc, truth)
+    }
+
+    #[test]
+    fn kmedoids_identical_plain_vs_encrypted() {
+        // The paper's claim is *identity of results under encryption*, so
+        // that is what this test pins down. (Community recovery itself is
+        // asserted via the dendrogram cut below — k-medoids' greedy init is
+        // known to struggle on this corpus's fully tied inter-community
+        // distances, identically on both sides.)
+        let (mp, me, _) = matrices(&EdgeJaccard);
+        assert!(mp.identical(&me));
+        let plain = kmedoids(&mp, 3);
+        let enc = kmedoids(&me, 3);
+        assert_eq!(plain.assignment, enc.assignment);
+        assert_eq!(plain.medoids, enc.medoids);
+    }
+
+    #[test]
+    fn dbscan_identical() {
+        let (mp, me, _) = matrices(&VertexJaccard);
+        let cfg = DbscanConfig { eps: 0.3, min_pts: 3 };
+        assert_eq!(dbscan(&mp, cfg), dbscan(&me, cfg));
+    }
+
+    #[test]
+    fn dendrograms_identical_under_all_linkages() {
+        let (mp, me, truth) = matrices(&EdgeJaccard);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dp = agglomerative(&mp, linkage);
+            let de = agglomerative(&me, linkage);
+            assert_eq!(dp, de, "{linkage:?}");
+            assert_eq!(adjusted_rand_index(&dp.cut(3), &truth), 1.0, "{linkage:?}");
+        }
+    }
+}

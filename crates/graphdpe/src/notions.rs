@@ -1,0 +1,174 @@
+//! Equivalence notions for graph distance measures and the Definition-6
+//! class selection — Steps 2 and 3 of KIT-DPE for the graph domain.
+//!
+//! The characteristic functions `c` (Definition 2):
+//!
+//! | measure | notion | `c` |
+//! |---|---|---|
+//! | vertex-jaccard | vertex-set equivalence | `vertices` |
+//! | edge-jaccard | edge-set equivalence | `edges` |
+//! | degree-sequence | degree-sequence equivalence | `degree_sequence` |
+//!
+//! The capability analysis mirrors `dpe-core::selection` for SQL: a class
+//! *ensures* a notion when its preserved property suffices for the
+//! commuting square `Enc(c(x)) = c(Enc(x))` **and** for cross-item set
+//! algebra. Vertex- and edge-set equivalence need ciphertext equality to
+//! coincide with plaintext equality *across graphs* → deterministic classes
+//! only. Degree-sequence equivalence is label-free → every injective
+//! per-item encryption works, so PROB (the top of Fig. 1) is appropriate.
+
+use dpe_crypto::EncryptionClass;
+use std::fmt;
+
+/// The three equivalence notions of the graph case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphNotion {
+    /// `c = vertices`: the vertex-label set must commute with encryption.
+    VertexSet,
+    /// `c = edges`: the canonical edge set must commute with encryption.
+    EdgeSet,
+    /// `c = degree_sequence`: only the degree multiset must survive.
+    DegreeSequence,
+}
+
+impl GraphNotion {
+    /// All notions, in case-study table order.
+    pub const ALL: [GraphNotion; 3] =
+        [GraphNotion::VertexSet, GraphNotion::EdgeSet, GraphNotion::DegreeSequence];
+
+    /// Whether an encryption class ensures this notion for the vertex-label
+    /// slot (`EncVertex`), per the capability analysis in the module docs.
+    pub fn ensured_by(self, class: EncryptionClass) -> bool {
+        match self {
+            // Cross-graph label identity must survive: equal labels must
+            // encrypt equal, distinct labels distinct. Exactly the
+            // deterministic classes provide that.
+            GraphNotion::VertexSet | GraphNotion::EdgeSet => class.preserves_equality(),
+            // Label-free: any injective item-wise encryption preserves the
+            // degree multiset, including probabilistic pseudonyms.
+            GraphNotion::DegreeSequence => true,
+        }
+    }
+
+    /// Definition 6 for the graph slot: among the classes that ensure the
+    /// notion, pick the one with the highest security level; ties break
+    /// toward the *least capable* class (fewer preserved properties = less
+    /// leakage surface), which is how the paper reads Fig. 1 rows.
+    pub fn appropriate_class(self) -> EncryptionClass {
+        EncryptionClass::ALL
+            .into_iter()
+            .filter(|c| self.ensured_by(*c))
+            .max_by_key(|c| {
+                // Prefer high security; within a row prefer not-HOM/not-OPE
+                // extras (PROB over HOM, DET over OPE/JOIN) — encoded by
+                // counting *absent* capabilities.
+                let extra_caps = usize::from(c.preserves_order())
+                    + usize::from(c.supports_join())
+                    + usize::from(c.supports_aggregation());
+                (c.security_level(), std::cmp::Reverse(extra_caps))
+            })
+            .expect("at least one class ensures every notion")
+    }
+
+    /// The characteristic function's name (the `c` column of the table).
+    pub fn characteristic(self) -> &'static str {
+        match self {
+            GraphNotion::VertexSet => "vertices",
+            GraphNotion::EdgeSet => "edges",
+            GraphNotion::DegreeSequence => "degree_sequence",
+        }
+    }
+
+    /// Human-readable notion name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphNotion::VertexSet => "vertex-set equivalence",
+            GraphNotion::EdgeSet => "edge-set equivalence",
+            GraphNotion::DegreeSequence => "degree-sequence equivalence",
+        }
+    }
+}
+
+impl fmt::Display for GraphNotion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of the graph case-study table (the analogue of Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphTableRow {
+    /// Measure name.
+    pub measure: &'static str,
+    /// The equivalence notion KIT-DPE Step 2 assigns.
+    pub notion: GraphNotion,
+    /// The appropriate class KIT-DPE Step 3 selects for `EncVertex`.
+    pub enc_vertex: EncryptionClass,
+}
+
+/// Derives the full case-study table by running Steps 2–3 for each measure.
+pub fn derive_table() -> Vec<GraphTableRow> {
+    [
+        ("vertex-jaccard", GraphNotion::VertexSet),
+        ("edge-jaccard", GraphNotion::EdgeSet),
+        ("degree-sequence", GraphNotion::DegreeSequence),
+    ]
+    .into_iter()
+    .map(|(measure, notion)| GraphTableRow {
+        measure,
+        notion,
+        enc_vertex: notion.appropriate_class(),
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_notions_need_determinism() {
+        for notion in [GraphNotion::VertexSet, GraphNotion::EdgeSet] {
+            assert!(!notion.ensured_by(EncryptionClass::Prob), "{notion}");
+            assert!(!notion.ensured_by(EncryptionClass::Hom), "{notion}");
+            assert!(notion.ensured_by(EncryptionClass::Det), "{notion}");
+            assert!(notion.ensured_by(EncryptionClass::Ope), "{notion}");
+        }
+    }
+
+    #[test]
+    fn degree_sequence_ensured_by_everything() {
+        for class in EncryptionClass::ALL {
+            assert!(GraphNotion::DegreeSequence.ensured_by(class), "{class}");
+        }
+    }
+
+    #[test]
+    fn appropriate_classes_match_analysis() {
+        assert_eq!(GraphNotion::VertexSet.appropriate_class(), EncryptionClass::Det);
+        assert_eq!(GraphNotion::EdgeSet.appropriate_class(), EncryptionClass::Det);
+        assert_eq!(GraphNotion::DegreeSequence.appropriate_class(), EncryptionClass::Prob);
+    }
+
+    #[test]
+    fn derived_table_shape() {
+        let table = derive_table();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table[0].enc_vertex, EncryptionClass::Det);
+        assert_eq!(table[1].enc_vertex, EncryptionClass::Det);
+        assert_eq!(table[2].enc_vertex, EncryptionClass::Prob);
+        // The security gain of the label-free measure is exactly the
+        // paper's §IV-C phenomenon transplanted to graphs.
+        assert!(
+            table[2].enc_vertex.security_level() > table[0].enc_vertex.security_level()
+        );
+    }
+
+    #[test]
+    fn characteristics_and_names() {
+        assert_eq!(GraphNotion::VertexSet.characteristic(), "vertices");
+        assert_eq!(GraphNotion::EdgeSet.characteristic(), "edges");
+        assert_eq!(GraphNotion::DegreeSequence.characteristic(), "degree_sequence");
+        assert_eq!(GraphNotion::VertexSet.to_string(), "vertex-set equivalence");
+    }
+}

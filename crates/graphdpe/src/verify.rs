@@ -1,0 +1,140 @@
+//! Exhaustive Definition-1 verification for graph corpora — the same
+//! "check every pair, demand exact equality" harness `dpe-core::verify`
+//! runs for SQL logs.
+
+use crate::distance::GraphDistance;
+use crate::graph::Graph;
+use std::fmt;
+
+/// Outcome of checking `d(Enc(x), Enc(y)) = d(x, y)` over all pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphDpeReport {
+    /// Measure under test.
+    pub measure: &'static str,
+    /// Number of unordered pairs checked.
+    pub pairs: usize,
+    /// Largest absolute deviation observed (0.0 when preserved).
+    pub max_delta: f64,
+    /// Whether every pair matched exactly.
+    pub preserved: bool,
+}
+
+impl fmt::Display for GraphDpeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} over {} pairs (max Δ = {:.6})",
+            self.measure,
+            if self.preserved { "PRESERVED" } else { "VIOLATED" },
+            self.pairs,
+            self.max_delta
+        )
+    }
+}
+
+/// Checks Definition 1 for `measure` by comparing all pairwise distances of
+/// `plain` against the aligned `encrypted` corpus.
+///
+/// Exact `f64` equality is required, as in the SQL harness: the Jaccard
+/// ratios are computed from equal set cardinalities on both sides, so any
+/// deviation at all means the scheme is *not* distance-preserving.
+///
+/// # Panics
+///
+/// Panics when the corpora are not aligned index-by-index.
+pub fn verify_graph_dpe<M: GraphDistance>(
+    measure: &M,
+    plain: &[Graph],
+    encrypted: &[Graph],
+) -> GraphDpeReport {
+    assert_eq!(plain.len(), encrypted.len(), "corpora must align item-wise");
+    let n = plain.len();
+    let mut pairs = 0usize;
+    let mut max_delta = 0.0f64;
+    let mut preserved = true;
+    for i in 0..n {
+        for j in i + 1..n {
+            let d_plain = measure.distance(&plain[i], &plain[j]);
+            let d_enc = measure.distance(&encrypted[i], &encrypted[j]);
+            let delta = (d_plain - d_enc).abs();
+            if d_plain != d_enc {
+                preserved = false;
+            }
+            max_delta = max_delta.max(delta);
+            pairs += 1;
+        }
+    }
+    GraphDpeReport { measure: measure.name(), pairs, max_delta, preserved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{DegreeSequenceDistance, EdgeJaccard, VertexJaccard};
+    use crate::scheme::{DetGraphEncryptor, ProbGraphEncryptor};
+    use crate::workload::GraphWorkload;
+    use dpe_crypto::MasterKey;
+
+    fn corpus() -> Vec<Graph> {
+        GraphWorkload::new(42).community_corpus(3, 6, 8)
+    }
+
+    #[test]
+    fn det_preserves_all_three_measures() {
+        let plain = corpus();
+        let enc = DetGraphEncryptor::new(&MasterKey::from_bytes([3; 32]));
+        let encrypted: Vec<Graph> = plain.iter().map(|g| enc.encrypt_graph(g)).collect();
+
+        for report in [
+            verify_graph_dpe(&VertexJaccard, &plain, &encrypted),
+            verify_graph_dpe(&EdgeJaccard, &plain, &encrypted),
+            verify_graph_dpe(&DegreeSequenceDistance, &plain, &encrypted),
+        ] {
+            assert!(report.preserved, "{report}");
+            assert_eq!(report.max_delta, 0.0);
+            assert_eq!(report.pairs, plain.len() * (plain.len() - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn prob_preserves_only_degree_sequence() {
+        let plain = corpus();
+        let mut enc = ProbGraphEncryptor::from_seed(9);
+        let encrypted: Vec<Graph> = plain.iter().map(|g| enc.encrypt_graph(g)).collect();
+
+        let deg = verify_graph_dpe(&DegreeSequenceDistance, &plain, &encrypted);
+        assert!(deg.preserved, "{deg}");
+
+        // Negative controls: the set measures break under per-graph
+        // pseudonyms — cross-graph overlaps vanish.
+        let vj = verify_graph_dpe(&VertexJaccard, &plain, &encrypted);
+        let ej = verify_graph_dpe(&EdgeJaccard, &plain, &encrypted);
+        assert!(!vj.preserved, "vertex-jaccard should break under PROB: {vj}");
+        assert!(!ej.preserved, "edge-jaccard should break under PROB: {ej}");
+        assert!(vj.max_delta > 0.0);
+    }
+
+    #[test]
+    fn identity_is_the_sanity_floor() {
+        let plain = corpus();
+        let report = verify_graph_dpe(&VertexJaccard, &plain, &plain);
+        assert!(report.preserved);
+        assert_eq!(report.max_delta, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_corpora_rejected() {
+        let plain = corpus();
+        verify_graph_dpe(&VertexJaccard, &plain, &plain[1..]);
+    }
+
+    #[test]
+    fn report_displays_verdict() {
+        let plain = corpus();
+        let report = verify_graph_dpe(&EdgeJaccard, &plain, &plain);
+        let s = report.to_string();
+        assert!(s.contains("PRESERVED"), "{s}");
+        assert!(s.contains("edge-jaccard"), "{s}");
+    }
+}

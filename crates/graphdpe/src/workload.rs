@@ -1,0 +1,191 @@
+//! Synthetic graph corpora and the query-log → co-access-graph bridge.
+//!
+//! Two sources of graphs, both seeded and reproducible:
+//!
+//! * [`GraphWorkload::community_corpus`] — graphs drawn from `k` structural
+//!   communities: graphs in one community perturb a shared template, so a
+//!   distance-based clustering should recover the communities (and, under
+//!   DPE, recover them *identically* on ciphertext).
+//! * [`coaccess_graph`] — the case study's tie-back to the paper: an SQL
+//!   query's accessed attributes form a clique (they co-occur in one user
+//!   interaction). Folding a log window produces the co-access graph that
+//!   SkyServer-style interest mining ([16]) works on; encrypting the log
+//!   with the DET attribute slot and building the graph from ciphertext
+//!   commutes with building it from plaintext and encrypting the labels.
+
+use crate::graph::Graph;
+use dpe_sql::{analysis, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded generator of synthetic graph corpora.
+#[derive(Debug)]
+pub struct GraphWorkload {
+    rng: StdRng,
+}
+
+impl GraphWorkload {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        GraphWorkload { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generates `communities × per_community` graphs. Each community owns
+    /// a random template over its private label universe of
+    /// `vertices_per_graph` vertices; members perturb the template by
+    /// toggling a few edges, so intra-community distances are small and
+    /// inter-community distances are 1 (disjoint labels).
+    pub fn community_corpus(
+        &mut self,
+        communities: usize,
+        per_community: usize,
+        vertices_per_graph: usize,
+    ) -> Vec<Graph> {
+        assert!(vertices_per_graph >= 3, "need ≥ 3 vertices for interesting structure");
+        let mut corpus = Vec::with_capacity(communities * per_community);
+        for c in 0..communities {
+            let labels: Vec<String> =
+                (0..vertices_per_graph).map(|i| format!("c{c}_v{i}")).collect();
+            // Community template: each vertex pair is an edge with p = 0.4.
+            let mut template: Vec<(usize, usize)> = Vec::new();
+            for i in 0..vertices_per_graph {
+                for j in i + 1..vertices_per_graph {
+                    if self.rng.gen_bool(0.4) {
+                        template.push((i, j));
+                    }
+                }
+            }
+            // Ensure the template has at least one edge.
+            if template.is_empty() {
+                template.push((0, 1));
+            }
+            for _ in 0..per_community {
+                let mut g = Graph::new();
+                for l in &labels {
+                    g.add_vertex(l.clone());
+                }
+                for &(i, j) in &template {
+                    // Keep each template edge with p = 0.9.
+                    if self.rng.gen_bool(0.9) {
+                        g.add_edge(labels[i].clone(), labels[j].clone());
+                    }
+                }
+                // Sprinkle one random extra edge half the time.
+                if self.rng.gen_bool(0.5) {
+                    let i = self.rng.gen_range(0..vertices_per_graph);
+                    let j = self.rng.gen_range(0..vertices_per_graph);
+                    if i != j {
+                        g.add_edge(labels[i].clone(), labels[j].clone());
+                    }
+                }
+                corpus.push(g);
+            }
+        }
+        corpus
+    }
+
+    /// Ground-truth community labels aligned with
+    /// [`GraphWorkload::community_corpus`] output order.
+    pub fn community_truth(communities: usize, per_community: usize) -> Vec<usize> {
+        (0..communities)
+            .flat_map(|c| std::iter::repeat(c).take(per_community))
+            .collect()
+    }
+}
+
+/// Builds the co-access graph of one query: accessed attributes are the
+/// vertices and every pair of co-accessed attributes is an edge (a clique —
+/// the window-free special case of interest graphs à la [16]).
+pub fn coaccess_graph(query: &Query) -> Graph {
+    let attrs: Vec<String> = analysis::attributes(query).into_iter().collect();
+    let mut g = Graph::new();
+    for a in &attrs {
+        g.add_vertex(a.clone());
+    }
+    for i in 0..attrs.len() {
+        for j in i + 1..attrs.len() {
+            g.add_edge(attrs[i].clone(), attrs[j].clone());
+        }
+    }
+    g
+}
+
+/// Folds a window of queries into one co-access graph (union of cliques) —
+/// the "session graph" used for user-interest mining over log windows.
+pub fn window_coaccess_graph(queries: &[Query]) -> Graph {
+    let mut g = Graph::new();
+    for q in queries {
+        let clique = coaccess_graph(q);
+        for v in clique.vertices() {
+            g.add_vertex(v.clone());
+        }
+        for e in clique.edges() {
+            g.add_edge(e.a.clone(), e.b.clone());
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_sql::parse_query;
+
+    #[test]
+    fn corpus_shape_and_determinism() {
+        let c1 = GraphWorkload::new(5).community_corpus(3, 4, 6);
+        let c2 = GraphWorkload::new(5).community_corpus(3, 4, 6);
+        assert_eq!(c1.len(), 12);
+        assert_eq!(c1, c2, "same seed must reproduce the corpus");
+        let c3 = GraphWorkload::new(6).community_corpus(3, 4, 6);
+        assert_ne!(c1, c3, "different seeds should differ");
+    }
+
+    #[test]
+    fn communities_are_label_disjoint() {
+        let corpus = GraphWorkload::new(1).community_corpus(2, 3, 5);
+        // Graphs 0..3 are community 0; 3..6 community 1.
+        assert!(corpus[0].vertices().is_disjoint(corpus[3].vertices()));
+        // Within a community the vertex sets coincide.
+        assert_eq!(corpus[0].vertices(), corpus[1].vertices());
+    }
+
+    #[test]
+    fn truth_aligns() {
+        let truth = GraphWorkload::community_truth(3, 4);
+        assert_eq!(truth.len(), 12);
+        assert_eq!(truth[0], 0);
+        assert_eq!(truth[4], 1);
+        assert_eq!(truth[11], 2);
+    }
+
+    #[test]
+    fn coaccess_clique_from_query() {
+        let q = parse_query("SELECT ra, dec FROM photoobj WHERE objid = 5").unwrap();
+        let g = coaccess_graph(&q);
+        // Attributes: ra, dec, objid → triangle.
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.vertices().contains("ra"));
+        assert!(g.vertices().contains("objid"));
+    }
+
+    #[test]
+    fn window_unions_cliques() {
+        let q1 = parse_query("SELECT ra FROM photoobj WHERE dec > 1").unwrap();
+        let q2 = parse_query("SELECT z FROM specobj WHERE dec > 2").unwrap();
+        let g = window_coaccess_graph(&[q1, q2]);
+        // {ra, dec} ∪ {z, dec} = 3 vertices; edges ra—dec and dec—z.
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree("dec"), 2);
+    }
+
+    #[test]
+    fn single_attribute_query_yields_isolated_vertex() {
+        let q = parse_query("SELECT ra FROM photoobj").unwrap();
+        let g = coaccess_graph(&q);
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

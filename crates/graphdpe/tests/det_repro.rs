@@ -1,0 +1,30 @@
+#[test]
+fn det_encrypt_one_label() {
+    use dpe_crypto::scheme::SymmetricScheme;
+    use dpe_crypto::{DetScheme, MasterKey, SymmetricKey};
+    eprintln!("t0");
+    let master = MasterKey::from_bytes([3; 32]);
+    eprintln!("t1 master");
+    let key: SymmetricKey = master.derive("graph-vertex");
+    eprintln!("t2 derived");
+    let det = DetScheme::new(&key);
+    eprintln!("t3 det built");
+    struct Zero;
+    impl rand::RngCore for Zero {
+        fn next_u32(&mut self) -> u32 {
+            0
+        }
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            dest.fill(0);
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            dest.fill(0);
+            Ok(())
+        }
+    }
+    let ct = det.encrypt(b"ra", &mut Zero);
+    eprintln!("t4 ct len {}", ct.len());
+}

@@ -1,0 +1,92 @@
+//! The catalog: a named collection of tables.
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// An in-memory database.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table from a schema. Errors if the name exists.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), DbError> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a row into `table`.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), DbError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?
+            .insert(row)
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables.get(name).ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup (onion adjustment rewrites columns in place).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables.get_mut(name).ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Iterates `(name, table)` pairs in name order.
+    pub fn tables(&self) -> impl Iterator<Item = (&String, &Table)> {
+        self.tables.iter()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
+        db.insert("t", vec![Value::Int(1)]).unwrap();
+        assert_eq!(db.table("t").unwrap().len(), 1);
+        assert_eq!(db.table_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
+        let err = db.create_table(TableSchema::new("t", vec![("b", ColumnType::Int)])).unwrap_err();
+        assert!(matches!(err, DbError::TableExists(_)));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::new();
+        assert!(matches!(db.table("nope"), Err(DbError::UnknownTable(_))));
+        let mut db = Database::new();
+        assert!(matches!(
+            db.insert("nope", vec![]),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+}

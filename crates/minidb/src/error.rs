@@ -1,0 +1,66 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors from catalog operations and query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Table already exists.
+    TableExists(String),
+    /// No such table.
+    UnknownTable(String),
+    /// No such column (possibly ambiguous qualifier).
+    UnknownColumn(String),
+    /// Column reference matches more than one table in scope.
+    AmbiguousColumn(String),
+    /// Row arity differs from schema arity.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Schema arity.
+        expected: usize,
+        /// Provided arity.
+        got: usize,
+    },
+    /// Value type conflicts with column type.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Aggregate applied to an incompatible column type.
+    AggregateType {
+        /// Function name.
+        func: &'static str,
+        /// Column spelling.
+        column: String,
+    },
+    /// Plain column in SELECT that is neither grouped nor aggregated.
+    NotGrouped(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableExists(t) => write!(f, "table {t} already exists"),
+            DbError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
+            DbError::ArityMismatch { table, expected, got } => {
+                write!(f, "table {table}: expected {expected} values, got {got}")
+            }
+            DbError::TypeMismatch { table, column } => {
+                write!(f, "table {table}: value does not fit column {column}")
+            }
+            DbError::AggregateType { func, column } => {
+                write!(f, "{func} cannot be applied to column {column}")
+            }
+            DbError::NotGrouped(c) => {
+                write!(f, "column {c} must appear in GROUP BY or an aggregate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

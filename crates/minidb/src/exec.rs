@@ -1,0 +1,710 @@
+//! Query execution.
+//!
+//! Pipeline: FROM + JOINs → WHERE filter → (GROUP BY + aggregates | plain
+//! projection) → DISTINCT → ORDER BY → LIMIT. All operators are
+//! deterministic, which the DPE verification harness relies on: running the
+//! same query twice — or its encryption against the encrypted database —
+//! must produce comparable results.
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::value::Value;
+use dpe_sql::{AggArg, AggFunc, ColumnRef, CompareOp, Expr, Query, SelectItem};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+/// One output row.
+pub type Row = Vec<Value>;
+
+/// Execution result: column headers plus rows in output order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// The rows as a set — `result_tuples(Q)` of Definition 4.
+    pub fn tuple_set(&self) -> BTreeSet<Row> {
+        self.rows.iter().cloned().collect()
+    }
+
+    /// The rows as a set of *provenance-tagged* tuples: each tuple carries
+    /// the query's output schema (the header).
+    ///
+    /// Two tuples are "the same result tuple" only when they agree on both
+    /// the output columns and the values. This matters for distance
+    /// computations over heterogeneous logs: a `COUNT(*)` row `(3)` is not
+    /// the same tuple as a data row `(objid = 3)`, even though their raw
+    /// value vectors collide — and such accidental collisions are exactly
+    /// what breaks distance preservation, because encryption maps data
+    /// values consistently but cannot make a plaintext count collide with a
+    /// ciphertext objid. See `dpe-distance::result_distance`.
+    pub fn tagged_tuple_set(&self) -> BTreeSet<(Vec<String>, Row)> {
+        self.rows
+            .iter()
+            .map(|r| (self.columns.clone(), r.clone()))
+            .collect()
+    }
+}
+
+/// Executes `query` against `db`.
+pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, DbError> {
+    let scope = build_scope(db, query)?;
+    let joined = join_rows(db, query, &scope)?;
+
+    let filtered: Vec<&Row> = match &query.where_clause {
+        Some(pred) => {
+            let mut kept = Vec::new();
+            for row in &joined {
+                if eval_predicate(pred, row, &scope)? {
+                    kept.push(row);
+                }
+            }
+            kept
+        }
+        None => joined.iter().collect(),
+    };
+
+    let has_aggregate = query
+        .select
+        .iter()
+        .any(|s| matches!(s, SelectItem::Aggregate { .. }));
+
+    let (columns, mut rows) = if has_aggregate || !query.group_by.is_empty() {
+        execute_grouped(query, &filtered, &scope)?
+    } else {
+        execute_plain(query, &filtered, &scope)?
+    };
+
+    if query.distinct {
+        let mut seen = BTreeSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    if let Some(limit) = query.limit {
+        rows.truncate(limit as usize);
+    }
+
+    Ok(ResultSet { columns, rows })
+}
+
+/// `result_tuples(Q)` — the characteristic of result equivalence
+/// (Definition 4): the *set* of result tuples.
+pub fn result_tuples(db: &Database, query: &Query) -> Result<BTreeSet<Row>, DbError> {
+    Ok(execute(db, query)?.tuple_set())
+}
+
+/// Provenance-tagged `result_tuples(Q)`: tuples paired with the query's
+/// output schema. The comparison semantics the result-distance measure
+/// needs on heterogeneous logs — see [`ResultSet::tagged_tuple_set`].
+pub fn tagged_result_tuples(
+    db: &Database,
+    query: &Query,
+) -> Result<BTreeSet<(Vec<String>, Row)>, DbError> {
+    Ok(execute(db, query)?.tagged_tuple_set())
+}
+
+/// Name resolution scope: the tables joined into the working relation, with
+/// each table's column offset in the combined row.
+struct Scope {
+    entries: Vec<ScopeEntry>,
+    width: usize,
+}
+
+struct ScopeEntry {
+    table: String,
+    columns: Vec<String>,
+    offset: usize,
+}
+
+impl Scope {
+    /// Resolves a column reference to its index in the combined row.
+    fn resolve(&self, col: &ColumnRef) -> Result<usize, DbError> {
+        match &col.table {
+            Some(table) => {
+                let entry = self
+                    .entries
+                    .iter()
+                    .find(|e| &e.table == table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                let idx = entry
+                    .columns
+                    .iter()
+                    .position(|c| c == &col.column)
+                    .ok_or_else(|| DbError::UnknownColumn(col.to_string()))?;
+                Ok(entry.offset + idx)
+            }
+            None => {
+                let mut found = None;
+                for entry in &self.entries {
+                    if let Some(idx) = entry.columns.iter().position(|c| c == &col.column) {
+                        if found.is_some() {
+                            return Err(DbError::AmbiguousColumn(col.column.clone()));
+                        }
+                        found = Some(entry.offset + idx);
+                    }
+                }
+                found.ok_or_else(|| DbError::UnknownColumn(col.column.clone()))
+            }
+        }
+    }
+
+    /// All output column names for `*`, in scope order, qualified when the
+    /// scope has more than one table.
+    fn wildcard_columns(&self) -> Vec<(String, usize)> {
+        let qualify = self.entries.len() > 1;
+        let mut out = Vec::with_capacity(self.width);
+        for entry in &self.entries {
+            for (i, c) in entry.columns.iter().enumerate() {
+                let name = if qualify { format!("{}.{c}", entry.table) } else { c.clone() };
+                out.push((name, entry.offset + i));
+            }
+        }
+        out
+    }
+}
+
+fn build_scope(db: &Database, query: &Query) -> Result<Scope, DbError> {
+    let mut entries = Vec::new();
+    let mut offset = 0;
+    for table_name in std::iter::once(&query.from.name).chain(query.joins.iter().map(|j| &j.table.name)) {
+        let table = db.table(table_name)?;
+        let columns: Vec<String> = table.schema().columns.iter().map(|c| c.name.clone()).collect();
+        let width = columns.len();
+        entries.push(ScopeEntry { table: table_name.clone(), columns, offset });
+        offset += width;
+    }
+    Ok(Scope { entries, width: offset })
+}
+
+/// Materializes the working relation: FROM rows folded through the inner
+/// equi-joins (hash join on the ON columns).
+fn join_rows(db: &Database, query: &Query, scope: &Scope) -> Result<Vec<Row>, DbError> {
+    let base = db.table(&query.from.name)?;
+    let mut rows: Vec<Row> = base.rows().to_vec();
+
+    for (join_idx, join) in query.joins.iter().enumerate() {
+        let right_table = db.table(&join.table.name)?;
+        // Scope for resolution includes tables up to and including this join.
+        let partial = Scope {
+            entries: scope
+                .entries
+                .iter()
+                .take(join_idx + 2)
+                .map(|e| ScopeEntry {
+                    table: e.table.clone(),
+                    columns: e.columns.clone(),
+                    offset: e.offset,
+                })
+                .collect(),
+            width: scope.entries[join_idx + 1].offset + right_table.schema().arity(),
+        };
+        let left_idx = partial.resolve(&join.left)?;
+        let right_idx = partial.resolve(&join.right)?;
+        let right_offset = scope.entries[join_idx + 1].offset;
+
+        // Decide which resolved index lives in the accumulated left rows and
+        // which in the joined table.
+        let (acc_idx, new_idx) = if left_idx < right_offset {
+            (left_idx, right_idx - right_offset)
+        } else {
+            (right_idx, left_idx - right_offset)
+        };
+
+        let mut index: std::collections::HashMap<&Value, Vec<&Row>> = std::collections::HashMap::new();
+        for r in right_table.rows() {
+            if !r[new_idx].is_null() {
+                index.entry(&r[new_idx]).or_default().push(r);
+            }
+        }
+        let mut next = Vec::new();
+        for left_row in &rows {
+            let key = &left_row[acc_idx];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = index.get(key) {
+                for m in matches {
+                    let mut combined = left_row.clone();
+                    combined.extend(m.iter().cloned());
+                    next.push(combined);
+                }
+            }
+        }
+        rows = next;
+    }
+    Ok(rows)
+}
+
+/// WHERE evaluation with UNKNOWN collapsed to `false`.
+fn eval_predicate(expr: &Expr, row: &Row, scope: &Scope) -> Result<bool, DbError> {
+    Ok(match expr {
+        Expr::Comparison { col, op, value } => {
+            let left = &row[scope.resolve(col)?];
+            let right = Value::from_literal(value);
+            match left.sql_cmp(&right) {
+                None => false,
+                Some(ord) => match op {
+                    CompareOp::Eq => ord == Ordering::Equal,
+                    CompareOp::Ne => ord != Ordering::Equal,
+                    CompareOp::Lt => ord == Ordering::Less,
+                    CompareOp::Le => ord != Ordering::Greater,
+                    CompareOp::Gt => ord == Ordering::Greater,
+                    CompareOp::Ge => ord != Ordering::Less,
+                },
+            }
+        }
+        Expr::ColumnEq { left, right } => {
+            let l = &row[scope.resolve(left)?];
+            let r = &row[scope.resolve(right)?];
+            l.sql_cmp(r) == Some(Ordering::Equal)
+        }
+        Expr::Between { col, low, high } => {
+            let v = &row[scope.resolve(col)?];
+            let lo = Value::from_literal(low);
+            let hi = Value::from_literal(high);
+            matches!(v.sql_cmp(&lo), Some(Ordering::Greater | Ordering::Equal))
+                && matches!(v.sql_cmp(&hi), Some(Ordering::Less | Ordering::Equal))
+        }
+        Expr::InList { col, list } => {
+            let v = &row[scope.resolve(col)?];
+            list.iter()
+                .any(|lit| v.sql_cmp(&Value::from_literal(lit)) == Some(Ordering::Equal))
+        }
+        Expr::IsNull { col, negated } => {
+            let is_null = row[scope.resolve(col)?].is_null();
+            is_null != *negated
+        }
+        Expr::And(a, b) => eval_predicate(a, row, scope)? && eval_predicate(b, row, scope)?,
+        Expr::Or(a, b) => eval_predicate(a, row, scope)? || eval_predicate(b, row, scope)?,
+        Expr::Not(inner) => !eval_predicate(inner, row, scope)?,
+    })
+}
+
+fn execute_plain(
+    query: &Query,
+    rows: &[&Row],
+    scope: &Scope,
+) -> Result<(Vec<String>, Vec<Row>), DbError> {
+    // ORDER BY happens on the pre-projection rows so sort keys need not be
+    // projected.
+    let mut ordered: Vec<&Row> = rows.to_vec();
+    if !query.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = query
+            .order_by
+            .iter()
+            .map(|o| Ok((scope.resolve(&o.col)?, o.desc)))
+            .collect::<Result<_, DbError>>()?;
+        ordered.sort_by(|a, b| compare_by_keys(a, b, &keys));
+    }
+
+    // Projection plan: output name + source index, wildcards expanded.
+    let mut plan: Vec<(String, usize)> = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => plan.extend(scope.wildcard_columns()),
+            SelectItem::Column(c) => plan.push((c.to_string(), scope.resolve(c)?)),
+            SelectItem::Aggregate { .. } => unreachable!("aggregates take the grouped path"),
+        }
+    }
+
+    let columns = plan.iter().map(|(n, _)| n.clone()).collect();
+    let out = ordered
+        .iter()
+        .map(|row| plan.iter().map(|(_, idx)| row[*idx].clone()).collect())
+        .collect();
+    Ok((columns, out))
+}
+
+fn execute_grouped(
+    query: &Query,
+    rows: &[&Row],
+    scope: &Scope,
+) -> Result<(Vec<String>, Vec<Row>), DbError> {
+    let key_indices: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|c| scope.resolve(c))
+        .collect::<Result<_, _>>()?;
+
+    // BTreeMap keys give deterministic group order before ORDER BY.
+    let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<&Row>> = Default::default();
+    if key_indices.is_empty() {
+        // Global aggregation: exactly one group, even over zero rows.
+        groups.insert(Vec::new(), rows.to_vec());
+    } else {
+        for row in rows {
+            let key: Vec<Value> = key_indices.iter().map(|&i| row[*&i].clone()).collect();
+            groups.entry(key).or_default().push(row);
+        }
+    }
+
+    // Output plan per select item.
+    enum Output {
+        GroupKey(usize),
+        Agg(AggFunc, Option<usize>, String),
+    }
+    let mut columns = Vec::new();
+    let mut plan = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(DbError::NotGrouped("*".to_string()));
+            }
+            SelectItem::Column(c) => {
+                let idx = scope.resolve(c)?;
+                let key_pos = key_indices
+                    .iter()
+                    .position(|&k| k == idx)
+                    .ok_or_else(|| DbError::NotGrouped(c.to_string()))?;
+                columns.push(c.to_string());
+                plan.push(Output::GroupKey(key_pos));
+            }
+            SelectItem::Aggregate { func, arg } => {
+                let (idx, spelling) = match arg {
+                    AggArg::Star => (None, format!("{func}(*)")),
+                    AggArg::Column(c) => (Some(scope.resolve(c)?), format!("{func}({c})")),
+                };
+                columns.push(spelling.clone());
+                plan.push(Output::Agg(*func, idx, spelling));
+            }
+        }
+    }
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for (key, members) in &groups {
+        let mut row = Vec::with_capacity(plan.len());
+        for output in &plan {
+            match output {
+                Output::GroupKey(pos) => row.push(key[*pos].clone()),
+                Output::Agg(func, idx, spelling) => {
+                    row.push(eval_aggregate(*func, *idx, members, spelling)?)
+                }
+            }
+        }
+        out_rows.push(row);
+    }
+
+    // ORDER BY on grouped output: resolve against the group-by columns.
+    if !query.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for o in &query.order_by {
+            let idx = scope.resolve(&o.col)?;
+            let key_pos = key_indices
+                .iter()
+                .position(|&k| k == idx)
+                .ok_or_else(|| DbError::NotGrouped(o.col.to_string()))?;
+            // Find which output slot carries this group key, if projected;
+            // otherwise sort on the hidden key by re-deriving it.
+            keys.push((key_pos, o.desc));
+        }
+        let mut paired: Vec<(Vec<Value>, Row)> =
+            groups.keys().cloned().zip(out_rows).collect();
+        paired.sort_by(|(ka, _), (kb, _)| {
+            for &(pos, desc) in &keys {
+                let ord = null_first_cmp(&ka[pos], &kb[pos]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        out_rows = paired.into_iter().map(|(_, r)| r).collect();
+    }
+
+    Ok((columns, out_rows))
+}
+
+fn eval_aggregate(
+    func: AggFunc,
+    idx: Option<usize>,
+    members: &[&Row],
+    spelling: &str,
+) -> Result<Value, DbError> {
+    match func {
+        AggFunc::Count => match idx {
+            None => Ok(Value::Int(members.len() as i64)),
+            Some(i) => Ok(Value::Int(members.iter().filter(|r| !r[i].is_null()).count() as i64)),
+        },
+        AggFunc::Sum | AggFunc::Avg => {
+            let i = idx.ok_or(DbError::AggregateType { func: func.name(), column: "*".into() })?;
+            let mut sum: i64 = 0;
+            let mut count: i64 = 0;
+            for r in members {
+                match &r[i] {
+                    Value::Null => {}
+                    Value::Int(v) => {
+                        sum = sum.wrapping_add(*v);
+                        count += 1;
+                    }
+                    Value::Str(_) => {
+                        return Err(DbError::AggregateType {
+                            func: func.name(),
+                            column: spelling.to_string(),
+                        })
+                    }
+                }
+            }
+            if count == 0 {
+                return Ok(Value::Null);
+            }
+            Ok(match func {
+                AggFunc::Sum => Value::Int(sum),
+                // Integer AVG: floor division, deterministic.
+                _ => Value::Int(sum.div_euclid(count)),
+            })
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let i = idx.ok_or(DbError::AggregateType { func: func.name(), column: "*".into() })?;
+            let mut best: Option<&Value> = None;
+            for r in members {
+                if r[i].is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => &r[i],
+                    Some(b) => {
+                        let take_new = match func {
+                            AggFunc::Min => r[i] < *b,
+                            _ => r[i] > *b,
+                        };
+                        if take_new {
+                            &r[i]
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.cloned().unwrap_or(Value::Null))
+        }
+    }
+}
+
+fn compare_by_keys(a: &Row, b: &Row, keys: &[(usize, bool)]) -> Ordering {
+    for &(idx, desc) in keys {
+        let ord = null_first_cmp(&a[idx], &b[idx]);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Total order for sorting: NULL sorts before everything.
+fn null_first_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.cmp(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, TableSchema};
+    use dpe_sql::parse_query;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "photoobj",
+            vec![("objid", ColumnType::Int), ("ra", ColumnType::Int), ("dec", ColumnType::Int), ("class", ColumnType::Str)],
+        ))
+        .unwrap();
+        let rows = [
+            (1, 100, -5, "STAR"),
+            (2, 150, 10, "GALAXY"),
+            (3, 200, 20, "STAR"),
+            (4, 250, -15, "QSO"),
+            (5, 300, 0, "GALAXY"),
+        ];
+        for (id, ra, dec, class) in rows {
+            db.insert(
+                "photoobj",
+                vec![Value::Int(id), Value::Int(ra), Value::Int(dec), Value::Str(class.into())],
+            )
+            .unwrap();
+        }
+        db.create_table(TableSchema::new(
+            "specobj",
+            vec![("specid", ColumnType::Int), ("bestobjid", ColumnType::Int), ("z", ColumnType::Int)],
+        ))
+        .unwrap();
+        for (sid, oid, z) in [(10, 1, 50), (11, 3, 70), (12, 3, 75), (13, 9, 99)] {
+            db.insert("specobj", vec![Value::Int(sid), Value::Int(oid), Value::Int(z)]).unwrap();
+        }
+        db
+    }
+
+    fn run(db: &Database, sql: &str) -> ResultSet {
+        execute(db, &parse_query(sql).unwrap()).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    #[test]
+    fn full_scan() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT * FROM photoobj");
+        assert_eq!(rs.rows.len(), 5);
+        assert_eq!(rs.columns, vec!["objid", "ra", "dec", "class"]);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT objid FROM photoobj WHERE ra > 150 AND class = 'STAR'");
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn between_in_or() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 200 OR class IN ('QSO')");
+        assert_eq!(rs.rows.len(), 4);
+    }
+
+    #[test]
+    fn order_by_with_desc_and_limit() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT objid FROM photoobj ORDER BY dec DESC LIMIT 2");
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn order_by_column_not_projected() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT class FROM photoobj ORDER BY ra DESC LIMIT 1");
+        assert_eq!(rs.rows, vec![vec![Value::Str("GALAXY".into())]]);
+    }
+
+    #[test]
+    fn distinct_collapses() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT DISTINCT class FROM photoobj");
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn explicit_join() {
+        let db = sample_db();
+        let rs = run(
+            &db,
+            "SELECT photoobj.objid, specobj.z FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid",
+        );
+        // objid 1 matches once, objid 3 twice, specid 13 dangles.
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn join_with_filter() {
+        let db = sample_db();
+        let rs = run(
+            &db,
+            "SELECT specobj.z FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid WHERE photoobj.class = 'STAR' AND specobj.z > 60",
+        );
+        assert_eq!(rs.rows, vec![vec![Value::Int(70)], vec![Value::Int(75)]]);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT COUNT(*), SUM(ra), MIN(dec), MAX(dec), AVG(ra) FROM photoobj");
+        assert_eq!(
+            rs.rows,
+            vec![vec![
+                Value::Int(5),
+                Value::Int(1000),
+                Value::Int(-15),
+                Value::Int(20),
+                Value::Int(200),
+            ]]
+        );
+    }
+
+    #[test]
+    fn aggregates_over_empty_input() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT COUNT(*), SUM(ra) FROM photoobj WHERE ra > 9999");
+        assert_eq!(rs.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn group_by_with_having_like_filter_in_where() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT class, COUNT(*) FROM photoobj GROUP BY class ORDER BY class");
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::Str("GALAXY".into()), Value::Int(2)],
+                vec![Value::Str("QSO".into()), Value::Int(1)],
+                vec![Value::Str("STAR".into()), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn ungrouped_column_rejected() {
+        let db = sample_db();
+        let err = execute(&db, &parse_query("SELECT ra, COUNT(*) FROM photoobj").unwrap()).unwrap_err();
+        assert!(matches!(err, DbError::NotGrouped(_)));
+    }
+
+    #[test]
+    fn unknown_column_and_table() {
+        let db = sample_db();
+        assert!(matches!(
+            execute(&db, &parse_query("SELECT nope FROM photoobj").unwrap()),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            execute(&db, &parse_query("SELECT ra FROM nope").unwrap()),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn nulls_filtered_by_comparisons() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
+        db.insert("t", vec![Value::Int(1)]).unwrap();
+        db.insert("t", vec![Value::Null]).unwrap();
+        let rs = run(&db, "SELECT a FROM t WHERE a >= 0");
+        assert_eq!(rs.rows.len(), 1);
+        let rs = run(&db, "SELECT a FROM t WHERE a IS NULL");
+        assert_eq!(rs.rows, vec![vec![Value::Null]]);
+        let rs = run(&db, "SELECT a FROM t WHERE a IS NOT NULL");
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn count_column_skips_nulls() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
+        db.insert("t", vec![Value::Int(1)]).unwrap();
+        db.insert("t", vec![Value::Null]).unwrap();
+        let rs = run(&db, "SELECT COUNT(a), COUNT(*) FROM t");
+        assert_eq!(rs.rows, vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn result_tuples_is_a_set() {
+        let db = sample_db();
+        let q = parse_query("SELECT class FROM photoobj").unwrap();
+        let tuples = result_tuples(&db, &q).unwrap();
+        assert_eq!(tuples.len(), 3); // 5 rows, 3 distinct classes
+    }
+
+    #[test]
+    fn not_predicate() {
+        let db = sample_db();
+        let rs = run(&db, "SELECT objid FROM photoobj WHERE NOT class = 'STAR' ORDER BY objid");
+        assert_eq!(rs.rows.len(), 3);
+    }
+}

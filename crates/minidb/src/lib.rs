@@ -1,0 +1,36 @@
+//! # dpe-minidb — a small in-memory relational engine
+//!
+//! Executes the `dpe-sql` SELECT dialect against in-memory tables: scans,
+//! conjunctive/disjunctive filters, inner equi-joins, projection, DISTINCT,
+//! GROUP BY with the five aggregates, ORDER BY and LIMIT.
+//!
+//! Two roles in the reproduction:
+//!
+//! 1. **Query-result distance** (Table I row 3) needs `result_tuples(Q)` —
+//!    the executor computes them for plaintext logs, and again for encrypted
+//!    logs against the CryptDB-encrypted database, so *result equivalence*
+//!    (Definition 4) can be checked as a literal set equality.
+//! 2. The CryptDB layer (`dpe-cryptdb`) runs its rewritten queries on this
+//!    engine, playing the untrusted service provider's DBMS.
+//!
+//! Semantics decisions (documented, deterministic):
+//! * Values are [`Value::Int`], [`Value::Str`], [`Value::Null`] — matching
+//!   the fixed-point convention of `dpe-sql`.
+//! * Three-valued logic is collapsed: comparisons with NULL are `false`
+//!   (like SQL's `WHERE` treating UNKNOWN as not-selected).
+//! * `result_tuples` is a **set** (Definition 4 operates on tuple sets), but
+//!   the executor also exposes bag results for completeness.
+
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use error::DbError;
+pub use exec::{execute, result_tuples, tagged_result_tuples, ResultSet, Row};
+pub use schema::{ColumnDef, ColumnType, TableSchema};
+pub use table::Table;
+pub use value::Value;

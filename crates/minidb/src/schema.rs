@@ -1,0 +1,106 @@
+//! Table schemas.
+
+use std::fmt;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// String.
+    Str,
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (lowercase).
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+/// A table schema: an ordered list of columns with unique names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Builds a schema; panics on duplicate column names (a programming
+    /// error in workload definitions).
+    pub fn new(name: impl Into<String>, columns: Vec<(&str, ColumnType)>) -> Self {
+        let name = name.into().to_ascii_lowercase();
+        let columns: Vec<ColumnDef> = columns
+            .into_iter()
+            .map(|(n, ty)| ColumnDef { name: n.to_ascii_lowercase(), ty })
+            .collect();
+        for i in 0..columns.len() {
+            for j in i + 1..columns.len() {
+                assert_ne!(
+                    columns[i].name, columns[j].name,
+                    "duplicate column {} in table {name}",
+                    columns[i].name
+                );
+            }
+        }
+        TableSchema { name, columns }
+    }
+
+    /// Index of `column`, if present.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == column)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let ty = match c.ty {
+                ColumnType::Int => "INT",
+                ColumnType::Str => "STR",
+            };
+            write!(f, "{} {ty}", c.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_arity() {
+        let s = TableSchema::new("T", vec![("A", ColumnType::Int), ("b", ColumnType::Str)]);
+        assert_eq!(s.name, "t");
+        assert_eq!(s.column_index("a"), Some(0));
+        assert_eq!(s.column_index("b"), Some(1));
+        assert_eq!(s.column_index("c"), None);
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        TableSchema::new("t", vec![("a", ColumnType::Int), ("a", ColumnType::Int)]);
+    }
+
+    #[test]
+    fn display() {
+        let s = TableSchema::new("t", vec![("a", ColumnType::Int)]);
+        assert_eq!(s.to_string(), "t(a INT)");
+    }
+}

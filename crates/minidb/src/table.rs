@@ -1,0 +1,132 @@
+//! Row storage.
+
+use crate::error::DbError;
+use crate::schema::{ColumnType, TableSchema};
+use crate::value::Value;
+
+/// An in-memory table: a schema plus row-major tuples.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Inserts one row, checking arity and types (NULL fits any column).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), DbError> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (value, def) in row.iter().zip(&self.schema.columns) {
+            let ok = match (value, def.ty) {
+                (Value::Null, _) => true,
+                (Value::Int(_), ColumnType::Int) => true,
+                (Value::Str(_), ColumnType::Str) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(DbError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: def.name.clone(),
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Rewrites one column in place with `f` (used by CryptDB-style onion
+    /// adjustment, which peels an encryption layer off a whole column).
+    /// Returns an error for unknown columns. `f` must preserve the column
+    /// type.
+    pub fn map_column(
+        &mut self,
+        column: &str,
+        mut f: impl FnMut(&Value) -> Value,
+    ) -> Result<(), DbError> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_string()))?;
+        for row in &mut self.rows {
+            row[idx] = f(&row[idx]);
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new("t", vec![("a", ColumnType::Int), ("s", ColumnType::Str)])
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
+        t.insert(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new(schema());
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn map_column_rewrites_in_place() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Str("y".into())]).unwrap();
+        t.map_column("a", |v| match v {
+            Value::Int(i) => Value::Int(i * 10),
+            other => other.clone(),
+        })
+        .unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(10));
+        assert_eq!(t.rows()[1][0], Value::Int(20));
+        assert!(t.map_column("missing", |v| v.clone()).is_err());
+    }
+
+    #[test]
+    fn types_checked() {
+        let mut t = Table::new(schema());
+        let err = t.insert(vec![Value::Str("no".into()), Value::Str("x".into())]).unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+}

@@ -1,0 +1,81 @@
+//! Runtime values.
+
+use dpe_sql::Literal;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit integer (fixed-point encodes reals).
+    Int(i64),
+    /// String.
+    Str(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Converts a parsed literal into a runtime value.
+    pub fn from_literal(lit: &Literal) -> Value {
+        match lit {
+            Literal::Int(v) => Value::Int(*v),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Null => Value::Null,
+        }
+    }
+
+    /// `true` iff NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL comparison: `None` when either side is NULL (UNKNOWN), otherwise
+    /// the ordering. Cross-type comparisons (Int vs Str) order Int < Str —
+    /// deterministic, and never produced by well-typed queries.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_conversion() {
+        assert_eq!(Value::from_literal(&Literal::Int(5)), Value::Int(5));
+        assert_eq!(Value::from_literal(&Literal::Str("x".into())), Value::Str("x".into()));
+        assert!(Value::from_literal(&Literal::Null).is_null());
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn typed_comparisons() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
+    }
+}

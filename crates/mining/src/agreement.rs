@@ -1,0 +1,117 @@
+//! Clustering-agreement metrics: Rand index and adjusted Rand index.
+//!
+//! The M1 experiment's acceptance criterion is agreement 1.0 between the
+//! plaintext and ciphertext clusterings — DPE guarantees identical label
+//! *partitions* even if cluster ids were permuted, so the comparison uses a
+//! partition metric rather than raw label equality.
+
+/// Rand index ∈ [0, 1]: fraction of item pairs on which both clusterings
+/// agree (together/apart). Panics on length mismatch.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must label the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Adjusted Rand index (Hubert & Arabie): chance-corrected, 1.0 iff the
+/// partitions are identical, ≈ 0 for independent random partitions.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must label the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().max().map_or(0, |m| m + 1);
+    let kb = b.iter().max().map_or(0, |m| m + 1);
+    let mut contingency = vec![vec![0usize; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        contingency[x][y] += 1;
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1) / 2) as f64;
+    let sum_ij: f64 = contingency.iter().flatten().map(|&x| choose2(x)).sum();
+    let sum_a: f64 = contingency.iter().map(|row| choose2(row.iter().sum())).sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| choose2(contingency.iter().map(|row| row[j]).sum()))
+        .sum();
+    let expected = sum_a * sum_b / choose2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < f64::EPSILON {
+        // Degenerate: both partitions trivial (all-same or all-distinct).
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2];
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_still_one() {
+        // Same partition, different ids.
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [2, 2, 0, 0, 1, 1];
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disagreement_lowers_scores() {
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 0, 1, 1, 1, 1];
+        assert!(rand_index(&a, &b) < 1.0);
+        assert!(adjusted_rand_index(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn known_rand_value() {
+        // a: {0,1},{2}; b: {0},{1,2} → pairs: (0,1) together/apart,
+        // (0,2) apart/apart agree, (1,2) apart/together → 1/3 agree.
+        let a = [0, 0, 1];
+        let b = [0, 1, 1];
+        assert!((rand_index(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_near_zero_for_random_like_partitions() {
+        let a = [0, 1, 0, 1, 0, 1, 0, 1];
+        let b = [0, 0, 1, 1, 0, 0, 1, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.5, "ari = {ari}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(rand_index(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[0], &[3]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        rand_index(&[0, 1], &[0]);
+    }
+}

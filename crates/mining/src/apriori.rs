@@ -1,0 +1,257 @@
+//! Apriori association-rule mining over transactions.
+//!
+//! The paper's conclusion points out that "result equivalence for SQL
+//! queries is also useful for association-rule mining over encrypted SQL
+//! logs [17]": treating each query's characteristic set (features, accessed
+//! attributes, result tuples) as a *transaction*, frequent itemsets and
+//! rules are functions of set equalities only — so any c-equivalent
+//! encryption preserves them up to item renaming. The
+//! `association_rules_encrypted` integration test exercises exactly that.
+//!
+//! Classic level-wise Apriori (Agrawal & Srikant): generate candidate
+//! k-itemsets from frequent (k−1)-itemsets, prune by the downward-closure
+//! property, count, repeat.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A transaction: a set of items.
+pub type Transaction<T> = BTreeSet<T>;
+
+/// A frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset<T: Ord> {
+    /// The items.
+    pub items: BTreeSet<T>,
+    /// Number of transactions containing all of them.
+    pub support: usize,
+}
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule<T: Ord> {
+    /// Left-hand side (non-empty).
+    pub antecedent: BTreeSet<T>,
+    /// Right-hand side (non-empty, disjoint from the antecedent).
+    pub consequent: BTreeSet<T>,
+    /// Support of antecedent ∪ consequent (absolute count).
+    pub support: usize,
+    /// Confidence = support(A ∪ C) / support(A).
+    pub confidence: f64,
+}
+
+/// Mines all frequent itemsets with `support ≥ min_support` (absolute
+/// count, ≥ 1). Returns them ordered by (size, items).
+pub fn frequent_itemsets<T: Ord + Clone>(
+    transactions: &[Transaction<T>],
+    min_support: usize,
+) -> Vec<FrequentItemset<T>> {
+    assert!(min_support >= 1, "min_support must be at least 1");
+    let mut result: Vec<FrequentItemset<T>> = Vec::new();
+
+    // Level 1: frequent single items.
+    let mut counts: BTreeMap<&T, usize> = BTreeMap::new();
+    for t in transactions {
+        for item in t {
+            *counts.entry(item).or_default() += 1;
+        }
+    }
+    let mut current: Vec<BTreeSet<T>> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_support)
+        .map(|(item, _)| {
+            let mut s = BTreeSet::new();
+            s.insert((*item).clone());
+            s
+        })
+        .collect();
+    for itemset in &current {
+        let support = count_support(transactions, itemset);
+        result.push(FrequentItemset { items: itemset.clone(), support });
+    }
+
+    // Level k: join frequent (k−1)-itemsets sharing a (k−2)-prefix.
+    while !current.is_empty() {
+        let mut candidates: BTreeSet<BTreeSet<T>> = BTreeSet::new();
+        for i in 0..current.len() {
+            for j in i + 1..current.len() {
+                let union: BTreeSet<T> = current[i].union(&current[j]).cloned().collect();
+                if union.len() != current[i].len() + 1 {
+                    continue;
+                }
+                // Downward closure: every (k−1)-subset must be frequent.
+                let all_subsets_frequent = union.iter().all(|drop| {
+                    let mut sub = union.clone();
+                    sub.remove(drop);
+                    current.contains(&sub)
+                });
+                if all_subsets_frequent {
+                    candidates.insert(union);
+                }
+            }
+        }
+        let mut next = Vec::new();
+        for candidate in candidates {
+            let support = count_support(transactions, &candidate);
+            if support >= min_support {
+                result.push(FrequentItemset { items: candidate.clone(), support });
+                next.push(candidate);
+            }
+        }
+        current = next;
+    }
+
+    result.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then(a.items.cmp(&b.items)));
+    result
+}
+
+fn count_support<T: Ord>(transactions: &[Transaction<T>], itemset: &BTreeSet<T>) -> usize {
+    transactions.iter().filter(|t| itemset.is_subset(t)).count()
+}
+
+/// Generates all rules with `confidence ≥ min_confidence` from the frequent
+/// itemsets (single-consequent rules, the common Apriori output).
+pub fn association_rules<T: Ord + Clone>(
+    transactions: &[Transaction<T>],
+    itemsets: &[FrequentItemset<T>],
+    min_confidence: f64,
+) -> Vec<Rule<T>> {
+    assert!((0.0..=1.0).contains(&min_confidence));
+    let mut rules = Vec::new();
+    for fi in itemsets.iter().filter(|fi| fi.items.len() >= 2) {
+        for consequent_item in &fi.items {
+            let mut antecedent = fi.items.clone();
+            antecedent.remove(consequent_item);
+            let antecedent_support = count_support(transactions, &antecedent);
+            if antecedent_support == 0 {
+                continue;
+            }
+            let confidence = fi.support as f64 / antecedent_support as f64;
+            if confidence >= min_confidence {
+                let mut consequent = BTreeSet::new();
+                consequent.insert(consequent_item.clone());
+                rules.push(Rule { antecedent, consequent, support: fi.support, confidence });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap()
+            .then(b.support.cmp(&a.support))
+            .then(a.antecedent.cmp(&b.antecedent))
+    });
+    rules
+}
+
+/// The *shape* of a rule set: (antecedent size, consequent size, support,
+/// confidence bits) per rule — invariant under any item renaming, which is
+/// what an encrypted mining run must reproduce exactly.
+pub fn rule_shape<T: Ord>(rules: &[Rule<T>]) -> Vec<(usize, usize, usize, u64)> {
+    let mut shape: Vec<_> = rules
+        .iter()
+        .map(|r| (r.antecedent.len(), r.consequent.len(), r.support, r.confidence.to_bits()))
+        .collect();
+    shape.sort_unstable();
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(items: &[&str]) -> Transaction<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The textbook market-basket example.
+    fn baskets() -> Vec<Transaction<String>> {
+        vec![
+            t(&["bread", "milk"]),
+            t(&["bread", "diapers", "beer", "eggs"]),
+            t(&["milk", "diapers", "beer", "cola"]),
+            t(&["bread", "milk", "diapers", "beer"]),
+            t(&["bread", "milk", "diapers", "cola"]),
+        ]
+    }
+
+    #[test]
+    fn frequent_singletons() {
+        let fi = frequent_itemsets(&baskets(), 3);
+        let singles: Vec<_> = fi
+            .iter()
+            .filter(|f| f.items.len() == 1)
+            .map(|f| (f.items.iter().next().unwrap().clone(), f.support))
+            .collect();
+        assert!(singles.contains(&("bread".into(), 4)));
+        assert!(singles.contains(&("milk".into(), 4)));
+        assert!(singles.contains(&("diapers".into(), 4)));
+        assert!(singles.contains(&("beer".into(), 3)));
+        assert!(!singles.iter().any(|(i, _)| i == "cola")); // support 2 < 3
+    }
+
+    #[test]
+    fn frequent_pairs_via_downward_closure() {
+        let fi = frequent_itemsets(&baskets(), 3);
+        let pair: BTreeSet<String> = t(&["beer", "diapers"]);
+        let found = fi.iter().find(|f| f.items == pair).expect("beer+diapers is frequent");
+        assert_eq!(found.support, 3);
+    }
+
+    #[test]
+    fn rules_have_correct_confidence() {
+        let fi = frequent_itemsets(&baskets(), 3);
+        let rules = association_rules(&baskets(), &fi, 0.7);
+        // {beer} ⇒ {diapers}: support 3, antecedent support 3 → confidence 1.
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == t(&["beer"]) && r.consequent == t(&["diapers"]))
+            .expect("beer ⇒ diapers");
+        assert_eq!(rule.confidence, 1.0);
+        assert_eq!(rule.support, 3);
+        // All reported rules meet the threshold.
+        assert!(rules.iter().all(|r| r.confidence >= 0.7));
+    }
+
+    #[test]
+    fn min_support_monotone() {
+        let lo = frequent_itemsets(&baskets(), 2);
+        let hi = frequent_itemsets(&baskets(), 4);
+        assert!(hi.len() < lo.len());
+        // Every itemset frequent at the high threshold is frequent at the low.
+        for f in &hi {
+            assert!(lo.iter().any(|g| g.items == f.items));
+        }
+    }
+
+    #[test]
+    fn renaming_items_preserves_rule_shape() {
+        // The DPE argument in miniature: a bijective item renaming (what a
+        // DET encryption does to feature sets) keeps supports/confidences.
+        let plain = baskets();
+        let renamed: Vec<Transaction<String>> = plain
+            .iter()
+            .map(|tx| tx.iter().map(|i| format!("enc_{i}")).collect())
+            .collect();
+        let fi_p = frequent_itemsets(&plain, 3);
+        let fi_e = frequent_itemsets(&renamed, 3);
+        let rules_p = association_rules(&plain, &fi_p, 0.6);
+        let rules_e = association_rules(&renamed, &fi_e, 0.6);
+        assert_eq!(rule_shape(&rules_p), rule_shape(&rules_e));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let none: Vec<Transaction<String>> = Vec::new();
+        assert!(frequent_itemsets(&none, 1).is_empty());
+        let one = vec![t(&["a"])];
+        let fi = frequent_itemsets(&one, 1);
+        assert_eq!(fi.len(), 1);
+        assert!(association_rules(&one, &fi, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn zero_support_panics() {
+        frequent_itemsets(&baskets(), 0);
+    }
+}

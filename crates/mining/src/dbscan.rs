@@ -1,0 +1,132 @@
+//! DBSCAN (Ester et al. [4]) over a distance matrix.
+
+use dpe_distance::DistanceMatrix;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius (inclusive: `d ≤ eps`).
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+/// Per-item DBSCAN label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbscanLabel {
+    /// Member of cluster `id` (0-based, in discovery order).
+    Cluster(usize),
+    /// Noise.
+    Noise,
+}
+
+/// Runs DBSCAN. Deterministic: points are seeded in index order, so cluster
+/// ids are stable for equal matrices.
+pub fn dbscan(matrix: &DistanceMatrix, config: DbscanConfig) -> Vec<DbscanLabel> {
+    let n = matrix.len();
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| matrix.get(i, j) <= config.eps).collect()
+    };
+
+    let mut labels = vec![None::<DbscanLabel>; n];
+    let mut next_cluster = 0usize;
+
+    for seed in 0..n {
+        if labels[seed].is_some() {
+            continue;
+        }
+        let seed_neigh = neighbours(seed);
+        if seed_neigh.len() < config.min_pts {
+            labels[seed] = Some(DbscanLabel::Noise);
+            continue;
+        }
+        let cluster = next_cluster;
+        next_cluster += 1;
+        labels[seed] = Some(DbscanLabel::Cluster(cluster));
+        // Expand over density-reachable points (classic queue expansion).
+        let mut queue: std::collections::VecDeque<usize> = seed_neigh.into();
+        while let Some(p) = queue.pop_front() {
+            match labels[p] {
+                Some(DbscanLabel::Noise) => {
+                    // Border point adopted by the cluster.
+                    labels[p] = Some(DbscanLabel::Cluster(cluster));
+                }
+                Some(DbscanLabel::Cluster(_)) => continue,
+                None => {
+                    labels[p] = Some(DbscanLabel::Cluster(cluster));
+                    let p_neigh = neighbours(p);
+                    if p_neigh.len() >= config.min_pts {
+                        queue.extend(p_neigh);
+                    }
+                }
+            }
+        }
+    }
+
+    labels.into_iter().map(|l| l.expect("every point labelled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs_with_noise() -> DistanceMatrix {
+        // 0-3: dense blob A; 4-7: dense blob B; 8: far from everything.
+        DistanceMatrix::from_fn(9, |i, j| {
+            let group = |x: usize| if x < 4 { 0 } else if x < 8 { 1 } else { 2 };
+            if group(i) == group(j) {
+                0.1
+            } else {
+                1.0
+            }
+        })
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let labels = dbscan(&blobs_with_noise(), DbscanConfig { eps: 0.2, min_pts: 3 });
+        assert_eq!(labels[0], DbscanLabel::Cluster(0));
+        assert!(labels[..4].iter().all(|&l| l == DbscanLabel::Cluster(0)));
+        assert!(labels[4..8].iter().all(|&l| l == DbscanLabel::Cluster(1)));
+        assert_eq!(labels[8], DbscanLabel::Noise);
+    }
+
+    #[test]
+    fn everything_noise_when_min_pts_too_high() {
+        let labels = dbscan(&blobs_with_noise(), DbscanConfig { eps: 0.2, min_pts: 6 });
+        assert!(labels.iter().all(|&l| l == DbscanLabel::Noise));
+    }
+
+    #[test]
+    fn one_cluster_when_eps_spans_all() {
+        let labels = dbscan(&blobs_with_noise(), DbscanConfig { eps: 2.0, min_pts: 3 });
+        assert!(labels.iter().all(|&l| l == DbscanLabel::Cluster(0)));
+    }
+
+    #[test]
+    fn border_points_join_first_discovered_cluster() {
+        // Chain: 0-1-2 dense; 3 within eps of 2 only (border).
+        let m = DistanceMatrix::from_fn(4, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            d * 0.3
+        });
+        let labels = dbscan(&m, DbscanConfig { eps: 0.35, min_pts: 3 });
+        // 0,1,2 core-ish chain; 3 is density-reachable border.
+        assert_eq!(labels[0], DbscanLabel::Cluster(0));
+        assert_eq!(labels[3], DbscanLabel::Cluster(0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = DistanceMatrix::from_fn(25, |i, j| ((i * 3 + j * 11) % 13) as f64 / 13.0 + 0.02);
+        let cfg = DbscanConfig { eps: 0.4, min_pts: 4 };
+        assert_eq!(dbscan(&m, cfg), dbscan(&m, cfg));
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        assert!(dbscan(&m, DbscanConfig { eps: 0.5, min_pts: 2 }).is_empty());
+    }
+}

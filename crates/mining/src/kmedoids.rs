@@ -1,0 +1,183 @@
+//! K-medoids clustering (PAM-style alternation, Park & Jun [5]).
+
+use dpe_distance::DistanceMatrix;
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KMedoidsResult {
+    /// Medoid item indices, one per cluster, sorted ascending.
+    pub medoids: Vec<usize>,
+    /// Cluster assignment per item: `assignment[i]` indexes `medoids`.
+    pub assignment: Vec<usize>,
+    /// Number of update iterations performed.
+    pub iterations: usize,
+}
+
+impl KMedoidsResult {
+    /// Total within-cluster cost Σ d(i, medoid(i)) ×1 (sum of distances).
+    pub fn cost(&self, matrix: &DistanceMatrix) -> f64 {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| matrix.get(i, self.medoids[c]))
+            .sum()
+    }
+}
+
+/// Runs k-medoids on a distance matrix.
+///
+/// Deterministic throughout: initial medoids are chosen by the Park & Jun
+/// heuristic (items minimizing the sum of normalized distances), assignment
+/// ties break toward the lower medoid index, and the update step picks the
+/// lowest-index cost-minimizing medoid. Panics when `k` is zero or exceeds
+/// the item count.
+pub fn kmedoids(matrix: &DistanceMatrix, k: usize) -> KMedoidsResult {
+    let n = matrix.len();
+    assert!(k >= 1 && k <= n, "k must be in 1..=n (k={k}, n={n})");
+
+    // Park & Jun initialization: v_j = Σ_i d(i,j) / Σ_l d(i,l); take the k
+    // smallest v_j.
+    let row_sums: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|l| matrix.get(i, l)).sum::<f64>())
+        .collect();
+    let mut scores: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let v = (0..n)
+                .map(|i| {
+                    if row_sums[i] > 0.0 {
+                        matrix.get(i, j) / row_sums[i]
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>();
+            (v, j)
+        })
+        .collect();
+    scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut medoids: Vec<usize> = scores.iter().take(k).map(|&(_, j)| j).collect();
+    medoids.sort_unstable();
+
+    let mut assignment = assign(matrix, &medoids);
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        // Update: per cluster, the member minimizing the in-cluster distance
+        // sum becomes the medoid.
+        let mut new_medoids = medoids.clone();
+        for (c, slot) in new_medoids.iter_mut().enumerate() {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = (f64::INFINITY, usize::MAX);
+            for &candidate in &members {
+                let cost: f64 = members.iter().map(|&m| matrix.get(candidate, m)).sum();
+                if cost < best.0 {
+                    best = (cost, candidate);
+                }
+            }
+            *slot = best.1;
+        }
+        new_medoids.sort_unstable();
+        let new_assignment = assign(matrix, &new_medoids);
+        if new_medoids == medoids && new_assignment == assignment {
+            break;
+        }
+        medoids = new_medoids;
+        assignment = new_assignment;
+        if iterations > n {
+            break; // cost is non-increasing; this is a safety valve
+        }
+    }
+
+    KMedoidsResult { medoids, assignment, iterations }
+}
+
+fn assign(matrix: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
+    (0..matrix.len())
+        .map(|i| {
+            let mut best = (f64::INFINITY, 0usize);
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = matrix.get(i, m);
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            best.1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups far apart.
+    fn two_blobs() -> DistanceMatrix {
+        // Items 0-2 mutually close, 3-5 mutually close, groups far apart.
+        DistanceMatrix::from_fn(6, |i, j| {
+            let gi = i / 3;
+            let gj = j / 3;
+            if gi == gj {
+                0.1
+            } else {
+                1.0
+            }
+        })
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmedoids(&two_blobs(), 2);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[1], r.assignment[2]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_eq!(r.assignment[4], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let m = two_blobs();
+        let r = kmedoids(&m, 6);
+        assert_eq!(r.cost(&m), 0.0);
+        assert_eq!(r.medoids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn k_one_single_cluster() {
+        let r = kmedoids(&two_blobs(), 1);
+        assert!(r.assignment.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = DistanceMatrix::from_fn(20, |i, j| ((i * 7 + j * 13) % 17) as f64 / 17.0 + 0.01);
+        assert_eq!(kmedoids(&m, 4), kmedoids(&m, 4));
+    }
+
+    #[test]
+    fn cost_never_worse_than_initialization() {
+        let m = DistanceMatrix::from_fn(15, |i, j| ((i + j) % 7) as f64 / 7.0 + 0.05);
+        let r = kmedoids(&m, 3);
+        // Final medoids are local optima: swapping any medoid for any other
+        // member of its cluster must not lower in-cluster cost.
+        for (c, &medoid) in r.medoids.iter().enumerate() {
+            let members: Vec<usize> =
+                (0..m.len()).filter(|&i| r.assignment[i] == c).collect();
+            let current: f64 = members.iter().map(|&x| m.get(medoid, x)).sum();
+            for &alt in &members {
+                let alt_cost: f64 = members.iter().map(|&x| m.get(alt, x)).sum();
+                assert!(alt_cost >= current - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn zero_k_panics() {
+        kmedoids(&two_blobs(), 0);
+    }
+}

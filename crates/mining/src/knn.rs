@@ -1,0 +1,59 @@
+//! k-nearest-neighbour queries over a distance matrix.
+
+use dpe_distance::DistanceMatrix;
+
+/// The `k` nearest neighbours of item `i` (excluding `i`), closest first;
+/// distance ties break on the lower index. Returns fewer than `k` when the
+/// dataset is small.
+pub fn knn_indices(matrix: &DistanceMatrix, i: usize, k: usize) -> Vec<usize> {
+    let n = matrix.len();
+    assert!(i < n, "query index {i} out of bounds (n={n})");
+    let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+    others.sort_by(|&a, &b| {
+        matrix
+            .get(i, a)
+            .partial_cmp(&matrix.get(i, b))
+            .expect("distances are never NaN")
+            .then(a.cmp(&b))
+    });
+    others.truncate(k);
+    others
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> DistanceMatrix {
+        let pos: [f64; 5] = [0.0, 1.0, 3.0, 7.0, 20.0];
+        DistanceMatrix::from_fn(5, |i, j| (pos[i] - pos[j]).abs())
+    }
+
+    #[test]
+    fn nearest_first() {
+        assert_eq!(knn_indices(&line(), 0, 3), vec![1, 2, 3]);
+        assert_eq!(knn_indices(&line(), 2, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn excludes_self() {
+        assert!(!knn_indices(&line(), 3, 4).contains(&3));
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        assert_eq!(knn_indices(&line(), 0, 100).len(), 4);
+    }
+
+    #[test]
+    fn ties_break_on_index() {
+        let m = DistanceMatrix::from_fn(4, |_, _| 0.5);
+        assert_eq!(knn_indices(&m, 0, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_query_index_panics() {
+        knn_indices(&line(), 9, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dpe-mining — distance-based data mining
+//!
+//! The mining algorithms the paper's introduction motivates, all operating
+//! purely on a [`dpe_distance::DistanceMatrix`] — which is the whole point:
+//! if encryption preserves pairwise distances (Definition 1), every
+//! algorithm here produces **identical** output on plaintext and ciphertext
+//! inputs. The M1 experiment checks exactly that.
+//!
+//! * [`kmedoids`] — k-medoids in the style of Park & Jun [5];
+//! * [`dbscan`] — density-based clustering, Ester et al. [4];
+//! * [`hierarchical`] — agglomerative clustering: complete link (Defays
+//!   [3]), single link (SLINK) and average link (UPGMA);
+//! * [`outliers`] — Knorr–Ng DB(p, D) distance-based outliers [6];
+//! * [`lof`] — Local Outlier Factor (Breunig et al.), the density-based
+//!   outlier score;
+//! * [`knn`] — k-nearest-neighbour queries;
+//! * [`apriori`] — frequent itemsets and association rules (the encrypted
+//!   OLAP-log use case of the paper's reference [17]);
+//! * [`agreement`] — Rand index / adjusted Rand index to quantify
+//!   plaintext-vs-ciphertext agreement (1.0 everywhere under DPE).
+//!
+//! Algorithms are deterministic: ties break on the lower index, k-medoids
+//! seeds with a deterministic greedy (no RNG), so equal distance matrices
+//! imply equal outputs — no flaky "identical" assertions.
+
+pub mod agreement;
+pub mod apriori;
+pub mod dbscan;
+pub mod hierarchical;
+pub mod kmedoids;
+pub mod knn;
+pub mod lof;
+pub mod outliers;
+
+pub use agreement::{adjusted_rand_index, rand_index};
+pub use apriori::{association_rules, frequent_itemsets, FrequentItemset, Rule};
+pub use dbscan::{dbscan, DbscanConfig, DbscanLabel};
+pub use hierarchical::{
+    agglomerative, average_link, complete_link, single_link, Dendrogram, Linkage, Merge,
+};
+pub use kmedoids::{kmedoids, KMedoidsResult};
+pub use knn::knn_indices;
+pub use lof::{lof, lof_outliers, LofConfig};
+pub use outliers::{db_outliers, OutlierConfig};

@@ -1,0 +1,197 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000).
+//!
+//! The density-based cousin of Knorr–Ng's distance-based outliers [6]: a
+//! point is outlying when its local density is small *relative to the
+//! densities of its neighbours*. Like every algorithm in this crate, LOF is
+//! a pure function of the pairwise distance matrix — which is exactly why
+//! DPE makes it outsourceable: the service provider computes identical LOF
+//! scores from the encrypted log.
+//!
+//! Definitions (for `k = min_pts`):
+//!
+//! * `k-distance(p)` — distance to p's k-th nearest neighbour;
+//! * `N_k(p)` — every point within `k-distance(p)` (ties included);
+//! * `reach-dist_k(p, o) = max(k-distance(o), d(p, o))`;
+//! * `lrd_k(p) = 1 / mean_{o ∈ N_k(p)} reach-dist_k(p, o)`;
+//! * `LOF_k(p) = mean_{o ∈ N_k(p)} lrd_k(o) / lrd_k(p)`.
+//!
+//! Scores ≈ 1 mean inlier; scores substantially above 1 mean the point is
+//! locally sparse. Duplicate-heavy data can make `lrd` infinite; ∞/∞
+//! ratios are taken as 1, following the reference implementation folklore.
+
+use dpe_distance::DistanceMatrix;
+
+/// Configuration for [`lof`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LofConfig {
+    /// Neighbourhood size `k` (`MinPts` in the original paper), ≥ 1.
+    pub min_pts: usize,
+}
+
+/// Computes the LOF score of every point from the distance matrix.
+///
+/// Returns one score per point. Points whose neighbourhood density equals
+/// their neighbours' get ≈ 1.0; isolated points get > 1.
+///
+/// # Panics
+///
+/// Panics when `min_pts` is 0 or ≥ the number of points (every point needs
+/// `min_pts` *other* points as neighbours).
+pub fn lof(matrix: &DistanceMatrix, config: LofConfig) -> Vec<f64> {
+    let n = matrix.len();
+    let k = config.min_pts;
+    assert!(k >= 1, "min_pts must be ≥ 1");
+    assert!(k < n, "min_pts = {k} needs at least {} points, got {n}", k + 1);
+
+    // k-distance and k-neighbourhood (with ties) per point.
+    let mut kdist = vec![0.0f64; n];
+    let mut neigh: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| {
+            matrix
+                .get(i, a)
+                .partial_cmp(&matrix.get(i, b))
+                .expect("distances must not be NaN")
+                .then(a.cmp(&b))
+        });
+        let kd = matrix.get(i, others[k - 1]);
+        kdist[i] = kd;
+        // All points within the k-distance — ties beyond index k included.
+        let members: Vec<usize> =
+            others.into_iter().filter(|&j| matrix.get(i, j) <= kd).collect();
+        neigh.push(members);
+    }
+
+    // Local reachability density.
+    let mut lrd = vec![0.0f64; n];
+    for i in 0..n {
+        let sum: f64 = neigh[i]
+            .iter()
+            .map(|&o| matrix.get(i, o).max(kdist[o]))
+            .sum();
+        lrd[i] = if sum == 0.0 {
+            f64::INFINITY // all neighbours are duplicates of i
+        } else {
+            neigh[i].len() as f64 / sum
+        };
+    }
+
+    // LOF = mean neighbour-lrd ratio.
+    (0..n)
+        .map(|i| {
+            let ratios: Vec<f64> = neigh[i]
+                .iter()
+                .map(|&o| {
+                    if lrd[o].is_infinite() && lrd[i].is_infinite() {
+                        1.0
+                    } else {
+                        lrd[o] / lrd[i]
+                    }
+                })
+                .collect();
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        })
+        .collect()
+}
+
+/// Indices of points with `LOF > threshold`, sorted descending by score —
+/// the typical "report the outliers" surface on top of [`lof`].
+pub fn lof_outliers(matrix: &DistanceMatrix, config: LofConfig, threshold: f64) -> Vec<usize> {
+    let scores = lof(matrix, config);
+    let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| scores[i] > threshold).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("LOF scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs plus one far-away singleton (index 8).
+    fn blob_with_outlier() -> DistanceMatrix {
+        let pos: [f64; 9] = [0.0, 0.5, 1.0, 1.5, 10.0, 10.5, 11.0, 11.5, 50.0];
+        DistanceMatrix::from_fn(9, |i, j| (pos[i] - pos[j]).abs())
+    }
+
+    #[test]
+    fn isolated_point_scores_highest() {
+        let scores = lof(&blob_with_outlier(), LofConfig { min_pts: 3 });
+        let max_idx = (0..scores.len())
+            .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+            .unwrap();
+        assert_eq!(max_idx, 8, "scores: {scores:?}");
+        assert!(scores[8] > 2.0, "outlier score too low: {}", scores[8]);
+    }
+
+    #[test]
+    fn uniform_cluster_scores_near_one() {
+        // Equally spaced points: everyone's density matches the neighbours'.
+        let m = DistanceMatrix::from_fn(10, |i, j| (i as f64 - j as f64).abs());
+        let scores = lof(&m, LofConfig { min_pts: 2 });
+        for (i, s) in scores.iter().enumerate() {
+            assert!(
+                (0.5..2.0).contains(s),
+                "interior-ish point {i} got extreme LOF {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_produce_nan() {
+        // Three exact duplicates + two distinct points.
+        let pos: [f64; 5] = [1.0, 1.0, 1.0, 5.0, 9.0];
+        let m = DistanceMatrix::from_fn(5, |i, j| (pos[i] - pos[j]).abs());
+        let scores = lof(&m, LofConfig { min_pts: 2 });
+        assert!(scores.iter().all(|s| !s.is_nan()), "{scores:?}");
+        // The duplicate triple is maximally dense: LOF = 1 (∞/∞ convention).
+        assert!((scores[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lof_outliers_thresholding() {
+        let m = blob_with_outlier();
+        let out = lof_outliers(&m, LofConfig { min_pts: 3 }, 1.5);
+        assert!(out.contains(&8));
+        assert!(!out.contains(&1));
+        // Descending score order: the singleton leads.
+        assert_eq!(out[0], 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = blob_with_outlier();
+        let c = LofConfig { min_pts: 3 };
+        assert_eq!(lof(&m, c), lof(&m, c));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn rejects_min_pts_zero() {
+        lof(&blob_with_outlier(), LofConfig { min_pts: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn rejects_min_pts_too_large() {
+        lof(&blob_with_outlier(), LofConfig { min_pts: 9 });
+    }
+
+    #[test]
+    fn scale_invariance_of_relative_order() {
+        // LOF depends on distance *ratios*: scaling all distances by a
+        // constant must keep the score vector identical.
+        let m1 = blob_with_outlier();
+        let m2 = DistanceMatrix::from_fn(m1.len(), |i, j| 7.0 * m1.get(i, j));
+        let c = LofConfig { min_pts: 3 };
+        let (s1, s2) = (lof(&m1, c), lof(&m2, c));
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Knorr–Ng DB(p, D) distance-based outliers [6].
+//!
+//! An item is a DB(p, D)-outlier when at least fraction `p` of the other
+//! items lie at distance greater than `D` from it.
+
+use dpe_distance::DistanceMatrix;
+
+/// Parameters of the DB(p, D) definition.
+#[derive(Debug, Clone, Copy)]
+pub struct OutlierConfig {
+    /// Fraction `p ∈ [0, 1]` of the dataset that must be far away.
+    pub p: f64,
+    /// Distance threshold `D`.
+    pub d: f64,
+}
+
+/// Returns the indices of all DB(p, D)-outliers, ascending.
+pub fn db_outliers(matrix: &DistanceMatrix, config: OutlierConfig) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&config.p), "p must lie in [0, 1]");
+    let n = matrix.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    (0..n)
+        .filter(|&i| {
+            let far = (0..n)
+                .filter(|&j| j != i && matrix.get(i, j) > config.d)
+                .count();
+            far as f64 >= config.p * (n - 1) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_far_point() -> DistanceMatrix {
+        // 0-4 close together; 5 far from everyone.
+        DistanceMatrix::from_fn(6, |i, j| {
+            if i == 5 || j == 5 {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    #[test]
+    fn isolates_the_far_point() {
+        let outliers = db_outliers(&one_far_point(), OutlierConfig { p: 0.8, d: 0.5 });
+        assert_eq!(outliers, vec![5]);
+    }
+
+    #[test]
+    fn no_outliers_with_loose_threshold() {
+        let outliers = db_outliers(&one_far_point(), OutlierConfig { p: 0.8, d: 0.95 });
+        assert!(outliers.is_empty());
+    }
+
+    #[test]
+    fn everyone_outlier_when_all_far() {
+        let m = DistanceMatrix::from_fn(4, |_, _| 1.0);
+        let outliers = db_outliers(&m, OutlierConfig { p: 1.0, d: 0.5 });
+        assert_eq!(outliers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn p_zero_flags_everything() {
+        // With p = 0 the "at least 0 far" condition is vacuous.
+        let m = DistanceMatrix::from_fn(3, |_, _| 0.0);
+        let outliers = db_outliers(&m, OutlierConfig { p: 0.0, d: 0.5 });
+        assert_eq!(outliers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn singleton_and_empty_inputs() {
+        let empty = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        assert!(db_outliers(&empty, OutlierConfig { p: 0.5, d: 0.5 }).is_empty());
+        let one = DistanceMatrix::from_fn(1, |_, _| 0.0);
+        assert!(db_outliers(&one, OutlierConfig { p: 0.5, d: 0.5 }).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must lie in")]
+    fn p_out_of_range_panics() {
+        db_outliers(&one_far_point(), OutlierConfig { p: 1.5, d: 0.5 });
+    }
+}

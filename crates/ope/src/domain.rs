@@ -1,0 +1,94 @@
+//! Plaintext domain description for the OPE scheme.
+
+use std::fmt;
+
+/// An inclusive `u64` plaintext interval `[lo, hi]`.
+///
+/// The ciphertext range is the domain size expanded by
+/// [`OpeDomain::EXPANSION_BITS`] bits, giving every plaintext a ~4-billion
+/// slot window to hide in while keeping ciphertexts inside `u128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpeDomain {
+    lo: u64,
+    hi: u64,
+}
+
+impl OpeDomain {
+    /// Ciphertext range = domain size × 2^EXPANSION_BITS.
+    pub const EXPANSION_BITS: u32 = 32;
+
+    /// Creates the domain `[lo, hi]`. Panics when `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty OPE domain [{lo}, {hi}]");
+        OpeDomain { lo, hi }
+    }
+
+    /// The full 64-bit domain.
+    pub fn full() -> Self {
+        OpeDomain { lo: 0, hi: u64::MAX }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper bound (inclusive).
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Number of plaintexts in the domain.
+    pub fn size(&self) -> u128 {
+        self.hi as u128 - self.lo as u128 + 1
+    }
+
+    /// Number of ciphertexts in the range.
+    pub fn range_size(&self) -> u128 {
+        self.size() << Self::EXPANSION_BITS
+    }
+
+    /// `true` iff `v` lies in the domain.
+    pub fn contains(&self, v: u64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+impl fmt::Display for OpeDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let d = OpeDomain::new(10, 19);
+        assert_eq!(d.size(), 10);
+        assert_eq!(d.range_size(), 10u128 << 32);
+        assert!(d.contains(10) && d.contains(19));
+        assert!(!d.contains(9) && !d.contains(20));
+    }
+
+    #[test]
+    fn full_domain_size_is_2_pow_64() {
+        assert_eq!(OpeDomain::full().size(), 1u128 << 64);
+        assert_eq!(OpeDomain::full().range_size(), 1u128 << 96);
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let d = OpeDomain::new(5, 5);
+        assert_eq!(d.size(), 1);
+        assert!(d.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty OPE domain")]
+    fn inverted_bounds_panic() {
+        OpeDomain::new(2, 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! The keyed recursive range-bisection OPE scheme.
+
+use crate::domain::OpeDomain;
+use dpe_crypto::prf::prf_u128;
+use dpe_crypto::scheme::EncryptionClass;
+use dpe_crypto::SymmetricKey;
+use std::fmt;
+
+/// Errors from OPE encryption/decryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpeError {
+    /// Plaintext lies outside the configured domain.
+    OutOfDomain {
+        /// Offending plaintext.
+        value: u64,
+        /// The configured domain.
+        domain: OpeDomain,
+    },
+    /// Ciphertext is not in the image of the scheme (wrong key, wrong
+    /// domain, or never produced by `encrypt`).
+    InvalidCiphertext(u128),
+}
+
+impl fmt::Display for OpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpeError::OutOfDomain { value, domain } => {
+                write!(f, "plaintext {value} outside OPE domain {domain}")
+            }
+            OpeError::InvalidCiphertext(c) => write!(f, "ciphertext {c} not in scheme image"),
+        }
+    }
+}
+
+impl std::error::Error for OpeError {}
+
+/// Deterministic order-preserving encryption `u64 → u128`.
+///
+/// See the crate docs for the construction. The scheme is `Clone` and cheap
+/// to copy (a key and a domain); all state is recomputed per call from the
+/// PRF, which keeps the scheme stateless like Boldyreva's.
+#[derive(Clone)]
+pub struct OpeScheme {
+    key: SymmetricKey,
+    domain: OpeDomain,
+    class: EncryptionClass,
+}
+
+impl OpeScheme {
+    /// Builds the scheme for `domain` under `key`.
+    pub fn new(key: &SymmetricKey, domain: OpeDomain) -> Self {
+        OpeScheme { key: key.clone(), domain, class: EncryptionClass::Ope }
+    }
+
+    /// Internal: relabel as JOIN-OPE for shared-key groups.
+    pub(crate) fn with_class(key: &SymmetricKey, domain: OpeDomain, class: EncryptionClass) -> Self {
+        OpeScheme { key: key.clone(), domain, class }
+    }
+
+    /// The configured plaintext domain.
+    pub fn domain(&self) -> OpeDomain {
+        self.domain
+    }
+
+    /// The class of this scheme ([`EncryptionClass::Ope`] or
+    /// [`EncryptionClass::JoinOpe`]).
+    pub fn class(&self) -> EncryptionClass {
+        self.class
+    }
+
+    /// Encrypts `value`, preserving order: `a < b ⇒ Enc(a) < Enc(b)`.
+    pub fn encrypt(&self, value: u64) -> Result<u128, OpeError> {
+        if !self.domain.contains(value) {
+            return Err(OpeError::OutOfDomain { value, domain: self.domain });
+        }
+        let mut walk = Walk::new(self);
+        loop {
+            match walk.step_by_plaintext(value) {
+                StepOutcome::Leaf(ct) => return Ok(ct),
+                StepOutcome::Descended => {}
+            }
+        }
+    }
+
+    /// Decrypts `ciphertext` by retracing the range walk.
+    pub fn decrypt(&self, ciphertext: u128) -> Result<u64, OpeError> {
+        let mut walk = Walk::new(self);
+        if ciphertext >= self.domain.range_size() {
+            return Err(OpeError::InvalidCiphertext(ciphertext));
+        }
+        loop {
+            match walk.step_by_ciphertext(ciphertext) {
+                StepOutcome::Leaf(ct) if ct == ciphertext => return Ok(walk.d_lo),
+                StepOutcome::Leaf(_) => return Err(OpeError::InvalidCiphertext(ciphertext)),
+                StepOutcome::Descended => {}
+            }
+        }
+    }
+}
+
+enum StepOutcome {
+    /// Reached a singleton domain; payload is its assigned ciphertext.
+    Leaf(u128),
+    Descended,
+}
+
+/// One root-to-leaf descent through the virtual (domain, range) tree.
+///
+/// Invariant maintained at every node: `range size ≥ domain size`, so every
+/// plaintext can still be assigned a distinct ciphertext below.
+struct Walk<'a> {
+    scheme: &'a OpeScheme,
+    d_lo: u64,
+    d_hi: u64,
+    r_lo: u128,
+    r_hi: u128,
+}
+
+impl<'a> Walk<'a> {
+    fn new(scheme: &'a OpeScheme) -> Self {
+        Walk {
+            scheme,
+            d_lo: scheme.domain.lo(),
+            d_hi: scheme.domain.hi(),
+            r_lo: 0,
+            r_hi: scheme.domain.range_size() - 1,
+        }
+    }
+
+    /// PRF draw in `[0, bound)`, deterministic in the node coordinates.
+    /// The modulo bias is ≤ bound/2^128 — irrelevant for correctness, which
+    /// only needs determinism and range membership.
+    fn draw(&self, label: u8, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let mut input = [0u8; 1 + 8 + 8 + 16 + 16];
+        input[0] = label;
+        input[1..9].copy_from_slice(&self.d_lo.to_be_bytes());
+        input[9..17].copy_from_slice(&self.d_hi.to_be_bytes());
+        input[17..33].copy_from_slice(&self.r_lo.to_be_bytes());
+        input[33..49].copy_from_slice(&self.r_hi.to_be_bytes());
+        prf_u128(&self.scheme.key, &input) % bound
+    }
+
+    /// Splits the node: returns the size of the left range block. The left
+    /// domain half has `nl` elements, the right `nr`; feasibility requires
+    /// the left block size `L ∈ [nl, N − nr]`.
+    fn split(&self) -> (u64, u128) {
+        let d_mid = self.d_lo + (self.d_hi - self.d_lo) / 2;
+        let nl = d_mid as u128 - self.d_lo as u128 + 1;
+        let nr = self.d_hi as u128 - d_mid as u128;
+        let n = self.r_hi - self.r_lo + 1;
+        let slack = n - nl - nr; // ≥ 0 by the node invariant
+        let left_size = nl + self.draw(b'N', slack + 1);
+        (d_mid, left_size)
+    }
+
+    fn leaf_ciphertext(&self) -> u128 {
+        let n = self.r_hi - self.r_lo + 1;
+        self.r_lo + self.draw(b'L', n)
+    }
+
+    fn step_by_plaintext(&mut self, value: u64) -> StepOutcome {
+        if self.d_lo == self.d_hi {
+            return StepOutcome::Leaf(self.leaf_ciphertext());
+        }
+        let (d_mid, left_size) = self.split();
+        if value <= d_mid {
+            self.d_hi = d_mid;
+            self.r_hi = self.r_lo + left_size - 1;
+        } else {
+            self.d_lo = d_mid + 1;
+            self.r_lo += left_size;
+        }
+        StepOutcome::Descended
+    }
+
+    fn step_by_ciphertext(&mut self, ciphertext: u128) -> StepOutcome {
+        if self.d_lo == self.d_hi {
+            return StepOutcome::Leaf(self.leaf_ciphertext());
+        }
+        let (d_mid, left_size) = self.split();
+        if ciphertext < self.r_lo + left_size {
+            self.d_hi = d_mid;
+            self.r_hi = self.r_lo + left_size - 1;
+        } else {
+            self.d_lo = d_mid + 1;
+            self.r_lo += left_size;
+        }
+        StepOutcome::Descended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> SymmetricKey {
+        SymmetricKey::from_bytes([b; 32])
+    }
+
+    #[test]
+    fn order_preserved_exhaustively_on_small_domain() {
+        let s = OpeScheme::new(&key(1), OpeDomain::new(0, 300));
+        let cts: Vec<u128> = (0..=300).map(|v| s.encrypt(v).unwrap()).collect();
+        for w in cts.windows(2) {
+            assert!(w[0] < w[1], "strict monotonicity violated: {} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small_domain() {
+        let s = OpeScheme::new(&key(2), OpeDomain::new(100, 400));
+        for v in 100..=400 {
+            assert_eq!(s.decrypt(s.encrypt(v).unwrap()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn full_domain_extremes() {
+        let s = OpeScheme::new(&key(3), OpeDomain::full());
+        let lo = s.encrypt(0).unwrap();
+        let mid = s.encrypt(u64::MAX / 2).unwrap();
+        let hi = s.encrypt(u64::MAX).unwrap();
+        assert!(lo < mid && mid < hi);
+        assert_eq!(s.decrypt(lo).unwrap(), 0);
+        assert_eq!(s.decrypt(hi).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn out_of_domain_rejected() {
+        let s = OpeScheme::new(&key(4), OpeDomain::new(10, 20));
+        assert!(matches!(s.encrypt(9), Err(OpeError::OutOfDomain { value: 9, .. })));
+        assert!(matches!(s.encrypt(21), Err(OpeError::OutOfDomain { .. })));
+    }
+
+    #[test]
+    fn invalid_ciphertext_rejected() {
+        let s = OpeScheme::new(&key(5), OpeDomain::new(0, 1000));
+        let valid = s.encrypt(500).unwrap();
+        // Neighbouring range points are almost surely not in the image.
+        let invalid = if valid % 2 == 0 { valid + 1 } else { valid - 1 };
+        assert!(matches!(s.decrypt(invalid), Err(OpeError::InvalidCiphertext(_))));
+        // Beyond the range entirely:
+        assert!(matches!(
+            s.decrypt(s.domain().range_size()),
+            Err(OpeError::InvalidCiphertext(_))
+        ));
+    }
+
+    #[test]
+    fn singleton_domain_works() {
+        let s = OpeScheme::new(&key(6), OpeDomain::new(7, 7));
+        let ct = s.encrypt(7).unwrap();
+        assert_eq!(s.decrypt(ct).unwrap(), 7);
+    }
+
+    #[test]
+    fn ciphertexts_spread_over_range() {
+        // The gap structure should not be degenerate: consecutive plaintexts
+        // should usually have non-consecutive ciphertexts.
+        let s = OpeScheme::new(&key(7), OpeDomain::new(0, 1000));
+        let mut adjacent = 0;
+        for v in 0..1000u64 {
+            if s.encrypt(v + 1).unwrap() - s.encrypt(v).unwrap() == 1 {
+                adjacent += 1;
+            }
+        }
+        assert!(adjacent < 10, "{adjacent} adjacent ciphertext pairs — range not spreading");
+    }
+
+    #[test]
+    fn equality_is_preserved_and_nothing_leaks_about_gaps() {
+        let s = OpeScheme::new(&key(8), OpeDomain::new(0, 1 << 32));
+        assert_eq!(s.encrypt(12345).unwrap(), s.encrypt(12345).unwrap());
+    }
+}

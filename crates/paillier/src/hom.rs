@@ -1,0 +1,125 @@
+//! Aggregate helper: an encrypted running sum, the HOM capability CryptDB's
+//! HOM onion exposes for `SUM(...)`/`AVG(...)` rewriting.
+
+use crate::keys::PublicKey;
+use crate::scheme::{Ciphertext, PaillierError};
+use dpe_bignum::BigUint;
+use rand::RngCore;
+
+/// A running homomorphic sum over ciphertexts.
+///
+/// Starts at an encryption of zero and folds ciphertexts in with the group
+/// operation; the service provider can aggregate without ever decrypting.
+pub struct EncryptedSum {
+    public: PublicKey,
+    acc: Ciphertext,
+    count: usize,
+}
+
+impl EncryptedSum {
+    /// Starts an empty sum (`Enc(0)`).
+    pub fn new<R: RngCore>(public: &PublicKey, rng: &mut R) -> Self {
+        let zero = public
+            .encrypt(&BigUint::zero(), rng)
+            .expect("zero always encrypts");
+        EncryptedSum { public: public.clone(), acc: zero, count: 0 }
+    }
+
+    /// Folds one ciphertext into the sum.
+    pub fn add(&mut self, ct: &Ciphertext) {
+        self.acc = self.public.add(&self.acc, ct);
+        self.count += 1;
+    }
+
+    /// Folds a plaintext-weighted ciphertext: `acc += k · Dec(ct)`.
+    pub fn add_weighted(&mut self, ct: &Ciphertext, k: u64) {
+        let scaled = self.public.mul_scalar(ct, k);
+        self.acc = self.public.add(&self.acc, &scaled);
+        self.count += 1;
+    }
+
+    /// Number of folded terms (needed by the client to turn SUM into AVG).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The encrypted total.
+    pub fn ciphertext(&self) -> &Ciphertext {
+        &self.acc
+    }
+
+    /// Consumes the sum, returning the encrypted total.
+    pub fn into_ciphertext(self) -> Ciphertext {
+        self.acc
+    }
+}
+
+/// Homomorphically sums a slice of ciphertexts.
+pub fn sum_ciphertexts<R: RngCore>(
+    public: &PublicKey,
+    cts: &[Ciphertext],
+    rng: &mut R,
+) -> Result<Ciphertext, PaillierError> {
+    let mut sum = EncryptedSum::new(public, rng);
+    for ct in cts {
+        sum.add(ct);
+    }
+    Ok(sum.into_ciphertext())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::scheme::TEST_PRIME_BITS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(77);
+        (KeyPair::generate(TEST_PRIME_BITS, &mut rng), rng)
+    }
+
+    #[test]
+    fn encrypted_sum_matches_plain_sum() {
+        let (kp, mut rng) = setup();
+        let values = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let cts: Vec<_> = values.iter().map(|&v| kp.public().encrypt_u64(v, &mut rng)).collect();
+        let total = sum_ciphertexts(kp.public(), &cts, &mut rng).unwrap();
+        assert_eq!(
+            kp.private().decrypt_u64(&total).unwrap(),
+            values.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let (kp, mut rng) = setup();
+        let total = sum_ciphertexts(kp.public(), &[], &mut rng).unwrap();
+        assert_eq!(kp.private().decrypt_u64(&total).unwrap(), 0);
+    }
+
+    #[test]
+    fn weighted_sum() {
+        let (kp, mut rng) = setup();
+        let ct = kp.public().encrypt_u64(10, &mut rng);
+        let mut sum = EncryptedSum::new(kp.public(), &mut rng);
+        sum.add_weighted(&ct, 7); // 70
+        sum.add(&kp.public().encrypt_u64(5, &mut rng)); // +5
+        assert_eq!(sum.count(), 2);
+        assert_eq!(kp.private().decrypt_u64(sum.ciphertext()).unwrap(), 75);
+    }
+
+    #[test]
+    fn avg_via_count() {
+        let (kp, mut rng) = setup();
+        let values = [10u64, 20, 30, 40];
+        let mut sum = EncryptedSum::new(kp.public(), &mut rng);
+        for &v in &values {
+            sum.add(&kp.public().encrypt_u64(v, &mut rng));
+        }
+        let n = sum.count() as u64;
+        let total = kp.private().decrypt_u64(sum.ciphertext()).unwrap();
+        assert_eq!(total / n, 25);
+    }
+}

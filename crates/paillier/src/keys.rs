@@ -1,0 +1,219 @@
+//! Paillier key generation and the public/private key types.
+
+use crate::scheme::{Ciphertext as PaillierCiphertext, PaillierError};
+use dpe_bignum::prime::gen_prime;
+use dpe_bignum::random::uniform_coprime;
+use dpe_bignum::BigUint;
+use rand::RngCore;
+
+/// Paillier public key: the modulus `n` (with cached `n²`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+}
+
+/// Paillier private key: `λ = lcm(p−1, q−1)` and `μ = L(g^λ mod n²)^−1 mod n`.
+#[derive(Clone)]
+pub struct PrivateKey {
+    lambda: BigUint,
+    mu: BigUint,
+    public: PublicKey,
+}
+
+/// A matched public/private key pair.
+#[derive(Clone)]
+pub struct KeyPair {
+    public: PublicKey,
+    private: PrivateKey,
+}
+
+impl PublicKey {
+    /// The modulus `n`; plaintexts live in `[0, n)`.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Cached `n²`; ciphertexts live in `[0, n²)`.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.n_squared
+    }
+
+    /// Encrypts `m ∈ [0, n)`: `c = (n+1)^m · r^n mod n²` with uniform
+    /// `r ∈ (ℤ/nℤ)*`. Uses the `(n+1)^m = 1 + m·n (mod n²)` shortcut.
+    pub fn encrypt<R: RngCore>(&self, m: &BigUint, rng: &mut R) -> Result<PaillierCiphertext, PaillierError> {
+        if m >= &self.n {
+            return Err(PaillierError::PlaintextTooLarge {
+                bits: m.bit_len(),
+                modulus_bits: self.n.bit_len(),
+            });
+        }
+        let r = uniform_coprime(&self.n, rng);
+        let g_m = (&BigUint::one() + &(m * &self.n)) % &self.n_squared;
+        let r_n = r.modpow(&self.n, &self.n_squared);
+        Ok(PaillierCiphertext::new(g_m.modmul(&r_n, &self.n_squared)))
+    }
+
+    /// Convenience: encrypts a `u64`.
+    pub fn encrypt_u64<R: RngCore>(&self, m: u64, rng: &mut R) -> PaillierCiphertext {
+        self.encrypt(&BigUint::from(m), rng)
+            .expect("u64 plaintext always fits a ≥128-bit modulus")
+    }
+
+    /// Homomorphic addition: `Dec(add(a, b)) = Dec(a) + Dec(b) mod n`.
+    pub fn add(&self, a: &PaillierCiphertext, b: &PaillierCiphertext) -> PaillierCiphertext {
+        PaillierCiphertext::new(a.value().modmul(b.value(), &self.n_squared))
+    }
+
+    /// Homomorphic scalar multiplication: `Dec(mul_scalar(a, k)) = k·Dec(a) mod n`.
+    pub fn mul_scalar(&self, a: &PaillierCiphertext, k: u64) -> PaillierCiphertext {
+        PaillierCiphertext::new(a.value().modpow(&BigUint::from(k), &self.n_squared))
+    }
+
+    /// Re-randomizes a ciphertext without changing its plaintext
+    /// (multiplies by a fresh encryption of zero).
+    pub fn rerandomize<R: RngCore>(&self, a: &PaillierCiphertext, rng: &mut R) -> PaillierCiphertext {
+        let zero = self
+            .encrypt(&BigUint::zero(), rng)
+            .expect("zero is always a valid plaintext");
+        self.add(a, &zero)
+    }
+}
+
+impl PrivateKey {
+    /// Decrypts: `m = L(c^λ mod n²) · μ mod n` with `L(u) = (u−1)/n`.
+    pub fn decrypt(&self, c: &PaillierCiphertext) -> Result<BigUint, PaillierError> {
+        let n2 = &self.public.n_squared;
+        if c.value() >= n2 || c.value().is_zero() {
+            return Err(PaillierError::InvalidCiphertext);
+        }
+        let u = c.value().modpow(&self.lambda, n2);
+        let l = &(&u - &BigUint::one()) / &self.public.n;
+        Ok(l.modmul(&self.mu, &self.public.n))
+    }
+
+    /// Decrypts into a `u64` (errors if the plaintext overflows).
+    pub fn decrypt_u64(&self, c: &PaillierCiphertext) -> Result<u64, PaillierError> {
+        self.decrypt(c)?.to_u64().ok_or(PaillierError::PlaintextOverflow)
+    }
+
+    /// The matching public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+}
+
+impl KeyPair {
+    /// Generates a key pair from two fresh `prime_bits`-bit primes.
+    ///
+    /// `prime_bits` must be ≥ 64 so every `u64` plaintext fits `n`.
+    /// [`crate::TEST_PRIME_BITS`] (fast) and [`crate::DEFAULT_PRIME_BITS`]
+    /// (realistic) are provided.
+    pub fn generate<R: RngCore>(prime_bits: usize, rng: &mut R) -> Self {
+        assert!(prime_bits >= 64, "primes below 64 bits cannot hold u64 plaintexts");
+        loop {
+            let p = gen_prime(prime_bits, rng);
+            let q = gen_prime(prime_bits, rng);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            let p1 = &p - &BigUint::one();
+            let q1 = &q - &BigUint::one();
+            // gcd(n, (p−1)(q−1)) must be 1 for λ/μ to exist; retry otherwise.
+            if !n.gcd(&(&p1 * &q1)).is_one() {
+                continue;
+            }
+            let lambda = p1.lcm(&q1);
+            let n_squared = &n * &n;
+            // μ = L(g^λ mod n²)^−1 with g = n+1: g^λ = 1 + λ·n (mod n²).
+            let g_lambda = (&BigUint::one() + &(&lambda * &n)) % &n_squared;
+            let l = &(&g_lambda - &BigUint::one()) / &n;
+            let Some(mu) = l.modinv(&n) else { continue };
+            let public = PublicKey { n, n_squared };
+            let private = PrivateKey { lambda, mu, public: public.clone() };
+            return KeyPair { public, private };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The private half.
+    pub fn private(&self) -> &PrivateKey {
+        &self.private
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TEST_PRIME_BITS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> KeyPair {
+        let mut rng = StdRng::seed_from_u64(42);
+        KeyPair::generate(TEST_PRIME_BITS, &mut rng)
+    }
+
+    #[test]
+    fn keygen_modulus_size() {
+        let kp = keypair();
+        assert_eq!(kp.public().n().bit_len(), TEST_PRIME_BITS * 2);
+    }
+
+    #[test]
+    fn encrypt_decrypt_small_values() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(7);
+        for m in [0u64, 1, 2, 255, 10_000, u64::MAX] {
+            let ct = kp.public().encrypt_u64(m, &mut rng);
+            assert_eq!(kp.private().decrypt_u64(&ct).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn plaintext_must_be_below_n() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(7);
+        let too_big = kp.public().n().clone();
+        assert!(matches!(
+            kp.public().encrypt(&too_big, &mut rng),
+            Err(PaillierError::PlaintextTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_ciphertext_rejected() {
+        let kp = keypair();
+        let zero = PaillierCiphertext::new(BigUint::zero());
+        assert!(matches!(kp.private().decrypt(&zero), Err(PaillierError::InvalidCiphertext)));
+        let huge = PaillierCiphertext::new(kp.public().n_squared().clone());
+        assert!(matches!(kp.private().decrypt(&huge), Err(PaillierError::InvalidCiphertext)));
+    }
+
+    #[test]
+    fn rerandomize_preserves_plaintext_changes_bytes() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ct = kp.public().encrypt_u64(123, &mut rng);
+        let ct2 = kp.public().rerandomize(&ct, &mut rng);
+        assert_ne!(ct.value(), ct2.value());
+        assert_eq!(kp.private().decrypt_u64(&ct2).unwrap(), 123);
+    }
+
+    #[test]
+    fn sum_wraps_modulo_n() {
+        // (n − 1) + 2 ≡ 1 (mod n): the homomorphism is modular.
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_minus_1 = kp.public().n() - &BigUint::one();
+        let a = kp.public().encrypt(&n_minus_1, &mut rng).unwrap();
+        let b = kp.public().encrypt(&BigUint::two(), &mut rng).unwrap();
+        let sum = kp.public().add(&a, &b);
+        assert_eq!(kp.private().decrypt(&sum).unwrap(), BigUint::one());
+    }
+}

@@ -1,0 +1,84 @@
+//! # dpe-paillier — the Paillier cryptosystem (the HOM class)
+//!
+//! Textbook Paillier (Fontaine & Galand's survey [11] is the paper's
+//! reference for HOM): probabilistic public-key encryption over ℤ/n²ℤ that is
+//! additively homomorphic,
+//!
+//! ```text
+//! Enc(a) · Enc(b) mod n²  decrypts to  a + b mod n
+//! Enc(a)^k        mod n²  decrypts to  k · a mod n
+//! ```
+//!
+//! which is what lets CryptDB evaluate `SUM(...)` over encrypted columns.
+//! In the paper's Table I, HOM appears as the onion layer the access-area
+//! scheme deliberately *avoids* (PROB suffices for aggregate-only
+//! attributes) — `dpe-bench`'s S1 experiment quantifies that difference.
+//!
+//! Key generation uses `p, q` primes of equal bit length with `gcd(pq,
+//! (p−1)(q−1)) = 1`, `g = n + 1`, and the CRT-free decryption
+//! `m = L(c^λ mod n²) · μ mod n` with `L(u) = (u − 1)/n`.
+
+mod hom;
+mod keys;
+mod scheme;
+
+pub use hom::{sum_ciphertexts, EncryptedSum};
+pub use keys::{KeyPair, PrivateKey, PublicKey};
+pub use scheme::{Ciphertext, PaillierError, DEFAULT_PRIME_BITS, TEST_PRIME_BITS};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_keys() -> KeyPair {
+        // One fixed keypair for the whole property suite: keygen is the
+        // expensive part and the properties quantify over plaintexts.
+        let mut rng = StdRng::seed_from_u64(1234);
+        KeyPair::generate(TEST_PRIME_BITS, &mut rng)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn roundtrip(m in 0u64..u64::MAX) {
+            let kp = test_keys();
+            let mut rng = StdRng::seed_from_u64(m);
+            let ct = kp.public().encrypt_u64(m, &mut rng);
+            prop_assert_eq!(kp.private().decrypt_u64(&ct).unwrap(), m);
+        }
+
+        #[test]
+        fn additive_homomorphism(a in 0u64..(1 << 62), b in 0u64..(1 << 62)) {
+            let kp = test_keys();
+            let mut rng = StdRng::seed_from_u64(a ^ b);
+            let ca = kp.public().encrypt_u64(a, &mut rng);
+            let cb = kp.public().encrypt_u64(b, &mut rng);
+            let sum = kp.public().add(&ca, &cb);
+            prop_assert_eq!(kp.private().decrypt_u64(&sum).unwrap(), a + b);
+        }
+
+        #[test]
+        fn scalar_multiplication(a in 0u64..(1 << 40), k in 0u64..(1 << 20)) {
+            let kp = test_keys();
+            let mut rng = StdRng::seed_from_u64(a.wrapping_mul(31) ^ k);
+            let ca = kp.public().encrypt_u64(a, &mut rng);
+            let prod = kp.public().mul_scalar(&ca, k);
+            prop_assert_eq!(kp.private().decrypt_u64(&prod).unwrap(), a * k);
+        }
+
+        #[test]
+        fn probabilistic_encryption(m in 0u64..1000) {
+            // Two encryptions of the same value are distinct ciphertexts
+            // (HOM ⊂ PROB in Fig. 1).
+            let kp = test_keys();
+            let mut rng = StdRng::seed_from_u64(999);
+            let c1 = kp.public().encrypt_u64(m, &mut rng);
+            let c2 = kp.public().encrypt_u64(m, &mut rng);
+            prop_assert_ne!(c1.value(), c2.value());
+        }
+    }
+}

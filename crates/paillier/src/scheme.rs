@@ -1,0 +1,66 @@
+//! Ciphertext type, error type, and key-size presets.
+
+use dpe_bignum::BigUint;
+use std::fmt;
+
+/// Prime size (bits) for realistic keys: 1024-bit primes → 2048-bit `n`.
+pub const DEFAULT_PRIME_BITS: usize = 1024;
+
+/// Prime size (bits) for fast test keys: 128-bit primes → 256-bit `n`.
+/// Still comfortably holds `u64` sums.
+pub const TEST_PRIME_BITS: usize = 128;
+
+/// A Paillier ciphertext: an element of ℤ/n²ℤ.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ciphertext(BigUint);
+
+impl Ciphertext {
+    /// Wraps a raw group element.
+    pub fn new(value: BigUint) -> Self {
+        Ciphertext(value)
+    }
+
+    /// The raw group element.
+    pub fn value(&self) -> &BigUint {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Ciphertexts are huge; show a truncated fingerprint.
+        let hex = self.0.to_hex();
+        let head = &hex[..hex.len().min(16)];
+        write!(f, "PaillierCiphertext({head}…, {} bits)", self.0.bit_len())
+    }
+}
+
+/// Errors from Paillier operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaillierError {
+    /// Plaintext ≥ n.
+    PlaintextTooLarge {
+        /// Bit length of the offending plaintext.
+        bits: usize,
+        /// Bit length of the modulus.
+        modulus_bits: usize,
+    },
+    /// Ciphertext is zero or ≥ n².
+    InvalidCiphertext,
+    /// Decrypted plaintext does not fit the requested integer width.
+    PlaintextOverflow,
+}
+
+impl fmt::Display for PaillierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaillierError::PlaintextTooLarge { bits, modulus_bits } => {
+                write!(f, "plaintext of {bits} bits exceeds modulus of {modulus_bits} bits")
+            }
+            PaillierError::InvalidCiphertext => write!(f, "ciphertext outside (0, n²)"),
+            PaillierError::PlaintextOverflow => write!(f, "plaintext overflows requested width"),
+        }
+    }
+}
+
+impl std::error::Error for PaillierError {}

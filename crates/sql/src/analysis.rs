@@ -1,0 +1,298 @@
+//! Query analysis visitors and the identifier-rewriting hook used to build
+//! `Enc(Q)`.
+//!
+//! The high-level encryption scheme of the paper (Section IV-A2) encrypts
+//! *only* relation names, attribute names and constants — keywords,
+//! operators and structure stay in the clear (Example 4). [`rewrite_query`]
+//! walks the AST once and lets an [`IdentifierTransform`] replace exactly
+//! those three kinds of elements, which is how every DPE scheme in this
+//! workspace produces encrypted queries.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// Callbacks replacing the three encryptable element kinds.
+///
+/// `constant` receives the column the constant belongs to (as written in the
+/// query), because the paper keys constant encryption *per attribute*
+/// (`EncA.Const`).
+pub trait IdentifierTransform {
+    /// Replaces a relation (table) name.
+    fn relation(&mut self, name: &str) -> String;
+    /// Replaces an attribute (column) name. `table` is the qualifier as
+    /// written, already transformed.
+    fn attribute(&mut self, name: &str) -> String;
+    /// Replaces a constant belonging to `col` (pre-transform spelling).
+    fn constant(&mut self, col: &ColumnRef, value: &Literal) -> Literal;
+}
+
+/// Applies `t` to every relation name, attribute name and constant of `q`,
+/// returning the rewritten query. Structure, keywords and operators are
+/// untouched.
+pub fn rewrite_query<T: IdentifierTransform>(q: &Query, t: &mut T) -> Query {
+    let rewrite_col = |t: &mut T, c: &ColumnRef| ColumnRef {
+        table: c.table.as_deref().map(|tab| t.relation(tab)),
+        column: t.attribute(&c.column),
+    };
+
+    let select = q
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => SelectItem::Wildcard,
+            SelectItem::Column(c) => SelectItem::Column(rewrite_col(t, c)),
+            SelectItem::Aggregate { func, arg } => SelectItem::Aggregate {
+                func: *func,
+                arg: match arg {
+                    AggArg::Star => AggArg::Star,
+                    AggArg::Column(c) => AggArg::Column(rewrite_col(t, c)),
+                },
+            },
+        })
+        .collect();
+
+    let from = TableRef::new(t.relation(&q.from.name));
+    let joins = q
+        .joins
+        .iter()
+        .map(|j| Join {
+            table: TableRef::new(t.relation(&j.table.name)),
+            left: rewrite_col(t, &j.left),
+            right: rewrite_col(t, &j.right),
+        })
+        .collect();
+
+    let where_clause = q.where_clause.as_ref().map(|e| rewrite_expr(e, t));
+
+    let group_by = q.group_by.iter().map(|c| rewrite_col(t, c)).collect();
+    let order_by = q
+        .order_by
+        .iter()
+        .map(|o| OrderItem { col: rewrite_col(t, &o.col), desc: o.desc })
+        .collect();
+
+    Query {
+        distinct: q.distinct,
+        select,
+        from,
+        joins,
+        where_clause,
+        group_by,
+        order_by,
+        limit: q.limit,
+    }
+}
+
+fn rewrite_expr<T: IdentifierTransform>(e: &Expr, t: &mut T) -> Expr {
+    let rewrite_col = |t: &mut T, c: &ColumnRef| ColumnRef {
+        table: c.table.as_deref().map(|tab| t.relation(tab)),
+        column: t.attribute(&c.column),
+    };
+    match e {
+        Expr::Comparison { col, op, value } => Expr::Comparison {
+            col: rewrite_col(t, col),
+            op: *op,
+            value: t.constant(col, value),
+        },
+        Expr::ColumnEq { left, right } => Expr::ColumnEq {
+            left: rewrite_col(t, left),
+            right: rewrite_col(t, right),
+        },
+        Expr::Between { col, low, high } => Expr::Between {
+            col: rewrite_col(t, col),
+            low: t.constant(col, low),
+            high: t.constant(col, high),
+        },
+        Expr::InList { col, list } => Expr::InList {
+            col: rewrite_col(t, col),
+            list: list.iter().map(|v| t.constant(col, v)).collect(),
+        },
+        Expr::IsNull { col, negated } => Expr::IsNull { col: rewrite_col(t, col), negated: *negated },
+        Expr::And(a, b) => Expr::And(Box::new(rewrite_expr(a, t)), Box::new(rewrite_expr(b, t))),
+        Expr::Or(a, b) => Expr::Or(Box::new(rewrite_expr(a, t)), Box::new(rewrite_expr(b, t))),
+        Expr::Not(inner) => Expr::Not(Box::new(rewrite_expr(inner, t))),
+    }
+}
+
+/// All relation names mentioned by the query (FROM + JOIN + qualifiers).
+pub fn relations(q: &Query) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    out.insert(q.from.name.clone());
+    for j in &q.joins {
+        out.insert(j.table.name.clone());
+    }
+    let mut add_col = |c: &ColumnRef| {
+        if let Some(t) = &c.table {
+            out.insert(t.clone());
+        }
+    };
+    visit_columns(q, &mut add_col);
+    out
+}
+
+/// All attribute names mentioned by the query, as written (unqualified
+/// spellings collapse).
+pub fn attributes(q: &Query) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    visit_columns(q, &mut |c: &ColumnRef| {
+        out.insert(c.column.clone());
+    });
+    out
+}
+
+/// Every `(column, constant)` pair in the WHERE clause, in syntax order.
+pub fn constants(q: &Query) -> Vec<(ColumnRef, Literal)> {
+    let mut out = Vec::new();
+    if let Some(e) = &q.where_clause {
+        collect_constants(e, &mut out);
+    }
+    out
+}
+
+fn collect_constants(e: &Expr, out: &mut Vec<(ColumnRef, Literal)>) {
+    match e {
+        Expr::Comparison { col, value, .. } => out.push((col.clone(), value.clone())),
+        Expr::Between { col, low, high } => {
+            out.push((col.clone(), low.clone()));
+            out.push((col.clone(), high.clone()));
+        }
+        Expr::InList { col, list } => {
+            out.extend(list.iter().map(|v| (col.clone(), v.clone())));
+        }
+        Expr::ColumnEq { .. } | Expr::IsNull { .. } => {}
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_constants(a, out);
+            collect_constants(b, out);
+        }
+        Expr::Not(inner) => collect_constants(inner, out),
+    }
+}
+
+/// Calls `f` on every column reference in the query.
+pub fn visit_columns(q: &Query, f: &mut impl FnMut(&ColumnRef)) {
+    for item in &q.select {
+        match item {
+            SelectItem::Column(c) => f(c),
+            SelectItem::Aggregate { arg: AggArg::Column(c), .. } => f(c),
+            _ => {}
+        }
+    }
+    for j in &q.joins {
+        f(&j.left);
+        f(&j.right);
+    }
+    if let Some(e) = &q.where_clause {
+        visit_expr_columns(e, f);
+    }
+    for c in &q.group_by {
+        f(c);
+    }
+    for o in &q.order_by {
+        f(&o.col);
+    }
+}
+
+fn visit_expr_columns(e: &Expr, f: &mut impl FnMut(&ColumnRef)) {
+    match e {
+        Expr::Comparison { col, .. }
+        | Expr::Between { col, .. }
+        | Expr::InList { col, .. }
+        | Expr::IsNull { col, .. } => f(col),
+        Expr::ColumnEq { left, right } => {
+            f(left);
+            f(right);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            visit_expr_columns(a, f);
+            visit_expr_columns(b, f);
+        }
+        Expr::Not(inner) => visit_expr_columns(inner, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    /// Toy transform: prefixes every element kind distinctly.
+    struct Tagger;
+    impl IdentifierTransform for Tagger {
+        fn relation(&mut self, name: &str) -> String {
+            format!("r_{name}")
+        }
+        fn attribute(&mut self, name: &str) -> String {
+            format!("a_{name}")
+        }
+        fn constant(&mut self, _col: &ColumnRef, value: &Literal) -> Literal {
+            match value {
+                Literal::Int(v) => Literal::Int(v + 1000),
+                Literal::Str(s) => Literal::Str(format!("c_{s}")),
+                Literal::Null => Literal::Null,
+            }
+        }
+    }
+
+    #[test]
+    fn rewrite_matches_example_4() {
+        // Enc(SELECT A1 FROM R WHERE A2 > 5) =
+        //   SELECT EncAttr(A1) FROM EncRel(R) WHERE EncAttr(A2) > EncA2.Const(5)
+        let q = parse_query("SELECT a1 FROM r WHERE a2 > 5").unwrap();
+        let enc = rewrite_query(&q, &mut Tagger);
+        assert_eq!(enc.to_string(), "SELECT a_a1 FROM r_r WHERE a_a2 > 1005");
+    }
+
+    #[test]
+    fn rewrite_covers_all_clauses() {
+        let q = parse_query(
+            "SELECT DISTINCT x, SUM(y) FROM t JOIN u ON t.id = u.id \
+             WHERE a BETWEEN 1 AND 2 AND b IN (3, 4) AND c IS NULL \
+             GROUP BY x ORDER BY x DESC LIMIT 7",
+        )
+        .unwrap();
+        let enc = rewrite_query(&q, &mut Tagger);
+        let text = enc.to_string();
+        assert_eq!(
+            text,
+            "SELECT DISTINCT a_x, SUM(a_y) FROM r_t JOIN r_u ON r_t.a_id = r_u.a_id \
+             WHERE a_a BETWEEN 1001 AND 1002 AND a_b IN (1003, 1004) AND a_c IS NULL \
+             GROUP BY a_x ORDER BY a_x DESC LIMIT 7"
+        );
+    }
+
+    #[test]
+    fn structure_is_invariant_under_rewrite() {
+        let q = parse_query("SELECT ra FROM t WHERE a = 1 OR NOT (b < 2)").unwrap();
+        let enc = rewrite_query(&q, &mut Tagger);
+        // Same shape: OR root with NOT on the right.
+        assert!(matches!(enc.where_clause, Some(Expr::Or(_, ref r)) if matches!(**r, Expr::Not(_))));
+        assert_eq!(enc.limit, q.limit);
+        assert_eq!(enc.distinct, q.distinct);
+    }
+
+    #[test]
+    fn relations_includes_qualifiers() {
+        let q = parse_query("SELECT ra FROM t WHERE t.a = u.b").unwrap();
+        let rels = relations(&q);
+        assert!(rels.contains("t") && rels.contains("u"));
+    }
+
+    #[test]
+    fn attributes_and_constants() {
+        let q = parse_query("SELECT ra FROM t WHERE dec > 5 AND class IN ('STAR', 'QSO')").unwrap();
+        let attrs = attributes(&q);
+        assert!(attrs.contains("ra") && attrs.contains("dec") && attrs.contains("class"));
+        let consts = constants(&q);
+        assert_eq!(consts.len(), 3);
+        assert_eq!(consts[0], (ColumnRef::bare("dec"), Literal::Int(5)));
+    }
+
+    #[test]
+    fn constants_keyed_by_column() {
+        // BETWEEN contributes two constants on the same column.
+        let q = parse_query("SELECT ra FROM t WHERE ra BETWEEN 10 AND 20").unwrap();
+        let consts = constants(&q);
+        assert_eq!(consts.len(), 2);
+        assert!(consts.iter().all(|(c, _)| c.column == "ra"));
+    }
+}

@@ -1,0 +1,335 @@
+//! The query AST.
+//!
+//! The dialect covers what SQL query-log mining actually sees in the paper's
+//! case study: single-block `SELECT` queries with projections, aggregates,
+//! inner joins, conjunctive/disjunctive predicates over columns and
+//! constants, grouping, ordering and limits. No subqueries or DDL — query
+//! logs of analytic front-ends (SkyServer) are overwhelmingly of this shape.
+
+use std::fmt;
+
+/// A literal constant appearing in a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Literal {
+    /// 64-bit integer (real-valued domains are fixed-point scaled).
+    Int(i64),
+    /// String constant (single-quoted in SQL text).
+    Str(String),
+    /// The SQL NULL literal.
+    Null,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// A possibly table-qualified column reference, e.g. `photoobj.ra` or `ra`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Qualifying table name, when written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    /// Table-qualified column.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+}
+
+impl TableRef {
+    /// Creates a table reference.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableRef { name: name.into() }
+    }
+}
+
+/// An explicit `JOIN … ON a = b`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// Left side of the equi-join condition.
+    pub left: ColumnRef,
+    /// Right side of the equi-join condition.
+    pub right: ColumnRef,
+}
+
+/// Comparison operators usable between a column and a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// The canonical SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A boolean predicate expression (WHERE clause).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// `col op literal`
+    Comparison {
+        /// Column operand.
+        col: ColumnRef,
+        /// Operator.
+        op: CompareOp,
+        /// Constant operand.
+        value: Literal,
+    },
+    /// `col1 = col2` (join predicate written in WHERE form).
+    ColumnEq {
+        /// Left column.
+        left: ColumnRef,
+        /// Right column.
+        right: ColumnRef,
+    },
+    /// `col BETWEEN low AND high`
+    Between {
+        /// Column operand.
+        col: ColumnRef,
+        /// Lower bound (inclusive).
+        low: Literal,
+        /// Upper bound (inclusive).
+        high: Literal,
+    },
+    /// `col IN (v1, v2, …)`
+    InList {
+        /// Column operand.
+        col: ColumnRef,
+        /// Candidate constants.
+        list: Vec<Literal>,
+    },
+    /// `col IS [NOT] NULL`
+    IsNull {
+        /// Column operand.
+        col: ColumnRef,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for `col op value`.
+    pub fn cmp(col: ColumnRef, op: CompareOp, value: Literal) -> Self {
+        Expr::Comparison { col, op, value }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, rhs: Expr) -> Self {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, rhs: Expr) -> Self {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+impl AggFunc {
+    /// Canonical SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// `true` for the *arithmetic* aggregates (SUM/AVG) that need the HOM
+    /// class under CryptDB — the distinction §IV-C of the paper exploits.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Avg)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Argument of an aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggArg {
+    /// `COUNT(*)`
+    Star,
+    /// `FUNC(col)`
+    Column(ColumnRef),
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain column.
+    Column(ColumnRef),
+    /// An aggregate call.
+    Aggregate {
+        /// Function.
+        func: AggFunc,
+        /// Argument.
+        arg: AggArg,
+    },
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderItem {
+    /// Ordering column.
+    pub col: ColumnRef,
+    /// `true` for descending.
+    pub desc: bool,
+}
+
+/// A single-block SELECT query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// `true` for `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// SELECT list (never empty).
+    pub select: Vec<SelectItem>,
+    /// First FROM table.
+    pub from: TableRef,
+    /// Explicit inner joins, in join order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Minimal `SELECT <items> FROM <table>` query; extend via the public
+    /// fields.
+    pub fn new(select: Vec<SelectItem>, from: TableRef) -> Self {
+        Query {
+            distinct: false,
+            select,
+            from,
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_display_escapes_quotes() {
+        assert_eq!(Literal::Str("o'brien".into()).to_string(), "'o''brien'");
+        assert_eq!(Literal::Int(-5).to_string(), "-5");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("ra").to_string(), "ra");
+        assert_eq!(ColumnRef::qualified("photoobj", "ra").to_string(), "photoobj.ra");
+    }
+
+    #[test]
+    fn arithmetic_aggregates() {
+        assert!(AggFunc::Sum.is_arithmetic());
+        assert!(AggFunc::Avg.is_arithmetic());
+        assert!(!AggFunc::Count.is_arithmetic());
+        assert!(!AggFunc::Min.is_arithmetic());
+        assert!(!AggFunc::Max.is_arithmetic());
+    }
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::cmp(ColumnRef::bare("ra"), CompareOp::Gt, Literal::Int(5))
+            .and(Expr::cmp(ColumnRef::bare("dec"), CompareOp::Lt, Literal::Int(10)));
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+}

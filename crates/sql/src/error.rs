@@ -1,0 +1,47 @@
+//! SQL lexing/parsing error type.
+
+use std::fmt;
+
+/// An error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// Phase that failed.
+    pub phase: Phase,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Which phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+}
+
+impl SqlError {
+    /// Lexer error at `offset`.
+    pub fn lex(offset: usize, message: impl Into<String>) -> Self {
+        SqlError { offset, phase: Phase::Lex, message: message.into() }
+    }
+
+    /// Parser error at `offset`.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        SqlError { offset, phase: Phase::Parse, message: message.into() }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+        };
+        write!(f, "{phase} error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,213 @@
+//! `features(Q)` — the characteristic function of **structural equivalence**
+//! (Table I row 2), after SnipSuggest [15].
+//!
+//! A feature is a tuple describing one structural element of the query:
+//! which columns are projected, which tables are scanned, which columns are
+//! restricted *and with which operator* — but **not** the constant values.
+//! Example 5 of the paper: for `SELECT A1 FROM R WHERE A2 > 5`,
+//! `features(Q) = {(SELECT, A1), (FROM, R), (WHERE, A2 >)}`.
+//!
+//! Because constants never appear in features, the constants slot can use a
+//! PROB scheme while still preserving query-structure distance — the
+//! security win the paper's Table I records for this measure.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One structural feature of a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Feature {
+    /// `(SELECT, col)`
+    Select(ColumnRef),
+    /// `(SELECT, FUNC(col))` — aggregate projection.
+    SelectAgg(AggFunc, Option<ColumnRef>),
+    /// `(FROM, table)`
+    From(String),
+    /// `(WHERE, col op)` — operator spelling without the constant.
+    Where(ColumnRef, String),
+    /// `(JOIN, a = b)` — canonicalized so operand order does not matter.
+    Join(ColumnRef, ColumnRef),
+    /// `(GROUP BY, col)`
+    GroupBy(ColumnRef),
+    /// `(ORDER BY, col)` — direction ignored, as in SnipSuggest.
+    OrderBy(ColumnRef),
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feature::Select(c) => write!(f, "(SELECT, {c})"),
+            Feature::SelectAgg(func, Some(c)) => write!(f, "(SELECT, {func}({c}))"),
+            Feature::SelectAgg(func, None) => write!(f, "(SELECT, {func}(*))"),
+            Feature::From(t) => write!(f, "(FROM, {t})"),
+            Feature::Where(c, op) => write!(f, "(WHERE, {c} {op})"),
+            Feature::Join(a, b) => write!(f, "(JOIN, {a} = {b})"),
+            Feature::GroupBy(c) => write!(f, "(GROUP BY, {c})"),
+            Feature::OrderBy(c) => write!(f, "(ORDER BY, {c})"),
+        }
+    }
+}
+
+/// The feature set of a query.
+pub type FeatureSet = BTreeSet<Feature>;
+
+/// Computes `features(Q)`.
+pub fn feature_set(query: &Query) -> FeatureSet {
+    let mut features = BTreeSet::new();
+
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => {
+                // `*` has no attribute to record; the FROM feature carries
+                // the structural information.
+            }
+            SelectItem::Column(c) => {
+                features.insert(Feature::Select(c.clone()));
+            }
+            SelectItem::Aggregate { func, arg } => {
+                let col = match arg {
+                    AggArg::Star => None,
+                    AggArg::Column(c) => Some(c.clone()),
+                };
+                features.insert(Feature::SelectAgg(*func, col));
+            }
+        }
+    }
+
+    features.insert(Feature::From(query.from.name.clone()));
+    for join in &query.joins {
+        features.insert(Feature::From(join.table.name.clone()));
+        features.insert(join_feature(&join.left, &join.right));
+    }
+
+    if let Some(expr) = &query.where_clause {
+        collect_expr_features(expr, &mut features);
+    }
+
+    for c in &query.group_by {
+        features.insert(Feature::GroupBy(c.clone()));
+    }
+    for o in &query.order_by {
+        features.insert(Feature::OrderBy(o.col.clone()));
+    }
+
+    features
+}
+
+/// Canonicalizes join operand order so `a = b` and `b = a` coincide.
+fn join_feature(a: &ColumnRef, b: &ColumnRef) -> Feature {
+    if a <= b {
+        Feature::Join(a.clone(), b.clone())
+    } else {
+        Feature::Join(b.clone(), a.clone())
+    }
+}
+
+fn collect_expr_features(expr: &Expr, out: &mut FeatureSet) {
+    match expr {
+        Expr::Comparison { col, op, .. } => {
+            out.insert(Feature::Where(col.clone(), op.symbol().to_string()));
+        }
+        Expr::ColumnEq { left, right } => {
+            out.insert(join_feature(left, right));
+        }
+        Expr::Between { col, .. } => {
+            out.insert(Feature::Where(col.clone(), "BETWEEN".to_string()));
+        }
+        Expr::InList { col, .. } => {
+            out.insert(Feature::Where(col.clone(), "IN".to_string()));
+        }
+        Expr::IsNull { col, negated } => {
+            let op = if *negated { "IS NOT NULL" } else { "IS NULL" };
+            out.insert(Feature::Where(col.clone(), op.to_string()));
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_expr_features(a, out);
+            collect_expr_features(b, out);
+        }
+        Expr::Not(inner) => collect_expr_features(inner, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn features(sql: &str) -> FeatureSet {
+        feature_set(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn example_5_from_the_paper() {
+        // features(SELECT A1 FROM R WHERE A2 > 5)
+        //   = {(SELECT, A1), (FROM, R), (WHERE, A2 >)}
+        let f = features("SELECT a1 FROM r WHERE a2 > 5");
+        assert_eq!(f.len(), 3);
+        assert!(f.contains(&Feature::Select(ColumnRef::bare("a1"))));
+        assert!(f.contains(&Feature::From("r".into())));
+        assert!(f.contains(&Feature::Where(ColumnRef::bare("a2"), ">".into())));
+    }
+
+    #[test]
+    fn constants_do_not_appear() {
+        // The whole point of structural equivalence: changing constants
+        // leaves the feature set untouched.
+        assert_eq!(
+            features("SELECT ra FROM t WHERE dec > 5"),
+            features("SELECT ra FROM t WHERE dec > 99999")
+        );
+        assert_eq!(
+            features("SELECT ra FROM t WHERE class IN ('STAR')"),
+            features("SELECT ra FROM t WHERE class IN ('QSO', 'GALAXY')")
+        );
+    }
+
+    #[test]
+    fn operator_is_part_of_the_feature() {
+        assert_ne!(
+            features("SELECT ra FROM t WHERE dec > 5"),
+            features("SELECT ra FROM t WHERE dec < 5")
+        );
+    }
+
+    #[test]
+    fn joins_are_order_insensitive() {
+        let a = features("SELECT ra FROM t WHERE t.x = u.y");
+        let b = features("SELECT ra FROM t WHERE u.y = t.x");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_join_contributes_from_and_join_features() {
+        let f = features("SELECT ra FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid");
+        assert!(f.contains(&Feature::From("photoobj".into())));
+        assert!(f.contains(&Feature::From("specobj".into())));
+        assert!(f
+            .iter()
+            .any(|feat| matches!(feat, Feature::Join(_, _))));
+    }
+
+    #[test]
+    fn aggregates_group_order() {
+        let f = features("SELECT COUNT(*), SUM(z) FROM specobj GROUP BY class ORDER BY class DESC");
+        assert!(f.contains(&Feature::SelectAgg(AggFunc::Count, None)));
+        assert!(f.contains(&Feature::SelectAgg(AggFunc::Sum, Some(ColumnRef::bare("z")))));
+        assert!(f.contains(&Feature::GroupBy(ColumnRef::bare("class"))));
+        assert!(f.contains(&Feature::OrderBy(ColumnRef::bare("class"))));
+    }
+
+    #[test]
+    fn between_and_null_ops() {
+        let f = features("SELECT ra FROM t WHERE ra BETWEEN 1 AND 2 AND z IS NULL");
+        assert!(f.contains(&Feature::Where(ColumnRef::bare("ra"), "BETWEEN".into())));
+        assert!(f.contains(&Feature::Where(ColumnRef::bare("z"), "IS NULL".into())));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let f = Feature::Where(ColumnRef::bare("a2"), ">".into());
+        assert_eq!(f.to_string(), "(WHERE, a2 >)");
+    }
+}

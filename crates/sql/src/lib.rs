@@ -1,0 +1,104 @@
+//! # dpe-sql — the SQL substrate
+//!
+//! Everything the four query-distance measures need from SQL:
+//!
+//! * [`token`] — a lexer for the SELECT dialect the paper's case study uses
+//!   (SkyServer-style analytic queries);
+//! * [`ast`] — the query AST (`SELECT … FROM … [JOIN … ON …] WHERE … GROUP
+//!   BY … ORDER BY … LIMIT …`);
+//! * [`parser`] — a recursive-descent parser with precise error positions;
+//! * [`display`] — a canonical pretty-printer (`parse ∘ print = id`);
+//! * [`tokens`] — `tokens(Q)`: the token *set* of a query, the characteristic
+//!   preserved by **token equivalence** (Table I row 1);
+//! * [`features`] — `features(Q)`: SnipSuggest-style structural features, the
+//!   characteristic preserved by **structural equivalence** (Table I row 2);
+//! * [`analysis`] — visitors for relations/attributes/constants and the
+//!   identifier-rewriting hook the encryption layer uses to build `Enc(Q)`.
+//!
+//! Numeric literals are 64-bit integers: the synthetic SkyServer workload
+//! scales real-valued attributes (e.g. right ascension) to fixed-point, which
+//! keeps every distance computation exact — a prerequisite for checking the
+//! DPE property `d(Enc(x), Enc(y)) = d(x, y)` with `==` instead of an ε.
+
+pub mod analysis;
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod features;
+pub mod parser;
+pub mod token;
+pub mod tokens;
+
+pub use ast::{
+    AggArg, AggFunc, ColumnRef, CompareOp, Expr, Join, Literal, OrderItem, Query, SelectItem,
+    TableRef,
+};
+pub use error::SqlError;
+pub use features::{feature_set, Feature};
+pub use parser::parse_query;
+pub use tokens::token_set;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tiny generator of random-but-valid queries over a fixed schema.
+    fn arb_query() -> impl Strategy<Value = String> {
+        let col = prop::sample::select(vec!["ra", "dec", "objid", "z", "class"]);
+        let table = prop::sample::select(vec!["photoobj", "specobj", "neighbors"]);
+        let op = prop::sample::select(vec!["=", "<", ">", "<=", ">=", "!="]);
+        (
+            prop::collection::vec(col.clone(), 1..4),
+            table,
+            prop::collection::vec((col, op, any::<i64>()), 0..3),
+            any::<bool>(),
+            prop::option::of(0u64..1000),
+        )
+            .prop_map(|(cols, table, preds, distinct, limit)| {
+                let mut sql = String::from("SELECT ");
+                if distinct {
+                    sql.push_str("DISTINCT ");
+                }
+                sql.push_str(&cols.join(", "));
+                sql.push_str(&format!(" FROM {table}"));
+                if !preds.is_empty() {
+                    let conds: Vec<String> = preds
+                        .iter()
+                        .map(|(c, o, v)| format!("{c} {o} {v}"))
+                        .collect();
+                    sql.push_str(&format!(" WHERE {}", conds.join(" AND ")));
+                }
+                if let Some(l) = limit {
+                    sql.push_str(&format!(" LIMIT {l}"));
+                }
+                sql
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn parse_print_parse_fixpoint(sql in arb_query()) {
+            let q1 = parse_query(&sql).expect("generated SQL must parse");
+            let printed = q1.to_string();
+            let q2 = parse_query(&printed).expect("printed SQL must re-parse");
+            prop_assert_eq!(&q1, &q2, "printed: {}", printed);
+        }
+
+        #[test]
+        fn token_set_is_print_invariant(sql in arb_query()) {
+            // Canonical printing must not change the token set — otherwise
+            // token distance would depend on formatting.
+            let q = parse_query(&sql).unwrap();
+            let reparsed = parse_query(&q.to_string()).unwrap();
+            prop_assert_eq!(token_set(&q), token_set(&reparsed));
+        }
+
+        #[test]
+        fn feature_set_is_print_invariant(sql in arb_query()) {
+            let q = parse_query(&sql).unwrap();
+            let reparsed = parse_query(&q.to_string()).unwrap();
+            prop_assert_eq!(feature_set(&q), feature_set(&reparsed));
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Recursive-descent parser for the SELECT dialect.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::{lex, Spanned, Token};
+
+/// Parses one SELECT query. Trailing tokens are an error.
+pub fn parse_query(sql: &str) -> Result<Query, SqlError> {
+    let tokens = lex(sql)?;
+    let mut parser = Parser { tokens, pos: 0, len: sql.len() };
+    let query = parser.query()?;
+    if let Some(extra) = parser.peek() {
+        return Err(SqlError::parse(
+            extra.offset,
+            format!("unexpected trailing token {}", extra.token),
+        ));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map_or(self.len, |s| s.offset)
+    }
+
+    fn advance(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Spanned { token: Token::Keyword(k), .. }) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(self.offset(), format!("expected {kw}")))
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek().map(|s| &s.token) == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), SqlError> {
+        if self.eat(&token) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(self.offset(), format!("expected {token}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        let offset = self.offset();
+        match self.advance() {
+            Some(Spanned { token: Token::Ident(name), .. }) => Ok(name),
+            other => Err(SqlError::parse(
+                offset,
+                format!(
+                    "expected {what}, found {}",
+                    other.map_or("end of input".to_string(), |s| s.token.to_string())
+                ),
+            )),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = TableRef::new(self.ident("table name")?);
+
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("INNER");
+            if self.eat_keyword("JOIN") {
+                let table = TableRef::new(self.ident("joined table name")?);
+                self.expect_keyword("ON")?;
+                let left = self.column_ref()?;
+                self.expect(Token::Eq)?;
+                let right = self.column_ref()?;
+                joins.push(Join { table, left, right });
+            } else if inner {
+                return Err(SqlError::parse(self.offset(), "expected JOIN after INNER"));
+            } else {
+                break;
+            }
+        }
+
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.column_ref()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.column_ref()?);
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let col = self.column_ref()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderItem { col, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") {
+            let offset = self.offset();
+            match self.advance() {
+                Some(Spanned { token: Token::Int(v), .. }) if v >= 0 => Some(v as u64),
+                _ => return Err(SqlError::parse(offset, "expected non-negative LIMIT count")),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query { distinct, select, from, joins, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate functions arrive as keywords from the lexer.
+        let func = match self.peek().map(|s| &s.token) {
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "AVG" => Some(AggFunc::Avg),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(func) = func {
+            self.pos += 1;
+            self.expect(Token::LParen)?;
+            let arg = if self.eat(&Token::Star) {
+                AggArg::Star
+            } else {
+                AggArg::Column(self.column_ref()?)
+            };
+            self.expect(Token::RParen)?;
+            return Ok(SelectItem::Aggregate { func, arg });
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = self.ident("column name")?;
+        if self.eat(&Token::Dot) {
+            let column = self.ident("column name after '.'")?;
+            Ok(ColumnRef { table: Some(first), column })
+        } else {
+            Ok(ColumnRef { table: None, column: first })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_keyword("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat(&Token::LParen) {
+            let inner = self.expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, SqlError> {
+        let col = self.column_ref()?;
+        let offset = self.offset();
+
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { col, negated });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.literal()?;
+            self.expect_keyword("AND")?;
+            let high = self.literal()?;
+            return Ok(Expr::Between { col, low, high });
+        }
+        let negated_in = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect(Token::LParen)?;
+            let mut list = vec![self.literal()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.literal()?);
+            }
+            self.expect(Token::RParen)?;
+            let in_expr = Expr::InList { col, list };
+            return Ok(if negated_in { Expr::Not(Box::new(in_expr)) } else { in_expr });
+        }
+        if negated_in {
+            return Err(SqlError::parse(offset, "expected IN after NOT"));
+        }
+
+        let op = match self.advance().map(|s| s.token) {
+            Some(Token::Eq) => CompareOp::Eq,
+            Some(Token::Ne) => CompareOp::Ne,
+            Some(Token::Lt) => CompareOp::Lt,
+            Some(Token::Le) => CompareOp::Le,
+            Some(Token::Gt) => CompareOp::Gt,
+            Some(Token::Ge) => CompareOp::Ge,
+            other => {
+                return Err(SqlError::parse(
+                    offset,
+                    format!(
+                        "expected comparison operator, found {}",
+                        other.map_or("end of input".to_string(), |t| t.to_string())
+                    ),
+                ))
+            }
+        };
+
+        // `col = col2` is a join predicate; any operator followed by a
+        // literal is an ordinary comparison.
+        if op == CompareOp::Eq {
+            if let Some(Spanned { token: Token::Ident(_), .. }) = self.peek() {
+                let right = self.column_ref()?;
+                return Ok(Expr::ColumnEq { left: col, right });
+            }
+        }
+        let value = self.literal()?;
+        Ok(Expr::Comparison { col, op, value })
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        let offset = self.offset();
+        match self.advance().map(|s| s.token) {
+            Some(Token::Int(v)) => Ok(Literal::Int(v)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Literal::Null),
+            other => Err(SqlError::parse(
+                offset,
+                format!(
+                    "expected literal, found {}",
+                    other.map_or("end of input".to_string(), |t| t.to_string())
+                ),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> Query {
+        parse_query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("SELECT * FROM photoobj");
+        assert_eq!(q.select, vec![SelectItem::Wildcard]);
+        assert_eq!(q.from.name, "photoobj");
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn projection_and_predicates() {
+        let q = parse("SELECT ra, dec FROM photoobj WHERE ra > 100 AND dec <= -5");
+        assert_eq!(q.select.len(), 2);
+        let Some(Expr::And(l, r)) = q.where_clause else { panic!() };
+        assert_eq!(
+            *l,
+            Expr::cmp(ColumnRef::bare("ra"), CompareOp::Gt, Literal::Int(100))
+        );
+        assert_eq!(
+            *r,
+            Expr::cmp(ColumnRef::bare("dec"), CompareOp::Le, Literal::Int(-5))
+        );
+    }
+
+    #[test]
+    fn or_binds_weaker_than_and() {
+        let q = parse("SELECT ra FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        let Some(Expr::Or(_, rhs)) = q.where_clause else { panic!("OR must be the root") };
+        assert!(matches!(*rhs, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let q = parse("SELECT ra FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        let Some(Expr::And(lhs, _)) = q.where_clause else { panic!("AND must be the root") };
+        assert!(matches!(*lhs, Expr::Or(_, _)));
+    }
+
+    #[test]
+    fn between_in_isnull() {
+        let q = parse("SELECT ra FROM t WHERE ra BETWEEN 1 AND 5 AND class IN ('STAR','GALAXY') AND z IS NOT NULL");
+        let mut found = (false, false, false);
+        fn walk(e: &Expr, found: &mut (bool, bool, bool)) {
+            match e {
+                Expr::Between { .. } => found.0 = true,
+                Expr::InList { list, .. } => {
+                    assert_eq!(list.len(), 2);
+                    found.1 = true;
+                }
+                Expr::IsNull { negated: true, .. } => found.2 = true,
+                Expr::And(a, b) | Expr::Or(a, b) => {
+                    walk(a, found);
+                    walk(b, found);
+                }
+                Expr::Not(a) => walk(a, found),
+                _ => {}
+            }
+        }
+        walk(q.where_clause.as_ref().unwrap(), &mut found);
+        assert_eq!(found, (true, true, true));
+    }
+
+    #[test]
+    fn explicit_join() {
+        let q = parse(
+            "SELECT p.ra FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid WHERE p.ra > 0",
+        );
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table.name, "specobj");
+        assert_eq!(q.joins[0].left, ColumnRef::qualified("photoobj", "objid"));
+    }
+
+    #[test]
+    fn implicit_join_predicate() {
+        let q = parse("SELECT ra FROM t WHERE t.a = u.b");
+        assert!(matches!(q.where_clause, Some(Expr::ColumnEq { .. })));
+    }
+
+    #[test]
+    fn aggregates() {
+        let q = parse("SELECT COUNT(*), SUM(z), AVG(ra) FROM specobj GROUP BY class");
+        assert_eq!(q.select.len(), 3);
+        assert!(matches!(
+            q.select[0],
+            SelectItem::Aggregate { func: AggFunc::Count, arg: AggArg::Star }
+        ));
+        assert_eq!(q.group_by, vec![ColumnRef::bare("class")]);
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let q = parse("SELECT ra FROM t ORDER BY ra DESC, dec LIMIT 10");
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(parse("SELECT DISTINCT ra FROM t").distinct);
+        assert!(!parse("SELECT ra FROM t").distinct);
+    }
+
+    #[test]
+    fn not_in() {
+        let q = parse("SELECT ra FROM t WHERE class NOT IN ('QSO')");
+        assert!(matches!(q.where_clause, Some(Expr::Not(inner)) if matches!(*inner, Expr::InList { .. })));
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse_query("SELECT FROM t").unwrap_err();
+        assert!(err.to_string().contains("column name"), "{err}");
+        let err = parse_query("SELECT a FROM t WHERE").unwrap_err();
+        assert!(err.to_string().contains("column name"), "{err}");
+        let err = parse_query("SELECT a FROM t LIMIT -1").unwrap_err();
+        assert!(err.to_string().contains("LIMIT"), "{err}");
+        let err = parse_query("SELECT a FROM t extra").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn null_literal_in_comparison() {
+        let q = parse("SELECT a FROM t WHERE a = NULL");
+        assert!(matches!(
+            q.where_clause,
+            Some(Expr::Comparison { value: Literal::Null, .. })
+        ));
+    }
+}

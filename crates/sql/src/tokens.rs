@@ -1,0 +1,97 @@
+//! `tokens(Q)` — the characteristic function of **token equivalence**
+//! (Table I row 1).
+//!
+//! "For token-based query-string distance, one interprets an SQL query as a
+//! set of tokens" (Definition 3). We lex the canonical rendering of the
+//! query and collect the token spellings into a set. Keywords and operators
+//! participate (they are part of the query string); identifiers and
+//! constants are the parts encryption later replaces 1:1, which is exactly
+//! why a DET scheme preserves the Jaccard distance over these sets.
+
+use crate::ast::Query;
+use crate::token::{lex, Token};
+use std::collections::BTreeSet;
+
+/// A single element of `tokens(Q)`.
+///
+/// Tokens carry only their spelling (no position, no kind) because the
+/// token-based measure treats the query as a bag-collapsed-to-set of
+/// spellings. `BTreeSet` gives deterministic iteration for the harnesses.
+pub type TokenSet = BTreeSet<String>;
+
+/// Computes `tokens(Q)` from the canonical rendering of `query`.
+pub fn token_set(query: &Query) -> TokenSet {
+    token_set_of_text(&query.to_string()).expect("canonical rendering always lexes")
+}
+
+/// Computes the token set of raw SQL text (used to tokenize *encrypted*
+/// queries, whose identifiers are hex strings).
+pub fn token_set_of_text(sql: &str) -> Result<TokenSet, crate::error::SqlError> {
+    let spanned = lex(sql)?;
+    Ok(spanned
+        .into_iter()
+        .map(|s| match s.token {
+            // Normalize the two spellings of ≠ the lexer folds anyway.
+            Token::Ne => "!=".to_string(),
+            other => other.to_string(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn tokens(sql: &str) -> TokenSet {
+        token_set(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn simple_query_tokens() {
+        let t = tokens("SELECT ra FROM photoobj WHERE dec > 5");
+        for expected in ["SELECT", "ra", "FROM", "photoobj", "WHERE", "dec", ">", "5"] {
+            assert!(t.contains(expected), "missing {expected}: {t:?}");
+        }
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn set_semantics_collapse_duplicates() {
+        // Repeating a conjunct changes the token *bag* but not the *set*.
+        let t1 = tokens("SELECT ra FROM t WHERE ra = 5 AND ra = 5");
+        let t2 = tokens("SELECT ra FROM t WHERE ra = 5 AND ra = 5 AND ra = 5");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn formatting_does_not_matter() {
+        assert_eq!(
+            tokens("select   ra from t where dec>5"),
+            tokens("SELECT ra FROM t WHERE dec > 5")
+        );
+    }
+
+    #[test]
+    fn constants_are_tokens() {
+        let t = tokens("SELECT ra FROM t WHERE class = 'STAR' AND z = 17");
+        assert!(t.contains("'STAR'"));
+        assert!(t.contains("17"));
+    }
+
+    #[test]
+    fn token_set_of_encrypted_looking_text() {
+        // Hex identifiers (what DET produces) must lex fine.
+        let t = token_set_of_text("SELECT deadbeef FROM cafebabe WHERE a1b2 > 42").unwrap();
+        assert!(t.contains("deadbeef"));
+        assert!(t.contains("cafebabe"));
+    }
+
+    #[test]
+    fn disjoint_queries_share_only_keywords() {
+        let a = tokens("SELECT ra FROM photoobj");
+        let b = tokens("SELECT z FROM specobj");
+        let inter: Vec<_> = a.intersection(&b).cloned().collect();
+        assert_eq!(inter, vec!["FROM".to_string(), "SELECT".to_string()]);
+    }
+}

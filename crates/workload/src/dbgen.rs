@@ -1,0 +1,134 @@
+//! Seeded random database content for the sky catalog.
+
+use crate::schema::{sky_catalog, CLASSES, INT_DOMAINS};
+use crate::zipf::Zipf;
+use dpe_minidb::{Database, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a populated sky-catalog database.
+///
+/// `photo_rows` photometric objects with ids `1..=photo_rows`; roughly one
+/// third get a spectrum in `specobj` (with `bestobjid` pointing back); a
+/// handful of neighbor pairs. Class frequencies are Zipf-skewed (stars
+/// dominate, as in the real catalog) — the skew the frequency-analysis
+/// attack in `dpe-attacks` exploits.
+pub fn generate_database(photo_rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for schema in sky_catalog() {
+        db.create_table(schema).expect("fresh database");
+    }
+
+    let dom = |name: &str| {
+        INT_DOMAINS
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|&(_, lo, hi)| (lo, hi))
+            .expect("domain exists")
+    };
+    let class_zipf = Zipf::new(CLASSES.len(), 1.1);
+
+    let (ra_lo, ra_hi) = dom("ra");
+    let (dec_lo, dec_hi) = dom("dec");
+    let (rmag_lo, rmag_hi) = dom("rmag");
+    for objid in 1..=photo_rows as i64 {
+        let class = CLASSES[class_zipf.sample(&mut rng)];
+        db.insert(
+            "photoobj",
+            vec![
+                Value::Int(objid),
+                Value::Int(rng.gen_range(ra_lo..=ra_hi)),
+                Value::Int(rng.gen_range(dec_lo..=dec_hi)),
+                Value::Int(rng.gen_range(rmag_lo..=rmag_hi)),
+                Value::Str(class.to_string()),
+            ],
+        )
+        .expect("photoobj row");
+    }
+
+    let (z_lo, z_hi) = dom("z");
+    let mut specid = 1i64;
+    for objid in 1..=photo_rows as i64 {
+        if rng.gen_bool(1.0 / 3.0) {
+            let class = CLASSES[class_zipf.sample(&mut rng)];
+            db.insert(
+                "specobj",
+                vec![
+                    Value::Int(specid),
+                    Value::Int(objid),
+                    Value::Int(rng.gen_range(z_lo..=z_hi)),
+                    Value::Str(class.to_string()),
+                ],
+            )
+            .expect("specobj row");
+            specid += 1;
+        }
+    }
+
+    let pairs = (photo_rows / 2).max(1);
+    for _ in 0..pairs {
+        db.insert(
+            "neighbors",
+            vec![
+                Value::Int(rng.gen_range(1..=photo_rows as i64)),
+                Value::Int(rng.gen_range(0..=600_000)),
+            ],
+        )
+        .expect("neighbors row");
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_database(50, 42);
+        let b = generate_database(50, 42);
+        assert_eq!(a.table("photoobj").unwrap().rows(), b.table("photoobj").unwrap().rows());
+        assert_eq!(a.table("specobj").unwrap().rows(), b.table("specobj").unwrap().rows());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_database(50, 1);
+        let b = generate_database(50, 2);
+        assert_ne!(a.table("photoobj").unwrap().rows(), b.table("photoobj").unwrap().rows());
+    }
+
+    #[test]
+    fn row_counts_plausible() {
+        let db = generate_database(90, 7);
+        assert_eq!(db.table("photoobj").unwrap().len(), 90);
+        let spec = db.table("specobj").unwrap().len();
+        assert!(spec > 10 && spec < 60, "spec rows: {spec}");
+        assert!(!db.table("neighbors").unwrap().is_empty());
+    }
+
+    #[test]
+    fn values_respect_domains() {
+        let db = generate_database(60, 3);
+        for row in db.table("photoobj").unwrap().rows() {
+            let Value::Int(ra) = row[1] else { panic!() };
+            let Value::Int(dec) = row[2] else { panic!() };
+            assert!((0..=360_000).contains(&ra));
+            assert!((-90_000..=90_000).contains(&dec));
+            let Value::Str(class) = &row[4] else { panic!() };
+            assert!(CLASSES.contains(&class.as_str()));
+        }
+    }
+
+    #[test]
+    fn spec_points_at_existing_objects() {
+        let db = generate_database(40, 9);
+        let max_obj = 40i64;
+        for row in db.table("specobj").unwrap().rows() {
+            let Value::Int(best) = row[1] else { panic!() };
+            assert!((1..=max_obj).contains(&best));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The query-log generator.
+//!
+//! Nine analytic templates modelled on published SkyServer workload studies:
+//! point lookups, sky-region range scans, class filters, top-k scans,
+//! counting and arithmetic aggregates, photometric/spectroscopic joins,
+//! per-class grouping, and IN-list filters. Template choice, hot-constant
+//! choice and range widths are Zipf-skewed and fully seeded.
+
+use crate::schema::CLASSES;
+use crate::zipf::Zipf;
+use dpe_sql::{parse_query, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a generated log.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Number of queries.
+    pub queries: usize,
+    /// RNG seed; equal configs generate byte-identical logs.
+    pub seed: u64,
+    /// Zipf exponent for template selection (0 = uniform).
+    pub template_skew: f64,
+    /// Zipf exponent for constant selection from each attribute's hot pool.
+    pub constant_skew: f64,
+    /// Size of the hot-constant pool per attribute.
+    pub pool_size: usize,
+    /// Restricts generation to these template ids (`0..TEMPLATE_COUNT`);
+    /// `None` uses all. The result-distance experiments exclude the
+    /// SUM/AVG template (5), whose Paillier-folded results carry no
+    /// deterministic tuple representation.
+    pub allowed_templates: Option<Vec<usize>>,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            queries: 60,
+            seed: 0xD5E,
+            template_skew: 0.8,
+            constant_skew: 1.07,
+            pool_size: 20,
+            allowed_templates: None,
+        }
+    }
+}
+
+impl LogConfig {
+    /// A configuration whose queries all have deterministic encrypted
+    /// result tuples (everything except the arithmetic-aggregate template).
+    pub fn result_safe(queries: usize, seed: u64) -> Self {
+        LogConfig {
+            queries,
+            seed,
+            allowed_templates: Some(vec![0, 1, 2, 3, 4, 6, 7, 8]),
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates query logs from a [`LogConfig`].
+pub struct LogGenerator {
+    rng: StdRng,
+    template_zipf: Zipf,
+    constant_zipf: Zipf,
+    templates: Vec<usize>,
+    ra_pool: Vec<i64>,
+    dec_pool: Vec<i64>,
+    rmag_pool: Vec<i64>,
+    z_pool: Vec<i64>,
+    objid_pool: Vec<i64>,
+}
+
+const TEMPLATE_COUNT: usize = 9;
+
+impl LogGenerator {
+    /// Builds a generator.
+    pub fn new(config: &LogConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pool = |rng: &mut StdRng, lo: i64, hi: i64, n: usize| -> Vec<i64> {
+            (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+        };
+        let n = config.pool_size.max(1);
+        let ra_pool = pool(&mut rng, 0, 360_000, n);
+        let dec_pool = pool(&mut rng, -90_000, 90_000, n);
+        let rmag_pool = pool(&mut rng, 1_000, 2_800, n);
+        let z_pool = pool(&mut rng, 0, 7_000_000, n);
+        let objid_pool = pool(&mut rng, 1, 1_000_000, n);
+        let templates: Vec<usize> = match &config.allowed_templates {
+            Some(list) => {
+                assert!(!list.is_empty(), "allowed_templates must not be empty");
+                assert!(list.iter().all(|&t| t < TEMPLATE_COUNT), "unknown template id");
+                list.clone()
+            }
+            None => (0..TEMPLATE_COUNT).collect(),
+        };
+        LogGenerator {
+            rng,
+            template_zipf: Zipf::new(templates.len(), config.template_skew),
+            constant_zipf: Zipf::new(n, config.constant_skew),
+            templates,
+            ra_pool,
+            dec_pool,
+            rmag_pool,
+            z_pool,
+            objid_pool,
+        }
+    }
+
+    /// Generates a full log.
+    pub fn generate(config: &LogConfig) -> Vec<Query> {
+        let mut generator = LogGenerator::new(config);
+        (0..config.queries).map(|_| generator.next_query()).collect()
+    }
+
+    fn hot(&mut self, pool: &'static str) -> i64 {
+        let rank = self.constant_zipf.sample(&mut self.rng);
+        match pool {
+            "ra" => self.ra_pool[rank],
+            "dec" => self.dec_pool[rank],
+            "rmag" => self.rmag_pool[rank],
+            "z" => self.z_pool[rank],
+            "objid" => self.objid_pool[rank],
+            _ => unreachable!("unknown pool {pool}"),
+        }
+    }
+
+    fn class(&mut self) -> &'static str {
+        CLASSES[self.constant_zipf.sample(&mut self.rng) % CLASSES.len()]
+    }
+
+    /// Emits the next query of the log.
+    pub fn next_query(&mut self) -> Query {
+        let template = self.templates[self.template_zipf.sample(&mut self.rng)];
+        let sql = match template {
+            0 => {
+                let id = self.hot("objid");
+                format!("SELECT ra, dec FROM photoobj WHERE objid = {id}")
+            }
+            1 => {
+                let ra = self.hot("ra");
+                let dec = self.hot("dec");
+                let w: i64 = self.rng.gen_range(500..5_000);
+                format!(
+                    "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN {} AND {} AND dec BETWEEN {} AND {}",
+                    ra.saturating_sub(w).max(0),
+                    (ra + w).min(360_000),
+                    dec.saturating_sub(w).max(-90_000),
+                    (dec + w).min(90_000),
+                )
+            }
+            2 => {
+                let class = self.class();
+                let rmag = self.hot("rmag");
+                format!("SELECT objid FROM photoobj WHERE class = '{class}' AND rmag < {rmag}")
+            }
+            3 => {
+                let rmag = self.hot("rmag");
+                let k = self.rng.gen_range(5..50);
+                format!(
+                    "SELECT objid, rmag FROM photoobj WHERE rmag > {rmag} ORDER BY rmag DESC LIMIT {k}"
+                )
+            }
+            4 => {
+                let class = self.class();
+                format!("SELECT COUNT(*) FROM photoobj WHERE class = '{class}'")
+            }
+            5 => {
+                let lo = self.hot("z");
+                let hi = (lo + self.rng.gen_range(100_000..1_000_000)).min(7_000_000);
+                format!("SELECT AVG(z), SUM(z) FROM specobj WHERE z BETWEEN {lo} AND {hi}")
+            }
+            6 => {
+                let z = self.hot("z");
+                format!(
+                    "SELECT photoobj.objid, specobj.z FROM photoobj \
+                     JOIN specobj ON photoobj.objid = specobj.bestobjid \
+                     WHERE specobj.z > {z}"
+                )
+            }
+            7 => {
+                let rmag = self.hot("rmag");
+                format!(
+                    "SELECT class, COUNT(*) FROM photoobj WHERE rmag < {rmag} \
+                     GROUP BY class ORDER BY class"
+                )
+            }
+            _ => {
+                let dec = self.hot("dec");
+                let (c1, c2) = (self.class(), self.class());
+                format!(
+                    "SELECT objid FROM photoobj WHERE class IN ('{c1}', '{c2}') AND dec > {dec}"
+                )
+            }
+        };
+        parse_query(&sql).expect("generated SQL is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_sql::analysis;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = LogConfig { queries: 40, ..Default::default() };
+        assert_eq!(LogGenerator::generate(&cfg), LogGenerator::generate(&cfg));
+    }
+
+    #[test]
+    fn seed_changes_log() {
+        let a = LogGenerator::generate(&LogConfig { queries: 40, seed: 1, ..Default::default() });
+        let b = LogGenerator::generate(&LogConfig { queries: 40, seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn covers_many_templates() {
+        let log = LogGenerator::generate(&LogConfig { queries: 200, ..Default::default() });
+        let shapes: BTreeSet<String> = log
+            .iter()
+            .map(|q| {
+                let mut s = format!("{}-{}", q.from.name, q.select.len());
+                if !q.joins.is_empty() {
+                    s.push_str("-join");
+                }
+                if !q.group_by.is_empty() {
+                    s.push_str("-group");
+                }
+                s
+            })
+            .collect();
+        assert!(shapes.len() >= 5, "log too uniform: {shapes:?}");
+    }
+
+    #[test]
+    fn all_attributes_have_known_domains() {
+        let catalog = crate::schema::sky_domains();
+        let log = LogGenerator::generate(&LogConfig { queries: 150, ..Default::default() });
+        for q in &log {
+            for attr in analysis::attributes(q) {
+                assert!(catalog.get(&attr).is_some(), "attribute {attr} lacks a domain");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_constants_repeat() {
+        // Zipf skew must produce repeated constants — the signal the
+        // frequency attack needs.
+        let log = LogGenerator::generate(&LogConfig { queries: 150, ..Default::default() });
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for q in &log {
+            for (_, lit) in analysis::constants(q) {
+                *counts.entry(lit.to_string()).or_default() += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(max >= 5, "no hot constants (max repeat {max})");
+    }
+
+    #[test]
+    fn template_filter_respected() {
+        // Only the COUNT template (4): every query is an ungrouped COUNT.
+        let cfg = LogConfig {
+            queries: 30,
+            allowed_templates: Some(vec![4]),
+            ..Default::default()
+        };
+        for q in LogGenerator::generate(&cfg) {
+            assert_eq!(q.select.len(), 1);
+            assert!(matches!(q.select[0], dpe_sql::SelectItem::Aggregate { .. }), "{q}");
+        }
+    }
+
+    #[test]
+    fn result_safe_excludes_arithmetic_aggregates() {
+        let cfg = LogConfig::result_safe(120, 3);
+        for q in LogGenerator::generate(&cfg) {
+            for item in &q.select {
+                if let dpe_sql::SelectItem::Aggregate { func, .. } = item {
+                    assert!(!func.is_arithmetic(), "{q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown template id")]
+    fn bad_template_id_panics() {
+        let cfg = LogConfig { allowed_templates: Some(vec![99]), ..Default::default() };
+        LogGenerator::new(&cfg);
+    }
+
+    #[test]
+    fn queries_execute_against_generated_db() {
+        let db = crate::dbgen::generate_database(80, 11);
+        let log = LogGenerator::generate(&LogConfig { queries: 120, ..Default::default() });
+        for q in &log {
+            dpe_minidb::execute(&db, q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

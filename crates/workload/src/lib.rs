@@ -1,0 +1,27 @@
+//! # dpe-workload — synthetic SkyServer-like query logs and databases
+//!
+//! The paper's case study targets SQL query logs such as SkyServer's [16],
+//! which are not redistributable. This crate generates the closest synthetic
+//! equivalent (DESIGN.md §5): an astronomy-flavoured star/galaxy catalog
+//! schema ([`schema`]), seeded random database content ([`dbgen`]), and a
+//! query log drawn from nine analytic templates with Zipf-skewed template,
+//! attribute and constant choices ([`generator`], [`zipf`]) — the skew shape
+//! real query logs exhibit and the frequency-analysis attacks in
+//! `dpe-attacks` rely on.
+//!
+//! Everything is deterministic in the seed, so every experiment in
+//! EXPERIMENTS.md is reproducible byte-for-byte.
+//!
+//! Real-valued astronomy attributes (right ascension, declination, redshift)
+//! are fixed-point scaled to integers (milli-units), keeping all distance
+//! arithmetic exact — see `dpe-sql` crate docs.
+
+pub mod dbgen;
+pub mod generator;
+pub mod schema;
+pub mod zipf;
+
+pub use dbgen::generate_database;
+pub use generator::{LogConfig, LogGenerator};
+pub use schema::{sky_catalog, sky_domains, SKY_TABLES};
+pub use zipf::Zipf;

@@ -1,0 +1,129 @@
+//! The synthetic sky-catalog schema.
+//!
+//! Modelled on the SkyServer tables the paper's reference [16] mines:
+//! a photometric object catalog, a spectroscopic catalog keyed to it, and a
+//! neighbor pair table. Column names are globally unique across tables so
+//! the unqualified attribute spellings of real query logs resolve without
+//! ambiguity (and so the access-area `DomainCatalog`, which is keyed by
+//! attribute name, is well-defined).
+
+use dpe_distance::{AttributeDomain, DomainCatalog};
+use dpe_minidb::{ColumnType, TableSchema};
+
+/// The object classes of the categorical `class` attribute.
+pub const CLASSES: [&str; 3] = ["STAR", "GALAXY", "QSO"];
+
+/// Table names in creation order.
+pub const SKY_TABLES: [&str; 3] = ["photoobj", "specobj", "neighbors"];
+
+/// Fixed-point domains of the integer attributes (milli-units for angles,
+/// micro for redshift; magnitudes ×100).
+pub const INT_DOMAINS: [(&str, i64, i64); 8] = [
+    ("objid", 1, 1_000_000),
+    ("ra", 0, 360_000),        // 0..360 deg, milli-deg
+    ("dec", -90_000, 90_000),  // -90..90 deg, milli-deg
+    ("rmag", 1_000, 2_800),    // 10.00..28.00 mag, centi-mag
+    ("specid", 1, 1_000_000),
+    ("bestobjid", 1, 1_000_000),
+    ("z", 0, 7_000_000),       // redshift 0..7, micro
+    ("neighborobjid", 1, 1_000_000),
+];
+
+/// The three table schemas.
+pub fn sky_catalog() -> Vec<TableSchema> {
+    vec![
+        TableSchema::new(
+            "photoobj",
+            vec![
+                ("objid", ColumnType::Int),
+                ("ra", ColumnType::Int),
+                ("dec", ColumnType::Int),
+                ("rmag", ColumnType::Int),
+                ("class", ColumnType::Str),
+            ],
+        ),
+        TableSchema::new(
+            "specobj",
+            vec![
+                ("specid", ColumnType::Int),
+                ("bestobjid", ColumnType::Int),
+                ("z", ColumnType::Int),
+                ("specclass", ColumnType::Str),
+            ],
+        ),
+        TableSchema::new(
+            "neighbors",
+            vec![
+                ("neighborobjid", ColumnType::Int),
+                ("distance", ColumnType::Int),
+            ],
+        ),
+    ]
+}
+
+/// The *Domains* shared information: every attribute's domain, for the
+/// access-area measure.
+pub fn sky_domains() -> DomainCatalog {
+    let mut catalog = DomainCatalog::new();
+    for (name, lo, hi) in INT_DOMAINS {
+        catalog.insert(name, AttributeDomain::Int { lo, hi });
+    }
+    catalog.insert(
+        "distance",
+        AttributeDomain::Int { lo: 0, hi: 600_000 }, // arcsec ×1000
+    );
+    let classes = CLASSES.iter().map(|s| s.to_string()).collect();
+    catalog.insert("class", AttributeDomain::Categorical(classes));
+    let classes = CLASSES.iter().map(|s| s.to_string()).collect();
+    catalog.insert("specclass", AttributeDomain::Categorical(classes));
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_build() {
+        let tables = sky_catalog();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].name, "photoobj");
+        assert_eq!(tables[0].arity(), 5);
+    }
+
+    #[test]
+    fn column_names_globally_unique() {
+        let tables = sky_catalog();
+        let mut seen = std::collections::BTreeSet::new();
+        for t in &tables {
+            for c in &t.columns {
+                assert!(seen.insert(c.name.clone()), "duplicate column {}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_column_has_a_domain() {
+        let catalog = sky_domains();
+        for t in sky_catalog() {
+            for c in &t.columns {
+                assert!(catalog.get(&c.name).is_some(), "no domain for {}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn domain_kinds_match_column_types() {
+        let catalog = sky_domains();
+        for t in sky_catalog() {
+            for c in &t.columns {
+                let dom = catalog.get(&c.name).unwrap();
+                match (c.ty, dom) {
+                    (ColumnType::Int, AttributeDomain::Int { .. }) => {}
+                    (ColumnType::Str, AttributeDomain::Categorical(_)) => {}
+                    other => panic!("domain/type mismatch for {}: {other:?}", c.name),
+                }
+            }
+        }
+    }
+}

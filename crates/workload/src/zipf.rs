@@ -1,0 +1,121 @@
+//! A Zipf(s) sampler over ranks `0..n` (rank 0 most probable).
+//!
+//! Inverse-CDF sampling over the precomputed normalized cumulative weights
+//! `w_k ∝ 1/(k+1)^s`. O(n) setup, O(log n) per sample, deterministic given
+//! the RNG.
+
+use rand::Rng;
+
+/// Zipf-distributed rank sampler.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform). Panics when `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        // Guard against floating-point undershoot at the top.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` iff a single rank (degenerate).
+    pub fn is_empty(&self) -> bool {
+        false // constructor guarantees n > 0
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank whose cumulative weight
+        // reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: usize, s: f64, draws: usize) -> Vec<usize> {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn ranks_stay_in_bounds() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn skew_orders_frequencies() {
+        let h = histogram(8, 1.2, 20_000);
+        // Rank 0 clearly dominates and the tail decays.
+        assert!(h[0] > h[1] && h[1] > h[3] && h[3] > h[7], "{h:?}");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let h = histogram(4, 0.0, 40_000);
+        for &count in &h {
+            assert!((count as f64 - 10_000.0).abs() < 700.0, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let z = Zipf::new(10, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

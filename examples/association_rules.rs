@@ -1,0 +1,91 @@
+//! Association-rule mining over an *encrypted* SQL query log — the use
+//! case the paper's conclusion points at (reference [17]: mining OLAP
+//! query-log preferences for proactive personalization).
+//!
+//! The service provider receives only the structurally-encrypted log,
+//! treats each query's feature set as a transaction, and runs Apriori.
+//! Because structural equivalence is a bijective renaming of features, the
+//! provider finds the *same* frequent patterns and rules (same supports,
+//! same confidences); the owner decrypts the rule items locally.
+//!
+//! Run: `cargo run --release --example association_rules`
+
+use dpe::core::scheme::{QueryEncryptor, StructuralDpe};
+use dpe::crypto::MasterKey;
+use dpe::mining::apriori::{association_rules, frequent_itemsets, Transaction};
+use dpe::sql::feature_set;
+use dpe::workload::{LogConfig, LogGenerator};
+use std::collections::BTreeSet;
+
+fn feature_transactions(log: &[dpe::sql::Query]) -> Vec<Transaction<String>> {
+    log.iter()
+        .map(|q| feature_set(q).iter().map(|f| f.to_string()).collect::<BTreeSet<_>>())
+        .collect()
+}
+
+fn main() {
+    // The data owner's log, and the outsourced encrypted copy.
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 100,
+        seed: 0xCAFE,
+        ..Default::default()
+    });
+    let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([0x33; 32]), 2);
+    let enc_log = scheme.encrypt_log(&log).expect("encryption");
+
+    // === At the service provider: mine the ciphertext log. ===
+    let enc_tx = feature_transactions(&enc_log);
+    let min_support = 8;
+    let fi_enc = frequent_itemsets(&enc_tx, min_support);
+    let rules_enc = association_rules(&enc_tx, &fi_enc, 0.8);
+    println!(
+        "provider mined {} frequent itemsets, {} rules (support ≥ {min_support}, conf ≥ 0.8) — all over ciphertext",
+        fi_enc.len(),
+        rules_enc.len()
+    );
+
+    // === At the owner: same mining on plaintext for comparison. ===
+    let plain_tx = feature_transactions(&log);
+    let fi_plain = frequent_itemsets(&plain_tx, min_support);
+    let rules_plain = association_rules(&plain_tx, &fi_plain, 0.8);
+
+    // Identical pattern structure: counts, supports and confidences match.
+    assert_eq!(fi_plain.len(), fi_enc.len());
+    assert_eq!(rules_plain.len(), rules_enc.len());
+    let mut sup_p: Vec<(usize, usize)> =
+        fi_plain.iter().map(|f| (f.items.len(), f.support)).collect();
+    let mut sup_e: Vec<(usize, usize)> =
+        fi_enc.iter().map(|f| (f.items.len(), f.support)).collect();
+    sup_p.sort_unstable();
+    sup_e.sort_unstable();
+    assert_eq!(sup_p, sup_e);
+    println!("itemset/rule structure identical on plaintext and ciphertext ✓");
+
+    // Show a few plaintext rules (what the owner sees after local decrypt)
+    // against their ciphertext counterparts (what the provider saw).
+    println!("\ntop rules (plaintext view | support | confidence):");
+    let mut by_conf = rules_plain.clone();
+    by_conf.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap()
+            .then(b.support.cmp(&a.support))
+    });
+    for rule in by_conf.iter().take(5) {
+        let lhs: Vec<&str> = rule.antecedent.iter().map(String::as_str).collect();
+        let rhs: Vec<&str> = rule.consequent.iter().map(String::as_str).collect();
+        println!(
+            "  {{{}}} ⇒ {{{}}}   support {} confidence {:.2}",
+            lhs.join(", "),
+            rhs.join(", "),
+            rule.support,
+            rule.confidence
+        );
+    }
+
+    println!("\nciphertext counterpart of the top rule (provider's view):");
+    if let Some(enc_rule) = rules_enc.first() {
+        let lhs: Vec<&str> = enc_rule.antecedent.iter().map(String::as_str).collect();
+        println!("  {{{}}} ⇒ …", lhs.join(", "));
+    }
+}

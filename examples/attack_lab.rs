@@ -1,0 +1,65 @@
+//! Attack lab — why the class choice matters.
+//!
+//! Encrypts the same Zipf-skewed constant column under PROB, DET and OPE
+//! and runs the passive attacks of the threat model against each,
+//! illustrating the security rows of Fig. 1 and why Definition 6 always
+//! picks the *highest* class that still preserves the distance.
+//!
+//! Run: `cargo run --release --example attack_lab`
+
+use dpe::attacks::{frequency_attack, sorting_attack};
+use dpe::crypto::kdf::SlotLabel;
+use dpe::crypto::scheme::SymmetricScheme;
+use dpe::crypto::{DetScheme, MasterKey, ProbScheme};
+use dpe::ope::{OpeDomain, OpeScheme};
+use dpe::workload::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xA77);
+    let master = MasterKey::from_bytes([0x3C; 32]);
+
+    // A skewed column of 1,000 constants over 15 hot values — the shape
+    // that query-log constants (and the attacker's auxiliary knowledge)
+    // actually have.
+    let zipf = Zipf::new(15, 1.1);
+    let plain: Vec<i64> = (0..1000).map(|_| 10_000 + zipf.sample(&mut rng) as i64 * 111).collect();
+    let truth: Vec<String> = plain.iter().map(|v| v.to_string()).collect();
+    let mut aux_counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for t in &truth {
+        *aux_counts.entry(t.clone()).or_default() += 1;
+    }
+    let aux: Vec<(String, usize)> = aux_counts.into_iter().collect();
+
+    println!("column: 1000 Zipf-skewed constants, 15 distinct values\n");
+    println!("{:<28} {:>18} {:>18}", "scheme (class)", "frequency attack", "sorting attack");
+
+    // PROB — randomized AES-CTR.
+    let prob = ProbScheme::new(&SlotLabel::Constant("lab").derive(&master));
+    let cts: Vec<String> =
+        plain.iter().map(|v| prob.encrypt(&v.to_be_bytes(), &mut rng).to_hex()).collect();
+    let freq = frequency_attack(&cts, &truth, &aux);
+    println!("{:<28} {:>18} {:>18}", "PROB (rand. AES-CTR)", freq.to_string(), "no order to sort");
+
+    // DET — SIV.
+    let det = DetScheme::new(&SlotLabel::Constant("lab").derive(&master));
+    let cts: Vec<String> =
+        plain.iter().map(|v| det.encrypt(&v.to_be_bytes(), &mut rng).to_hex()).collect();
+    let freq = frequency_attack(&cts, &truth, &aux);
+    println!("{:<28} {:>18} {:>18}", "DET (SIV)", freq.to_string(), "order hidden");
+
+    // OPE — order-preserving.
+    let ope = OpeScheme::new(&SlotLabel::Constant("lab").derive(&master), OpeDomain::new(0, 1 << 20));
+    let cts: Vec<u128> = plain.iter().map(|&v| ope.encrypt(v as u64).unwrap()).collect();
+    let sort = sorting_attack(&cts, &plain, &plain);
+    println!("{:<28} {:>18} {:>18}", "OPE (range bisection)", "(inherits DET)", sort.to_string());
+
+    println!(
+        "\nReading: PROB resists both attacks; DET leaks value frequencies; OPE additionally\n\
+         hands the attacker the full order — with known plaintext distribution the sorting\n\
+         attack recovers everything. Definition 6 therefore never picks a lower class than\n\
+         the distance measure forces (Table I), and the paper's access-area scheme pushes\n\
+         aggregate-only attributes all the way up to PROB."
+    );
+}

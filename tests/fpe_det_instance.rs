@@ -1,0 +1,105 @@
+//! Integration: format-preserving encryption as an alternative DET
+//! instance for string constants — the §IV-D instance-swap argument.
+//!
+//! Table I's token row requires DET for `EncA.Const`; *which* DET instance
+//! fills the slot is free. The SIV-based `DetScheme` produces opaque hex
+//! blobs; `FpeScheme` produces ciphertexts that stay in the column's
+//! alphabet and length (the L-EncDB [10] deployment shape). Both are
+//! deterministic, so both preserve token equivalence — verified here by
+//! running the same token-distance checks under an FPE constant mapping.
+
+use dpe::crypto::{Alphabet, FpeScheme, SymmetricKey};
+use dpe::distance::{QueryDistance, TokenDistance};
+use dpe::sql::{parse_query, Expr, Literal, Query};
+
+/// Rewrites every string constant of the query through the FPE scheme —
+/// a minimal `EncA.Const` instance swap (names left in place to isolate
+/// the constant slot).
+fn encrypt_constants_fpe(q: &Query, fpe: &FpeScheme) -> Query {
+    fn map_expr(e: &Expr, fpe: &FpeScheme) -> Expr {
+        let enc_lit = |lit: &Literal| match lit {
+            Literal::Str(s) if s.len() >= 2 => {
+                Literal::Str(fpe.encrypt_str(s, b"const").expect("alphabet covers workload"))
+            }
+            other => other.clone(),
+        };
+        match e {
+            Expr::Comparison { col, op, value } => {
+                Expr::Comparison { col: col.clone(), op: *op, value: enc_lit(value) }
+            }
+            Expr::Between { col, low, high } => Expr::Between {
+                col: col.clone(),
+                low: enc_lit(low),
+                high: enc_lit(high),
+            },
+            Expr::InList { col, list } => Expr::InList {
+                col: col.clone(),
+                list: list.iter().map(enc_lit).collect(),
+            },
+            Expr::And(a, b) => Expr::And(
+                Box::new(map_expr(a, fpe)),
+                Box::new(map_expr(b, fpe)),
+            ),
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(map_expr(a, fpe)), Box::new(map_expr(b, fpe)))
+            }
+            Expr::Not(a) => Expr::Not(Box::new(map_expr(a, fpe))),
+            other => other.clone(),
+        }
+    }
+    let mut out = q.clone();
+    out.where_clause = q.where_clause.as_ref().map(|w| map_expr(w, fpe));
+    out
+}
+
+fn workload() -> Vec<Query> {
+    [
+        "SELECT objid FROM photoobj WHERE class = 'star'",
+        "SELECT objid FROM photoobj WHERE class = 'galaxy'",
+        "SELECT ra FROM photoobj WHERE class = 'star' AND dec > 5",
+        "SELECT ra FROM specobj WHERE specclass IN ('star', 'qso')",
+        "SELECT z FROM specobj WHERE specclass = 'qso'",
+    ]
+    .iter()
+    .map(|s| parse_query(s).expect("valid SQL"))
+    .collect()
+}
+
+#[test]
+fn fpe_constants_preserve_token_distance() {
+    let fpe = FpeScheme::new(&SymmetricKey::from_bytes([0x3C; 32]), Alphabet::lowercase());
+    let log = workload();
+    let enc: Vec<Query> = log.iter().map(|q| encrypt_constants_fpe(q, &fpe)).collect();
+
+    for i in 0..log.len() {
+        for j in i + 1..log.len() {
+            let dp = TokenDistance.distance(&log[i], &log[j]).unwrap();
+            let de = TokenDistance.distance(&enc[i], &enc[j]).unwrap();
+            assert_eq!(dp, de, "pair ({i}, {j})");
+        }
+    }
+}
+
+#[test]
+fn fpe_ciphertexts_stay_in_format() {
+    let fpe = FpeScheme::new(&SymmetricKey::from_bytes([0x3D; 32]), Alphabet::lowercase());
+    let enc = encrypt_constants_fpe(&workload()[0], &fpe);
+    let text = enc.to_string();
+    // The constant is still a lowercase 4-letter word — a DB column with a
+    // CHAR(4) lowercase constraint would accept the ciphertext unchanged.
+    let enc_const = fpe.encrypt_str("star", b"const").unwrap();
+    assert_eq!(enc_const.len(), 4);
+    assert!(Alphabet::lowercase().spells(&enc_const));
+    assert!(text.contains(&enc_const), "{text}");
+    assert!(!text.contains("star"), "plaintext constant leaked: {text}");
+}
+
+#[test]
+fn fpe_instances_with_different_keys_disagree() {
+    let a = FpeScheme::new(&SymmetricKey::from_bytes([1; 32]), Alphabet::lowercase());
+    let b = FpeScheme::new(&SymmetricKey::from_bytes([2; 32]), Alphabet::lowercase());
+    assert_ne!(
+        a.encrypt_str("galaxy", b"const").unwrap(),
+        b.encrypt_str("galaxy", b"const").unwrap()
+    );
+}

@@ -1,0 +1,98 @@
+//! Integration: the full KIT-DPE pipeline for every Table I row, across
+//! crates — workload generation → scheme derivation → log (and database)
+//! encryption → exhaustive Definition-1 verification → mining invariance.
+
+use dpe::core::dpe::verify_dpe;
+use dpe::core::scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};
+use dpe::core::verify::mining_agreement;
+use dpe::crypto::MasterKey;
+use dpe::cryptdb::column::CryptDbConfig;
+use dpe::distance::{
+    AccessAreaDistance, DistanceMatrix, ResultDistance, StructureDistance,
+    TokenDistance,
+};
+use dpe::mining::{DbscanConfig, OutlierConfig};
+use dpe::workload::{generate_database, sky_catalog, sky_domains, LogConfig, LogGenerator};
+
+fn master() -> MasterKey {
+    MasterKey::from_bytes([0xE1; 32])
+}
+
+fn log(n: usize, seed: u64) -> Vec<dpe::sql::Query> {
+    LogGenerator::generate(&LogConfig { queries: n, seed, ..Default::default() })
+}
+
+#[test]
+fn token_row_end_to_end() {
+    let log = log(50, 1);
+    let mut scheme = TokenDpe::new(&master());
+    let enc = scheme.encrypt_log(&log).unwrap();
+    let report = verify_dpe(&log, &enc, &TokenDistance, &TokenDistance).unwrap();
+    assert!(report.preserved, "{}", report.verdict());
+    assert_eq!(report.pairs_checked, 50 * 49 / 2);
+}
+
+#[test]
+fn structural_row_end_to_end() {
+    let log = log(50, 2);
+    let mut scheme = StructuralDpe::new(&master(), 11);
+    let enc = scheme.encrypt_log(&log).unwrap();
+    let report = verify_dpe(&log, &enc, &StructureDistance, &StructureDistance).unwrap();
+    assert!(report.preserved, "{}", report.verdict());
+}
+
+#[test]
+fn access_area_row_end_to_end() {
+    let log = log(50, 3);
+    let mut scheme = AccessAreaDpe::new(&master(), &sky_domains(), &log, 5);
+    let enc = scheme.encrypt_log(&log).unwrap();
+    let d_plain = AccessAreaDistance::new(sky_domains());
+    let d_enc = AccessAreaDistance::new(scheme.encrypted_domains().unwrap());
+    let report = verify_dpe(&log, &enc, &d_plain, &d_enc).unwrap();
+    assert!(report.preserved, "{}", report.verdict());
+}
+
+#[test]
+fn result_row_end_to_end() {
+    let db = generate_database(50, 4);
+    let log = LogGenerator::generate(&LogConfig::result_safe(40, 4));
+    let config = CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"]);
+    let mut scheme = ResultDpe::new(&db, &sky_catalog(), &sky_domains(), &config, &master()).unwrap();
+    scheme.prepare_for_log(&log).unwrap();
+    let enc = scheme.encrypt_log(&log).unwrap();
+    let d_plain = ResultDistance::new(&db);
+    let d_enc = ResultDistance::new(scheme.encrypted_database());
+    let report = verify_dpe(&log, &enc, &d_plain, &d_enc).unwrap();
+    assert!(report.preserved, "{}", report.verdict());
+}
+
+#[test]
+fn mining_results_identical_under_token_dpe() {
+    let log = log(60, 6);
+    let mut scheme = TokenDpe::new(&master());
+    let enc = scheme.encrypt_log(&log).unwrap();
+    let m_plain = DistanceMatrix::compute(&log, &TokenDistance).unwrap();
+    let m_enc = DistanceMatrix::compute(&enc, &TokenDistance).unwrap();
+    assert!(m_plain.identical(&m_enc), "max diff {}", m_plain.max_abs_diff(&m_enc));
+    let agreement = mining_agreement(
+        &m_plain,
+        &m_enc,
+        4,
+        DbscanConfig { eps: 0.45, min_pts: 3 },
+        OutlierConfig { p: 0.7, d: 0.6 },
+    );
+    assert!(agreement.all_identical, "{agreement:?}");
+}
+
+#[test]
+fn different_master_keys_give_different_ciphertexts_same_distances() {
+    let log = log(20, 7);
+    let mut s1 = TokenDpe::new(&MasterKey::from_bytes([1; 32]));
+    let mut s2 = TokenDpe::new(&MasterKey::from_bytes([2; 32]));
+    let e1 = s1.encrypt_log(&log).unwrap();
+    let e2 = s2.encrypt_log(&log).unwrap();
+    assert_ne!(e1, e2, "key rotation must change ciphertexts");
+    let m1 = DistanceMatrix::compute(&e1, &TokenDistance).unwrap();
+    let m2 = DistanceMatrix::compute(&e2, &TokenDistance).unwrap();
+    assert!(m1.identical(&m2), "distances are key-independent");
+}

@@ -1,0 +1,71 @@
+//! Property tests over the central theorem-shaped claims: for random logs,
+//! the derived schemes preserve their measures exactly (Definition 1), and
+//! the c-equivalence commuting squares hold (Definition 2).
+
+use dpe::core::dpe::verify_dpe;
+use dpe::core::scheme::{AccessAreaDpe, QueryEncryptor, StructuralDpe, TokenDpe};
+use dpe::core::verify::{structural_commuting_square, token_commuting_square};
+use dpe::crypto::MasterKey;
+use dpe::distance::{AccessAreaDistance, StructureDistance, TokenDistance};
+use dpe::workload::{sky_domains, LogConfig, LogGenerator};
+use proptest::prelude::*;
+
+fn small_log(seed: u64, n: usize) -> Vec<dpe::sql::Query> {
+    LogGenerator::generate(&LogConfig { queries: n, seed, ..Default::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn token_dpe_preserves_for_random_logs(seed in 0u64..10_000, key in 0u8..255) {
+        let log = small_log(seed, 12);
+        let mut scheme = TokenDpe::new(&MasterKey::from_bytes([key; 32]));
+        let enc = scheme.encrypt_log(&log).unwrap();
+        let report = verify_dpe(&log, &enc, &TokenDistance, &TokenDistance).unwrap();
+        prop_assert!(report.preserved, "{}", report.verdict());
+    }
+
+    #[test]
+    fn structural_dpe_preserves_for_random_logs(seed in 0u64..10_000) {
+        let log = small_log(seed, 12);
+        let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([3; 32]), seed);
+        let enc = scheme.encrypt_log(&log).unwrap();
+        let report = verify_dpe(&log, &enc, &StructureDistance, &StructureDistance).unwrap();
+        prop_assert!(report.preserved, "{}", report.verdict());
+    }
+
+    #[test]
+    fn access_area_dpe_preserves_for_random_logs(seed in 0u64..10_000) {
+        let log = small_log(seed, 10);
+        let mut scheme = AccessAreaDpe::new(
+            &MasterKey::from_bytes([4; 32]),
+            &sky_domains(),
+            &log,
+            seed,
+        );
+        let enc = scheme.encrypt_log(&log).unwrap();
+        let d_plain = AccessAreaDistance::new(sky_domains());
+        let d_enc = AccessAreaDistance::new(scheme.encrypted_domains().unwrap());
+        let report = verify_dpe(&log, &enc, &d_plain, &d_enc).unwrap();
+        prop_assert!(report.preserved, "{}", report.verdict());
+    }
+
+    #[test]
+    fn token_commuting_square_for_random_queries(seed in 0u64..10_000) {
+        let log = small_log(seed, 6);
+        let mut scheme = TokenDpe::new(&MasterKey::from_bytes([5; 32]));
+        for q in &log {
+            prop_assert!(token_commuting_square(&mut scheme, q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn structural_commuting_square_for_random_queries(seed in 0u64..10_000) {
+        let log = small_log(seed, 6);
+        let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([6; 32]), seed);
+        for q in &log {
+            prop_assert!(structural_commuting_square(&mut scheme, q).unwrap(), "{q}");
+        }
+    }
+}
