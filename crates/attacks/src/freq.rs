@@ -70,9 +70,8 @@ mod tests {
     #[test]
     fn skewed_det_column_fully_recovered() {
         // STAR 6×, GALAXY 3×, QSO 1× — distinct frequencies, perfect attack.
-        let plain: Vec<&str> = std::iter::repeat("STAR")
-            .take(6)
-            .chain(std::iter::repeat("GALAXY").take(3))
+        let plain: Vec<&str> = std::iter::repeat_n("STAR", 6)
+            .chain(std::iter::repeat_n("GALAXY", 3))
             .chain(std::iter::once("QSO"))
             .collect();
         let cts = det_encrypt(&plain);

@@ -17,13 +17,12 @@
 
 use dpe_crypto::scheme::SymmetricScheme;
 use rand::Rng;
-use rand::RngCore;
 
 /// Empirical equality-distinguishing advantage of `scheme`.
 pub fn equality_advantage<S: SymmetricScheme>(
     scheme: &S,
     trials: usize,
-    rng: &mut (impl RngCore + Rng),
+    rng: &mut impl Rng,
 ) -> f64 {
     let mut wins = 0usize;
     for t in 0..trials {
@@ -46,7 +45,7 @@ pub fn equality_advantage<S: SymmetricScheme>(
 pub fn order_advantage(
     mut encrypt: impl FnMut(u64) -> u128,
     trials: usize,
-    rng: &mut (impl RngCore + Rng),
+    rng: &mut impl Rng,
 ) -> f64 {
     let mut wins = 0usize;
     for t in 0..trials {

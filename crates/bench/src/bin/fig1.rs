@@ -182,8 +182,8 @@ fn main() {
 
     println!("=== F1: measured leakage profile per class ===\n");
     println!(
-        "{:<9} {:>8} {:>8} {:>8} {:>10} {:>10}   {:>9} {:>9}   {}",
-        "class", "eq-leak", "ord-leak", "link", "freq-atk", "sort-atk", "level", "Fig.1", "notes"
+        "{:<9} {:>8} {:>8} {:>8} {:>10} {:>10}   {:>9} {:>9}   notes",
+        "class", "eq-leak", "ord-leak", "link", "freq-atk", "sort-atk", "level", "Fig.1"
     );
     let mut all_match = true;
     for p in &profiles {

@@ -20,8 +20,8 @@ use dpe_mining::{adjusted_rand_index, agglomerative, dbscan, kmedoids, DbscanCon
 fn main() {
     println!("=== G1: graph case-study table — derived by Definition 6 ===\n");
     println!(
-        "  {:<18} {:<28} {:<18} {}",
-        "measure", "equivalence notion", "characteristic c", "EncVertex"
+        "  {:<18} {:<28} {:<18} EncVertex",
+        "measure", "equivalence notion", "characteristic c"
     );
     for row in derive_table() {
         println!(

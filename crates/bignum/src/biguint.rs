@@ -55,7 +55,7 @@ impl BigUint {
 
     /// `true` iff the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// `true` iff the value is odd.
@@ -74,7 +74,7 @@ impl BigUint {
     /// Returns bit `i` (little-endian indexing); out-of-range bits are `0`.
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Converts to `u64`, returning `None` on overflow.

@@ -100,7 +100,7 @@ fn trailing_zeros(n: &BigUint) -> usize {
 pub fn gen_prime<R: RngCore>(bits: usize, rng: &mut R) -> BigUint {
     assert!(bits >= 3, "prime size must be at least 3 bits");
     loop {
-        let mut bytes = vec![0u8; (bits + 7) / 8];
+        let mut bytes = vec![0u8; bits.div_ceil(8)];
         rng.fill_bytes(&mut bytes);
         let mut candidate = BigUint::from_bytes_be(&bytes) >> (bytes.len() * 8 - bits);
         // Force exact bit length, a second-highest bit, and oddness.

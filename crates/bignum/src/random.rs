@@ -9,7 +9,7 @@ use rand::RngCore;
 pub fn uniform_below<R: RngCore>(bound: &BigUint, rng: &mut R) -> BigUint {
     assert!(!bound.is_zero(), "sampling bound must be positive");
     let bits = bound.bit_len();
-    let bytes = (bits + 7) / 8;
+    let bytes = bits.div_ceil(8);
     let excess_bits = bytes * 8 - bits;
     let mut buf = vec![0u8; bytes];
     loop {

@@ -1,0 +1,151 @@
+//! Edge-case tests for the arithmetic layer everything above it trusts:
+//! zero handling, single-limb carry/borrow boundaries, and modular inverses
+//! of non-coprime inputs.
+
+use dpe_bignum::BigUint;
+
+fn n(v: u64) -> BigUint {
+    BigUint::from(v)
+}
+
+#[test]
+fn zero_is_absorbing_and_neutral() {
+    let zero = BigUint::zero();
+    let x = n(123_456_789);
+    assert_eq!(&zero + &x, x);
+    assert_eq!(&x + &zero, x);
+    assert_eq!(&x - &zero, x);
+    assert_eq!(&zero * &x, zero);
+    assert_eq!(&x * &zero, zero);
+    assert_eq!(&zero - &zero, zero);
+    assert!(zero.is_zero());
+    assert!(!zero.is_one());
+    assert_eq!(zero.bit_len(), 0);
+    assert_eq!(zero.to_u64(), Some(0));
+}
+
+#[test]
+fn zero_parsing_and_rendering() {
+    assert_eq!("0".parse::<BigUint>().unwrap(), BigUint::zero());
+    assert_eq!(BigUint::zero().to_string(), "0");
+    assert_eq!(BigUint::from_bytes_be(&[]), BigUint::zero());
+    assert_eq!(BigUint::from_bytes_be(&[0, 0, 0]), BigUint::zero());
+    assert_eq!(BigUint::from_limbs(vec![]), BigUint::zero());
+    assert_eq!(BigUint::from_limbs(vec![0, 0]), BigUint::zero());
+}
+
+#[test]
+fn single_limb_carry_propagates() {
+    // u64::MAX + 1 must spill into a second limb.
+    let max = n(u64::MAX);
+    let sum = &max + &n(1);
+    assert_eq!(sum.limbs(), &[0, 1]);
+    assert_eq!(sum.bit_len(), 65);
+    assert_eq!(sum.to_u64(), None);
+    assert_eq!(sum.to_u128(), Some(u128::from(u64::MAX) + 1));
+    // And the borrow must come back out.
+    assert_eq!(&sum - &n(1), max);
+}
+
+#[test]
+fn carry_chains_across_many_limbs() {
+    // (2^256 - 1) + 1 = 2^256: a carry rippling through four full limbs.
+    let all_ones = BigUint::from_limbs(vec![u64::MAX; 4]);
+    let big = &all_ones + &n(1);
+    assert_eq!(big.limbs(), &[0, 0, 0, 0, 1]);
+    assert_eq!(&big - &n(1), all_ones);
+}
+
+#[test]
+fn multiplication_hits_the_limb_boundary() {
+    // u64::MAX * u64::MAX = 2^128 - 2^65 + 1 needs exactly two limbs.
+    let max = n(u64::MAX);
+    let sq = &max * &max;
+    assert_eq!(sq.to_u128(), Some(u128::from(u64::MAX) * u128::from(u64::MAX)));
+    let (q, r) = sq.div_rem(&max);
+    assert_eq!(q, max);
+    assert!(r.is_zero());
+}
+
+#[test]
+fn subtraction_borrow_at_limb_boundary() {
+    let two_64 = &n(u64::MAX) + &n(1);
+    assert_eq!(&two_64 - &n(1), n(u64::MAX));
+    let two_128 = BigUint::from_limbs(vec![0, 0, 1]);
+    let back = &two_128 - &n(1);
+    assert_eq!(back.limbs(), &[u64::MAX, u64::MAX]);
+}
+
+#[test]
+fn saturating_sub_clamps_at_zero() {
+    assert_eq!(n(5).saturating_sub(&n(7)), BigUint::zero());
+    assert_eq!(n(7).saturating_sub(&n(5)), n(2));
+    assert_eq!(BigUint::zero().saturating_sub(&n(1)), BigUint::zero());
+}
+
+#[test]
+fn shifts_across_limb_boundaries() {
+    let one = BigUint::one();
+    let shifted = &one << 64;
+    assert_eq!(shifted.limbs(), &[0, 1]);
+    assert_eq!(&shifted >> 64, one);
+    assert_eq!(&shifted >> 65, BigUint::zero());
+    assert_eq!(&BigUint::zero() << 1000, BigUint::zero());
+}
+
+#[test]
+fn modinv_of_non_coprime_inputs_is_none() {
+    // gcd(6, 9) = 3 ≠ 1: no inverse exists.
+    assert_eq!(n(6).modinv(&n(9)), None);
+    // Any even number mod an even modulus.
+    assert_eq!(n(4).modinv(&n(8)), None);
+    // Zero is never invertible.
+    assert_eq!(BigUint::zero().modinv(&n(7)), None);
+    // A multiple of the modulus reduces to zero.
+    assert_eq!(n(14).modinv(&n(7)), None);
+}
+
+#[test]
+fn modinv_of_coprime_inputs_verifies() {
+    for (a, m) in [(3u64, 7u64), (10, 17), (2, 9), (65_537, 1_000_003)] {
+        let inv = n(a).modinv(&n(m)).expect("coprime values must be invertible");
+        assert_eq!((&n(a) * &inv) % &n(m), BigUint::one(), "a={a} m={m}");
+    }
+    // 1 is its own inverse in any modulus > 1.
+    assert_eq!(BigUint::one().modinv(&n(5)), Some(BigUint::one()));
+}
+
+#[test]
+fn modpow_degenerate_exponents_and_moduli() {
+    // x^0 mod m = 1 for m > 1.
+    assert_eq!(n(12).modpow(&BigUint::zero(), &n(35)), BigUint::one());
+    // 0^e mod m = 0 for e > 0.
+    assert_eq!(BigUint::zero().modpow(&n(9), &n(35)), BigUint::zero());
+    // mod 1 collapses everything to 0.
+    assert_eq!(n(12).modpow(&n(5), &BigUint::one()), BigUint::zero());
+}
+
+#[test]
+fn gcd_with_zero_is_identity() {
+    assert_eq!(n(42).gcd(&BigUint::zero()), n(42));
+    assert_eq!(BigUint::zero().gcd(&n(42)), n(42));
+    assert_eq!(n(12).gcd(&n(18)), n(6));
+}
+
+#[test]
+fn division_by_one_and_self() {
+    let x = BigUint::from_limbs(vec![0xDEAD_BEEF, 0xFEED_FACE, 7]);
+    let (q, r) = x.div_rem(&BigUint::one());
+    assert_eq!(q, x);
+    assert!(r.is_zero());
+    let (q, r) = x.div_rem(&x);
+    assert!(q.is_one());
+    assert!(r.is_zero());
+}
+
+#[test]
+fn byte_roundtrip_strips_leading_zeros() {
+    let x = BigUint::from_bytes_be(&[0, 0, 1, 2, 3]);
+    assert_eq!(x, BigUint::from_bytes_be(&[1, 2, 3]));
+    assert_eq!(x.to_bytes_be(), vec![1, 2, 3]);
+}

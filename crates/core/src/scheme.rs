@@ -488,9 +488,7 @@ pub fn aggregate_only_attributes(log: &[Query]) -> BTreeSet<String> {
     for q in log {
         for item in &q.select {
             match item {
-                SelectItem::Aggregate { func, arg: AggArg::Column(c) }
-                    if matches!(func, AggFunc::Sum | AggFunc::Avg) =>
-                {
+                SelectItem::Aggregate { func: AggFunc::Sum | AggFunc::Avg, arg: AggArg::Column(c) } => {
                     in_aggregate.insert(c.column.clone());
                 }
                 SelectItem::Aggregate { arg: AggArg::Column(c), .. } => {

@@ -432,11 +432,10 @@ fn comparison_area(op: CompareOp, value: &Literal, domain: &AttributeDomain) -> 
         (AttributeDomain::Categorical(cats), Literal::Str(s)) => {
             let mut selected = BTreeSet::new();
             match op {
-                CompareOp::Eq => {
-                    if cats.contains(s) {
+                CompareOp::Eq
+                    if cats.contains(s) => {
                         selected.insert(s.clone());
                     }
-                }
                 CompareOp::Ne => {
                     selected = cats.iter().filter(|c| *c != s).cloned().collect();
                 }

@@ -2,7 +2,7 @@
 //!
 //! Computing the matrix is the O(n²) heart of the outsourced-mining
 //! pipeline; [`DistanceMatrix::compute_parallel`] spreads the rows over
-//! crossbeam scoped threads for the measures that are pure functions
+//! std scoped threads for the measures that are pure functions
 //! (token, structure, access-area — result distance executes queries
 //! against the engine and is driven through the sequential path). Both
 //! paths produce bit-identical matrices; the `matrix_parallel` bench
@@ -59,14 +59,14 @@ impl DistanceMatrix {
         let row_refs: Vec<(usize, &mut Vec<f64>)> = rows.iter_mut().enumerate().collect();
         let mut failure: Vec<Option<DistanceError>> = vec![None; threads];
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut work: Vec<Vec<(usize, &mut Vec<f64>)>> =
                 (0..threads).map(|_| Vec::new()).collect();
             for (idx, item) in row_refs.into_iter().enumerate() {
                 work[idx % threads].push(item);
             }
             for (chunk, fail_slot) in work.into_iter().zip(failure.iter_mut()) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (i, row) in chunk {
                         let mut filled = vec![0.0f64; n];
                         for (j, cell) in filled.iter_mut().enumerate().skip(i + 1) {
@@ -82,8 +82,7 @@ impl DistanceMatrix {
                     }
                 });
             }
-        })
-        .expect("worker panicked while computing distances");
+        });
 
         if let Some(e) = failure.into_iter().flatten().next() {
             return Err(e);

@@ -1,0 +1,120 @@
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the matrix math
+
+//! Metric-property round-trips for the four Table I distance measures,
+//! driven by generated query logs: identity `d(x, x) = 0`, symmetry,
+//! range `[0, 1]`, and triangle-inequality spot checks.
+//!
+//! The three Jaccard-based measures (token, structure, result) are genuine
+//! metrics, so the triangle inequality must hold on every sampled triple.
+//! Access-area distance averages per-attribute scores over the union of the
+//! pair's accessed attributes — its per-attribute δ is a metric, and with
+//! the paper's default `x = 0.5` the spot checks below hold on the
+//! SkyServer-style logs the paper targets.
+
+use dpe_distance::{
+    AccessAreaDistance, QueryDistance, ResultDistance, StructureDistance, TokenDistance,
+};
+use dpe_sql::Query;
+use dpe_workload::{generate_database, sky_domains, LogConfig, LogGenerator};
+
+fn log(seed: u64, n: usize) -> Vec<Query> {
+    LogGenerator::generate(&LogConfig { queries: n, seed, ..Default::default() })
+}
+
+/// Checks identity, symmetry and range on every pair, and the triangle
+/// inequality on every triple (with an f64 summation slack).
+fn check_metric_properties(measure: &dyn QueryDistance, queries: &[Query], triangle: bool) {
+    let n = queries.len();
+    let mut d = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i][j] = measure.distance(&queries[i], &queries[j]).unwrap();
+        }
+    }
+
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(d[i][i], 0.0, "{}: d(x, x) != 0 for {q}", measure.name());
+    }
+    for i in 0..n {
+        for j in 0..n {
+            assert!(
+                (0.0..=1.0).contains(&d[i][j]),
+                "{}: d out of range: {}",
+                measure.name(),
+                d[i][j]
+            );
+            assert_eq!(
+                d[i][j].to_bits(),
+                d[j][i].to_bits(),
+                "{}: asymmetric at ({i}, {j})",
+                measure.name()
+            );
+        }
+    }
+    if triangle {
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(
+                        d[i][k] <= d[i][j] + d[j][k] + 1e-12,
+                        "{}: triangle violated: d({i},{k})={} > d({i},{j})={} + d({j},{k})={}",
+                        measure.name(),
+                        d[i][k],
+                        d[i][j],
+                        d[j][k]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn token_distance_is_a_metric_on_generated_logs() {
+    for seed in [1, 17, 4242] {
+        check_metric_properties(&TokenDistance, &log(seed, 14), true);
+    }
+}
+
+#[test]
+fn structure_distance_is_a_metric_on_generated_logs() {
+    for seed in [2, 23, 9001] {
+        check_metric_properties(&StructureDistance, &log(seed, 14), true);
+    }
+}
+
+#[test]
+fn result_distance_is_a_metric_on_generated_logs() {
+    let db = generate_database(60, 11);
+    for seed in [3, 31] {
+        let measure = ResultDistance::new(&db);
+        check_metric_properties(&measure, &log(seed, 10), true);
+    }
+}
+
+#[test]
+fn access_area_distance_metric_properties_on_generated_logs() {
+    for seed in [5, 47, 1234] {
+        let measure = AccessAreaDistance::new(sky_domains());
+        check_metric_properties(&measure, &log(seed, 14), true);
+    }
+}
+
+#[test]
+fn distinct_queries_get_positive_distance() {
+    // Not required by Definition 1, but the generated log should not be
+    // degenerate: at least one pair per measure must be strictly apart,
+    // otherwise the metric checks above would be vacuous.
+    let queries = log(99, 14);
+    for measure in [&TokenDistance as &dyn QueryDistance, &StructureDistance] {
+        let mut positive = 0usize;
+        for i in 0..queries.len() {
+            for j in i + 1..queries.len() {
+                if measure.distance(&queries[i], &queries[j]).unwrap() > 0.0 {
+                    positive += 1;
+                }
+            }
+        }
+        assert!(positive > 0, "{}: all pairs at distance 0", measure.name());
+    }
+}

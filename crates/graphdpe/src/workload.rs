@@ -88,7 +88,7 @@ impl GraphWorkload {
     /// [`GraphWorkload::community_corpus`] output order.
     pub fn community_truth(communities: usize, per_community: usize) -> Vec<usize> {
         (0..communities)
-            .flat_map(|c| std::iter::repeat(c).take(per_community))
+            .flat_map(|c| std::iter::repeat_n(c, per_community))
             .collect()
     }
 }

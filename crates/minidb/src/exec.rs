@@ -337,7 +337,7 @@ fn execute_grouped(
         groups.insert(Vec::new(), rows.to_vec());
     } else {
         for row in rows {
-            let key: Vec<Value> = key_indices.iter().map(|&i| row[*&i].clone()).collect();
+            let key: Vec<Value> = key_indices.iter().map(|&i| row[i].clone()).collect();
             groups.entry(key).or_default().push(row);
         }
     }

@@ -32,12 +32,10 @@ impl Table {
             });
         }
         for (value, def) in row.iter().zip(&self.schema.columns) {
-            let ok = match (value, def.ty) {
-                (Value::Null, _) => true,
-                (Value::Int(_), ColumnType::Int) => true,
-                (Value::Str(_), ColumnType::Str) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (value, def.ty),
+                (Value::Null, _) | (Value::Int(_), ColumnType::Int) | (Value::Str(_), ColumnType::Str)
+            );
             if !ok {
                 return Err(DbError::TypeMismatch {
                     table: self.schema.name.clone(),

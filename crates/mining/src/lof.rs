@@ -46,7 +46,7 @@ pub fn lof(matrix: &DistanceMatrix, config: LofConfig) -> Vec<f64> {
     // k-distance and k-neighbourhood (with ties) per point.
     let mut kdist = vec![0.0f64; n];
     let mut neigh: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for i in 0..n {
+    for (i, kd_slot) in kdist.iter_mut().enumerate() {
         let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
         others.sort_by(|&a, &b| {
             matrix
@@ -56,7 +56,7 @@ pub fn lof(matrix: &DistanceMatrix, config: LofConfig) -> Vec<f64> {
                 .then(a.cmp(&b))
         });
         let kd = matrix.get(i, others[k - 1]);
-        kdist[i] = kd;
+        *kd_slot = kd;
         // All points within the k-distance — ties beyond index k included.
         let members: Vec<usize> =
             others.into_iter().filter(|&j| matrix.get(i, j) <= kd).collect();

@@ -238,7 +238,7 @@ mod tests {
         let s = OpeScheme::new(&key(5), OpeDomain::new(0, 1000));
         let valid = s.encrypt(500).unwrap();
         // Neighbouring range points are almost surely not in the image.
-        let invalid = if valid % 2 == 0 { valid + 1 } else { valid - 1 };
+        let invalid = if valid.is_multiple_of(2) { valid + 1 } else { valid - 1 };
         assert!(matches!(s.decrypt(invalid), Err(OpeError::InvalidCiphertext(_))));
         // Beyond the range entirely:
         assert!(matches!(

@@ -1,0 +1,313 @@
+//! Offline stand-in for the `criterion` crate, implementing the API subset
+//! the workspace's benches use: `Criterion`, `BenchmarkGroup`, `Bencher`
+//! (`iter`, `iter_batched`), `BatchSize`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical machinery it runs a short
+//! warm-up, takes a fixed number of timed samples, and prints the median
+//! per-iteration time. That keeps `cargo bench` useful for relative
+//! comparisons while building with zero dependencies (the build environment
+//! has no registry access).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement (mirrors `criterion::BatchSize`).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (mirrors `criterion::Throughput`).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter` (mirrors `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark id (`&str`, `String`, or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timer handed to each benchmark closure (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    /// Total measured time across all recorded iterations.
+    elapsed: Duration,
+    /// Number of iterations recorded.
+    iters: u64,
+    /// Iterations to run per sample, chosen by the harness.
+    sample_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.sample_iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.sample_iters;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.sample_iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_name: &str, throughput: Option<Throughput>, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // One untimed warm-up pass (also sizes the measurement loop).
+    let mut warm = Bencher { elapsed: Duration::ZERO, iters: 0, sample_iters: 1 };
+    let warm_start = Instant::now();
+    f(&mut warm);
+    let warm_wall = warm_start.elapsed();
+
+    // Aim for ~50ms of total measurement, at least one iteration per sample.
+    let per_iter = warm_wall.as_nanos().max(1) / u128::from(warm.iters.max(1));
+    let budget_ns: u128 = 50_000_000;
+    let total_iters = (budget_ns / per_iter.max(1)).clamp(1, 1_000) as u64;
+    let sample_iters = (total_iters / samples.max(1)).max(1);
+
+    let mut nanos_per_iter: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, sample_iters };
+        f(&mut b);
+        if b.iters > 0 {
+            nanos_per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    nanos_per_iter.sort_by(|a, b| a.partial_cmp(b).expect("time is never NaN"));
+    let median = nanos_per_iter.get(nanos_per_iter.len() / 2).copied().unwrap_or(0.0);
+    let lo = nanos_per_iter.first().copied().unwrap_or(0.0);
+    let hi = nanos_per_iter.last().copied().unwrap_or(0.0);
+
+    let mut line = format!(
+        "{full_name:<50} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+    if let Some(tp) = throughput {
+        let per_second = |count: u64| {
+            if median > 0.0 { count as f64 * 1e9 / median } else { 0.0 }
+        };
+        match tp {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: {:.2} MiB/s", per_second(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.2} elem/s", per_second(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the shim just caps the timed samples.
+        self.samples = (n as u64).clamp(2, 30);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.throughput, self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.throughput, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample count (mirrors `Criterion::sample_size`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = (n as u64).clamp(2, 30);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { name, samples: self.samples, throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples;
+        run_one(&id.into_id(), None, samples, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_function("counter", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function(BenchmarkId::new("batched", 1), |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}
