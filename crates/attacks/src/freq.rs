@@ -23,7 +23,11 @@ pub fn frequency_attack(
     truth: &[String],
     known_distribution: &[(String, usize)],
 ) -> AttackOutcome {
-    assert_eq!(ciphertexts.len(), truth.len(), "evaluation oracle must align");
+    assert_eq!(
+        ciphertexts.len(),
+        truth.len(),
+        "evaluation oracle must align"
+    );
 
     // Rank ciphertexts by observed frequency (ties: lexicographic, so the
     // attack is deterministic).
@@ -51,7 +55,10 @@ pub fn frequency_attack(
         .zip(truth)
         .filter(|(ct, t)| guess.get(ct).map(|g| *g == *t).unwrap_or(false))
         .count();
-    AttackOutcome { recovered, total: ciphertexts.len() }
+    AttackOutcome {
+        recovered,
+        total: ciphertexts.len(),
+    }
 }
 
 #[cfg(test)]
@@ -60,11 +67,16 @@ mod tests {
 
     /// Simulates a DET column: plaintext → stable fake ciphertext.
     fn det_encrypt(plain: &[&str]) -> Vec<String> {
-        plain.iter().map(|p| format!("ct_{:x}", fxhash(p))).collect()
+        plain
+            .iter()
+            .map(|p| format!("ct_{:x}", fxhash(p)))
+            .collect()
     }
 
     fn fxhash(s: &str) -> u64 {
-        s.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+        s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        })
     }
 
     #[test]

@@ -41,8 +41,14 @@ pub fn gap_correlation(pairs: &[(u64, u128)]) -> f64 {
         "input is not order-preserving"
     );
 
-    let pgaps: Vec<f64> = sorted.windows(2).map(|w| (w[1].0 - w[0].0) as f64).collect();
-    let cgaps: Vec<f64> = sorted.windows(2).map(|w| (w[1].1 - w[0].1) as f64).collect();
+    let pgaps: Vec<f64> = sorted
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0) as f64)
+        .collect();
+    let cgaps: Vec<f64> = sorted
+        .windows(2)
+        .map(|w| (w[1].1 - w[0].1) as f64)
+        .collect();
     pearson(&pgaps, &cgaps)
 }
 
@@ -79,10 +85,17 @@ pub fn window_estimation_attack(
     range_end: u128,
     tolerance: f64,
 ) -> AttackOutcome {
-    assert_eq!(ciphertexts.len(), truth.len(), "evaluation oracle must align");
+    assert_eq!(
+        ciphertexts.len(),
+        truth.len(),
+        "evaluation oracle must align"
+    );
     assert!(domain_hi >= domain_lo, "empty domain");
     assert!(range_end > 0, "empty range");
-    assert!((0.0..1.0).contains(&tolerance), "tolerance must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be in [0, 1)"
+    );
 
     let dom_size = (domain_hi - domain_lo) as f64;
     let window = tolerance * dom_size;
@@ -94,7 +107,10 @@ pub fn window_estimation_attack(
             recovered += 1;
         }
     }
-    AttackOutcome { recovered, total: ciphertexts.len() }
+    AttackOutcome {
+        recovered,
+        total: ciphertexts.len(),
+    }
 }
 
 #[cfg(test)]
@@ -121,9 +137,14 @@ mod tests {
 
     #[test]
     fn stateless_ope_gaps_correlate() {
-        let s = OpeScheme::new(&SymmetricKey::from_bytes([61; 32]), OpeDomain::new(0, u32::MAX as u64 * 2));
-        let pairs: Vec<(u64, u128)> =
-            clustered_values().iter().map(|&v| (v, s.encrypt(v).unwrap())).collect();
+        let s = OpeScheme::new(
+            &SymmetricKey::from_bytes([61; 32]),
+            OpeDomain::new(0, u32::MAX as u64 * 2),
+        );
+        let pairs: Vec<(u64, u128)> = clustered_values()
+            .iter()
+            .map(|&v| (v, s.encrypt(v).unwrap()))
+            .collect();
         let r = gap_correlation(&pairs);
         assert!(r > 0.8, "stateless OPE should leak gaps strongly, r = {r}");
     }
@@ -137,10 +158,12 @@ mod tests {
         for i in 0..n {
             values.swap(i, (i * 7 + 3) % n);
         }
-        let pairs: Vec<(u64, u128)> =
-            values.iter().map(|&v| (v, m.encode(v).unwrap())).collect();
+        let pairs: Vec<(u64, u128)> = values.iter().map(|&v| (v, m.encode(v).unwrap())).collect();
         // Re-read current encodings (mutations may have superseded some).
-        let pairs: Vec<(u64, u128)> = pairs.iter().map(|&(v, _)| (v, m.lookup(v).unwrap())).collect();
+        let pairs: Vec<(u64, u128)> = pairs
+            .iter()
+            .map(|&(v, _)| (v, m.lookup(v).unwrap()))
+            .collect();
         let r = gap_correlation(&pairs);
         assert!(r.abs() < 0.4, "mOPE should not leak gaps, r = {r}");
     }
@@ -156,13 +179,19 @@ mod tests {
         // equal; correlation collapses toward 0.
         let pairs: Vec<(u64, u128)> = m.encodings().collect();
         let r = gap_correlation(&pairs);
-        assert!(r.abs() < 0.2, "equidistant encodings still correlate? r = {r}");
+        assert!(
+            r.abs() < 0.2,
+            "equidistant encodings still correlate? r = {r}"
+        );
     }
 
     #[test]
     fn window_attack_beats_mope_on_skewed_data() {
         let domain_hi = u32::MAX as u64 * 2;
-        let s = OpeScheme::new(&SymmetricKey::from_bytes([62; 32]), OpeDomain::new(0, domain_hi));
+        let s = OpeScheme::new(
+            &SymmetricKey::from_bytes([62; 32]),
+            OpeDomain::new(0, domain_hi),
+        );
         let values = clustered_values();
 
         let ope_cts: Vec<u128> = values.iter().map(|&v| s.encrypt(v).unwrap()).collect();

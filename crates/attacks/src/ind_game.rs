@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn ope_loses_order_game() {
-        let scheme = OpeScheme::new(&SymmetricKey::from_bytes([3; 32]), OpeDomain::new(0, 1 << 20));
+        let scheme = OpeScheme::new(
+            &SymmetricKey::from_bytes([3; 32]),
+            OpeDomain::new(0, 1 << 20),
+        );
         let adv = order_advantage(|v| scheme.encrypt(v).unwrap(), TRIALS, &mut rng());
         assert_eq!(adv, 1.0, "OPE order leakage is total");
     }

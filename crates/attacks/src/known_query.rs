@@ -33,7 +33,11 @@ pub fn known_query_attack(
     target_enc: &[TokenSeq],
     target_plain: &[TokenSeq],
 ) -> AttackOutcome {
-    assert_eq!(target_enc.len(), target_plain.len(), "evaluation oracle must align");
+    assert_eq!(
+        target_enc.len(),
+        target_plain.len(),
+        "evaluation oracle must align"
+    );
 
     // Build the dictionary ciphertext-token → plaintext-token. Positional
     // alignment works because Enc(Q) preserves query structure (Example 4).
@@ -80,7 +84,9 @@ mod tests {
     }
 
     fn hash(s: &str) -> u64 {
-        s.bytes().fold(1469598103934665603u64, |h, b| (h ^ b as u64).wrapping_mul(1099511628211))
+        s.bytes().fold(1469598103934665603u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(1099511628211)
+        })
     }
 
     #[test]
@@ -105,11 +111,7 @@ mod tests {
         let target_p = vec![plain(&target_tokens)];
         let target_e = vec![det(&target_tokens)];
 
-        let little = known_query_attack(
-            &[(plain(&q1), det(&q1))],
-            &target_e,
-            &target_p,
-        );
+        let little = known_query_attack(&[(plain(&q1), det(&q1))], &target_e, &target_p);
         let lots = known_query_attack(
             &[(plain(&q1), det(&q1)), (plain(&q2), det(&q2))],
             &target_e,

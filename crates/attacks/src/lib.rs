@@ -34,8 +34,8 @@ pub mod sorting;
 
 pub use freq::frequency_attack;
 pub use gap_correlation::{gap_correlation, window_estimation_attack};
-pub use known_query::known_query_attack;
 pub use ind_game::{equality_advantage, order_advantage};
+pub use known_query::known_query_attack;
 pub use linkage::join_linkage;
 pub use metrics::AttackOutcome;
 pub use sorting::sorting_attack;

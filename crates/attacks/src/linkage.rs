@@ -43,16 +43,19 @@ pub fn join_linkage(
             linked += 1;
         }
     }
-    AttackOutcome { recovered: linked, total: truly_shared.len() }
+    AttackOutcome {
+        recovered: linked,
+        total: truly_shared.len(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpe_crypto::scheme::SymmetricScheme;
-    use dpe_crypto::{JoinGroup, MasterKey};
     use dpe_crypto::kdf::SlotLabel;
+    use dpe_crypto::scheme::SymmetricScheme;
     use dpe_crypto::DetScheme;
+    use dpe_crypto::{JoinGroup, MasterKey};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

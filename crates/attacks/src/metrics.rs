@@ -24,7 +24,13 @@ impl AttackOutcome {
 
 impl fmt::Display for AttackOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.recovered, self.total, self.success_rate() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.recovered,
+            self.total,
+            self.success_rate() * 100.0
+        )
     }
 }
 
@@ -34,10 +40,28 @@ mod tests {
 
     #[test]
     fn rates() {
-        assert_eq!(AttackOutcome { recovered: 3, total: 4 }.success_rate(), 0.75);
-        assert_eq!(AttackOutcome { recovered: 0, total: 0 }.success_rate(), 0.0);
         assert_eq!(
-            AttackOutcome { recovered: 1, total: 2 }.to_string(),
+            AttackOutcome {
+                recovered: 3,
+                total: 4
+            }
+            .success_rate(),
+            0.75
+        );
+        assert_eq!(
+            AttackOutcome {
+                recovered: 0,
+                total: 0
+            }
+            .success_rate(),
+            0.0
+        );
+        assert_eq!(
+            AttackOutcome {
+                recovered: 1,
+                total: 2
+            }
+            .to_string(),
             "1/2 (50.0%)"
         );
     }

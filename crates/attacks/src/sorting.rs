@@ -18,11 +18,18 @@ pub fn sorting_attack(
     truth: &[i64],
     known_multiset: &[i64],
 ) -> AttackOutcome {
-    assert_eq!(ciphertexts.len(), truth.len(), "evaluation oracle must align");
+    assert_eq!(
+        ciphertexts.len(),
+        truth.len(),
+        "evaluation oracle must align"
+    );
     if ciphertexts.len() != known_multiset.len() {
         // Rank alignment needs equal counts; a real attacker would subsample
         // — for the harness, mismatched knowledge means no recovery.
-        return AttackOutcome { recovered: 0, total: ciphertexts.len() };
+        return AttackOutcome {
+            recovered: 0,
+            total: ciphertexts.len(),
+        };
     }
 
     // Sort ciphertext positions by value; sort known plaintexts; align.
@@ -37,7 +44,10 @@ pub fn sorting_attack(
             recovered += 1;
         }
     }
-    AttackOutcome { recovered, total: ciphertexts.len() }
+    AttackOutcome {
+        recovered,
+        total: ciphertexts.len(),
+    }
 }
 
 #[cfg(test)]
@@ -47,14 +57,20 @@ mod tests {
     use dpe_ope::{OpeDomain, OpeScheme};
 
     fn ope() -> OpeScheme {
-        OpeScheme::new(&SymmetricKey::from_bytes([44; 32]), OpeDomain::new(0, 100_000))
+        OpeScheme::new(
+            &SymmetricKey::from_bytes([44; 32]),
+            OpeDomain::new(0, 100_000),
+        )
     }
 
     #[test]
     fn full_recovery_with_exact_knowledge() {
         let scheme = ope();
         let plain: Vec<i64> = vec![5, 99, 1234, 42, 777, 31337, 2, 2, 500];
-        let cts: Vec<u128> = plain.iter().map(|&v| scheme.encrypt(v as u64).unwrap()).collect();
+        let cts: Vec<u128> = plain
+            .iter()
+            .map(|&v| scheme.encrypt(v as u64).unwrap())
+            .collect();
         let outcome = sorting_attack(&cts, &plain, &plain);
         assert_eq!(outcome.success_rate(), 1.0);
     }
@@ -65,7 +81,10 @@ mod tests {
         // relative to plaintext order and rank alignment fails.
         let plain: Vec<i64> = (0..20).collect();
         // A keyed "DET": pseudo-random permutation of values as ciphertexts.
-        let cts: Vec<u128> = plain.iter().map(|&v| ((v * 7919 + 13) % 19997) as u128).collect();
+        let cts: Vec<u128> = plain
+            .iter()
+            .map(|&v| ((v * 7919 + 13) % 19997) as u128)
+            .collect();
         let outcome = sorting_attack(&cts, &plain, &plain);
         assert!(outcome.success_rate() < 0.3, "{outcome}");
     }
@@ -74,7 +93,10 @@ mod tests {
     fn approximate_knowledge_partial_recovery() {
         let scheme = ope();
         let plain: Vec<i64> = vec![10, 20, 30, 40, 50];
-        let cts: Vec<u128> = plain.iter().map(|&v| scheme.encrypt(v as u64).unwrap()).collect();
+        let cts: Vec<u128> = plain
+            .iter()
+            .map(|&v| scheme.encrypt(v as u64).unwrap())
+            .collect();
         // Attacker's multiset is close but one value off.
         let approx = vec![10, 20, 30, 40, 60];
         let outcome = sorting_attack(&cts, &plain, &approx);

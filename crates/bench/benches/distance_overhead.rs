@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dpe_bench::{experiment_domains, experiment_log, log_only_fixtures};
-use dpe_distance::{
-    AccessAreaDistance, DistanceMatrix, StructureDistance, TokenDistance,
-};
+use dpe_distance::{AccessAreaDistance, DistanceMatrix, StructureDistance, TokenDistance};
 
 fn bench_distances(c: &mut Criterion) {
     let log = experiment_log(30, 0xD1);

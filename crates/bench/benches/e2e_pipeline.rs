@@ -65,7 +65,10 @@ fn bench_pipeline(c: &mut Criterion) {
         &master,
     )
     .unwrap();
-    let q = parse_query("SELECT objid FROM photoobj WHERE ra BETWEEN 50000 AND 250000 AND class = 'STAR'").unwrap();
+    let q = parse_query(
+        "SELECT objid FROM photoobj WHERE ra BETWEEN 50000 AND 250000 AND class = 'STAR'",
+    )
+    .unwrap();
     proxy.execute(&q).unwrap(); // warm adjustment
     group.bench_function("execute_encrypted_query", |b| {
         b.iter(|| proxy.execute(&q).unwrap());

@@ -1,5 +1,7 @@
-//! P1d — ablation: sequential vs crossbeam-parallel distance-matrix
-//! computation (the O(n²) heart of the outsourced-mining pipeline).
+//! P1d — ablation: sequential vs range-parallel distance-matrix
+//! computation (the O(n²) heart of the outsourced-mining pipeline). The
+//! parallel path writes contiguous row ranges of the packed triangle in
+//! place; `matrix_packed` covers the incremental and result-measure sides.
 //!
 //! Results are bit-identical by construction (asserted in the setup); the
 //! bench records what the parallel path buys at realistic log sizes.
@@ -9,7 +11,11 @@ use dpe_distance::{DistanceMatrix, StructureDistance, TokenDistance};
 use dpe_workload::{LogConfig, LogGenerator};
 
 fn bench_matrix_parallel(c: &mut Criterion) {
-    let log = LogGenerator::generate(&LogConfig { queries: 80, seed: 0xBEEF, ..Default::default() });
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 80,
+        seed: 0xBEEF,
+        ..Default::default()
+    });
 
     // Sanity: identical output on both paths.
     let seq = DistanceMatrix::compute(&log, &TokenDistance).unwrap();
@@ -21,13 +27,9 @@ fn bench_matrix_parallel(c: &mut Criterion) {
         b.iter(|| DistanceMatrix::compute(&log, &TokenDistance).unwrap());
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| DistanceMatrix::compute_parallel(&log, &TokenDistance, t).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| DistanceMatrix::compute_parallel(&log, &TokenDistance, t).unwrap());
+        });
     }
     group.finish();
 

@@ -22,7 +22,15 @@ fn bench_mining(c: &mut Criterion) {
         b.iter(|| kmedoids(&m, 4));
     });
     group.bench_function("dbscan", |b| {
-        b.iter(|| dbscan(&m, DbscanConfig { eps: 0.45, min_pts: 3 }));
+        b.iter(|| {
+            dbscan(
+                &m,
+                DbscanConfig {
+                    eps: 0.45,
+                    min_pts: 3,
+                },
+            )
+        });
     });
     group.bench_function("complete_link", |b| {
         b.iter(|| complete_link(&m));

@@ -15,7 +15,9 @@ fn lcg_values(n: usize) -> Vec<u64> {
     let mut x = 0x2545f4914f6cdd1du64;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 16
         })
         .collect()

@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo run --release -p dpe-bench --bin fig1`
 
-use dpe_attacks::{equality_advantage, frequency_attack, join_linkage, order_advantage, sorting_attack};
+use dpe_attacks::{
+    equality_advantage, frequency_attack, join_linkage, order_advantage, sorting_attack,
+};
 use dpe_core::{EncryptionClass, Taxonomy};
 use dpe_crypto::kdf::SlotLabel;
 use dpe_crypto::scheme::SymmetricScheme;
@@ -102,7 +104,11 @@ fn main() {
         link_leak: false,
         freq_recovery: 0.0,
         sort_recovery: 0.0,
-        extra: if hom_works { "capability: ciphertext addition (⊂ PROB)" } else { "BROKEN" },
+        extra: if hom_works {
+            "capability: ciphertext addition (⊂ PROB)"
+        } else {
+            "BROKEN"
+        },
     });
 
     // ---- DET ----
@@ -129,7 +135,10 @@ fn main() {
         OpeDomain::new(0, 1 << 24),
     );
     let order_adv = order_advantage(|v| ope.encrypt(v).unwrap(), TRIALS, &mut rng);
-    let ope_cts: Vec<u128> = plain_values.iter().map(|&v| ope.encrypt(v as u64).unwrap()).collect();
+    let ope_cts: Vec<u128> = plain_values
+        .iter()
+        .map(|&v| ope.encrypt(v as u64).unwrap())
+        .collect();
     let sort = sorting_attack(&ope_cts, &plain_values, &plain_values).success_rate();
     profiles.push(Profile {
         class: EncryptionClass::Ope,
@@ -164,8 +173,14 @@ fn main() {
 
     // ---- JOIN-OPE ----
     let jope = JoinOpeGroup::new(&master, "f1-jope", OpeDomain::new(0, 1 << 24));
-    let ja: Vec<u128> = plain_values.iter().map(|&v| jope.scheme().encrypt(v as u64).unwrap()).collect();
-    let jb: Vec<u128> = column_b_plain.iter().map(|&v| jope.scheme().encrypt(v as u64).unwrap()).collect();
+    let ja: Vec<u128> = plain_values
+        .iter()
+        .map(|&v| jope.scheme().encrypt(v as u64).unwrap())
+        .collect();
+    let jb: Vec<u128> = column_b_plain
+        .iter()
+        .map(|&v| jope.scheme().encrypt(v as u64).unwrap())
+        .collect();
     let ja_str: Vec<String> = ja.iter().map(|c| c.to_string()).collect();
     let jb_str: Vec<String> = jb.iter().map(|c| c.to_string()).collect();
     let link = join_linkage(&ja_str, &jb_str, &plain_values, &column_b_plain).success_rate();

@@ -12,8 +12,8 @@
 use dpe_crypto::{EncryptionClass, MasterKey};
 use dpe_distance::DistanceMatrix;
 use dpe_graphdpe::{
-    derive_table, verify_graph_dpe, DegreeSequenceDistance, DetGraphEncryptor, EdgeJaccard,
-    Graph, GraphDistance, GraphNotion, GraphWorkload, ProbGraphEncryptor, VertexJaccard,
+    derive_table, verify_graph_dpe, DegreeSequenceDistance, DetGraphEncryptor, EdgeJaccard, Graph,
+    GraphDistance, GraphNotion, GraphWorkload, ProbGraphEncryptor, VertexJaccard,
 };
 use dpe_mining::{adjusted_rand_index, agglomerative, dbscan, kmedoids, DbscanConfig, Linkage};
 
@@ -34,17 +34,30 @@ fn main() {
     }
     // The expected assignments, mirroring the paper's analysis transplanted
     // to graphs: set measures need DET, the label-free measure gets PROB.
-    assert_eq!(GraphNotion::VertexSet.appropriate_class(), EncryptionClass::Det);
-    assert_eq!(GraphNotion::EdgeSet.appropriate_class(), EncryptionClass::Det);
-    assert_eq!(GraphNotion::DegreeSequence.appropriate_class(), EncryptionClass::Prob);
+    assert_eq!(
+        GraphNotion::VertexSet.appropriate_class(),
+        EncryptionClass::Det
+    );
+    assert_eq!(
+        GraphNotion::EdgeSet.appropriate_class(),
+        EncryptionClass::Det
+    );
+    assert_eq!(
+        GraphNotion::DegreeSequence.appropriate_class(),
+        EncryptionClass::Prob
+    );
     println!("\n  derived classes match the capability analysis ✓");
 
     let mut wl = GraphWorkload::new(0x61);
-    let plain = wl.community_corpus(4, 8, 8);
+    let batches = wl.community_batches(4, 8, 8);
+    let plain: Vec<Graph> = batches.iter().flatten().cloned().collect();
     let truth = GraphWorkload::community_truth(4, 8);
     let n_pairs = plain.len() * (plain.len() - 1) / 2;
 
-    println!("\n=== G1: Definition 1, exhaustive over {} graphs ({n_pairs} pairs) ===\n", plain.len());
+    println!(
+        "\n=== G1: Definition 1, exhaustive over {} graphs ({n_pairs} pairs) ===\n",
+        plain.len()
+    );
     let det = DetGraphEncryptor::new(&MasterKey::from_bytes([0x47; 32]));
     let det_enc: Vec<Graph> = plain.iter().map(|g| det.encrypt_graph(g)).collect();
     for report in [
@@ -71,13 +84,29 @@ fn main() {
     }
 
     println!("\n=== G1: mining-result identity on the encrypted corpus ===\n");
-    let m_plain =
-        DistanceMatrix::from_fn(plain.len(), |i, j| EdgeJaccard.distance(&plain[i], &plain[j]));
+    // Stream the plaintext corpus community by community, growing the
+    // packed matrix with only the new pairs per batch — the incremental
+    // path a provider would run as graphs keep arriving.
+    let mut m_plain = DistanceMatrix::new();
+    for batch in &batches {
+        let already = m_plain.len();
+        m_plain.extend_with(batch.len(), |i, t| {
+            EdgeJaccard.distance(&plain[i], &plain[t])
+        });
+        println!(
+            "  streamed batch of {} graphs: matrix now {}×{} ({} packed cells)",
+            batch.len(),
+            m_plain.len(),
+            m_plain.len(),
+            m_plain.packed_len()
+        );
+        assert_eq!(m_plain.len(), already + batch.len());
+    }
     let m_enc = DistanceMatrix::from_fn(det_enc.len(), |i, j| {
         EdgeJaccard.distance(&det_enc[i], &det_enc[j])
     });
     assert!(m_plain.identical(&m_enc));
-    println!("  distance matrices bit-identical ✓");
+    println!("  incrementally-grown plaintext matrix bit-identical to the encrypted one ✓");
 
     let (kp, ke) = (kmedoids(&m_plain, 4), kmedoids(&m_enc, 4));
     assert_eq!(kp.assignment, ke.assignment);
@@ -86,12 +115,18 @@ fn main() {
         adjusted_rand_index(&ke.assignment, &truth)
     );
 
-    let cfg = DbscanConfig { eps: 0.35, min_pts: 3 };
+    let cfg = DbscanConfig {
+        eps: 0.35,
+        min_pts: 3,
+    };
     assert_eq!(dbscan(&m_plain, cfg), dbscan(&m_enc, cfg));
     println!("  DBSCAN       : identical labels");
 
     for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
-        let (dp, de) = (agglomerative(&m_plain, linkage), agglomerative(&m_enc, linkage));
+        let (dp, de) = (
+            agglomerative(&m_plain, linkage),
+            agglomerative(&m_enc, linkage),
+        );
         assert_eq!(dp, de);
         println!(
             "  {:<8} link: identical dendrogram; ARI at k=4 cut = {:.2}",

@@ -12,25 +12,39 @@
 use dpe_bench::*;
 use dpe_core::verify::mining_agreement;
 use dpe_distance::{
-    AccessAreaDistance, DistanceMatrix, QueryDistance, ResultDistance, StructureDistance,
-    TokenDistance,
+    AccessAreaDistance, DistanceMatrix, QueryDistanceFactory, ResultDistanceFactory,
+    StructureDistance, TokenDistance,
 };
 use dpe_mining::{DbscanConfig, OutlierConfig};
 use dpe_sql::Query;
 
 const K: usize = 4;
-const DBSCAN: DbscanConfig = DbscanConfig { eps: 0.45, min_pts: 3 };
+const DBSCAN: DbscanConfig = DbscanConfig {
+    eps: 0.45,
+    min_pts: 3,
+};
 const OUTLIERS: OutlierConfig = OutlierConfig { p: 0.7, d: 0.6 };
+const THREADS: usize = 4;
 
 fn check(
     name: &str,
     plain_log: &[Query],
     enc_log: &[Query],
-    d_plain: &impl QueryDistance,
-    d_enc: &impl QueryDistance,
+    d_plain: &impl QueryDistanceFactory,
+    d_enc: &impl QueryDistanceFactory,
 ) -> bool {
-    let m_plain = DistanceMatrix::compute(plain_log, d_plain).expect("plain matrix");
-    let m_enc = DistanceMatrix::compute(enc_log, d_enc).expect("encrypted matrix");
+    // The matrices are computed on the parallel path (all four measures —
+    // the result measure gets one engine connection per worker via its
+    // factory) and cross-checked bit-for-bit against the sequential path.
+    let m_plain =
+        DistanceMatrix::compute_parallel(plain_log, d_plain, THREADS).expect("plain matrix");
+    let m_enc =
+        DistanceMatrix::compute_parallel(enc_log, d_enc, THREADS).expect("encrypted matrix");
+    let m_seq = DistanceMatrix::compute(plain_log, &d_plain.connect()).expect("sequential");
+    assert!(
+        m_plain.identical(&m_seq),
+        "{name}: parallel path diverged from sequential"
+    );
     let identical = m_plain.identical(&m_enc);
     let agreement = mining_agreement(&m_plain, &m_enc, K, DBSCAN, OUTLIERS);
     println!(
@@ -54,7 +68,13 @@ fn main() {
     let fixtures = log_only_fixtures(&log).expect("schemes build");
     let mut ok = true;
 
-    ok &= check("token", &log, &fixtures.token.1, &TokenDistance, &TokenDistance);
+    ok &= check(
+        "token",
+        &log,
+        &fixtures.token.1,
+        &TokenDistance,
+        &TokenDistance,
+    );
     ok &= check(
         "structure",
         &log,
@@ -80,12 +100,14 @@ fn main() {
         "result",
         &rlog,
         &enc_rlog,
-        &ResultDistance::new(&db),
-        &ResultDistance::new(dpe.encrypted_database()),
+        &ResultDistanceFactory::new(&db),
+        &ResultDistanceFactory::new(dpe.encrypted_database()),
     );
 
     if ok {
-        println!("\nM1 complete: every algorithm returns identical results on plaintext and ciphertext.");
+        println!(
+            "\nM1 complete: every algorithm returns identical results on plaintext and ciphertext."
+        );
     } else {
         println!("\nM1 FAILED: some mining outcome diverged.");
         std::process::exit(1);

@@ -43,9 +43,14 @@ fn main() {
     );
 
     // Stateless range-bisection OPE.
-    let ope = OpeScheme::new(&SymmetricKey::from_bytes([0xA5; 32]), OpeDomain::new(0, domain_hi));
-    let ope_pairs: Vec<(u64, u128)> =
-        values.iter().map(|&v| (v, ope.encrypt(v).unwrap())).collect();
+    let ope = OpeScheme::new(
+        &SymmetricKey::from_bytes([0xA5; 32]),
+        OpeDomain::new(0, domain_hi),
+    );
+    let ope_pairs: Vec<(u64, u128)> = values
+        .iter()
+        .map(|&v| (v, ope.encrypt(v).unwrap()))
+        .collect();
     let ope_cts: Vec<u128> = ope_pairs.iter().map(|&(_, c)| c).collect();
 
     // Mutable OPE, scrambled insertion order (as a stream of queries would).
@@ -58,7 +63,10 @@ fn main() {
     for &v in &order {
         mope.encode(v).unwrap();
     }
-    let mope_pairs: Vec<(u64, u128)> = values.iter().map(|&v| (v, mope.lookup(v).unwrap())).collect();
+    let mope_pairs: Vec<(u64, u128)> = values
+        .iter()
+        .map(|&v| (v, mope.lookup(v).unwrap()))
+        .collect();
     let mope_cts: Vec<u128> = mope_pairs.iter().map(|&(_, c)| c).collect();
 
     let r_ope = gap_correlation(&ope_pairs);
@@ -79,7 +87,10 @@ fn main() {
         tol,
     );
     let w_mope = window_estimation_attack(&mope_cts, &values, 0, domain_hi, 1u128 << 64, tol);
-    println!("\n  window estimation (ciphertext-only, ±{:.0}% of domain):", tol * 100.0);
+    println!(
+        "\n  window estimation (ciphertext-only, ±{:.0}% of domain):",
+        tol * 100.0
+    );
     println!("    stateless OPE : {w_ope}");
     println!("    mOPE          : {w_mope}");
     assert!(w_ope.success_rate() > w_mope.success_rate());

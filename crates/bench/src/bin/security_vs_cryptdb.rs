@@ -70,13 +70,22 @@ fn skew_z_column(db: &dpe_minidb::Database) -> dpe_minidb::Database {
     for name in names {
         let t = db.table(name).unwrap();
         out.create_table(t.schema().clone()).expect("fresh db");
-        let z_idx = if name == "specobj" { t.schema().column_index("z") } else { None };
+        let z_idx = if name == "specobj" {
+            t.schema().column_index("z")
+        } else {
+            None
+        };
         for row in t.rows() {
             let mut row = row.clone();
             if let Some(zi) = z_idx {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (x >> 11) as f64 / (1u64 << 53) as f64;
-                let shell = cumulative.iter().position(|&c| u <= c).unwrap_or(SHELLS.len() - 1);
+                let shell = cumulative
+                    .iter()
+                    .position(|&c| u <= c)
+                    .unwrap_or(SHELLS.len() - 1);
                 row[zi] = Value::Int(SHELLS[shell]);
             }
             out.insert(name, row).expect("copy row");
@@ -90,8 +99,15 @@ fn main() {
 
     let log = aggregate_only_log();
     let agg_only = aggregate_only_attributes(&log);
-    println!("  workload: {} queries; aggregate-only attributes: {:?}\n", log.len(), agg_only);
-    assert!(agg_only.contains("z"), "z must be aggregate-only in this workload");
+    println!(
+        "  workload: {} queries; aggregate-only attributes: {:?}\n",
+        log.len(),
+        agg_only
+    );
+    assert!(
+        agg_only.contains("z"),
+        "z must be aggregate-only in this workload"
+    );
 
     let plain_db = skew_z_column(&experiment_database(300, 0x51));
     // Ground truth for the attacker's evaluation oracle.
@@ -175,8 +191,14 @@ fn main() {
     // No ORD onion exists: the sorting attack has no ciphertexts to sort.
     let sort_prob = 0.0;
 
-    println!("  attack success on attribute z ({} values):\n", z_truth.len());
-    println!("  {:<34} {:>16} {:>16}", "configuration", "sorting attack", "frequency attack");
+    println!(
+        "  attack success on attribute z ({} values):\n",
+        z_truth.len()
+    );
+    println!(
+        "  {:<34} {:>16} {:>16}",
+        "configuration", "sorting attack", "frequency attack"
+    );
     println!(
         "  {:<34} {:>15.1}% {:>15.1}%",
         "CryptDB as-is (ORD + DET exposed)",
@@ -192,7 +214,10 @@ fn main() {
 
     // The claim, quantified: the paper's configuration must reduce both
     // attack surfaces to (near-)nothing while CryptDB-as-is bleeds.
-    assert!(sort_full > 0.9, "sorting attack should succeed against exposed OPE");
+    assert!(
+        sort_full > 0.9,
+        "sorting attack should succeed against exposed OPE"
+    );
     assert!(freq_prob < 0.05, "RND cells must defeat frequency analysis");
     assert!(sort_prob == 0.0, "no ORD onion → no sorting attack surface");
     assert!(

@@ -36,13 +36,24 @@ fn main() {
     // Row 1: token distance under (DET, DET, DET).
     let report = verify_dpe(&log, &fixtures.token.1, &TokenDistance, &TokenDistance)
         .expect("token verification");
-    println!("  token     (DET/DET/DET)              : {}", report.verdict());
+    println!(
+        "  token     (DET/DET/DET)              : {}",
+        report.verdict()
+    );
     assert!(report.preserved);
 
     // Row 2: structure distance under (DET, DET, PROB).
-    let report = verify_dpe(&log, &fixtures.structural.1, &StructureDistance, &StructureDistance)
-        .expect("structural verification");
-    println!("  structure (DET/DET/PROB)             : {}", report.verdict());
+    let report = verify_dpe(
+        &log,
+        &fixtures.structural.1,
+        &StructureDistance,
+        &StructureDistance,
+    )
+    .expect("structural verification");
+    println!(
+        "  structure (DET/DET/PROB)             : {}",
+        report.verdict()
+    );
     assert!(report.preserved);
 
     // Row 3: result distance via CryptDB (log + DB content shared).
@@ -52,7 +63,10 @@ fn main() {
     let d_plain = ResultDistance::new(&db);
     let d_enc = ResultDistance::new(dpe.encrypted_database());
     let report = verify_dpe(&rlog, &enc_rlog, &d_plain, &d_enc).expect("result verification");
-    println!("  result    (via CryptDB)              : {}", report.verdict());
+    println!(
+        "  result    (via CryptDB)              : {}",
+        report.verdict()
+    );
     assert!(report.preserved);
 
     // Row 4: access-area distance via CryptDB classes, except HOM.
@@ -61,7 +75,10 @@ fn main() {
     let d_plain = AccessAreaDistance::new(experiment_domains());
     let d_enc = AccessAreaDistance::new(access.encrypted_domains().expect("encrypted domains"));
     let report = verify_dpe(&log, &enc_alog, &d_plain, &d_enc).expect("access verification");
-    println!("  access    (via CryptDB, except HOM)  : {}", report.verdict());
+    println!(
+        "  access    (via CryptDB, except HOM)  : {}",
+        report.verdict()
+    );
     assert!(report.preserved);
 
     println!("\n=== T1: negative controls (wrong classes must fail) ===\n");
@@ -70,10 +87,18 @@ fn main() {
     // scheme applied to the wrong measure. PROB randomizes equal constants,
     // so token sets drift.
     let mut wrong = StructuralDpe::new(&experiment_master(), 99);
-    let wrong_log = wrong.encrypt_log(&log).expect("encrypts fine, preserves nothing");
+    let wrong_log = wrong
+        .encrypt_log(&log)
+        .expect("encrypts fine, preserves nothing");
     let report = verify_dpe(&log, &wrong_log, &TokenDistance, &TokenDistance).unwrap();
-    println!("  PROB constants for token distance    : {}", report.verdict());
-    assert!(!report.preserved, "PROB constants must break token distance");
+    println!(
+        "  PROB constants for token distance    : {}",
+        report.verdict()
+    );
+    assert!(
+        !report.preserved,
+        "PROB constants must break token distance"
+    );
 
     // Control 2: per-attribute constant keys under token distance — the
     // reproduction finding from dpe-core: the same literal under two
@@ -89,7 +114,10 @@ fn main() {
     let mut per_attr = PerAttributeTokenDpe::new(&experiment_master());
     let per_attr_log = per_attr.encrypt_log(&cross_log).unwrap();
     let report = verify_dpe(&cross_log, &per_attr_log, &TokenDistance, &TokenDistance).unwrap();
-    println!("  per-attribute DET keys, token dist.  : {}", report.verdict());
+    println!(
+        "  per-attribute DET keys, token dist.  : {}",
+        report.verdict()
+    );
     assert!(
         !report.preserved,
         "per-attribute constant keys must break token distance on cross-attribute literals"
@@ -98,7 +126,10 @@ fn main() {
     // Control 3: identity "encryption" trivially preserves (sanity floor).
     let report = verify_dpe(&log, &log, &TokenDistance, &TokenDistance).unwrap();
     assert!(report.preserved);
-    println!("  identity function (sanity)           : {}", report.verdict());
+    println!(
+        "  identity function (sanity)           : {}",
+        report.verdict()
+    );
 
     println!("\nT1 complete: Table I reproduced and empirically verified.");
 }

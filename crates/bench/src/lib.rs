@@ -20,8 +20,8 @@
 
 use dpe_core::scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};
 use dpe_core::CoreError;
-use dpe_crypto::MasterKey;
 use dpe_cryptdb::column::CryptDbConfig;
+use dpe_crypto::MasterKey;
 use dpe_distance::DomainCatalog;
 use dpe_minidb::Database;
 use dpe_sql::Query;
@@ -35,7 +35,11 @@ pub fn experiment_master() -> MasterKey {
 
 /// The default experiment log (all templates).
 pub fn experiment_log(queries: usize, seed: u64) -> Vec<Query> {
-    LogGenerator::generate(&LogConfig { queries, seed, ..Default::default() })
+    LogGenerator::generate(&LogConfig {
+        queries,
+        seed,
+        ..Default::default()
+    })
 }
 
 /// A result-safe experiment log (no arithmetic aggregates — see

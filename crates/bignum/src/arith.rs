@@ -128,9 +128,7 @@ impl BigUint {
             let top = (u[j + n] as u128) << 64 | u[j + n - 1] as u128;
             let mut qhat = top / v_hi as u128;
             let mut rhat = top % v_hi as u128;
-            while qhat >= BASE
-                || qhat * v_next as u128 > (rhat << 64 | u[j + n - 2] as u128)
-            {
+            while qhat >= BASE || qhat * v_next as u128 > (rhat << 64 | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_hi as u128;
                 if rhat >= BASE {
@@ -338,7 +336,8 @@ mod tests {
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1
         let a = n(u128::MAX);
         let sq = &a * &a;
-        let expect = &(&(BigUint::one() << 256usize) - &(BigUint::one() << 129usize)) + &BigUint::one();
+        let expect =
+            &(&(BigUint::one() << 256usize) - &(BigUint::one() << 129usize)) + &BigUint::one();
         assert_eq!(sq, expect);
     }
 

@@ -27,12 +27,18 @@ pub struct BigInt {
 impl BigInt {
     /// Zero.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::zero(),
+        }
     }
 
     /// Builds a non-negative integer from a magnitude.
     pub fn from_biguint(mag: BigUint) -> Self {
-        BigInt { sign: Sign::Plus, mag }
+        BigInt {
+            sign: Sign::Plus,
+            mag,
+        }
     }
 
     /// Builds an integer from an explicit sign and magnitude.
@@ -144,7 +150,11 @@ impl Sub<&BigInt> for &BigInt {
 impl Mul<&BigInt> for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::new(sign, &self.mag * &rhs.mag)
     }
 }

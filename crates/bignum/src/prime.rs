@@ -12,9 +12,9 @@ use rand::RngCore;
 
 /// Small primes used for trial-division screening.
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Deterministic witness set for 64-bit inputs.
@@ -62,7 +62,13 @@ pub fn is_prime<R: RngCore>(n: &BigUint, rng: &mut R) -> bool {
 
 /// One Miller–Rabin round: returns `true` when `a` is *not* a witness of
 /// compositeness (i.e. `n` is still possibly prime).
-fn miller_rabin_round(n: &BigUint, n_minus_1: &BigUint, d: &BigUint, s: usize, a: &BigUint) -> bool {
+fn miller_rabin_round(
+    n: &BigUint,
+    n_minus_1: &BigUint,
+    d: &BigUint,
+    s: usize,
+    a: &BigUint,
+) -> bool {
     let mut x = a.modpow(d, n);
     if x.is_one() || &x == n_minus_1 {
         return true;
@@ -104,8 +110,8 @@ pub fn gen_prime<R: RngCore>(bits: usize, rng: &mut R) -> BigUint {
         rng.fill_bytes(&mut bytes);
         let mut candidate = BigUint::from_bytes_be(&bytes) >> (bytes.len() * 8 - bits);
         // Force exact bit length, a second-highest bit, and oddness.
-        candidate = &candidate
-            | &(&(&BigUint::one() << (bits - 1)) | &(&BigUint::one() << (bits - 2)));
+        candidate =
+            &candidate | &(&(&BigUint::one() << (bits - 1)) | &(&BigUint::one() << (bits - 2)));
         candidate = &candidate | &BigUint::one();
         if is_prime(&candidate, rng) {
             return candidate;
@@ -168,7 +174,10 @@ mod tests {
     fn strong_pseudoprimes_to_base_2_rejected() {
         let mut r = rng();
         for c in [2047u64, 3277, 4033, 4681, 8321, 15841, 29341] {
-            assert!(!is_prime(&BigUint::from(c), &mut r), "{c} fools base 2 only");
+            assert!(
+                !is_prime(&BigUint::from(c), &mut r),
+                "{c} fools base 2 only"
+            );
         }
     }
 

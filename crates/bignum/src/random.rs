@@ -68,7 +68,10 @@ mod tests {
             let v = uniform_below(&bound, &mut r).to_u64().unwrap() as usize;
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]
@@ -99,7 +102,10 @@ mod tests {
         let bound = BigUint::one() << 521usize;
         let sample = uniform_below(&bound, &mut r);
         assert!(sample < bound);
-        assert!(sample.bit_len() > 400, "overwhelmingly likely for uniform draw");
+        assert!(
+            sample.bit_len() > 400,
+            "overwhelmingly likely for uniform draw"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ fn multiplication_hits_the_limb_boundary() {
     // u64::MAX * u64::MAX = 2^128 - 2^65 + 1 needs exactly two limbs.
     let max = n(u64::MAX);
     let sq = &max * &max;
-    assert_eq!(sq.to_u128(), Some(u128::from(u64::MAX) * u128::from(u64::MAX)));
+    assert_eq!(
+        sq.to_u128(),
+        Some(u128::from(u64::MAX) * u128::from(u64::MAX))
+    );
     let (q, r) = sq.div_rem(&max);
     assert_eq!(q, max);
     assert!(r.is_zero());
@@ -108,7 +111,9 @@ fn modinv_of_non_coprime_inputs_is_none() {
 #[test]
 fn modinv_of_coprime_inputs_verifies() {
     for (a, m) in [(3u64, 7u64), (10, 17), (2, 9), (65_537, 1_000_003)] {
-        let inv = n(a).modinv(&n(m)).expect("coprime values must be invertible");
+        let inv = n(a)
+            .modinv(&n(m))
+            .expect("coprime values must be invertible");
         assert_eq!((&n(a) * &inv) % &n(m), BigUint::one(), "a={a} m={m}");
     }
     // 1 is its own inverse in any modulus > 1.

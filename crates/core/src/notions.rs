@@ -102,15 +102,21 @@ impl EquivalenceNotion {
     /// The shared information the measure needs (Table I column 2).
     pub fn shared_information(self) -> SharedInformation {
         match self {
-            EquivalenceNotion::Token | EquivalenceNotion::Structural => {
-                SharedInformation { log: true, db_content: false, domains: false }
-            }
-            EquivalenceNotion::Result => {
-                SharedInformation { log: true, db_content: true, domains: false }
-            }
-            EquivalenceNotion::AccessArea => {
-                SharedInformation { log: true, db_content: false, domains: true }
-            }
+            EquivalenceNotion::Token | EquivalenceNotion::Structural => SharedInformation {
+                log: true,
+                db_content: false,
+                domains: false,
+            },
+            EquivalenceNotion::Result => SharedInformation {
+                log: true,
+                db_content: true,
+                domains: false,
+            },
+            EquivalenceNotion::AccessArea => SharedInformation {
+                log: true,
+                db_content: false,
+                domains: true,
+            },
         }
     }
 
@@ -179,25 +185,43 @@ mod tests {
     fn shared_information_matches_table_1() {
         assert_eq!(
             Token.shared_information(),
-            SharedInformation { log: true, db_content: false, domains: false }
+            SharedInformation {
+                log: true,
+                db_content: false,
+                domains: false
+            }
         );
         assert_eq!(
             Result.shared_information(),
-            SharedInformation { log: true, db_content: true, domains: false }
+            SharedInformation {
+                log: true,
+                db_content: true,
+                domains: false
+            }
         );
         assert_eq!(
             AccessArea.shared_information(),
-            SharedInformation { log: true, db_content: false, domains: true }
+            SharedInformation {
+                log: true,
+                db_content: false,
+                domains: true
+            }
         );
     }
 
     #[test]
     fn name_slots_require_determinism() {
         for notion in EquivalenceNotion::ALL {
-            assert!(!notion.name_slot_ensures(Prob), "{notion}: PROB cannot name-slot");
+            assert!(
+                !notion.name_slot_ensures(Prob),
+                "{notion}: PROB cannot name-slot"
+            );
             assert!(!notion.name_slot_ensures(Hom));
             assert!(notion.name_slot_ensures(Det));
-            assert!(notion.name_slot_ensures(Ope), "subclasses of DET also ensure");
+            assert!(
+                notion.name_slot_ensures(Ope),
+                "subclasses of DET also ensure"
+            );
         }
     }
 

@@ -74,14 +74,27 @@ pub fn run_kit_dpe(notion: EquivalenceNotion) -> KitDpeOutcome {
         attr_level: row.enc_attr.security_level(),
         const_level: row.enc_const.weakest_level(),
     };
-    KitDpeOutcome { security_model, notion, row, assessment }
+    KitDpeOutcome {
+        security_model,
+        notion,
+        row,
+        assessment,
+    }
 }
 
 impl fmt::Display for KitDpeOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "KIT-DPE for {}", self.notion.measure_name())?;
-        writeln!(f, "  step 1  threat model: {}", self.security_model.threat_model.join("; "))?;
-        writeln!(f, "          scheme: {}", self.security_model.high_level_scheme)?;
+        writeln!(
+            f,
+            "  step 1  threat model: {}",
+            self.security_model.threat_model.join("; ")
+        )?;
+        writeln!(
+            f,
+            "          scheme: {}",
+            self.security_model.high_level_scheme
+        )?;
         writeln!(
             f,
             "  step 2  notion: {} (c = {})",

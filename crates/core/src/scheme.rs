@@ -19,12 +19,12 @@
 //! construction, so their schemes do use per-attribute keys.)
 
 use crate::error::CoreError;
-use dpe_crypto::kdf::SlotLabel;
-use dpe_crypto::scheme::SymmetricScheme;
-use dpe_crypto::{Ciphertext, DetScheme, MasterKey, ProbScheme};
 use dpe_cryptdb::column::CryptDbConfig;
 use dpe_cryptdb::encoding::ident_hex;
 use dpe_cryptdb::CryptDbProxy;
+use dpe_crypto::kdf::SlotLabel;
+use dpe_crypto::scheme::SymmetricScheme;
+use dpe_crypto::{Ciphertext, DetScheme, MasterKey, ProbScheme};
 use dpe_distance::{AttributeDomain, DomainCatalog};
 use dpe_minidb::{Database, TableSchema};
 use dpe_ope::{OpeDomain, OpeScheme};
@@ -260,7 +260,9 @@ impl ResultDpe {
         config: &CryptDbConfig,
         master: &MasterKey,
     ) -> Result<Self, CoreError> {
-        Ok(ResultDpe { proxy: CryptDbProxy::new(plain_db, table_schemas, domains, config, master)? })
+        Ok(ResultDpe {
+            proxy: CryptDbProxy::new(plain_db, table_schemas, domains, config, master)?,
+        })
     }
 
     /// Pre-adjusts every column the log touches so the provider sees
@@ -359,12 +361,20 @@ impl AccessAreaDpe {
         let biased = v
             .checked_sub(*bias)
             .filter(|b| *b >= 0)
-            .ok_or(CoreError::OpeFailure { attribute: attribute.to_string(), value: v })?;
+            .ok_or(CoreError::OpeFailure {
+                attribute: attribute.to_string(),
+                value: v,
+            })?;
         let ct = scheme
             .encrypt(biased as u64)
-            .map_err(|_| CoreError::OpeFailure { attribute: attribute.to_string(), value: v })?;
-        i64::try_from(ct)
-            .map_err(|_| CoreError::OpeFailure { attribute: attribute.to_string(), value: v })
+            .map_err(|_| CoreError::OpeFailure {
+                attribute: attribute.to_string(),
+                value: v,
+            })?;
+        i64::try_from(ct).map_err(|_| CoreError::OpeFailure {
+            attribute: attribute.to_string(),
+            value: v,
+        })
     }
 
     /// The encrypted domain catalog the provider uses to compute access
@@ -395,7 +405,10 @@ impl AccessAreaDpe {
                         AttributeDomain::Categorical(
                             cats.iter()
                                 .map(|c| {
-                                    ident_hex(&det.encrypt(&literal_bytes(&Literal::Str(c.clone())), &mut rng))
+                                    ident_hex(&det.encrypt(
+                                        &literal_bytes(&Literal::Str(c.clone())),
+                                        &mut rng,
+                                    ))
                                 })
                                 .collect(),
                         )
@@ -471,7 +484,10 @@ impl QueryEncryptor for AccessAreaDpe {
                 }
             }
         }
-        let mut transform = T { scheme: self, error: None };
+        let mut transform = T {
+            scheme: self,
+            error: None,
+        };
         let enc = rewrite_query(q, &mut transform);
         match transform.error {
             Some(e) => Err(e),
@@ -488,10 +504,16 @@ pub fn aggregate_only_attributes(log: &[Query]) -> BTreeSet<String> {
     for q in log {
         for item in &q.select {
             match item {
-                SelectItem::Aggregate { func: AggFunc::Sum | AggFunc::Avg, arg: AggArg::Column(c) } => {
+                SelectItem::Aggregate {
+                    func: AggFunc::Sum | AggFunc::Avg,
+                    arg: AggArg::Column(c),
+                } => {
                     in_aggregate.insert(c.column.clone());
                 }
-                SelectItem::Aggregate { arg: AggArg::Column(c), .. } => {
+                SelectItem::Aggregate {
+                    arg: AggArg::Column(c),
+                    ..
+                } => {
                     elsewhere.insert(c.column.clone());
                 }
                 SelectItem::Column(c) => {
@@ -574,7 +596,9 @@ mod tests {
         // Enc(SELECT A1 FROM R WHERE A2 > 5): names and constant replaced,
         // structure intact.
         let mut scheme = TokenDpe::new(&master());
-        let enc = scheme.encrypt_query(&q("SELECT a1 FROM r WHERE a2 > 5")).unwrap();
+        let enc = scheme
+            .encrypt_query(&q("SELECT a1 FROM r WHERE a2 > 5"))
+            .unwrap();
         assert_eq!(enc.select.len(), 1);
         let text = enc.to_string();
         assert!(text.starts_with("SELECT x"));
@@ -586,8 +610,12 @@ mod tests {
     #[test]
     fn token_scheme_is_deterministic_per_kind() {
         let mut scheme = TokenDpe::new(&master());
-        let e1 = scheme.encrypt_query(&q("SELECT ra FROM photoobj WHERE ra > 5")).unwrap();
-        let e2 = scheme.encrypt_query(&q("SELECT ra FROM photoobj WHERE ra > 5")).unwrap();
+        let e1 = scheme
+            .encrypt_query(&q("SELECT ra FROM photoobj WHERE ra > 5"))
+            .unwrap();
+        let e2 = scheme
+            .encrypt_query(&q("SELECT ra FROM photoobj WHERE ra > 5"))
+            .unwrap();
         assert_eq!(e1, e2);
     }
 
@@ -609,22 +637,26 @@ mod tests {
             .encrypt_query(&q("SELECT ra FROM t WHERE ra = 5 OR dec = 5"))
             .unwrap();
         let consts = analysis::constants(&enc);
-        assert_ne!(consts[0].1, consts[1].1, "per-attribute keys split the token");
+        assert_ne!(
+            consts[0].1, consts[1].1,
+            "per-attribute keys split the token"
+        );
     }
 
     #[test]
     fn structural_scheme_randomizes_constants_keeps_names() {
         let mut scheme = StructuralDpe::new(&master(), 9);
-        let e1 = scheme.encrypt_query(&q("SELECT ra FROM t WHERE dec > 5")).unwrap();
-        let e2 = scheme.encrypt_query(&q("SELECT ra FROM t WHERE dec > 5")).unwrap();
+        let e1 = scheme
+            .encrypt_query(&q("SELECT ra FROM t WHERE dec > 5"))
+            .unwrap();
+        let e2 = scheme
+            .encrypt_query(&q("SELECT ra FROM t WHERE dec > 5"))
+            .unwrap();
         // Names deterministic:
         assert_eq!(e1.from, e2.from);
         assert_eq!(e1.select, e2.select);
         // Constants randomized:
-        assert_ne!(
-            analysis::constants(&e1)[0].1,
-            analysis::constants(&e2)[0].1
-        );
+        assert_ne!(analysis::constants(&e1)[0].1, analysis::constants(&e2)[0].1);
     }
 
     #[test]

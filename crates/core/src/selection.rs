@@ -38,7 +38,11 @@ impl ConstChoice {
     pub fn weakest_level(&self) -> u8 {
         match self {
             ConstChoice::Uniform(c) => c.security_level(),
-            ConstChoice::PerUsage { equality, range, aggregate_only } => equality
+            ConstChoice::PerUsage {
+                equality,
+                range,
+                aggregate_only,
+            } => equality
                 .security_level()
                 .min(range.security_level())
                 .min(aggregate_only.security_level()),
@@ -50,7 +54,11 @@ impl fmt::Display for ConstChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConstChoice::Uniform(c) => write!(f, "{c}"),
-            ConstChoice::PerUsage { equality, range, aggregate_only } => {
+            ConstChoice::PerUsage {
+                equality,
+                range,
+                aggregate_only,
+            } => {
                 write!(f, "eq:{equality} range:{range} agg-only:{aggregate_only}")
             }
         }
@@ -114,7 +122,11 @@ pub fn appropriate_const_choice(notion: EquivalenceNotion) -> ConstChoice {
     if equality == range && range == aggregate_only {
         ConstChoice::Uniform(equality)
     } else {
-        ConstChoice::PerUsage { equality, range, aggregate_only }
+        ConstChoice::PerUsage {
+            equality,
+            range,
+            aggregate_only,
+        }
     }
 }
 
@@ -161,7 +173,11 @@ mod tests {
         let row = derive_row(Result);
         assert_eq!(
             row.enc_const,
-            ConstChoice::PerUsage { equality: Det, range: Ope, aggregate_only: Hom }
+            ConstChoice::PerUsage {
+                equality: Det,
+                range: Ope,
+                aggregate_only: Hom
+            }
         );
     }
 
@@ -171,7 +187,11 @@ mod tests {
         let row = derive_row(AccessArea);
         assert_eq!(
             row.enc_const,
-            ConstChoice::PerUsage { equality: Det, range: Ope, aggregate_only: Prob }
+            ConstChoice::PerUsage {
+                equality: Det,
+                range: Ope,
+                aggregate_only: Prob
+            }
         );
     }
 
@@ -182,8 +202,16 @@ mod tests {
         // the aggregate-only slot strictly more secure.
         let result = derive_row(Result).enc_const;
         let access = derive_row(AccessArea).enc_const;
-        let (ConstChoice::PerUsage { aggregate_only: r_agg, .. }, ConstChoice::PerUsage { aggregate_only: a_agg, .. }) =
-            (&result, &access)
+        let (
+            ConstChoice::PerUsage {
+                aggregate_only: r_agg,
+                ..
+            },
+            ConstChoice::PerUsage {
+                aggregate_only: a_agg,
+                ..
+            },
+        ) = (&result, &access)
         else {
             panic!("both rows are composite")
         };

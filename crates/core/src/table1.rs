@@ -70,7 +70,11 @@ pub const EXPECTED: [ExpectedRow; 4] = [
 pub fn render_const_choice(choice: &ConstChoice) -> String {
     match choice {
         ConstChoice::Uniform(c) => c.name().to_string(),
-        ConstChoice::PerUsage { equality, range, aggregate_only } => {
+        ConstChoice::PerUsage {
+            equality,
+            range,
+            aggregate_only,
+        } => {
             // The CryptDB composite (DET for equality, OPE for ranges):
             // aggregate-only decides between "via CryptDB" (HOM) and
             // "via CryptDB, except HOM" (PROB).
@@ -89,7 +93,10 @@ pub fn render_const_choice(choice: &ConstChoice) -> String {
 
 /// Derives all four rows.
 pub fn derive_table() -> Vec<TableRow> {
-    EquivalenceNotion::ALL.iter().map(|&n| derive_row(n)).collect()
+    EquivalenceNotion::ALL
+        .iter()
+        .map(|&n| derive_row(n))
+        .collect()
 }
 
 /// Checks the derived table against [`EXPECTED`]; returns mismatch
@@ -99,7 +106,11 @@ pub fn check_against_paper() -> Vec<String> {
     for (derived, expected) in derive_table().iter().zip(EXPECTED.iter()) {
         let notion = derived.notion;
         if notion.measure_name() != expected.measure {
-            mismatches.push(format!("measure name: {} != {}", notion.measure_name(), expected.measure));
+            mismatches.push(format!(
+                "measure name: {} != {}",
+                notion.measure_name(),
+                expected.measure
+            ));
         }
         let s = notion.shared_information();
         if (s.log, s.db_content, s.domains) != expected.shared {
@@ -112,14 +123,23 @@ pub fn check_against_paper() -> Vec<String> {
             mismatches.push(format!("{}: characteristic mismatch", expected.measure));
         }
         if derived.enc_rel.name() != expected.enc_rel {
-            mismatches.push(format!("{}: EncRel {} != {}", expected.measure, derived.enc_rel, expected.enc_rel));
+            mismatches.push(format!(
+                "{}: EncRel {} != {}",
+                expected.measure, derived.enc_rel, expected.enc_rel
+            ));
         }
         if derived.enc_attr.name() != expected.enc_attr {
-            mismatches.push(format!("{}: EncAttr {} != {}", expected.measure, derived.enc_attr, expected.enc_attr));
+            mismatches.push(format!(
+                "{}: EncAttr {} != {}",
+                expected.measure, derived.enc_attr, expected.enc_attr
+            ));
         }
         let rendered = render_const_choice(&derived.enc_const);
         if rendered != expected.enc_const {
-            mismatches.push(format!("{}: EncConst {} != {}", expected.measure, rendered, expected.enc_const));
+            mismatches.push(format!(
+                "{}: EncConst {} != {}",
+                expected.measure, rendered, expected.enc_const
+            ));
         }
     }
     mismatches
@@ -130,7 +150,13 @@ pub fn render_table() -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<38} {:<22} {:<25} {:<14} {:<7} {:<8} {}\n",
-        "Distance Measure", "Shared Information", "Equivalence Notion", "c", "EncRel", "EncAttr", "EncA.Const"
+        "Distance Measure",
+        "Shared Information",
+        "Equivalence Notion",
+        "c",
+        "EncRel",
+        "EncAttr",
+        "EncA.Const"
     ));
     out.push_str(&"-".repeat(140));
     out.push('\n');
@@ -170,8 +196,16 @@ mod tests {
     fn rendering_contains_all_cells() {
         let text = render_table();
         for expected in EXPECTED {
-            assert!(text.contains(expected.measure), "missing {}", expected.measure);
-            assert!(text.contains(expected.enc_const), "missing {}", expected.enc_const);
+            assert!(
+                text.contains(expected.measure),
+                "missing {}",
+                expected.measure
+            );
+            assert!(
+                text.contains(expected.enc_const),
+                "missing {}",
+                expected.enc_const
+            );
         }
     }
 

@@ -121,8 +121,14 @@ pub fn mining_agreement(
         DbscanLabel::Cluster(c) => c,
         DbscanLabel::Noise => usize::MAX - 1,
     };
-    let db_p: Vec<usize> = dbscan(plain, dbscan_cfg).into_iter().map(db_label).collect();
-    let db_e: Vec<usize> = dbscan(encrypted, dbscan_cfg).into_iter().map(db_label).collect();
+    let db_p: Vec<usize> = dbscan(plain, dbscan_cfg)
+        .into_iter()
+        .map(db_label)
+        .collect();
+    let db_e: Vec<usize> = dbscan(encrypted, dbscan_cfg)
+        .into_iter()
+        .map(db_label)
+        .collect();
     // Renumber the sentinel labels densely for the contingency table.
     let dense = |v: &[usize]| -> Vec<usize> {
         let mut map = std::collections::BTreeMap::new();
@@ -201,7 +207,10 @@ mod tests {
             "SELECT x FROM t WHERE t.a = u.b",
         ] {
             let q = parse_query(sql).unwrap();
-            assert!(structural_commuting_square(&mut scheme, &q).unwrap(), "{sql}");
+            assert!(
+                structural_commuting_square(&mut scheme, &q).unwrap(),
+                "{sql}"
+            );
         }
     }
 
@@ -212,7 +221,10 @@ mod tests {
             &m,
             &m.clone(),
             3,
-            DbscanConfig { eps: 0.4, min_pts: 3 },
+            DbscanConfig {
+                eps: 0.4,
+                min_pts: 3,
+            },
             OutlierConfig { p: 0.7, d: 0.6 },
         );
         assert!(agreement.all_identical, "{agreement:?}");
@@ -227,7 +239,10 @@ mod tests {
             &m,
             &bad,
             3,
-            DbscanConfig { eps: 0.3, min_pts: 3 },
+            DbscanConfig {
+                eps: 0.3,
+                min_pts: 3,
+            },
             OutlierConfig { p: 0.7, d: 0.6 },
         );
         assert!(!agreement.all_identical);

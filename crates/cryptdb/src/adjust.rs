@@ -26,7 +26,11 @@ pub fn columns_needing_det(query: &Query) -> BTreeSet<String> {
         need.insert(c.column.clone());
     }
     for item in &query.select {
-        if let SelectItem::Aggregate { func: AggFunc::Count, arg: AggArg::Column(c) } = item {
+        if let SelectItem::Aggregate {
+            func: AggFunc::Count,
+            arg: AggArg::Column(c),
+        } = item
+        {
             need.insert(c.column.clone());
         }
     }
@@ -78,18 +82,20 @@ pub fn adjust_to_det(
 
     // Peel every stored cell; abort on the first malformed cell.
     let mut failure = None;
-    enc_db.table_mut(&enc_table)?.map_column(&onion_col, |cell| {
-        if failure.is_some() {
-            return cell.clone();
-        }
-        match schema.column(column).and_then(|c| c.peel_rnd(cell)) {
-            Ok(peeled) => peeled,
-            Err(e) => {
-                failure = Some(e);
-                cell.clone()
+    enc_db
+        .table_mut(&enc_table)?
+        .map_column(&onion_col, |cell| {
+            if failure.is_some() {
+                return cell.clone();
             }
-        }
-    })?;
+            match schema.column(column).and_then(|c| c.peel_rnd(cell)) {
+                Ok(peeled) => peeled,
+                Err(e) => {
+                    failure = Some(e);
+                    cell.clone()
+                }
+            }
+        })?;
     if let Some(e) = failure {
         return Err(e);
     }
@@ -147,9 +153,13 @@ mod tests {
 
     fn setup(cfg: CryptDbConfig) -> (EncryptedSchema, Database) {
         let plain = generate_database(20, 5);
-        let schema =
-            EncryptedSchema::build(&sky_catalog(), &sky_domains(), &cfg, &MasterKey::from_bytes([9; 32]))
-                .unwrap();
+        let schema = EncryptedSchema::build(
+            &sky_catalog(),
+            &sky_domains(),
+            &cfg,
+            &MasterKey::from_bytes([9; 32]),
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let enc = encrypt_database(&plain, &schema, &mut rng).unwrap();
         (schema, enc)
@@ -191,7 +201,10 @@ mod tests {
         let idx = phys.schema().column_index(&col).unwrap();
         let distinct: std::collections::BTreeSet<&Value> =
             phys.rows().iter().map(|r| &r[idx]).collect();
-        assert!(distinct.len() <= 3, "at most 3 classes → ≤ 3 DET ciphertexts");
+        assert!(
+            distinct.len() <= 3,
+            "at most 3 classes → ≤ 3 DET ciphertexts"
+        );
     }
 
     #[test]
@@ -199,12 +212,16 @@ mod tests {
         let (mut schema, mut enc) = setup(CryptDbConfig::default());
         adjust_to_det(&mut schema, &mut enc, "class").unwrap();
         let snapshot: Vec<_> = {
-            let t = enc.table(schema.enc_table_name("photoobj").unwrap()).unwrap();
+            let t = enc
+                .table(schema.enc_table_name("photoobj").unwrap())
+                .unwrap();
             t.rows().to_vec()
         };
         adjust_to_det(&mut schema, &mut enc, "class").unwrap();
         let after: Vec<_> = {
-            let t = enc.table(schema.enc_table_name("photoobj").unwrap()).unwrap();
+            let t = enc
+                .table(schema.enc_table_name("photoobj").unwrap())
+                .unwrap();
             t.rows().to_vec()
         };
         assert_eq!(snapshot, after);

@@ -66,7 +66,10 @@ impl Default for CryptDbConfig {
 impl CryptDbConfig {
     /// The policy applying to `column`.
     pub fn policy_for(&self, column: &str) -> ColumnPolicy {
-        self.overrides.get(column).copied().unwrap_or(self.default_policy)
+        self.overrides
+            .get(column)
+            .copied()
+            .unwrap_or(self.default_policy)
     }
 
     /// Registers a join group over the given columns.

@@ -61,14 +61,24 @@ mod tests {
 
     #[test]
     fn value_roundtrips() {
-        for v in [Value::Int(0), Value::Int(-42), Value::Int(i64::MAX), Value::Str("αβ".into()), Value::Str(String::new()), Value::Null] {
+        for v in [
+            Value::Int(0),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Str("αβ".into()),
+            Value::Str(String::new()),
+            Value::Null,
+        ] {
             assert_eq!(decode_value(&encode_value(&v)), Some(v));
         }
     }
 
     #[test]
     fn tags_prevent_cross_type_collisions() {
-        assert_ne!(encode_value(&Value::Int(49)), encode_value(&Value::Str("1".into())));
+        assert_ne!(
+            encode_value(&Value::Int(49)),
+            encode_value(&Value::Str("1".into()))
+        );
     }
 
     #[test]

@@ -159,11 +159,11 @@ mod tests {
         // Compare the induced orders of the first few row pairs.
         for i in 0..plain_rows.len().min(10) {
             for j in 0..plain_rows.len().min(10) {
-                let (Value::Int(pi), Value::Int(pj)) = (&plain_rows[i][1], &plain_rows[j][1]) else {
+                let (Value::Int(pi), Value::Int(pj)) = (&plain_rows[i][1], &plain_rows[j][1])
+                else {
                     panic!()
                 };
-                let (Value::Int(ci), Value::Int(cj)) =
-                    (&phys.rows()[i][idx], &phys.rows()[j][idx])
+                let (Value::Int(ci), Value::Int(cj)) = (&phys.rows()[i][idx], &phys.rows()[j][idx])
                 else {
                     panic!()
                 };
@@ -182,7 +182,9 @@ mod tests {
         let idx = phys.schema().column_index(&hom_col).unwrap();
         let ct = parse_hom_cell(&phys.rows()[0][idx]).unwrap();
         let dec = schema.paillier().private().decrypt_u64(&ct).unwrap();
-        let Value::Int(expect) = plain.table("photoobj").unwrap().rows()[0][1] else { panic!() };
+        let Value::Int(expect) = plain.table("photoobj").unwrap().rows()[0][1] else {
+            panic!()
+        };
         assert_eq!(unshift_hom(dec), expect);
     }
 }

@@ -43,7 +43,10 @@ impl fmt::Display for CryptDbError {
                 write!(f, "column {column} lacks the onion needed for {needed}")
             }
             CryptDbError::AdjustmentForbidden(c) => {
-                write!(f, "column {c} is frozen at RND; equality exposure forbidden by policy")
+                write!(
+                    f,
+                    "column {c} is frozen at RND; equality exposure forbidden by policy"
+                )
             }
             CryptDbError::UnsupportedQuery(m) => write!(f, "unsupported query shape: {m}"),
             CryptDbError::MissingDomain(a) => write!(f, "attribute {a} has no domain"),

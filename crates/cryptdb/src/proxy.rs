@@ -34,7 +34,11 @@ impl CryptDbProxy {
         let schema = EncryptedSchema::build(table_schemas, domains, config, master)?;
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
         let enc_db = encrypt_database(plain_db, &schema, &mut rng)?;
-        Ok(CryptDbProxy { schema, enc_db, rng })
+        Ok(CryptDbProxy {
+            schema,
+            enc_db,
+            rng,
+        })
     }
 
     /// The encrypted schema (key material included — trusted side only).
@@ -114,9 +118,14 @@ impl CryptDbProxy {
                         [Value::Int(*count as i64), Value::Str(ct.value().to_hex())]
                     })
                     .collect()];
-                Ok(ResultSet { columns: vec![], rows })
+                Ok(ResultSet {
+                    columns: vec![],
+                    rows,
+                })
             }
-            _ => Err(CryptDbError::UnsupportedQuery("malformed rewrite plan".into())),
+            _ => Err(CryptDbError::UnsupportedQuery(
+                "malformed rewrite plan".into(),
+            )),
         }
     }
 
@@ -159,8 +168,7 @@ impl CryptDbProxy {
                                 .to_u128()
                                 .ok_or_else(|| CryptDbError::Decrypt("HOM sum overflow".into()))?;
                             // Each folded term was shifted by 2^63.
-                            let sum =
-                                total as i128 - (count as i128) * (1i128 << 63);
+                            let sum = total as i128 - (count as i128) * (1i128 << 63);
                             let value = match &plan.items[*idx] {
                                 _ if count == 0 => Value::Null,
                                 HomItem::Sum(_) => Value::Int(sum as i64),
@@ -185,7 +193,10 @@ impl CryptDbProxy {
                 rows.push(row);
             }
         }
-        Ok(ResultSet { columns: rewritten.headers.clone(), rows })
+        Ok(ResultSet {
+            columns: rewritten.headers.clone(),
+            rows,
+        })
     }
 
     fn decrypt_cell(&self, spec: &OutputSpec, cell: &Value) -> Result<Value, CryptDbError> {
@@ -249,8 +260,16 @@ mod tests {
     #[test]
     fn equality_queries_transparent() {
         let (plain, mut proxy) = proxy();
-        assert_transparent(&plain, &mut proxy, "SELECT objid FROM photoobj WHERE class = 'STAR'");
-        assert_transparent(&plain, &mut proxy, "SELECT ra, dec FROM photoobj WHERE objid = 7");
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT objid FROM photoobj WHERE class = 'STAR'",
+        );
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT ra, dec FROM photoobj WHERE objid = 7",
+        );
         assert_transparent(
             &plain,
             &mut proxy,
@@ -271,7 +290,11 @@ mod tests {
             &mut proxy,
             "SELECT objid, rmag FROM photoobj WHERE rmag > 2000 ORDER BY rmag DESC LIMIT 7",
         );
-        assert_transparent(&plain, &mut proxy, "SELECT objid FROM photoobj WHERE NOT ra < 180000");
+        assert_transparent(
+            &plain,
+            &mut proxy,
+            "SELECT objid FROM photoobj WHERE NOT ra < 180000",
+        );
     }
 
     #[test]
@@ -336,7 +359,11 @@ mod tests {
     #[test]
     fn whole_workload_is_transparent() {
         let (plain, mut proxy) = proxy();
-        let log = LogGenerator::generate(&LogConfig { queries: 60, seed: 5, ..Default::default() });
+        let log = LogGenerator::generate(&LogConfig {
+            queries: 60,
+            seed: 5,
+            ..Default::default()
+        });
         for q in &log {
             let expect = execute(&plain, q).unwrap();
             let got = proxy.execute(q).unwrap();
@@ -367,7 +394,10 @@ mod tests {
             Err(CryptDbError::AdjustmentForbidden(_))
         ));
         let q = parse_query("SELECT specid FROM specobj WHERE z > 5").unwrap();
-        assert!(matches!(proxy.execute(&q), Err(CryptDbError::MissingOnion { .. })));
+        assert!(matches!(
+            proxy.execute(&q),
+            Err(CryptDbError::MissingOnion { .. })
+        ));
     }
 
     #[test]

@@ -71,9 +71,10 @@ pub struct RewrittenQuery {
 /// The caller must have adjusted the EQ onions the query needs (see
 /// [`crate::adjust`]); rewriting itself is read-only.
 pub fn rewrite_query(q: &Query, schema: &EncryptedSchema) -> Result<RewrittenQuery, CryptDbError> {
-    let has_arith = q.select.iter().any(|s| {
-        matches!(s, SelectItem::Aggregate { func, .. } if func.is_arithmetic())
-    });
+    let has_arith = q
+        .select
+        .iter()
+        .any(|s| matches!(s, SelectItem::Aggregate { func, .. } if func.is_arithmetic()));
     if has_arith {
         return rewrite_arithmetic(q, schema);
     }
@@ -188,7 +189,10 @@ fn enc_col_ref(
         Some(t) => Some(schema.enc_table_name(t)?.to_string()),
         None => None,
     };
-    Ok(ColumnRef { table, column: col.onion_column(onion) })
+    Ok(ColumnRef {
+        table,
+        column: col.onion_column(onion),
+    })
 }
 
 fn rewrite_plain_aggregate(
@@ -197,9 +201,13 @@ fn rewrite_plain_aggregate(
     arg: &AggArg,
 ) -> Result<(SelectItem, OutputSpec), CryptDbError> {
     match (func, arg) {
-        (AggFunc::Count, AggArg::Star) => {
-            Ok((SelectItem::Aggregate { func, arg: AggArg::Star }, OutputSpec::PlainInt))
-        }
+        (AggFunc::Count, AggArg::Star) => Ok((
+            SelectItem::Aggregate {
+                func,
+                arg: AggArg::Star,
+            },
+            OutputSpec::PlainInt,
+        )),
         (AggFunc::Count, AggArg::Column(c)) => Ok((
             SelectItem::Aggregate {
                 func,
@@ -232,11 +240,7 @@ fn rewrite_join(schema: &EncryptedSchema, j: &Join) -> Result<Join, CryptDbError
     })
 }
 
-fn check_join_group(
-    schema: &EncryptedSchema,
-    left: &str,
-    right: &str,
-) -> Result<(), CryptDbError> {
+fn check_join_group(schema: &EncryptedSchema, left: &str, right: &str) -> Result<(), CryptDbError> {
     let lg = schema.column(left)?.join_group().map(str::to_string);
     let rg = schema.column(right)?.join_group().map(str::to_string);
     match (lg, rg) {
@@ -254,13 +258,22 @@ fn rewrite_order_item(
 ) -> Result<OrderItem, CryptDbError> {
     let col = schema.column(&o.col.column)?;
     if col.onions.ord {
-        Ok(OrderItem { col: enc_col_ref(schema, &o.col, Onion::Ord)?, desc: o.desc })
+        Ok(OrderItem {
+            col: enc_col_ref(schema, &o.col, Onion::Ord)?,
+            desc: o.desc,
+        })
     } else if !has_limit {
         // Without LIMIT the order cannot change the result *set*; sort by
         // the EQ onion so the query stays executable (client re-sorts).
-        Ok(OrderItem { col: enc_col_ref(schema, &o.col, Onion::Eq)?, desc: o.desc })
+        Ok(OrderItem {
+            col: enc_col_ref(schema, &o.col, Onion::Eq)?,
+            desc: o.desc,
+        })
     } else {
-        Err(CryptDbError::MissingOnion { column: o.col.column.clone(), needed: "order (LIMIT)" })
+        Err(CryptDbError::MissingOnion {
+            column: o.col.column.clone(),
+            needed: "order (LIMIT)",
+        })
     }
 }
 
@@ -278,7 +291,9 @@ fn det_literal(
         Literal::Str(s) => Value::Str(s.clone()),
         Literal::Null => unreachable!(),
     };
-    Ok(Literal::Str(crate::encoding::ident_hex(&c.det_value(&value))))
+    Ok(Literal::Str(crate::encoding::ident_hex(
+        &c.det_value(&value),
+    )))
 }
 
 fn ope_literal(
@@ -359,22 +374,21 @@ fn rewrite_expr(e: &Expr, schema: &EncryptedSchema) -> Result<Expr, CryptDbError
             col: enc_col_ref(schema, col, Onion::Eq)?,
             negated: *negated,
         },
-        Expr::And(a, b) => {
-            Expr::And(Box::new(rewrite_expr(a, schema)?), Box::new(rewrite_expr(b, schema)?))
-        }
-        Expr::Or(a, b) => {
-            Expr::Or(Box::new(rewrite_expr(a, schema)?), Box::new(rewrite_expr(b, schema)?))
-        }
+        Expr::And(a, b) => Expr::And(
+            Box::new(rewrite_expr(a, schema)?),
+            Box::new(rewrite_expr(b, schema)?),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(rewrite_expr(a, schema)?),
+            Box::new(rewrite_expr(b, schema)?),
+        ),
         Expr::Not(inner) => Expr::Not(Box::new(rewrite_expr(inner, schema)?)),
     })
 }
 
 /// Arithmetic aggregates: every select item must be an aggregate and GROUP
 /// BY must be empty (CryptDB's HOM UDF limitation, matched here).
-fn rewrite_arithmetic(
-    q: &Query,
-    schema: &EncryptedSchema,
-) -> Result<RewrittenQuery, CryptDbError> {
+fn rewrite_arithmetic(q: &Query, schema: &EncryptedSchema) -> Result<RewrittenQuery, CryptDbError> {
     if !q.group_by.is_empty() {
         return Err(CryptDbError::UnsupportedQuery(
             "grouped arithmetic aggregates are not supported by the HOM onion".into(),
@@ -416,7 +430,9 @@ fn rewrite_arithmetic(
         }
     }
     if fetch_cols.is_empty() {
-        return Err(CryptDbError::UnsupportedQuery("no HOM columns to fetch".into()));
+        return Err(CryptDbError::UnsupportedQuery(
+            "no HOM columns to fetch".into(),
+        ));
     }
 
     let from = TableRef::new(schema.enc_table_name(&q.from.name)?.to_string());
@@ -442,7 +458,12 @@ fn rewrite_arithmetic(
         limit: None,
     };
 
-    Ok(RewrittenQuery { query: None, outputs, headers, hom: Some(HomPlan { fetch, items }) })
+    Ok(RewrittenQuery {
+        query: None,
+        outputs,
+        headers,
+        hom: Some(HomPlan { fetch, items }),
+    })
 }
 
 #[cfg(test)]
@@ -455,8 +476,13 @@ mod tests {
 
     fn schema() -> EncryptedSchema {
         let cfg = CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"]);
-        EncryptedSchema::build(&sky_catalog(), &sky_domains(), &cfg, &MasterKey::from_bytes([1; 32]))
-            .unwrap()
+        EncryptedSchema::build(
+            &sky_catalog(),
+            &sky_domains(),
+            &cfg,
+            &MasterKey::from_bytes([1; 32]),
+        )
+        .unwrap()
     }
 
     fn rewrite(sql: &str) -> RewrittenQuery {
@@ -467,7 +493,12 @@ mod tests {
     fn equality_routes_to_eq_onion_with_det_constant() {
         let r = rewrite("SELECT objid FROM photoobj WHERE class = 'STAR'");
         let q = r.query.unwrap();
-        let Some(Expr::Comparison { col, op: CompareOp::Eq, value }) = q.where_clause else {
+        let Some(Expr::Comparison {
+            col,
+            op: CompareOp::Eq,
+            value,
+        }) = q.where_clause
+        else {
             panic!()
         };
         assert!(col.column.ends_with("_eq"));
@@ -491,9 +522,13 @@ mod tests {
         let s = schema();
         let r = rewrite("SELECT objid FROM photoobj WHERE ra BETWEEN 1000 AND 2000");
         let q = r.query.unwrap();
-        let Some(Expr::Between { col, low, high }) = q.where_clause else { panic!() };
+        let Some(Expr::Between { col, low, high }) = q.where_clause else {
+            panic!()
+        };
         assert!(col.column.ends_with("_ord"));
-        let (Literal::Int(lo), Literal::Int(hi)) = (low, high) else { panic!() };
+        let (Literal::Int(lo), Literal::Int(hi)) = (low, high) else {
+            panic!()
+        };
         assert!(lo < hi, "OPE preserves order");
         let ra = s.column("ra").unwrap();
         assert_eq!(ra.ope_decrypt(lo).unwrap(), 1000);
@@ -518,18 +553,19 @@ mod tests {
 
     #[test]
     fn order_by_string_with_limit_is_rejected() {
-        let err =
-            rewrite_query(&parse_query("SELECT class FROM photoobj ORDER BY class LIMIT 3").unwrap(), &schema())
-                .unwrap_err();
+        let err = rewrite_query(
+            &parse_query("SELECT class FROM photoobj ORDER BY class LIMIT 3").unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CryptDbError::MissingOnion { .. }));
     }
 
     #[test]
     fn join_requires_shared_group() {
         // objid/bestobjid share a group: fine.
-        let r = rewrite(
-            "SELECT z FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid",
-        );
+        let r =
+            rewrite("SELECT z FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid");
         let q = r.query.unwrap();
         assert!(q.joins[0].left.column.ends_with("_eq"));
         // ra/z do not:
@@ -552,12 +588,21 @@ mod tests {
         let r = rewrite("SELECT MIN(ra), MAX(ra) FROM photoobj");
         let q = r.query.unwrap();
         for item in &q.select {
-            let SelectItem::Aggregate { arg: AggArg::Column(c), .. } = item else { panic!() };
+            let SelectItem::Aggregate {
+                arg: AggArg::Column(c),
+                ..
+            } = item
+            else {
+                panic!()
+            };
             assert!(c.column.ends_with("_ord"));
         }
         assert_eq!(
             r.outputs,
-            vec![OutputSpec::OrdColumn("ra".into()), OutputSpec::OrdColumn("ra".into())]
+            vec![
+                OutputSpec::OrdColumn("ra".into()),
+                OutputSpec::OrdColumn("ra".into())
+            ]
         );
     }
 
@@ -566,7 +611,10 @@ mod tests {
         let r = rewrite("SELECT AVG(z), SUM(z) FROM specobj WHERE z BETWEEN 10 AND 100000");
         assert!(r.query.is_none());
         let hom = r.hom.unwrap();
-        assert_eq!(hom.items, vec![HomItem::Avg("z".into()), HomItem::Sum("z".into())]);
+        assert_eq!(
+            hom.items,
+            vec![HomItem::Avg("z".into()), HomItem::Sum("z".into())]
+        );
         assert_eq!(hom.fetch.select.len(), 2);
         assert!(hom.fetch.where_clause.is_some());
     }
@@ -595,7 +643,11 @@ mod tests {
         // for all in-domain values rather than erroring.
         let r = rewrite("SELECT objid FROM photoobj WHERE ra < 99999999");
         let q = r.query.unwrap();
-        let Some(Expr::Comparison { value: Literal::Int(v), .. }) = q.where_clause else {
+        let Some(Expr::Comparison {
+            value: Literal::Int(v),
+            ..
+        }) = q.where_clause
+        else {
             panic!()
         };
         assert_eq!(v, i64::MAX);

@@ -63,7 +63,10 @@ impl ColumnCrypt {
     /// Strips the RND layer from a stored EQ cell (adjustment step).
     pub fn peel_rnd(&self, cell: &Value) -> Result<Value, CryptDbError> {
         let Value::Str(s) = cell else {
-            return Err(CryptDbError::Decrypt(format!("{}: EQ cell is not a string", self.plain)));
+            return Err(CryptDbError::Decrypt(format!(
+                "{}: EQ cell is not a string",
+                self.plain
+            )));
         };
         let wrapped = crate::encoding::parse_ident_hex(s)
             .ok_or_else(|| CryptDbError::Decrypt(format!("{}: malformed EQ cell", self.plain)))?;
@@ -77,7 +80,10 @@ impl ColumnCrypt {
     /// Decrypts an EQ cell back to the plaintext value (proxy side).
     pub fn decrypt_eq_cell(&self, cell: &Value) -> Result<Value, CryptDbError> {
         let Value::Str(s) = cell else {
-            return Err(CryptDbError::Decrypt(format!("{}: EQ cell is not a string", self.plain)));
+            return Err(CryptDbError::Decrypt(format!(
+                "{}: EQ cell is not a string",
+                self.plain
+            )));
         };
         let outer = crate::encoding::parse_ident_hex(s)
             .ok_or_else(|| CryptDbError::Decrypt(format!("{}: malformed EQ cell", self.plain)))?;
@@ -100,14 +106,14 @@ impl ColumnCrypt {
     /// OPE ciphertext of an integer value, biased into the scheme's domain
     /// and checked to fit i64 storage.
     pub fn ope_encrypt(&self, v: i64) -> Result<i64, CryptDbError> {
-        let ope = self
-            .ope
-            .as_ref()
-            .ok_or(CryptDbError::MissingOnion { column: self.plain.clone(), needed: "order" })?;
-        let biased = v
-            .checked_sub(self.ope_bias)
-            .filter(|b| *b >= 0)
-            .ok_or_else(|| CryptDbError::OpeOverflow(self.plain.clone()))? as u64;
+        let ope = self.ope.as_ref().ok_or(CryptDbError::MissingOnion {
+            column: self.plain.clone(),
+            needed: "order",
+        })?;
+        let biased =
+            v.checked_sub(self.ope_bias)
+                .filter(|b| *b >= 0)
+                .ok_or_else(|| CryptDbError::OpeOverflow(self.plain.clone()))? as u64;
         let ct = ope
             .encrypt(biased)
             .map_err(|_| CryptDbError::OpeOverflow(self.plain.clone()))?;
@@ -116,10 +122,10 @@ impl ColumnCrypt {
 
     /// Decrypts an OPE cell back to the plaintext integer.
     pub fn ope_decrypt(&self, ct: i64) -> Result<i64, CryptDbError> {
-        let ope = self
-            .ope
-            .as_ref()
-            .ok_or(CryptDbError::MissingOnion { column: self.plain.clone(), needed: "order" })?;
+        let ope = self.ope.as_ref().ok_or(CryptDbError::MissingOnion {
+            column: self.plain.clone(),
+            needed: "order",
+        })?;
         let biased = ope
             .decrypt(ct as u128)
             .map_err(|e| CryptDbError::Decrypt(format!("{}: {e}", self.plain)))?;
@@ -226,12 +232,22 @@ impl EncryptedSchema {
             }
             tables.insert(
                 schema.name.clone(),
-                EncTable { plain: schema.name.clone(), enc_name, columns: column_names },
+                EncTable {
+                    plain: schema.name.clone(),
+                    enc_name,
+                    columns: column_names,
+                },
             );
         }
 
         let paillier = KeyPair::generate(config.paillier_prime_bits, &mut rng);
-        Ok(EncryptedSchema { tables, columns, paillier, rel_det, attr_det })
+        Ok(EncryptedSchema {
+            tables,
+            columns,
+            paillier,
+            rel_det,
+            attr_det,
+        })
     }
 
     /// The encrypted name of a plaintext table.
@@ -362,7 +378,10 @@ mod tests {
     fn names_are_encrypted_and_deterministic() {
         let a = build();
         let b = build();
-        assert_eq!(a.enc_table_name("photoobj").unwrap(), b.enc_table_name("photoobj").unwrap());
+        assert_eq!(
+            a.enc_table_name("photoobj").unwrap(),
+            b.enc_table_name("photoobj").unwrap()
+        );
         assert_ne!(a.enc_table_name("photoobj").unwrap(), "photoobj");
         assert!(a.enc_table_name("photoobj").unwrap().starts_with('x'));
     }
@@ -376,9 +395,14 @@ mod tests {
             s.encrypt_table_ident("photoobj"),
             s.enc_table_name("photoobj").unwrap()
         );
-        assert_eq!(s.encrypt_table_ident("no_such"), s.encrypt_table_ident("no_such"));
+        assert_eq!(
+            s.encrypt_table_ident("no_such"),
+            s.encrypt_table_ident("no_such")
+        );
         let ra = s.column("ra").unwrap();
-        assert!(ra.onion_column(Onion::Eq).starts_with(&s.encrypt_column_ident("ra")));
+        assert!(ra
+            .onion_column(Onion::Eq)
+            .starts_with(&s.encrypt_column_ident("ra")));
     }
 
     #[test]
@@ -445,8 +469,14 @@ mod tests {
     fn ope_rejects_out_of_domain() {
         let s = build();
         let dec = s.column("dec").unwrap();
-        assert!(matches!(dec.ope_encrypt(-90_001), Err(CryptDbError::OpeOverflow(_))));
-        assert!(matches!(dec.ope_encrypt(90_001), Err(CryptDbError::OpeOverflow(_))));
+        assert!(matches!(
+            dec.ope_encrypt(-90_001),
+            Err(CryptDbError::OpeOverflow(_))
+        ));
+        assert!(matches!(
+            dec.ope_encrypt(90_001),
+            Err(CryptDbError::OpeOverflow(_))
+        ));
     }
 
     #[test]
@@ -467,10 +497,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let v = Value::Str("STAR".into());
         let cell = s.column("class").unwrap().eq_cell(&v, &mut rng);
-        assert_eq!(s.column("class").unwrap().decrypt_eq_cell(&cell).unwrap(), v);
+        assert_eq!(
+            s.column("class").unwrap().decrypt_eq_cell(&cell).unwrap(),
+            v
+        );
         // After peeling:
         let peeled = s.column("class").unwrap().peel_rnd(&cell).unwrap();
         s.column_mut("class").unwrap().eq_layer = EqLayer::Det;
-        assert_eq!(s.column("class").unwrap().decrypt_eq_cell(&peeled).unwrap(), v);
+        assert_eq!(
+            s.column("class").unwrap().decrypt_eq_cell(&peeled).unwrap(),
+            v
+        );
     }
 }

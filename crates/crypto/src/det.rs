@@ -60,7 +60,10 @@ impl SymmetricScheme for DetScheme {
     fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u8>, CryptoError> {
         let bytes = ciphertext.as_bytes();
         if bytes.len() < 12 {
-            return Err(CryptoError::CiphertextTooShort { expected_at_least: 12, got: bytes.len() });
+            return Err(CryptoError::CiphertextTooShort {
+                expected_at_least: 12,
+                got: bytes.len(),
+            });
         }
         let siv: [u8; 12] = bytes[..12].try_into().unwrap();
         let mut body = bytes[12..].to_vec();
@@ -83,7 +86,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (DetScheme, StdRng) {
-        (DetScheme::new(&SymmetricKey::from_bytes([8; 32])), StdRng::seed_from_u64(2))
+        (
+            DetScheme::new(&SymmetricKey::from_bytes([8; 32])),
+            StdRng::seed_from_u64(2),
+        )
     }
 
     #[test]
@@ -98,13 +104,20 @@ mod tests {
     #[test]
     fn injective_on_distinct_inputs() {
         let (scheme, mut rng) = setup();
-        assert_ne!(scheme.encrypt(b"ra", &mut rng), scheme.encrypt(b"dec", &mut rng));
+        assert_ne!(
+            scheme.encrypt(b"ra", &mut rng),
+            scheme.encrypt(b"dec", &mut rng)
+        );
     }
 
     #[test]
     fn roundtrip() {
         let (scheme, mut rng) = setup();
-        for msg in [&b""[..], b"x", b"a considerably longer attribute value 123.456"] {
+        for msg in [
+            &b""[..],
+            b"x",
+            b"a considerably longer attribute value 123.456",
+        ] {
             let ct = scheme.encrypt(msg, &mut rng);
             assert_eq!(scheme.decrypt(&ct).unwrap(), msg);
         }
@@ -116,7 +129,10 @@ mod tests {
         let mut ct = scheme.encrypt(b"specobj", &mut rng);
         let last = ct.0.len() - 1;
         ct.0[last] ^= 1;
-        assert_eq!(scheme.decrypt(&ct).unwrap_err(), CryptoError::IntegrityCheckFailed);
+        assert_eq!(
+            scheme.decrypt(&ct).unwrap_err(),
+            CryptoError::IntegrityCheckFailed
+        );
     }
 
     #[test]
@@ -124,7 +140,10 @@ mod tests {
         let (scheme, mut rng) = setup();
         let other = DetScheme::new(&SymmetricKey::from_bytes([9; 32]));
         let ct = scheme.encrypt(b"neighbors", &mut rng);
-        assert_eq!(other.decrypt(&ct).unwrap_err(), CryptoError::IntegrityCheckFailed);
+        assert_eq!(
+            other.decrypt(&ct).unwrap_err(),
+            CryptoError::IntegrityCheckFailed
+        );
     }
 
     #[test]

@@ -23,11 +23,20 @@ pub enum CryptoError {
 impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CryptoError::CiphertextTooShort { expected_at_least, got } => {
-                write!(f, "ciphertext too short: need ≥ {expected_at_least} bytes, got {got}")
+            CryptoError::CiphertextTooShort {
+                expected_at_least,
+                got,
+            } => {
+                write!(
+                    f,
+                    "ciphertext too short: need ≥ {expected_at_least} bytes, got {got}"
+                )
             }
             CryptoError::IntegrityCheckFailed => {
-                write!(f, "ciphertext failed integrity verification (wrong key or corrupted)")
+                write!(
+                    f,
+                    "ciphertext failed integrity verification (wrong key or corrupted)"
+                )
             }
             CryptoError::UnsupportedPlaintext(msg) => {
                 write!(f, "unsupported plaintext: {msg}")

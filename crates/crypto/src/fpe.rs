@@ -145,7 +145,10 @@ pub struct FpeScheme {
 impl FpeScheme {
     /// Builds the scheme for `alphabet` under `key`.
     pub fn new(key: &SymmetricKey, alphabet: Alphabet) -> Self {
-        FpeScheme { key: key.clone(), alphabet }
+        FpeScheme {
+            key: key.clone(),
+            alphabet,
+        }
     }
 
     /// The scheme's alphabet.
@@ -205,7 +208,11 @@ impl FpeScheme {
         for r in rounds {
             // Even rounds modify A from B; odd rounds modify B from A —
             // fixed data flow so decryption is the exact mirror.
-            let (target, source) = if r % 2 == 0 { (&mut a, &b) } else { (&mut b, &a) };
+            let (target, source) = if r % 2 == 0 {
+                (&mut a, &b)
+            } else {
+                (&mut b, &a)
+            };
             let pad = self.round_digits(r, source, tweak, target.len());
             if forward {
                 numeral_add(target, &pad, self.alphabet.radix());
@@ -287,10 +294,19 @@ mod tests {
     #[test]
     fn roundtrip_lowercase() {
         let s = scheme(Alphabet::lowercase());
-        for pt in ["ab", "skyserver", "photoobj", "zz", "aaaaaaaaaaaaaaaaaaaaaaaaaa"] {
+        for pt in [
+            "ab",
+            "skyserver",
+            "photoobj",
+            "zz",
+            "aaaaaaaaaaaaaaaaaaaaaaaaaa",
+        ] {
             let ct = s.encrypt_str(pt, b"t").unwrap();
             assert_eq!(ct.len(), pt.len(), "length not preserved for {pt:?}");
-            assert!(s.alphabet().spells(&ct), "ciphertext leaves alphabet: {ct:?}");
+            assert!(
+                s.alphabet().spells(&ct),
+                "ciphertext leaves alphabet: {ct:?}"
+            );
             assert_eq!(s.decrypt_str(&ct, b"t").unwrap(), pt);
         }
     }
@@ -359,7 +375,10 @@ mod tests {
             s.encrypt_str("Hello", b""),
             Err(CryptoError::UnsupportedPlaintext(_))
         ));
-        assert!(matches!(s.encrypt_str("", b""), Err(CryptoError::UnsupportedPlaintext(_))));
+        assert!(matches!(
+            s.encrypt_str("", b""),
+            Err(CryptoError::UnsupportedPlaintext(_))
+        ));
     }
 
     #[test]
@@ -387,7 +406,9 @@ mod tests {
     fn odd_lengths_roundtrip() {
         let s = scheme(Alphabet::alphanumeric());
         for len in 2..20 {
-            let pt: String = (0..len).map(|i| char::from(b'a' + (i % 26) as u8)).collect();
+            let pt: String = (0..len)
+                .map(|i| char::from(b'a' + (i % 26) as u8))
+                .collect();
             let ct = s.encrypt_str(&pt, b"odd").unwrap();
             assert_eq!(s.decrypt_str(&ct, b"odd").unwrap(), pt);
         }

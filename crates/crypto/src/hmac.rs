@@ -33,7 +33,10 @@ pub fn verify_hmac(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
     if tag.len() != expect.len() {
         return false;
     }
-    tag.iter().zip(expect.iter()).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+    tag.iter()
+        .zip(expect.iter())
+        .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+        == 0
 }
 
 #[cfg(test)]
@@ -75,7 +78,10 @@ mod tests {
     fn rfc4231_case_6_long_key() {
         let key = [0xaau8; 131];
         assert_eq!(
-            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn random_keys_differ() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert_ne!(SymmetricKey::random(&mut rng), SymmetricKey::random(&mut rng));
+        assert_ne!(
+            SymmetricKey::random(&mut rng),
+            SymmetricKey::random(&mut rng)
+        );
     }
 
     #[test]

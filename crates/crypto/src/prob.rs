@@ -20,7 +20,9 @@ pub struct ProbScheme {
 impl ProbScheme {
     /// Builds the scheme from a symmetric key.
     pub fn new(key: &SymmetricKey) -> Self {
-        ProbScheme { aes: Aes::new_256(key.as_bytes()) }
+        ProbScheme {
+            aes: Aes::new_256(key.as_bytes()),
+        }
     }
 }
 
@@ -38,7 +40,10 @@ impl SymmetricScheme for ProbScheme {
     fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u8>, CryptoError> {
         let bytes = ciphertext.as_bytes();
         if bytes.len() < 12 {
-            return Err(CryptoError::CiphertextTooShort { expected_at_least: 12, got: bytes.len() });
+            return Err(CryptoError::CiphertextTooShort {
+                expected_at_least: 12,
+                got: bytes.len(),
+            });
         }
         let nonce: [u8; 12] = bytes[..12].try_into().unwrap();
         let mut body = bytes[12..].to_vec();
@@ -58,7 +63,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (ProbScheme, StdRng) {
-        (ProbScheme::new(&SymmetricKey::from_bytes([5; 32])), StdRng::seed_from_u64(11))
+        (
+            ProbScheme::new(&SymmetricKey::from_bytes([5; 32])),
+            StdRng::seed_from_u64(11),
+        )
     }
 
     #[test]

@@ -49,7 +49,16 @@ pub struct Interval {
 impl Interval {
     /// Closed interval `[lo, hi]`; `None` when empty (`lo > hi`).
     pub fn closed(lo: i64, hi: i64) -> Option<Interval> {
-        Interval::new(Endpoint { value: lo, open: false }, Endpoint { value: hi, open: false })
+        Interval::new(
+            Endpoint {
+                value: lo,
+                open: false,
+            },
+            Endpoint {
+                value: hi,
+                open: false,
+            },
+        )
     }
 
     /// General constructor; `None` when the interval is empty.
@@ -95,7 +104,9 @@ impl IntervalSet {
 
     /// A single interval (or empty).
     pub fn from_interval(i: Option<Interval>) -> Self {
-        IntervalSet { intervals: i.into_iter().collect() }
+        IntervalSet {
+            intervals: i.into_iter().collect(),
+        }
     }
 
     /// `true` iff no points.
@@ -156,16 +167,28 @@ impl IntervalSet {
     /// Complement within the closed domain `[lo, hi]`.
     pub fn complement(&self, domain_lo: i64, domain_hi: i64) -> IntervalSet {
         let mut raw = Vec::new();
-        let mut cursor = Endpoint { value: domain_lo, open: false };
+        let mut cursor = Endpoint {
+            value: domain_lo,
+            open: false,
+        };
         for iv in &self.intervals {
             // Gap before iv: [cursor, flip(iv.lo)).
-            let gap_hi = Endpoint { value: iv.lo.value, open: !iv.lo.open };
+            let gap_hi = Endpoint {
+                value: iv.lo.value,
+                open: !iv.lo.open,
+            };
             if let Some(g) = Interval::new(cursor, gap_hi) {
                 raw.push(g);
             }
-            cursor = Endpoint { value: iv.hi.value, open: !iv.hi.open };
+            cursor = Endpoint {
+                value: iv.hi.value,
+                open: !iv.hi.open,
+            };
         }
-        let end = Endpoint { value: domain_hi, open: false };
+        let end = Endpoint {
+            value: domain_hi,
+            open: false,
+        };
         if let Some(g) = Interval::new(cursor, end) {
             raw.push(g);
         }
@@ -384,13 +407,19 @@ fn eval_region(
             empty_area(domain)
         }),
         Expr::And(a, b) => {
-            match (eval_region(a, attribute, domain)?, eval_region(b, attribute, domain)?) {
+            match (
+                eval_region(a, attribute, domain)?,
+                eval_region(b, attribute, domain)?,
+            ) {
                 (Region::Unconstrained, r) | (r, Region::Unconstrained) => r,
                 (Region::Area(x), Region::Area(y)) => Region::Area(intersect_area(&x, &y)),
             }
         }
         Expr::Or(a, b) => {
-            match (eval_region(a, attribute, domain)?, eval_region(b, attribute, domain)?) {
+            match (
+                eval_region(a, attribute, domain)?,
+                eval_region(b, attribute, domain)?,
+            ) {
                 // `pred(A) OR pred(B)` does not bound A.
                 (Region::Unconstrained, _) | (_, Region::Unconstrained) => Region::Unconstrained,
                 (Region::Area(x), Region::Area(y)) => Region::Area(union_area(&x, &y)),
@@ -417,13 +446,25 @@ fn comparison_area(op: CompareOp, value: &Literal, domain: &AttributeDomain) -> 
                     IntervalSet::from_interval(Interval::closed(c, c)).complement(lo, hi)
                 }
                 CompareOp::Lt => IntervalSet::from_interval(Interval::new(
-                    Endpoint { value: lo, open: false },
-                    Endpoint { value: c, open: true },
+                    Endpoint {
+                        value: lo,
+                        open: false,
+                    },
+                    Endpoint {
+                        value: c,
+                        open: true,
+                    },
                 )),
                 CompareOp::Le => IntervalSet::from_interval(Interval::closed(lo, c)),
                 CompareOp::Gt => IntervalSet::from_interval(Interval::new(
-                    Endpoint { value: c, open: true },
-                    Endpoint { value: hi, open: false },
+                    Endpoint {
+                        value: c,
+                        open: true,
+                    },
+                    Endpoint {
+                        value: hi,
+                        open: false,
+                    },
                 )),
                 CompareOp::Ge => IntervalSet::from_interval(Interval::closed(c, hi)),
             };
@@ -432,10 +473,9 @@ fn comparison_area(op: CompareOp, value: &Literal, domain: &AttributeDomain) -> 
         (AttributeDomain::Categorical(cats), Literal::Str(s)) => {
             let mut selected = BTreeSet::new();
             match op {
-                CompareOp::Eq
-                    if cats.contains(s) => {
-                        selected.insert(s.clone());
-                    }
+                CompareOp::Eq if cats.contains(s) => {
+                    selected.insert(s.clone());
+                }
                 CompareOp::Ne => {
                     selected = cats.iter().filter(|c| *c != s).cloned().collect();
                 }
@@ -577,7 +617,10 @@ mod tests {
         c.insert(
             "class",
             AttributeDomain::Categorical(
-                ["STAR", "GALAXY", "QSO"].iter().map(|s| s.to_string()).collect(),
+                ["STAR", "GALAXY", "QSO"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             ),
         );
         c
@@ -600,8 +643,14 @@ mod tests {
         assert!(Interval::closed(5, 4).is_none());
         assert!(Interval::closed(5, 5).is_some());
         assert!(Interval::new(
-            Endpoint { value: 5, open: true },
-            Endpoint { value: 5, open: false }
+            Endpoint {
+                value: 5,
+                open: true
+            },
+            Endpoint {
+                value: 5,
+                open: false
+            }
         )
         .is_none());
     }
@@ -610,12 +659,24 @@ mod tests {
     fn open_adjacent_intervals_do_not_merge() {
         // (1,2) ∪ (2,3): the point 2 is missing → two components.
         let a = IntervalSet::from_interval(Interval::new(
-            Endpoint { value: 1, open: true },
-            Endpoint { value: 2, open: true },
+            Endpoint {
+                value: 1,
+                open: true,
+            },
+            Endpoint {
+                value: 2,
+                open: true,
+            },
         ));
         let b = IntervalSet::from_interval(Interval::new(
-            Endpoint { value: 2, open: true },
-            Endpoint { value: 3, open: true },
+            Endpoint {
+                value: 2,
+                open: true,
+            },
+            Endpoint {
+                value: 3,
+                open: true,
+            },
         ));
         assert_eq!(a.union(&b).intervals().len(), 2);
     }
@@ -625,8 +686,14 @@ mod tests {
         // [1,2] ∪ (2,3] = [1,3].
         let a = IntervalSet::from_interval(Interval::closed(1, 2));
         let b = IntervalSet::from_interval(Interval::new(
-            Endpoint { value: 2, open: true },
-            Endpoint { value: 3, open: false },
+            Endpoint {
+                value: 2,
+                open: true,
+            },
+            Endpoint {
+                value: 3,
+                open: false,
+            },
         ));
         let u = a.union(&b);
         assert_eq!(u.intervals().len(), 1);
@@ -656,8 +723,14 @@ mod tests {
     fn intersect_open_closed_boundary() {
         // (5, 10] ∩ [5, 5] = ∅ — the open bound excludes 5.
         let gt5 = IntervalSet::from_interval(Interval::new(
-            Endpoint { value: 5, open: true },
-            Endpoint { value: 10, open: false },
+            Endpoint {
+                value: 5,
+                open: true,
+            },
+            Endpoint {
+                value: 10,
+                open: false,
+            },
         ));
         let eq5 = IntervalSet::from_interval(Interval::closed(5, 5));
         assert!(gt5.intersect(&eq5).is_empty());
@@ -684,8 +757,14 @@ mod tests {
     fn range_predicate_extracts_half_open() {
         let a = area("SELECT ra FROM photoobj WHERE ra > 100", "ra").unwrap();
         let expect = AccessArea::Intervals(IntervalSet::from_interval(Interval::new(
-            Endpoint { value: 100, open: true },
-            Endpoint { value: 360, open: false },
+            Endpoint {
+                value: 100,
+                open: true,
+            },
+            Endpoint {
+                value: 360,
+                open: false,
+            },
         )));
         assert_eq!(a, expect);
     }
@@ -694,8 +773,14 @@ mod tests {
     fn and_intersects_or_unions() {
         let a = area("SELECT ra FROM t WHERE ra > 100 AND ra <= 200", "ra").unwrap();
         let expect = AccessArea::Intervals(IntervalSet::from_interval(Interval::new(
-            Endpoint { value: 100, open: true },
-            Endpoint { value: 200, open: false },
+            Endpoint {
+                value: 100,
+                open: true,
+            },
+            Endpoint {
+                value: 200,
+                open: false,
+            },
         )));
         assert_eq!(a, expect);
 
@@ -737,12 +822,20 @@ mod tests {
         let a = area("SELECT ra FROM t WHERE class IN ('STAR', 'QSO')", "class").unwrap();
         assert_eq!(
             a,
-            AccessArea::Categories(["STAR".to_string(), "QSO".to_string()].into_iter().collect())
+            AccessArea::Categories(
+                ["STAR".to_string(), "QSO".to_string()]
+                    .into_iter()
+                    .collect()
+            )
         );
         let a = area("SELECT ra FROM t WHERE class != 'STAR'", "class").unwrap();
         assert_eq!(
             a,
-            AccessArea::Categories(["GALAXY".to_string(), "QSO".to_string()].into_iter().collect())
+            AccessArea::Categories(
+                ["GALAXY".to_string(), "QSO".to_string()]
+                    .into_iter()
+                    .collect()
+            )
         );
     }
 
@@ -759,19 +852,34 @@ mod tests {
 
     #[test]
     fn identical_queries_zero() {
-        assert_eq!(d("SELECT ra FROM t WHERE ra > 10", "SELECT ra FROM t WHERE ra > 10"), 0.0);
+        assert_eq!(
+            d(
+                "SELECT ra FROM t WHERE ra > 10",
+                "SELECT ra FROM t WHERE ra > 10"
+            ),
+            0.0
+        );
     }
 
     #[test]
     fn equal_areas_different_text_zero() {
         // `ra > 10` and `NOT ra <= 10` describe the same region.
-        assert_eq!(d("SELECT ra FROM t WHERE ra > 10", "SELECT ra FROM t WHERE NOT ra <= 10"), 0.0);
+        assert_eq!(
+            d(
+                "SELECT ra FROM t WHERE ra > 10",
+                "SELECT ra FROM t WHERE NOT ra <= 10"
+            ),
+            0.0
+        );
     }
 
     #[test]
     fn overlap_scores_x() {
         assert_eq!(
-            d("SELECT ra FROM t WHERE ra BETWEEN 0 AND 100", "SELECT ra FROM t WHERE ra BETWEEN 50 AND 150"),
+            d(
+                "SELECT ra FROM t WHERE ra BETWEEN 0 AND 100",
+                "SELECT ra FROM t WHERE ra BETWEEN 50 AND 150"
+            ),
             0.5
         );
     }
@@ -779,7 +887,10 @@ mod tests {
     #[test]
     fn disjoint_scores_one() {
         assert_eq!(
-            d("SELECT ra FROM t WHERE ra < 50", "SELECT ra FROM t WHERE ra > 100"),
+            d(
+                "SELECT ra FROM t WHERE ra < 50",
+                "SELECT ra FROM t WHERE ra > 100"
+            ),
             1.0
         );
     }

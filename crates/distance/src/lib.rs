@@ -12,11 +12,20 @@
 //! overlap score δ ∈ {0, x, 1}.
 //!
 //! [`measure::QueryDistance`] is the common trait; [`matrix::DistanceMatrix`]
-//! materializes pairwise distances for the mining algorithms. All distances
-//! are **exact** rational computations rendered into `f64` as a final step:
-//! numerator and denominator are set cardinalities, so checking the DPE
-//! property `d(Enc(x), Enc(y)) = d(x, y)` with `==` is sound — both sides
-//! round the same rational the same way.
+//! materializes pairwise distances for the mining algorithms. The matrix
+//! engine stores only the strict upper triangle (`n(n−1)/2` packed cells —
+//! half the memory of a full n×n grid), grows **incrementally**
+//! ([`matrix::DistanceMatrix::extend`] / [`matrix::MatrixBuilder`] compute
+//! only the new pairs when queries are appended), and parallelizes over
+//! contiguous row ranges written in place, with
+//! [`matrix::QueryDistanceFactory`] handing each worker its own measure —
+//! so even the engine-backed result-distance measure runs on the parallel
+//! path via [`result_distance::ResultDistanceFactory`].
+//!
+//! All distances are **exact** rational computations rendered into `f64`
+//! as a final step: numerator and denominator are set cardinalities, so
+//! checking the DPE property `d(Enc(x), Enc(y)) = d(x, y)` with `==` is
+//! sound — both sides round the same rational the same way.
 
 pub mod access_area;
 pub mod jaccard;
@@ -28,8 +37,8 @@ pub mod token_distance;
 
 pub use access_area::{AccessAreaDistance, AttributeDomain, DomainCatalog, IntervalSet};
 pub use jaccard::jaccard_distance;
-pub use matrix::DistanceMatrix;
+pub use matrix::{DistanceMatrix, MatrixBuilder, QueryDistanceFactory};
 pub use measure::{DistanceError, QueryDistance};
-pub use result_distance::ResultDistance;
+pub use result_distance::{ResultConnection, ResultDistance, ResultDistanceFactory};
 pub use structure_distance::StructureDistance;
 pub use token_distance::TokenDistance;

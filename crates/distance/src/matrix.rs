@@ -1,117 +1,256 @@
 //! Pairwise distance matrices for the mining algorithms.
 //!
 //! Computing the matrix is the O(n²) heart of the outsourced-mining
-//! pipeline; [`DistanceMatrix::compute_parallel`] spreads the rows over
-//! std scoped threads for the measures that are pure functions
-//! (token, structure, access-area — result distance executes queries
-//! against the engine and is driven through the sequential path). Both
-//! paths produce bit-identical matrices; the `matrix_parallel` bench
-//! quantifies the speed-up.
+//! pipeline, so the engine here is built for scale:
+//!
+//! * **Packed storage.** A [`DistanceMatrix`] is symmetric with a zero
+//!   diagonal, so only the strict upper triangle is materialized —
+//!   `n(n−1)/2` cells instead of `n²`, halving memory. Cell `(i, j)` with
+//!   `i < j` lives at `j(j−1)/2 + i`: all distances from item `j` to the
+//!   items before it form one contiguous *row slice*, which is what makes
+//!   both incremental growth and range-parallelism cheap.
+//! * **Incremental growth.** Appending item `n` appends exactly `n` cells
+//!   at the end of the packed buffer — no re-indexing of existing cells.
+//!   [`DistanceMatrix::extend`] grows a matrix by `m` queries with exactly
+//!   `m·n + m(m−1)/2` distance calls, and [`MatrixBuilder`] owns the query
+//!   list so streaming workloads never recompute old pairs.
+//! * **Range parallelism.** [`DistanceMatrix::compute_parallel`] deals
+//!   contiguous row ranges (balanced by cell count, since row `j` costs `j`
+//!   calls) to std scoped threads; each worker writes directly into its
+//!   disjoint slice of the packed buffer — no per-row scratch allocations —
+//!   and a shared [`AtomicBool`] stops all workers as soon as one records
+//!   an error. Workers obtain their measure through a
+//!   [`QueryDistanceFactory`], so even the result-distance measure (which
+//!   executes queries against an engine) parallelizes: each worker gets its
+//!   own connection via [`crate::result_distance::ResultDistanceFactory`].
+//!
+//! Both paths produce bit-identical matrices — every cell is the value of
+//! the same single `measure.distance(&queries[i], &queries[j])` call with
+//! `i < j`, just made on a different thread — and the `matrix_packed` /
+//! `matrix_parallel` benches quantify the memory and wall-clock wins.
 
 use crate::measure::{DistanceError, QueryDistance};
 use dpe_sql::Query;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 
-/// A symmetric n×n distance matrix with zero diagonal.
+/// Hands each parallel worker its own distance-measure instance.
+///
+/// Pure measures (token, structure, access-area) are `Sync` and shared by
+/// reference — the blanket impl below makes any `QueryDistance + Sync`
+/// value its own factory, so `compute_parallel(&log, &TokenDistance, 4)`
+/// keeps working verbatim. Connection-oriented measures implement the
+/// trait explicitly and open one connection per worker in
+/// [`QueryDistanceFactory::connect`] — worker-private state like the
+/// result measure's per-connection query cache is exactly what the factory
+/// exists for, since such connections are `!Sync` by design (see
+/// [`crate::result_distance::ResultDistanceFactory`]).
+pub trait QueryDistanceFactory: Sync {
+    /// The per-worker measure handed out by [`QueryDistanceFactory::connect`].
+    type Connection<'a>: QueryDistance
+    where
+        Self: 'a;
+
+    /// Opens a measure instance for one worker thread.
+    fn connect(&self) -> Self::Connection<'_>;
+}
+
+impl<M: QueryDistance + Sync> QueryDistanceFactory for M {
+    type Connection<'a>
+        = &'a M
+    where
+        Self: 'a;
+
+    fn connect(&self) -> &M {
+        self
+    }
+}
+
+/// A symmetric n×n distance matrix with zero diagonal, stored as the
+/// strict upper triangle packed into `n(n−1)/2` cells.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
     n: usize,
-    /// Row-major full storage; symmetric by construction.
+    /// Packed triangle: cell `(i, j)` with `i < j` at `j(j−1)/2 + i`.
     data: Vec<f64>,
 }
 
+/// Number of packed cells for `n` items.
+#[inline]
+fn packed_cells(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
 impl DistanceMatrix {
+    /// The empty matrix (grow it with [`DistanceMatrix::extend`]).
+    pub fn new() -> DistanceMatrix {
+        DistanceMatrix {
+            n: 0,
+            data: Vec::new(),
+        }
+    }
+
     /// Computes all pairwise distances of `queries` under `measure`.
     pub fn compute<M: QueryDistance>(
         queries: &[Query],
         measure: &M,
     ) -> Result<DistanceMatrix, DistanceError> {
-        let n = queries.len();
-        let mut data = vec![0.0; n * n];
-        for i in 0..n {
-            for j in i + 1..n {
-                let d = measure.distance(&queries[i], &queries[j])?;
-                data[i * n + j] = d;
-                data[j * n + i] = d;
+        let mut m = DistanceMatrix::new();
+        m.extend(&[], queries, measure)?;
+        Ok(m)
+    }
+
+    /// Appends `new` queries to a matrix currently covering `existing`,
+    /// computing **only the new pairs**: exactly `m·n + m(m−1)/2` distance
+    /// calls for `m` new queries on top of `n` existing ones. Existing
+    /// cells are untouched (appending item `t` appends `t` cells at the end
+    /// of the packed buffer), so the result is bit-identical to a full
+    /// recompute over the concatenated list.
+    ///
+    /// On error the matrix is left exactly as it was. Panics when
+    /// `existing.len()` differs from the matrix size.
+    pub fn extend<M: QueryDistance>(
+        &mut self,
+        existing: &[Query],
+        new: &[Query],
+        measure: &M,
+    ) -> Result<(), DistanceError> {
+        assert_eq!(
+            existing.len(),
+            self.n,
+            "extend: matrix covers {} queries but {} were passed as existing",
+            self.n,
+            existing.len()
+        );
+        let old_cells = self.data.len();
+        self.data
+            .reserve_exact(packed_cells(self.n + new.len()) - old_cells);
+        for (a, q) in new.iter().enumerate() {
+            for i in 0..self.n + a {
+                let other = if i < self.n {
+                    &existing[i]
+                } else {
+                    &new[i - self.n]
+                };
+                match measure.distance(other, q) {
+                    Ok(d) => self.data.push(d),
+                    Err(e) => {
+                        self.data.truncate(old_cells);
+                        return Err(e);
+                    }
+                }
             }
         }
-        Ok(DistanceMatrix { n, data })
+        self.n += new.len();
+        Ok(())
     }
 
     /// Computes all pairwise distances in parallel over `threads` workers.
     ///
-    /// Rows are dealt out round-robin (row `i` costs `n − i` distance
-    /// calls, so striding balances the triangle). The result is
-    /// bit-identical to [`DistanceMatrix::compute`]: every cell is produced
-    /// by the same single `measure.distance` call, just on a different
-    /// thread. Requires a `Sync` measure — the three log-only measures are;
-    /// the result measure (which mutates an engine connection) is not, and
-    /// keeps using the sequential path.
-    pub fn compute_parallel<M: QueryDistance + Sync>(
+    /// The packed rows `1..n` (row `j` = the `j` cells `(0..j, j)`, one
+    /// contiguous slice) are dealt out as contiguous ranges balanced by
+    /// cell count; each worker writes straight into its disjoint slice of
+    /// the packed buffer, so the parallel path allocates **no** scratch
+    /// beyond the result itself. A shared flag makes every worker stop at
+    /// the next cell once any worker has recorded an error, and the first
+    /// (lowest-range) error is reported.
+    ///
+    /// The result is bit-identical to [`DistanceMatrix::compute`]: every
+    /// cell is produced by the same single `distance` call, just on a
+    /// different thread. Workers draw their measure from the
+    /// [`QueryDistanceFactory`] — pass a pure `Sync` measure directly, or a
+    /// factory such as [`crate::result_distance::ResultDistanceFactory`]
+    /// to give each worker its own engine connection.
+    pub fn compute_parallel<F: QueryDistanceFactory>(
         queries: &[Query],
-        measure: &M,
+        factory: &F,
         threads: usize,
     ) -> Result<DistanceMatrix, DistanceError> {
         let n = queries.len();
-        let threads = threads.max(1).min(n.max(1));
-        // Each worker fills disjoint rows of its own result buffer slice;
-        // errors are collected per worker and the first one is reported.
-        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); n];
-        let row_refs: Vec<(usize, &mut Vec<f64>)> = rows.iter_mut().enumerate().collect();
-        let mut failure: Vec<Option<DistanceError>> = vec![None; threads];
+        let cells = packed_cells(n);
+        if cells == 0 {
+            return Ok(DistanceMatrix {
+                n,
+                data: Vec::new(),
+            });
+        }
+        let threads = threads.clamp(1, n - 1);
+        let mut data = vec![0.0f64; cells];
+        let stop = AtomicBool::new(false);
+        let mut failures: Vec<Option<DistanceError>> = (0..threads).map(|_| None).collect();
 
         std::thread::scope(|scope| {
-            let mut work: Vec<Vec<(usize, &mut Vec<f64>)>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for (idx, item) in row_refs.into_iter().enumerate() {
-                work[idx % threads].push(item);
-            }
-            for (chunk, fail_slot) in work.into_iter().zip(failure.iter_mut()) {
+            let stop = &stop;
+            let mut rest: &mut [f64] = &mut data;
+            let mut row = 1usize;
+            let mut offset = 0usize;
+            for (w, fail_slot) in failures.iter_mut().enumerate() {
+                // Grow the range row by row until it covers this worker's
+                // share of the cells (row j costs j calls, so equal cell
+                // counts balance the triangle).
+                let target = (w + 1) * cells / threads;
+                let (mut end_row, mut end_offset) = (row, offset);
+                while end_row < n && end_offset < target {
+                    end_offset += end_row;
+                    end_row += 1;
+                }
+                if w == threads - 1 {
+                    (end_row, end_offset) = (n, cells);
+                }
+                let (chunk, tail) = rest.split_at_mut(end_offset - offset);
+                rest = tail;
+                let rows = row..end_row;
+                (row, offset) = (end_row, end_offset);
                 scope.spawn(move || {
-                    for (i, row) in chunk {
-                        let mut filled = vec![0.0f64; n];
-                        for (j, cell) in filled.iter_mut().enumerate().skip(i + 1) {
+                    let measure = factory.connect();
+                    let mut cell = chunk.iter_mut();
+                    for j in rows {
+                        for i in 0..j {
+                            if stop.load(AtomicOrdering::Relaxed) {
+                                return;
+                            }
                             match measure.distance(&queries[i], &queries[j]) {
-                                Ok(d) => *cell = d,
+                                Ok(d) => *cell.next().expect("chunk sized to its rows") = d,
                                 Err(e) => {
                                     *fail_slot = Some(e);
+                                    stop.store(true, AtomicOrdering::Relaxed);
                                     return;
                                 }
                             }
                         }
-                        *row = filled;
                     }
                 });
             }
         });
 
-        if let Some(e) = failure.into_iter().flatten().next() {
+        if let Some(e) = failures.into_iter().flatten().next() {
             return Err(e);
-        }
-
-        // Assemble: copy each upper-triangle row and mirror it.
-        let mut data = vec![0.0f64; n * n];
-        for (i, row) in rows.iter().enumerate() {
-            for j in i + 1..n {
-                let d = row[j];
-                data[i * n + j] = d;
-                data[j * n + i] = d;
-            }
         }
         Ok(DistanceMatrix { n, data })
     }
 
     /// Builds a matrix from a symmetric closure over indices (for tests and
-    /// synthetic mining inputs).
+    /// synthetic mining inputs). `f` is called once per pair with `i < j`.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> DistanceMatrix {
-        let mut data = vec![0.0; n * n];
-        for i in 0..n {
-            for j in i + 1..n {
-                let d = f(i, j);
-                data[i * n + j] = d;
-                data[j * n + i] = d;
+        let mut m = DistanceMatrix::new();
+        m.extend_with(n, &mut f);
+        m
+    }
+
+    /// Appends `m` items whose distances come from a closure over global
+    /// indices (`f(i, t)` with `i < t`, `t` being the new item's index) —
+    /// the infallible, measure-free analogue of [`DistanceMatrix::extend`]
+    /// for streaming non-SQL workloads (e.g. graph corpora).
+    pub fn extend_with(&mut self, m: usize, mut f: impl FnMut(usize, usize) -> f64) {
+        let total = self.n + m;
+        self.data
+            .reserve_exact(packed_cells(total) - self.data.len());
+        for t in self.n..total {
+            for i in 0..t {
+                self.data.push(f(i, t));
             }
         }
-        DistanceMatrix { n, data }
+        self.n = total;
     }
 
     /// Number of items.
@@ -124,10 +263,24 @@ impl DistanceMatrix {
         self.n == 0
     }
 
+    /// Number of stored cells — always exactly `n(n−1)/2`.
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
     /// Distance between items `i` and `j`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.data[i * self.n + j]
+        debug_assert!(
+            i < self.n && j < self.n,
+            "({i}, {j}) out of bounds (n={})",
+            self.n
+        );
+        match i.cmp(&j) {
+            Ordering::Equal => 0.0,
+            Ordering::Less => self.data[j * (j - 1) / 2 + i],
+            Ordering::Greater => self.data[i * (i - 1) / 2 + j],
+        }
     }
 
     /// `true` iff the two matrices are bit-identical — the strongest form of
@@ -153,11 +306,116 @@ impl DistanceMatrix {
     }
 }
 
+impl Default for DistanceMatrix {
+    fn default() -> Self {
+        DistanceMatrix::new()
+    }
+}
+
+/// Owns a query list together with its distance matrix and grows both
+/// incrementally — the streaming front-end over
+/// [`DistanceMatrix::extend`]. Pushing query number `n` costs exactly `n`
+/// distance calls; nothing already computed is ever recomputed, so a
+/// workload that trickles in pays the same total cost as one batch
+/// computation.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixBuilder {
+    queries: Vec<Query>,
+    matrix: DistanceMatrix,
+}
+
+impl MatrixBuilder {
+    /// An empty builder.
+    pub fn new() -> MatrixBuilder {
+        MatrixBuilder::default()
+    }
+
+    /// Appends one query, computing its distances to every query already
+    /// held. Returns the new query's index. On error the builder is
+    /// unchanged.
+    pub fn push<M: QueryDistance>(
+        &mut self,
+        query: Query,
+        measure: &M,
+    ) -> Result<usize, DistanceError> {
+        self.matrix
+            .extend(&self.queries, std::slice::from_ref(&query), measure)?;
+        self.queries.push(query);
+        Ok(self.queries.len() - 1)
+    }
+
+    /// Appends a batch of queries (only the new pairs are computed). On
+    /// error the builder is unchanged and the caller keeps the batch, so a
+    /// failed batch can be fixed up and retried.
+    pub fn extend<M: QueryDistance>(
+        &mut self,
+        new: &[Query],
+        measure: &M,
+    ) -> Result<(), DistanceError> {
+        self.matrix.extend(&self.queries, new, measure)?;
+        self.queries.extend_from_slice(new);
+        Ok(())
+    }
+
+    /// Queries held so far, in insertion order (matrix indices match).
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The matrix over all queries pushed so far.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// Number of queries held.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Consumes the builder, returning the query list and the matrix.
+    pub fn into_parts(self) -> (Vec<Query>, DistanceMatrix) {
+        (self.queries, self.matrix)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::token_distance::TokenDistance;
     use dpe_sql::parse_query;
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT ra, a{} FROM t{} WHERE objid = {}",
+                    i % 4,
+                    i % 3,
+                    i * 7
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    /// Counts `distance` calls; single-threaded use only.
+    struct Counting(Cell<usize>);
+    impl QueryDistance for Counting {
+        fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError> {
+            self.0.set(self.0.get() + 1);
+            TokenDistance.distance(a, b)
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
 
     #[test]
     fn symmetric_zero_diagonal() {
@@ -180,6 +438,16 @@ mod tests {
     }
 
     #[test]
+    fn storage_is_packed_to_the_triangle() {
+        for n in [0usize, 1, 2, 5, 33] {
+            let m = DistanceMatrix::from_fn(n, |i, j| (i + j) as f64);
+            assert_eq!(m.packed_len(), n * n.saturating_sub(1) / 2, "n = {n}");
+        }
+        let m = DistanceMatrix::compute(&queries(20), &TokenDistance).unwrap();
+        assert_eq!(m.packed_len(), 20 * 19 / 2);
+    }
+
+    #[test]
     fn identical_and_diff() {
         let a = DistanceMatrix::from_fn(3, |i, j| (i + j) as f64 / 10.0);
         let b = a.clone();
@@ -197,17 +465,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_bitwise() {
-        let queries: Vec<_> = (0..25)
-            .map(|i| {
-                parse_query(&format!(
-                    "SELECT ra, a{} FROM t{} WHERE objid = {}",
-                    i % 4,
-                    i % 3,
-                    i * 7
-                ))
-                .unwrap()
-            })
-            .collect();
+        let queries = queries(25);
         let seq = DistanceMatrix::compute(&queries, &TokenDistance).unwrap();
         for threads in [1, 2, 4, 7, 64] {
             let par = DistanceMatrix::compute_parallel(&queries, &TokenDistance, threads).unwrap();
@@ -226,11 +484,51 @@ mod tests {
                 "failing"
             }
         }
-        let queries: Vec<_> = (0..6)
-            .map(|i| parse_query(&format!("SELECT a FROM t WHERE b = {i}")).unwrap())
-            .collect();
+        let queries = queries(6);
         let err = DistanceMatrix::compute_parallel(&queries, &Failing, 3).unwrap_err();
         assert!(matches!(err, DistanceError::MissingDomain(_)));
+    }
+
+    #[test]
+    fn parallel_stops_early_after_first_error() {
+        /// Fails on the very first pair (0, 1); every other call sleeps a
+        /// little so the stop flag always wins the race by a wide margin.
+        struct FailFirst {
+            first: String,
+            second: String,
+            calls: AtomicUsize,
+        }
+        impl QueryDistance for FailFirst {
+            fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError> {
+                self.calls.fetch_add(1, AtomicOrdering::Relaxed);
+                if a.to_string() == self.first && b.to_string() == self.second {
+                    return Err(DistanceError::MissingDomain("first pair".into()));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                Ok(0.5)
+            }
+            fn name(&self) -> &'static str {
+                "fail-first"
+            }
+        }
+
+        let queries = queries(40);
+        let total_pairs = 40 * 39 / 2;
+        let measure = FailFirst {
+            first: queries[0].to_string(),
+            second: queries[1].to_string(),
+            calls: AtomicUsize::new(0),
+        };
+        let err = DistanceMatrix::compute_parallel(&queries, &measure, 4).unwrap_err();
+        assert!(matches!(err, DistanceError::MissingDomain(_)));
+        let calls = measure.calls.load(AtomicOrdering::Relaxed);
+        // Pair (0, 1) is the first cell of the first worker's range, so the
+        // flag is raised almost immediately; the other workers abandon
+        // their ranges at the next cell instead of finishing all 780 pairs.
+        assert!(
+            calls < 100,
+            "expected an early exit, measured {calls}/{total_pairs} calls"
+        );
     }
 
     #[test]
@@ -243,5 +541,113 @@ mod tests {
         assert!(DistanceMatrix::compute_parallel(&none, &TokenDistance, 8)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn extend_matches_batch_compute_bitwise() {
+        let all = queries(17);
+        let full = DistanceMatrix::compute(&all, &TokenDistance).unwrap();
+        for split in [0usize, 1, 8, 16, 17] {
+            let (head, tail) = all.split_at(split);
+            let mut m = DistanceMatrix::compute(head, &TokenDistance).unwrap();
+            m.extend(head, tail, &TokenDistance).unwrap();
+            assert!(full.identical(&m), "split = {split}");
+        }
+    }
+
+    #[test]
+    fn extend_computes_exactly_the_new_pairs() {
+        let all = queries(12);
+        let (head, tail) = all.split_at(8); // n = 8, m = 4
+        let mut m = DistanceMatrix::compute(head, &TokenDistance).unwrap();
+        let counting = Counting(Cell::new(0));
+        m.extend(head, tail, &counting).unwrap();
+        assert_eq!(counting.0.get(), 4 * 8 + 4 * 3 / 2, "m·n + m(m−1)/2");
+        assert_eq!(m.len(), 12);
+    }
+
+    #[test]
+    fn extend_rolls_back_on_error() {
+        struct FailOn(String);
+        impl QueryDistance for FailOn {
+            fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError> {
+                if a.to_string() == self.0 || b.to_string() == self.0 {
+                    return Err(DistanceError::MissingDomain("poison".into()));
+                }
+                TokenDistance.distance(a, b)
+            }
+            fn name(&self) -> &'static str {
+                "fail-on"
+            }
+        }
+        let all = queries(10);
+        let (head, tail) = all.split_at(7);
+        let mut m = DistanceMatrix::compute(head, &TokenDistance).unwrap();
+        let before = m.clone();
+        // Poison the *last* appended query so earlier rows already pushed
+        // must be rolled back too.
+        let err = m
+            .extend(head, tail, &FailOn(tail[2].to_string()))
+            .unwrap_err();
+        assert!(matches!(err, DistanceError::MissingDomain(_)));
+        assert!(
+            m.identical(&before),
+            "failed extend must leave the matrix untouched"
+        );
+        assert_eq!(m.packed_len(), before.packed_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "extend: matrix covers")]
+    fn extend_rejects_mismatched_existing() {
+        let all = queries(5);
+        let mut m = DistanceMatrix::compute(&all[..3], &TokenDistance).unwrap();
+        m.extend(&all[..2], &all[3..], &TokenDistance).unwrap();
+    }
+
+    #[test]
+    fn extend_with_matches_from_fn() {
+        let f = |i: usize, j: usize| ((i * 31 + j * 7) % 13) as f64 / 13.0;
+        let full = DistanceMatrix::from_fn(14, f);
+        let mut m = DistanceMatrix::from_fn(9, f);
+        m.extend_with(5, f);
+        assert!(full.identical(&m));
+    }
+
+    #[test]
+    fn builder_grows_incrementally_and_matches_batch() {
+        let all = queries(13);
+        let full = DistanceMatrix::compute(&all, &TokenDistance).unwrap();
+
+        let mut b = MatrixBuilder::new();
+        assert!(b.is_empty());
+        for q in &all[..5] {
+            b.push(q.clone(), &TokenDistance).unwrap();
+        }
+        b.extend(&all[5..], &TokenDistance).unwrap();
+        assert_eq!(b.len(), 13);
+        assert_eq!(b.queries(), &all[..]);
+        assert!(b.matrix().identical(&full));
+
+        let (qs, m) = b.into_parts();
+        assert_eq!(qs.len(), 13);
+        assert!(m.identical(&full));
+    }
+
+    #[test]
+    fn builder_push_costs_n_calls() {
+        let all = queries(7);
+        let mut b = MatrixBuilder::new();
+        let counting = Counting(Cell::new(0));
+        for (i, q) in all.iter().enumerate() {
+            let before = counting.0.get();
+            let idx = b.push(q.clone(), &counting).unwrap();
+            assert_eq!(idx, i);
+            assert_eq!(
+                counting.0.get() - before,
+                i,
+                "push #{i} must cost {i} calls"
+            );
+        }
     }
 }

@@ -44,3 +44,16 @@ pub trait QueryDistance {
     /// Short measure name as used in Table I.
     fn name(&self) -> &'static str;
 }
+
+/// Shared references measure through the referent, so `Sync` measures can
+/// be handed to parallel workers by reference (see
+/// [`crate::matrix::QueryDistanceFactory`]).
+impl<M: QueryDistance + ?Sized> QueryDistance for &M {
+    fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError> {
+        (**self).distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

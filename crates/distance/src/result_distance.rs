@@ -21,9 +21,14 @@
 //! in DESIGN.md §4b.
 
 use crate::jaccard::jaccard_distance;
+use crate::matrix::QueryDistanceFactory;
 use crate::measure::{DistanceError, QueryDistance};
-use dpe_minidb::{tagged_result_tuples, Database};
+use dpe_minidb::{tagged_result_tuples, Database, Row};
 use dpe_sql::Query;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Result distance against a fixed database state.
 pub struct ResultDistance<'db> {
@@ -49,6 +54,88 @@ impl QueryDistance for ResultDistance<'_> {
     }
 }
 
+/// One worker's engine connection: executes queries against the database
+/// and **memoizes each query's tagged result-tuple set**, so a query that
+/// appears in many pairs of the worker's matrix range executes once, not
+/// once per pair. The cache makes the connection deliberately `!Sync`
+/// (`RefCell` + `Rc`) — connections are private per-worker state, handed
+/// out by [`ResultDistanceFactory`]; share the cacheless [`ResultDistance`]
+/// instead if you want one `Sync` measure across threads.
+pub struct ResultConnection<'db> {
+    db: &'db Database,
+    cache: RefCell<HashMap<String, TaggedTuples>>,
+}
+
+/// One query's schema-tagged result-tuple set, shared across cache hits.
+type TaggedTuples = Rc<BTreeSet<(Vec<String>, Row)>>;
+
+impl<'db> ResultConnection<'db> {
+    /// Opens a connection with an empty result cache.
+    pub fn new(db: &'db Database) -> Self {
+        ResultConnection {
+            db,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn tuples(&self, q: &Query) -> Result<TaggedTuples, DistanceError> {
+        let key = q.to_string();
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        let tuples = Rc::new(tagged_result_tuples(self.db, q)?);
+        self.cache.borrow_mut().insert(key, Rc::clone(&tuples));
+        Ok(tuples)
+    }
+
+    /// Number of distinct queries executed (and memoized) so far.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+impl QueryDistance for ResultConnection<'_> {
+    fn distance(&self, a: &Query, b: &Query) -> Result<f64, DistanceError> {
+        let ta = self.tuples(a)?;
+        let tb = self.tuples(b)?;
+        Ok(jaccard_distance(&ta, &tb))
+    }
+
+    fn name(&self) -> &'static str {
+        "result"
+    }
+}
+
+/// Opens one caching [`ResultConnection`] per parallel worker, so the
+/// expensive query-executing measure runs on the parallel matrix path
+/// (`DistanceMatrix::compute_parallel`) instead of being locked to the
+/// sequential one. Each worker owns its cache: a query is executed at most
+/// once per worker instead of once per pair.
+pub struct ResultDistanceFactory<'db> {
+    db: &'db Database,
+}
+
+impl<'db> ResultDistanceFactory<'db> {
+    /// Binds the factory to a database; each [`connect`] call opens a fresh
+    /// connection with its own cache over it.
+    ///
+    /// [`connect`]: QueryDistanceFactory::connect
+    pub fn new(db: &'db Database) -> Self {
+        ResultDistanceFactory { db }
+    }
+}
+
+impl QueryDistanceFactory for ResultDistanceFactory<'_> {
+    type Connection<'a>
+        = ResultConnection<'a>
+    where
+        Self: 'a;
+
+    fn connect(&self) -> ResultConnection<'_> {
+        ResultConnection::new(self.db)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,7 +146,11 @@ mod tests {
         let mut db = Database::new();
         db.create_table(TableSchema::new(
             "photoobj",
-            vec![("objid", ColumnType::Int), ("ra", ColumnType::Int), ("class", ColumnType::Str)],
+            vec![
+                ("objid", ColumnType::Int),
+                ("ra", ColumnType::Int),
+                ("class", ColumnType::Str),
+            ],
         ))
         .unwrap();
         for (id, ra, class) in [
@@ -68,8 +159,11 @@ mod tests {
             (3, 200, "STAR"),
             (4, 250, "QSO"),
         ] {
-            db.insert("photoobj", vec![Value::Int(id), Value::Int(ra), Value::Str(class.into())])
-                .unwrap();
+            db.insert(
+                "photoobj",
+                vec![Value::Int(id), Value::Int(ra), Value::Str(class.into())],
+            )
+            .unwrap();
         }
         db
     }
@@ -85,7 +179,11 @@ mod tests {
         let db = db();
         // Different predicates selecting the same rows.
         assert_eq!(
-            d(&db, "SELECT objid FROM photoobj WHERE ra < 160", "SELECT objid FROM photoobj WHERE objid IN (1, 2)"),
+            d(
+                &db,
+                "SELECT objid FROM photoobj WHERE ra < 160",
+                "SELECT objid FROM photoobj WHERE objid IN (1, 2)"
+            ),
             0.0
         );
     }
@@ -94,7 +192,11 @@ mod tests {
     fn disjoint_results_distance_one() {
         let db = db();
         assert_eq!(
-            d(&db, "SELECT objid FROM photoobj WHERE ra < 120", "SELECT objid FROM photoobj WHERE ra > 220"),
+            d(
+                &db,
+                "SELECT objid FROM photoobj WHERE ra < 120",
+                "SELECT objid FROM photoobj WHERE ra > 220"
+            ),
             1.0
         );
     }
@@ -104,7 +206,11 @@ mod tests {
         let db = db();
         // {1,2,3} vs {2,3,4}: |∩| = 2, |∪| = 4 → 1/2.
         assert_eq!(
-            d(&db, "SELECT objid FROM photoobj WHERE ra <= 200", "SELECT objid FROM photoobj WHERE ra >= 150"),
+            d(
+                &db,
+                "SELECT objid FROM photoobj WHERE ra <= 200",
+                "SELECT objid FROM photoobj WHERE ra >= 150"
+            ),
             0.5
         );
     }
@@ -113,8 +219,11 @@ mod tests {
     fn depends_on_database_state() {
         let db1 = db();
         let mut db2 = db();
-        db2.insert("photoobj", vec![Value::Int(5), Value::Int(110), Value::Str("STAR".into())])
-            .unwrap();
+        db2.insert(
+            "photoobj",
+            vec![Value::Int(5), Value::Int(110), Value::Str("STAR".into())],
+        )
+        .unwrap();
         let a = "SELECT objid FROM photoobj WHERE ra < 120";
         let b = "SELECT objid FROM photoobj WHERE ra < 160";
         assert_ne!(d(&db1, a, b), d(&db2, a, b));
@@ -126,7 +235,11 @@ mod tests {
         // would see overlap {(2)} — provenance tagging must not.
         let db = db();
         assert_eq!(
-            d(&db, "SELECT COUNT(*) FROM photoobj WHERE class = 'STAR'", "SELECT objid FROM photoobj"),
+            d(
+                &db,
+                "SELECT COUNT(*) FROM photoobj WHERE class = 'STAR'",
+                "SELECT objid FROM photoobj"
+            ),
             1.0
         );
     }
@@ -155,6 +268,66 @@ mod tests {
             d(&db, "SELECT objid FROM photoobj", "SELECT ra FROM photoobj"),
             1.0
         );
+    }
+
+    #[test]
+    fn parallel_factory_matches_sequential_bitwise() {
+        let db = db();
+        let queries: Vec<_> = (0..12)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT objid FROM photoobj WHERE ra < {}",
+                    90 + i * 15
+                ))
+                .unwrap()
+            })
+            .collect();
+        let seq = crate::DistanceMatrix::compute(&queries, &ResultDistance::new(&db)).unwrap();
+        for threads in [1, 3, 8] {
+            let par = crate::DistanceMatrix::compute_parallel(
+                &queries,
+                &ResultDistanceFactory::new(&db),
+                threads,
+            )
+            .unwrap();
+            assert!(seq.identical(&par), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn connection_caches_each_query_once_and_stays_exact() {
+        let db = db();
+        let queries: Vec<_> = (0..9)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT objid FROM photoobj WHERE ra < {}",
+                    90 + i * 20
+                ))
+                .unwrap()
+            })
+            .collect();
+        let conn = ResultConnection::new(&db);
+        let cached = crate::DistanceMatrix::compute(&queries, &conn).unwrap();
+        // 9 distinct queries over 36 pairs: each executed exactly once.
+        assert_eq!(conn.cached_queries(), 9);
+        let uncached = crate::DistanceMatrix::compute(&queries, &ResultDistance::new(&db)).unwrap();
+        assert!(
+            cached.identical(&uncached),
+            "memoization must not change a single bit"
+        );
+    }
+
+    #[test]
+    fn connection_propagates_execution_errors() {
+        let db = db();
+        let conn = ResultConnection::new(&db);
+        let err = conn
+            .distance(
+                &parse_query("SELECT nope FROM photoobj").unwrap(),
+                &parse_query("SELECT objid FROM photoobj").unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DistanceError::Execution(_)));
     }
 
     #[test]

@@ -33,14 +33,22 @@ mod tests {
     fn constants_are_invisible() {
         // The defining property vs token distance: constants don't matter.
         assert_eq!(
-            d("SELECT ra FROM t WHERE dec > 5", "SELECT ra FROM t WHERE dec > 99999"),
+            d(
+                "SELECT ra FROM t WHERE dec > 5",
+                "SELECT ra FROM t WHERE dec > 99999"
+            ),
             0.0
         );
     }
 
     #[test]
     fn operator_changes_matter() {
-        assert!(d("SELECT ra FROM t WHERE dec > 5", "SELECT ra FROM t WHERE dec < 5") > 0.0);
+        assert!(
+            d(
+                "SELECT ra FROM t WHERE dec > 5",
+                "SELECT ra FROM t WHERE dec < 5"
+            ) > 0.0
+        );
     }
 
     #[test]
@@ -49,7 +57,10 @@ mod tests {
         // Q2: {(SELECT, a1), (FROM, r), (WHERE, a3 >)}
         // |∩| = 2, |∪| = 4 → d = 1/2.
         assert_eq!(
-            d("SELECT a1 FROM r WHERE a2 > 5", "SELECT a1 FROM r WHERE a3 > 7"),
+            d(
+                "SELECT a1 FROM r WHERE a2 > 5",
+                "SELECT a1 FROM r WHERE a3 > 7"
+            ),
             0.5
         );
     }

@@ -41,7 +41,10 @@ mod tests {
 
     #[test]
     fn constant_change_moves_distance_slightly() {
-        let near = d("SELECT ra FROM t WHERE dec > 5", "SELECT ra FROM t WHERE dec > 6");
+        let near = d(
+            "SELECT ra FROM t WHERE dec > 5",
+            "SELECT ra FROM t WHERE dec > 6",
+        );
         // Token sets differ in exactly one element out of eight.
         assert!(near > 0.0 && near < 0.3, "{near}");
     }

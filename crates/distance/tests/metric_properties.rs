@@ -18,7 +18,11 @@ use dpe_sql::Query;
 use dpe_workload::{generate_database, sky_domains, LogConfig, LogGenerator};
 
 fn log(seed: u64, n: usize) -> Vec<Query> {
-    LogGenerator::generate(&LogConfig { queries: n, seed, ..Default::default() })
+    LogGenerator::generate(&LogConfig {
+        queries: n,
+        seed,
+        ..Default::default()
+    })
 }
 
 /// Checks identity, symmetry and range on every pair, and the triangle

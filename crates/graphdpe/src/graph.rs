@@ -238,10 +238,7 @@ mod tests {
 
     #[test]
     fn from_parts_adds_endpoints() {
-        let g = Graph::from_parts(
-            ["x".to_string()],
-            [Edge::new("p", "q")],
-        );
+        let g = Graph::from_parts(["x".to_string()], [Edge::new("p", "q")]);
         assert_eq!(g.vertex_count(), 3);
     }
 

@@ -55,9 +55,7 @@ mod mining_invariance {
     use super::*;
     use dpe_crypto::MasterKey;
     use dpe_distance::DistanceMatrix;
-    use dpe_mining::{
-        adjusted_rand_index, agglomerative, dbscan, kmedoids, DbscanConfig, Linkage,
-    };
+    use dpe_mining::{adjusted_rand_index, agglomerative, dbscan, kmedoids, DbscanConfig, Linkage};
 
     fn matrices<M: GraphDistance>(measure: &M) -> (DistanceMatrix, DistanceMatrix, Vec<usize>) {
         let mut wl = GraphWorkload::new(2026);
@@ -91,7 +89,10 @@ mod mining_invariance {
     #[test]
     fn dbscan_identical() {
         let (mp, me, _) = matrices(&VertexJaccard);
-        let cfg = DbscanConfig { eps: 0.3, min_pts: 3 };
+        let cfg = DbscanConfig {
+            eps: 0.3,
+            min_pts: 3,
+        };
         assert_eq!(dbscan(&mp, cfg), dbscan(&me, cfg));
     }
 

@@ -33,8 +33,11 @@ pub enum GraphNotion {
 
 impl GraphNotion {
     /// All notions, in case-study table order.
-    pub const ALL: [GraphNotion; 3] =
-        [GraphNotion::VertexSet, GraphNotion::EdgeSet, GraphNotion::DegreeSequence];
+    pub const ALL: [GraphNotion; 3] = [
+        GraphNotion::VertexSet,
+        GraphNotion::EdgeSet,
+        GraphNotion::DegreeSequence,
+    ];
 
     /// Whether an encryption class ensures this notion for the vertex-label
     /// slot (`EncVertex`), per the capability analysis in the module docs.
@@ -145,9 +148,18 @@ mod tests {
 
     #[test]
     fn appropriate_classes_match_analysis() {
-        assert_eq!(GraphNotion::VertexSet.appropriate_class(), EncryptionClass::Det);
-        assert_eq!(GraphNotion::EdgeSet.appropriate_class(), EncryptionClass::Det);
-        assert_eq!(GraphNotion::DegreeSequence.appropriate_class(), EncryptionClass::Prob);
+        assert_eq!(
+            GraphNotion::VertexSet.appropriate_class(),
+            EncryptionClass::Det
+        );
+        assert_eq!(
+            GraphNotion::EdgeSet.appropriate_class(),
+            EncryptionClass::Det
+        );
+        assert_eq!(
+            GraphNotion::DegreeSequence.appropriate_class(),
+            EncryptionClass::Prob
+        );
     }
 
     #[test]
@@ -159,16 +171,17 @@ mod tests {
         assert_eq!(table[2].enc_vertex, EncryptionClass::Prob);
         // The security gain of the label-free measure is exactly the
         // paper's §IV-C phenomenon transplanted to graphs.
-        assert!(
-            table[2].enc_vertex.security_level() > table[0].enc_vertex.security_level()
-        );
+        assert!(table[2].enc_vertex.security_level() > table[0].enc_vertex.security_level());
     }
 
     #[test]
     fn characteristics_and_names() {
         assert_eq!(GraphNotion::VertexSet.characteristic(), "vertices");
         assert_eq!(GraphNotion::EdgeSet.characteristic(), "edges");
-        assert_eq!(GraphNotion::DegreeSequence.characteristic(), "degree_sequence");
+        assert_eq!(
+            GraphNotion::DegreeSequence.characteristic(),
+            "degree_sequence"
+        );
         assert_eq!(GraphNotion::VertexSet.to_string(), "vertex-set equivalence");
     }
 }

@@ -33,12 +33,16 @@ pub struct DetGraphEncryptor {
 impl DetGraphEncryptor {
     /// Derives the vertex-label key from the owner's master key.
     pub fn new(master: &MasterKey) -> Self {
-        DetGraphEncryptor { det: DetScheme::new(&master.derive("graph-vertex")) }
+        DetGraphEncryptor {
+            det: DetScheme::new(&master.derive("graph-vertex")),
+        }
     }
 
     /// Builds directly from a symmetric key (tests, key rotation).
     pub fn from_key(key: &SymmetricKey) -> Self {
-        DetGraphEncryptor { det: DetScheme::new(key) }
+        DetGraphEncryptor {
+            det: DetScheme::new(key),
+        }
     }
 
     /// Encrypts one vertex label to a stable hex pseudonym.
@@ -73,7 +77,9 @@ pub struct ProbGraphEncryptor {
 impl ProbGraphEncryptor {
     /// Seeded constructor — experiments stay reproducible.
     pub fn from_seed(seed: u64) -> Self {
-        ProbGraphEncryptor { rng: StdRng::seed_from_u64(seed) }
+        ProbGraphEncryptor {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Encrypts a graph under fresh pseudonyms.
@@ -142,7 +148,10 @@ mod tests {
         let e2 = enc.encrypt_graph(&g2);
         let ra = enc.encrypt_label("ra");
         assert!(e1.vertices().contains(&ra));
-        assert!(e2.vertices().contains(&ra), "DET must be stable across graphs");
+        assert!(
+            e2.vertices().contains(&ra),
+            "DET must be stable across graphs"
+        );
     }
 
     #[test]
@@ -186,7 +195,13 @@ mod tests {
 
     #[test]
     fn classes_reported() {
-        assert_eq!(DetGraphEncryptor::new(&master()).class(), EncryptionClass::Det);
-        assert_eq!(ProbGraphEncryptor::from_seed(0).class(), EncryptionClass::Prob);
+        assert_eq!(
+            DetGraphEncryptor::new(&master()).class(),
+            EncryptionClass::Det
+        );
+        assert_eq!(
+            ProbGraphEncryptor::from_seed(0).class(),
+            EncryptionClass::Prob
+        );
     }
 }

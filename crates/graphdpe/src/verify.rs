@@ -25,7 +25,11 @@ impl fmt::Display for GraphDpeReport {
             f,
             "{}: {} over {} pairs (max Δ = {:.6})",
             self.measure,
-            if self.preserved { "PRESERVED" } else { "VIOLATED" },
+            if self.preserved {
+                "PRESERVED"
+            } else {
+                "VIOLATED"
+            },
             self.pairs,
             self.max_delta
         )
@@ -64,7 +68,12 @@ pub fn verify_graph_dpe<M: GraphDistance>(
             pairs += 1;
         }
     }
-    GraphDpeReport { measure: measure.name(), pairs, max_delta, preserved }
+    GraphDpeReport {
+        measure: measure.name(),
+        pairs,
+        max_delta,
+        preserved,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +118,10 @@ mod tests {
         // pseudonyms — cross-graph overlaps vanish.
         let vj = verify_graph_dpe(&VertexJaccard, &plain, &encrypted);
         let ej = verify_graph_dpe(&EdgeJaccard, &plain, &encrypted);
-        assert!(!vj.preserved, "vertex-jaccard should break under PROB: {vj}");
+        assert!(
+            !vj.preserved,
+            "vertex-jaccard should break under PROB: {vj}"
+        );
         assert!(!ej.preserved, "edge-jaccard should break under PROB: {ej}");
         assert!(vj.max_delta > 0.0);
     }

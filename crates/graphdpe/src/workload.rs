@@ -27,7 +27,9 @@ pub struct GraphWorkload {
 impl GraphWorkload {
     /// Creates a generator with a fixed seed.
     pub fn new(seed: u64) -> Self {
-        GraphWorkload { rng: StdRng::seed_from_u64(seed) }
+        GraphWorkload {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generates `communities × per_community` graphs. Each community owns
@@ -41,11 +43,34 @@ impl GraphWorkload {
         per_community: usize,
         vertices_per_graph: usize,
     ) -> Vec<Graph> {
-        assert!(vertices_per_graph >= 3, "need ≥ 3 vertices for interesting structure");
-        let mut corpus = Vec::with_capacity(communities * per_community);
+        self.community_batches(communities, per_community, vertices_per_graph)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// The streaming form of [`GraphWorkload::community_corpus`]: one batch
+    /// per community, in community order, drawn from the same RNG sequence
+    /// (so flattening the batches reproduces `community_corpus` exactly).
+    /// Lets workloads that receive graphs incrementally grow their distance
+    /// matrix with `DistanceMatrix::extend_with` instead of recomputing the
+    /// O(n²) matrix per batch.
+    pub fn community_batches(
+        &mut self,
+        communities: usize,
+        per_community: usize,
+        vertices_per_graph: usize,
+    ) -> Vec<Vec<Graph>> {
+        assert!(
+            vertices_per_graph >= 3,
+            "need ≥ 3 vertices for interesting structure"
+        );
+        let mut batches = Vec::with_capacity(communities);
         for c in 0..communities {
-            let labels: Vec<String> =
-                (0..vertices_per_graph).map(|i| format!("c{c}_v{i}")).collect();
+            let mut corpus = Vec::with_capacity(per_community);
+            let labels: Vec<String> = (0..vertices_per_graph)
+                .map(|i| format!("c{c}_v{i}"))
+                .collect();
             // Community template: each vertex pair is an edge with p = 0.4.
             let mut template: Vec<(usize, usize)> = Vec::new();
             for i in 0..vertices_per_graph {
@@ -80,8 +105,9 @@ impl GraphWorkload {
                 }
                 corpus.push(g);
             }
+            batches.push(corpus);
         }
-        corpus
+        batches
     }
 
     /// Ground-truth community labels aligned with
@@ -139,6 +165,42 @@ mod tests {
         assert_eq!(c1, c2, "same seed must reproduce the corpus");
         let c3 = GraphWorkload::new(6).community_corpus(3, 4, 6);
         assert_ne!(c1, c3, "different seeds should differ");
+    }
+
+    #[test]
+    fn batches_flatten_to_the_corpus() {
+        let batched: Vec<Graph> = GraphWorkload::new(9)
+            .community_batches(3, 4, 6)
+            .into_iter()
+            .flatten()
+            .collect();
+        let flat = GraphWorkload::new(9).community_corpus(3, 4, 6);
+        assert_eq!(batched, flat, "same seed, same RNG sequence, same corpus");
+    }
+
+    #[test]
+    fn streaming_batches_grow_the_matrix_incrementally() {
+        use crate::distance::{EdgeJaccard, GraphDistance};
+        use dpe_distance::DistanceMatrix;
+
+        let batches = GraphWorkload::new(2).community_batches(3, 5, 5);
+        // Stream: grow the matrix one community batch at a time, computing
+        // only the new pairs.
+        let mut streamed = DistanceMatrix::new();
+        let mut seen: Vec<Graph> = Vec::new();
+        for batch in batches {
+            seen.extend(batch.clone());
+            let m = batch.len();
+            streamed.extend_with(m, |i, t| EdgeJaccard.distance(&seen[i], &seen[t]));
+        }
+        // Batch: one shot over the full corpus.
+        let full =
+            DistanceMatrix::from_fn(seen.len(), |i, j| EdgeJaccard.distance(&seen[i], &seen[j]));
+        assert_eq!(streamed.len(), 15);
+        assert!(
+            full.identical(&streamed),
+            "incremental growth must be bit-identical"
+        );
     }
 
     #[test]

@@ -38,12 +38,16 @@ impl Database {
 
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Result<&Table, DbError> {
-        self.tables.get(name).ok_or_else(|| DbError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
     /// Mutable table lookup (onion adjustment rewrites columns in place).
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
-        self.tables.get_mut(name).ok_or_else(|| DbError::UnknownTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
     /// Iterates `(name, table)` pairs in name order.
@@ -65,7 +69,8 @@ mod tests {
     #[test]
     fn create_insert_lookup() {
         let mut db = Database::new();
-        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)]))
+            .unwrap();
         db.insert("t", vec![Value::Int(1)]).unwrap();
         assert_eq!(db.table("t").unwrap().len(), 1);
         assert_eq!(db.table_count(), 1);
@@ -74,8 +79,11 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut db = Database::new();
-        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
-        let err = db.create_table(TableSchema::new("t", vec![("b", ColumnType::Int)])).unwrap_err();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)]))
+            .unwrap();
+        let err = db
+            .create_table(TableSchema::new("t", vec![("b", ColumnType::Int)]))
+            .unwrap_err();
         assert!(matches!(err, DbError::TableExists(_)));
     }
 

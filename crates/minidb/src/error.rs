@@ -47,7 +47,11 @@ impl fmt::Display for DbError {
             DbError::UnknownTable(t) => write!(f, "unknown table {t}"),
             DbError::UnknownColumn(c) => write!(f, "unknown column {c}"),
             DbError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
-            DbError::ArityMismatch { table, expected, got } => {
+            DbError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "table {table}: expected {expected} values, got {got}")
             }
             DbError::TypeMismatch { table, column } => {

@@ -159,7 +159,11 @@ impl Scope {
         let mut out = Vec::with_capacity(self.width);
         for entry in &self.entries {
             for (i, c) in entry.columns.iter().enumerate() {
-                let name = if qualify { format!("{}.{c}", entry.table) } else { c.clone() };
+                let name = if qualify {
+                    format!("{}.{c}", entry.table)
+                } else {
+                    c.clone()
+                };
                 out.push((name, entry.offset + i));
             }
         }
@@ -170,14 +174,28 @@ impl Scope {
 fn build_scope(db: &Database, query: &Query) -> Result<Scope, DbError> {
     let mut entries = Vec::new();
     let mut offset = 0;
-    for table_name in std::iter::once(&query.from.name).chain(query.joins.iter().map(|j| &j.table.name)) {
+    for table_name in
+        std::iter::once(&query.from.name).chain(query.joins.iter().map(|j| &j.table.name))
+    {
         let table = db.table(table_name)?;
-        let columns: Vec<String> = table.schema().columns.iter().map(|c| c.name.clone()).collect();
+        let columns: Vec<String> = table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let width = columns.len();
-        entries.push(ScopeEntry { table: table_name.clone(), columns, offset });
+        entries.push(ScopeEntry {
+            table: table_name.clone(),
+            columns,
+            offset,
+        });
         offset += width;
     }
-    Ok(Scope { entries, width: offset })
+    Ok(Scope {
+        entries,
+        width: offset,
+    })
 }
 
 /// Materializes the working relation: FROM rows folded through the inner
@@ -214,7 +232,8 @@ fn join_rows(db: &Database, query: &Query, scope: &Scope) -> Result<Vec<Row>, Db
             (right_idx, left_idx - right_offset)
         };
 
-        let mut index: std::collections::HashMap<&Value, Vec<&Row>> = std::collections::HashMap::new();
+        let mut index: std::collections::HashMap<&Value, Vec<&Row>> =
+            std::collections::HashMap::new();
         for r in right_table.rows() {
             if !r[new_idx].is_null() {
                 index.entry(&r[new_idx]).or_default().push(r);
@@ -401,8 +420,7 @@ fn execute_grouped(
             // otherwise sort on the hidden key by re-deriving it.
             keys.push((key_pos, o.desc));
         }
-        let mut paired: Vec<(Vec<Value>, Row)> =
-            groups.keys().cloned().zip(out_rows).collect();
+        let mut paired: Vec<(Vec<Value>, Row)> = groups.keys().cloned().zip(out_rows).collect();
         paired.sort_by(|(ka, _), (kb, _)| {
             for &(pos, desc) in &keys {
                 let ord = null_first_cmp(&ka[pos], &kb[pos]);
@@ -428,10 +446,15 @@ fn eval_aggregate(
     match func {
         AggFunc::Count => match idx {
             None => Ok(Value::Int(members.len() as i64)),
-            Some(i) => Ok(Value::Int(members.iter().filter(|r| !r[i].is_null()).count() as i64)),
+            Some(i) => Ok(Value::Int(
+                members.iter().filter(|r| !r[i].is_null()).count() as i64,
+            )),
         },
         AggFunc::Sum | AggFunc::Avg => {
-            let i = idx.ok_or(DbError::AggregateType { func: func.name(), column: "*".into() })?;
+            let i = idx.ok_or(DbError::AggregateType {
+                func: func.name(),
+                column: "*".into(),
+            })?;
             let mut sum: i64 = 0;
             let mut count: i64 = 0;
             for r in members {
@@ -459,7 +482,10 @@ fn eval_aggregate(
             })
         }
         AggFunc::Min | AggFunc::Max => {
-            let i = idx.ok_or(DbError::AggregateType { func: func.name(), column: "*".into() })?;
+            let i = idx.ok_or(DbError::AggregateType {
+                func: func.name(),
+                column: "*".into(),
+            })?;
             let mut best: Option<&Value> = None;
             for r in members {
                 if r[i].is_null() {
@@ -516,7 +542,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table(TableSchema::new(
             "photoobj",
-            vec![("objid", ColumnType::Int), ("ra", ColumnType::Int), ("dec", ColumnType::Int), ("class", ColumnType::Str)],
+            vec![
+                ("objid", ColumnType::Int),
+                ("ra", ColumnType::Int),
+                ("dec", ColumnType::Int),
+                ("class", ColumnType::Str),
+            ],
         ))
         .unwrap();
         let rows = [
@@ -529,17 +560,30 @@ mod tests {
         for (id, ra, dec, class) in rows {
             db.insert(
                 "photoobj",
-                vec![Value::Int(id), Value::Int(ra), Value::Int(dec), Value::Str(class.into())],
+                vec![
+                    Value::Int(id),
+                    Value::Int(ra),
+                    Value::Int(dec),
+                    Value::Str(class.into()),
+                ],
             )
             .unwrap();
         }
         db.create_table(TableSchema::new(
             "specobj",
-            vec![("specid", ColumnType::Int), ("bestobjid", ColumnType::Int), ("z", ColumnType::Int)],
+            vec![
+                ("specid", ColumnType::Int),
+                ("bestobjid", ColumnType::Int),
+                ("z", ColumnType::Int),
+            ],
         ))
         .unwrap();
         for (sid, oid, z) in [(10, 1, 50), (11, 3, 70), (12, 3, 75), (13, 9, 99)] {
-            db.insert("specobj", vec![Value::Int(sid), Value::Int(oid), Value::Int(z)]).unwrap();
+            db.insert(
+                "specobj",
+                vec![Value::Int(sid), Value::Int(oid), Value::Int(z)],
+            )
+            .unwrap();
         }
         db
     }
@@ -559,14 +603,20 @@ mod tests {
     #[test]
     fn filter_and_project() {
         let db = sample_db();
-        let rs = run(&db, "SELECT objid FROM photoobj WHERE ra > 150 AND class = 'STAR'");
+        let rs = run(
+            &db,
+            "SELECT objid FROM photoobj WHERE ra > 150 AND class = 'STAR'",
+        );
         assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
     }
 
     #[test]
     fn between_in_or() {
         let db = sample_db();
-        let rs = run(&db, "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 200 OR class IN ('QSO')");
+        let rs = run(
+            &db,
+            "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 200 OR class IN ('QSO')",
+        );
         assert_eq!(rs.rows.len(), 4);
     }
 
@@ -615,7 +665,10 @@ mod tests {
     #[test]
     fn global_aggregates() {
         let db = sample_db();
-        let rs = run(&db, "SELECT COUNT(*), SUM(ra), MIN(dec), MAX(dec), AVG(ra) FROM photoobj");
+        let rs = run(
+            &db,
+            "SELECT COUNT(*), SUM(ra), MIN(dec), MAX(dec), AVG(ra) FROM photoobj",
+        );
         assert_eq!(
             rs.rows,
             vec![vec![
@@ -631,14 +684,20 @@ mod tests {
     #[test]
     fn aggregates_over_empty_input() {
         let db = sample_db();
-        let rs = run(&db, "SELECT COUNT(*), SUM(ra) FROM photoobj WHERE ra > 9999");
+        let rs = run(
+            &db,
+            "SELECT COUNT(*), SUM(ra) FROM photoobj WHERE ra > 9999",
+        );
         assert_eq!(rs.rows, vec![vec![Value::Int(0), Value::Null]]);
     }
 
     #[test]
     fn group_by_with_having_like_filter_in_where() {
         let db = sample_db();
-        let rs = run(&db, "SELECT class, COUNT(*) FROM photoobj GROUP BY class ORDER BY class");
+        let rs = run(
+            &db,
+            "SELECT class, COUNT(*) FROM photoobj GROUP BY class ORDER BY class",
+        );
         assert_eq!(
             rs.rows,
             vec![
@@ -652,7 +711,11 @@ mod tests {
     #[test]
     fn ungrouped_column_rejected() {
         let db = sample_db();
-        let err = execute(&db, &parse_query("SELECT ra, COUNT(*) FROM photoobj").unwrap()).unwrap_err();
+        let err = execute(
+            &db,
+            &parse_query("SELECT ra, COUNT(*) FROM photoobj").unwrap(),
+        )
+        .unwrap_err();
         assert!(matches!(err, DbError::NotGrouped(_)));
     }
 
@@ -672,7 +735,8 @@ mod tests {
     #[test]
     fn nulls_filtered_by_comparisons() {
         let mut db = Database::new();
-        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)]))
+            .unwrap();
         db.insert("t", vec![Value::Int(1)]).unwrap();
         db.insert("t", vec![Value::Null]).unwrap();
         let rs = run(&db, "SELECT a FROM t WHERE a >= 0");
@@ -686,7 +750,8 @@ mod tests {
     #[test]
     fn count_column_skips_nulls() {
         let mut db = Database::new();
-        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)])).unwrap();
+        db.create_table(TableSchema::new("t", vec![("a", ColumnType::Int)]))
+            .unwrap();
         db.insert("t", vec![Value::Int(1)]).unwrap();
         db.insert("t", vec![Value::Null]).unwrap();
         let rs = run(&db, "SELECT COUNT(a), COUNT(*) FROM t");
@@ -704,7 +769,10 @@ mod tests {
     #[test]
     fn not_predicate() {
         let db = sample_db();
-        let rs = run(&db, "SELECT objid FROM photoobj WHERE NOT class = 'STAR' ORDER BY objid");
+        let rs = run(
+            &db,
+            "SELECT objid FROM photoobj WHERE NOT class = 'STAR' ORDER BY objid",
+        );
         assert_eq!(rs.rows.len(), 3);
     }
 }

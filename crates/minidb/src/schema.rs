@@ -36,7 +36,10 @@ impl TableSchema {
         let name = name.into().to_ascii_lowercase();
         let columns: Vec<ColumnDef> = columns
             .into_iter()
-            .map(|(n, ty)| ColumnDef { name: n.to_ascii_lowercase(), ty })
+            .map(|(n, ty)| ColumnDef {
+                name: n.to_ascii_lowercase(),
+                ty,
+            })
             .collect();
         for i in 0..columns.len() {
             for j in i + 1..columns.len() {

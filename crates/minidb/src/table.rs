@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -34,7 +37,9 @@ impl Table {
         for (value, def) in row.iter().zip(&self.schema.columns) {
             let ok = matches!(
                 (value, def.ty),
-                (Value::Null, _) | (Value::Int(_), ColumnType::Int) | (Value::Str(_), ColumnType::Str)
+                (Value::Null, _)
+                    | (Value::Int(_), ColumnType::Int)
+                    | (Value::Str(_), ColumnType::Str)
             );
             if !ok {
                 return Err(DbError::TypeMismatch {
@@ -93,7 +98,8 @@ mod tests {
     #[test]
     fn insert_and_read() {
         let mut t = Table::new(schema());
-        t.insert(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("x".into())])
+            .unwrap();
         t.insert(vec![Value::Null, Value::Null]).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.rows()[0][0], Value::Int(1));
@@ -103,14 +109,23 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(schema());
         let err = t.insert(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, DbError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            DbError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn map_column_rewrites_in_place() {
         let mut t = Table::new(schema());
-        t.insert(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
-        t.insert(vec![Value::Int(2), Value::Str("y".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("x".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Str("y".into())])
+            .unwrap();
         t.map_column("a", |v| match v {
             Value::Int(i) => Value::Int(i * 10),
             other => other.clone(),
@@ -124,7 +139,9 @@ mod tests {
     #[test]
     fn types_checked() {
         let mut t = Table::new(schema());
-        let err = t.insert(vec![Value::Str("no".into()), Value::Str("x".into())]).unwrap_err();
+        let err = t
+            .insert(vec![Value::Str("no".into()), Value::Str("x".into())])
+            .unwrap_err();
         assert!(matches!(err, DbError::TypeMismatch { .. }));
     }
 }

@@ -58,7 +58,10 @@ mod tests {
     #[test]
     fn literal_conversion() {
         assert_eq!(Value::from_literal(&Literal::Int(5)), Value::Int(5));
-        assert_eq!(Value::from_literal(&Literal::Str("x".into())), Value::Str("x".into()));
+        assert_eq!(
+            Value::from_literal(&Literal::Str("x".into())),
+            Value::Str("x".into())
+        );
         assert!(Value::from_literal(&Literal::Null).is_null());
     }
 

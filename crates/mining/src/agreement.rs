@@ -44,7 +44,10 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
     }
     let choose2 = |x: usize| (x * x.saturating_sub(1) / 2) as f64;
     let sum_ij: f64 = contingency.iter().flatten().map(|&x| choose2(x)).sum();
-    let sum_a: f64 = contingency.iter().map(|row| choose2(row.iter().sum())).sum();
+    let sum_a: f64 = contingency
+        .iter()
+        .map(|row| choose2(row.iter().sum()))
+        .sum();
     let sum_b: f64 = (0..kb)
         .map(|j| choose2(contingency.iter().map(|row| row[j]).sum()))
         .sum();

@@ -66,7 +66,10 @@ pub fn frequent_itemsets<T: Ord + Clone>(
         .collect();
     for itemset in &current {
         let support = count_support(transactions, itemset);
-        result.push(FrequentItemset { items: itemset.clone(), support });
+        result.push(FrequentItemset {
+            items: itemset.clone(),
+            support,
+        });
     }
 
     // Level k: join frequent (k−1)-itemsets sharing a (k−2)-prefix.
@@ -93,14 +96,22 @@ pub fn frequent_itemsets<T: Ord + Clone>(
         for candidate in candidates {
             let support = count_support(transactions, &candidate);
             if support >= min_support {
-                result.push(FrequentItemset { items: candidate.clone(), support });
+                result.push(FrequentItemset {
+                    items: candidate.clone(),
+                    support,
+                });
                 next.push(candidate);
             }
         }
         current = next;
     }
 
-    result.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then(a.items.cmp(&b.items)));
+    result.sort_by(|a, b| {
+        a.items
+            .len()
+            .cmp(&b.items.len())
+            .then(a.items.cmp(&b.items))
+    });
     result
 }
 
@@ -129,14 +140,18 @@ pub fn association_rules<T: Ord + Clone>(
             if confidence >= min_confidence {
                 let mut consequent = BTreeSet::new();
                 consequent.insert(consequent_item.clone());
-                rules.push(Rule { antecedent, consequent, support: fi.support, confidence });
+                rules.push(Rule {
+                    antecedent,
+                    consequent,
+                    support: fi.support,
+                    confidence,
+                });
             }
         }
     }
     rules.sort_by(|a, b| {
         b.confidence
-            .partial_cmp(&a.confidence)
-            .unwrap()
+            .total_cmp(&a.confidence)
             .then(b.support.cmp(&a.support))
             .then(a.antecedent.cmp(&b.antecedent))
     });
@@ -149,7 +164,14 @@ pub fn association_rules<T: Ord + Clone>(
 pub fn rule_shape<T: Ord>(rules: &[Rule<T>]) -> Vec<(usize, usize, usize, u64)> {
     let mut shape: Vec<_> = rules
         .iter()
-        .map(|r| (r.antecedent.len(), r.consequent.len(), r.support, r.confidence.to_bits()))
+        .map(|r| {
+            (
+                r.antecedent.len(),
+                r.consequent.len(),
+                r.support,
+                r.confidence.to_bits(),
+            )
+        })
         .collect();
     shape.sort_unstable();
     shape
@@ -193,7 +215,10 @@ mod tests {
     fn frequent_pairs_via_downward_closure() {
         let fi = frequent_itemsets(&baskets(), 3);
         let pair: BTreeSet<String> = t(&["beer", "diapers"]);
-        let found = fi.iter().find(|f| f.items == pair).expect("beer+diapers is frequent");
+        let found = fi
+            .iter()
+            .find(|f| f.items == pair)
+            .expect("beer+diapers is frequent");
         assert_eq!(found.support, 3);
     }
 

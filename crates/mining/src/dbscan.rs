@@ -25,9 +25,8 @@ pub enum DbscanLabel {
 /// ids are stable for equal matrices.
 pub fn dbscan(matrix: &DistanceMatrix, config: DbscanConfig) -> Vec<DbscanLabel> {
     let n = matrix.len();
-    let neighbours = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| matrix.get(i, j) <= config.eps).collect()
-    };
+    let neighbours =
+        |i: usize| -> Vec<usize> { (0..n).filter(|&j| matrix.get(i, j) <= config.eps).collect() };
 
     let mut labels = vec![None::<DbscanLabel>; n];
     let mut next_cluster = 0usize;
@@ -64,7 +63,10 @@ pub fn dbscan(matrix: &DistanceMatrix, config: DbscanConfig) -> Vec<DbscanLabel>
         }
     }
 
-    labels.into_iter().map(|l| l.expect("every point labelled")).collect()
+    labels
+        .into_iter()
+        .map(|l| l.expect("every point labelled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -74,7 +76,15 @@ mod tests {
     fn blobs_with_noise() -> DistanceMatrix {
         // 0-3: dense blob A; 4-7: dense blob B; 8: far from everything.
         DistanceMatrix::from_fn(9, |i, j| {
-            let group = |x: usize| if x < 4 { 0 } else if x < 8 { 1 } else { 2 };
+            let group = |x: usize| {
+                if x < 4 {
+                    0
+                } else if x < 8 {
+                    1
+                } else {
+                    2
+                }
+            };
             if group(i) == group(j) {
                 0.1
             } else {
@@ -85,7 +95,13 @@ mod tests {
 
     #[test]
     fn finds_two_clusters_and_noise() {
-        let labels = dbscan(&blobs_with_noise(), DbscanConfig { eps: 0.2, min_pts: 3 });
+        let labels = dbscan(
+            &blobs_with_noise(),
+            DbscanConfig {
+                eps: 0.2,
+                min_pts: 3,
+            },
+        );
         assert_eq!(labels[0], DbscanLabel::Cluster(0));
         assert!(labels[..4].iter().all(|&l| l == DbscanLabel::Cluster(0)));
         assert!(labels[4..8].iter().all(|&l| l == DbscanLabel::Cluster(1)));
@@ -94,13 +110,25 @@ mod tests {
 
     #[test]
     fn everything_noise_when_min_pts_too_high() {
-        let labels = dbscan(&blobs_with_noise(), DbscanConfig { eps: 0.2, min_pts: 6 });
+        let labels = dbscan(
+            &blobs_with_noise(),
+            DbscanConfig {
+                eps: 0.2,
+                min_pts: 6,
+            },
+        );
         assert!(labels.iter().all(|&l| l == DbscanLabel::Noise));
     }
 
     #[test]
     fn one_cluster_when_eps_spans_all() {
-        let labels = dbscan(&blobs_with_noise(), DbscanConfig { eps: 2.0, min_pts: 3 });
+        let labels = dbscan(
+            &blobs_with_noise(),
+            DbscanConfig {
+                eps: 2.0,
+                min_pts: 3,
+            },
+        );
         assert!(labels.iter().all(|&l| l == DbscanLabel::Cluster(0)));
     }
 
@@ -111,7 +139,13 @@ mod tests {
             let d = (i as f64 - j as f64).abs();
             d * 0.3
         });
-        let labels = dbscan(&m, DbscanConfig { eps: 0.35, min_pts: 3 });
+        let labels = dbscan(
+            &m,
+            DbscanConfig {
+                eps: 0.35,
+                min_pts: 3,
+            },
+        );
         // 0,1,2 core-ish chain; 3 is density-reachable border.
         assert_eq!(labels[0], DbscanLabel::Cluster(0));
         assert_eq!(labels[3], DbscanLabel::Cluster(0));
@@ -120,13 +154,23 @@ mod tests {
     #[test]
     fn deterministic() {
         let m = DistanceMatrix::from_fn(25, |i, j| ((i * 3 + j * 11) % 13) as f64 / 13.0 + 0.02);
-        let cfg = DbscanConfig { eps: 0.4, min_pts: 4 };
+        let cfg = DbscanConfig {
+            eps: 0.4,
+            min_pts: 4,
+        };
         assert_eq!(dbscan(&m, cfg), dbscan(&m, cfg));
     }
 
     #[test]
     fn empty_input() {
         let m = DistanceMatrix::from_fn(0, |_, _| 0.0);
-        assert!(dbscan(&m, DbscanConfig { eps: 0.5, min_pts: 2 }).is_empty());
+        assert!(dbscan(
+            &m,
+            DbscanConfig {
+                eps: 0.5,
+                min_pts: 2
+            }
+        )
+        .is_empty());
     }
 }

@@ -145,10 +145,7 @@ pub fn agglomerative(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
         for i in 0..active.len() {
             for j in i + 1..active.len() {
                 let (a, b) = (active[i], active[j]);
-                let d = cluster_dist(
-                    members[a].as_ref().unwrap(),
-                    members[b].as_ref().unwrap(),
-                );
+                let d = cluster_dist(members[a].as_ref().unwrap(), members[b].as_ref().unwrap());
                 if d < best.0 {
                     best = (d, a, b);
                 }

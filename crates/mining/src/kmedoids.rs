@@ -1,5 +1,6 @@
 //! K-medoids clustering (PAM-style alternation, Park & Jun [5]).
 
+use crate::order::nan_last_cmp;
 use dpe_distance::DistanceMatrix;
 
 /// Result of a k-medoids run.
@@ -54,7 +55,9 @@ pub fn kmedoids(matrix: &DistanceMatrix, k: usize) -> KMedoidsResult {
             (v, j)
         })
         .collect();
-    scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    // NaN seeding scores (degenerate measures) sort last — either NaN sign
+    // — rather than panicking, so they are never picked as initial medoids.
+    scores.sort_by(|a, b| nan_last_cmp(a.0, b.0).then(a.1.cmp(&b.1)));
     let mut medoids: Vec<usize> = scores.iter().take(k).map(|&(_, j)| j).collect();
     medoids.sort_unstable();
 
@@ -66,15 +69,17 @@ pub fn kmedoids(matrix: &DistanceMatrix, k: usize) -> KMedoidsResult {
         // sum becomes the medoid.
         let mut new_medoids = medoids.clone();
         for (c, slot) in new_medoids.iter_mut().enumerate() {
-            let members: Vec<usize> =
-                (0..n).filter(|&i| assignment[i] == c).collect();
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
             if members.is_empty() {
                 continue;
             }
+            // nan_last_cmp: a NaN cost loses to every finite cost, and if
+            // *every* cost is NaN the lowest-index member still wins — the
+            // usize::MAX sentinel must never escape as a "medoid".
             let mut best = (f64::INFINITY, usize::MAX);
             for &candidate in &members {
                 let cost: f64 = members.iter().map(|&m| matrix.get(candidate, m)).sum();
-                if cost < best.0 {
+                if best.1 == usize::MAX || nan_last_cmp(cost, best.0).is_lt() {
                     best = (cost, candidate);
                 }
             }
@@ -92,7 +97,11 @@ pub fn kmedoids(matrix: &DistanceMatrix, k: usize) -> KMedoidsResult {
         }
     }
 
-    KMedoidsResult { medoids, assignment, iterations }
+    KMedoidsResult {
+        medoids,
+        assignment,
+        iterations,
+    }
 }
 
 fn assign(matrix: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
@@ -165,8 +174,7 @@ mod tests {
         // Final medoids are local optima: swapping any medoid for any other
         // member of its cluster must not lower in-cluster cost.
         for (c, &medoid) in r.medoids.iter().enumerate() {
-            let members: Vec<usize> =
-                (0..m.len()).filter(|&i| r.assignment[i] == c).collect();
+            let members: Vec<usize> = (0..m.len()).filter(|&i| r.assignment[i] == c).collect();
             let current: f64 = members.iter().map(|&x| m.get(medoid, x)).sum();
             for &alt in &members {
                 let alt_cost: f64 = members.iter().map(|&x| m.get(alt, x)).sum();

@@ -1,5 +1,6 @@
 //! k-nearest-neighbour queries over a distance matrix.
 
+use crate::order::nan_last_cmp;
 use dpe_distance::DistanceMatrix;
 
 /// The `k` nearest neighbours of item `i` (excluding `i`), closest first;
@@ -9,13 +10,9 @@ pub fn knn_indices(matrix: &DistanceMatrix, i: usize, k: usize) -> Vec<usize> {
     let n = matrix.len();
     assert!(i < n, "query index {i} out of bounds (n={n})");
     let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-    others.sort_by(|&a, &b| {
-        matrix
-            .get(i, a)
-            .partial_cmp(&matrix.get(i, b))
-            .expect("distances are never NaN")
-            .then(a.cmp(&b))
-    });
+    // NaN from a degenerate measure sorts last (either sign) instead of
+    // panicking mid-mining.
+    others.sort_by(|&a, &b| nan_last_cmp(matrix.get(i, a), matrix.get(i, b)).then(a.cmp(&b)));
     others.truncate(k);
     others
 }

@@ -23,6 +23,8 @@
 //! seeds with a deterministic greedy (no RNG), so equal distance matrices
 //! imply equal outputs — no flaky "identical" assertions.
 
+mod order;
+
 pub mod agreement;
 pub mod apriori;
 pub mod dbscan;

@@ -19,6 +19,7 @@
 //! locally sparse. Duplicate-heavy data can make `lrd` infinite; ∞/∞
 //! ratios are taken as 1, following the reference implementation folklore.
 
+use crate::order::nan_last_cmp;
 use dpe_distance::DistanceMatrix;
 
 /// Configuration for [`lof`].
@@ -41,25 +42,27 @@ pub fn lof(matrix: &DistanceMatrix, config: LofConfig) -> Vec<f64> {
     let n = matrix.len();
     let k = config.min_pts;
     assert!(k >= 1, "min_pts must be ≥ 1");
-    assert!(k < n, "min_pts = {k} needs at least {} points, got {n}", k + 1);
+    assert!(
+        k < n,
+        "min_pts = {k} needs at least {} points, got {n}",
+        k + 1
+    );
 
     // k-distance and k-neighbourhood (with ties) per point.
     let mut kdist = vec![0.0f64; n];
     let mut neigh: Vec<Vec<usize>> = Vec::with_capacity(n);
     for (i, kd_slot) in kdist.iter_mut().enumerate() {
         let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        others.sort_by(|&a, &b| {
-            matrix
-                .get(i, a)
-                .partial_cmp(&matrix.get(i, b))
-                .expect("distances must not be NaN")
-                .then(a.cmp(&b))
-        });
+        // A NaN distance sorts last (either sign) instead of panicking, so
+        // it never lands inside the k-neighbourhood spuriously.
+        others.sort_by(|&a, &b| nan_last_cmp(matrix.get(i, a), matrix.get(i, b)).then(a.cmp(&b)));
         let kd = matrix.get(i, others[k - 1]);
         *kd_slot = kd;
         // All points within the k-distance — ties beyond index k included.
-        let members: Vec<usize> =
-            others.into_iter().filter(|&j| matrix.get(i, j) <= kd).collect();
+        let members: Vec<usize> = others
+            .into_iter()
+            .filter(|&j| matrix.get(i, j) <= kd)
+            .collect();
         neigh.push(members);
     }
 
@@ -99,13 +102,10 @@ pub fn lof(matrix: &DistanceMatrix, config: LofConfig) -> Vec<f64> {
 /// the typical "report the outliers" surface on top of [`lof`].
 pub fn lof_outliers(matrix: &DistanceMatrix, config: LofConfig, threshold: f64) -> Vec<usize> {
     let scores = lof(matrix, config);
-    let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| scores[i] > threshold).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("LOF scores must not be NaN")
-            .then(a.cmp(&b))
-    });
+    let mut idx: Vec<usize> = (0..scores.len())
+        .filter(|&i| scores[i] > threshold)
+        .collect();
+    idx.sort_by(|&a, &b| nan_last_cmp(scores[b], scores[a]).then(a.cmp(&b)));
     idx
 }
 
@@ -123,7 +123,7 @@ mod tests {
     fn isolated_point_scores_highest() {
         let scores = lof(&blob_with_outlier(), LofConfig { min_pts: 3 });
         let max_idx = (0..scores.len())
-            .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+            .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
             .unwrap();
         assert_eq!(max_idx, 8, "scores: {scores:?}");
         assert!(scores[8] > 2.0, "outlier score too low: {}", scores[8]);

@@ -37,13 +37,7 @@ mod tests {
 
     fn one_far_point() -> DistanceMatrix {
         // 0-4 close together; 5 far from everyone.
-        DistanceMatrix::from_fn(6, |i, j| {
-            if i == 5 || j == 5 {
-                0.9
-            } else {
-                0.1
-            }
-        })
+        DistanceMatrix::from_fn(6, |i, j| if i == 5 || j == 5 { 0.9 } else { 0.1 })
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Regression: a NaN produced by a degenerate distance measure must not
+//! panic mid-mining — and must rank as *maximally far*, whatever its sign.
+//!
+//! `knn_indices`, `lof`/`lof_outliers` and the `kmedoids` seeding used to
+//! sort with `partial_cmp(..).expect(..)` / `.unwrap()`, so one NaN cell in
+//! the distance matrix aborted the whole outsourced-mining run. All float
+//! orderings now sort NaN last via an `is_nan()`-first key over
+//! `f64::total_cmp`. The sign matters: runtime `0.0 / 0.0` produces
+//! *negative* NaN on x86-64, and `total_cmp` alone would rank −NaN before
+//! −∞ — i.e. as the **nearest** neighbour. Every test below therefore runs
+//! with both NaN signs.
+
+use dpe_distance::DistanceMatrix;
+use dpe_mining::{
+    db_outliers, dbscan, kmedoids, knn_indices, lof, lof_outliers, DbscanConfig, DbscanLabel,
+    LofConfig, OutlierConfig,
+};
+
+/// Both NaN payloads a degenerate measure can hand the sorts. The negative
+/// one is what `0.0 / 0.0` evaluates to at runtime on x86-64.
+fn nan_values() -> [f64; 3] {
+    let num = std::hint::black_box(0.0f64);
+    let den = std::hint::black_box(0.0f64);
+    [f64::NAN, -f64::NAN, num / den]
+}
+
+/// Points on a line, except the pair (2, 5) whose distance is `nan` — the
+/// shape a degenerate measure (0/0-style division) would produce.
+fn nan_bearing_matrix(nan: f64) -> DistanceMatrix {
+    let pos: [f64; 8] = [0.0, 0.5, 1.0, 1.5, 10.0, 10.5, 11.0, 50.0];
+    DistanceMatrix::from_fn(8, |i, j| {
+        if (i, j) == (2, 5) {
+            nan
+        } else {
+            (pos[i] - pos[j]).abs()
+        }
+    })
+}
+
+#[test]
+fn knn_survives_nan_and_sorts_it_last() {
+    for nan in nan_values() {
+        let m = nan_bearing_matrix(nan);
+        // Full ranking from point 2: the NaN neighbour (5) must come last.
+        let ranked = knn_indices(&m, 2, 7);
+        assert_eq!(ranked.len(), 7);
+        assert_eq!(
+            *ranked.last().unwrap(),
+            5,
+            "NaN distance must rank last, got {ranked:?} (nan = {nan})"
+        );
+        // And from the other endpoint of the NaN pair symmetrically.
+        let ranked = knn_indices(&m, 5, 7);
+        assert_eq!(*ranked.last().unwrap(), 2);
+        // A small k never touches the NaN pair — in particular the NaN is
+        // NOT the nearest neighbour (the −NaN failure mode of bare
+        // total_cmp).
+        assert_eq!(knn_indices(&m, 2, 2), vec![1, 3]);
+        assert_eq!(knn_indices(&m, 5, 1), vec![4]);
+    }
+}
+
+#[test]
+fn lof_survives_nan() {
+    for nan in nan_values() {
+        let m = nan_bearing_matrix(nan);
+        let scores = lof(&m, LofConfig { min_pts: 3 });
+        assert_eq!(scores.len(), 8);
+        // Points far from the NaN pair keep finite, sensible scores.
+        assert!(scores[0].is_finite() && scores[7].is_finite(), "{scores:?}");
+        // The genuine singleton still dominates every finite score.
+        let finite_max = scores
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_finite())
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(finite_max, 7, "{scores:?}");
+    }
+}
+
+#[test]
+fn lof_outliers_survives_nan_and_excludes_nan_scores() {
+    for nan in nan_values() {
+        let m = nan_bearing_matrix(nan);
+        let out = lof_outliers(&m, LofConfig { min_pts: 3 }, 1.5);
+        // NaN > threshold is false, so a NaN score can never be reported.
+        let scores = lof(&m, LofConfig { min_pts: 3 });
+        for &i in &out {
+            assert!(!scores[i].is_nan());
+        }
+        assert!(out.contains(&7), "the real outlier survives: {out:?}");
+    }
+}
+
+#[test]
+fn kmedoids_survives_nan() {
+    for nan in nan_values() {
+        let m = nan_bearing_matrix(nan);
+        let r = kmedoids(&m, 3);
+        assert_eq!(r.assignment.len(), 8);
+        assert_eq!(r.medoids.len(), 3);
+        assert!(r.assignment.iter().all(|&c| c < 3));
+        // Determinism is preserved under the NaN-last total order.
+        assert_eq!(r, kmedoids(&m, 3));
+    }
+}
+
+#[test]
+fn kmedoids_survives_an_all_nan_cluster() {
+    for nan in nan_values() {
+        // Two items whose mutual distance is NaN, k = 1: every candidate
+        // medoid cost in the update step is NaN. The old `cost < best.0`
+        // comparison left the usize::MAX sentinel as the "medoid" and the
+        // next assignment indexed out of bounds; the NaN-last order must
+        // instead keep the lowest-index member.
+        let m = DistanceMatrix::from_fn(2, |_, _| nan);
+        let r = kmedoids(&m, 1);
+        assert_eq!(r.medoids, vec![0], "nan = {nan}");
+        assert_eq!(r.assignment, vec![0, 0]);
+    }
+}
+
+#[test]
+fn threshold_based_algorithms_survive_nan() {
+    // dbscan and db_outliers only compare (no sort); NaN compares false on
+    // both `<=` and `>`, i.e. a NaN edge is "not a neighbour" and "not
+    // far" — pin that they run to completion and stay deterministic.
+    for nan in nan_values() {
+        let m = nan_bearing_matrix(nan);
+        let cfg = DbscanConfig {
+            eps: 0.6,
+            min_pts: 3,
+        };
+        let labels = dbscan(&m, cfg);
+        assert_eq!(labels.len(), 8);
+        assert_eq!(labels[7], DbscanLabel::Noise);
+        assert_eq!(labels, dbscan(&m, cfg));
+
+        let out = db_outliers(&m, OutlierConfig { p: 0.8, d: 5.0 });
+        assert_eq!(out, vec![7]);
+    }
+}

@@ -25,7 +25,10 @@ impl OpeDomain {
 
     /// The full 64-bit domain.
     pub fn full() -> Self {
-        OpeDomain { lo: 0, hi: u64::MAX }
+        OpeDomain {
+            lo: 0,
+            hi: u64::MAX,
+        }
     }
 
     /// Lower bound (inclusive).

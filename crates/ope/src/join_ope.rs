@@ -49,7 +49,10 @@ mod tests {
         let d = OpeDomain::new(0, 1 << 20);
         let a = JoinOpeGroup::new(&master(), "mag", d);
         let b = JoinOpeGroup::new(&master(), "mag", d);
-        assert_eq!(a.scheme().encrypt(777).unwrap(), b.scheme().encrypt(777).unwrap());
+        assert_eq!(
+            a.scheme().encrypt(777).unwrap(),
+            b.scheme().encrypt(777).unwrap()
+        );
     }
 
     #[test]
@@ -57,7 +60,10 @@ mod tests {
         let d = OpeDomain::new(0, 1 << 20);
         let a = JoinOpeGroup::new(&master(), "mag", d);
         let b = JoinOpeGroup::new(&master(), "flux", d);
-        assert_ne!(a.scheme().encrypt(777).unwrap(), b.scheme().encrypt(777).unwrap());
+        assert_ne!(
+            a.scheme().encrypt(777).unwrap(),
+            b.scheme().encrypt(777).unwrap()
+        );
     }
 
     #[test]
@@ -71,7 +77,9 @@ mod tests {
     #[test]
     fn still_order_preserving() {
         let g = JoinOpeGroup::new(&master(), "mag", OpeDomain::new(0, 10_000));
-        let cts: Vec<u128> = (0..100).map(|v| g.scheme().encrypt(v * 100).unwrap()).collect();
+        let cts: Vec<u128> = (0..100)
+            .map(|v| g.scheme().encrypt(v * 100).unwrap())
+            .collect();
         assert!(cts.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -331,10 +331,16 @@ mod tests {
         let mut m = MopeState::new();
         let mut x = 0x9e3779b97f4a7c15u64;
         for _ in 0..2_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             m.encode(x >> 16).unwrap();
         }
-        assert_eq!(m.rebalance_count(), 0, "unexpected mutation under random order");
+        assert_eq!(
+            m.rebalance_count(),
+            0,
+            "unexpected mutation under random order"
+        );
     }
 
     #[test]

@@ -49,12 +49,24 @@ pub struct OpeScheme {
 impl OpeScheme {
     /// Builds the scheme for `domain` under `key`.
     pub fn new(key: &SymmetricKey, domain: OpeDomain) -> Self {
-        OpeScheme { key: key.clone(), domain, class: EncryptionClass::Ope }
+        OpeScheme {
+            key: key.clone(),
+            domain,
+            class: EncryptionClass::Ope,
+        }
     }
 
     /// Internal: relabel as JOIN-OPE for shared-key groups.
-    pub(crate) fn with_class(key: &SymmetricKey, domain: OpeDomain, class: EncryptionClass) -> Self {
-        OpeScheme { key: key.clone(), domain, class }
+    pub(crate) fn with_class(
+        key: &SymmetricKey,
+        domain: OpeDomain,
+        class: EncryptionClass,
+    ) -> Self {
+        OpeScheme {
+            key: key.clone(),
+            domain,
+            class,
+        }
     }
 
     /// The configured plaintext domain.
@@ -71,7 +83,10 @@ impl OpeScheme {
     /// Encrypts `value`, preserving order: `a < b ⇒ Enc(a) < Enc(b)`.
     pub fn encrypt(&self, value: u64) -> Result<u128, OpeError> {
         if !self.domain.contains(value) {
-            return Err(OpeError::OutOfDomain { value, domain: self.domain });
+            return Err(OpeError::OutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         let mut walk = Walk::new(self);
         loop {
@@ -203,7 +218,12 @@ mod tests {
         let s = OpeScheme::new(&key(1), OpeDomain::new(0, 300));
         let cts: Vec<u128> = (0..=300).map(|v| s.encrypt(v).unwrap()).collect();
         for w in cts.windows(2) {
-            assert!(w[0] < w[1], "strict monotonicity violated: {} !< {}", w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "strict monotonicity violated: {} !< {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -229,7 +249,10 @@ mod tests {
     #[test]
     fn out_of_domain_rejected() {
         let s = OpeScheme::new(&key(4), OpeDomain::new(10, 20));
-        assert!(matches!(s.encrypt(9), Err(OpeError::OutOfDomain { value: 9, .. })));
+        assert!(matches!(
+            s.encrypt(9),
+            Err(OpeError::OutOfDomain { value: 9, .. })
+        ));
         assert!(matches!(s.encrypt(21), Err(OpeError::OutOfDomain { .. })));
     }
 
@@ -238,8 +261,15 @@ mod tests {
         let s = OpeScheme::new(&key(5), OpeDomain::new(0, 1000));
         let valid = s.encrypt(500).unwrap();
         // Neighbouring range points are almost surely not in the image.
-        let invalid = if valid.is_multiple_of(2) { valid + 1 } else { valid - 1 };
-        assert!(matches!(s.decrypt(invalid), Err(OpeError::InvalidCiphertext(_))));
+        let invalid = if valid.is_multiple_of(2) {
+            valid + 1
+        } else {
+            valid - 1
+        };
+        assert!(matches!(
+            s.decrypt(invalid),
+            Err(OpeError::InvalidCiphertext(_))
+        ));
         // Beyond the range entirely:
         assert!(matches!(
             s.decrypt(s.domain().range_size()),
@@ -265,7 +295,10 @@ mod tests {
                 adjacent += 1;
             }
         }
-        assert!(adjacent < 10, "{adjacent} adjacent ciphertext pairs — range not spreading");
+        assert!(
+            adjacent < 10,
+            "{adjacent} adjacent ciphertext pairs — range not spreading"
+        );
     }
 
     #[test]

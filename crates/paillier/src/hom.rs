@@ -22,7 +22,11 @@ impl EncryptedSum {
         let zero = public
             .encrypt(&BigUint::zero(), rng)
             .expect("zero always encrypts");
-        EncryptedSum { public: public.clone(), acc: zero, count: 0 }
+        EncryptedSum {
+            public: public.clone(),
+            acc: zero,
+            count: 0,
+        }
     }
 
     /// Folds one ciphertext into the sum.
@@ -84,7 +88,10 @@ mod tests {
     fn encrypted_sum_matches_plain_sum() {
         let (kp, mut rng) = setup();
         let values = [3u64, 1, 4, 1, 5, 9, 2, 6];
-        let cts: Vec<_> = values.iter().map(|&v| kp.public().encrypt_u64(v, &mut rng)).collect();
+        let cts: Vec<_> = values
+            .iter()
+            .map(|&v| kp.public().encrypt_u64(v, &mut rng))
+            .collect();
         let total = sum_ciphertexts(kp.public(), &cts, &mut rng).unwrap();
         assert_eq!(
             kp.private().decrypt_u64(&total).unwrap(),

@@ -41,7 +41,11 @@ impl PublicKey {
 
     /// Encrypts `m ∈ [0, n)`: `c = (n+1)^m · r^n mod n²` with uniform
     /// `r ∈ (ℤ/nℤ)*`. Uses the `(n+1)^m = 1 + m·n (mod n²)` shortcut.
-    pub fn encrypt<R: RngCore>(&self, m: &BigUint, rng: &mut R) -> Result<PaillierCiphertext, PaillierError> {
+    pub fn encrypt<R: RngCore>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<PaillierCiphertext, PaillierError> {
         if m >= &self.n {
             return Err(PaillierError::PlaintextTooLarge {
                 bits: m.bit_len(),
@@ -72,7 +76,11 @@ impl PublicKey {
 
     /// Re-randomizes a ciphertext without changing its plaintext
     /// (multiplies by a fresh encryption of zero).
-    pub fn rerandomize<R: RngCore>(&self, a: &PaillierCiphertext, rng: &mut R) -> PaillierCiphertext {
+    pub fn rerandomize<R: RngCore>(
+        &self,
+        a: &PaillierCiphertext,
+        rng: &mut R,
+    ) -> PaillierCiphertext {
         let zero = self
             .encrypt(&BigUint::zero(), rng)
             .expect("zero is always a valid plaintext");
@@ -94,7 +102,9 @@ impl PrivateKey {
 
     /// Decrypts into a `u64` (errors if the plaintext overflows).
     pub fn decrypt_u64(&self, c: &PaillierCiphertext) -> Result<u64, PaillierError> {
-        self.decrypt(c)?.to_u64().ok_or(PaillierError::PlaintextOverflow)
+        self.decrypt(c)?
+            .to_u64()
+            .ok_or(PaillierError::PlaintextOverflow)
     }
 
     /// The matching public key.
@@ -110,7 +120,10 @@ impl KeyPair {
     /// [`crate::TEST_PRIME_BITS`] (fast) and [`crate::DEFAULT_PRIME_BITS`]
     /// (realistic) are provided.
     pub fn generate<R: RngCore>(prime_bits: usize, rng: &mut R) -> Self {
-        assert!(prime_bits >= 64, "primes below 64 bits cannot hold u64 plaintexts");
+        assert!(
+            prime_bits >= 64,
+            "primes below 64 bits cannot hold u64 plaintexts"
+        );
         loop {
             let p = gen_prime(prime_bits, rng);
             let q = gen_prime(prime_bits, rng);
@@ -131,7 +144,11 @@ impl KeyPair {
             let l = &(&g_lambda - &BigUint::one()) / &n;
             let Some(mu) = l.modinv(&n) else { continue };
             let public = PublicKey { n, n_squared };
-            let private = PrivateKey { lambda, mu, public: public.clone() };
+            let private = PrivateKey {
+                lambda,
+                mu,
+                public: public.clone(),
+            };
             return KeyPair { public, private };
         }
     }
@@ -190,9 +207,15 @@ mod tests {
     fn invalid_ciphertext_rejected() {
         let kp = keypair();
         let zero = PaillierCiphertext::new(BigUint::zero());
-        assert!(matches!(kp.private().decrypt(&zero), Err(PaillierError::InvalidCiphertext)));
+        assert!(matches!(
+            kp.private().decrypt(&zero),
+            Err(PaillierError::InvalidCiphertext)
+        ));
         let huge = PaillierCiphertext::new(kp.public().n_squared().clone());
-        assert!(matches!(kp.private().decrypt(&huge), Err(PaillierError::InvalidCiphertext)));
+        assert!(matches!(
+            kp.private().decrypt(&huge),
+            Err(PaillierError::InvalidCiphertext)
+        ));
     }
 
     #[test]

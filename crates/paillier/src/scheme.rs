@@ -55,7 +55,10 @@ impl fmt::Display for PaillierError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PaillierError::PlaintextTooLarge { bits, modulus_bits } => {
-                write!(f, "plaintext of {bits} bits exceeds modulus of {modulus_bits} bits")
+                write!(
+                    f,
+                    "plaintext of {bits} bits exceeds modulus of {modulus_bits} bits"
+                )
             }
             PaillierError::InvalidCiphertext => write!(f, "ciphertext outside (0, n²)"),
             PaillierError::PlaintextOverflow => write!(f, "plaintext overflows requested width"),

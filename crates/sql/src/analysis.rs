@@ -68,7 +68,10 @@ pub fn rewrite_query<T: IdentifierTransform>(q: &Query, t: &mut T) -> Query {
     let order_by = q
         .order_by
         .iter()
-        .map(|o| OrderItem { col: rewrite_col(t, &o.col), desc: o.desc })
+        .map(|o| OrderItem {
+            col: rewrite_col(t, &o.col),
+            desc: o.desc,
+        })
         .collect();
 
     Query {
@@ -107,7 +110,10 @@ fn rewrite_expr<T: IdentifierTransform>(e: &Expr, t: &mut T) -> Expr {
             col: rewrite_col(t, col),
             list: list.iter().map(|v| t.constant(col, v)).collect(),
         },
-        Expr::IsNull { col, negated } => Expr::IsNull { col: rewrite_col(t, col), negated: *negated },
+        Expr::IsNull { col, negated } => Expr::IsNull {
+            col: rewrite_col(t, col),
+            negated: *negated,
+        },
         Expr::And(a, b) => Expr::And(Box::new(rewrite_expr(a, t)), Box::new(rewrite_expr(b, t))),
         Expr::Or(a, b) => Expr::Or(Box::new(rewrite_expr(a, t)), Box::new(rewrite_expr(b, t))),
         Expr::Not(inner) => Expr::Not(Box::new(rewrite_expr(inner, t))),
@@ -173,7 +179,10 @@ pub fn visit_columns(q: &Query, f: &mut impl FnMut(&ColumnRef)) {
     for item in &q.select {
         match item {
             SelectItem::Column(c) => f(c),
-            SelectItem::Aggregate { arg: AggArg::Column(c), .. } => f(c),
+            SelectItem::Aggregate {
+                arg: AggArg::Column(c),
+                ..
+            } => f(c),
             _ => {}
         }
     }
@@ -265,7 +274,9 @@ mod tests {
         let q = parse_query("SELECT ra FROM t WHERE a = 1 OR NOT (b < 2)").unwrap();
         let enc = rewrite_query(&q, &mut Tagger);
         // Same shape: OR root with NOT on the right.
-        assert!(matches!(enc.where_clause, Some(Expr::Or(_, ref r)) if matches!(**r, Expr::Not(_))));
+        assert!(
+            matches!(enc.where_clause, Some(Expr::Or(_, ref r)) if matches!(**r, Expr::Not(_)))
+        );
         assert_eq!(enc.limit, q.limit);
         assert_eq!(enc.distinct, q.distinct);
     }

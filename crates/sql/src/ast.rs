@@ -41,12 +41,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Unqualified column.
     pub fn bare(column: impl Into<String>) -> Self {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 
     /// Table-qualified column.
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: Some(table.into()), column: column.into() }
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -314,7 +320,10 @@ mod tests {
     #[test]
     fn column_ref_display() {
         assert_eq!(ColumnRef::bare("ra").to_string(), "ra");
-        assert_eq!(ColumnRef::qualified("photoobj", "ra").to_string(), "photoobj.ra");
+        assert_eq!(
+            ColumnRef::qualified("photoobj", "ra").to_string(),
+            "photoobj.ra"
+        );
     }
 
     #[test]
@@ -328,8 +337,11 @@ mod tests {
 
     #[test]
     fn expr_builders() {
-        let e = Expr::cmp(ColumnRef::bare("ra"), CompareOp::Gt, Literal::Int(5))
-            .and(Expr::cmp(ColumnRef::bare("dec"), CompareOp::Lt, Literal::Int(10)));
+        let e = Expr::cmp(ColumnRef::bare("ra"), CompareOp::Gt, Literal::Int(5)).and(Expr::cmp(
+            ColumnRef::bare("dec"),
+            CompareOp::Lt,
+            Literal::Int(10),
+        ));
         assert!(matches!(e, Expr::And(_, _)));
     }
 }

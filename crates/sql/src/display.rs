@@ -100,7 +100,11 @@ impl fmt::Display for Query {
         }
         write!(f, " FROM {}", self.from.name)?;
         for join in &self.joins {
-            write!(f, " JOIN {} ON {} = {}", join.table.name, join.left, join.right)?;
+            write!(
+                f,
+                " JOIN {} ON {} = {}",
+                join.table.name, join.left, join.right
+            )?;
         }
         if let Some(w) = &self.where_clause {
             write!(f, " WHERE {w}")?;
@@ -148,7 +152,10 @@ mod tests {
     #[test]
     fn canonical_form_examples() {
         let q = parse_query("select RA from PhotoObj where DEC > 5 limit 3").unwrap();
-        assert_eq!(q.to_string(), "SELECT ra FROM photoobj WHERE dec > 5 LIMIT 3");
+        assert_eq!(
+            q.to_string(),
+            "SELECT ra FROM photoobj WHERE dec > 5 LIMIT 3"
+        );
     }
 
     #[test]
@@ -184,6 +191,9 @@ mod tests {
         );
         let q = parse_query("SELECT ra FROM t WHERE (a = 1 AND b = 2) OR c = 3").unwrap();
         // AND binds tighter, so no parens needed in canonical form.
-        assert_eq!(q.to_string(), "SELECT ra FROM t WHERE a = 1 AND b = 2 OR c = 3");
+        assert_eq!(
+            q.to_string(),
+            "SELECT ra FROM t WHERE a = 1 AND b = 2 OR c = 3"
+        );
     }
 }

@@ -25,12 +25,20 @@ pub enum Phase {
 impl SqlError {
     /// Lexer error at `offset`.
     pub fn lex(offset: usize, message: impl Into<String>) -> Self {
-        SqlError { offset, phase: Phase::Lex, message: message.into() }
+        SqlError {
+            offset,
+            phase: Phase::Lex,
+            message: message.into(),
+        }
     }
 
     /// Parser error at `offset`.
     pub fn parse(offset: usize, message: impl Into<String>) -> Self {
-        SqlError { offset, phase: Phase::Parse, message: message.into() }
+        SqlError {
+            offset,
+            phase: Phase::Parse,
+            message: message.into(),
+        }
     }
 }
 

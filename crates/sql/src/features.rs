@@ -181,19 +181,21 @@ mod tests {
 
     #[test]
     fn explicit_join_contributes_from_and_join_features() {
-        let f = features("SELECT ra FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid");
+        let f =
+            features("SELECT ra FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid");
         assert!(f.contains(&Feature::From("photoobj".into())));
         assert!(f.contains(&Feature::From("specobj".into())));
-        assert!(f
-            .iter()
-            .any(|feat| matches!(feat, Feature::Join(_, _))));
+        assert!(f.iter().any(|feat| matches!(feat, Feature::Join(_, _))));
     }
 
     #[test]
     fn aggregates_group_order() {
         let f = features("SELECT COUNT(*), SUM(z) FROM specobj GROUP BY class ORDER BY class DESC");
         assert!(f.contains(&Feature::SelectAgg(AggFunc::Count, None)));
-        assert!(f.contains(&Feature::SelectAgg(AggFunc::Sum, Some(ColumnRef::bare("z")))));
+        assert!(f.contains(&Feature::SelectAgg(
+            AggFunc::Sum,
+            Some(ColumnRef::bare("z"))
+        )));
         assert!(f.contains(&Feature::GroupBy(ColumnRef::bare("class"))));
         assert!(f.contains(&Feature::OrderBy(ColumnRef::bare("class"))));
     }

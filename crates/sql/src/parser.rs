@@ -7,7 +7,11 @@ use crate::token::{lex, Spanned, Token};
 /// Parses one SELECT query. Trailing tokens are an error.
 pub fn parse_query(sql: &str) -> Result<Query, SqlError> {
     let tokens = lex(sql)?;
-    let mut parser = Parser { tokens, pos: 0, len: sql.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        len: sql.len(),
+    };
     let query = parser.query()?;
     if let Some(extra) = parser.peek() {
         return Err(SqlError::parse(
@@ -82,7 +86,10 @@ impl Parser {
     fn ident(&mut self, what: &str) -> Result<String, SqlError> {
         let offset = self.offset();
         match self.advance() {
-            Some(Spanned { token: Token::Ident(name), .. }) => Ok(name),
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) => Ok(name),
             other => Err(SqlError::parse(
                 offset,
                 format!(
@@ -117,7 +124,11 @@ impl Parser {
             }
         }
 
-        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
@@ -149,14 +160,26 @@ impl Parser {
         let limit = if self.eat_keyword("LIMIT") {
             let offset = self.offset();
             match self.advance() {
-                Some(Spanned { token: Token::Int(v), .. }) if v >= 0 => Some(v as u64),
+                Some(Spanned {
+                    token: Token::Int(v),
+                    ..
+                }) if v >= 0 => Some(v as u64),
                 _ => return Err(SqlError::parse(offset, "expected non-negative LIMIT count")),
             }
         } else {
             None
         };
 
-        Ok(Query { distinct, select, from, joins, where_clause, group_by, order_by, limit })
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
@@ -201,9 +224,15 @@ impl Parser {
         let first = self.ident("column name")?;
         if self.eat(&Token::Dot) {
             let column = self.ident("column name after '.'")?;
-            Ok(ColumnRef { table: Some(first), column })
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
         } else {
-            Ok(ColumnRef { table: None, column: first })
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
         }
     }
 
@@ -269,7 +298,11 @@ impl Parser {
             }
             self.expect(Token::RParen)?;
             let in_expr = Expr::InList { col, list };
-            return Ok(if negated_in { Expr::Not(Box::new(in_expr)) } else { in_expr });
+            return Ok(if negated_in {
+                Expr::Not(Box::new(in_expr))
+            } else {
+                in_expr
+            });
         }
         if negated_in {
             return Err(SqlError::parse(offset, "expected IN after NOT"));
@@ -296,7 +329,11 @@ impl Parser {
         // `col = col2` is a join predicate; any operator followed by a
         // literal is an ordinary comparison.
         if op == CompareOp::Eq {
-            if let Some(Spanned { token: Token::Ident(_), .. }) = self.peek() {
+            if let Some(Spanned {
+                token: Token::Ident(_),
+                ..
+            }) = self.peek()
+            {
                 let right = self.column_ref()?;
                 return Ok(Expr::ColumnEq { left: col, right });
             }
@@ -342,7 +379,9 @@ mod tests {
     fn projection_and_predicates() {
         let q = parse("SELECT ra, dec FROM photoobj WHERE ra > 100 AND dec <= -5");
         assert_eq!(q.select.len(), 2);
-        let Some(Expr::And(l, r)) = q.where_clause else { panic!() };
+        let Some(Expr::And(l, r)) = q.where_clause else {
+            panic!()
+        };
         assert_eq!(
             *l,
             Expr::cmp(ColumnRef::bare("ra"), CompareOp::Gt, Literal::Int(100))
@@ -356,14 +395,18 @@ mod tests {
     #[test]
     fn or_binds_weaker_than_and() {
         let q = parse("SELECT ra FROM t WHERE a = 1 OR b = 2 AND c = 3");
-        let Some(Expr::Or(_, rhs)) = q.where_clause else { panic!("OR must be the root") };
+        let Some(Expr::Or(_, rhs)) = q.where_clause else {
+            panic!("OR must be the root")
+        };
         assert!(matches!(*rhs, Expr::And(_, _)));
     }
 
     #[test]
     fn parentheses_override_precedence() {
         let q = parse("SELECT ra FROM t WHERE (a = 1 OR b = 2) AND c = 3");
-        let Some(Expr::And(lhs, _)) = q.where_clause else { panic!("AND must be the root") };
+        let Some(Expr::And(lhs, _)) = q.where_clause else {
+            panic!("AND must be the root")
+        };
         assert!(matches!(*lhs, Expr::Or(_, _)));
     }
 
@@ -413,7 +456,10 @@ mod tests {
         assert_eq!(q.select.len(), 3);
         assert!(matches!(
             q.select[0],
-            SelectItem::Aggregate { func: AggFunc::Count, arg: AggArg::Star }
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: AggArg::Star
+            }
         ));
         assert_eq!(q.group_by, vec![ColumnRef::bare("class")]);
     }
@@ -436,7 +482,9 @@ mod tests {
     #[test]
     fn not_in() {
         let q = parse("SELECT ra FROM t WHERE class NOT IN ('QSO')");
-        assert!(matches!(q.where_clause, Some(Expr::Not(inner)) if matches!(*inner, Expr::InList { .. })));
+        assert!(
+            matches!(q.where_clause, Some(Expr::Not(inner)) if matches!(*inner, Expr::InList { .. }))
+        );
     }
 
     #[test]
@@ -456,7 +504,10 @@ mod tests {
         let q = parse("SELECT a FROM t WHERE a = NULL");
         assert!(matches!(
             q.where_clause,
-            Some(Expr::Comparison { value: Literal::Null, .. })
+            Some(Expr::Comparison {
+                value: Literal::Null,
+                ..
+            })
         ));
     }
 }

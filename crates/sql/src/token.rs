@@ -87,32 +87,53 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>, SqlError> {
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Spanned { token: Token::Dot, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: i });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Spanned { token: Token::Eq, offset: i });
+                tokens.push(Spanned {
+                    token: Token::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ne, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(SqlError::lex(i, "expected '=' after '!'"));
@@ -120,24 +141,39 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>, SqlError> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    tokens.push(Spanned { token: Token::Le, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(Spanned { token: Token::Ne, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Spanned { token: Token::Lt, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ge, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Gt, offset: i });
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -164,7 +200,10 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>, SqlError> {
                         }
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(value), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Str(value),
+                    offset: start,
+                });
             }
             '-' | '0'..='9' => {
                 let start = i;
@@ -187,11 +226,17 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>, SqlError> {
                 let value: i64 = text
                     .parse()
                     .map_err(|_| SqlError::lex(start, "integer literal out of i64 range"))?;
-                tokens.push(Spanned { token: Token::Int(value), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Int(value),
+                    offset: start,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while matches!(bytes.get(i), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                while matches!(
+                    bytes.get(i),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                ) {
                     i += 1;
                 }
                 let word = &sql[start..i];
@@ -201,7 +246,10 @@ pub fn lex(sql: &str) -> Result<Vec<Spanned>, SqlError> {
                 } else {
                     Token::Ident(word.to_ascii_lowercase())
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             other => return Err(SqlError::lex(i, format!("unexpected character {other:?}"))),
         }
@@ -237,14 +285,25 @@ mod tests {
 
     #[test]
     fn case_insensitive_keywords_and_idents() {
-        assert_eq!(kinds("select RA from PhotoObj"), kinds("SELECT ra FROM photoobj"));
+        assert_eq!(
+            kinds("select RA from PhotoObj"),
+            kinds("SELECT ra FROM photoobj")
+        );
     }
 
     #[test]
     fn operators() {
         assert_eq!(
             kinds("= != <> < <= > >="),
-            vec![Token::Eq, Token::Ne, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
         );
     }
 

@@ -89,15 +89,24 @@ mod tests {
     fn deterministic_in_seed() {
         let a = generate_database(50, 42);
         let b = generate_database(50, 42);
-        assert_eq!(a.table("photoobj").unwrap().rows(), b.table("photoobj").unwrap().rows());
-        assert_eq!(a.table("specobj").unwrap().rows(), b.table("specobj").unwrap().rows());
+        assert_eq!(
+            a.table("photoobj").unwrap().rows(),
+            b.table("photoobj").unwrap().rows()
+        );
+        assert_eq!(
+            a.table("specobj").unwrap().rows(),
+            b.table("specobj").unwrap().rows()
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = generate_database(50, 1);
         let b = generate_database(50, 2);
-        assert_ne!(a.table("photoobj").unwrap().rows(), b.table("photoobj").unwrap().rows());
+        assert_ne!(
+            a.table("photoobj").unwrap().rows(),
+            b.table("photoobj").unwrap().rows()
+        );
     }
 
     #[test]

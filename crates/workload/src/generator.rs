@@ -89,7 +89,10 @@ impl LogGenerator {
         let templates: Vec<usize> = match &config.allowed_templates {
             Some(list) => {
                 assert!(!list.is_empty(), "allowed_templates must not be empty");
-                assert!(list.iter().all(|&t| t < TEMPLATE_COUNT), "unknown template id");
+                assert!(
+                    list.iter().all(|&t| t < TEMPLATE_COUNT),
+                    "unknown template id"
+                );
                 list.clone()
             }
             None => (0..TEMPLATE_COUNT).collect(),
@@ -110,7 +113,9 @@ impl LogGenerator {
     /// Generates a full log.
     pub fn generate(config: &LogConfig) -> Vec<Query> {
         let mut generator = LogGenerator::new(config);
-        (0..config.queries).map(|_| generator.next_query()).collect()
+        (0..config.queries)
+            .map(|_| generator.next_query())
+            .collect()
     }
 
     fn hot(&mut self, pool: &'static str) -> i64 {
@@ -205,20 +210,34 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = LogConfig { queries: 40, ..Default::default() };
+        let cfg = LogConfig {
+            queries: 40,
+            ..Default::default()
+        };
         assert_eq!(LogGenerator::generate(&cfg), LogGenerator::generate(&cfg));
     }
 
     #[test]
     fn seed_changes_log() {
-        let a = LogGenerator::generate(&LogConfig { queries: 40, seed: 1, ..Default::default() });
-        let b = LogGenerator::generate(&LogConfig { queries: 40, seed: 2, ..Default::default() });
+        let a = LogGenerator::generate(&LogConfig {
+            queries: 40,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = LogGenerator::generate(&LogConfig {
+            queries: 40,
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a, b);
     }
 
     #[test]
     fn covers_many_templates() {
-        let log = LogGenerator::generate(&LogConfig { queries: 200, ..Default::default() });
+        let log = LogGenerator::generate(&LogConfig {
+            queries: 200,
+            ..Default::default()
+        });
         let shapes: BTreeSet<String> = log
             .iter()
             .map(|q| {
@@ -238,10 +257,16 @@ mod tests {
     #[test]
     fn all_attributes_have_known_domains() {
         let catalog = crate::schema::sky_domains();
-        let log = LogGenerator::generate(&LogConfig { queries: 150, ..Default::default() });
+        let log = LogGenerator::generate(&LogConfig {
+            queries: 150,
+            ..Default::default()
+        });
         for q in &log {
             for attr in analysis::attributes(q) {
-                assert!(catalog.get(&attr).is_some(), "attribute {attr} lacks a domain");
+                assert!(
+                    catalog.get(&attr).is_some(),
+                    "attribute {attr} lacks a domain"
+                );
             }
         }
     }
@@ -250,7 +275,10 @@ mod tests {
     fn hot_constants_repeat() {
         // Zipf skew must produce repeated constants — the signal the
         // frequency attack needs.
-        let log = LogGenerator::generate(&LogConfig { queries: 150, ..Default::default() });
+        let log = LogGenerator::generate(&LogConfig {
+            queries: 150,
+            ..Default::default()
+        });
         let mut counts: std::collections::HashMap<String, usize> = Default::default();
         for q in &log {
             for (_, lit) in analysis::constants(q) {
@@ -271,7 +299,10 @@ mod tests {
         };
         for q in LogGenerator::generate(&cfg) {
             assert_eq!(q.select.len(), 1);
-            assert!(matches!(q.select[0], dpe_sql::SelectItem::Aggregate { .. }), "{q}");
+            assert!(
+                matches!(q.select[0], dpe_sql::SelectItem::Aggregate { .. }),
+                "{q}"
+            );
         }
     }
 
@@ -290,14 +321,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown template id")]
     fn bad_template_id_panics() {
-        let cfg = LogConfig { allowed_templates: Some(vec![99]), ..Default::default() };
+        let cfg = LogConfig {
+            allowed_templates: Some(vec![99]),
+            ..Default::default()
+        };
         LogGenerator::new(&cfg);
     }
 
     #[test]
     fn queries_execute_against_generated_db() {
         let db = crate::dbgen::generate_database(80, 11);
-        let log = LogGenerator::generate(&LogConfig { queries: 120, ..Default::default() });
+        let log = LogGenerator::generate(&LogConfig {
+            queries: 120,
+            ..Default::default()
+        });
         for q in &log {
             dpe_minidb::execute(&db, q).unwrap_or_else(|e| panic!("{q}: {e}"));
         }

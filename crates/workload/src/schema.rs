@@ -20,12 +20,12 @@ pub const SKY_TABLES: [&str; 3] = ["photoobj", "specobj", "neighbors"];
 /// micro for redshift; magnitudes ×100).
 pub const INT_DOMAINS: [(&str, i64, i64); 8] = [
     ("objid", 1, 1_000_000),
-    ("ra", 0, 360_000),        // 0..360 deg, milli-deg
-    ("dec", -90_000, 90_000),  // -90..90 deg, milli-deg
-    ("rmag", 1_000, 2_800),    // 10.00..28.00 mag, centi-mag
+    ("ra", 0, 360_000),       // 0..360 deg, milli-deg
+    ("dec", -90_000, 90_000), // -90..90 deg, milli-deg
+    ("rmag", 1_000, 2_800),   // 10.00..28.00 mag, centi-mag
     ("specid", 1, 1_000_000),
     ("bestobjid", 1, 1_000_000),
-    ("z", 0, 7_000_000),       // redshift 0..7, micro
+    ("z", 0, 7_000_000), // redshift 0..7, micro
     ("neighborobjid", 1, 1_000_000),
 ];
 

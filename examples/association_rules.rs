@@ -19,7 +19,12 @@ use std::collections::BTreeSet;
 
 fn feature_transactions(log: &[dpe::sql::Query]) -> Vec<Transaction<String>> {
     log.iter()
-        .map(|q| feature_set(q).iter().map(|f| f.to_string()).collect::<BTreeSet<_>>())
+        .map(|q| {
+            feature_set(q)
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<BTreeSet<_>>()
+        })
         .collect()
 }
 
@@ -52,8 +57,10 @@ fn main() {
     // Identical pattern structure: counts, supports and confidences match.
     assert_eq!(fi_plain.len(), fi_enc.len());
     assert_eq!(rules_plain.len(), rules_enc.len());
-    let mut sup_p: Vec<(usize, usize)> =
-        fi_plain.iter().map(|f| (f.items.len(), f.support)).collect();
+    let mut sup_p: Vec<(usize, usize)> = fi_plain
+        .iter()
+        .map(|f| (f.items.len(), f.support))
+        .collect();
     let mut sup_e: Vec<(usize, usize)> =
         fi_enc.iter().map(|f| (f.items.len(), f.support)).collect();
     sup_p.sort_unstable();
@@ -67,8 +74,7 @@ fn main() {
     let mut by_conf = rules_plain.clone();
     by_conf.sort_by(|a, b| {
         b.confidence
-            .partial_cmp(&a.confidence)
-            .unwrap()
+            .total_cmp(&a.confidence)
             .then(b.support.cmp(&a.support))
     });
     for rule in by_conf.iter().take(5) {

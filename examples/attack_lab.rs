@@ -24,7 +24,9 @@ fn main() {
     // that query-log constants (and the attacker's auxiliary knowledge)
     // actually have.
     let zipf = Zipf::new(15, 1.1);
-    let plain: Vec<i64> = (0..1000).map(|_| 10_000 + zipf.sample(&mut rng) as i64 * 111).collect();
+    let plain: Vec<i64> = (0..1000)
+        .map(|_| 10_000 + zipf.sample(&mut rng) as i64 * 111)
+        .collect();
     let truth: Vec<String> = plain.iter().map(|v| v.to_string()).collect();
     let mut aux_counts: std::collections::BTreeMap<String, usize> = Default::default();
     for t in &truth {
@@ -33,27 +35,55 @@ fn main() {
     let aux: Vec<(String, usize)> = aux_counts.into_iter().collect();
 
     println!("column: 1000 Zipf-skewed constants, 15 distinct values\n");
-    println!("{:<28} {:>18} {:>18}", "scheme (class)", "frequency attack", "sorting attack");
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "scheme (class)", "frequency attack", "sorting attack"
+    );
 
     // PROB — randomized AES-CTR.
     let prob = ProbScheme::new(&SlotLabel::Constant("lab").derive(&master));
-    let cts: Vec<String> =
-        plain.iter().map(|v| prob.encrypt(&v.to_be_bytes(), &mut rng).to_hex()).collect();
+    let cts: Vec<String> = plain
+        .iter()
+        .map(|v| prob.encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
     let freq = frequency_attack(&cts, &truth, &aux);
-    println!("{:<28} {:>18} {:>18}", "PROB (rand. AES-CTR)", freq.to_string(), "no order to sort");
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "PROB (rand. AES-CTR)",
+        freq.to_string(),
+        "no order to sort"
+    );
 
     // DET — SIV.
     let det = DetScheme::new(&SlotLabel::Constant("lab").derive(&master));
-    let cts: Vec<String> =
-        plain.iter().map(|v| det.encrypt(&v.to_be_bytes(), &mut rng).to_hex()).collect();
+    let cts: Vec<String> = plain
+        .iter()
+        .map(|v| det.encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
     let freq = frequency_attack(&cts, &truth, &aux);
-    println!("{:<28} {:>18} {:>18}", "DET (SIV)", freq.to_string(), "order hidden");
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "DET (SIV)",
+        freq.to_string(),
+        "order hidden"
+    );
 
     // OPE — order-preserving.
-    let ope = OpeScheme::new(&SlotLabel::Constant("lab").derive(&master), OpeDomain::new(0, 1 << 20));
-    let cts: Vec<u128> = plain.iter().map(|&v| ope.encrypt(v as u64).unwrap()).collect();
+    let ope = OpeScheme::new(
+        &SlotLabel::Constant("lab").derive(&master),
+        OpeDomain::new(0, 1 << 20),
+    );
+    let cts: Vec<u128> = plain
+        .iter()
+        .map(|&v| ope.encrypt(v as u64).unwrap())
+        .collect();
     let sort = sorting_attack(&cts, &plain, &plain);
-    println!("{:<28} {:>18} {:>18}", "OPE (range bisection)", "(inherits DET)", sort.to_string());
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "OPE (range bisection)",
+        "(inherits DET)",
+        sort.to_string()
+    );
 
     println!(
         "\nReading: PROB resists both attacks; DET leaks value frequencies; OPE additionally\n\

@@ -11,8 +11,8 @@
 
 use dpe::core::dpe::verify_dpe;
 use dpe::core::scheme::{QueryEncryptor, ResultDpe};
-use dpe::crypto::MasterKey;
 use dpe::cryptdb::column::CryptDbConfig;
+use dpe::crypto::MasterKey;
 use dpe::distance::{QueryDistance, ResultDistance};
 use dpe::sql::parse_query;
 use dpe::workload::{generate_database, sky_catalog, sky_domains, LogConfig, LogGenerator};
@@ -39,7 +39,9 @@ fn main() {
     // Provider-side distance computation over encrypted results:
     let d_plain = ResultDistance::new(&plain_db);
     let d_enc = ResultDistance::new(dpe.encrypted_database());
-    let sample = d_enc.distance(&encrypted[0], &encrypted[1]).expect("distance");
+    let sample = d_enc
+        .distance(&encrypted[0], &encrypted[1])
+        .expect("distance");
     println!(
         "provider: d_result(Enc Q0, Enc Q1) = {sample:.4} (owner's value: {:.4})",
         d_plain.distance(&log[0], &log[1]).unwrap()
@@ -53,5 +55,8 @@ fn main() {
     // Paillier-folded aggregate (the HOM onion).
     let q = parse_query("SELECT SUM(z), AVG(z) FROM specobj WHERE z > 1000000").unwrap();
     let result = dpe.proxy_mut().execute(&q).expect("HOM execution");
-    println!("transparent SUM/AVG through the proxy: {:?}", result.rows[0]);
+    println!(
+        "transparent SUM/AVG through the proxy: {:?}",
+        result.rows[0]
+    );
 }

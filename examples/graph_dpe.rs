@@ -40,7 +40,10 @@ fn main() {
     let enc = DetGraphEncryptor::new(&MasterKey::from_bytes([5; 32]));
     let encrypted: Vec<Graph> = plain.iter().map(|g| enc.encrypt_graph(g)).collect();
 
-    println!("\n=== Definition 1, exhaustive over {} graphs ===", plain.len());
+    println!(
+        "\n=== Definition 1, exhaustive over {} graphs ===",
+        plain.len()
+    );
     for report in [
         verify_graph_dpe(&VertexJaccard, &plain, &encrypted),
         verify_graph_dpe(&EdgeJaccard, &plain, &encrypted),

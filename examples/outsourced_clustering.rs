@@ -13,26 +13,69 @@
 use dpe::core::scheme::{QueryEncryptor, StructuralDpe};
 use dpe::core::verify::mining_agreement;
 use dpe::crypto::MasterKey;
-use dpe::distance::{DistanceMatrix, StructureDistance};
+use dpe::distance::{DistanceMatrix, MatrixBuilder, StructureDistance};
 use dpe::mining::{dbscan, kmedoids, DbscanConfig, DbscanLabel, OutlierConfig};
 use dpe::workload::{LogConfig, LogGenerator};
 
 fn main() {
     // --- data owner side -------------------------------------------------
-    let log = LogGenerator::generate(&LogConfig { queries: 80, seed: 0xC1, ..Default::default() });
-    println!("owner: generated a log of {} queries, e.g.\n  {}", log.len(), log[0]);
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 80,
+        seed: 0xC1,
+        ..Default::default()
+    });
+    println!(
+        "owner: generated a log of {} queries, e.g.\n  {}",
+        log.len(),
+        log[0]
+    );
 
     let master = MasterKey::from_bytes([0x07; 32]);
     let mut scheme = StructuralDpe::new(&master, 1);
     let encrypted = scheme.encrypt_log(&log).expect("encryption");
-    println!("owner: encrypted the log; first item:\n  {}\n", encrypted[0]);
+    println!(
+        "owner: encrypted the log; first item:\n  {}\n",
+        encrypted[0]
+    );
 
     // --- service provider side (sees only `encrypted`) -------------------
-    let matrix = DistanceMatrix::compute(&encrypted, &StructureDistance).expect("distances");
+    // The log arrives in batches; the provider grows the packed distance
+    // matrix incrementally, paying only for the new pairs each time.
+    let mut stream = MatrixBuilder::new();
+    for batch in encrypted.chunks(20) {
+        stream.extend(batch, &StructureDistance).expect("distances");
+        println!(
+            "provider: batch of {} encrypted queries arrived — matrix now {}×{} ({} packed cells)",
+            batch.len(),
+            stream.len(),
+            stream.len(),
+            stream.matrix().packed_len()
+        );
+    }
+    let (_, matrix) = stream.into_parts();
+    // A batch provider would compute the same matrix in parallel instead:
+    let parallel =
+        DistanceMatrix::compute_parallel(&encrypted, &StructureDistance, 4).expect("distances");
+    assert!(
+        matrix.identical(&parallel),
+        "incremental and parallel paths agree bit-for-bit"
+    );
     let clusters = kmedoids(&matrix, 4);
-    let density = dbscan(&matrix, DbscanConfig { eps: 0.45, min_pts: 3 });
-    let noise = density.iter().filter(|l| matches!(l, DbscanLabel::Noise)).count();
-    println!("provider: k-medoids found medoids at encrypted queries {:?}", clusters.medoids);
+    let density = dbscan(
+        &matrix,
+        DbscanConfig {
+            eps: 0.45,
+            min_pts: 3,
+        },
+    );
+    let noise = density
+        .iter()
+        .filter(|l| matches!(l, DbscanLabel::Noise))
+        .count();
+    println!(
+        "provider: k-medoids found medoids at encrypted queries {:?}",
+        clusters.medoids
+    );
     println!(
         "provider: DBSCAN found {} clusters and {} noise queries",
         density
@@ -52,12 +95,21 @@ fn main() {
         &local,
         &matrix,
         4,
-        DbscanConfig { eps: 0.45, min_pts: 3 },
+        DbscanConfig {
+            eps: 0.45,
+            min_pts: 3,
+        },
         OutlierConfig { p: 0.7, d: 0.6 },
     );
     println!("\naudit: k-medoids ARI = {:.3}", agreement.kmedoids_ari);
     println!("audit: DBSCAN ARI    = {:.3}", agreement.dbscan_ari);
-    println!("audit: outlier sets identical = {}", agreement.outliers_identical);
-    assert!(agreement.all_identical, "DPE guarantees identical mining results");
+    println!(
+        "audit: outlier sets identical = {}",
+        agreement.outliers_identical
+    );
+    assert!(
+        agreement.all_identical,
+        "DPE guarantees identical mining results"
+    );
     println!("\nThe provider computed exactly the clustering the owner would have — without the plaintext.");
 }

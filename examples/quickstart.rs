@@ -53,5 +53,8 @@ fn main() {
     //    algorithm gives the same result on both sides.
     let m_plain = DistanceMatrix::compute(&log, &d).unwrap();
     let m_enc = DistanceMatrix::compute(&encrypted, &d).unwrap();
-    println!("distance matrices bit-identical: {}", m_plain.identical(&m_enc));
+    println!(
+        "distance matrices bit-identical: {}",
+        m_plain.identical(&m_enc)
+    );
 }

@@ -15,13 +15,22 @@ use std::collections::BTreeSet;
 
 fn feature_transactions(log: &[dpe::sql::Query]) -> Vec<Transaction<String>> {
     log.iter()
-        .map(|q| feature_set(q).iter().map(|f| f.to_string()).collect::<BTreeSet<_>>())
+        .map(|q| {
+            feature_set(q)
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<BTreeSet<_>>()
+        })
         .collect()
 }
 
 #[test]
 fn rules_survive_structural_encryption() {
-    let log = LogGenerator::generate(&LogConfig { queries: 60, seed: 0xAB, ..Default::default() });
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 60,
+        seed: 0xAB,
+        ..Default::default()
+    });
     let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([0x61; 32]), 2);
     let enc_log = scheme.encrypt_log(&log).unwrap();
 
@@ -35,8 +44,10 @@ fn rules_survive_structural_encryption() {
     // Same number of frequent itemsets at every size, same support
     // multiset — the encrypted run found the same patterns.
     assert_eq!(fi_plain.len(), fi_enc.len());
-    let mut sup_p: Vec<(usize, usize)> =
-        fi_plain.iter().map(|f| (f.items.len(), f.support)).collect();
+    let mut sup_p: Vec<(usize, usize)> = fi_plain
+        .iter()
+        .map(|f| (f.items.len(), f.support))
+        .collect();
     let mut sup_e: Vec<(usize, usize)> =
         fi_enc.iter().map(|f| (f.items.len(), f.support)).collect();
     sup_p.sort_unstable();
@@ -47,7 +58,10 @@ fn rules_survive_structural_encryption() {
     let rules_plain = association_rules(&plain_tx, &fi_plain, 0.8);
     let rules_enc = association_rules(&enc_tx, &fi_enc, 0.8);
     assert_eq!(rule_shape(&rules_plain), rule_shape(&rules_enc));
-    assert!(!rules_plain.is_empty(), "workload should produce some rules");
+    assert!(
+        !rules_plain.is_empty(),
+        "workload should produce some rules"
+    );
 }
 
 #[test]
@@ -55,9 +69,16 @@ fn mined_patterns_are_nontrivial() {
     // Sanity: the synthetic workload actually contains co-occurrence
     // structure (template features co-occur), so the test above is not
     // vacuously passing on empty rule sets.
-    let log = LogGenerator::generate(&LogConfig { queries: 80, seed: 0xAC, ..Default::default() });
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 80,
+        seed: 0xAC,
+        ..Default::default()
+    });
     let tx = feature_transactions(&log);
     let fi = frequent_itemsets(&tx, 8);
     let pairs = fi.iter().filter(|f| f.items.len() >= 2).count();
-    assert!(pairs >= 3, "expected co-occurring features, got {pairs} pairs");
+    assert!(
+        pairs >= 3,
+        "expected co-occurring features, got {pairs} pairs"
+    );
 }

@@ -1,9 +1,9 @@
 //! Integration: CryptDB transparency across the whole workload — encrypted
 //! execution equals plaintext execution — plus onion-policy enforcement.
 
-use dpe::crypto::MasterKey;
 use dpe::cryptdb::column::{ColumnPolicy, CryptDbConfig};
 use dpe::cryptdb::{CryptDbError, CryptDbProxy};
+use dpe::crypto::MasterKey;
 use dpe::minidb::execute;
 use dpe::sql::parse_query;
 use dpe::workload::{generate_database, sky_catalog, sky_domains, LogConfig, LogGenerator};
@@ -25,7 +25,11 @@ fn proxy(seed: u64) -> (dpe::minidb::Database, CryptDbProxy) {
 #[test]
 fn workload_transparency_100_queries() {
     let (plain, mut proxy) = proxy(0x99);
-    let log = LogGenerator::generate(&LogConfig { queries: 100, seed: 0x99, ..Default::default() });
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 100,
+        seed: 0x99,
+        ..Default::default()
+    });
     for q in &log {
         let expect = execute(&plain, q).unwrap();
         let got = proxy.execute(q).unwrap();
@@ -63,15 +67,22 @@ fn rnd_frozen_columns_cannot_be_queried_but_can_be_fetched() {
     // Predicates are refused: equality needs DET (forbidden), ranges need
     // ORD (absent).
     let q = parse_query("SELECT specid FROM specobj WHERE z = 5").unwrap();
-    assert!(matches!(proxy.execute(&q), Err(CryptDbError::AdjustmentForbidden(_))));
+    assert!(matches!(
+        proxy.execute(&q),
+        Err(CryptDbError::AdjustmentForbidden(_))
+    ));
     let q = parse_query("SELECT specid FROM specobj WHERE z > 5").unwrap();
-    assert!(matches!(proxy.execute(&q), Err(CryptDbError::MissingOnion { .. })));
+    assert!(matches!(
+        proxy.execute(&q),
+        Err(CryptDbError::MissingOnion { .. })
+    ));
 }
 
 #[test]
 fn encrypted_execution_is_stable_across_repeats() {
     let (_, mut proxy) = proxy(0x44);
-    let q = parse_query("SELECT class, COUNT(*) FROM photoobj GROUP BY class ORDER BY class").unwrap();
+    let q =
+        parse_query("SELECT class, COUNT(*) FROM photoobj GROUP BY class ORDER BY class").unwrap();
     let first = proxy.execute(&q).unwrap();
     for _ in 0..3 {
         assert_eq!(proxy.execute(&q).unwrap().rows, first.rows);

@@ -18,15 +18,18 @@ use dpe::sql::{parse_query, Expr, Literal, Query};
 fn encrypt_constants_fpe(q: &Query, fpe: &FpeScheme) -> Query {
     fn map_expr(e: &Expr, fpe: &FpeScheme) -> Expr {
         let enc_lit = |lit: &Literal| match lit {
-            Literal::Str(s) if s.len() >= 2 => {
-                Literal::Str(fpe.encrypt_str(s, b"const").expect("alphabet covers workload"))
-            }
+            Literal::Str(s) if s.len() >= 2 => Literal::Str(
+                fpe.encrypt_str(s, b"const")
+                    .expect("alphabet covers workload"),
+            ),
             other => other.clone(),
         };
         match e {
-            Expr::Comparison { col, op, value } => {
-                Expr::Comparison { col: col.clone(), op: *op, value: enc_lit(value) }
-            }
+            Expr::Comparison { col, op, value } => Expr::Comparison {
+                col: col.clone(),
+                op: *op,
+                value: enc_lit(value),
+            },
             Expr::Between { col, low, high } => Expr::Between {
                 col: col.clone(),
                 low: enc_lit(low),
@@ -36,13 +39,8 @@ fn encrypt_constants_fpe(q: &Query, fpe: &FpeScheme) -> Query {
                 col: col.clone(),
                 list: list.iter().map(enc_lit).collect(),
             },
-            Expr::And(a, b) => Expr::And(
-                Box::new(map_expr(a, fpe)),
-                Box::new(map_expr(b, fpe)),
-            ),
-            Expr::Or(a, b) => {
-                Expr::Or(Box::new(map_expr(a, fpe)), Box::new(map_expr(b, fpe)))
-            }
+            Expr::And(a, b) => Expr::And(Box::new(map_expr(a, fpe)), Box::new(map_expr(b, fpe))),
+            Expr::Or(a, b) => Expr::Or(Box::new(map_expr(a, fpe)), Box::new(map_expr(b, fpe))),
             Expr::Not(a) => Expr::Not(Box::new(map_expr(a, fpe))),
             other => other.clone(),
         }

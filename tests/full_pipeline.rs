@@ -5,11 +5,10 @@
 use dpe::core::dpe::verify_dpe;
 use dpe::core::scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};
 use dpe::core::verify::mining_agreement;
-use dpe::crypto::MasterKey;
 use dpe::cryptdb::column::CryptDbConfig;
+use dpe::crypto::MasterKey;
 use dpe::distance::{
-    AccessAreaDistance, DistanceMatrix, ResultDistance, StructureDistance,
-    TokenDistance,
+    AccessAreaDistance, DistanceMatrix, ResultDistance, StructureDistance, TokenDistance,
 };
 use dpe::mining::{DbscanConfig, OutlierConfig};
 use dpe::workload::{generate_database, sky_catalog, sky_domains, LogConfig, LogGenerator};
@@ -19,7 +18,11 @@ fn master() -> MasterKey {
 }
 
 fn log(n: usize, seed: u64) -> Vec<dpe::sql::Query> {
-    LogGenerator::generate(&LogConfig { queries: n, seed, ..Default::default() })
+    LogGenerator::generate(&LogConfig {
+        queries: n,
+        seed,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -57,7 +60,8 @@ fn result_row_end_to_end() {
     let db = generate_database(50, 4);
     let log = LogGenerator::generate(&LogConfig::result_safe(40, 4));
     let config = CryptDbConfig::default().with_join_group("obj", &["objid", "bestobjid"]);
-    let mut scheme = ResultDpe::new(&db, &sky_catalog(), &sky_domains(), &config, &master()).unwrap();
+    let mut scheme =
+        ResultDpe::new(&db, &sky_catalog(), &sky_domains(), &config, &master()).unwrap();
     scheme.prepare_for_log(&log).unwrap();
     let enc = scheme.encrypt_log(&log).unwrap();
     let d_plain = ResultDistance::new(&db);
@@ -73,12 +77,19 @@ fn mining_results_identical_under_token_dpe() {
     let enc = scheme.encrypt_log(&log).unwrap();
     let m_plain = DistanceMatrix::compute(&log, &TokenDistance).unwrap();
     let m_enc = DistanceMatrix::compute(&enc, &TokenDistance).unwrap();
-    assert!(m_plain.identical(&m_enc), "max diff {}", m_plain.max_abs_diff(&m_enc));
+    assert!(
+        m_plain.identical(&m_enc),
+        "max diff {}",
+        m_plain.max_abs_diff(&m_enc)
+    );
     let agreement = mining_agreement(
         &m_plain,
         &m_enc,
         4,
-        DbscanConfig { eps: 0.45, min_pts: 3 },
+        DbscanConfig {
+            eps: 0.45,
+            min_pts: 3,
+        },
         OutlierConfig { p: 0.7, d: 0.6 },
     );
     assert!(agreement.all_identical, "{agreement:?}");

@@ -40,7 +40,10 @@ fn encrypted_graph_corpus_clusters_identically() {
         EdgeJaccard.distance(&encrypted[i], &encrypted[j])
     });
     assert!(mp.identical(&me));
-    let cfg = DbscanConfig { eps: 0.4, min_pts: 2 };
+    let cfg = DbscanConfig {
+        eps: 0.4,
+        min_pts: 2,
+    };
     assert_eq!(dbscan(&mp, cfg), dbscan(&me, cfg));
     assert_eq!(
         agglomerative(&mp, Linkage::Average),
@@ -55,7 +58,11 @@ fn encrypted_graph_corpus_clusters_identically() {
 /// structural scheme. Distances therefore agree without sharing plaintext.
 #[test]
 fn coaccess_graphs_from_encrypted_log_preserve_distances() {
-    let log = LogGenerator::generate(&LogConfig { queries: 30, seed: 0x6A, ..Default::default() });
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 30,
+        seed: 0x6A,
+        ..Default::default()
+    });
     let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([0x55; 32]), 3);
     let enc_log = scheme.encrypt_log(&log).unwrap();
 
@@ -78,7 +85,11 @@ fn coaccess_graphs_from_encrypted_log_preserve_distances() {
 
 #[test]
 fn session_windows_fold_consistently() {
-    let log = LogGenerator::generate(&LogConfig { queries: 12, seed: 0x6B, ..Default::default() });
+    let log = LogGenerator::generate(&LogConfig {
+        queries: 12,
+        seed: 0x6B,
+        ..Default::default()
+    });
     let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([0x56; 32]), 3);
     let enc_log = scheme.encrypt_log(&log).unwrap();
 

@@ -11,7 +11,11 @@ use dpe::workload::{sky_domains, LogConfig, LogGenerator};
 use proptest::prelude::*;
 
 fn small_log(seed: u64, n: usize) -> Vec<dpe::sql::Query> {
-    LogGenerator::generate(&LogConfig { queries: n, seed, ..Default::default() })
+    LogGenerator::generate(&LogConfig {
+        queries: n,
+        seed,
+        ..Default::default()
+    })
 }
 
 proptest! {

@@ -24,7 +24,10 @@ fn taxonomy_is_consistent_with_class_capabilities() {
     // Every subclass inherits the preserved properties of its superclass.
     for (sub, sup) in Taxonomy.subclass_edges() {
         if sup.preserves_equality() {
-            assert!(sub.preserves_equality(), "{sub} must inherit equality from {sup}");
+            assert!(
+                sub.preserves_equality(),
+                "{sub} must inherit equality from {sup}"
+            );
         }
         if sup.preserves_order() {
             assert!(sub.preserves_order(), "{sub} must inherit order from {sup}");
@@ -33,10 +36,16 @@ fn taxonomy_is_consistent_with_class_capabilities() {
     }
 }
 
-fn skewed_column(n: usize, distinct: usize, seed: u64) -> (Vec<i64>, Vec<String>, Vec<(String, usize)>) {
+fn skewed_column(
+    n: usize,
+    distinct: usize,
+    seed: u64,
+) -> (Vec<i64>, Vec<String>, Vec<(String, usize)>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let zipf = Zipf::new(distinct, 1.1);
-    let plain: Vec<i64> = (0..n).map(|_| 500 + zipf.sample(&mut rng) as i64 * 13).collect();
+    let plain: Vec<i64> = (0..n)
+        .map(|_| 500 + zipf.sample(&mut rng) as i64 * 13)
+        .collect();
     let truth: Vec<String> = plain.iter().map(|v| v.to_string()).collect();
     let mut aux: std::collections::BTreeMap<String, usize> = Default::default();
     for t in &truth {
@@ -53,30 +62,52 @@ fn attack_success_orders_classes_like_fig_1() {
 
     // PROB: frequency analysis fails.
     let prob = ProbScheme::new(&SlotLabel::Constant("t").derive(&master));
-    let cts: Vec<String> =
-        plain.iter().map(|v| prob.encrypt(&v.to_be_bytes(), &mut rng).to_hex()).collect();
+    let cts: Vec<String> = plain
+        .iter()
+        .map(|v| prob.encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
     let prob_freq = frequency_attack(&cts, &truth, &aux).success_rate();
 
     // DET: frequency analysis succeeds on the skewed head.
     let det = DetScheme::new(&SlotLabel::Constant("t").derive(&master));
-    let cts: Vec<String> =
-        plain.iter().map(|v| det.encrypt(&v.to_be_bytes(), &mut rng).to_hex()).collect();
+    let cts: Vec<String> = plain
+        .iter()
+        .map(|v| det.encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
     let det_freq = frequency_attack(&cts, &truth, &aux).success_rate();
 
     // OPE: the sorting attack recovers everything.
-    let ope = OpeScheme::new(&SlotLabel::Constant("t").derive(&master), OpeDomain::new(0, 1 << 16));
-    let ope_cts: Vec<u128> = plain.iter().map(|&v| ope.encrypt(v as u64).unwrap()).collect();
+    let ope = OpeScheme::new(
+        &SlotLabel::Constant("t").derive(&master),
+        OpeDomain::new(0, 1 << 16),
+    );
+    let ope_cts: Vec<u128> = plain
+        .iter()
+        .map(|&v| ope.encrypt(v as u64).unwrap())
+        .collect();
     let ope_sort = sorting_attack(&ope_cts, &plain, &plain).success_rate();
 
-    assert!(prob_freq < 0.35, "PROB leaks at most the majority guess: {prob_freq}");
-    assert!(det_freq > 0.8, "DET frequency attack should dominate: {det_freq}");
+    assert!(
+        prob_freq < 0.35,
+        "PROB leaks at most the majority guess: {prob_freq}"
+    );
+    assert!(
+        det_freq > 0.8,
+        "DET frequency attack should dominate: {det_freq}"
+    );
     assert!(ope_sort == 1.0, "OPE sorting attack is total: {ope_sort}");
-    assert!(prob_freq < det_freq, "PROB must beat DET (Fig. 1 row order)");
+    assert!(
+        prob_freq < det_freq,
+        "PROB must beat DET (Fig. 1 row order)"
+    );
 
     // And the equality game separates PROB from DET directly.
     let prob_adv = equality_advantage(&prob, 200, &mut rng);
     let det_adv = equality_advantage(&det, 200, &mut rng);
-    assert!(prob_adv < 0.25 && det_adv == 1.0, "prob_adv={prob_adv}, det_adv={det_adv}");
+    assert!(
+        prob_adv < 0.25 && det_adv == 1.0,
+        "prob_adv={prob_adv}, det_adv={det_adv}"
+    );
 }
 
 #[test]
@@ -93,8 +124,14 @@ fn security_levels_of_derived_rows_reflect_iv_c() {
     let access = derive_row(AccessArea).enc_const;
     let result_const = derive_row(Result).enc_const;
     use dpe::core::ConstChoice::PerUsage;
-    let (PerUsage { aggregate_only: a, .. }, PerUsage { aggregate_only: r, .. }) =
-        (&access, &result_const)
+    let (
+        PerUsage {
+            aggregate_only: a, ..
+        },
+        PerUsage {
+            aggregate_only: r, ..
+        },
+    ) = (&access, &result_const)
     else {
         panic!("expected composite choices");
     };

@@ -35,11 +35,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -132,9 +136,18 @@ fn format_time(nanos: f64) -> String {
     }
 }
 
-fn run_one(full_name: &str, throughput: Option<Throughput>, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    full_name: &str,
+    throughput: Option<Throughput>,
+    samples: u64,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     // One untimed warm-up pass (also sizes the measurement loop).
-    let mut warm = Bencher { elapsed: Duration::ZERO, iters: 0, sample_iters: 1 };
+    let mut warm = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        sample_iters: 1,
+    };
     let warm_start = Instant::now();
     f(&mut warm);
     let warm_wall = warm_start.elapsed();
@@ -147,14 +160,21 @@ fn run_one(full_name: &str, throughput: Option<Throughput>, samples: u64, f: &mu
 
     let mut nanos_per_iter: Vec<f64> = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
-        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, sample_iters };
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            sample_iters,
+        };
         f(&mut b);
         if b.iters > 0 {
             nanos_per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
         }
     }
     nanos_per_iter.sort_by(|a, b| a.partial_cmp(b).expect("time is never NaN"));
-    let median = nanos_per_iter.get(nanos_per_iter.len() / 2).copied().unwrap_or(0.0);
+    let median = nanos_per_iter
+        .get(nanos_per_iter.len() / 2)
+        .copied()
+        .unwrap_or(0.0);
     let lo = nanos_per_iter.first().copied().unwrap_or(0.0);
     let hi = nanos_per_iter.last().copied().unwrap_or(0.0);
 
@@ -166,11 +186,18 @@ fn run_one(full_name: &str, throughput: Option<Throughput>, samples: u64, f: &mu
     );
     if let Some(tp) = throughput {
         let per_second = |count: u64| {
-            if median > 0.0 { count as f64 * 1e9 / median } else { 0.0 }
+            if median > 0.0 {
+                count as f64 * 1e9 / median
+            } else {
+                0.0
+            }
         };
         match tp {
             Throughput::Bytes(n) => {
-                line.push_str(&format!("  thrpt: {:.2} MiB/s", per_second(n) / (1024.0 * 1024.0)));
+                line.push_str(&format!(
+                    "  thrpt: {:.2} MiB/s",
+                    per_second(n) / (1024.0 * 1024.0)
+                ));
             }
             Throughput::Elements(n) => {
                 line.push_str(&format!("  thrpt: {:.2} elem/s", per_second(n)));
@@ -247,7 +274,12 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\nbenchmark group: {name}");
-        BenchmarkGroup { name, samples: self.samples, throughput: None, _criterion: self }
+        BenchmarkGroup {
+            name,
+            samples: self.samples,
+            throughput: None,
+            _criterion: self,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self

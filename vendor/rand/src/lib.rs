@@ -279,7 +279,12 @@ pub mod rngs {
             }
             // xoshiro must not start from the all-zero state.
             if s == [0; 4] {
-                s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    1,
+                ];
             }
             StdRng { s }
         }
@@ -298,7 +303,10 @@ pub mod rngs {
 
         impl StepRng {
             pub fn new(initial: u64, increment: u64) -> Self {
-                StepRng { v: initial, increment }
+                StepRng {
+                    v: initial,
+                    increment,
+                }
             }
         }
 
