@@ -1,6 +1,6 @@
 //! Frequency analysis against deterministic encryption.
 //!
-//! Query-only attacker model [9]: the adversary sees the DET ciphertext
+//! Query-only attacker model \[9\]: the adversary sees the DET ciphertext
 //! column (equal plaintexts → equal ciphertexts, so ciphertext frequencies
 //! mirror plaintext frequencies) and knows the approximate plaintext
 //! distribution from auxiliary data. Matching frequency ranks recovers the

@@ -1,4 +1,4 @@
-//! The known-query attack of Sanamrad & Kossmann [9]: the known-plaintext
+//! The known-query attack of Sanamrad & Kossmann \[9\]: the known-plaintext
 //! attack instantiated for query logs.
 //!
 //! The adversary holds a few `(plaintext query, encrypted query)` pairs —

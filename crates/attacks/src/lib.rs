@@ -1,7 +1,7 @@
 //! # dpe-attacks — the passive attacks of the threat model
 //!
 //! §II-1 of the paper restricts the threat model to passive attacks;
-//! Sanamrad & Kossmann [9] instantiate them for query logs (query-only /
+//! Sanamrad & Kossmann \[9\] instantiate them for query logs (query-only /
 //! known-query / chosen-query). This crate implements concrete instances
 //! against the PPE classes so that the security ordering of **Fig. 1** can
 //! be *measured* instead of quoted:
@@ -15,7 +15,7 @@
 //! * [`linkage`] — cross-column linkage against JOIN groups;
 //! * [`known_query`] — the known-query (known-plaintext) attack: a partial
 //!   token dictionary propagated to the rest of the log;
-//! * [`gap_correlation`] — gap-correlation and window-estimation attacks
+//! * [`mod@gap_correlation`] — gap-correlation and window-estimation attacks
 //!   separating stateless OPE from mutable OPE (mOPE) *within* the OPE row
 //!   of Fig. 1;
 //! * [`metrics`] — recovery-rate bookkeeping shared by all attacks.

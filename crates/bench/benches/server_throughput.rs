@@ -1,0 +1,171 @@
+//! P3 — batched serving vs per-query dispatch on the sharded engine.
+//!
+//! The acceptance workload: **4 shards, 8 clients**, shard/item/request
+//! choices Zipf-skewed (s = 1.0) like a real multi-tenant query mix. Three
+//! serving disciplines over the identical request stream:
+//!
+//! * `per_query_sequential` — the no-engine baseline: one lock acquisition
+//!   per request, no coalescing, no cache.
+//! * `serve_batch_cold` — the batch path with the response cache cleared
+//!   every iteration: measures coalescing + work stealing alone.
+//! * `serve_batch_warm` — the steady state: Zipf repetition makes most
+//!   requests cache hits, so repeated encrypted queries never recompute.
+//! * `submit_drain_8clients` — the full concurrent surface: 8 real client
+//!   threads submitting, then one 4-worker drain.
+//!
+//! Correctness is asserted before timing: the batched responses must be
+//! bit-identical to sequential dispatch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dpe_distance::TokenDistance;
+use dpe_server::{Request, Server};
+use dpe_workload::{LogConfig, LogGenerator, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARDS: usize = 4;
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 40;
+const PER_SHARD: usize = 96;
+
+fn build_server() -> Server<TokenDistance> {
+    let server = Server::new(TokenDistance, SHARDS, 512);
+    for shard in 0..SHARDS {
+        let log = LogGenerator::generate(&LogConfig {
+            queries: PER_SHARD,
+            seed: 0x5E21 + shard as u64,
+            ..Default::default()
+        });
+        server.ingest(shard, &log).unwrap();
+    }
+    server
+}
+
+/// One client's Zipf-skewed request stream: hot shards, hot items, and a
+/// kind mix dominated by kNN — the shape that makes caching matter.
+fn client_stream(client: usize) -> Vec<Request> {
+    let shard_zipf = Zipf::new(SHARDS, 1.0);
+    let item_zipf = Zipf::new(PER_SHARD, 1.0);
+    let kind_zipf = Zipf::new(4, 1.0);
+    let k_zipf = Zipf::new(8, 1.0);
+    let mut rng = StdRng::seed_from_u64(0xC11E07 + client as u64);
+    (0..PER_CLIENT)
+        .map(|_| {
+            let shard = shard_zipf.sample(&mut rng);
+            let item = item_zipf.sample(&mut rng);
+            match kind_zipf.sample(&mut rng) {
+                0 => Request::Knn {
+                    shard,
+                    item,
+                    k: 1 + k_zipf.sample(&mut rng),
+                },
+                1 => Request::Range {
+                    shard,
+                    item,
+                    radius: 0.1 + 0.1 * (k_zipf.sample(&mut rng) as f64),
+                },
+                2 => Request::Lof {
+                    shard,
+                    min_pts: 3 + k_zipf.sample(&mut rng),
+                },
+                _ => Request::Outliers {
+                    shard,
+                    p: 0.7,
+                    d: 0.4 + 0.05 * (k_zipf.sample(&mut rng) as f64),
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let server = build_server();
+    let requests: Vec<Request> = (0..CLIENTS).flat_map(client_stream).collect();
+    let total = requests.len() as u64;
+
+    // Correctness gate: batched must be bit-identical to per-query
+    // sequential dispatch before any timing is believed.
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|r| server.serve_one_uncached(r).unwrap())
+        .collect();
+    for threads in [1, 4] {
+        let batched = server.serve_batch(&requests, threads);
+        for ((a, b), req) in batched.iter().zip(&sequential).zip(&requests) {
+            assert!(
+                a.as_ref().unwrap().bits_eq(b),
+                "batched({threads}) diverged on {req:?}"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("server_4shard_8client");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+
+    group.bench_function("per_query_sequential", |b| {
+        b.iter(|| {
+            requests
+                .iter()
+                .map(|r| server.serve_one_uncached(r).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+
+    group.bench_function("serve_batch_cold", |b| {
+        b.iter_batched(
+            || server.clear_cache(),
+            |()| server.serve_batch(&requests, 4),
+            BatchSize::PerIteration,
+        );
+    });
+
+    // Prime once so every measured pass runs against a warm cache.
+    server.clear_cache();
+    let _ = server.serve_batch(&requests, 4);
+    group.bench_function("serve_batch_warm", |b| {
+        b.iter(|| server.serve_batch(&requests, 4));
+    });
+
+    group.bench_function("submit_drain_8clients", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for client in 0..CLIENTS {
+                    let server = &server;
+                    let stream = client_stream(client);
+                    scope.spawn(move || {
+                        for req in stream {
+                            server.submit(req).unwrap();
+                        }
+                    });
+                }
+            });
+            server.drain(4)
+        });
+    });
+    group.finish();
+
+    let cache = server.cache_stats();
+    let sched = server.scheduler_stats();
+    println!(
+        "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_rate(),
+        cache.evictions
+    );
+    println!(
+        "scheduler: {} served in {} batches ({:.1} requests/lock), {} steals",
+        sched.served,
+        sched.batches,
+        sched.served as f64 / sched.batches.max(1) as f64,
+        sched.steals
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_server_throughput
+}
+criterion_main!(benches);

@@ -2,8 +2,8 @@
 //!
 //! For each of the four measures: compute the pairwise distance matrix of a
 //! log and of its encryption, then run all four distance-based mining
-//! algorithms of the paper's motivation (k-medoids [5], DBSCAN [4],
-//! complete-link [3], Knorr–Ng outliers [6]) on both matrices and score
+//! algorithms of the paper's motivation (k-medoids \[5\], DBSCAN \[4\],
+//! complete-link \[3\], Knorr–Ng outliers \[6\]) on both matrices and score
 //! agreement. Under DPE every agreement score must be exactly 1.0 and the
 //! matrices bit-identical.
 //!

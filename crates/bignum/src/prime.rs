@@ -26,7 +26,7 @@ const MR_ROUNDS: usize = 24;
 
 /// Probabilistic primality test.
 ///
-/// Deterministic for `n < 2^64`; otherwise Miller–Rabin with [`MR_ROUNDS`]
+/// Deterministic for `n < 2^64`; otherwise Miller–Rabin with `MR_ROUNDS`
 /// random bases drawn from `rng`.
 pub fn is_prime<R: RngCore>(n: &BigUint, rng: &mut R) -> bool {
     if n < &BigUint::two() {

@@ -1,7 +1,7 @@
 //! The KIT-DPE procedure (paper §III-B): four steps, orchestrated.
 //!
 //! 1. **Security model** — threat model (passive attacks instantiated for
-//!    query logs [9]) + the high-level scheme `(EncRel, EncAttr,
+//!    query logs \[9\]) + the high-level scheme `(EncRel, EncAttr,
 //!    {EncA.Const})`.
 //! 2. **Equivalence notion** — per distance measure (§IV-B).
 //! 3. **Ensuring the notion** — appropriate PPE classes (Definition 6) and

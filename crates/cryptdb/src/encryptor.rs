@@ -85,7 +85,7 @@ fn dpe_bignum_from_hex(hex: &str) -> Option<dpe_bignum::BigUint> {
     dpe_bignum::BigUint::from_hex(hex).ok()
 }
 
-/// Undoes the [`hom_cell`] shift after decryption.
+/// Undoes the `hom_cell` sign shift after decryption.
 pub fn unshift_hom(plain: u64) -> i64 {
     (plain as i128 + i64::MIN as i128) as i64
 }

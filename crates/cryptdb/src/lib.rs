@@ -1,6 +1,6 @@
 //! # dpe-cryptdb — CryptDB-style onion encryption over `dpe-minidb`
 //!
-//! A re-implementation of the CryptDB [8] architecture as far as the
+//! A re-implementation of the CryptDB \[8\] architecture as far as the
 //! paper's Table I relies on it (rows "Query-Result Distance" and
 //! "Query-Access-Area Distance" both say *via CryptDB*):
 //!

@@ -1,7 +1,7 @@
 //! Format-preserving encryption (FPE) — a DET instance that keeps the
 //! plaintext's *shape*.
 //!
-//! L-EncDB (Li et al., the paper's reference [10]) builds its lightweight
+//! L-EncDB (Li et al., the paper's reference \[10\]) builds its lightweight
 //! encrypted database on FPE precisely because ciphertexts that stay in the
 //! column's format slot into existing schemas unchanged. For KIT-DPE, FPE
 //! is interesting as an **alternative DET instance**: it is deterministic,
@@ -14,7 +14,7 @@
 //!
 //! The construction is an FF1-*style* maximally-unbalanced-free Feistel
 //! network over numeral strings (NIST SP 800-38G shape, 10 rounds, PRF =
-//! HMAC-SHA256 via [`prf`](crate::prf::prf)); it is **not** bit-compatible
+//! HMAC-SHA256 via [`prf`](crate::prf::prf())); it is **not** bit-compatible
 //! with NIST FF1 (that needs AES-CBC-MAC framing and exact bias-free mod
 //! reduction). Determinism, format preservation and invertibility — the
 //! properties the DET class and the tests rely on — hold by construction.

@@ -12,7 +12,7 @@
 //! * [`prf`] / [`kdf`] — a keyed PRF and label-based key derivation so one
 //!   master key can safely fan out into per-slot scheme keys;
 //! * [`prob`] — **PROB**: randomized AES-CTR (fresh random nonce per call) —
-//!   the paper's "randomized AES [12] is an instance of PROB";
+//!   the paper's "randomized AES \[12\] is an instance of PROB";
 //! * [`det`] — **DET**: SIV-style deterministic encryption
 //!   (`IV = PRF(K_mac, plaintext)`, `ct = CTR(K_enc, IV, plaintext)`), so equal
 //!   plaintexts map to equal ciphertexts and nothing else is preserved;
@@ -20,7 +20,7 @@
 //!   is shared across join-compatible columns;
 //! * [`fpe`] — format-preserving encryption (FF1-style Feistel), an
 //!   alternative **DET** instance whose ciphertexts stay in the column's
-//!   alphabet and length (the L-EncDB [10] approach).
+//!   alphabet and length (the L-EncDB \[10\] approach).
 //!
 //! The [`scheme`] module defines the common [`scheme::SymmetricScheme`] trait
 //! plus the class descriptors ([`scheme::EncryptionClass`]) that the KIT-DPE

@@ -1,5 +1,5 @@
 //! Query-access-area distance (the paper's Definition 5, after Nguyen et
-//! al. [16]).
+//! al. \[16\]).
 //!
 //! The access area of query `Q` regarding attribute `A` is the part of `A`'s
 //! domain accessed by `Q`; the per-attribute score is

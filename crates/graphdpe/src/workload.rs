@@ -9,7 +9,7 @@
 //! * [`coaccess_graph`] — the case study's tie-back to the paper: an SQL
 //!   query's accessed attributes form a clique (they co-occur in one user
 //!   interaction). Folding a log window produces the co-access graph that
-//!   SkyServer-style interest mining ([16]) works on; encrypting the log
+//!   SkyServer-style interest mining (\[16\]) works on; encrypting the log
 //!   with the DET attribute slot and building the graph from ciphertext
 //!   commutes with building it from plaintext and encrypting the labels.
 
@@ -121,7 +121,7 @@ impl GraphWorkload {
 
 /// Builds the co-access graph of one query: accessed attributes are the
 /// vertices and every pair of co-accessed attributes is an edge (a clique —
-/// the window-free special case of interest graphs à la [16]).
+/// the window-free special case of interest graphs à la \[16\]).
 pub fn coaccess_graph(query: &Query) -> Graph {
     let attrs: Vec<String> = analysis::attributes(query).into_iter().collect();
     let mut g = Graph::new();

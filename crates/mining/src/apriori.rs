@@ -2,7 +2,7 @@
 //!
 //! The paper's conclusion points out that "result equivalence for SQL
 //! queries is also useful for association-rule mining over encrypted SQL
-//! logs [17]": treating each query's characteristic set (features, accessed
+//! logs \[17\]": treating each query's characteristic set (features, accessed
 //! attributes, result tuples) as a *transaction*, frequent itemsets and
 //! rules are functions of set equalities only — so any c-equivalent
 //! encryption preserves them up to item renaming. The

@@ -1,4 +1,4 @@
-//! DBSCAN (Ester et al. [4]) over a distance matrix.
+//! DBSCAN (Ester et al. \[4\]) over a distance matrix.
 
 use dpe_distance::DistanceMatrix;
 

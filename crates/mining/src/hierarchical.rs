@@ -1,7 +1,7 @@
 //! Agglomerative hierarchical clustering over a distance matrix.
 //!
 //! Complete link is the method of Defays' CLINK (the paper's reference
-//! [3]); single link (SLINK's criterion) and average link (UPGMA) are the
+//! \[3\]); single link (SLINK's criterion) and average link (UPGMA) are the
 //! other two classic linkage rules, included because they too are pure
 //! functions of the pairwise distances — so a DPE-encrypted log dendrogram
 //! is *identical* to the plaintext one under any of them (the
@@ -17,7 +17,7 @@ use dpe_distance::DistanceMatrix;
 /// from item pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Linkage {
-    /// Farthest pair (CLINK [3]) — the paper's cited method.
+    /// Farthest pair (CLINK \[3\]) — the paper's cited method.
     #[default]
     Complete,
     /// Closest pair (SLINK) — chains through dense regions.
@@ -165,7 +165,7 @@ pub fn agglomerative(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
     Dendrogram { n, merges }
 }
 
-/// Builds the complete-link dendrogram (Defays [3]).
+/// Builds the complete-link dendrogram (Defays \[3\]).
 pub fn complete_link(matrix: &DistanceMatrix) -> Dendrogram {
     agglomerative(matrix, Linkage::Complete)
 }

@@ -1,4 +1,4 @@
-//! K-medoids clustering (PAM-style alternation, Park & Jun [5]).
+//! K-medoids clustering (PAM-style alternation, Park & Jun \[5\]).
 
 use crate::order::nan_last_cmp;
 use dpe_distance::DistanceMatrix;

@@ -6,16 +6,18 @@
 //! algorithm here produces **identical** output on plaintext and ciphertext
 //! inputs. The M1 experiment checks exactly that.
 //!
-//! * [`kmedoids`] — k-medoids in the style of Park & Jun [5];
-//! * [`dbscan`] — density-based clustering, Ester et al. [4];
+//! * [`mod@kmedoids`] — k-medoids in the style of Park & Jun \[5\];
+//! * [`mod@dbscan`] — density-based clustering, Ester et al. \[4\];
 //! * [`hierarchical`] — agglomerative clustering: complete link (Defays
-//!   [3]), single link (SLINK) and average link (UPGMA);
-//! * [`outliers`] — Knorr–Ng DB(p, D) distance-based outliers [6];
-//! * [`lof`] — Local Outlier Factor (Breunig et al.), the density-based
+//!   \[3\]), single link (SLINK) and average link (UPGMA);
+//! * [`outliers`] — Knorr–Ng DB(p, D) distance-based outliers \[6\];
+//! * [`mod@lof`] — Local Outlier Factor (Breunig et al.), the density-based
 //!   outlier score;
 //! * [`knn`] — k-nearest-neighbour queries;
+//! * [`range`] — ε-neighbourhood range queries (DBSCAN's region query as a
+//!   standalone serving primitive);
 //! * [`apriori`] — frequent itemsets and association rules (the encrypted
-//!   OLAP-log use case of the paper's reference [17]);
+//!   OLAP-log use case of the paper's reference \[17\]);
 //! * [`agreement`] — Rand index / adjusted Rand index to quantify
 //!   plaintext-vs-ciphertext agreement (1.0 everywhere under DPE).
 //!
@@ -33,6 +35,7 @@ pub mod kmedoids;
 pub mod knn;
 pub mod lof;
 pub mod outliers;
+pub mod range;
 
 pub use agreement::{adjusted_rand_index, rand_index};
 pub use apriori::{association_rules, frequent_itemsets, FrequentItemset, Rule};
@@ -44,3 +47,4 @@ pub use kmedoids::{kmedoids, KMedoidsResult};
 pub use knn::knn_indices;
 pub use lof::{lof, lof_outliers, LofConfig};
 pub use outliers::{db_outliers, OutlierConfig};
+pub use range::range_indices;

@@ -1,6 +1,6 @@
 //! Local Outlier Factor (Breunig et al., SIGMOD 2000).
 //!
-//! The density-based cousin of Knorr–Ng's distance-based outliers [6]: a
+//! The density-based cousin of Knorr–Ng's distance-based outliers \[6\]: a
 //! point is outlying when its local density is small *relative to the
 //! densities of its neighbours*. Like every algorithm in this crate, LOF is
 //! a pure function of the pairwise distance matrix — which is exactly why

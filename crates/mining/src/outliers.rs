@@ -1,4 +1,4 @@
-//! Knorr–Ng DB(p, D) distance-based outliers [6].
+//! Knorr–Ng DB(p, D) distance-based outliers \[6\].
 //!
 //! An item is a DB(p, D)-outlier when at least fraction `p` of the other
 //! items lie at distance greater than `D` from it.

@@ -1,6 +1,6 @@
 //! # dpe-paillier — the Paillier cryptosystem (the HOM class)
 //!
-//! Textbook Paillier (Fontaine & Galand's survey [11] is the paper's
+//! Textbook Paillier (Fontaine & Galand's survey \[11\] is the paper's
 //! reference for HOM): probabilistic public-key encryption over ℤ/n²ℤ that is
 //! additively homomorphic,
 //!

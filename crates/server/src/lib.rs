@@ -1,0 +1,66 @@
+//! # dpe-server — sharded batch serving for encrypted mining queries
+//!
+//! The paper's outsourcing model ends with a service provider answering
+//! many clients' distance-based queries over an encrypted store. This crate
+//! is that provider: a multi-tenant engine that serves concurrent
+//! kNN / range / LOF / outlier requests from packed per-tenant distance
+//! matrices, with the throughput tricks a real deployment needs:
+//!
+//! * **Sharding** — one [`Shard`] per tenant, each a contiguous row range
+//!   with its own packed upper-triangle [`dpe_distance::DistanceMatrix`].
+//!   Mining never crosses tenants, so no cross-shard distance is ever
+//!   computed, and an ingest into one tenant never blocks readers of
+//!   another.
+//! * **Batch coalescing with work stealing** — requests queue per shard;
+//!   a drain takes whole shard queues at once (one lock acquisition per
+//!   batch) on workers that steal entire queues from loaded shards when
+//!   their own are empty. See [`SchedulerStats`].
+//! * **Epoch-keyed LRU response cache** — responses are cached under
+//!   *(shard, shard epoch, bit-exact request fingerprint)*; a streaming
+//!   insert bumps the epoch, so stale answers are unreachable by
+//!   construction rather than by invalidation scans. Under a Zipf-skewed
+//!   tenant workload — the realistic shape `dpe-workload` generates —
+//!   repeated encrypted queries never recompute a mining pass. See
+//!   [`CacheStats`].
+//!
+//! Because every answer is a pure function of a shard's distance matrix,
+//! the engine inherits the paper's headline property end-to-end: a server
+//! loaded with DPE-encrypted queries returns **bit-identical** responses
+//! to one loaded with the plaintexts (the `serving_pipeline` integration
+//! suite asserts exactly this).
+//!
+//! ## Example
+//!
+//! ```
+//! use dpe_server::{Request, Server};
+//! use dpe_distance::TokenDistance;
+//! use dpe_sql::parse_query;
+//!
+//! // Two tenants, a 64-entry response cache.
+//! let server = Server::new(TokenDistance, 2, 64);
+//! let log: Vec<_> = ["SELECT ra FROM t", "SELECT dec FROM t", "SELECT ra FROM u"]
+//!     .iter()
+//!     .map(|s| parse_query(s).unwrap())
+//!     .collect();
+//! server.ingest(0, &log).unwrap();
+//!
+//! // Clients submit; the server answers everything pending in one drain.
+//! let ticket = server
+//!     .submit(Request::Knn { shard: 0, item: 0, k: 2 })
+//!     .unwrap();
+//! let results = server.drain(4);
+//! assert_eq!(results[0].0, ticket);
+//! assert!(results[0].1.is_ok());
+//! ```
+
+mod cache;
+mod request;
+mod scheduler;
+mod server;
+mod shard;
+
+pub use cache::{CacheStats, LruCache};
+pub use request::{Request, Response, ServerError, Ticket};
+pub use scheduler::SchedulerStats;
+pub use server::Server;
+pub use shard::Shard;

@@ -1,0 +1,257 @@
+//! The serving wire types: requests, responses, tickets and errors.
+
+use dpe_distance::DistanceError;
+use std::fmt;
+
+/// One client query against a tenant shard.
+///
+/// Every request names its target [`shard`](Request::shard); item indices
+/// refer to positions inside that shard's store (insertion order, exactly
+/// the indices [`crate::Server::ingest`] assigns). Float parameters are
+/// fingerprinted bit-exactly for caching — two radii that differ in the
+/// last ulp are two cache entries, never a wrong answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The `k` nearest neighbours of stored item `item`.
+    Knn { shard: usize, item: usize, k: usize },
+    /// Everything within `radius` of stored item `item` (inclusive).
+    Range {
+        shard: usize,
+        item: usize,
+        radius: f64,
+    },
+    /// LOF scores of every item in the shard.
+    Lof { shard: usize, min_pts: usize },
+    /// Items with `LOF > threshold`, descending by score.
+    LofOutliers {
+        shard: usize,
+        min_pts: usize,
+        threshold: f64,
+    },
+    /// Knorr–Ng DB(p, D) outliers of the shard.
+    Outliers { shard: usize, p: f64, d: f64 },
+}
+
+impl Request {
+    /// The shard this request routes to.
+    pub fn shard(&self) -> usize {
+        match *self {
+            Request::Knn { shard, .. }
+            | Request::Range { shard, .. }
+            | Request::Lof { shard, .. }
+            | Request::LofOutliers { shard, .. }
+            | Request::Outliers { shard, .. } => shard,
+        }
+    }
+
+    /// A hashable bit-exact fingerprint (shard excluded — the cache key
+    /// carries the shard and its epoch separately).
+    pub(crate) fn fingerprint(&self) -> RequestKey {
+        match *self {
+            Request::Knn { item, k, .. } => RequestKey {
+                tag: 0,
+                a: item,
+                b: k,
+                x: 0,
+                y: 0,
+            },
+            Request::Range { item, radius, .. } => RequestKey {
+                tag: 1,
+                a: item,
+                b: 0,
+                x: radius.to_bits(),
+                y: 0,
+            },
+            Request::Lof { min_pts, .. } => RequestKey {
+                tag: 2,
+                a: min_pts,
+                b: 0,
+                x: 0,
+                y: 0,
+            },
+            Request::LofOutliers {
+                min_pts, threshold, ..
+            } => RequestKey {
+                tag: 3,
+                a: min_pts,
+                b: 0,
+                x: threshold.to_bits(),
+                y: 0,
+            },
+            Request::Outliers { p, d, .. } => RequestKey {
+                tag: 4,
+                a: 0,
+                b: 0,
+                x: p.to_bits(),
+                y: d.to_bits(),
+            },
+        }
+    }
+}
+
+/// Bit-exact request fingerprint used in cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct RequestKey {
+    tag: u8,
+    a: usize,
+    b: usize,
+    x: u64,
+    y: u64,
+}
+
+/// A computed answer.
+///
+/// `PartialEq` compares scores with `==`; for the bit-identical assertions
+/// the regression suites need, use [`Response::bits_eq`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Item indices (kNN order, ascending range order, or outlier order —
+    /// whatever the request's algorithm defines).
+    Indices(Vec<usize>),
+    /// One score per stored item (LOF).
+    Scores(Vec<f64>),
+}
+
+impl Response {
+    /// Bit-exact equality: index lists must match exactly and scores must
+    /// match on their bit patterns (so NaN == NaN and -0.0 != 0.0).
+    pub fn bits_eq(&self, other: &Response) -> bool {
+        match (self, other) {
+            (Response::Indices(a), Response::Indices(b)) => a == b,
+            (Response::Scores(a), Response::Scores(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Order-stamped receipt returned by [`crate::Server::submit`]; `drain`
+/// reports results sorted by ticket, so submission order is recoverable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+/// Why a request (or ingest) was rejected. Requests never panic a worker:
+/// everything the mining layer would assert on is validated up front.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The named shard does not exist.
+    UnknownShard { shard: usize, shards: usize },
+    /// The request's item index exceeds the shard's store.
+    ItemOutOfBounds {
+        shard: usize,
+        item: usize,
+        len: usize,
+    },
+    /// A parameter fails the target algorithm's preconditions.
+    BadRequest(String),
+    /// Distance computation failed during ingest.
+    Distance(DistanceError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownShard { shard, shards } => {
+                write!(f, "shard {shard} does not exist ({shards} shards)")
+            }
+            ServerError::ItemOutOfBounds { shard, item, len } => {
+                write!(f, "item {item} out of bounds in shard {shard} (len {len})")
+            }
+            ServerError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServerError::Distance(e) => write!(f, "distance computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<DistanceError> for ServerError {
+    fn from(e: DistanceError) -> Self {
+        ServerError::Distance(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_separate_kinds_and_parameters() {
+        let reqs = [
+            Request::Knn {
+                shard: 0,
+                item: 1,
+                k: 3,
+            },
+            Request::Knn {
+                shard: 0,
+                item: 1,
+                k: 4,
+            },
+            Request::Range {
+                shard: 0,
+                item: 1,
+                radius: 3.0,
+            },
+            Request::Lof {
+                shard: 0,
+                min_pts: 3,
+            },
+            Request::LofOutliers {
+                shard: 0,
+                min_pts: 3,
+                threshold: 1.5,
+            },
+            Request::Outliers {
+                shard: 0,
+                p: 0.8,
+                d: 0.5,
+            },
+        ];
+        for (i, a) in reqs.iter().enumerate() {
+            for (j, b) in reqs.iter().enumerate() {
+                assert_eq!(a.fingerprint() == b.fingerprint(), i == j, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_bit_exact_on_floats() {
+        let a = Request::Range {
+            shard: 0,
+            item: 0,
+            radius: 0.1,
+        };
+        let b = Request::Range {
+            shard: 0,
+            item: 0,
+            radius: 0.1 + f64::EPSILON,
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_shard() {
+        // The cache key carries (shard, epoch) beside the fingerprint.
+        let a = Request::Lof {
+            shard: 0,
+            min_pts: 2,
+        };
+        let b = Request::Lof {
+            shard: 7,
+            min_pts: 2,
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn bits_eq_distinguishes_nan_payload_positions() {
+        let a = Response::Scores(vec![1.0, f64::NAN]);
+        let b = Response::Scores(vec![1.0, f64::NAN]);
+        let c = Response::Scores(vec![f64::NAN, 1.0]);
+        assert!(a.bits_eq(&b), "equal NaN patterns must compare equal");
+        assert!(!a.bits_eq(&c));
+        assert!(!a.bits_eq(&Response::Indices(vec![1])));
+    }
+}

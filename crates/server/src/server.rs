@@ -1,0 +1,459 @@
+//! The multi-tenant batch-serving engine.
+//!
+//! A [`Server`] owns the sharded store (one [`Shard`] per tenant, each a
+//! packed incremental distance matrix), the per-shard injector queues of
+//! the work-stealing scheduler, and per-shard LRU response-cache
+//! partitions keyed on *(shard, shard-epoch, request fingerprint)* —
+//! workers on different shards never contend on a cache lock. Three
+//! serving paths:
+//!
+//! * [`Server::submit`] / [`Server::drain`] — the asynchronous surface:
+//!   any number of client threads enqueue requests concurrently; a drain
+//!   coalesces everything pending per shard into single-lock batches and
+//!   answers them on `threads` work-stealing workers.
+//! * [`Server::serve_batch`] — the synchronous fast path: answer a slice of
+//!   requests (grouped by shard, stealing enabled) and return results in
+//!   input order.
+//! * [`Server::serve_one_uncached`] — the per-query dispatch baseline the
+//!   `server_throughput` bench compares against: one lock acquisition per
+//!   request, no cache.
+//!
+//! Epoch-versioned cache keys make streaming inserts safe: every successful
+//! [`Server::ingest`] bumps the shard's epoch, so entries computed against
+//! the old store can never be returned afterwards — they simply stop being
+//! addressable and age out of the LRU.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::request::{Request, RequestKey, Response, ServerError, Ticket};
+use crate::scheduler::{SchedulerStats, ShardQueues};
+use crate::shard::Shard;
+use dpe_distance::QueryDistance;
+use dpe_sql::Query;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Cache key: a response is valid for exactly one (shard, epoch, request)
+/// triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    shard: usize,
+    epoch: u64,
+    request: RequestKey,
+}
+
+/// The batch-serving engine. Generic over the distance measure used for
+/// ingest — the mining itself reads only the per-shard packed matrices, so
+/// plaintext and DPE-encrypted stores serve bit-identical answers.
+#[derive(Debug)]
+pub struct Server<M> {
+    measure: M,
+    shards: Vec<RwLock<Shard>>,
+    queues: ShardQueues<(Ticket, Request)>,
+    /// One cache partition per shard — workers serving different shards
+    /// never contend on a cache lock (a global mutex here would serialize
+    /// the warm path the scheduler exists to parallelize).
+    caches: Vec<Mutex<LruCache<CacheKey, Response>>>,
+    next_ticket: AtomicU64,
+}
+
+impl<M: QueryDistance + Sync> Server<M> {
+    /// A server with `shards` empty tenant shards and a response cache of
+    /// `cache_capacity` entries (0 disables caching), partitioned evenly
+    /// across the shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is 0.
+    pub fn new(measure: M, shards: usize, cache_capacity: usize) -> Self {
+        assert!(shards > 0, "a server needs at least one shard");
+        let per_shard_capacity = cache_capacity.div_ceil(shards);
+        Server {
+            measure,
+            shards: (0..shards).map(|_| RwLock::new(Shard::new())).collect(),
+            queues: ShardQueues::new(shards),
+            caches: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard_capacity)))
+                .collect(),
+            next_ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of tenant shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Items stored in `shard`.
+    pub fn shard_len(&self, shard: usize) -> Result<usize, ServerError> {
+        Ok(self.read_shard(shard)?.len())
+    }
+
+    /// Current epoch of `shard` (bumped by every successful ingest).
+    pub fn shard_epoch(&self, shard: usize) -> Result<u64, ServerError> {
+        Ok(self.read_shard(shard)?.epoch())
+    }
+
+    fn read_shard(
+        &self,
+        shard: usize,
+    ) -> Result<std::sync::RwLockReadGuard<'_, Shard>, ServerError> {
+        self.shards
+            .get(shard)
+            .ok_or(ServerError::UnknownShard {
+                shard,
+                shards: self.shards.len(),
+            })
+            .map(|s| s.read().expect("shard lock poisoned"))
+    }
+
+    /// Streaming insert into one tenant shard, reusing the incremental
+    /// matrix path (`m·n + m(m−1)/2` distance calls for `m` new items).
+    /// Takes the shard's write lock; concurrent readers of *other* shards
+    /// are unaffected. On success the shard epoch bumps, invalidating every
+    /// cached response for that shard.
+    pub fn ingest(&self, shard: usize, new: &[Query]) -> Result<(), ServerError> {
+        let slot = self.shards.get(shard).ok_or(ServerError::UnknownShard {
+            shard,
+            shards: self.shards.len(),
+        })?;
+        slot.write()
+            .expect("shard lock poisoned")
+            .ingest(new, &self.measure)
+    }
+
+    /// Enqueues a request, returning its ticket. Safe to call from any
+    /// number of threads; the request is answered by the next
+    /// [`Server::drain`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServerError> {
+        let shard = request.shard();
+        if shard >= self.shards.len() {
+            return Err(ServerError::UnknownShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
+        self.queues.push(shard, (ticket, request));
+        Ok(ticket)
+    }
+
+    /// Requests currently enqueued and not yet drained.
+    pub fn queued(&self) -> usize {
+        self.queues.pending()
+    }
+
+    /// Answers everything enqueued, on `threads` work-stealing workers,
+    /// returning `(ticket, result)` pairs sorted by ticket (= submission
+    /// order). Each shard's pending requests are coalesced into one batch
+    /// answered under a single read-lock acquisition.
+    pub fn drain(&self, threads: usize) -> Vec<(Ticket, Result<Response, ServerError>)> {
+        let mut results = self
+            .queues
+            .drain(threads, |shard, jobs| self.answer_shard_batch(shard, jobs));
+        results.sort_by_key(|&(t, _)| t);
+        results
+    }
+
+    /// Synchronous fast path: answers `requests` (grouped by shard, same
+    /// work-stealing workers and cache as [`Server::drain`]) and returns
+    /// the results in input order.
+    pub fn serve_batch(
+        &self,
+        requests: &[Request],
+        threads: usize,
+    ) -> Vec<Result<Response, ServerError>> {
+        let queues: ShardQueues<(usize, &Request)> = ShardQueues::new(self.shards.len());
+        let mut out: Vec<Option<Result<Response, ServerError>>> = vec![None; requests.len()];
+        let mut misrouted: Vec<(usize, ServerError)> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            let shard = req.shard();
+            if shard >= self.shards.len() {
+                misrouted.push((
+                    i,
+                    ServerError::UnknownShard {
+                        shard,
+                        shards: self.shards.len(),
+                    },
+                ));
+            } else {
+                queues.push(shard, (i, req));
+            }
+        }
+        let answered = queues.drain(threads, |shard, jobs| {
+            let jobs: VecDeque<(Ticket, Request)> = jobs
+                .into_iter()
+                .map(|(i, r)| (Ticket(i as u64), r.clone()))
+                .collect();
+            self.answer_shard_batch(shard, jobs)
+        });
+        self.queues.absorb(queues.stats());
+        for (Ticket(i), result) in answered {
+            out[i as usize] = Some(result);
+        }
+        for (i, err) in misrouted {
+            out[i] = Some(Err(err));
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request answered exactly once"))
+            .collect()
+    }
+
+    /// Per-query dispatch baseline: answers one request with one lock
+    /// acquisition and **no** cache involvement. This is what serving looks
+    /// like without the batching layer — the `server_throughput` bench
+    /// measures the gap.
+    pub fn serve_one_uncached(&self, request: &Request) -> Result<Response, ServerError> {
+        self.read_shard(request.shard())?.answer(request)
+    }
+
+    /// Answers one coalesced shard batch under a single read-lock
+    /// acquisition, consulting the shard's cache partition per request.
+    fn answer_shard_batch(
+        &self,
+        shard: usize,
+        jobs: VecDeque<(Ticket, Request)>,
+    ) -> Vec<(Ticket, Result<Response, ServerError>)> {
+        let guard = self.shards[shard].read().expect("shard lock poisoned");
+        let epoch = guard.epoch();
+        let cache = &self.caches[shard];
+        jobs.into_iter()
+            .map(|(ticket, request)| {
+                let key = CacheKey {
+                    shard,
+                    epoch,
+                    request: request.fingerprint(),
+                };
+                if let Some(hit) = cache.lock().expect("cache lock poisoned").get(&key) {
+                    return (ticket, Ok(hit));
+                }
+                let result = guard.answer(&request);
+                if let Ok(response) = &result {
+                    cache
+                        .lock()
+                        .expect("cache lock poisoned")
+                        .put(key, response.clone());
+                }
+                (ticket, result)
+            })
+            .collect()
+    }
+
+    /// Response-cache counters, aggregated over the per-shard partitions.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.iter().fold(CacheStats::default(), |acc, c| {
+            let s = c.lock().expect("cache lock poisoned").stats();
+            CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                evictions: acc.evictions + s.evictions,
+                len: acc.len + s.len,
+            }
+        })
+    }
+
+    /// Scheduler counters (served / batches / steals).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.queues.stats()
+    }
+
+    /// Empties every cache partition (counters keep accumulating) — used
+    /// by the cold-cache bench configurations.
+    pub fn clear_cache(&self) {
+        for cache in &self.caches {
+            cache.lock().expect("cache lock poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_distance::TokenDistance;
+    use dpe_sql::parse_query;
+
+    fn queries(n: usize, salt: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT ra, a{} FROM t{} WHERE objid = {}",
+                    (i + salt) % 5,
+                    (i + salt) % 3,
+                    i * 13 + salt
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn server() -> Server<TokenDistance> {
+        let s = Server::new(TokenDistance, 3, 64);
+        for shard in 0..3 {
+            s.ingest(shard, &queries(8 + shard, shard * 100)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn submit_drain_answers_in_ticket_order() {
+        let s = server();
+        let reqs = [
+            Request::Knn {
+                shard: 0,
+                item: 2,
+                k: 3,
+            },
+            Request::Range {
+                shard: 1,
+                item: 0,
+                radius: 0.6,
+            },
+            Request::Lof {
+                shard: 2,
+                min_pts: 2,
+            },
+            Request::Knn {
+                shard: 1,
+                item: 4,
+                k: 2,
+            },
+        ];
+        let tickets: Vec<Ticket> = reqs.iter().map(|r| s.submit(r.clone()).unwrap()).collect();
+        assert_eq!(s.queued(), 4);
+        let results = s.drain(2);
+        assert_eq!(s.queued(), 0);
+        assert_eq!(results.len(), 4);
+        for ((ticket, result), (expected, req)) in results.iter().zip(tickets.iter().zip(&reqs)) {
+            assert_eq!(ticket, expected);
+            let oracle = s.serve_one_uncached(req).unwrap();
+            assert!(result.as_ref().unwrap().bits_eq(&oracle), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn serve_batch_preserves_input_order_with_errors_inline() {
+        let s = server();
+        let reqs = vec![
+            Request::Knn {
+                shard: 2,
+                item: 1,
+                k: 4,
+            },
+            Request::Knn {
+                shard: 9,
+                item: 0,
+                k: 1,
+            }, // unknown shard
+            Request::Lof {
+                shard: 0,
+                min_pts: 99,
+            }, // bad min_pts
+            Request::Range {
+                shard: 0,
+                item: 3,
+                radius: 0.4,
+            },
+        ];
+        let results = s.serve_batch(&reqs, 3);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ServerError::UnknownShard { .. })));
+        assert!(matches!(results[2], Err(ServerError::BadRequest(_))));
+        let oracle = s.serve_one_uncached(&reqs[3]).unwrap();
+        assert!(results[3].as_ref().unwrap().bits_eq(&oracle));
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let s = server();
+        let req = Request::Lof {
+            shard: 1,
+            min_pts: 3,
+        };
+        let first = s.serve_batch(std::slice::from_ref(&req), 1);
+        let before = s.cache_stats();
+        let second = s.serve_batch(std::slice::from_ref(&req), 1);
+        let after = s.cache_stats();
+        assert!(first[0]
+            .as_ref()
+            .unwrap()
+            .bits_eq(second[0].as_ref().unwrap()));
+        assert_eq!(after.hits, before.hits + 1, "second serve must be a hit");
+    }
+
+    #[test]
+    fn ingest_invalidates_cached_responses_via_epoch() {
+        let s = server();
+        let req = Request::Knn {
+            shard: 0,
+            item: 0,
+            k: 20,
+        };
+        let before = &s.serve_batch(std::slice::from_ref(&req), 1)[0];
+        let n_before = match before.as_ref().unwrap() {
+            Response::Indices(v) => v.len(),
+            _ => unreachable!(),
+        };
+        // Insert two more items: k = 20 now returns two more neighbours,
+        // so a stale cache hit would be observable immediately.
+        s.ingest(0, &queries(2, 777)).unwrap();
+        let after = &s.serve_batch(std::slice::from_ref(&req), 1)[0];
+        let n_after = match after.as_ref().unwrap() {
+            Response::Indices(v) => v.len(),
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            n_after,
+            n_before + 2,
+            "stale cached kNN served after ingest"
+        );
+        let oracle = s.serve_one_uncached(&req).unwrap();
+        assert!(after.as_ref().unwrap().bits_eq(&oracle));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let s = server();
+        let bad = Request::Knn {
+            shard: 0,
+            item: 500,
+            k: 1,
+        };
+        let r1 = &s.serve_batch(std::slice::from_ref(&bad), 1)[0];
+        assert!(matches!(r1, Err(ServerError::ItemOutOfBounds { .. })));
+        // Grow the shard past the index; the request must now succeed —
+        // an (incorrectly) cached error would resurface here even though
+        // the epoch changed... which it can't, because epochs key the
+        // cache. Grow enough to cover item 500? No: just assert the error
+        // repeats identically while the store is unchanged.
+        let r2 = &s.serve_batch(std::slice::from_ref(&bad), 1)[0];
+        assert_eq!(r1, r2);
+        assert_eq!(s.cache_stats().len, 0, "errors must not occupy cache slots");
+    }
+
+    #[test]
+    fn submit_rejects_unknown_shard_eagerly() {
+        let s = server();
+        let err = s
+            .submit(Request::Knn {
+                shard: 3,
+                item: 0,
+                k: 1,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::UnknownShard {
+                shard: 3,
+                shards: 3
+            }
+        );
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        Server::new(TokenDistance, 0, 8);
+    }
+}

@@ -1,0 +1,309 @@
+//! One tenant shard: a contiguous row range of the global store with its
+//! own packed distance matrix.
+//!
+//! Sharding is by tenant, so every mining request is answerable from one
+//! shard's matrix alone — no cross-shard distances are ever materialized.
+//! Each shard reuses the PR 2 incremental engine:
+//! [`dpe_distance::DistanceMatrix::extend`] makes a streaming insert of `m`
+//! queries cost exactly `m·n + m(m−1)/2` distance calls, and the packed
+//! upper-triangle layout keeps the per-shard memory at `n(n−1)/2` cells.
+
+use crate::request::{Request, Response, ServerError};
+use dpe_distance::{DistanceMatrix, QueryDistance};
+use dpe_mining::{db_outliers, knn_indices, lof, lof_outliers, range_indices};
+use dpe_mining::{LofConfig, OutlierConfig};
+use dpe_sql::Query;
+
+/// A tenant's slice of the store: queries in insertion order plus the
+/// packed matrix over them, versioned by an epoch that bumps on every
+/// successful insert (cache keys embed it, so stale responses can never be
+/// served after an [`Shard::ingest`]).
+#[derive(Debug, Clone, Default)]
+pub struct Shard {
+    queries: Vec<Query>,
+    matrix: DistanceMatrix,
+    epoch: u64,
+}
+
+impl Shard {
+    /// An empty shard.
+    pub fn new() -> Shard {
+        Shard::default()
+    }
+
+    /// Streaming insert: appends `new` queries, computing only the new
+    /// distance pairs. On error the shard (and its epoch) is unchanged.
+    pub fn ingest<M: QueryDistance>(
+        &mut self,
+        new: &[Query],
+        measure: &M,
+    ) -> Result<(), ServerError> {
+        self.matrix.extend(&self.queries, new, measure)?;
+        self.queries.extend_from_slice(new);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Items stored.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` before the first ingest.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Version counter, bumped by every successful [`Shard::ingest`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The stored queries, insertion order (request item indices point
+    /// here).
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The packed matrix over the stored queries.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// Validates `request` against the shard's current size, returning the
+    /// error a worker would otherwise panic on inside the mining layer.
+    pub fn validate(&self, request: &Request) -> Result<(), ServerError> {
+        let n = self.len();
+        let shard = request.shard();
+        let check_item = |item: usize| {
+            if item < n {
+                Ok(())
+            } else {
+                Err(ServerError::ItemOutOfBounds {
+                    shard,
+                    item,
+                    len: n,
+                })
+            }
+        };
+        let check_min_pts = |min_pts: usize| {
+            if min_pts == 0 {
+                Err(ServerError::BadRequest("LOF min_pts must be ≥ 1".into()))
+            } else if min_pts >= n {
+                Err(ServerError::BadRequest(format!(
+                    "LOF min_pts = {min_pts} needs ≥ {} stored items, shard {shard} has {n}",
+                    min_pts + 1
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match *request {
+            Request::Knn { item, .. } => check_item(item),
+            Request::Range { item, radius, .. } => {
+                if radius.is_nan() {
+                    return Err(ServerError::BadRequest("range radius is NaN".into()));
+                }
+                check_item(item)
+            }
+            Request::Lof { min_pts, .. } => check_min_pts(min_pts),
+            Request::LofOutliers {
+                min_pts, threshold, ..
+            } => {
+                if threshold.is_nan() {
+                    return Err(ServerError::BadRequest("LOF threshold is NaN".into()));
+                }
+                check_min_pts(min_pts)
+            }
+            Request::Outliers { p, d, .. } => {
+                if d.is_nan() {
+                    return Err(ServerError::BadRequest("outlier distance D is NaN".into()));
+                }
+                if (0.0..=1.0).contains(&p) {
+                    Ok(())
+                } else {
+                    Err(ServerError::BadRequest(format!(
+                        "outlier fraction p = {p} outside [0, 1]"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Answers a validated request from the packed matrix. Pure matrix
+    /// reads — the caller holds (at least) a read lock.
+    pub fn answer(&self, request: &Request) -> Result<Response, ServerError> {
+        self.validate(request)?;
+        Ok(match *request {
+            Request::Knn { item, k, .. } => Response::Indices(knn_indices(&self.matrix, item, k)),
+            Request::Range { item, radius, .. } => {
+                Response::Indices(range_indices(&self.matrix, item, radius))
+            }
+            Request::Lof { min_pts, .. } => {
+                Response::Scores(lof(&self.matrix, LofConfig { min_pts }))
+            }
+            Request::LofOutliers {
+                min_pts, threshold, ..
+            } => Response::Indices(lof_outliers(&self.matrix, LofConfig { min_pts }, threshold)),
+            Request::Outliers { p, d, .. } => {
+                Response::Indices(db_outliers(&self.matrix, OutlierConfig { p, d }))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpe_distance::TokenDistance;
+    use dpe_sql::parse_query;
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT ra, a{} FROM t{} WHERE objid = {}",
+                    i % 4,
+                    i % 3,
+                    i * 11
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_matches_batch_matrix_and_bumps_epoch() {
+        let all = queries(12);
+        let full = DistanceMatrix::compute(&all, &TokenDistance).unwrap();
+        let mut shard = Shard::new();
+        assert_eq!(shard.epoch(), 0);
+        shard.ingest(&all[..7], &TokenDistance).unwrap();
+        shard.ingest(&all[7..], &TokenDistance).unwrap();
+        assert_eq!(shard.epoch(), 2);
+        assert_eq!(shard.len(), 12);
+        assert!(shard.matrix().identical(&full));
+    }
+
+    #[test]
+    fn answers_agree_with_direct_mining_calls() {
+        let mut shard = Shard::new();
+        shard.ingest(&queries(10), &TokenDistance).unwrap();
+        let m = shard.matrix();
+
+        let knn = shard
+            .answer(&Request::Knn {
+                shard: 0,
+                item: 3,
+                k: 4,
+            })
+            .unwrap();
+        assert_eq!(knn, Response::Indices(knn_indices(m, 3, 4)));
+
+        let range = shard
+            .answer(&Request::Range {
+                shard: 0,
+                item: 3,
+                radius: 0.5,
+            })
+            .unwrap();
+        assert_eq!(range, Response::Indices(range_indices(m, 3, 0.5)));
+
+        let scores = shard
+            .answer(&Request::Lof {
+                shard: 0,
+                min_pts: 3,
+            })
+            .unwrap();
+        assert!(scores.bits_eq(&Response::Scores(lof(m, LofConfig { min_pts: 3 }))));
+
+        let out = shard
+            .answer(&Request::Outliers {
+                shard: 0,
+                p: 0.6,
+                d: 0.4,
+            })
+            .unwrap();
+        assert_eq!(
+            out,
+            Response::Indices(db_outliers(m, OutlierConfig { p: 0.6, d: 0.4 }))
+        );
+    }
+
+    #[test]
+    fn validation_turns_panics_into_errors() {
+        let mut shard = Shard::new();
+        shard.ingest(&queries(4), &TokenDistance).unwrap();
+
+        let oob = shard.answer(&Request::Knn {
+            shard: 2,
+            item: 4,
+            k: 1,
+        });
+        assert_eq!(
+            oob,
+            Err(ServerError::ItemOutOfBounds {
+                shard: 2,
+                item: 4,
+                len: 4
+            })
+        );
+
+        for bad in [
+            Request::Lof {
+                shard: 0,
+                min_pts: 0,
+            },
+            Request::Lof {
+                shard: 0,
+                min_pts: 4,
+            },
+            Request::Outliers {
+                shard: 0,
+                p: 1.5,
+                d: 0.1,
+            },
+            Request::Range {
+                shard: 0,
+                item: 0,
+                radius: f64::NAN,
+            },
+            Request::LofOutliers {
+                shard: 0,
+                min_pts: 2,
+                threshold: f64::NAN,
+            },
+            Request::Outliers {
+                shard: 0,
+                p: 0.5,
+                d: f64::NAN,
+            },
+        ] {
+            assert!(
+                matches!(shard.answer(&bad), Err(ServerError::BadRequest(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_ingest_leaves_shard_untouched() {
+        struct Poison;
+        impl QueryDistance for Poison {
+            fn distance(&self, _: &Query, _: &Query) -> Result<f64, dpe_distance::DistanceError> {
+                Err(dpe_distance::DistanceError::MissingDomain("poison".into()))
+            }
+            fn name(&self) -> &'static str {
+                "poison"
+            }
+        }
+        let mut shard = Shard::new();
+        shard.ingest(&queries(5), &TokenDistance).unwrap();
+        let before = shard.clone();
+        let err = shard.ingest(&queries(3), &Poison).unwrap_err();
+        assert!(matches!(err, ServerError::Distance(_)));
+        assert_eq!(shard.len(), before.len());
+        assert_eq!(shard.epoch(), before.epoch());
+        assert!(shard.matrix().identical(before.matrix()));
+    }
+}

@@ -1,0 +1,346 @@
+//! Concurrency regression suite for the batch-serving engine.
+//!
+//! The contract under test: however many client threads submit, however the
+//! work-stealing workers interleave, and whenever streaming inserts land,
+//! every response is **bit-identical** to what a single-threaded oracle
+//! computes against the store state the request observed. Caching, batching
+//! and stealing are allowed to change *when* work happens — never *what* is
+//! answered.
+
+use dpe_distance::{DistanceMatrix, TokenDistance};
+use dpe_mining::{knn_indices, lof, range_indices, LofConfig};
+use dpe_server::{Request, Response, Server, ServerError, Ticket};
+use dpe_sql::Query;
+use dpe_workload::{LogConfig, LogGenerator};
+use std::sync::Barrier;
+
+const SHARDS: usize = 4;
+
+fn tenant_log(shard: usize, n: usize) -> Vec<Query> {
+    LogGenerator::generate(&LogConfig {
+        queries: n,
+        seed: 0xC0FFEE + shard as u64,
+        ..Default::default()
+    })
+}
+
+fn build_server(per_shard: usize, cache: usize) -> Server<TokenDistance> {
+    let server = Server::new(TokenDistance, SHARDS, cache);
+    for shard in 0..SHARDS {
+        server.ingest(shard, &tenant_log(shard, per_shard)).unwrap();
+    }
+    server
+}
+
+/// The deterministic request stream client `c` submits: a fixed
+/// interleaving of kNN and range queries (plus the occasional LOF) across
+/// the shards, skewed toward shard 0 like a hot tenant.
+fn client_stream(c: usize, len: usize, per_shard: usize) -> Vec<Request> {
+    (0..len)
+        .map(|i| {
+            let mix = (c * 7 + i * 13) % 10;
+            let shard = if mix < 4 { 0 } else { (c + i) % SHARDS };
+            let item = (c * 11 + i * 3) % per_shard;
+            match mix % 3 {
+                0 => Request::Knn {
+                    shard,
+                    item,
+                    k: 1 + (i % 7),
+                },
+                1 => Request::Range {
+                    shard,
+                    item,
+                    radius: 0.2 + 0.1 * ((i % 5) as f64),
+                },
+                _ => Request::Lof {
+                    shard,
+                    min_pts: 2 + (i % 3),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Single-threaded oracle over a plain matrix (independent of the server's
+/// code paths wherever possible).
+fn oracle(matrix: &DistanceMatrix, request: &Request) -> Response {
+    match *request {
+        Request::Knn { item, k, .. } => Response::Indices(knn_indices(matrix, item, k)),
+        Request::Range { item, radius, .. } => {
+            Response::Indices(range_indices(matrix, item, radius))
+        }
+        Request::Lof { min_pts, .. } => Response::Scores(lof(matrix, LofConfig { min_pts })),
+        _ => unreachable!("stream only issues knn/range/lof"),
+    }
+}
+
+/// Matrices recomputed from scratch per shard — the server never sees them.
+fn oracle_matrices(per_shard: usize, extra: usize) -> Vec<DistanceMatrix> {
+    (0..SHARDS)
+        .map(|shard| {
+            let mut log = tenant_log(shard, per_shard);
+            log.extend(tenant_log(shard + 100, extra));
+            DistanceMatrix::compute(&log, &TokenDistance).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_submissions_match_sequential_oracle_bitwise() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 40;
+    const PER_SHARD: usize = 24;
+
+    let server = build_server(PER_SHARD, 128);
+    let matrices = oracle_matrices(PER_SHARD, 0);
+
+    // All clients submit concurrently from their own threads.
+    let barrier = Barrier::new(CLIENTS);
+    let mut submissions: Vec<(Ticket, Request)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = &server;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    client_stream(c, PER_CLIENT, PER_SHARD)
+                        .into_iter()
+                        .map(|req| (server.submit(req.clone()).unwrap(), req))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            submissions.extend(h.join().unwrap());
+        }
+    });
+    assert_eq!(server.queued(), CLIENTS * PER_CLIENT);
+
+    let results = server.drain(4);
+    assert_eq!(results.len(), CLIENTS * PER_CLIENT);
+
+    // Tickets are unique and results come back sorted by them.
+    for window in results.windows(2) {
+        assert!(window[0].0 < window[1].0, "drain must sort by ticket");
+    }
+
+    // Every ticket's answer is bit-identical to the oracle's.
+    for (ticket, request) in &submissions {
+        let (_, result) = results
+            .iter()
+            .find(|(t, _)| t == ticket)
+            .expect("every submitted ticket answered");
+        let expect = oracle(&matrices[request.shard()], request);
+        assert!(
+            result.as_ref().unwrap().bits_eq(&expect),
+            "ticket {ticket:?} diverged for {request:?}"
+        );
+    }
+}
+
+#[test]
+fn serve_batch_matches_oracle_in_input_order() {
+    const PER_SHARD: usize = 20;
+    let server = build_server(PER_SHARD, 64);
+    let matrices = oracle_matrices(PER_SHARD, 0);
+
+    let mut requests = Vec::new();
+    for c in 0..6 {
+        requests.extend(client_stream(c, 25, PER_SHARD));
+    }
+    for threads in [1, 2, 4, 8] {
+        let results = server.serve_batch(&requests, threads);
+        assert_eq!(results.len(), requests.len());
+        for (request, result) in requests.iter().zip(&results) {
+            let expect = oracle(&matrices[request.shard()], request);
+            assert!(
+                result.as_ref().unwrap().bits_eq(&expect),
+                "threads={threads}, {request:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_stream_ingest_keeps_every_phase_bit_identical() {
+    const PER_SHARD: usize = 18;
+    const EXTRA: usize = 6;
+    let server = build_server(PER_SHARD, 128);
+    let before = oracle_matrices(PER_SHARD, 0);
+    let after = oracle_matrices(PER_SHARD, EXTRA);
+
+    let run_phase = |matrices: &[DistanceMatrix], items: usize| {
+        let mut submissions = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|c| {
+                    let server = &server;
+                    scope.spawn(move || {
+                        client_stream(c, 30, items)
+                            .into_iter()
+                            .map(|req| (server.submit(req.clone()).unwrap(), req))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                submissions.extend(h.join().unwrap());
+            }
+        });
+        let results = server.drain(4);
+        for (ticket, request) in &submissions {
+            let (_, result) = results.iter().find(|(t, _)| t == ticket).unwrap();
+            let expect = oracle(&matrices[request.shard()], request);
+            assert!(
+                result.as_ref().unwrap().bits_eq(&expect),
+                "{request:?} diverged"
+            );
+        }
+    };
+
+    // Phase A: pre-insert store.
+    run_phase(&before, PER_SHARD);
+
+    // Mid-stream: every shard ingests a batch (the incremental extend
+    // path), which must atomically invalidate that shard's cache.
+    for shard in 0..SHARDS {
+        server
+            .ingest(shard, &tenant_log(shard + 100, EXTRA))
+            .unwrap();
+        assert_eq!(server.shard_len(shard).unwrap(), PER_SHARD + EXTRA);
+        assert_eq!(server.shard_epoch(shard).unwrap(), 2);
+    }
+
+    // Phase B: identical request stream, now answered from the grown store.
+    run_phase(&after, PER_SHARD + EXTRA);
+}
+
+#[test]
+fn ingest_racing_readers_is_linearizable_per_request() {
+    // Readers hammer shard 0 while a writer ingests into it. Every
+    // response must equal the oracle for either the pre- or post-ingest
+    // store — nothing torn, nothing stale-after-epoch.
+    const PER_SHARD: usize = 16;
+    const EXTRA: usize = 5;
+    let server = build_server(PER_SHARD, 64);
+    let pre_all = oracle_matrices(PER_SHARD, 0);
+    let post_all = oracle_matrices(PER_SHARD, EXTRA);
+    let (pre, post) = (&pre_all[0], &post_all[0]);
+
+    let request = Request::Knn {
+        shard: 0,
+        item: 3,
+        k: PER_SHARD + EXTRA, // k > n: result length reveals the store size
+    };
+    let expect_pre = oracle(pre, &request);
+    let expect_post = oracle(post, &request);
+    assert!(
+        !expect_pre.bits_eq(&expect_post),
+        "phases must be observable"
+    );
+
+    std::thread::scope(|scope| {
+        let server = &server;
+        let writer = scope.spawn(move || {
+            server.ingest(0, &tenant_log(100, EXTRA)).unwrap();
+        });
+        let request = &request;
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut answers = Vec::new();
+                    for _ in 0..50 {
+                        answers.push(server.serve_one_uncached(request).unwrap());
+                    }
+                    answers
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            for answer in r.join().unwrap() {
+                assert!(
+                    answer.bits_eq(&expect_pre) || answer.bits_eq(&expect_post),
+                    "response matches neither pre- nor post-ingest oracle"
+                );
+            }
+        }
+    });
+
+    // After the writer is done, only the post-ingest answer may appear —
+    // including through the batched, cached path.
+    let final_answer = &server.serve_batch(std::slice::from_ref(&request), 2)[0];
+    assert!(final_answer.as_ref().unwrap().bits_eq(&expect_post));
+}
+
+#[test]
+fn cached_and_uncached_paths_agree_under_churn() {
+    const PER_SHARD: usize = 20;
+    let cached = build_server(PER_SHARD, 256);
+    let uncached = build_server(PER_SHARD, 0);
+
+    let mut requests = Vec::new();
+    for c in 0..5 {
+        requests.extend(client_stream(c, 20, PER_SHARD));
+    }
+    // Serve the stream three times: the second and third pass on the
+    // cached server are mostly hits, and must stay bit-identical to the
+    // cache-disabled server's answers.
+    for pass in 0..3 {
+        let a = cached.serve_batch(&requests, 4);
+        let b = uncached.serve_batch(&requests, 4);
+        for ((x, y), req) in a.iter().zip(&b).zip(&requests) {
+            assert!(
+                x.as_ref().unwrap().bits_eq(y.as_ref().unwrap()),
+                "pass {pass}: cached diverged from uncached for {req:?}"
+            );
+        }
+    }
+    let stats = cached.cache_stats();
+    assert!(
+        stats.hits > 0,
+        "the repeated passes must actually exercise the cache: {stats:?}"
+    );
+    assert_eq!(uncached.cache_stats().hits, 0);
+}
+
+#[test]
+fn invalid_requests_fail_cleanly_among_valid_traffic() {
+    let server = build_server(10, 32);
+    let requests = vec![
+        Request::Knn {
+            shard: 0,
+            item: 2,
+            k: 3,
+        },
+        Request::Knn {
+            shard: SHARDS,
+            item: 0,
+            k: 1,
+        },
+        Request::Lof {
+            shard: 1,
+            min_pts: 0,
+        },
+        Request::Range {
+            shard: 2,
+            item: 99,
+            radius: 0.5,
+        },
+        Request::Outliers {
+            shard: 3,
+            p: 0.5,
+            d: 0.3,
+        },
+    ];
+    let results = server.serve_batch(&requests, 4);
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(ServerError::UnknownShard { .. })));
+    assert!(matches!(results[2], Err(ServerError::BadRequest(_))));
+    assert!(matches!(
+        results[3],
+        Err(ServerError::ItemOutOfBounds { item: 99, .. })
+    ));
+    assert!(results[4].is_ok());
+}

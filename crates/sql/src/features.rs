@@ -1,5 +1,5 @@
 //! `features(Q)` — the characteristic function of **structural equivalence**
-//! (Table I row 2), after SnipSuggest [15].
+//! (Table I row 2), after SnipSuggest \[15\].
 //!
 //! A feature is a tuple describing one structural element of the query:
 //! which columns are projected, which tables are scanned, which columns are

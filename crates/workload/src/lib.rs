@@ -1,6 +1,6 @@
 //! # dpe-workload — synthetic SkyServer-like query logs and databases
 //!
-//! The paper's case study targets SQL query logs such as SkyServer's [16],
+//! The paper's case study targets SQL query logs such as SkyServer's \[16\],
 //! which are not redistributable. This crate generates the closest synthetic
 //! equivalent (DESIGN.md §5): an astronomy-flavoured star/galaxy catalog
 //! schema ([`schema`]), seeded random database content ([`dbgen`]), and a

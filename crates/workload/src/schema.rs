@@ -1,6 +1,6 @@
 //! The synthetic sky-catalog schema.
 //!
-//! Modelled on the SkyServer tables the paper's reference [16] mines:
+//! Modelled on the SkyServer tables the paper's reference \[16\] mines:
 //! a photometric object catalog, a spectroscopic catalog keyed to it, and a
 //! neighbor pair table. Column names are globally unique across tables so
 //! the unqualified attribute spellings of real query logs resolve without

@@ -1,0 +1,123 @@
+//! Property tests pinning the Zipf sampler's distributional shape.
+//!
+//! The serving benches lean on this sampler to model skewed tenant
+//! traffic, so its *shape* — not just its bounds — is contract: for
+//! exponent `s = 1.0` the empirical rank-frequency curve must follow the
+//! power law `freq(rank) ∝ rank⁻¹`, i.e. a log-log slope of −1. The slope
+//! is estimated by least squares over the head of the distribution (the
+//! ranks with enough mass for a stable estimate) from 100k draws.
+
+use dpe_workload::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DRAWS: usize = 100_000;
+
+fn histogram(z: &Zipf, seed: u64, draws: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = vec![0usize; z.len()];
+    for _ in 0..draws {
+        h[z.sample(&mut rng)] += 1;
+    }
+    h
+}
+
+/// Least-squares slope of `ln(count)` against `ln(rank)` (1-indexed ranks).
+fn log_log_slope(counts: &[usize]) -> f64 {
+    let points: Vec<(f64, f64)> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c.max(1) as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sxx, sxy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// s = 1.0 over 100k draws: the rank-frequency slope over the top 20
+    /// ranks of a 50-rank sampler must sit at −1 (±0.12 sampling noise —
+    /// rank 20 still collects ≈1.1k draws, so the estimate is tight).
+    #[test]
+    fn rank_frequency_slope_is_minus_one_for_s1(seed in 0u64..1_000_000) {
+        let z = Zipf::new(50, 1.0);
+        let h = histogram(&z, seed, DRAWS);
+        let slope = log_log_slope(&h[..20]);
+        prop_assert!(
+            (slope + 1.0).abs() < 0.12,
+            "slope {} too far from -1 (seed {})",
+            slope,
+            seed
+        );
+    }
+
+    /// s = 0 must be uniform: the same slope machinery reports ≈ 0, and no
+    /// rank strays more than 5σ from the expected count.
+    #[test]
+    fn zero_exponent_is_flat(seed in 0u64..1_000_000) {
+        let n = 25;
+        let z = Zipf::new(n, 0.0);
+        let h = histogram(&z, seed, DRAWS);
+        let slope = log_log_slope(&h);
+        prop_assert!(slope.abs() < 0.05, "uniform slope {} not flat", slope);
+        let expect = DRAWS as f64 / n as f64;
+        let sigma = (DRAWS as f64 * (1.0 / n as f64) * (1.0 - 1.0 / n as f64)).sqrt();
+        for (rank, &count) in h.iter().enumerate() {
+            prop_assert!(
+                (count as f64 - expect).abs() < 5.0 * sigma,
+                "rank {} count {} vs expected {}",
+                rank,
+                count,
+                expect
+            );
+        }
+    }
+
+    /// The degenerate single-rank sampler returns 0 for every exponent.
+    #[test]
+    fn single_rank_is_constant_for_any_exponent(
+        seed in 0u64..1_000_000,
+        s_millis in 0u32..4_000,
+    ) {
+        let z = Zipf::new(1, f64::from(s_millis) / 1_000.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}
+
+#[test]
+fn single_rank_uniform_degenerate_combination() {
+    // n = 1 with s = 0: both degenerate axes at once.
+    let z = Zipf::new(1, 0.0);
+    assert_eq!(z.len(), 1);
+    let mut rng = StdRng::seed_from_u64(11);
+    assert!(std::iter::repeat_with(|| z.sample(&mut rng))
+        .take(1000)
+        .all(|r| r == 0));
+}
+
+#[test]
+fn steeper_exponents_concentrate_more_mass_on_rank_zero() {
+    // Monotone sanity around the s = 1.0 pin: mass(rank 0) grows with s.
+    let mut previous = 0usize;
+    for (i, s) in [0.0, 0.5, 1.0, 2.0].into_iter().enumerate() {
+        let z = Zipf::new(30, s);
+        let h = histogram(&z, 0xAB + i as u64, 40_000);
+        assert!(
+            h[0] > previous,
+            "rank-0 mass must grow with s: s={s}, {} <= {previous}",
+            h[0]
+        );
+        previous = h[0];
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`distance`] — the four query-distance measures of Table I.
 //! * [`mining`] — distance-based mining algorithms (clustering, outliers,
 //!   LOF, association rules).
+//! * [`server`] — the sharded batch-serving engine answering concurrent
+//!   kNN/LOF/range requests over the encrypted store (work-stealing batch
+//!   scheduler + epoch-keyed LRU response cache).
 //! * [`workload`] — synthetic SkyServer-like query-log generator.
 //! * [`attacks`] — the passive attacks of the threat model, used to validate
 //!   Fig. 1 empirically.
@@ -32,5 +35,6 @@ pub use dpe_minidb as minidb;
 pub use dpe_mining as mining;
 pub use dpe_ope as ope;
 pub use dpe_paillier as paillier;
+pub use dpe_server as server;
 pub use dpe_sql as sql;
 pub use dpe_workload as workload;

@@ -1,0 +1,166 @@
+//! Integration: the outsourced serving story end-to-end.
+//!
+//! The data owner encrypts each tenant's query log with a DPE scheme and
+//! hands the ciphertexts to the service provider's `dpe-server`. Because
+//! the server's answers are pure functions of per-shard distance matrices
+//! and DPE preserves every pairwise distance, a server loaded with
+//! **ciphertexts** must answer every concurrent kNN / range / LOF / outlier
+//! request **bit-identically** to a server loaded with the plaintexts —
+//! including across streaming inserts of freshly encrypted batches.
+
+use dpe::core::scheme::{QueryEncryptor, StructuralDpe, TokenDpe};
+use dpe::crypto::MasterKey;
+use dpe::distance::{StructureDistance, TokenDistance};
+use dpe::server::{Request, Server};
+use dpe::sql::Query;
+use dpe::workload::{LogConfig, LogGenerator};
+
+const SHARDS: usize = 3;
+
+fn tenant_log(shard: usize, n: usize) -> Vec<Query> {
+    LogGenerator::generate(&LogConfig {
+        queries: n,
+        seed: 0xBEEF + shard as u64,
+        ..Default::default()
+    })
+}
+
+fn request_stream(per_shard: usize) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for shard in 0..SHARDS {
+        for i in 0..12 {
+            reqs.push(match i % 4 {
+                0 => Request::Knn {
+                    shard,
+                    item: (i * 5) % per_shard,
+                    k: 1 + i % 6,
+                },
+                1 => Request::Range {
+                    shard,
+                    item: (i * 3) % per_shard,
+                    radius: 0.15 * ((i % 5) as f64) + 0.1,
+                },
+                2 => Request::Lof {
+                    shard,
+                    min_pts: 2 + i % 3,
+                },
+                _ => Request::Outliers {
+                    shard,
+                    p: 0.7,
+                    d: 0.5,
+                },
+            });
+        }
+    }
+    reqs
+}
+
+#[test]
+fn encrypted_server_answers_bit_identically_to_plaintext_server() {
+    const PER_SHARD: usize = 22;
+    let mut scheme = TokenDpe::new(&MasterKey::from_bytes([0x41; 32]));
+
+    let plain = Server::new(TokenDistance, SHARDS, 128);
+    let encrypted = Server::new(TokenDistance, SHARDS, 128);
+    for shard in 0..SHARDS {
+        let log = tenant_log(shard, PER_SHARD);
+        let enc = scheme.encrypt_log(&log).unwrap();
+        plain.ingest(shard, &log).unwrap();
+        encrypted.ingest(shard, &enc).unwrap();
+    }
+
+    let requests = request_stream(PER_SHARD);
+    let a = plain.serve_batch(&requests, 4);
+    let b = encrypted.serve_batch(&requests, 4);
+    for ((x, y), req) in a.iter().zip(&b).zip(&requests) {
+        assert!(
+            x.as_ref().unwrap().bits_eq(y.as_ref().unwrap()),
+            "plaintext and ciphertext servers diverged on {req:?}"
+        );
+    }
+}
+
+#[test]
+fn streaming_encrypted_ingest_preserves_equivalence() {
+    const PER_SHARD: usize = 16;
+    const EXTRA: usize = 6;
+    let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([0x52; 32]), 11);
+
+    let plain = Server::new(StructureDistance, SHARDS, 64);
+    let encrypted = Server::new(StructureDistance, SHARDS, 64);
+    for shard in 0..SHARDS {
+        let log = tenant_log(shard, PER_SHARD);
+        let enc = scheme.encrypt_log(&log).unwrap();
+        plain.ingest(shard, &log).unwrap();
+        encrypted.ingest(shard, &enc).unwrap();
+    }
+
+    // Warm both caches, then stream in a freshly encrypted batch per shard
+    // and re-serve: the epoch bump must keep both sides in lockstep.
+    let requests = request_stream(PER_SHARD);
+    let _ = plain.serve_batch(&requests, 2);
+    let _ = encrypted.serve_batch(&requests, 2);
+
+    for shard in 0..SHARDS {
+        let batch = tenant_log(shard + 50, EXTRA);
+        let enc = scheme.encrypt_log(&batch).unwrap();
+        plain.ingest(shard, &batch).unwrap();
+        encrypted.ingest(shard, &enc).unwrap();
+    }
+
+    let requests = request_stream(PER_SHARD + EXTRA);
+    let a = plain.serve_batch(&requests, 4);
+    let b = encrypted.serve_batch(&requests, 4);
+    for ((x, y), req) in a.iter().zip(&b).zip(&requests) {
+        assert!(
+            x.as_ref().unwrap().bits_eq(y.as_ref().unwrap()),
+            "post-ingest divergence on {req:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_clients_on_the_encrypted_store() {
+    const PER_SHARD: usize = 18;
+    let mut scheme = TokenDpe::new(&MasterKey::from_bytes([0x63; 32]));
+    let encrypted = Server::new(TokenDistance, SHARDS, 128);
+    let plain = Server::new(TokenDistance, SHARDS, 0);
+    for shard in 0..SHARDS {
+        let log = tenant_log(shard, PER_SHARD);
+        encrypted
+            .ingest(shard, &scheme.encrypt_log(&log).unwrap())
+            .unwrap();
+        plain.ingest(shard, &log).unwrap();
+    }
+
+    // 6 client threads submit against the ciphertext store; the drained
+    // answers must match uncached plaintext dispatch one-for-one.
+    let mut submissions = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|c| {
+                let encrypted = &encrypted;
+                scope.spawn(move || {
+                    request_stream(PER_SHARD)
+                        .into_iter()
+                        .skip(c)
+                        .step_by(3)
+                        .map(|req| (encrypted.submit(req.clone()).unwrap(), req))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            submissions.extend(h.join().unwrap());
+        }
+    });
+    let results = encrypted.drain(4);
+    for (ticket, request) in &submissions {
+        let (_, result) = results.iter().find(|(t, _)| t == ticket).unwrap();
+        let expect = plain.serve_one_uncached(request).unwrap();
+        assert!(
+            result.as_ref().unwrap().bits_eq(&expect),
+            "{request:?} diverged on the encrypted store"
+        );
+    }
+}

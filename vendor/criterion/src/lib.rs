@@ -8,8 +8,24 @@
 //! per-iteration time. That keeps `cargo bench` useful for relative
 //! comparisons while building with zero dependencies (the build environment
 //! has no registry access).
+//!
+//! Two CI-oriented extensions over the plain shim:
+//!
+//! * **Quick mode** — passing `--quick` on the bench command line (as in
+//!   real criterion: `cargo bench -- --quick`) or setting
+//!   `DPE_BENCH_QUICK=1` caps every benchmark at 3 samples and a ~5 ms
+//!   measurement budget, making a full bench sweep cheap enough for a
+//!   per-PR smoke job.
+//! * **Machine-readable results** — when `DPE_BENCH_JSON` names a file,
+//!   every benchmark appends one JSON line
+//!   `{"bench":"<group>/<id>","lo_ns":…,"median_ns":…,"hi_ns":…}` to it.
+//!   Bench binaries run sequentially under `cargo bench`, so appending is
+//!   race-free; the `bench_json` bin in `dpe-bench` consolidates the lines
+//!   into the repo-level `BENCH_*.json` trajectory files.
 
 use std::fmt;
+use std::io::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// How batched inputs are grouped per measurement (mirrors `criterion::BatchSize`).
@@ -136,12 +152,65 @@ fn format_time(nanos: f64) -> String {
     }
 }
 
+/// `true` when `--quick` was passed to the bench binary (criterion's fast
+/// mode) or `DPE_BENCH_QUICK` is set in the environment.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("DPE_BENCH_QUICK").is_some()
+    })
+}
+
+/// The JSONL result sink named by `DPE_BENCH_JSON`, if any.
+fn json_sink() -> Option<&'static str> {
+    static SINK: OnceLock<Option<String>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        std::env::var("DPE_BENCH_JSON")
+            .ok()
+            .filter(|p| !p.is_empty())
+    })
+    .as_deref()
+}
+
+/// One benchmark's JSONL record (names are ASCII from source literals, but
+/// escape quotes and backslashes anyway).
+fn json_line(name: &str, lo: f64, median: f64, hi: f64) -> String {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c < ' ' => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"{escaped}\",\"lo_ns\":{lo:.1},\"median_ns\":{median:.1},\"hi_ns\":{hi:.1}}}"
+    )
+}
+
+/// Appends one record to `path`, creating the file on first use.
+fn append_json_line(path: &str, line: &str) {
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!("warning: could not append bench result to {path}: {e}");
+    }
+}
+
 fn run_one(
     full_name: &str,
     throughput: Option<Throughput>,
     samples: u64,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    let samples = if quick_mode() {
+        samples.min(3)
+    } else {
+        samples
+    };
     // One untimed warm-up pass (also sizes the measurement loop).
     let mut warm = Bencher {
         elapsed: Duration::ZERO,
@@ -152,9 +221,10 @@ fn run_one(
     f(&mut warm);
     let warm_wall = warm_start.elapsed();
 
-    // Aim for ~50ms of total measurement, at least one iteration per sample.
+    // Aim for ~50ms of total measurement (~5ms in quick mode), at least one
+    // iteration per sample.
     let per_iter = warm_wall.as_nanos().max(1) / u128::from(warm.iters.max(1));
-    let budget_ns: u128 = 50_000_000;
+    let budget_ns: u128 = if quick_mode() { 5_000_000 } else { 50_000_000 };
     let total_iters = (budget_ns / per_iter.max(1)).clamp(1, 1_000) as u64;
     let sample_iters = (total_iters / samples.max(1)).max(1);
 
@@ -177,6 +247,10 @@ fn run_one(
         .unwrap_or(0.0);
     let lo = nanos_per_iter.first().copied().unwrap_or(0.0);
     let hi = nanos_per_iter.last().copied().unwrap_or(0.0);
+
+    if let Some(path) = json_sink() {
+        append_json_line(path, &json_line(full_name, lo, median, hi));
+    }
 
     let mut line = format!(
         "{full_name:<50} time: [{} {} {}]",
@@ -330,6 +404,35 @@ mod tests {
         group.bench_function("counter", |b| b.iter(|| calls += 1));
         group.finish();
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn json_line_escapes_and_formats() {
+        let line = json_line("group/bench", 10.0, 20.55, 31.0);
+        assert_eq!(
+            line,
+            "{\"bench\":\"group/bench\",\"lo_ns\":10.0,\"median_ns\":20.6,\"hi_ns\":31.0}"
+        );
+        let hostile = json_line("a\"b\\c\nd", 1.0, 2.0, 3.0);
+        assert!(hostile.contains("a\\\"b\\\\c\\u000ad"), "{hostile}");
+    }
+
+    #[test]
+    fn append_json_line_accumulates_records() {
+        let path = std::env::temp_dir().join(format!(
+            "dpe-criterion-shim-test-{}.jsonl",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        append_json_line(path_str, &json_line("a/x", 1.0, 2.0, 3.0));
+        append_json_line(path_str, &json_line("b/y", 4.0, 5.0, 6.0));
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\":\"a/x\""));
+        assert!(lines[1].contains("\"median_ns\":5.0"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -219,7 +219,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length bounds for [`vec`] (mirrors `proptest::collection::SizeRange`).
+    /// Length bounds for [`vec()`] (mirrors `proptest::collection::SizeRange`).
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
