@@ -15,9 +15,18 @@
 //!
 //! Correctness is asserted before timing: the batched responses must be
 //! bit-identical to sequential dispatch.
+//!
+//! P4 — the clustering serving surface (`server_clustering_4shard`): the
+//! same engine answering whole-shard DBSCAN / k-medoids / hierarchical /
+//! frequent-itemset requests. The headline is plan amortization: one
+//! dendrogram build per (shard, epoch, linkage) serving every `cut(k)` —
+//! `serve_batch_warm_plans` (response cache cleared, plans kept) vs
+//! `serve_batch_cold` (both cleared) isolates it, and `cut_sweep_warm_plan`
+//! pins the zero-extra-builds claim with the plan counters.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dpe_distance::TokenDistance;
+use dpe_mining::Linkage;
 use dpe_server::{Request, Server};
 use dpe_workload::{LogConfig, LogGenerator, Zipf};
 use rand::rngs::StdRng;
@@ -163,9 +172,135 @@ fn bench_server_throughput(c: &mut Criterion) {
     );
 }
 
+/// One client's Zipf-skewed clustering stream: hierarchical cut sweeps
+/// dominate (two of four kind slots), so plan reuse is the load-bearing
+/// optimization — exactly the shape a dashboard recomputing cluster views
+/// at many granularities produces.
+fn clustering_stream(client: usize) -> Vec<Request> {
+    const LINKAGES: [Linkage; 3] = [Linkage::Complete, Linkage::Single, Linkage::Average];
+    let shard_zipf = Zipf::new(SHARDS, 1.0);
+    let linkage_zipf = Zipf::new(3, 1.0);
+    let k_zipf = Zipf::new(16, 1.0);
+    let kind_zipf = Zipf::new(4, 1.0);
+    let mut rng = StdRng::seed_from_u64(0xC105 + client as u64);
+    (0..PER_CLIENT / 2)
+        .map(|_| {
+            let shard = shard_zipf.sample(&mut rng);
+            match kind_zipf.sample(&mut rng) {
+                0 | 1 => Request::Hierarchical {
+                    shard,
+                    linkage: LINKAGES[linkage_zipf.sample(&mut rng)],
+                    k: 1 + k_zipf.sample(&mut rng),
+                },
+                2 => Request::Dbscan {
+                    shard,
+                    eps: 0.2 + 0.05 * (k_zipf.sample(&mut rng) % 4) as f64,
+                    min_pts: 3,
+                },
+                _ => Request::KMedoids {
+                    shard,
+                    k: 2 + k_zipf.sample(&mut rng) % 6,
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench_clustering_plans(c: &mut Criterion) {
+    let server = build_server();
+    let requests: Vec<Request> = (0..CLIENTS).flat_map(clustering_stream).collect();
+    let total = requests.len() as u64;
+
+    // Correctness gate: the plan-cached batch path must stay bit-identical
+    // to per-query dispatch (which rebuilds every dendrogram from scratch).
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|r| server.serve_one_uncached(r).unwrap())
+        .collect();
+    let batched = server.serve_batch(&requests, 4);
+    for ((a, b), req) in batched.iter().zip(&sequential).zip(&requests) {
+        assert!(
+            a.as_ref().unwrap().bits_eq(b),
+            "plan-cached batch diverged on {req:?}"
+        );
+    }
+
+    let mut group = c.benchmark_group("server_clustering_4shard");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+
+    group.bench_function("per_query_sequential", |b| {
+        b.iter(|| {
+            requests
+                .iter()
+                .map(|r| server.serve_one_uncached(r).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+
+    group.bench_function("serve_batch_cold", |b| {
+        b.iter_batched(
+            || {
+                server.clear_cache();
+                server.clear_plans();
+            },
+            |()| server.serve_batch(&requests, 4),
+            BatchSize::PerIteration,
+        );
+    });
+
+    // Plans warm, responses cold: every request recomputes its answer, but
+    // hierarchical cuts read the cached dendrograms — the plan layer's
+    // isolated win over `serve_batch_cold`.
+    group.bench_function("serve_batch_warm_plans", |b| {
+        b.iter_batched(
+            || server.clear_cache(),
+            |()| server.serve_batch(&requests, 4),
+            BatchSize::PerIteration,
+        );
+    });
+
+    server.clear_cache();
+    let _ = server.serve_batch(&requests, 4);
+    group.bench_function("serve_batch_warm", |b| {
+        b.iter(|| server.serve_batch(&requests, 4));
+    });
+
+    // The amortization claim in its purest form: a k-sweep over one warm
+    // plan. The response cache is cleared per iteration so every cut is
+    // recomputed — from the same dendrogram.
+    let sweep: Vec<Request> = (1..=32)
+        .map(|k| Request::Hierarchical {
+            shard: 0,
+            linkage: Linkage::Complete,
+            k,
+        })
+        .collect();
+    server.serve_batch(&sweep, 1); // warm the plan
+    let builds_before_sweep = server.plan_stats().builds;
+    group.bench_function("cut_sweep_warm_plan", |b| {
+        b.iter_batched(
+            || server.clear_cache(),
+            |()| server.serve_batch(&sweep, 1),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+
+    let plans = server.plan_stats();
+    assert_eq!(
+        plans.builds, builds_before_sweep,
+        "a warm plan must serve every cut(k) with zero additional builds"
+    );
+    println!(
+        "plans: {} builds amortized over {} hits ({} invalidations, {} live)",
+        plans.builds, plans.hits, plans.invalidations, plans.live
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_server_throughput
+    targets = bench_server_throughput, bench_clustering_plans
 }
 criterion_main!(benches);

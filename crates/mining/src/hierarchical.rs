@@ -63,6 +63,76 @@ pub struct Dendrogram {
 }
 
 impl Dendrogram {
+    /// Serializes the dendrogram to a canonical byte string: `n` as a
+    /// little-endian `u64`, then per merge `(a, b, id, distance bits)` as
+    /// four little-endian `u64`s. Two dendrograms serialize identically iff
+    /// they are bit-identical (distances compare on their bit patterns), so
+    /// the byte string — or its [`Dendrogram::digest`] — is a sound
+    /// fingerprint for plan caching.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 32 * self.merges.len());
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        for m in &self.merges {
+            out.extend_from_slice(&(m.a as u64).to_le_bytes());
+            out.extend_from_slice(&(m.b as u64).to_le_bytes());
+            out.extend_from_slice(&(m.id as u64).to_le_bytes());
+            out.extend_from_slice(&m.distance.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Dendrogram::to_bytes`]. Returns `None` on truncated or
+    /// trailing input (the encoding is fixed-width) and on structurally
+    /// invalid dendrograms — exactly `n − 1` merges, each with
+    /// `a < b < id = n + step` — so a parsed value upholds every invariant
+    /// [`Dendrogram::cut`] indexes by (no panics or bogus cluster counts
+    /// from hostile bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Dendrogram> {
+        let mut take = {
+            let mut rest = bytes;
+            move || -> Option<u64> {
+                let (chunk, tail) = rest.split_first_chunk::<8>()?;
+                rest = tail;
+                Some(u64::from_le_bytes(*chunk))
+            }
+        };
+        if bytes.len() < 8 || !(bytes.len() - 8).is_multiple_of(32) {
+            return None;
+        }
+        let n = take()? as usize;
+        let merges = (0..(bytes.len() - 8) / 32)
+            .map(|_| {
+                Some(Merge {
+                    a: take()? as usize,
+                    b: take()? as usize,
+                    id: take()? as usize,
+                    distance: f64::from_bits(take()?),
+                })
+            })
+            .collect::<Option<Vec<Merge>>>()?;
+        if merges.len() != n.saturating_sub(1) {
+            return None;
+        }
+        for (step, m) in merges.iter().enumerate() {
+            if !(m.a < m.b && m.b < m.id && m.id == n + step) {
+                return None;
+            }
+        }
+        Some(Dendrogram { n, merges })
+    }
+
+    /// FNV-1a hash of the canonical serialization — the compact plan
+    /// fingerprint the serving layer's cache statistics and regression
+    /// tests pin warm-vs-cold plan identity with.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for byte in self.to_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     /// Cuts the dendrogram into exactly `k` clusters and returns per-leaf
     /// assignments with cluster ids renumbered `0..k` in order of their
     /// smallest leaf.
@@ -274,6 +344,76 @@ mod tests {
         let m = DistanceMatrix::from_fn(12, |i, j| ((i * 5 + j * 3) % 11) as f64 + 0.5);
         for linkage in [Linkage::Complete, Linkage::Single, Linkage::Average] {
             assert_eq!(agglomerative(&m, linkage), agglomerative(&m, linkage));
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_bit_exactly() {
+        for linkage in [Linkage::Complete, Linkage::Single, Linkage::Average] {
+            let d = agglomerative(&chain(), linkage);
+            let bytes = d.to_bytes();
+            assert_eq!(bytes.len(), 8 + 32 * d.merges.len());
+            let back = Dendrogram::from_bytes(&bytes).unwrap();
+            assert_eq!(back, d, "{linkage:?}");
+            assert_eq!(back.digest(), d.digest());
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation_and_trailing_garbage() {
+        let d = complete_link(&chain());
+        let bytes = d.to_bytes();
+        assert!(Dendrogram::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Dendrogram::from_bytes(&bytes[..7]).is_none());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Dendrogram::from_bytes(&padded).is_none());
+        assert!(Dendrogram::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_structurally_invalid_dendrograms() {
+        // Well-formed length, hostile content: a `cut` on any of these
+        // would otherwise panic or report the wrong cluster count.
+        let encode = |n: u64, merges: &[(u64, u64, u64)]| -> Vec<u8> {
+            let mut out = n.to_le_bytes().to_vec();
+            for &(a, b, id) in merges {
+                for v in [a, b, id, 1.0f64.to_bits()] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            out
+        };
+        // Merge count must be exactly n − 1.
+        assert!(Dendrogram::from_bytes(&encode(5, &[])).is_none());
+        assert!(Dendrogram::from_bytes(&encode(u64::MAX, &[])).is_none());
+        // Operand ids out of range / misordered / wrong new-cluster id.
+        assert!(Dendrogram::from_bytes(&encode(2, &[(1000, 1001, 1002)])).is_none());
+        assert!(Dendrogram::from_bytes(&encode(2, &[(1, 0, 2)])).is_none());
+        assert!(Dendrogram::from_bytes(&encode(2, &[(0, 1, 7)])).is_none());
+        // The minimal valid two-leaf dendrogram still parses.
+        assert!(Dendrogram::from_bytes(&encode(2, &[(0, 1, 2)])).is_some());
+    }
+
+    #[test]
+    fn digest_separates_linkages_and_distance_bits() {
+        let complete = complete_link(&chain()).digest();
+        let single = single_link(&chain()).digest();
+        assert_ne!(complete, single);
+        // One ulp on one merge distance must change the fingerprint.
+        let mut d = complete_link(&chain());
+        d.merges[0].distance = f64::from_bits(d.merges[0].distance.to_bits() + 1);
+        assert_ne!(d.digest(), complete);
+    }
+
+    #[test]
+    fn empty_and_singleton_dendrograms_serialize() {
+        for n in [0usize, 1] {
+            let m = DistanceMatrix::from_fn(n, |_, _| 0.0);
+            let d = complete_link(&m);
+            assert!(d.merges.is_empty());
+            let back = Dendrogram::from_bytes(&d.to_bytes()).unwrap();
+            assert_eq!(back, d);
         }
     }
 

@@ -15,13 +15,18 @@ pub struct KMedoidsResult {
 }
 
 impl KMedoidsResult {
-    /// Total within-cluster cost Σ d(i, medoid(i)) ×1 (sum of distances).
+    /// Total within-cluster cost Σ d(i, medoid(i)).
+    ///
+    /// **Deterministic by contract**: the sum folds items in stable index
+    /// order `0..n`, so equal matrices and equal assignments always yield
+    /// the *bit-identical* float — float addition is order-sensitive, and
+    /// the serving layer caches responses (including this cost) under
+    /// bit-exact fingerprints, so any summation-order freedom here would be
+    /// a cache-soundness bug.
     pub fn cost(&self, matrix: &DistanceMatrix) -> f64 {
-        self.assignment
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| matrix.get(i, self.medoids[c]))
-            .sum()
+        (0..self.assignment.len()).fold(0.0f64, |acc, i| {
+            acc + matrix.get(i, self.medoids[self.assignment[i]])
+        })
     }
 }
 
@@ -75,11 +80,22 @@ pub fn kmedoids(matrix: &DistanceMatrix, k: usize) -> KMedoidsResult {
             }
             // nan_last_cmp: a NaN cost loses to every finite cost, and if
             // *every* cost is NaN the lowest-index member still wins — the
-            // usize::MAX sentinel must never escape as a "medoid".
+            // usize::MAX sentinel must never escape as a "medoid". The
+            // explicit Equal arm pins the tie-break to the lowest item
+            // index whatever order `members` is visited in: cost ties are
+            // common on symmetric stores, and an order-dependent winner
+            // would make equal matrices disagree on medoid identity —
+            // unsound for fingerprint-keyed response caching.
             let mut best = (f64::INFINITY, usize::MAX);
             for &candidate in &members {
                 let cost: f64 = members.iter().map(|&m| matrix.get(candidate, m)).sum();
-                if best.1 == usize::MAX || nan_last_cmp(cost, best.0).is_lt() {
+                let better = best.1 == usize::MAX
+                    || match nan_last_cmp(cost, best.0) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => candidate < best.1,
+                        std::cmp::Ordering::Greater => false,
+                    };
+                if better {
                     best = (cost, candidate);
                 }
             }
@@ -107,6 +123,9 @@ pub fn kmedoids(matrix: &DistanceMatrix, k: usize) -> KMedoidsResult {
 fn assign(matrix: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
     (0..matrix.len())
         .map(|i| {
+            // `medoids` is sorted ascending and the comparison is strict,
+            // so distance ties deterministically assign to the lowest
+            // medoid index (and an all-NaN row falls through to cluster 0).
             let mut best = (f64::INFINITY, 0usize);
             for (c, &m) in medoids.iter().enumerate() {
                 let d = matrix.get(i, m);
@@ -187,5 +206,52 @@ mod tests {
     #[should_panic(expected = "k must be in")]
     fn zero_k_panics() {
         kmedoids(&two_blobs(), 0);
+    }
+
+    /// A symmetric pseudo-random matrix from one seed (xorshift-mixed LCG,
+    /// no RNG dependency needed).
+    fn seeded_matrix(seed: u64, n: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(n, |i, j| {
+            let (lo, hi) = (i.min(j) as u64, i.max(j) as u64);
+            let mut s = seed ^ (lo.wrapping_mul(0x9E3779B97F4A7C15)) ^ (hi << 32);
+            s ^= s >> 33;
+            s = s.wrapping_mul(0xFF51AFD7ED558CCD);
+            s ^= s >> 33;
+            (s % 10_000) as f64 / 10_000.0 + 0.001
+        })
+    }
+
+    #[test]
+    fn seeded_runs_are_bit_identical_including_cost() {
+        // The serving layer caches k-medoids answers (medoids, assignment
+        // AND cost) under bit-exact fingerprints: two runs on equal
+        // matrices must agree on everything down to the cost's bit pattern.
+        for seed in [0xA11CE, 0xB0B, 0xD15EA5E] {
+            for (n, k) in [(17, 3), (24, 5), (9, 9)] {
+                let m1 = seeded_matrix(seed, n);
+                let m2 = seeded_matrix(seed, n);
+                let (r1, r2) = (kmedoids(&m1, k), kmedoids(&m2, k));
+                assert_eq!(r1, r2, "seed {seed:#x}, n={n}, k={k}");
+                assert_eq!(
+                    r1.cost(&m1).to_bits(),
+                    r2.cost(&m2).to_bits(),
+                    "cost bits diverged for seed {seed:#x}, n={n}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn medoid_update_ties_break_to_the_lowest_index() {
+        // Four items pairwise equidistant: every member of every cluster
+        // ties on in-cluster cost, so the chosen medoids are decided purely
+        // by the tie-break — which must pick the lowest item indices.
+        let m = DistanceMatrix::from_fn(4, |_, _| 1.0);
+        let r = kmedoids(&m, 2);
+        assert_eq!(r.medoids, vec![0, 1]);
+        // Assignment ties (equidistant to both medoids) go to the lower
+        // medoid index; items 2 and 3 are distance 1 from both.
+        assert_eq!(r.assignment[2], 0);
+        assert_eq!(r.assignment[3], 0);
     }
 }

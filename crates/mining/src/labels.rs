@@ -1,0 +1,99 @@
+//! Stable flat-clustering label canonicalization.
+//!
+//! The serving layer caches clustering responses under bit-exact request
+//! fingerprints and asserts answers bit-identical across code paths, so a
+//! served label vector must be a pure function of the *partition* — never
+//! of internal cluster-id bookkeeping (discovery order, medoid indices,
+//! dendrogram node ids). The canonical form used on the wire: noise is
+//! [`NOISE`] (`-1`), clusters are renumbered `0..` in order of each
+//! cluster's first member. Two clusterings canonicalize identically iff
+//! they induce the same partition with the same noise set.
+
+use crate::dbscan::DbscanLabel;
+
+/// The canonical wire label for noise points.
+pub const NOISE: i64 = -1;
+
+/// The single definition of the canonical numbering rule — both public
+/// entry points renumber through one of these, so DBSCAN and
+/// hierarchical-cut wire labels can never drift apart.
+fn renumberer() -> impl FnMut(usize) -> i64 {
+    let mut order: Vec<usize> = Vec::new();
+    move |id| match order.iter().position(|&seen| seen == id) {
+        Some(pos) => pos as i64,
+        None => {
+            order.push(id);
+            (order.len() - 1) as i64
+        }
+    }
+}
+
+/// Renumbers arbitrary cluster ids to the canonical `0..k` form: the
+/// cluster of the lowest-indexed item becomes `0`, the next unseen cluster
+/// `1`, and so on. Idempotent, and invariant under any bijective renaming
+/// of the input ids.
+pub fn canonical_labels(ids: &[usize]) -> Vec<i64> {
+    let mut renumber = renumberer();
+    ids.iter().map(|&id| renumber(id)).collect()
+}
+
+/// Canonical wire form of a DBSCAN labelling: noise maps to [`NOISE`],
+/// cluster ids are renumbered by first appearance (which preserves the
+/// deterministic discovery order [`crate::dbscan::dbscan`] already
+/// guarantees, and normalizes any labelling that does not).
+pub fn canonical_dbscan_labels(labels: &[DbscanLabel]) -> Vec<i64> {
+    let mut renumber = renumberer();
+    labels
+        .iter()
+        .map(|label| match *label {
+            DbscanLabel::Noise => NOISE,
+            DbscanLabel::Cluster(id) => renumber(id),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renumbers_by_first_appearance() {
+        assert_eq!(
+            canonical_labels(&[7, 7, 3, 7, 3, 9]),
+            vec![0, 0, 1, 0, 1, 2]
+        );
+        assert_eq!(canonical_labels(&[]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn idempotent_and_renaming_invariant() {
+        let a = canonical_labels(&[5, 1, 5, 2, 1]);
+        // Bijective renaming 5→10, 1→20, 2→30 canonicalizes identically.
+        let b = canonical_labels(&[10, 20, 10, 30, 20]);
+        assert_eq!(a, b);
+        let again = canonical_labels(&a.iter().map(|&x| x as usize).collect::<Vec<_>>());
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn dbscan_noise_is_minus_one_and_clusters_renumber() {
+        let labels = [
+            DbscanLabel::Cluster(4),
+            DbscanLabel::Noise,
+            DbscanLabel::Cluster(4),
+            DbscanLabel::Cluster(0),
+            DbscanLabel::Noise,
+        ];
+        assert_eq!(
+            canonical_dbscan_labels(&labels),
+            vec![0, NOISE, 0, 1, NOISE]
+        );
+    }
+
+    #[test]
+    fn distinguishes_different_partitions() {
+        let split = canonical_labels(&[0, 0, 1, 1]);
+        let merged = canonical_labels(&[0, 0, 0, 0]);
+        assert_ne!(split, merged);
+    }
+}

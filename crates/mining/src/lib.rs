@@ -19,7 +19,10 @@
 //! * [`apriori`] — frequent itemsets and association rules (the encrypted
 //!   OLAP-log use case of the paper's reference \[17\]);
 //! * [`agreement`] — Rand index / adjusted Rand index to quantify
-//!   plaintext-vs-ciphertext agreement (1.0 everywhere under DPE).
+//!   plaintext-vs-ciphertext agreement (1.0 everywhere under DPE);
+//! * [`labels`] — stable flat-label canonicalization (noise = −1, clusters
+//!   renumbered by first member), the wire form served clustering answers
+//!   are fingerprinted and cached under.
 //!
 //! Algorithms are deterministic: ties break on the lower index, k-medoids
 //! seeds with a deterministic greedy (no RNG), so equal distance matrices
@@ -33,6 +36,7 @@ pub mod dbscan;
 pub mod hierarchical;
 pub mod kmedoids;
 pub mod knn;
+pub mod labels;
 pub mod lof;
 pub mod outliers;
 pub mod range;
@@ -45,6 +49,7 @@ pub use hierarchical::{
 };
 pub use kmedoids::{kmedoids, KMedoidsResult};
 pub use knn::knn_indices;
+pub use labels::{canonical_dbscan_labels, canonical_labels, NOISE};
 pub use lof::{lof, lof_outliers, LofConfig};
 pub use outliers::{db_outliers, OutlierConfig};
 pub use range::range_indices;

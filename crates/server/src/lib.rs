@@ -2,9 +2,11 @@
 //!
 //! The paper's outsourcing model ends with a service provider answering
 //! many clients' distance-based queries over an encrypted store. This crate
-//! is that provider: a multi-tenant engine that serves concurrent
-//! kNN / range / LOF / outlier requests from packed per-tenant distance
-//! matrices, with the throughput tricks a real deployment needs:
+//! is that provider: a multi-tenant engine that concurrently serves the
+//! full mining suite — kNN / range / LOF / outlier point queries *and*
+//! whole-shard clustering (DBSCAN, k-medoids, hierarchical cuts, frequent
+//! feature itemsets) — from packed per-tenant distance matrices, with the
+//! throughput tricks a real deployment needs:
 //!
 //! * **Sharding** — one [`Shard`] per tenant, each a contiguous row range
 //!   with its own packed upper-triangle [`dpe_distance::DistanceMatrix`].
@@ -22,6 +24,12 @@
 //!   tenant workload — the realistic shape `dpe-workload` generates —
 //!   repeated encrypted queries never recompute a mining pass. See
 //!   [`CacheStats`].
+//! * **Clustering plan cache** — agglomerative clustering's expensive
+//!   artefact, the dendrogram, answers *every* `cut(k)`; it is built once
+//!   per *(shard, epoch, linkage)* and shared across requests, batches and
+//!   clients (same-plan requests are grouped adjacently within a batch).
+//!   Ingests invalidate plans lazily through the same epoch keying. See
+//!   [`PlanStats`].
 //!
 //! Because every answer is a pure function of a shard's distance matrix,
 //! the engine inherits the paper's headline property end-to-end: a server
@@ -54,12 +62,14 @@
 //! ```
 
 mod cache;
+mod plan;
 mod request;
 mod scheduler;
 mod server;
 mod shard;
 
 pub use cache::{CacheStats, LruCache};
+pub use plan::PlanStats;
 pub use request::{Request, Response, ServerError, Ticket};
 pub use scheduler::SchedulerStats;
 pub use server::Server;

@@ -1,6 +1,7 @@
 //! The serving wire types: requests, responses, tickets and errors.
 
 use dpe_distance::DistanceError;
+use dpe_mining::Linkage;
 use std::fmt;
 
 /// One client query against a tenant shard.
@@ -30,6 +31,28 @@ pub enum Request {
     },
     /// Knorr–Ng DB(p, D) outliers of the shard.
     Outliers { shard: usize, p: f64, d: f64 },
+    /// DBSCAN over the shard; answered as canonical flat labels
+    /// (noise = −1).
+    Dbscan {
+        shard: usize,
+        eps: f64,
+        min_pts: usize,
+    },
+    /// K-medoids over the shard; answered as medoids + assignment + the
+    /// deterministic within-cluster cost.
+    KMedoids { shard: usize, k: usize },
+    /// An agglomerative dendrogram under `linkage`, cut into exactly `k`
+    /// clusters. The dendrogram is a *clustering plan*: built once per
+    /// (shard, epoch, linkage) and reused for every `k` — see
+    /// [`crate::PlanStats`].
+    Hierarchical {
+        shard: usize,
+        linkage: Linkage,
+        k: usize,
+    },
+    /// Frequent feature itemsets of the shard's query log (Apriori over
+    /// `features(Q)` transactions, absolute `min_support`).
+    FrequentItemsets { shard: usize, min_support: usize },
 }
 
 impl Request {
@@ -40,7 +63,21 @@ impl Request {
             | Request::Range { shard, .. }
             | Request::Lof { shard, .. }
             | Request::LofOutliers { shard, .. }
-            | Request::Outliers { shard, .. } => shard,
+            | Request::Outliers { shard, .. }
+            | Request::Dbscan { shard, .. }
+            | Request::KMedoids { shard, .. }
+            | Request::Hierarchical { shard, .. }
+            | Request::FrequentItemsets { shard, .. } => shard,
+        }
+    }
+
+    /// The clustering plan this request consumes, if any: the batch path
+    /// groups same-plan requests together and the plan cache builds each
+    /// (shard, epoch, linkage) dendrogram exactly once.
+    pub(crate) fn plan(&self) -> Option<Linkage> {
+        match *self {
+            Request::Hierarchical { linkage, .. } => Some(linkage),
+            _ => None,
         }
     }
 
@@ -85,7 +122,46 @@ impl Request {
                 x: p.to_bits(),
                 y: d.to_bits(),
             },
+            Request::Dbscan { eps, min_pts, .. } => RequestKey {
+                tag: 5,
+                a: min_pts,
+                b: 0,
+                x: eps.to_bits(),
+                y: 0,
+            },
+            Request::KMedoids { k, .. } => RequestKey {
+                tag: 6,
+                a: k,
+                b: 0,
+                x: 0,
+                y: 0,
+            },
+            Request::Hierarchical { linkage, k, .. } => RequestKey {
+                tag: 7,
+                a: k,
+                b: linkage_tag(linkage),
+                x: 0,
+                y: 0,
+            },
+            Request::FrequentItemsets { min_support, .. } => RequestKey {
+                tag: 8,
+                a: min_support,
+                b: 0,
+                x: 0,
+                y: 0,
+            },
         }
+    }
+}
+
+/// Stable numeric tag per linkage rule, used in fingerprints and plan-cache
+/// keys (the enum deliberately carries no `#[repr]`, so the mapping lives
+/// here, next to the other wire encodings).
+pub(crate) fn linkage_tag(linkage: Linkage) -> usize {
+    match linkage {
+        Linkage::Complete => 0,
+        Linkage::Single => 1,
+        Linkage::Average => 2,
     }
 }
 
@@ -110,17 +186,47 @@ pub enum Response {
     Indices(Vec<usize>),
     /// One score per stored item (LOF).
     Scores(Vec<f64>),
+    /// One canonical cluster label per stored item (DBSCAN, hierarchical
+    /// cuts): noise is `−1`, clusters renumber `0..` by first member — see
+    /// [`dpe_mining::labels`].
+    Labels(Vec<i64>),
+    /// A k-medoids clustering: medoid item indices (ascending), per-item
+    /// assignment into `medoids`, and the deterministic within-cluster
+    /// cost (stable index-order sum, compared bit-exactly).
+    Medoids {
+        medoids: Vec<usize>,
+        assignment: Vec<usize>,
+        cost: f64,
+    },
+    /// Frequent feature itemsets `(items, support)`, items ascending within
+    /// each set, sets ordered by (size, items) — Apriori's canonical order.
+    Itemsets(Vec<(Vec<String>, usize)>),
 }
 
 impl Response {
-    /// Bit-exact equality: index lists must match exactly and scores must
-    /// match on their bit patterns (so NaN == NaN and -0.0 != 0.0).
+    /// Bit-exact equality: index/label/itemset lists must match exactly and
+    /// float payloads must match on their bit patterns (so NaN == NaN and
+    /// -0.0 != 0.0).
     pub fn bits_eq(&self, other: &Response) -> bool {
         match (self, other) {
             (Response::Indices(a), Response::Indices(b)) => a == b,
             (Response::Scores(a), Response::Scores(b)) => {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
             }
+            (Response::Labels(a), Response::Labels(b)) => a == b,
+            (
+                Response::Medoids {
+                    medoids: ma,
+                    assignment: aa,
+                    cost: ca,
+                },
+                Response::Medoids {
+                    medoids: mb,
+                    assignment: ab,
+                    cost: cb,
+                },
+            ) => ma == mb && aa == ab && ca.to_bits() == cb.to_bits(),
+            (Response::Itemsets(a), Response::Itemsets(b)) => a == b,
             _ => false,
         }
     }
@@ -208,6 +314,36 @@ mod tests {
                 p: 0.8,
                 d: 0.5,
             },
+            Request::Dbscan {
+                shard: 0,
+                eps: 0.3,
+                min_pts: 3,
+            },
+            Request::Dbscan {
+                shard: 0,
+                eps: 0.3,
+                min_pts: 4,
+            },
+            Request::KMedoids { shard: 0, k: 3 },
+            Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Complete,
+                k: 3,
+            },
+            Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Single,
+                k: 3,
+            },
+            Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Complete,
+                k: 4,
+            },
+            Request::FrequentItemsets {
+                shard: 0,
+                min_support: 3,
+            },
         ];
         for (i, a) in reqs.iter().enumerate() {
             for (j, b) in reqs.iter().enumerate() {
@@ -243,6 +379,37 @@ mod tests {
             min_pts: 2,
         };
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn clustering_responses_compare_bit_exactly() {
+        let a = Response::Labels(vec![0, 0, 1, -1]);
+        assert!(a.bits_eq(&Response::Labels(vec![0, 0, 1, -1])));
+        assert!(!a.bits_eq(&Response::Labels(vec![0, 0, 1, 2])));
+        assert!(!a.bits_eq(&Response::Indices(vec![0, 0, 1])));
+
+        let m = Response::Medoids {
+            medoids: vec![1, 4],
+            assignment: vec![0, 0, 1, 1, 1],
+            cost: 0.3,
+        };
+        assert!(m.bits_eq(&m.clone()));
+        assert!(!m.bits_eq(&Response::Medoids {
+            medoids: vec![1, 4],
+            assignment: vec![0, 0, 1, 1, 1],
+            cost: 0.3 + f64::EPSILON,
+        }));
+        // NaN costs are equal when their bit patterns are.
+        let nan = Response::Medoids {
+            medoids: vec![0],
+            assignment: vec![0],
+            cost: f64::NAN,
+        };
+        assert!(nan.bits_eq(&nan.clone()));
+
+        let fi = Response::Itemsets(vec![(vec!["(FROM, t)".into()], 4)]);
+        assert!(fi.bits_eq(&fi.clone()));
+        assert!(!fi.bits_eq(&Response::Itemsets(vec![(vec!["(FROM, t)".into()], 5)])));
     }
 
     #[test]

@@ -24,9 +24,10 @@
 //! addressable and age out of the LRU.
 
 use crate::cache::{CacheStats, LruCache};
+use crate::plan::{PlanCache, PlanStats};
 use crate::request::{Request, RequestKey, Response, ServerError, Ticket};
-use crate::scheduler::{SchedulerStats, ShardQueues};
-use crate::shard::Shard;
+use crate::scheduler::{group_stable_by, SchedulerStats, ShardQueues};
+use crate::shard::{cut_response, Shard};
 use dpe_distance::QueryDistance;
 use dpe_sql::Query;
 use std::collections::VecDeque;
@@ -54,6 +55,12 @@ pub struct Server<M> {
     /// never contend on a cache lock (a global mutex here would serialize
     /// the warm path the scheduler exists to parallelize).
     caches: Vec<Mutex<LruCache<CacheKey, Response>>>,
+    /// One clustering-plan cache per shard: a dendrogram built once per
+    /// (epoch, linkage) serves every `Hierarchical` cut against that store
+    /// version. Holding the mutex across a build is deliberate — a second
+    /// worker wanting the same plan blocks and then hits, instead of
+    /// burning another O(n³) build.
+    plans: Vec<Mutex<PlanCache>>,
     next_ticket: AtomicU64,
 }
 
@@ -75,6 +82,7 @@ impl<M: QueryDistance + Sync> Server<M> {
             caches: (0..shards)
                 .map(|_| Mutex::new(LruCache::new(per_shard_capacity)))
                 .collect(),
+            plans: (0..shards).map(|_| Mutex::new(PlanCache::new())).collect(),
             next_ticket: AtomicU64::new(0),
         }
     }
@@ -209,6 +217,8 @@ impl<M: QueryDistance + Sync> Server<M> {
 
     /// Answers one coalesced shard batch under a single read-lock
     /// acquisition, consulting the shard's cache partition per request.
+    /// Same-plan requests are grouped adjacently first, so one dendrogram
+    /// build amortizes across every `Hierarchical` cut in the batch.
     fn answer_shard_batch(
         &self,
         shard: usize,
@@ -217,7 +227,8 @@ impl<M: QueryDistance + Sync> Server<M> {
         let guard = self.shards[shard].read().expect("shard lock poisoned");
         let epoch = guard.epoch();
         let cache = &self.caches[shard];
-        jobs.into_iter()
+        group_stable_by(jobs, |(_, r)| r.plan())
+            .into_iter()
             .map(|(ticket, request)| {
                 let key = CacheKey {
                     shard,
@@ -227,7 +238,22 @@ impl<M: QueryDistance + Sync> Server<M> {
                 if let Some(hit) = cache.lock().expect("cache lock poisoned").get(&key) {
                     return (ticket, Ok(hit));
                 }
-                let result = guard.answer(&request);
+                let result = match request {
+                    // Plan-backed: resolve the dendrogram through the plan
+                    // cache (built at most once per (epoch, linkage)), then
+                    // cut. The epoch was read under this read lock, so the
+                    // plan provably describes the store answering the batch.
+                    Request::Hierarchical { linkage, k, .. } => {
+                        guard.validate(&request).map(|()| {
+                            let plan = self.plans[shard]
+                                .lock()
+                                .expect("plan lock poisoned")
+                                .get_or_build(epoch, linkage, || guard.build_plan(linkage));
+                            cut_response(&plan, k)
+                        })
+                    }
+                    _ => guard.answer(&request),
+                };
                 if let Ok(response) = &result {
                     cache
                         .lock()
@@ -257,11 +283,36 @@ impl<M: QueryDistance + Sync> Server<M> {
         self.queues.stats()
     }
 
+    /// Clustering-plan counters, aggregated over the per-shard caches. The
+    /// amortization claim is checkable here: serving `cut(k)` for many `k`
+    /// against an unchanged store must grow `hits` while `builds` stays
+    /// put.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plans.iter().fold(PlanStats::default(), |acc, p| {
+            let s = p.lock().expect("plan lock poisoned").stats();
+            PlanStats {
+                builds: acc.builds + s.builds,
+                hits: acc.hits + s.hits,
+                invalidations: acc.invalidations + s.invalidations,
+                live: acc.live + s.live,
+            }
+        })
+    }
+
     /// Empties every cache partition (counters keep accumulating) — used
     /// by the cold-cache bench configurations.
     pub fn clear_cache(&self) {
         for cache in &self.caches {
             cache.lock().expect("cache lock poisoned").clear();
+        }
+    }
+
+    /// Drops every cached clustering plan (counters keep accumulating) —
+    /// used by the cold-plan bench configurations. Never needed for
+    /// correctness: epoch keying already makes stale plans unreachable.
+    pub fn clear_plans(&self) {
+        for plans in &self.plans {
+            plans.lock().expect("plan lock poisoned").clear();
         }
     }
 }
@@ -455,5 +506,93 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         Server::new(TokenDistance, 0, 8);
+    }
+
+    #[test]
+    fn one_plan_build_serves_every_cut_in_a_batch() {
+        use dpe_mining::Linkage;
+        let s = server();
+        // A k-sweep over one shard and linkage, interleaved with non-plan
+        // traffic: the whole batch must cost exactly one dendrogram build.
+        let mut reqs: Vec<Request> = (1..=8)
+            .map(|k| Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Complete,
+                k,
+            })
+            .collect();
+        reqs.insert(
+            3,
+            Request::Knn {
+                shard: 0,
+                item: 1,
+                k: 2,
+            },
+        );
+        let results = s.serve_batch(&reqs, 2);
+        for (req, result) in reqs.iter().zip(&results) {
+            let oracle = s.serve_one_uncached(req).unwrap();
+            assert!(result.as_ref().unwrap().bits_eq(&oracle), "{req:?}");
+        }
+        let stats = s.plan_stats();
+        assert_eq!(stats.builds, 1, "one dendrogram for the whole sweep");
+        assert_eq!(stats.hits, 7);
+
+        // New k values against the unchanged store: zero further builds.
+        let more: Vec<Request> = [2usize, 5, 7]
+            .iter()
+            .map(|&k| Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Complete,
+                k,
+            })
+            .collect();
+        s.clear_cache(); // force plan reuse, not response-cache hits
+        let _ = s.serve_batch(&more, 1);
+        let stats = s.plan_stats();
+        assert_eq!(stats.builds, 1, "warm plan must serve varying k");
+        assert_eq!(stats.hits, 10);
+    }
+
+    #[test]
+    fn distinct_linkages_and_shards_build_distinct_plans() {
+        use dpe_mining::Linkage;
+        let s = server();
+        let reqs = vec![
+            Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Complete,
+                k: 2,
+            },
+            Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Single,
+                k: 2,
+            },
+            Request::Hierarchical {
+                shard: 1,
+                linkage: Linkage::Complete,
+                k: 2,
+            },
+        ];
+        let results = s.serve_batch(&reqs, 3);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let stats = s.plan_stats();
+        assert_eq!((stats.builds, stats.live), (3, 3));
+    }
+
+    #[test]
+    fn clustering_responses_cache_like_any_other() {
+        let s = server();
+        let req = Request::KMedoids { shard: 2, k: 3 };
+        let first = s.serve_batch(std::slice::from_ref(&req), 1);
+        let before = s.cache_stats();
+        let second = s.serve_batch(std::slice::from_ref(&req), 1);
+        let after = s.cache_stats();
+        assert!(first[0]
+            .as_ref()
+            .unwrap()
+            .bits_eq(second[0].as_ref().unwrap()));
+        assert_eq!(after.hits, before.hits + 1);
     }
 }

@@ -10,9 +10,13 @@
 
 use crate::request::{Request, Response, ServerError};
 use dpe_distance::{DistanceMatrix, QueryDistance};
-use dpe_mining::{db_outliers, knn_indices, lof, lof_outliers, range_indices};
-use dpe_mining::{LofConfig, OutlierConfig};
-use dpe_sql::Query;
+use dpe_mining::apriori::Transaction;
+use dpe_mining::{
+    agglomerative, canonical_dbscan_labels, db_outliers, dbscan, frequent_itemsets, kmedoids,
+    knn_indices, lof, lof_outliers, range_indices, Dendrogram, Linkage,
+};
+use dpe_mining::{DbscanConfig, LofConfig, OutlierConfig};
+use dpe_sql::{feature_set, Query};
 
 /// A tenant's slice of the store: queries in insertion order plus the
 /// packed matrix over them, versioned by an epoch that bumps on every
@@ -127,11 +131,34 @@ impl Shard {
                     )))
                 }
             }
+            Request::Dbscan { eps, min_pts, .. } => {
+                if eps.is_nan() {
+                    return Err(ServerError::BadRequest("DBSCAN eps is NaN".into()));
+                }
+                if min_pts == 0 {
+                    return Err(ServerError::BadRequest("DBSCAN min_pts must be ≥ 1".into()));
+                }
+                Ok(())
+            }
+            Request::KMedoids { k, .. } => check_k("k-medoids", k, n, shard),
+            Request::Hierarchical { k, .. } => check_k("hierarchical cut", k, n, shard),
+            Request::FrequentItemsets { min_support, .. } => {
+                if min_support == 0 {
+                    Err(ServerError::BadRequest(
+                        "frequent-itemset min_support must be ≥ 1".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 
     /// Answers a validated request from the packed matrix. Pure matrix
-    /// reads — the caller holds (at least) a read lock.
+    /// reads — the caller holds (at least) a read lock. `Hierarchical`
+    /// requests build their dendrogram from scratch here; this is the
+    /// uncached baseline — the batch path routes them through the per-shard
+    /// plan cache instead (see [`crate::Server::plan_stats`]).
     pub fn answer(&self, request: &Request) -> Result<Response, ServerError> {
         self.validate(request)?;
         Ok(match *request {
@@ -148,7 +175,68 @@ impl Shard {
             Request::Outliers { p, d, .. } => {
                 Response::Indices(db_outliers(&self.matrix, OutlierConfig { p, d }))
             }
+            Request::Dbscan { eps, min_pts, .. } => Response::Labels(canonical_dbscan_labels(
+                &dbscan(&self.matrix, DbscanConfig { eps, min_pts }),
+            )),
+            Request::KMedoids { k, .. } => {
+                let r = kmedoids(&self.matrix, k);
+                let cost = r.cost(&self.matrix);
+                Response::Medoids {
+                    medoids: r.medoids,
+                    assignment: r.assignment,
+                    cost,
+                }
+            }
+            Request::Hierarchical { linkage, k, .. } => cut_response(&self.build_plan(linkage), k),
+            Request::FrequentItemsets { min_support, .. } => {
+                let fi = frequent_itemsets(&self.feature_transactions(), min_support);
+                Response::Itemsets(
+                    fi.into_iter()
+                        .map(|f| (f.items.into_iter().collect(), f.support))
+                        .collect(),
+                )
+            }
         })
+    }
+
+    /// Builds the agglomerative clustering plan for `linkage` from the
+    /// packed matrix — the expensive artefact the server's plan cache
+    /// stores once per (shard, epoch, linkage).
+    pub fn build_plan(&self, linkage: Linkage) -> Dendrogram {
+        agglomerative(&self.matrix, linkage)
+    }
+
+    /// The shard's query log as Apriori transactions: each query's
+    /// `features(Q)` set, printed — set equality is all Apriori reads, so
+    /// this serves plaintext and DPE-encrypted logs alike.
+    fn feature_transactions(&self) -> Vec<Transaction<String>> {
+        self.queries
+            .iter()
+            .map(|q| feature_set(q).iter().map(|f| f.to_string()).collect())
+            .collect()
+    }
+}
+
+/// Cuts a built plan into `k` clusters in canonical wire form. The cut's
+/// ids are already renumbered by smallest leaf, so the conversion is just a
+/// widening — shared by the uncached path and the plan-cached batch path so
+/// they cannot diverge.
+pub(crate) fn cut_response(plan: &Dendrogram, k: usize) -> Response {
+    Response::Labels(plan.cut(k).into_iter().map(|c| c as i64).collect())
+}
+
+/// `k`-style parameter check shared by k-medoids and hierarchical cuts:
+/// the mining layer asserts `1 ≤ k ≤ n`; the server returns the error
+/// instead.
+fn check_k(what: &str, k: usize, n: usize, shard: usize) -> Result<(), ServerError> {
+    if k == 0 {
+        Err(ServerError::BadRequest(format!("{what} k must be ≥ 1")))
+    } else if k > n {
+        Err(ServerError::BadRequest(format!(
+            "{what} k = {k} exceeds shard {shard}'s {n} stored items"
+        )))
+    } else {
+        Ok(())
     }
 }
 
@@ -231,6 +319,68 @@ mod tests {
     }
 
     #[test]
+    fn clustering_answers_agree_with_direct_mining_calls() {
+        let mut shard = Shard::new();
+        shard.ingest(&queries(10), &TokenDistance).unwrap();
+        let m = shard.matrix();
+
+        let db = shard
+            .answer(&Request::Dbscan {
+                shard: 0,
+                eps: 0.5,
+                min_pts: 2,
+            })
+            .unwrap();
+        assert!(
+            db.bits_eq(&Response::Labels(canonical_dbscan_labels(&dbscan(
+                m,
+                DbscanConfig {
+                    eps: 0.5,
+                    min_pts: 2,
+                },
+            ))))
+        );
+
+        let km = shard.answer(&Request::KMedoids { shard: 0, k: 3 }).unwrap();
+        let oracle = kmedoids(m, 3);
+        assert!(km.bits_eq(&Response::Medoids {
+            cost: oracle.cost(m),
+            medoids: oracle.medoids,
+            assignment: oracle.assignment,
+        }));
+
+        for linkage in [Linkage::Complete, Linkage::Single, Linkage::Average] {
+            let cut = shard
+                .answer(&Request::Hierarchical {
+                    shard: 0,
+                    linkage,
+                    k: 4,
+                })
+                .unwrap();
+            let expect: Vec<i64> = agglomerative(m, linkage)
+                .cut(4)
+                .into_iter()
+                .map(|c| c as i64)
+                .collect();
+            assert!(cut.bits_eq(&Response::Labels(expect)), "{linkage:?}");
+        }
+
+        let fi = shard
+            .answer(&Request::FrequentItemsets {
+                shard: 0,
+                min_support: 3,
+            })
+            .unwrap();
+        match fi {
+            Response::Itemsets(sets) => {
+                assert!(!sets.is_empty(), "shared SELECT/FROM features recur");
+                assert!(sets.iter().all(|(_, support)| *support >= 3));
+            }
+            other => panic!("expected itemsets, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn validation_turns_panics_into_errors() {
         let mut shard = Shard::new();
         shard.ingest(&queries(4), &TokenDistance).unwrap();
@@ -277,6 +427,32 @@ mod tests {
                 shard: 0,
                 p: 0.5,
                 d: f64::NAN,
+            },
+            Request::Dbscan {
+                shard: 0,
+                eps: f64::NAN,
+                min_pts: 2,
+            },
+            Request::Dbscan {
+                shard: 0,
+                eps: 0.5,
+                min_pts: 0,
+            },
+            Request::KMedoids { shard: 0, k: 0 },
+            Request::KMedoids { shard: 0, k: 5 },
+            Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Complete,
+                k: 0,
+            },
+            Request::Hierarchical {
+                shard: 0,
+                linkage: Linkage::Average,
+                k: 5,
+            },
+            Request::FrequentItemsets {
+                shard: 0,
+                min_support: 0,
             },
         ] {
             assert!(

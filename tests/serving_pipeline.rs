@@ -6,11 +6,15 @@
 //! and DPE preserves every pairwise distance, a server loaded with
 //! **ciphertexts** must answer every concurrent kNN / range / LOF / outlier
 //! request **bit-identically** to a server loaded with the plaintexts —
-//! including across streaming inserts of freshly encrypted batches.
+//! including across streaming inserts of freshly encrypted batches, and
+//! including the whole-shard clustering kinds (DBSCAN / k-medoids /
+//! hierarchical cuts), whose canonical labels, medoid identities and cost
+//! bits are all pure functions of the preserved distances.
 
 use dpe::core::scheme::{QueryEncryptor, StructuralDpe, TokenDpe};
 use dpe::crypto::MasterKey;
 use dpe::distance::{StructureDistance, TokenDistance};
+use dpe::mining::Linkage;
 use dpe::server::{Request, Server};
 use dpe::sql::Query;
 use dpe::workload::{LogConfig, LogGenerator};
@@ -28,8 +32,8 @@ fn tenant_log(shard: usize, n: usize) -> Vec<Query> {
 fn request_stream(per_shard: usize) -> Vec<Request> {
     let mut reqs = Vec::new();
     for shard in 0..SHARDS {
-        for i in 0..12 {
-            reqs.push(match i % 4 {
+        for i in 0..21 {
+            reqs.push(match i % 7 {
                 0 => Request::Knn {
                     shard,
                     item: (i * 5) % per_shard,
@@ -43,6 +47,20 @@ fn request_stream(per_shard: usize) -> Vec<Request> {
                 2 => Request::Lof {
                     shard,
                     min_pts: 2 + i % 3,
+                },
+                3 => Request::Dbscan {
+                    shard,
+                    eps: 0.25 + 0.1 * ((i % 3) as f64),
+                    min_pts: 2 + i % 2,
+                },
+                4 => Request::KMedoids {
+                    shard,
+                    k: 1 + i % 4,
+                },
+                5 => Request::Hierarchical {
+                    shard,
+                    linkage: [Linkage::Complete, Linkage::Single, Linkage::Average][i % 3],
+                    k: 1 + (i * 2) % per_shard,
                 },
                 _ => Request::Outliers {
                     shard,
