@@ -1,17 +1,36 @@
 //! P1a — encryption throughput of every PPE class on query-log-sized
-//! payloads. No paper-side numbers exist (the paper reports none); the
-//! measured values go into EXPERIMENTS.md.
+//! payloads, plus the PR 5 ingest hot path: the batched Paillier engine
+//! (`paillier_batch`, per-64-value medians so the single-call baseline is
+//! directly comparable) and the owner→server streaming upload
+//! (`server_ingest_pipeline`). No paper-side numbers exist (the paper
+//! reports none); the measured values go into EXPERIMENTS.md and the
+//! committed `BENCH_PR5.json` trajectory the `bench-gate` CI lane guards.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dpe_bench::experiment_log;
+use dpe_bignum::BigUint;
+use dpe_core::scheme::{QueryEncryptor, TokenDpe};
 use dpe_crypto::kdf::SlotLabel;
 use dpe_crypto::scheme::SymmetricScheme;
 use dpe_crypto::{DetScheme, JoinGroup, MasterKey, ProbScheme};
+use dpe_distance::TokenDistance;
 use dpe_ope::{OpeDomain, OpeScheme};
-use dpe_paillier::{KeyPair, TEST_PRIME_BITS};
+use dpe_paillier::{BatchEncryptor, KeyPair, TEST_PRIME_BITS};
+use dpe_server::Server;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const PAYLOAD: &[u8] = b"SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 200";
+
+/// Values per iteration in the `paillier_batch` group: every bench there
+/// encrypts this many values, so medians compare directly.
+const BATCH: usize = 64;
+
+/// Queries streamed per `server_ingest_pipeline` iteration.
+const INGEST_LOG: usize = 96;
+
+/// Chunk size of the pipelined upload.
+const INGEST_CHUNK: usize = 12;
 
 fn bench_classes(c: &mut Criterion) {
     let master = MasterKey::from_bytes([1; 32]);
@@ -59,9 +78,135 @@ fn bench_classes(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched Paillier engine against the one-at-a-time baseline. Every
+/// bench encrypts [`BATCH`] values per iteration, so the JSON medians are
+/// directly comparable — the trajectory's ≥4× claim is
+/// `single_call_x64 / fixed_base_cold_x64`.
+fn bench_paillier_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let keypair = KeyPair::generate(TEST_PRIME_BITS, &mut rng);
+    let public = keypair.public();
+    let values: Vec<BigUint> = (0..BATCH as u64)
+        .map(|i| BigUint::from(i * 7919 + 1))
+        .collect();
+
+    let mut group = c.benchmark_group("paillier_batch");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Baseline: the pre-PR 5 ingest loop — one full r^n per value.
+    group.bench_function("single_call_x64", |b| {
+        b.iter_batched(
+            || rng.clone(),
+            |mut r| {
+                values
+                    .iter()
+                    .map(|m| public.encrypt(m, &mut r).unwrap())
+                    .collect::<Vec<_>>()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Hot path: factors precomputed off the hot path (pool refilled in the
+    // untimed setup); an encryption is one modular multiplication.
+    let pooled = BatchEncryptor::new(public);
+    group.bench_function("pooled_hot_x64", |b| {
+        b.iter_batched(
+            || {
+                let mut r = rng.clone();
+                let missing = BATCH.saturating_sub(pooled.pool().len());
+                pooled.pool().refill(missing, &mut r);
+                r
+            },
+            |mut r| pooled.encrypt_batch(&values, &mut r).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Cold single-thread engine, fixed-base mode: the full per-value cost
+    // (table walk + multiply) with nothing precomputed per batch — the
+    // honest ≥4× single-thread speedup.
+    let fixed = BatchEncryptor::fixed_base(public, &mut rng);
+    group.bench_function("fixed_base_cold_x64", |b| {
+        b.iter_batched(
+            || rng.clone(),
+            |mut r| fixed.encrypt_batch(&values, &mut r).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Exact mode dealt across workers: bit-identical output to
+    // single_call_x64, wall clock divided across 4 threads.
+    let exact = BatchEncryptor::new(public);
+    group.bench_function("exact_parallel4_x64", |b| {
+        b.iter_batched(
+            || rng.clone(),
+            |mut r| exact.encrypt_batch_parallel(&values, 4, &mut r).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Both optimizations together: fixed-base sampling on 4 workers.
+    let fixed_par = BatchEncryptor::fixed_base(public, &mut rng);
+    group.bench_function("fixed_base_parallel4_x64", |b| {
+        b.iter_batched(
+            || rng.clone(),
+            |mut r| {
+                fixed_par
+                    .encrypt_batch_parallel(&values, 4, &mut r)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// The owner→server upload: encrypt a query log and extend a shard's
+/// packed matrix, one-shot versus the pipelined chunked stream
+/// (`Server::ingest_stream`, producer-side encryption overlapping
+/// server-side distance computation).
+fn bench_server_ingest_pipeline(c: &mut Criterion) {
+    let log = experiment_log(INGEST_LOG, 0x1256);
+    let master = MasterKey::from_bytes([0x42; 32]);
+
+    let mut group = c.benchmark_group("server_ingest_pipeline");
+    group.throughput(Throughput::Elements(INGEST_LOG as u64));
+
+    // Baseline: encrypt the whole log, then hand it to the server in one
+    // ingest — encryption and matrix extension strictly serialized.
+    group.bench_function("encrypt_then_ingest", |b| {
+        b.iter_batched(
+            || (TokenDpe::new(&master), Server::new(TokenDistance, 1, 0)),
+            |(mut scheme, server)| {
+                let encrypted = scheme.encrypt_log(&log).unwrap();
+                server.ingest(0, &encrypted).unwrap();
+                server.shard_len(0).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Pipelined: the owner encrypts chunk k+1 on the stream's producer
+    // thread while the server extends the matrix with chunk k.
+    group.bench_function("pipelined_chunks12", |b| {
+        b.iter_batched(
+            || (TokenDpe::new(&master), Server::new(TokenDistance, 1, 0)),
+            |(mut scheme, server)| {
+                let chunks = log
+                    .chunks(INGEST_CHUNK)
+                    .map(move |chunk| scheme.encrypt_log(chunk).unwrap());
+                server.ingest_stream(0, chunks).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_classes
+    targets = bench_classes, bench_paillier_batch, bench_server_ingest_pipeline
 }
 criterion_main!(benches);

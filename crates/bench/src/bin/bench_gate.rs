@@ -1,0 +1,284 @@
+//! The perf-regression gate: fails CI when a fresh bench sweep regresses
+//! against the committed trajectory baseline.
+//!
+//! Usage: `bench_gate <fresh> <baseline.json> [--threshold <pct>]`
+//!
+//! `<fresh>` is either the raw JSONL a `DPE_BENCH_JSON=<file> cargo bench`
+//! sweep appended or an already-consolidated `dpe-bench/v1` trajectory
+//! file; `<baseline.json>` is the committed previous `BENCH_PR*.json`.
+//! Only bench names present in **both** files are compared (new workloads
+//! gate nothing yet; retired ones are reported but harmless), and a bench
+//! fails the gate when its fresh median exceeds the baseline median by
+//! more than the threshold (default 25%). Exit status: 0 when every
+//! matched bench is within threshold, 1 otherwise — so the CI lane goes
+//! red on the regression itself, not on a downstream artifact diff.
+//!
+//! Medians on shared CI runners are noisy; the 25% default is deliberately
+//! wide, and a bench is only flagged when its **fastest** fresh sample is
+//! also beyond threshold. A real algorithmic regression (a dropped cache,
+//! an accidental O(n²)) slows every sample down; a scheduler spike
+//! inflates the median of a microsecond-scale bench without touching its
+//! minimum — so requiring both keeps the gate sensitive to the former and
+//! quiet on the latter.
+
+use dpe_bench::trajectory::{consolidate, parse_trajectory, schema_of, BenchRecord};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default allowed median growth, percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// One compared benchmark.
+#[derive(Debug, PartialEq)]
+struct Comparison {
+    bench: String,
+    baseline_ns: f64,
+    fresh_ns: f64,
+    /// Median growth in percent (negative = faster).
+    delta_pct: f64,
+    regressed: bool,
+}
+
+/// Compares fresh medians against baseline medians for every shared bench
+/// name. Benches whose baseline median is zero are skipped (nothing
+/// meaningful to divide by). A bench regresses only when its median *and*
+/// its fastest sample both exceed the threshold — the noise guard the
+/// module docs explain.
+fn compare(
+    fresh: &BTreeMap<String, BenchRecord>,
+    baseline: &BTreeMap<String, BenchRecord>,
+    threshold_pct: f64,
+) -> Vec<Comparison> {
+    fresh
+        .iter()
+        .filter_map(|(bench, f)| {
+            let b = baseline.get(bench)?;
+            if b.median_ns <= 0.0 {
+                return None;
+            }
+            let delta_pct = (f.median_ns / b.median_ns - 1.0) * 100.0;
+            let lo_delta_pct = (f.lo_ns / b.median_ns - 1.0) * 100.0;
+            Some(Comparison {
+                bench: bench.clone(),
+                baseline_ns: b.median_ns,
+                fresh_ns: f.median_ns,
+                delta_pct,
+                regressed: delta_pct > threshold_pct && lo_delta_pct > threshold_pct,
+            })
+        })
+        .collect()
+}
+
+/// Parses `<fresh>` in either shape: a consolidated trajectory (has a
+/// schema tag — which must then be valid) or a raw JSONL sweep.
+fn parse_fresh(content: &str) -> Result<BTreeMap<String, BenchRecord>, String> {
+    if schema_of(content).is_some() {
+        parse_trajectory(content)
+    } else {
+        let records = consolidate(content)?;
+        if records.is_empty() {
+            return Err("fresh sweep holds no bench records — did the benches run?".into());
+        }
+        Ok(records)
+    }
+}
+
+fn run(args: &[String]) -> Result<Vec<Comparison>, String> {
+    let (fresh_path, baseline_path, threshold) = match args {
+        [f, b] => (f, b, DEFAULT_THRESHOLD_PCT),
+        [f, b, flag, pct] if flag == "--threshold" => (
+            f,
+            b,
+            pct.parse::<f64>()
+                .map_err(|_| format!("--threshold expects a number, got {pct:?}"))?,
+        ),
+        _ => {
+            return Err("usage: bench_gate <fresh> <baseline.json> [--threshold <pct>]".into());
+        }
+    };
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(format!(
+            "--threshold must be a non-negative number, got {threshold}"
+        ));
+    }
+    let fresh_content = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read fresh results {fresh_path}: {e}"))?;
+    let baseline_content = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let fresh = parse_fresh(&fresh_content).map_err(|e| format!("{fresh_path}: {e}"))?;
+    let baseline =
+        parse_trajectory(&baseline_content).map_err(|e| format!("{baseline_path}: {e}"))?;
+
+    let compared = compare(&fresh, &baseline, threshold);
+    println!(
+        "bench_gate: {} fresh / {} baseline benches, {} compared (threshold +{threshold}%)",
+        fresh.len(),
+        baseline.len(),
+        compared.len()
+    );
+    for c in &compared {
+        println!(
+            "  {} {:<52} {:>14.1} ns -> {:>14.1} ns  ({:+.1}%)",
+            if c.regressed {
+                "REGRESSED"
+            } else {
+                "ok       "
+            },
+            c.bench,
+            c.baseline_ns,
+            c.fresh_ns,
+            c.delta_pct
+        );
+    }
+    for name in fresh.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("  new       {name} (no baseline yet — not gated)");
+    }
+    for name in baseline.keys().filter(|n| !fresh.contains_key(*n)) {
+        println!("  retired   {name} (in baseline, not in fresh sweep)");
+    }
+    Ok(compared)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(compared) => {
+            let regressed = compared.iter().filter(|c| c.regressed).count();
+            if regressed > 0 {
+                eprintln!(
+                    "bench_gate: {regressed} benchmark(s) regressed beyond threshold — failing"
+                );
+                ExitCode::FAILURE
+            } else {
+                println!("bench_gate: no regressions beyond threshold");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(pairs: &[(&str, f64)]) -> BTreeMap<String, BenchRecord> {
+        pairs
+            .iter()
+            .map(|&(name, median)| {
+                (
+                    name.to_string(),
+                    BenchRecord {
+                        lo_ns: median * 0.9,
+                        median_ns: median,
+                        hi_ns: median * 1.1,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn within_threshold_passes_and_beyond_fails() {
+        let baseline = records(&[("g/a", 100.0), ("g/b", 100.0), ("g/c", 100.0)]);
+        let fresh = records(&[("g/a", 124.0), ("g/b", 160.0), ("g/c", 60.0)]);
+        let compared = compare(&fresh, &baseline, 25.0);
+        let verdicts: Vec<(&str, bool)> = compared
+            .iter()
+            .map(|c| (c.bench.as_str(), c.regressed))
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![("g/a", false), ("g/b", true), ("g/c", false)]
+        );
+    }
+
+    #[test]
+    fn median_spike_with_fast_lo_is_noise_not_regression() {
+        // Median far beyond threshold but the fastest sample near the
+        // baseline: a scheduler spike, not an algorithmic regression.
+        let baseline = records(&[("g/warm", 100.0)]);
+        let fresh = BTreeMap::from([(
+            "g/warm".to_string(),
+            BenchRecord {
+                lo_ns: 105.0,
+                median_ns: 160.0,
+                hi_ns: 400.0,
+            },
+        )]);
+        assert!(!compare(&fresh, &baseline, 25.0)[0].regressed);
+    }
+
+    #[test]
+    fn unmatched_names_are_not_gated() {
+        let baseline = records(&[("old/bench", 10.0)]);
+        let fresh = records(&[("new/bench", 99999.0)]);
+        assert!(compare(&fresh, &baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_is_skipped() {
+        let baseline = records(&[("g/zero", 0.0)]);
+        let fresh = records(&[("g/zero", 50.0)]);
+        assert!(compare(&fresh, &baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        // records() builds lo = 0.9·median, so +50% median is +35% lo:
+        // beyond both bars at 25%, within both at 60%.
+        let baseline = records(&[("g/a", 100.0)]);
+        let fresh = records(&[("g/a", 150.0)]);
+        assert!(compare(&fresh, &baseline, 25.0)[0].regressed);
+        assert!(!compare(&fresh, &baseline, 60.0)[0].regressed);
+    }
+
+    #[test]
+    fn fresh_accepts_both_jsonl_and_trajectory() {
+        let jsonl = "{\"bench\":\"g/a\",\"lo_ns\":1.0,\"median_ns\":2.0,\"hi_ns\":3.0}";
+        let from_jsonl = parse_fresh(jsonl).unwrap();
+        let trajectory = dpe_bench::trajectory::render(&from_jsonl);
+        let from_trajectory = parse_fresh(&trajectory).unwrap();
+        assert_eq!(from_jsonl, from_trajectory);
+        // A wrong schema tag must not silently fall back to JSONL parsing.
+        let v9 = trajectory.replace("dpe-bench/v1", "dpe-bench/v9");
+        assert!(parse_fresh(&v9).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn run_reads_files_end_to_end() {
+        let dir = std::env::temp_dir();
+        let fresh_path = dir.join(format!("dpe-gate-fresh-{}.jsonl", std::process::id()));
+        let base_path = dir.join(format!("dpe-gate-base-{}.json", std::process::id()));
+        std::fs::write(
+            &fresh_path,
+            "{\"bench\":\"g/a\",\"lo_ns\":190.0,\"median_ns\":200.0,\"hi_ns\":210.0}",
+        )
+        .unwrap();
+        std::fs::write(
+            &base_path,
+            dpe_bench::trajectory::render(&records(&[("g/a", 170.0)])),
+        )
+        .unwrap();
+        let args = vec![
+            fresh_path.to_str().unwrap().to_string(),
+            base_path.to_str().unwrap().to_string(),
+        ];
+        let compared = run(&args).unwrap();
+        assert_eq!(compared.len(), 1);
+        assert!(!compared[0].regressed, "17.6% growth is under 25%");
+        let strict = run(&[
+            args[0].clone(),
+            args[1].clone(),
+            "--threshold".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(strict[0].regressed);
+        std::fs::remove_file(&fresh_path).unwrap();
+        std::fs::remove_file(&base_path).unwrap();
+    }
+}

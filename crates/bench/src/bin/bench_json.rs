@@ -1,135 +1,54 @@
 //! Consolidates the criterion shim's JSONL bench records into one
 //! machine-readable trajectory file (`BENCH_*.json` at the repo root).
 //!
-//! Usage: `bench_json <input.jsonl> <output.json>`
+//! Usage: `bench_json <input.jsonl> <output.json> [--force]`
 //!
 //! The input is whatever a `DPE_BENCH_JSON=<input.jsonl> cargo bench …`
 //! sweep appended: one record per benchmark, repeated runs appending
 //! duplicates (the **last** record per bench name wins — it is the most
-//! recent measurement). Output schema `dpe-bench/v1`:
+//! recent measurement). The output schema (`dpe-bench/v1`) and both
+//! parsers live in [`dpe_bench::trajectory`].
 //!
-//! ```json
-//! {
-//!   "schema": "dpe-bench/v1",
-//!   "entries": 3,
-//!   "results": [
-//!     {"bench": "<group>/<id>", "lo_ns": 1.0, "median_ns": 2.0, "hi_ns": 3.0}
-//!   ]
-//! }
-//! ```
-//!
-//! `results` is sorted by bench name; all times are nanoseconds per
-//! operation as measured by the shim (lo/median/hi over its samples). The
-//! bin exits non-zero on empty or malformed input so CI fails loudly
-//! instead of uploading a hollow artifact.
+//! Trajectory files are committed perf history, so the bin refuses to
+//! overwrite an existing output unless `--force` is passed — and even
+//! then refuses when the existing file carries an unknown (or missing)
+//! schema tag, since that means it is not the trajectory file it is about
+//! to replace. It also exits non-zero on empty or malformed input so CI
+//! fails loudly instead of uploading a hollow artifact.
 
-use std::collections::BTreeMap;
+use dpe_bench::trajectory::{consolidate, render, schema_of, SCHEMA};
 use std::process::ExitCode;
 
-/// One parsed record.
-#[derive(Debug, Clone, PartialEq)]
-struct Record {
-    lo_ns: f64,
-    median_ns: f64,
-    hi_ns: f64,
-}
-
-/// Extracts the string value of `"bench"` and the three float fields from
-/// one shim-emitted line. The shim writes a fixed field order, but this
-/// parses by key so hand-edited fixtures stay valid.
-fn parse_line(line: &str) -> Option<(String, Record)> {
-    let bench = {
-        let start = line.find("\"bench\":\"")? + "\"bench\":\"".len();
-        // Scan for the closing quote, honouring backslash escapes.
-        let mut end = None;
-        let mut escaped = false;
-        for (i, c) in line[start..].char_indices() {
-            match c {
-                _ if escaped => escaped = false,
-                '\\' => escaped = true,
-                '"' => {
-                    end = Some(start + i);
-                    break;
-                }
-                _ => {}
-            }
-        }
-        let raw = &line[start..end?];
-        // Unescape the two sequences the shim produces.
-        raw.replace("\\\"", "\"").replace("\\\\", "\\")
+/// Why the output path must not be written.
+fn clobber_error(output_path: &str, force: bool) -> Option<String> {
+    let existing = match std::fs::read_to_string(output_path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => return Some(format!("cannot inspect existing {output_path}: {e}")),
     };
-    let field = |key: &str| -> Option<f64> {
-        let pat = format!("\"{key}\":");
-        let start = line.find(&pat)? + pat.len();
-        let rest = &line[start..];
-        let end = rest
-            .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
-            .unwrap_or(rest.len());
-        rest[..end].parse().ok()
-    };
-    Some((
-        bench,
-        Record {
-            lo_ns: field("lo_ns")?,
-            median_ns: field("median_ns")?,
-            hi_ns: field("hi_ns")?,
-        },
-    ))
-}
-
-/// Parses a whole JSONL dump; later records for the same bench override
-/// earlier ones. Returns `Err` with the offending line on malformed input.
-fn consolidate(input: &str) -> Result<BTreeMap<String, Record>, String> {
-    let mut out = BTreeMap::new();
-    for line in input.lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (bench, record) =
-            parse_line(line).ok_or_else(|| format!("malformed bench record: {line}"))?;
-        out.insert(bench, record);
+    if !force {
+        return Some(format!(
+            "{output_path} already exists — pass --force to overwrite the committed trajectory"
+        ));
     }
-    Ok(out)
-}
-
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            c if c < ' ' => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
-
-fn render(results: &BTreeMap<String, Record>) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dpe-bench/v1\",\n");
-    out.push_str(&format!("  \"entries\": {},\n", results.len()));
-    out.push_str("  \"results\": [\n");
-    let body: Vec<String> = results
-        .iter()
-        .map(|(bench, r)| {
-            format!(
-                "    {{\"bench\": \"{}\", \"lo_ns\": {:.1}, \"median_ns\": {:.1}, \"hi_ns\": {:.1}}}",
-                escape(bench),
-                r.lo_ns,
-                r.median_ns,
-                r.hi_ns
-            )
-        })
-        .collect();
-    out.push_str(&body.join(",\n"));
-    out.push_str("\n  ]\n}\n");
-    out
+    match schema_of(&existing) {
+        Some(ref s) if s == SCHEMA => None,
+        Some(s) => Some(format!(
+            "{output_path} has unknown schema {s:?} (expected {SCHEMA:?}); refusing to overwrite"
+        )),
+        None => Some(format!(
+            "{output_path} is not a {SCHEMA} trajectory (no schema tag); refusing to overwrite"
+        )),
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let (input_path, output_path) = match &args[..] {
-        [_, i, o] => (i, o),
+    let (input_path, output_path, force) = match &args[..] {
+        [_, i, o] => (i, o, false),
+        [_, i, o, flag] if flag == "--force" => (i, o, true),
         _ => {
-            eprintln!("usage: bench_json <input.jsonl> <output.json>");
+            eprintln!("usage: bench_json <input.jsonl> <output.json> [--force]");
             return ExitCode::FAILURE;
         }
     };
@@ -151,6 +70,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(reason) = clobber_error(output_path, force) {
+        eprintln!("bench_json: {reason}");
+        return ExitCode::FAILURE;
+    }
     if let Err(e) = std::fs::write(output_path, render(&results)) {
         eprintln!("bench_json: cannot write {output_path}: {e}");
         return ExitCode::FAILURE;
@@ -165,28 +88,67 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
-    #[test]
-    fn parses_shim_emitted_lines() {
-        let (bench, r) =
-            parse_line("{\"bench\":\"mining_60x60/dbscan\",\"lo_ns\":101.5,\"median_ns\":110.0,\"hi_ns\":120.9}")
-                .unwrap();
-        assert_eq!(bench, "mining_60x60/dbscan");
-        assert_eq!(r.median_ns, 110.0);
-        assert_eq!(r.lo_ns, 101.5);
-        assert_eq!(r.hi_ns, 120.9);
+    fn temp_file(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dpe-bench-json-{}-{name}", std::process::id()))
     }
 
     #[test]
-    fn last_record_per_bench_wins() {
+    fn missing_output_is_writable() {
+        let path = temp_file("missing.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(clobber_error(path.to_str().unwrap(), false), None);
+    }
+
+    #[test]
+    fn existing_output_needs_force() {
+        let path = temp_file("existing.json");
+        let rendered = render(
+            &consolidate("{\"bench\":\"a/x\",\"lo_ns\":1.0,\"median_ns\":2.0,\"hi_ns\":3.0}")
+                .unwrap(),
+        );
+        std::fs::write(&path, rendered).unwrap();
+        let p = path.to_str().unwrap();
+        let err = clobber_error(p, false).unwrap();
+        assert!(err.contains("--force"), "{err}");
+        assert_eq!(clobber_error(p, true), None, "valid schema + force is ok");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_schema_refused_even_with_force() {
+        let path = temp_file("v9.json");
+        std::fs::write(&path, "{\"schema\": \"dpe-bench/v9\", \"results\": []}").unwrap();
+        let err = clobber_error(path.to_str().unwrap(), true).unwrap();
+        assert!(err.contains("unknown schema"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn schemaless_file_refused_even_with_force() {
+        let path = temp_file("notes.json");
+        std::fs::write(&path, "these are my lunch notes").unwrap();
+        let err = clobber_error(path.to_str().unwrap(), true).unwrap();
+        assert!(err.contains("no schema tag"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_parser_still_consolidates() {
+        // The behavior the PR 3/4 artifacts rely on, now via the shared
+        // trajectory module: last record per bench wins, sorted render.
         let input = "\
-{\"bench\":\"a/x\",\"lo_ns\":1.0,\"median_ns\":2.0,\"hi_ns\":3.0}\n\
 {\"bench\":\"b/y\",\"lo_ns\":4.0,\"median_ns\":5.0,\"hi_ns\":6.0}\n\
-\n\
+{\"bench\":\"a/x\",\"lo_ns\":1.0,\"median_ns\":2.0,\"hi_ns\":3.0}\n\
 {\"bench\":\"a/x\",\"lo_ns\":7.0,\"median_ns\":8.0,\"hi_ns\":9.0}\n";
         let results = consolidate(input).unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results["a/x"].median_ns, 8.0);
+        let out = render(&results);
+        assert!(out.starts_with("{\n  \"schema\": \"dpe-bench/v1\""));
+        assert!(out.find("a/x").unwrap() < out.find("b/y").unwrap());
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
     }
 
     #[test]
@@ -194,47 +156,5 @@ mod tests {
         assert!(consolidate("{\"bench\":\"a/x\"}").is_err());
         assert!(consolidate("not json at all").is_err());
         assert!(consolidate("").unwrap().is_empty());
-    }
-
-    #[test]
-    fn escaped_names_round_trip() {
-        let line = "{\"bench\":\"odd\\\"name\\\\x\",\"lo_ns\":1.0,\"median_ns\":2.0,\"hi_ns\":3.0}";
-        let (bench, _) = parse_line(line).unwrap();
-        assert_eq!(bench, "odd\"name\\x");
-        let mut m = BTreeMap::new();
-        m.insert(
-            bench,
-            Record {
-                lo_ns: 1.0,
-                median_ns: 2.0,
-                hi_ns: 3.0,
-            },
-        );
-        let rendered = render(&m);
-        assert!(rendered.contains("odd\\\"name\\\\x"), "{rendered}");
-    }
-
-    #[test]
-    fn rendered_output_is_sorted_and_well_formed() {
-        let mut m = BTreeMap::new();
-        for (name, med) in [("b/second", 20.0), ("a/first", 10.0)] {
-            m.insert(
-                name.to_string(),
-                Record {
-                    lo_ns: med - 1.0,
-                    median_ns: med,
-                    hi_ns: med + 1.0,
-                },
-            );
-        }
-        let out = render(&m);
-        assert!(out.starts_with("{\n  \"schema\": \"dpe-bench/v1\""));
-        assert!(out.contains("\"entries\": 2"));
-        let a = out.find("a/first").unwrap();
-        let b = out.find("b/second").unwrap();
-        assert!(a < b, "results must be sorted by bench name");
-        // Balanced braces/brackets as a cheap well-formedness check.
-        assert_eq!(out.matches('{').count(), out.matches('}').count());
-        assert_eq!(out.matches('[').count(), out.matches(']').count());
     }
 }

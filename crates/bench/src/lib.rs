@@ -16,7 +16,11 @@
 //! distances plaintext-vs-encrypted, end-to-end log encryption, mining).
 //!
 //! This library module holds the fixtures shared by binaries and benches so
-//! each experiment is a short, readable program.
+//! each experiment is a short, readable program, plus the [`trajectory`]
+//! module implementing the `dpe-bench/v1` perf-trajectory format that the
+//! `bench_json` consolidator and `bench_gate` regression gate share.
+
+pub mod trajectory;
 
 use dpe_core::scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};
 use dpe_core::CoreError;

@@ -1,0 +1,235 @@
+//! The `dpe-bench/v1` perf-trajectory format, shared by the `bench_json`
+//! consolidator and the `bench_gate` regression gate.
+//!
+//! Two on-disk shapes carry the same records:
+//!
+//! * **JSONL sweeps** — what a `DPE_BENCH_JSON=<file> cargo bench` run
+//!   appends: one `{"bench":…,"lo_ns":…,"median_ns":…,"hi_ns":…}` object
+//!   per line, repeated runs appending duplicates (last one wins).
+//! * **Trajectory files** — the committed `BENCH_PR*.json` artifacts: a
+//!   single object with a `schema` tag ([`SCHEMA`]), an entry count, and
+//!   the name-sorted `results` array.
+//!
+//! Parsing is by key, not position, so hand-edited fixtures stay valid;
+//! unknown `schema` values are an explicit error rather than a guess at
+//! forward compatibility.
+
+use std::collections::BTreeMap;
+
+/// The trajectory schema version this crate reads and writes.
+pub const SCHEMA: &str = "dpe-bench/v1";
+
+/// One benchmark's measurement: lo/median/hi nanoseconds per operation
+/// over the shim's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchRecord {
+    /// Fastest sample.
+    pub lo_ns: f64,
+    /// Median sample — the value the regression gate compares.
+    pub median_ns: f64,
+    /// Slowest sample.
+    pub hi_ns: f64,
+}
+
+/// Extracts the string value of `"key"` from `line`, honouring backslash
+/// escapes and optional whitespace after the colon.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => {
+                end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let raw = &rest[..end?];
+    // Unescape the two sequences the shim produces.
+    Some(raw.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Extracts the float value of `"key"` from `line` (whitespace after the
+/// colon allowed).
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses one record-bearing line (a JSONL sweep line or one trajectory
+/// `results` entry — the field set is identical).
+pub fn parse_record_line(line: &str) -> Option<(String, BenchRecord)> {
+    Some((
+        string_field(line, "bench")?,
+        BenchRecord {
+            lo_ns: f64_field(line, "lo_ns")?,
+            median_ns: f64_field(line, "median_ns")?,
+            hi_ns: f64_field(line, "hi_ns")?,
+        },
+    ))
+}
+
+/// Parses a whole JSONL sweep; later records for the same bench override
+/// earlier ones. Returns `Err` with the offending line on malformed input.
+pub fn consolidate(input: &str) -> Result<BTreeMap<String, BenchRecord>, String> {
+    let mut out = BTreeMap::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (bench, record) =
+            parse_record_line(line).ok_or_else(|| format!("malformed bench record: {line}"))?;
+        out.insert(bench, record);
+    }
+    Ok(out)
+}
+
+/// The `schema` tag of a trajectory file, if one is present.
+pub fn schema_of(content: &str) -> Option<String> {
+    string_field(content, "schema")
+}
+
+/// Parses a consolidated trajectory file, insisting on the [`SCHEMA`]
+/// version tag.
+pub fn parse_trajectory(content: &str) -> Result<BTreeMap<String, BenchRecord>, String> {
+    match schema_of(content) {
+        Some(ref s) if s == SCHEMA => {}
+        Some(s) => {
+            return Err(format!(
+                "unknown trajectory schema {s:?} (expected {SCHEMA:?})"
+            ))
+        }
+        None => return Err(format!("no \"schema\" field found (expected {SCHEMA:?})")),
+    }
+    let mut out = BTreeMap::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"bench\"") && !line.starts_with("{ \"bench\"") {
+            continue;
+        }
+        let (bench, record) =
+            parse_record_line(line).ok_or_else(|| format!("malformed result entry: {line}"))?;
+        out.insert(bench, record);
+    }
+    if out.is_empty() {
+        return Err("trajectory holds no results".into());
+    }
+    Ok(out)
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c < ' ' => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders records as a `dpe-bench/v1` trajectory file (name-sorted, one
+/// result per line — the committed `BENCH_PR*.json` shape).
+pub fn render(results: &BTreeMap<String, BenchRecord>) -> String {
+    let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n");
+    out.push_str(&format!("  \"entries\": {},\n", results.len()));
+    out.push_str("  \"results\": [\n");
+    let body: Vec<String> = results
+        .iter()
+        .map(|(bench, r)| {
+            format!(
+                "    {{\"bench\": \"{}\", \"lo_ns\": {:.1}, \"median_ns\": {:.1}, \"hi_ns\": {:.1}}}",
+                escape(bench),
+                r.lo_ns,
+                r.median_ns,
+                r.hi_ns
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(median: f64) -> BenchRecord {
+        BenchRecord {
+            lo_ns: median - 1.0,
+            median_ns: median,
+            hi_ns: median + 1.0,
+        }
+    }
+
+    #[test]
+    fn jsonl_and_trajectory_spellings_both_parse() {
+        let jsonl = "{\"bench\":\"g/x\",\"lo_ns\":1.0,\"median_ns\":2.0,\"hi_ns\":3.0}";
+        let pretty = "{\"bench\": \"g/x\", \"lo_ns\": 1.0, \"median_ns\": 2.0, \"hi_ns\": 3.0}";
+        let (a, ra) = parse_record_line(jsonl).unwrap();
+        let (b, rb) = parse_record_line(pretty).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_eq!(ra.median_ns, 2.0);
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a/first".to_string(), record(10.0));
+        m.insert("b/sec\"ond".to_string(), record(20.0));
+        let rendered = render(&m);
+        assert_eq!(schema_of(&rendered).as_deref(), Some(SCHEMA));
+        let parsed = parse_trajectory(&rendered).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let v2 = render(&BTreeMap::from([("a/x".to_string(), record(1.0))]))
+            .replace(SCHEMA, "dpe-bench/v2");
+        let err = parse_trajectory(&v2).unwrap_err();
+        assert!(err.contains("unknown trajectory schema"), "{err}");
+        let none = "{\"results\": []}";
+        assert!(parse_trajectory(none)
+            .unwrap_err()
+            .contains("no \"schema\""));
+    }
+
+    #[test]
+    fn consolidate_last_record_wins() {
+        let input = "{\"bench\":\"a/x\",\"lo_ns\":1.0,\"median_ns\":2.0,\"hi_ns\":3.0}\n\
+                     {\"bench\":\"a/x\",\"lo_ns\":7.0,\"median_ns\":8.0,\"hi_ns\":9.0}\n";
+        let out = consolidate(input).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out["a/x"].median_ns, 8.0);
+    }
+
+    #[test]
+    fn committed_trajectory_files_parse() {
+        // The real BENCH_PR3/PR4 artifacts at the repo root must stay
+        // readable by the gate.
+        for name in ["BENCH_PR3.json", "BENCH_PR4.json"] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + name;
+            let content = std::fs::read_to_string(&path).unwrap_or_default();
+            if content.is_empty() {
+                continue; // tolerate running from an unexpected layout
+            }
+            let parsed = parse_trajectory(&content).unwrap();
+            assert!(!parsed.is_empty(), "{name}");
+        }
+    }
+}

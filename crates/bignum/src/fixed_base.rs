@@ -1,0 +1,259 @@
+//! Fixed-base windowed modular exponentiation.
+//!
+//! When one base is raised to many different exponents under one modulus —
+//! the shape of Paillier's `g^m` term and of precomputing encryption
+//! randomness from a fixed group element — generic square-and-multiply
+//! wastes work re-deriving the same powers of the base on every call.
+//! [`FixedBaseTable`] spends that work once: it stores
+//! `base^(d · 2^(w·i)) mod m` for every window position `i` and digit
+//! `d ∈ [1, 2^w)`, after which each exponentiation is just one table
+//! lookup and one modular multiplication per `w`-bit window of the
+//! exponent — no squarings at all.
+//!
+//! For a `k`-bit exponent the online cost drops from ~`1.5k` modular
+//! multiplications (square-and-multiply) to `⌈k/w⌉`, a ~9× reduction at
+//! `w = 6` — the amortized/offline trick the batched Paillier engine in
+//! `dpe-paillier` builds on.
+
+use crate::BigUint;
+
+/// Default window width (bits) for exponents of at least this size.
+const WIDE_WINDOW_THRESHOLD_BITS: usize = 96;
+
+/// Precomputed powers of one base under one modulus, for exponents up to a
+/// fixed bit length.
+///
+/// Construction costs `⌈max_exp_bits/w⌉ · (2^w − 1)` modular
+/// multiplications and the same number of stored values; every subsequent
+/// [`FixedBaseTable::pow`] costs at most `⌈max_exp_bits/w⌉ − 1`
+/// multiplications. Build a table whenever the same base will be
+/// exponentiated more than a handful of times.
+///
+/// ```
+/// use dpe_bignum::{BigUint, FixedBaseTable};
+///
+/// let m = BigUint::from(1_000_000_007u64);
+/// let table = FixedBaseTable::new(&BigUint::from(3u64), &m, 64);
+/// let exp = BigUint::from(1_234_567u64);
+/// assert_eq!(table.pow(&exp), BigUint::from(3u64).modpow(&exp, &m));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    modulus: BigUint,
+    window_bits: usize,
+    max_exp_bits: usize,
+    /// `table[i][d - 1] = base^(d · 2^(w·i)) mod modulus` for digit
+    /// `d ∈ [1, 2^w)`; one inner vector per window position.
+    table: Vec<Vec<BigUint>>,
+}
+
+impl FixedBaseTable {
+    /// Builds a table for `base` under `modulus`, serving exponents of up
+    /// to `max_exp_bits` bits, with an automatically chosen window width
+    /// (6 bits for exponents of at least 96 bits, 4 below).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modulus` is zero.
+    pub fn new(base: &BigUint, modulus: &BigUint, max_exp_bits: usize) -> FixedBaseTable {
+        let window = if max_exp_bits >= WIDE_WINDOW_THRESHOLD_BITS {
+            6
+        } else {
+            4
+        };
+        FixedBaseTable::with_window(base, modulus, max_exp_bits, window)
+    }
+
+    /// Builds a table with an explicit window width of `window_bits`
+    /// (clamped to `[1, 12]`; table size grows as `2^window_bits` per
+    /// window position, so wide windows only pay off for huge exponent
+    /// volumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modulus` is zero.
+    pub fn with_window(
+        base: &BigUint,
+        modulus: &BigUint,
+        max_exp_bits: usize,
+        window_bits: usize,
+    ) -> FixedBaseTable {
+        assert!(!modulus.is_zero(), "fixed-base modulus must be nonzero");
+        let window_bits = window_bits.clamp(1, 12);
+        let windows = max_exp_bits.div_ceil(window_bits);
+        let digits = (1usize << window_bits) - 1;
+        let mut table = Vec::with_capacity(windows);
+        // Window 0 holds base^1 … base^(2^w − 1); each following window's
+        // generator is the previous one raised to 2^w, obtained as
+        // `last · first` of the previous row (no extra squarings).
+        let mut generator = base % modulus;
+        for _ in 0..windows {
+            let mut row = Vec::with_capacity(digits);
+            let mut power = generator.clone();
+            for _ in 0..digits {
+                row.push(power.clone());
+                power = power.modmul(&generator, modulus);
+            }
+            // `power` is now generator^(2^w): the next window's generator.
+            generator = power;
+            table.push(row);
+        }
+        FixedBaseTable {
+            modulus: modulus.clone(),
+            window_bits,
+            max_exp_bits,
+            table,
+        }
+    }
+
+    /// `base^exp mod modulus` from the table: one lookup-and-multiply per
+    /// nonzero `window_bits`-wide digit of `exp`.
+    ///
+    /// The result is identical to [`BigUint::modpow`] on the same
+    /// operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `exp` is wider than the `max_exp_bits` the table was
+    /// built for.
+    pub fn pow(&self, exp: &BigUint) -> BigUint {
+        assert!(
+            exp.bit_len() <= self.max_exp_bits,
+            "exponent of {} bits exceeds the table's {}-bit capacity",
+            exp.bit_len(),
+            self.max_exp_bits
+        );
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut acc = BigUint::one();
+        for (i, row) in self.table.iter().enumerate() {
+            let digit = self.digit(exp, i);
+            if digit != 0 {
+                acc = acc.modmul(&row[digit - 1], &self.modulus);
+            }
+        }
+        acc
+    }
+
+    /// The `i`-th `window_bits`-wide digit of `exp` (little-endian).
+    fn digit(&self, exp: &BigUint, i: usize) -> usize {
+        let lo = i * self.window_bits;
+        let mut digit = 0usize;
+        for b in 0..self.window_bits {
+            if exp.bit(lo + b) {
+                digit |= 1 << b;
+            }
+        }
+        digit
+    }
+
+    /// Largest exponent bit length this table serves.
+    pub fn max_exp_bits(&self) -> usize {
+        self.max_exp_bits
+    }
+
+    /// Window width in bits.
+    pub fn window_bits(&self) -> usize {
+        self.window_bits
+    }
+
+    /// The modulus the table reduces under.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Number of precomputed group elements held.
+    pub fn table_len(&self) -> usize {
+        self.table.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn matches_modpow_small() {
+        let m = n(97);
+        let base = n(5);
+        let table = FixedBaseTable::new(&base, &m, 32);
+        for e in 0u64..200 {
+            assert_eq!(table.pow(&n(e)), base.modpow(&n(e), &m), "exp {e}");
+        }
+    }
+
+    #[test]
+    fn matches_modpow_large_operands() {
+        let m = &(BigUint::one() << 256usize) - &n(189); // arbitrary odd modulus
+        let base = &(BigUint::one() << 200usize) + &n(12345);
+        let table = FixedBaseTable::new(&base, &m, 256);
+        for shift in [0usize, 1, 63, 64, 128, 255] {
+            let exp = &(BigUint::one() << shift) + &n(7);
+            assert_eq!(table.pow(&exp), base.modpow(&exp, &m), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn every_window_width_agrees() {
+        let m = n(1_000_000_007);
+        let base = n(123_456);
+        let exp = n(987_654_321);
+        let want = base.modpow(&exp, &m);
+        for w in 1..=8 {
+            let table = FixedBaseTable::with_window(&base, &m, 64, w);
+            assert_eq!(table.pow(&exp), want, "window {w}");
+            assert_eq!(table.window_bits(), w);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_and_zero_base() {
+        let m = n(101);
+        let zeros = FixedBaseTable::new(&BigUint::zero(), &m, 16);
+        assert_eq!(zeros.pow(&BigUint::zero()), BigUint::one());
+        assert_eq!(zeros.pow(&n(5)), BigUint::zero());
+        let table = FixedBaseTable::new(&n(7), &m, 16);
+        assert_eq!(table.pow(&BigUint::zero()), BigUint::one());
+    }
+
+    #[test]
+    fn modulus_one_collapses_to_zero() {
+        let table = FixedBaseTable::new(&n(5), &BigUint::one(), 16);
+        assert_eq!(table.pow(&n(3)), BigUint::zero());
+    }
+
+    #[test]
+    fn capacity_is_exact() {
+        let m = n(1_000_003);
+        let table = FixedBaseTable::new(&n(2), &m, 20);
+        // 2^20 needs 21 bits: over capacity. 2^20 − 1 fits exactly.
+        let max = &(BigUint::one() << 20usize) - &BigUint::one();
+        assert_eq!(table.pow(&max), n(2).modpow(&max, &m));
+        assert_eq!(table.max_exp_bits(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the table's")]
+    fn oversized_exponent_panics() {
+        let table = FixedBaseTable::new(&n(3), &n(97), 8);
+        table.pow(&n(256)); // 9 bits
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be nonzero")]
+    fn zero_modulus_panics() {
+        FixedBaseTable::new(&n(3), &BigUint::zero(), 8);
+    }
+
+    #[test]
+    fn table_len_matches_shape() {
+        let table = FixedBaseTable::with_window(&n(3), &n(97), 16, 4);
+        // 4 windows × (2^4 − 1) digits.
+        assert_eq!(table.table_len(), 4 * 15);
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`BigUint`]: unsigned magnitudes with schoolbook add/sub/mul and Knuth
 //!   Algorithm D division,
 //! * modular arithmetic: [`BigUint::modpow`], [`BigUint::modinv`], gcd/lcm,
+//! * fixed-base windowed exponentiation via precomputed tables
+//!   ([`FixedBaseTable`]), the offline/online split the batched Paillier
+//!   encryption engine amortizes its hot path with,
 //! * probabilistic primality testing (Miller–Rabin) and random prime
 //!   generation in [`prime`],
 //! * uniform random sampling below a bound in [`random`].
@@ -21,12 +24,14 @@
 
 mod arith;
 mod biguint;
+mod fixed_base;
 mod int;
 mod modular;
 pub mod prime;
 pub mod random;
 
 pub use biguint::{BigUint, ParseBigUintError};
+pub use fixed_base::FixedBaseTable;
 pub use int::{BigInt, Sign};
 
 #[cfg(test)]
@@ -106,6 +111,18 @@ mod proptests {
             let g = a.gcd(&b);
             prop_assert!((&a % &g).is_zero());
             prop_assert!((&b % &g).is_zero());
+        }
+
+        #[test]
+        fn fixed_base_table_matches_modpow(
+            base in arb_biguint(3),
+            exp in arb_biguint(2),
+            m in arb_biguint(3),
+            window in 1usize..=8,
+        ) {
+            prop_assume!(!m.is_zero());
+            let table = FixedBaseTable::with_window(&base, &m, 128, window);
+            prop_assert_eq!(table.pow(&exp), base.modpow(&exp, &m));
         }
 
         #[test]

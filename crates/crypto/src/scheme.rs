@@ -161,6 +161,15 @@ pub trait SymmetricScheme {
 
     /// The class this scheme instantiates.
     fn class(&self) -> EncryptionClass;
+
+    /// Encrypts many plaintexts in submission order — the streaming-ingest
+    /// entry point. The default implementation loops [`SymmetricScheme::encrypt`]
+    /// (and is therefore bit-identical to it); schemes with amortizable
+    /// per-call setup may override it, as the value-typed Paillier engine
+    /// does in `dpe-paillier::batch`.
+    fn encrypt_batch(&self, plaintexts: &[&[u8]], rng: &mut dyn RngCore) -> Vec<Ciphertext> {
+        plaintexts.iter().map(|p| self.encrypt(p, rng)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +221,33 @@ mod tests {
         for class in EncryptionClass::ALL {
             for parent in class.parents() {
                 assert!(class.security_level() <= parent.security_level());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_encryption_matches_sequential_for_every_class() {
+        use crate::kdf::SlotLabel;
+        use crate::{DetScheme, JoinGroup, MasterKey, ProbScheme};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let master = MasterKey::from_bytes([7; 32]);
+        let plaintexts: Vec<&[u8]> = vec![b"alpha", b"", b"SELECT ra FROM photoobj"];
+        let det = DetScheme::new(&SlotLabel::Constant("t").derive(&master));
+        let prob = ProbScheme::new(&SlotLabel::Constant("t").derive(&master));
+        let join = JoinGroup::new(&master, "t");
+        let schemes: Vec<&dyn SymmetricScheme> = vec![&det, &prob, join.scheme()];
+        for scheme in schemes {
+            let batched = scheme.encrypt_batch(&plaintexts, &mut StdRng::seed_from_u64(1));
+            let mut rng = StdRng::seed_from_u64(1);
+            let sequential: Vec<Ciphertext> = plaintexts
+                .iter()
+                .map(|p| scheme.encrypt(p, &mut rng))
+                .collect();
+            assert_eq!(batched, sequential, "{}", scheme.class());
+            for (p, ct) in plaintexts.iter().zip(&batched) {
+                assert_eq!(&scheme.decrypt(ct).unwrap(), p, "{}", scheme.class());
             }
         }
     }

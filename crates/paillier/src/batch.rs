@@ -1,0 +1,669 @@
+//! Batched, throughput-oriented Paillier encryption.
+//!
+//! The outsourcing model has the data owner continuously encrypting and
+//! uploading records, and a textbook [`PublicKey::encrypt`] spends almost
+//! all of its time on one thing: the plaintext-independent factor
+//! `r^n mod n²`. This module splits that work off the hot path three ways:
+//!
+//! * **[`RandomnessPool`]** precomputes `r^n` factors ahead of demand —
+//!   sequentially, or dealt across scoped worker threads
+//!   ([`RandomnessPool::refill_parallel`], the same range-dealing pattern
+//!   as `DistanceMatrix::compute_parallel`). A pooled encryption is then a
+//!   single modular multiplication.
+//! * **Fixed-base sampling** ([`BatchEncryptor::fixed_base`]) replaces the
+//!   full `r^n` exponentiation with a windowed table walk
+//!   ([`dpe_bignum::FixedBaseTable`]): factors are drawn as `h^a` for a
+//!   fixed `h = r₀^n mod n²`, so even a *cold* pool refills several times
+//!   faster than square-and-multiply.
+//! * **[`BatchEncryptor::encrypt_batch`] / [`BatchEncryptor::encrypt_stream`]**
+//!   deal plaintext chunks across scoped worker threads, overlapping the
+//!   production of the next chunk with the encryption of the current one.
+//!
+//! In **exact** mode ([`BatchEncryptor::new`]) every API here consumes
+//! randomness in the same order as sequential [`PublicKey::encrypt`]
+//! calls, so batched output is bit-for-bit identical to the one-at-a-time
+//! path given the same seeded RNG — the property the crate's proptests
+//! pin. Fixed-base mode trades that equivalence (and the uniformity of
+//! `r` over all of `(ℤ/nℤ)*` — factors range over the subgroup generated
+//! by `h`) for throughput; like the rest of this reproduction it is a
+//! performance model, not a production cryptosystem.
+
+use crate::keys::PublicKey;
+use crate::scheme::{Ciphertext, PaillierError};
+use dpe_bignum::random::{uniform_coprime, uniform_range};
+use dpe_bignum::{BigUint, FixedBaseTable};
+use rand::RngCore;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How a pool draws fresh randomness factors.
+#[derive(Debug)]
+enum Sampler {
+    /// Draw `r ← (ℤ/nℤ)*` and pay the full `r^n mod n²` exponentiation —
+    /// bit-compatible with [`PublicKey::encrypt`].
+    Exact,
+    /// Draw `a ← [1, n)` and return `h^a` from a precomputed windowed
+    /// table over the fixed base `h = r₀^n mod n²`.
+    FixedBase(Box<FixedBaseTable>),
+}
+
+/// A randomness draw whose expensive half may still be pending: pooled
+/// factors arrive [`Factor::Ready`]; fresh draws carry the raw `r` (exact
+/// mode) or exponent `a` (fixed-base mode) so worker threads can finish
+/// them off the RNG's thread.
+#[derive(Debug)]
+enum Factor {
+    /// A precomputed `r^n mod n²`, ready to multiply.
+    Ready(BigUint),
+    /// A fresh draw still needing its exponentiation.
+    Fresh(BigUint),
+}
+
+/// A chunk staged for worker threads: the plaintexts plus one drawn
+/// factor per plaintext, in order.
+type StagedChunk = (Vec<BigUint>, Vec<Factor>);
+
+/// Counters describing a pool's lifetime behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Factors precomputed by refills (never decreases).
+    pub precomputed: u64,
+    /// Encryptions served from the pool.
+    pub served: u64,
+    /// Encryptions that found the pool empty and sampled on demand.
+    pub misses: u64,
+}
+
+/// Interior state guarded by the pool's mutex.
+#[derive(Debug, Default)]
+struct PoolState {
+    entries: VecDeque<BigUint>,
+    stats: PoolStats,
+}
+
+/// A refillable pool of precomputed Paillier randomness factors
+/// (`r^n mod n²`).
+///
+/// Producers push factors with [`RandomnessPool::refill`] /
+/// [`RandomnessPool::refill_parallel`]; the encryption hot path pops them
+/// with [`RandomnessPool::take`]. All methods take `&self`, so a refill
+/// worker can top the pool up concurrently with encrypting drains.
+///
+/// In exact mode the pool draws each `r` from the RNG **in FIFO order**
+/// and serves factors in that same order, which is what keeps pooled
+/// batched encryption bit-identical to sequential [`PublicKey::encrypt`]
+/// calls on the same seeded RNG.
+#[derive(Debug)]
+pub struct RandomnessPool {
+    public: PublicKey,
+    sampler: Sampler,
+    state: Mutex<PoolState>,
+}
+
+impl RandomnessPool {
+    /// An empty pool drawing exact (encrypt-compatible) randomness for
+    /// `public`.
+    pub fn new(public: &PublicKey) -> RandomnessPool {
+        RandomnessPool {
+            public: public.clone(),
+            sampler: Sampler::Exact,
+            state: Mutex::new(PoolState::default()),
+        }
+    }
+
+    /// An empty pool drawing fixed-base randomness: one random
+    /// `r₀ ← (ℤ/nℤ)*` is paid for up front (`h = r₀^n mod n²`, plus the
+    /// windowed table over `h`), after which every factor costs a table
+    /// walk instead of a full exponentiation.
+    pub fn fixed_base<R: RngCore>(public: &PublicKey, rng: &mut R) -> RandomnessPool {
+        let r0 = uniform_coprime(public.n(), rng);
+        let h = public.precompute_randomness(&r0);
+        let table = FixedBaseTable::new(&h, public.n_squared(), public.n().bit_len());
+        RandomnessPool {
+            public: public.clone(),
+            sampler: Sampler::FixedBase(Box::new(table)),
+            state: Mutex::new(PoolState::default()),
+        }
+    }
+
+    /// `true` when factors come from the fixed-base table rather than
+    /// exact `r^n` exponentiations.
+    pub fn is_fixed_base(&self) -> bool {
+        matches!(self.sampler, Sampler::FixedBase(_))
+    }
+
+    /// Draws the raw half of a fresh factor from `rng` — cheap, and the
+    /// only part that must happen in sequential order.
+    fn draw<R: RngCore>(&self, rng: &mut R) -> BigUint {
+        match &self.sampler {
+            Sampler::Exact => uniform_coprime(self.public.n(), rng),
+            Sampler::FixedBase(_) => uniform_range(&BigUint::one(), self.public.n(), rng),
+        }
+    }
+
+    /// Finishes a draw into a ready factor (the expensive half; safe to
+    /// run on any thread).
+    fn finish(&self, raw: &BigUint) -> BigUint {
+        match &self.sampler {
+            Sampler::Exact => self.public.precompute_randomness(raw),
+            Sampler::FixedBase(table) => table.pow(raw),
+        }
+    }
+
+    /// Resolves a [`Factor`] to its ready value.
+    fn resolve(&self, factor: Factor) -> BigUint {
+        match factor {
+            Factor::Ready(f) => f,
+            Factor::Fresh(raw) => self.finish(&raw),
+        }
+    }
+
+    /// Precomputes `count` factors on the calling thread, pushing each as
+    /// it completes so concurrent [`RandomnessPool::take`] calls drain the
+    /// pool while it refills.
+    pub fn refill<R: RngCore>(&self, count: usize, rng: &mut R) {
+        for _ in 0..count {
+            let raw = self.draw(rng);
+            let factor = self.finish(&raw);
+            let mut state = self.lock();
+            state.entries.push_back(factor);
+            state.stats.precomputed += 1;
+        }
+    }
+
+    /// Precomputes `count` factors across `threads` scoped worker threads.
+    ///
+    /// The raw draws happen sequentially on the calling thread (preserving
+    /// the RNG stream order that exact-mode bit-equivalence relies on);
+    /// only the exponentiations are dealt out, each worker writing into
+    /// its own disjoint chunk, and the finished factors are enqueued in
+    /// draw order.
+    pub fn refill_parallel<R: RngCore>(&self, count: usize, threads: usize, rng: &mut R) {
+        if count == 0 {
+            return;
+        }
+        let raws: Vec<BigUint> = (0..count).map(|_| self.draw(rng)).collect();
+        let mut factors: Vec<Option<BigUint>> = vec![None; count];
+        let threads = threads.clamp(1, count);
+        std::thread::scope(|scope| {
+            let mut rest_raw: &[BigUint] = &raws;
+            let mut rest_out: &mut [Option<BigUint>] = &mut factors;
+            for w in 0..threads {
+                let take = rest_raw.len().div_ceil(threads - w);
+                let (raw_chunk, raw_tail) = rest_raw.split_at(take);
+                let (out_chunk, out_tail) = rest_out.split_at_mut(take);
+                rest_raw = raw_tail;
+                rest_out = out_tail;
+                scope.spawn(move || {
+                    for (slot, raw) in out_chunk.iter_mut().zip(raw_chunk) {
+                        *slot = Some(self.finish(raw));
+                    }
+                });
+            }
+        });
+        let mut state = self.lock();
+        for factor in factors {
+            state
+                .entries
+                .push_back(factor.expect("every chunk was dealt to a worker"));
+            state.stats.precomputed += 1;
+        }
+    }
+
+    /// Pops the oldest pooled factor, or `None` when the pool is empty.
+    /// Prefer [`RandomnessPool::take`], which records hit/miss statistics
+    /// and falls back to an on-demand draw.
+    pub fn pop(&self) -> Option<BigUint> {
+        self.lock().entries.pop_front()
+    }
+
+    /// The encryption hot path: a pooled factor when one is available
+    /// (recorded as served), otherwise an on-demand draw from `rng`
+    /// (recorded as a miss). In exact mode the result consumes randomness
+    /// exactly like [`PublicKey::encrypt`] would.
+    pub fn take<R: RngCore>(&self, rng: &mut R) -> BigUint {
+        match self.take_factor(rng) {
+            Factor::Ready(f) => f,
+            fresh => self.resolve(fresh),
+        }
+    }
+
+    /// Like [`RandomnessPool::take`] but defers the expensive half of a
+    /// miss, so batch paths can finish it on a worker thread.
+    fn take_factor<R: RngCore>(&self, rng: &mut R) -> Factor {
+        let popped = {
+            let mut state = self.lock();
+            match state.entries.pop_front() {
+                Some(f) => {
+                    state.stats.served += 1;
+                    Some(f)
+                }
+                None => {
+                    state.stats.misses += 1;
+                    None
+                }
+            }
+        };
+        match popped {
+            Some(f) => Factor::Ready(f),
+            None => Factor::Fresh(self.draw(rng)),
+        }
+    }
+
+    /// Factors currently pooled.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// `true` when no factors are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters (refilled / served / missed).
+    pub fn stats(&self) -> PoolStats {
+        self.lock().stats
+    }
+
+    /// The public key the factors belong to.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().expect("randomness pool lock poisoned")
+    }
+}
+
+/// A throughput-oriented encryption engine: a [`RandomnessPool`] plus
+/// chunk-dealing batch and stream APIs over scoped worker threads.
+///
+/// ```
+/// use dpe_paillier::batch::BatchEncryptor;
+/// use dpe_paillier::{KeyPair, TEST_PRIME_BITS};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let keys = KeyPair::generate(TEST_PRIME_BITS, &mut rng);
+/// let engine = BatchEncryptor::new(keys.public());
+/// engine.pool().refill_parallel(4, 2, &mut rng);
+///
+/// let values: Vec<_> = (0u64..4).map(dpe_bignum::BigUint::from).collect();
+/// let cts = engine.encrypt_batch(&values, &mut rng).unwrap();
+/// assert_eq!(keys.private().decrypt_u64(&cts[3]).unwrap(), 3);
+/// ```
+#[derive(Debug)]
+pub struct BatchEncryptor {
+    pool: RandomnessPool,
+}
+
+impl BatchEncryptor {
+    /// An engine in exact mode: batched output is bit-identical to
+    /// sequential [`PublicKey::encrypt`] calls on the same seeded RNG.
+    pub fn new(public: &PublicKey) -> BatchEncryptor {
+        BatchEncryptor {
+            pool: RandomnessPool::new(public),
+        }
+    }
+
+    /// An engine in fixed-base mode: fresh factors cost a windowed table
+    /// walk instead of a full `r^n` exponentiation (several times faster
+    /// even with a cold pool), at the price of exact-mode bit
+    /// compatibility.
+    pub fn fixed_base<R: RngCore>(public: &PublicKey, rng: &mut R) -> BatchEncryptor {
+        BatchEncryptor {
+            pool: RandomnessPool::fixed_base(public, rng),
+        }
+    }
+
+    /// An engine around an existing pool (e.g. one a background worker is
+    /// already topping up).
+    pub fn with_pool(pool: RandomnessPool) -> BatchEncryptor {
+        BatchEncryptor { pool }
+    }
+
+    /// The engine's randomness pool — refill it ahead of bursts.
+    pub fn pool(&self) -> &RandomnessPool {
+        &self.pool
+    }
+
+    /// The public key encryptions are made under.
+    pub fn public(&self) -> &PublicKey {
+        self.pool.public()
+    }
+
+    /// Encrypts one value through the pool: a single modular
+    /// multiplication when a factor is pooled.
+    pub fn encrypt_one<R: RngCore>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<Ciphertext, PaillierError> {
+        let factor = self.pool.take(rng);
+        self.public().encrypt_with_precomputed(m, &factor)
+    }
+
+    /// Encrypts a batch on the calling thread, draining the pool first and
+    /// sampling on demand past its end. In exact mode the output is
+    /// bit-identical to encrypting `values` one by one with
+    /// [`PublicKey::encrypt`] on the same seeded RNG.
+    pub fn encrypt_batch<R: RngCore>(
+        &self,
+        values: &[BigUint],
+        rng: &mut R,
+    ) -> Result<Vec<Ciphertext>, PaillierError> {
+        self.check_all(values)?;
+        values.iter().map(|m| self.encrypt_one(m, rng)).collect()
+    }
+
+    /// Encrypts a batch dealt across `threads` scoped worker threads.
+    ///
+    /// Pool pops and fresh draws happen sequentially on the calling thread
+    /// (preserving RNG stream order); workers finish the pending
+    /// exponentiations and the final multiplications in disjoint chunks.
+    /// Output is bit-identical to [`BatchEncryptor::encrypt_batch`].
+    pub fn encrypt_batch_parallel<R: RngCore>(
+        &self,
+        values: &[BigUint],
+        threads: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Ciphertext>, PaillierError> {
+        self.check_all(values)?;
+        let factors: Vec<Factor> = values.iter().map(|_| self.pool.take_factor(rng)).collect();
+        Ok(self.finish_chunked(values, factors, threads))
+    }
+
+    /// Streaming encryption: pulls plaintexts from `items` in chunks of
+    /// `chunk_size`, encrypts each chunk across `threads` workers, and
+    /// hands finished chunks to `sink` in order. While workers encrypt
+    /// chunk *k*, the calling thread is already pulling and sampling chunk
+    /// *k + 1* — so a slow producer (disk, network, record assembly)
+    /// overlaps with the modular arithmetic. Returns the total number of
+    /// ciphertexts produced.
+    ///
+    /// In exact mode the concatenated output is bit-identical to
+    /// [`BatchEncryptor::encrypt_batch`] over the collected iterator.
+    pub fn encrypt_stream<I, R, F>(
+        &self,
+        items: I,
+        chunk_size: usize,
+        threads: usize,
+        rng: &mut R,
+        mut sink: F,
+    ) -> Result<usize, PaillierError>
+    where
+        I: IntoIterator<Item = BigUint>,
+        R: RngCore,
+        F: FnMut(Vec<Ciphertext>),
+    {
+        let chunk_size = chunk_size.max(1);
+        let mut iter = items.into_iter();
+        let mut total = 0usize;
+        let mut pending = self.prepare_chunk(&mut iter, chunk_size, rng)?;
+        while let Some((values, factors)) = pending.take() {
+            let mut next: Result<Option<StagedChunk>, PaillierError> = Ok(None);
+            let mut out = Vec::new();
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| self.finish_chunked(&values, factors, threads));
+                // Overlap: produce and sample the next chunk while the
+                // workers in `finish_chunked` encrypt this one.
+                next = self.prepare_chunk(&mut iter, chunk_size, rng);
+                out = handle.join().expect("encrypt worker panicked");
+            });
+            total += out.len();
+            sink(out);
+            pending = next?;
+        }
+        Ok(total)
+    }
+
+    /// Pulls up to `chunk_size` plaintexts and pairs each with a factor
+    /// (pool pop or deferred fresh draw). Errors on oversized plaintexts
+    /// *before* any arithmetic is spent on the chunk.
+    fn prepare_chunk<R: RngCore>(
+        &self,
+        iter: &mut impl Iterator<Item = BigUint>,
+        chunk_size: usize,
+        rng: &mut R,
+    ) -> Result<Option<StagedChunk>, PaillierError> {
+        let values: Vec<BigUint> = iter.take(chunk_size).collect();
+        if values.is_empty() {
+            return Ok(None);
+        }
+        self.check_all(&values)?;
+        let factors = values.iter().map(|_| self.pool.take_factor(rng)).collect();
+        Ok(Some((values, factors)))
+    }
+
+    /// Finishes `values[i]` with `factors[i]` across scoped workers, each
+    /// writing its own disjoint output chunk. Infallible: plaintexts were
+    /// range-checked when the factors were drawn.
+    fn finish_chunked(
+        &self,
+        values: &[BigUint],
+        factors: Vec<Factor>,
+        threads: usize,
+    ) -> Vec<Ciphertext> {
+        let threads = threads.clamp(1, values.len().max(1));
+        let mut out: Vec<Option<Ciphertext>> = vec![None; values.len()];
+        let mut factors = VecDeque::from(factors);
+        std::thread::scope(|scope| {
+            let mut rest_vals: &[BigUint] = values;
+            let mut rest_out: &mut [Option<Ciphertext>] = &mut out;
+            for w in 0..threads {
+                let take = rest_vals.len().div_ceil(threads - w);
+                let (val_chunk, val_tail) = rest_vals.split_at(take);
+                let (out_chunk, out_tail) = rest_out.split_at_mut(take);
+                rest_vals = val_tail;
+                rest_out = out_tail;
+                let factor_chunk: Vec<Factor> = factors.drain(..take).collect();
+                scope.spawn(move || {
+                    for ((slot, m), factor) in out_chunk.iter_mut().zip(val_chunk).zip(factor_chunk)
+                    {
+                        let f = self.pool.resolve(factor);
+                        *slot = Some(
+                            self.public()
+                                .encrypt_with_precomputed(m, &f)
+                                .expect("plaintexts were range-checked at draw time"),
+                        );
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|c| c.expect("every chunk was dealt to a worker"))
+            .collect()
+    }
+
+    /// Rejects any plaintext `≥ n` up front, so worker-side encryption is
+    /// infallible.
+    fn check_all(&self, values: &[BigUint]) -> Result<(), PaillierError> {
+        let n = self.public().n();
+        for m in values {
+            if m >= n {
+                return Err(PaillierError::PlaintextTooLarge {
+                    bits: m.bit_len(),
+                    modulus_bits: n.bit_len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KeyPair, TEST_PRIME_BITS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    /// One keypair for the whole suite — keygen dominates test time.
+    fn keys() -> &'static KeyPair {
+        static KEYS: OnceLock<KeyPair> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(42);
+            KeyPair::generate(TEST_PRIME_BITS, &mut rng)
+        })
+    }
+
+    fn values(n: u64) -> Vec<BigUint> {
+        (0..n).map(|i| BigUint::from(i * 7919 + 13)).collect()
+    }
+
+    fn sequential_oracle(vals: &[BigUint], seed: u64) -> Vec<Ciphertext> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        vals.iter()
+            .map(|m| keys().public().encrypt(m, &mut rng).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn empty_pool_batch_is_bit_identical_to_sequential() {
+        let vals = values(12);
+        let engine = BatchEncryptor::new(keys().public());
+        let mut rng = StdRng::seed_from_u64(5);
+        let batched = engine.encrypt_batch(&vals, &mut rng).unwrap();
+        assert_eq!(batched, sequential_oracle(&vals, 5));
+    }
+
+    #[test]
+    fn prefilled_pool_batch_is_bit_identical_to_sequential() {
+        let vals = values(10);
+        let engine = BatchEncryptor::new(keys().public());
+        let mut rng = StdRng::seed_from_u64(77);
+        // Pool covers 6 of 10: pops then on-demand draws must replay the
+        // exact randomness stream of ten sequential encrypts.
+        engine.pool().refill(6, &mut rng);
+        let batched = engine.encrypt_batch(&vals, &mut rng).unwrap();
+        assert_eq!(batched, sequential_oracle(&vals, 77));
+        let stats = engine.pool().stats();
+        assert_eq!((stats.precomputed, stats.served, stats.misses), (6, 6, 4));
+    }
+
+    #[test]
+    fn parallel_refill_and_batch_stay_bit_identical() {
+        let vals = values(9);
+        for threads in [1, 2, 4, 8] {
+            let engine = BatchEncryptor::new(keys().public());
+            let mut rng = StdRng::seed_from_u64(threads as u64);
+            engine.pool().refill_parallel(5, threads, &mut rng);
+            let batched = engine
+                .encrypt_batch_parallel(&vals, threads, &mut rng)
+                .unwrap();
+            assert_eq!(
+                batched,
+                sequential_oracle(&vals, threads as u64),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_concatenation_is_bit_identical_to_sequential() {
+        let vals = values(11);
+        let engine = BatchEncryptor::new(keys().public());
+        let mut rng = StdRng::seed_from_u64(31);
+        engine.pool().refill(3, &mut rng);
+        let mut chunks: Vec<usize> = Vec::new();
+        let mut streamed: Vec<Ciphertext> = Vec::new();
+        let total = engine
+            .encrypt_stream(vals.iter().cloned(), 4, 2, &mut rng, |chunk| {
+                chunks.push(chunk.len());
+                streamed.extend(chunk);
+            })
+            .unwrap();
+        assert_eq!(total, 11);
+        assert_eq!(chunks, vec![4, 4, 3]);
+        assert_eq!(streamed, sequential_oracle(&vals, 31));
+    }
+
+    #[test]
+    fn fixed_base_mode_roundtrips_and_randomizes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let engine = BatchEncryptor::fixed_base(keys().public(), &mut rng);
+        assert!(engine.pool().is_fixed_base());
+        engine.pool().refill_parallel(8, 4, &mut rng);
+        let vals = values(16);
+        let cts = engine.encrypt_batch(&vals, &mut rng).unwrap();
+        for (m, ct) in vals.iter().zip(&cts) {
+            assert_eq!(&keys().private().decrypt(ct).unwrap(), m);
+        }
+        // Factors are h^a with fresh a each: ciphertexts never repeat.
+        for (i, a) in cts.iter().enumerate() {
+            for b in &cts[i + 1..] {
+                assert_ne!(a.value(), b.value());
+            }
+        }
+    }
+
+    #[test]
+    fn refill_under_drain_conserves_factors() {
+        let engine = BatchEncryptor::new(keys().public());
+        let pool = engine.pool();
+        let drained = std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                for _ in 0..4 {
+                    pool.refill(4, &mut rng);
+                }
+            });
+            let consumer = scope.spawn(|| {
+                let mut got = 0usize;
+                while got < 10 {
+                    if pool.pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            });
+            producer.join().expect("producer");
+            consumer.join().expect("consumer")
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.precomputed, 16);
+        assert_eq!(drained + pool.len(), 16, "no factor lost or duplicated");
+    }
+
+    #[test]
+    fn oversized_plaintext_rejected_before_work() {
+        let engine = BatchEncryptor::new(keys().public());
+        let mut rng = StdRng::seed_from_u64(2);
+        let bad = vec![BigUint::from(1u64), keys().public().n().clone()];
+        assert!(matches!(
+            engine.encrypt_batch(&bad, &mut rng),
+            Err(PaillierError::PlaintextTooLarge { .. })
+        ));
+        assert!(matches!(
+            engine.encrypt_batch_parallel(&bad, 2, &mut rng),
+            Err(PaillierError::PlaintextTooLarge { .. })
+        ));
+        let err = engine.encrypt_stream(bad, 8, 2, &mut rng, |_| {
+            panic!("sink must not see a failed chunk")
+        });
+        assert!(matches!(err, Err(PaillierError::PlaintextTooLarge { .. })));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let engine = BatchEncryptor::new(keys().public());
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(engine.encrypt_batch(&[], &mut rng).unwrap().is_empty());
+        assert!(engine
+            .encrypt_batch_parallel(&[], 4, &mut rng)
+            .unwrap()
+            .is_empty());
+        let total = engine
+            .encrypt_stream(std::iter::empty(), 4, 2, &mut rng, |_| {
+                panic!("no chunks expected")
+            })
+            .unwrap();
+        assert_eq!(total, 0);
+        engine.pool().refill_parallel(0, 4, &mut rng);
+        assert!(engine.pool().is_empty());
+    }
+}

@@ -7,7 +7,7 @@ use dpe_bignum::BigUint;
 use rand::RngCore;
 
 /// Paillier public key: the modulus `n` (with cached `n²`).
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PublicKey {
     n: BigUint,
     n_squared: BigUint,
@@ -46,16 +46,58 @@ impl PublicKey {
         m: &BigUint,
         rng: &mut R,
     ) -> Result<PaillierCiphertext, PaillierError> {
+        // Range-check before drawing: a rejected plaintext must not
+        // consume RNG state (callers replaying seeded streams rely on it).
+        self.check_plaintext(m)?;
+        let r = uniform_coprime(&self.n, rng);
+        self.encrypt_with_randomness(m, &r)
+    }
+
+    /// Encrypts `m` under caller-supplied randomness `r ∈ (ℤ/nℤ)*` — the
+    /// deterministic core of [`PublicKey::encrypt`], exposed so batched
+    /// paths (and equivalence tests) can separate drawing randomness from
+    /// the modular arithmetic it feeds.
+    pub fn encrypt_with_randomness(
+        &self,
+        m: &BigUint,
+        r: &BigUint,
+    ) -> Result<PaillierCiphertext, PaillierError> {
+        // Reject before the expensive r^n exponentiation.
+        self.check_plaintext(m)?;
+        let r_n = self.precompute_randomness(r);
+        self.encrypt_with_precomputed(m, &r_n)
+    }
+
+    /// The shared plaintext range check: `m` must lie in `[0, n)`.
+    fn check_plaintext(&self, m: &BigUint) -> Result<(), PaillierError> {
         if m >= &self.n {
             return Err(PaillierError::PlaintextTooLarge {
                 bits: m.bit_len(),
                 modulus_bits: self.n.bit_len(),
             });
         }
-        let r = uniform_coprime(&self.n, rng);
+        Ok(())
+    }
+
+    /// The expensive half of an encryption: `r^n mod n²`, independent of
+    /// the plaintext. [`crate::batch::RandomnessPool`] computes these off
+    /// the hot path; [`PublicKey::encrypt_with_precomputed`] then finishes
+    /// an encryption with a single modular multiplication.
+    pub fn precompute_randomness(&self, r: &BigUint) -> BigUint {
+        r.modpow(&self.n, &self.n_squared)
+    }
+
+    /// Finishes an encryption from a precomputed randomness factor
+    /// `r_n = r^n mod n²`: `c = (1 + m·n) · r_n mod n²` — one modular
+    /// multiplication, the batched engine's hot path.
+    pub fn encrypt_with_precomputed(
+        &self,
+        m: &BigUint,
+        r_n: &BigUint,
+    ) -> Result<PaillierCiphertext, PaillierError> {
+        self.check_plaintext(m)?;
         let g_m = (&BigUint::one() + &(m * &self.n)) % &self.n_squared;
-        let r_n = r.modpow(&self.n, &self.n_squared);
-        Ok(PaillierCiphertext::new(g_m.modmul(&r_n, &self.n_squared)))
+        Ok(PaillierCiphertext::new(g_m.modmul(r_n, &self.n_squared)))
     }
 
     /// Convenience: encrypts a `u64`.
@@ -226,6 +268,42 @@ mod tests {
         let ct2 = kp.public().rerandomize(&ct, &mut rng);
         assert_ne!(ct.value(), ct2.value());
         assert_eq!(kp.private().decrypt_u64(&ct2).unwrap(), 123);
+    }
+
+    #[test]
+    fn split_encryption_path_matches_encrypt() {
+        // encrypt ≡ draw r, precompute r^n, finish with one modmul: the
+        // three-step split the batch engine uses must be bit-identical.
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(99);
+        let r = dpe_bignum::random::uniform_coprime(kp.public().n(), &mut rng);
+        let m = BigUint::from(987_654_321u64);
+        let direct = {
+            let mut rng = StdRng::seed_from_u64(99);
+            kp.public().encrypt(&m, &mut rng).unwrap()
+        };
+        let split = kp.public().encrypt_with_randomness(&m, &r).unwrap();
+        let precomputed = kp.public().precompute_randomness(&r);
+        let finished = kp
+            .public()
+            .encrypt_with_precomputed(&m, &precomputed)
+            .unwrap();
+        assert_eq!(direct, split);
+        assert_eq!(direct, finished);
+        assert_eq!(kp.private().decrypt(&finished).unwrap(), m);
+    }
+
+    #[test]
+    fn precomputed_path_rejects_large_plaintexts() {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = dpe_bignum::random::uniform_coprime(kp.public().n(), &mut rng);
+        let r_n = kp.public().precompute_randomness(&r);
+        let too_big = kp.public().n().clone();
+        assert!(matches!(
+            kp.public().encrypt_with_precomputed(&too_big, &r_n),
+            Err(PaillierError::PlaintextTooLarge { .. })
+        ));
     }
 
     #[test]

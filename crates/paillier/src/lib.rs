@@ -18,10 +18,12 @@
 //! (p−1)(q−1)) = 1`, `g = n + 1`, and the CRT-free decryption
 //! `m = L(c^λ mod n²) · μ mod n` with `L(u) = (u − 1)/n`.
 
+pub mod batch;
 mod hom;
 mod keys;
 mod scheme;
 
+pub use batch::{BatchEncryptor, PoolStats, RandomnessPool};
 pub use hom::{sum_ciphertexts, EncryptedSum};
 pub use keys::{KeyPair, PrivateKey, PublicKey};
 pub use scheme::{Ciphertext, PaillierError, DEFAULT_PRIME_BITS, TEST_PRIME_BITS};
@@ -68,6 +70,59 @@ mod proptests {
             let ca = kp.public().encrypt_u64(a, &mut rng);
             let prod = kp.public().mul_scalar(&ca, k);
             prop_assert_eq!(kp.private().decrypt_u64(&prod).unwrap(), a * k);
+        }
+
+        #[test]
+        fn batched_encryption_is_bit_identical_to_sequential(
+            vals in proptest::collection::vec(0u64..u64::MAX, 0..12),
+            seed in 0u64..1000,
+            prefill in 0usize..16,
+            threads in 1usize..5,
+        ) {
+            // The tentpole claim of `batch`: no matter how the pool is
+            // prefilled or the work is dealt, exact-mode batching replays
+            // the randomness stream of one-at-a-time encryption.
+            let kp = test_keys();
+            let vals: Vec<dpe_bignum::BigUint> =
+                vals.into_iter().map(dpe_bignum::BigUint::from).collect();
+            let oracle: Vec<Ciphertext> = {
+                let mut rng = StdRng::seed_from_u64(seed);
+                vals.iter()
+                    .map(|m| kp.public().encrypt(m, &mut rng).unwrap())
+                    .collect()
+            };
+            let engine = BatchEncryptor::new(kp.public());
+            let mut rng = StdRng::seed_from_u64(seed);
+            engine.pool().refill_parallel(prefill, threads, &mut rng);
+            prop_assert_eq!(
+                engine.encrypt_batch_parallel(&vals, threads, &mut rng).unwrap(),
+                oracle
+            );
+        }
+
+        #[test]
+        fn pool_conserves_factors_under_drain(
+            refills in proptest::collection::vec(0usize..6, 1..4),
+            pops in 0usize..24,
+        ) {
+            let kp = test_keys();
+            let pool = RandomnessPool::new(kp.public());
+            let total: usize = refills.iter().sum();
+            let popped = std::thread::scope(|scope| {
+                let refiller = scope.spawn(|| {
+                    let mut rng = StdRng::seed_from_u64(8);
+                    for count in &refills {
+                        pool.refill(*count, &mut rng);
+                    }
+                });
+                let drainer = scope.spawn(|| {
+                    (0..pops).filter(|_| pool.pop().is_some()).count()
+                });
+                refiller.join().expect("refiller");
+                drainer.join().expect("drainer")
+            });
+            prop_assert_eq!(pool.stats().precomputed, total as u64);
+            prop_assert_eq!(popped + pool.len(), total);
         }
 
         #[test]

@@ -130,6 +130,65 @@ impl<M: QueryDistance + Sync> Server<M> {
             .ingest(new, &self.measure)
     }
 
+    /// Pipelined streaming insert: pulls chunks from `chunks` on a
+    /// dedicated producer thread and extends the shard's packed matrix
+    /// chunk by chunk on the calling thread, so the producer's work —
+    /// typically the data owner's encryption, e.g.
+    /// `dpe_paillier::batch::BatchEncryptor::encrypt_stream` feeding query
+    /// assembly — overlaps with the server-side distance computation.
+    ///
+    /// Each non-empty chunk is one epoch-bumping [`Server::ingest`] under
+    /// its own write-lock acquisition, so readers of this shard interleave
+    /// between chunks and other shards are never blocked. A bounded
+    /// channel (capacity 2) applies backpressure to a producer that
+    /// outruns ingestion. Returns the total item count applied; on error
+    /// the already-applied chunks remain (their epochs already bumped) and
+    /// the producer is cut off.
+    pub fn ingest_stream<I>(&self, shard: usize, chunks: I) -> Result<usize, ServerError>
+    where
+        I: IntoIterator<Item = Vec<Query>>,
+        I::IntoIter: Send,
+    {
+        let slot = self.shards.get(shard).ok_or(ServerError::UnknownShard {
+            shard,
+            shards: self.shards.len(),
+        })?;
+        let iter = chunks.into_iter();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Query>>(2);
+        let mut total = 0usize;
+        let mut result = Ok(());
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                for chunk in iter {
+                    // A closed receiver means ingestion failed: stop
+                    // producing instead of blocking forever.
+                    if tx.send(chunk).is_err() {
+                        return;
+                    }
+                }
+            });
+            while let Ok(chunk) = rx.recv() {
+                // One-chunk delegation to the shard's streaming path, so
+                // the skip-empty / epoch / error-prefix semantics live in
+                // exactly one place.
+                let applied = slot
+                    .write()
+                    .expect("shard lock poisoned")
+                    .ingest_stream(std::iter::once(chunk), &self.measure);
+                match applied {
+                    Ok(n) => total += n,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            drop(rx);
+            producer.join().expect("ingest producer panicked");
+        });
+        result.map(|()| total)
+    }
+
     /// Enqueues a request, returning its ticket. Safe to call from any
     /// number of threads; the request is answered by the next
     /// [`Server::drain`].
@@ -343,6 +402,40 @@ mod tests {
             s.ingest(shard, &queries(8 + shard, shard * 100)).unwrap();
         }
         s
+    }
+
+    #[test]
+    fn ingest_stream_matches_one_shot_ingest() {
+        let all = queries(14, 0);
+        let oracle = Server::new(TokenDistance, 1, 0);
+        oracle.ingest(0, &all).unwrap();
+
+        let s = Server::new(TokenDistance, 1, 0);
+        // Chunks are produced lazily on the stream's producer thread —
+        // the shape of an owner encrypting while the server ingests.
+        let chunks = (0..4).map(|i| all[i * 4..(i * 4 + 4).min(14)].to_vec());
+        let total = s.ingest_stream(0, chunks).unwrap();
+        assert_eq!(total, 14);
+        assert_eq!(s.shard_len(0).unwrap(), 14);
+        assert_eq!(s.shard_epoch(0).unwrap(), 4, "one epoch bump per chunk");
+        let req = Request::Knn {
+            shard: 0,
+            item: 3,
+            k: 6,
+        };
+        assert!(s
+            .serve_one_uncached(&req)
+            .unwrap()
+            .bits_eq(&oracle.serve_one_uncached(&req).unwrap()));
+    }
+
+    #[test]
+    fn ingest_stream_rejects_unknown_shard_without_consuming() {
+        let s = server();
+        let err = s
+            .ingest_stream(9, std::iter::once(queries(2, 0)))
+            .unwrap_err();
+        assert!(matches!(err, ServerError::UnknownShard { shard: 9, .. }));
     }
 
     #[test]

@@ -48,6 +48,33 @@ impl Shard {
         Ok(())
     }
 
+    /// Batched streaming insert: ingests `chunks` in order, skipping empty
+    /// chunks (so they cannot bump the epoch), and returns the total item
+    /// count applied. Each non-empty chunk is one [`Shard::ingest`] —
+    /// exactly `m·n + m(m−1)/2` new distance calls and one epoch bump. On
+    /// error the already-applied prefix of chunks (and its epoch bumps)
+    /// remains; the failing chunk is rolled back.
+    ///
+    /// This is the owner-upload entry point the batched Paillier engine
+    /// feeds: `dpe_paillier::batch::BatchEncryptor::encrypt_stream` hands
+    /// ciphertext chunks to a producer whose output lands here (pipelined
+    /// across threads by `Server::ingest_stream`).
+    pub fn ingest_stream<M, I>(&mut self, chunks: I, measure: &M) -> Result<usize, ServerError>
+    where
+        M: QueryDistance,
+        I: IntoIterator<Item = Vec<Query>>,
+    {
+        let mut total = 0usize;
+        for chunk in chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            self.ingest(&chunk, measure)?;
+            total += chunk.len();
+        }
+        Ok(total)
+    }
+
     /// Items stored.
     pub fn len(&self) -> usize {
         self.queries.len()
@@ -271,6 +298,58 @@ mod tests {
         assert_eq!(shard.epoch(), 2);
         assert_eq!(shard.len(), 12);
         assert!(shard.matrix().identical(&full));
+    }
+
+    #[test]
+    fn ingest_stream_matches_one_shot_ingest() {
+        let all = queries(15);
+        let mut oracle = Shard::new();
+        oracle.ingest(&all, &TokenDistance).unwrap();
+        let mut shard = Shard::new();
+        let chunks: Vec<Vec<Query>> = vec![
+            all[..4].to_vec(),
+            Vec::new(), // empty chunks are skipped, not epoch-bumped
+            all[4..9].to_vec(),
+            all[9..].to_vec(),
+        ];
+        let total = shard.ingest_stream(chunks, &TokenDistance).unwrap();
+        assert_eq!(total, 15);
+        assert_eq!(shard.len(), 15);
+        assert_eq!(shard.epoch(), 3, "one bump per non-empty chunk");
+        assert!(shard.matrix().identical(oracle.matrix()));
+    }
+
+    #[test]
+    fn ingest_stream_error_keeps_applied_prefix() {
+        /// Token distance that errors after a fixed number of calls, so a
+        /// later chunk of a stream fails while earlier ones succeed.
+        struct FailAfter(std::cell::Cell<usize>);
+        impl QueryDistance for FailAfter {
+            fn distance(&self, a: &Query, b: &Query) -> Result<f64, dpe_distance::DistanceError> {
+                if self.0.get() == 0 {
+                    return Err(dpe_distance::DistanceError::MissingDomain("budget".into()));
+                }
+                self.0.set(self.0.get() - 1);
+                TokenDistance.distance(a, b)
+            }
+            fn name(&self) -> &'static str {
+                "fail-after"
+            }
+        }
+        let all = queries(9);
+        let mut shard = Shard::new();
+        // Chunk 1 (5 items) costs 10 calls, chunk 2 (4 items on 5) costs
+        // 26: a budget of 15 applies chunk 1 and fails inside chunk 2.
+        let chunks = vec![all[..5].to_vec(), all[5..].to_vec()];
+        let err = shard
+            .ingest_stream(chunks, &FailAfter(std::cell::Cell::new(15)))
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Distance(_)));
+        assert_eq!(shard.len(), 5, "failing chunk fully rolled back");
+        assert_eq!(shard.epoch(), 1, "only the applied chunk bumped");
+        let mut oracle = Shard::new();
+        oracle.ingest(&all[..5], &TokenDistance).unwrap();
+        assert!(shard.matrix().identical(oracle.matrix()));
     }
 
     #[test]
