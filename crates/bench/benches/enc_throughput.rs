@@ -2,13 +2,16 @@
 //! payloads, plus the PR 5 ingest hot path: the batched Paillier engine
 //! (`paillier_batch`, per-64-value medians so the single-call baseline is
 //! directly comparable) and the owner→server streaming upload
-//! (`server_ingest_pipeline`). No paper-side numbers exist (the paper
-//! reports none); the measured values go into EXPERIMENTS.md and the
-//! committed `BENCH_PR5.json` trajectory the `bench-gate` CI lane guards.
+//! (`server_ingest_pipeline`). PR 6 adds the decrypt paths
+//! (`paillier_decrypt`: CRT vs λ) and the raw bignum exponentiation layer
+//! (`bignum_modpow`: Montgomery vs schoolbook, Straus multi-exp). No
+//! paper-side numbers exist (the paper reports none); the measured values
+//! go into EXPERIMENTS.md and the committed `BENCH_PR6.json` trajectory
+//! the `bench-gate` CI lane guards.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dpe_bench::experiment_log;
-use dpe_bignum::BigUint;
+use dpe_bignum::{multi_modpow, BigUint};
 use dpe_core::scheme::{QueryEncryptor, TokenDpe};
 use dpe_crypto::kdf::SlotLabel;
 use dpe_crypto::scheme::SymmetricScheme;
@@ -162,6 +165,85 @@ fn bench_paillier_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR 6: the decryption paths. Both benches decrypt the same [`BATCH`]
+/// ciphertexts per iteration, so the JSON medians are directly
+/// comparable — the trajectory's ≥2× claim is
+/// `decrypt_lambda_x64 / decrypt_crt_x64`. The λ-path is kept callable
+/// (`PrivateKey::decrypt_lambda`) precisely to stay measurable as the
+/// baseline the CRT path is pinned bit-identical against.
+fn bench_paillier_decrypt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xDEC);
+    let keypair = KeyPair::generate(TEST_PRIME_BITS, &mut rng);
+    let cts: Vec<_> = (0..BATCH as u64)
+        .map(|i| keypair.public().encrypt_u64(i * 7919 + 1, &mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("paillier_decrypt");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Baseline: textbook m = L(c^λ mod n²)·μ mod n — one full-width
+    // exponentiation per ciphertext.
+    group.bench_function("decrypt_lambda_x64", |b| {
+        b.iter(|| {
+            cts.iter()
+                .map(|ct| keypair.private().decrypt_lambda(ct).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+
+    // Fast path: CRT — two half-width exponentiations mod p²/q² plus
+    // Garner recombination, what `PrivateKey::decrypt` now runs.
+    group.bench_function("decrypt_crt_x64", |b| {
+        b.iter(|| {
+            cts.iter()
+                .map(|ct| keypair.private().decrypt(ct).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+/// PR 6: the raw bignum exponentiation layer, at Paillier-ciphertext
+/// operand sizes (512-bit modulus = `n²` of a TEST_PRIME_BITS key).
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x909);
+    let keypair = KeyPair::generate(TEST_PRIME_BITS, &mut rng);
+    let m = keypair.public().n_squared().clone(); // 512-bit, odd
+    let base = keypair.public().n() - &BigUint::one();
+    let exp = keypair.public().n().clone(); // the r^n exponent shape
+
+    let mut group = c.benchmark_group("bignum_modpow");
+
+    // The dispatching entry point: odd modulus + 256-bit exponent takes
+    // the Montgomery path (context built per call, as a cold caller pays).
+    group.bench_function("mont_modpow_512", |b| {
+        b.iter(|| base.modpow(&exp, &m));
+    });
+
+    // The schoolbook ladder the dispatch replaced — one Knuth division
+    // per multiplication.
+    group.bench_function("schoolbook_modpow_512", |b| {
+        b.iter(|| base.modpow_naive(&exp, &m));
+    });
+
+    // Straus multi-exponentiation: four bases on one shared squaring
+    // chain versus four independent chains.
+    let pairs: Vec<(BigUint, BigUint)> = (1u64..=4)
+        .map(|i| (&base - &BigUint::from(i * 1000), &exp - &BigUint::from(i)))
+        .collect();
+    group.bench_function("multi_modpow_x4", |b| {
+        b.iter(|| multi_modpow(&pairs, &m));
+    });
+    group.bench_function("separate_modpow_x4", |b| {
+        b.iter(|| {
+            pairs.iter().fold(BigUint::one(), |acc, (bs, e)| {
+                acc.modmul(&bs.modpow(e, &m), &m)
+            })
+        });
+    });
+    group.finish();
+}
+
 /// The owner→server upload: encrypt a query log and extend a shard's
 /// packed matrix, one-shot versus the pipelined chunked stream
 /// (`Server::ingest_stream`, producer-side encryption overlapping
@@ -207,6 +289,6 @@ fn bench_server_ingest_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_classes, bench_paillier_batch, bench_server_ingest_pipeline
+    targets = bench_classes, bench_paillier_batch, bench_paillier_decrypt, bench_modpow, bench_server_ingest_pipeline
 }
 criterion_main!(benches);

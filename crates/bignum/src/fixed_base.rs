@@ -14,8 +14,32 @@
 //! multiplications (square-and-multiply) to `⌈k/w⌉`, a ~9× reduction at
 //! `w = 6` — the amortized/offline trick the batched Paillier engine in
 //! `dpe-paillier` builds on.
+//!
+//! For **odd** moduli the table additionally stores its rows in Montgomery
+//! form and runs the per-window multiplications through
+//! [`MontgomeryCtx::mont_mul`](crate::MontgomeryCtx::mont_mul) —
+//! division-free — converting out of form once per call. Even moduli fall
+//! back to schoolbook [`BigUint::modmul`]. Both paths return bit-identical
+//! results.
 
+use crate::montgomery::MontgomeryCtx;
 use crate::BigUint;
+
+/// The `index`-th little-endian `width`-bit digit of `exp`.
+///
+/// Shared window machinery for [`FixedBaseTable`], [`MontgomeryCtx`]'s
+/// windowed `mont_pow`, and the Straus multi-exponentiation in
+/// [`crate::multi_exp`].
+pub(crate) fn window_digit(exp: &BigUint, index: usize, width: usize) -> usize {
+    let lo = index * width;
+    let mut digit = 0usize;
+    for b in 0..width {
+        if exp.bit(lo + b) {
+            digit |= 1 << b;
+        }
+    }
+    digit
+}
 
 /// Default window width (bits) for exponents of at least this size.
 const WIDE_WINDOW_THRESHOLD_BITS: usize = 96;
@@ -43,8 +67,12 @@ pub struct FixedBaseTable {
     window_bits: usize,
     max_exp_bits: usize,
     /// `table[i][d - 1] = base^(d · 2^(w·i)) mod modulus` for digit
-    /// `d ∈ [1, 2^w)`; one inner vector per window position.
+    /// `d ∈ [1, 2^w)`; one inner vector per window position. Entries are
+    /// in Montgomery form when `ctx` is `Some`.
     table: Vec<Vec<BigUint>>,
+    /// REDC context for odd moduli; `None` means the even-modulus
+    /// schoolbook fallback.
+    ctx: Option<MontgomeryCtx>,
 }
 
 impl FixedBaseTable {
@@ -82,17 +110,27 @@ impl FixedBaseTable {
         let window_bits = window_bits.clamp(1, 12);
         let windows = max_exp_bits.div_ceil(window_bits);
         let digits = (1usize << window_bits) - 1;
+        let ctx = MontgomeryCtx::new(modulus);
         let mut table = Vec::with_capacity(windows);
         // Window 0 holds base^1 … base^(2^w − 1); each following window's
         // generator is the previous one raised to 2^w, obtained as
-        // `last · first` of the previous row (no extra squarings).
+        // `last · first` of the previous row (no extra squarings). With a
+        // REDC context the whole chain — and the stored rows — stay in
+        // Montgomery form.
         let mut generator = base % modulus;
+        if let Some(ctx) = &ctx {
+            generator = ctx.to_mont(&generator);
+        }
+        let mul = |a: &BigUint, b: &BigUint| match &ctx {
+            Some(ctx) => ctx.mont_mul(a, b),
+            None => a.modmul(b, modulus),
+        };
         for _ in 0..windows {
             let mut row = Vec::with_capacity(digits);
             let mut power = generator.clone();
             for _ in 0..digits {
                 row.push(power.clone());
-                power = power.modmul(&generator, modulus);
+                power = mul(&power, &generator);
             }
             // `power` is now generator^(2^w): the next window's generator.
             generator = power;
@@ -103,6 +141,7 @@ impl FixedBaseTable {
             window_bits,
             max_exp_bits,
             table,
+            ctx,
         }
     }
 
@@ -126,26 +165,30 @@ impl FixedBaseTable {
         if self.modulus.is_one() {
             return BigUint::zero();
         }
-        let mut acc = BigUint::one();
-        for (i, row) in self.table.iter().enumerate() {
-            let digit = self.digit(exp, i);
-            if digit != 0 {
-                acc = acc.modmul(&row[digit - 1], &self.modulus);
+        match &self.ctx {
+            Some(ctx) => {
+                // Rows are in Montgomery form: accumulate in form (one
+                // REDC-mul per nonzero digit), convert out once.
+                let mut acc = ctx.one().clone();
+                for (i, row) in self.table.iter().enumerate() {
+                    let digit = window_digit(exp, i, self.window_bits);
+                    if digit != 0 {
+                        acc = ctx.mont_mul(&acc, &row[digit - 1]);
+                    }
+                }
+                ctx.from_mont(&acc)
+            }
+            None => {
+                let mut acc = BigUint::one();
+                for (i, row) in self.table.iter().enumerate() {
+                    let digit = window_digit(exp, i, self.window_bits);
+                    if digit != 0 {
+                        acc = acc.modmul(&row[digit - 1], &self.modulus);
+                    }
+                }
+                acc
             }
         }
-        acc
-    }
-
-    /// The `i`-th `window_bits`-wide digit of `exp` (little-endian).
-    fn digit(&self, exp: &BigUint, i: usize) -> usize {
-        let lo = i * self.window_bits;
-        let mut digit = 0usize;
-        for b in 0..self.window_bits {
-            if exp.bit(lo + b) {
-                digit |= 1 << b;
-            }
-        }
-        digit
     }
 
     /// Largest exponent bit length this table serves.
@@ -242,6 +285,40 @@ mod tests {
     fn oversized_exponent_panics() {
         let table = FixedBaseTable::new(&n(3), &n(97), 8);
         table.pow(&n(256)); // 9 bits
+    }
+
+    #[test]
+    fn exponent_at_exact_capacity_succeeds() {
+        // Boundary regression pair with `one_bit_past_capacity_panics`:
+        // the `bit_len() <= max_exp_bits` assert must accept an exponent
+        // of *exactly* max_exp_bits bits…
+        let m = n(1_000_000_007);
+        let table = FixedBaseTable::new(&n(3), &m, 8);
+        let exp = n(255); // 8 bits: 0b1111_1111
+        assert_eq!(exp.bit_len(), table.max_exp_bits());
+        assert_eq!(table.pow(&exp), n(3).modpow(&exp, &m));
+        let exp = n(128); // 8 bits: 0b1000_0000
+        assert_eq!(table.pow(&exp), n(3).modpow(&exp, &m));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the table's 8-bit capacity")]
+    fn one_bit_past_capacity_panics() {
+        // …and reject one of max_exp_bits + 1 bits.
+        let table = FixedBaseTable::new(&n(3), &n(1_000_000_007), 8);
+        table.pow(&n(256)); // 9 bits: 0b1_0000_0000
+    }
+
+    #[test]
+    fn even_modulus_uses_schoolbook_path() {
+        // Even moduli can't take the Montgomery path; the fallback must
+        // agree with modpow all the same.
+        let m = n(1_000_000_006);
+        let base = n(123_457);
+        let table = FixedBaseTable::new(&base, &m, 64);
+        for e in [0u64, 1, 2, 255, 987_654_321, u64::MAX] {
+            assert_eq!(table.pow(&n(e)), base.modpow(&n(e), &m), "exp {e}");
+        }
     }
 
     #[test]

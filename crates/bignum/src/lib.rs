@@ -6,6 +6,12 @@
 //! * [`BigUint`]: unsigned magnitudes with schoolbook add/sub/mul and Knuth
 //!   Algorithm D division,
 //! * modular arithmetic: [`BigUint::modpow`], [`BigUint::modinv`], gcd/lcm,
+//! * Montgomery (REDC) form via [`MontgomeryCtx`] — division-free
+//!   `mont_mul`/`mont_pow` chains for odd moduli that [`BigUint::modpow`],
+//!   [`FixedBaseTable`], and the Miller–Rabin rounds dispatch to, pinned
+//!   bit-identical to the naive paths,
+//! * Straus/Shamir simultaneous multi-exponentiation ([`multi_modpow`])
+//!   for `∏ bᵢ^eᵢ mod m` on one shared squaring chain,
 //! * fixed-base windowed exponentiation via precomputed tables
 //!   ([`FixedBaseTable`]), the offline/online split the batched Paillier
 //!   encryption engine amortizes its hot path with,
@@ -27,12 +33,16 @@ mod biguint;
 mod fixed_base;
 mod int;
 mod modular;
+mod montgomery;
+mod multi_exp;
 pub mod prime;
 pub mod random;
 
 pub use biguint::{BigUint, ParseBigUintError};
 pub use fixed_base::FixedBaseTable;
 pub use int::{BigInt, Sign};
+pub use montgomery::MontgomeryCtx;
+pub use multi_exp::{multi_modpow, multi_modpow_ctx};
 
 #[cfg(test)]
 mod proptests {

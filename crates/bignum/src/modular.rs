@@ -1,15 +1,37 @@
 //! Modular arithmetic: modpow, gcd, lcm, and modular inverse.
+//!
+//! All four reduction primitives (`modadd`/`modsub`/`modmul`/`modpow`)
+//! share one contract: a zero modulus is a caller bug and fails a
+//! documented assert with a clear message — never a raw divide-by-zero
+//! surfacing from the limb layer.
 
+use crate::montgomery::MontgomeryCtx;
 use crate::{BigInt, BigUint};
+
+/// Exponent bit length at which [`BigUint::modpow`] switches from the
+/// schoolbook binary ladder to a Montgomery (REDC) chain for odd moduli.
+/// Below this the two Knuth divisions spent building the context outweigh
+/// the division-free multiplications it buys.
+const MONTGOMERY_EXP_THRESHOLD_BITS: usize = 32;
 
 impl BigUint {
     /// `(self + other) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is zero.
     pub fn modadd(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modadd modulus must be nonzero");
         &(self + other) % m
     }
 
     /// `(self - other) mod m`, wrapping into `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is zero.
     pub fn modsub(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modsub modulus must be nonzero");
         let a = self % m;
         let b = other % m;
         if a >= b {
@@ -20,14 +42,46 @@ impl BigUint {
     }
 
     /// `(self * other) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is zero.
     pub fn modmul(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modmul modulus must be nonzero");
         &(self * other) % m
     }
 
-    /// `self ^ exp mod m` by left-to-right binary exponentiation.
+    /// `self ^ exp mod m`.
     ///
-    /// Panics if `m` is zero. `x^0 mod 1` is `0` (everything is `0` mod 1).
+    /// For odd `m` and exponents of at least 32 bits this dispatches to a
+    /// division-free Montgomery (REDC) chain via [`MontgomeryCtx`];
+    /// everything else takes the schoolbook ladder. Both paths return
+    /// bit-identical results — [`BigUint::modpow_naive`] is the pinned
+    /// reference.
+    ///
+    /// `x^0 mod 1` is `0` (everything is `0` mod 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is zero.
     pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus must be nonzero");
+        if m.is_odd() && exp.bit_len() >= MONTGOMERY_EXP_THRESHOLD_BITS {
+            if let Some(ctx) = MontgomeryCtx::new(m) {
+                return ctx.pow(self, exp);
+            }
+        }
+        self.modpow_naive(exp, m)
+    }
+
+    /// `self ^ exp mod m` by left-to-right binary exponentiation —
+    /// the naive reference path the Montgomery fast path is pinned
+    /// bit-identical against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is zero.
+    pub fn modpow_naive(&self, exp: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero(), "modpow modulus must be nonzero");
         if m.is_one() {
             return BigUint::zero();
@@ -127,6 +181,61 @@ mod tests {
     fn modsub_wraps() {
         assert_eq!(n(3).modsub(&n(5), &n(7)), n(5));
         assert_eq!(n(5).modsub(&n(3), &n(7)), n(2));
+    }
+
+    #[test]
+    fn modpow_dispatch_agrees_with_naive() {
+        // Exponents straddling the Montgomery dispatch threshold, odd and
+        // even moduli: every combination must match the naive ladder.
+        let moduli = [n(1_000_000_007), n(1_000_000_006), n(1)];
+        let exps = [
+            n(0),
+            n(1),
+            &(BigUint::one() << 31usize) - &BigUint::one(), // below threshold
+            BigUint::one() << 31usize,                      // at threshold
+            &(BigUint::one() << 64usize) + &n(12345),       // above
+        ];
+        for m in &moduli {
+            for e in &exps {
+                let base = n(987_654_321);
+                assert_eq!(
+                    base.modpow(e, m),
+                    base.modpow_naive(e, m),
+                    "m = {m:?}, exp bits = {}",
+                    e.bit_len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modadd modulus must be nonzero")]
+    fn modadd_zero_modulus_asserts() {
+        n(3).modadd(&n(5), &BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "modsub modulus must be nonzero")]
+    fn modsub_zero_modulus_asserts() {
+        n(5).modsub(&n(3), &BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "modmul modulus must be nonzero")]
+    fn modmul_zero_modulus_asserts() {
+        n(3).modmul(&n(5), &BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "modpow modulus must be nonzero")]
+    fn modpow_zero_modulus_asserts() {
+        n(3).modpow(&n(5), &BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "modpow modulus must be nonzero")]
+    fn modpow_naive_zero_modulus_asserts() {
+        n(3).modpow_naive(&n(5), &BigUint::zero());
     }
 
     #[test]

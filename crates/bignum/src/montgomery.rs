@@ -1,0 +1,356 @@
+//! Montgomery-form modular arithmetic — the raw-speed layer under every
+//! crypto hot loop in this workspace.
+//!
+//! Schoolbook [`BigUint::modmul`] pays a full Knuth division per product;
+//! a `k`-bit [`BigUint::modpow`] therefore pays ~`1.5k` divisions. REDC
+//! (Montgomery 1985) removes the divisions entirely: operands are carried
+//! in *Montgomery form* `x̃ = x·R mod n` with `R = 2^(64·k)` for a
+//! `k`-limb odd modulus `n`, and the product of two form-values is reduced
+//! by the interleaved CIOS loop — limb multiplies, adds, and one
+//! word-shift per limb, no division anywhere. One context buys:
+//!
+//! * [`MontgomeryCtx::mont_mul`] — `REDC(ã·b̃) = (a·b)·R mod n`,
+//! * [`MontgomeryCtx::mont_pow`] — windowed square-and-multiply staying in
+//!   form for the whole chain,
+//! * [`MontgomeryCtx::pow`] — the drop-in `base^exp mod n` that
+//!   [`BigUint::modpow`] dispatches to for odd moduli.
+//!
+//! # REDC invariants
+//!
+//! The context is only constructible for **odd** `n > 0`
+//! ([`MontgomeryCtx::new`] returns `None` otherwise): REDC needs
+//! `gcd(n, R) = 1` so that `n′ = −n⁻¹ mod 2^64` exists. Form values are
+//! always kept in `[0, n)`; `mont_mul` asserts this of its operands and
+//! re-establishes it for its result (CIOS leaves at most one conditional
+//! final subtraction). Conversion in is `to_mont(x) = REDC(x·R²)` via the
+//! precomputed `R² mod n`; conversion out is `from_mont(x̃) = REDC(x̃)`.
+//! The map `x ↦ x·R mod n` is a bijection on `[0, n)`, so form-domain
+//! equality is plain equality — the Miller–Rabin loop in [`crate::prime`]
+//! compares against `1` and `n−1` without ever leaving form.
+//!
+//! Everything here is **bit-identical** to the naive reference paths
+//! ([`BigUint::modpow_naive`], [`BigUint::modmul`]) on the same operands —
+//! pinned by the `fast_paths` proptest suite. Like the rest of the crate
+//! it is *not* constant-time.
+
+use crate::fixed_base::window_digit;
+use crate::BigUint;
+
+/// Window width (bits) for [`MontgomeryCtx::mont_pow`]'s digit table.
+const POW_WINDOW_BITS: usize = 4;
+
+/// Below this exponent bit length `mont_pow` uses plain binary
+/// square-and-multiply — a 15-entry window table costs more than it saves.
+const POW_WINDOW_THRESHOLD_BITS: usize = 16;
+
+/// Precomputed Montgomery (REDC) context for one odd modulus.
+///
+/// Construction pays two Knuth divisions (`R mod n`, `R² mod n`) and a
+/// Newton–Hensel word inversion; every subsequent multiplication under the
+/// modulus is division-free. Build one per long-lived modulus (a Paillier
+/// `n²`, a prime-candidate under test) and reuse it across calls.
+///
+/// ```
+/// use dpe_bignum::{BigUint, MontgomeryCtx};
+///
+/// let m = BigUint::from(1_000_000_007u64); // odd
+/// let ctx = MontgomeryCtx::new(&m).unwrap();
+/// let base = BigUint::from(3u64);
+/// let exp = BigUint::from(1_234_567u64);
+/// assert_eq!(ctx.pow(&base, &exp), base.modpow_naive(&exp, &m));
+/// assert!(MontgomeryCtx::new(&BigUint::from(10u64)).is_none()); // even
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontgomeryCtx {
+    modulus: BigUint,
+    /// Limb count `k` of the modulus; `R = 2^(64k)`.
+    limbs: usize,
+    /// `−modulus⁻¹ mod 2^64`, the REDC quotient multiplier.
+    n0inv: u64,
+    /// `R mod n` — the Montgomery form of `1`.
+    one: BigUint,
+    /// `R² mod n` — multiplier taking a value *into* form via one REDC.
+    r2: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for an odd modulus; returns `None` when `modulus`
+    /// is zero or even (REDC requires `gcd(modulus, 2^64) = 1`).
+    pub fn new(modulus: &BigUint) -> Option<MontgomeryCtx> {
+        if modulus.is_zero() || modulus.is_even() {
+            return None;
+        }
+        let limbs = modulus.limbs().len();
+        let n0 = modulus.limbs()[0];
+        // Newton–Hensel lifting: for odd n0 the seed is correct to 3 bits
+        // and every step doubles the valid bit count, so 6 steps cover 64.
+        let mut inv = n0;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let r = &BigUint::one() << (64 * limbs);
+        let one = &r % modulus;
+        let r2 = &(&r * &r) % modulus;
+        Some(MontgomeryCtx {
+            modulus: modulus.clone(),
+            limbs,
+            n0inv: inv.wrapping_neg(),
+            one,
+            r2,
+        })
+    }
+
+    /// The modulus this context reduces under.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// The Montgomery form of `1` (`R mod n`) — the neutral element for
+    /// [`MontgomeryCtx::mont_mul`] chains.
+    pub fn one(&self) -> &BigUint {
+        &self.one
+    }
+
+    /// Takes `x` into Montgomery form: `x·R mod n`. `x` may be arbitrarily
+    /// large; it is reduced first.
+    pub fn to_mont(&self, x: &BigUint) -> BigUint {
+        let reduced = x % &self.modulus;
+        self.redc_mul(&reduced, &self.r2)
+    }
+
+    /// Takes a form value back to the ordinary residue: `REDC(x̃) = x mod n`.
+    pub fn from_mont(&self, x: &BigUint) -> BigUint {
+        debug_assert!(x < &self.modulus, "from_mont operand must be in [0, n)");
+        self.redc_mul(x, &BigUint::one())
+    }
+
+    /// Montgomery product of two form values: `REDC(ã·b̃) = (a·b)·R mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either operand is not reduced (`≥ n`) — form values
+    /// must stay in `[0, n)` for the CIOS bound to hold.
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        assert!(
+            a < &self.modulus && b < &self.modulus,
+            "mont_mul operands must be reduced into [0, n)"
+        );
+        self.redc_mul(a, b)
+    }
+
+    /// CIOS (coarsely integrated operand scanning) Montgomery
+    /// multiplication: interleaves the product accumulation with the REDC
+    /// word-reductions, keeping the working vector at `k + 2` limbs.
+    fn redc_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.limbs;
+        let n = self.modulus.limbs();
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let ai = a.limbs().get(i).copied().unwrap_or(0);
+            // t += ai · b
+            let mut carry = 0u64;
+            for (j, tj) in t.iter_mut().enumerate().take(k) {
+                let bj = b.limbs().get(j).copied().unwrap_or(0);
+                let cur = *tj as u128 + ai as u128 * bj as u128 + carry as u128;
+                *tj = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = t[k] as u128 + carry as u128;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+            // m = t[0]·n′ mod 2^64 makes t + m·n divisible by 2^64;
+            // accumulate and shift one word in the same pass.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let cur = t[0] as u128 + m as u128 * n[0] as u128;
+            debug_assert_eq!(cur as u64, 0);
+            let mut carry = (cur >> 64) as u64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m as u128 * n[j] as u128 + carry as u128;
+                t[j - 1] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = t[k] as u128 + carry as u128;
+            t[k - 1] = cur as u64;
+            let cur2 = t[k + 1] as u128 + (cur >> 64);
+            t[k] = cur2 as u64;
+            t[k + 1] = 0;
+        }
+        // CIOS bound: t < 2n, so one conditional subtraction restores [0, n).
+        let mut result = BigUint::from_limbs(t);
+        if result >= self.modulus {
+            result = &result - &self.modulus;
+        }
+        result
+    }
+
+    /// Montgomery square of a form value.
+    pub fn mont_sqr(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, a)
+    }
+
+    /// `base^exp` with `base` in Montgomery form; the result stays in form.
+    ///
+    /// Uses 4-bit windowed square-and-multiply for exponents of at least
+    /// 16 bits, plain binary below that. `exp = 0` yields the form of `1`.
+    pub fn mont_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let bits = exp.bit_len();
+        if bits == 0 {
+            return self.one.clone();
+        }
+        if bits < POW_WINDOW_THRESHOLD_BITS {
+            // Left-to-right binary: the table would cost more than the chain.
+            let mut acc = base.clone();
+            for i in (0..bits - 1).rev() {
+                acc = self.mont_sqr(&acc);
+                if exp.bit(i) {
+                    acc = self.mont_mul(&acc, base);
+                }
+            }
+            return acc;
+        }
+        let w = POW_WINDOW_BITS;
+        // table[d - 1] = base^d (in form) for digits d ∈ [1, 2^w).
+        let mut table = Vec::with_capacity((1 << w) - 1);
+        table.push(base.clone());
+        for _ in 1..(1 << w) - 1 {
+            let next = self.mont_mul(table.last().unwrap(), base);
+            table.push(next);
+        }
+        let windows = bits.div_ceil(w);
+        // The top window of a nonzero exponent is nonzero.
+        let top = window_digit(exp, windows - 1, w);
+        let mut acc = table[top - 1].clone();
+        for i in (0..windows - 1).rev() {
+            for _ in 0..w {
+                acc = self.mont_sqr(&acc);
+            }
+            let d = window_digit(exp, i, w);
+            if d != 0 {
+                acc = self.mont_mul(&acc, &table[d - 1]);
+            }
+        }
+        acc
+    }
+
+    /// The drop-in exponentiation: `base^exp mod n` on ordinary residues,
+    /// converting in and out of form around a [`MontgomeryCtx::mont_pow`]
+    /// chain. Bit-identical to [`BigUint::modpow_naive`].
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        self.from_mont(&self.mont_pow(&self.to_mont(base), exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn rejects_even_and_zero_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&n(2)).is_none());
+        assert!(MontgomeryCtx::new(&n(1_000_000)).is_none());
+        assert!(MontgomeryCtx::new(&n(1)).is_some());
+        assert!(MontgomeryCtx::new(&n(3)).is_some());
+    }
+
+    #[test]
+    fn roundtrip_through_form() {
+        let m = n(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for v in [0u64, 1, 2, 12345, 999_999_999, 1_000_000_006] {
+            let x = n(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x, "v = {v}");
+        }
+        // Values ≥ n reduce on the way in.
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&n(u64::MAX))), &n(u64::MAX) % &m);
+    }
+
+    #[test]
+    fn mont_mul_matches_modmul() {
+        let m = n(0xFFFF_FFFF_FFFF_FFC5); // largest 64-bit prime
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for (a, b) in [(3u64, 5u64), (u64::MAX - 1, u64::MAX - 2), (1, 0)] {
+            let (a, b) = (&n(a) % &m, &n(b) % &m);
+            let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, a.modmul(&b, &m));
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive_multi_limb() {
+        let m = &(BigUint::one() << 256usize) - &n(189); // odd
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = &(BigUint::one() << 200usize) + &n(12345);
+        for shift in [0usize, 1, 63, 64, 127, 128, 255] {
+            let exp = &(BigUint::one() << shift) + &n(7);
+            assert_eq!(
+                ctx.pow(&base, &exp),
+                base.modpow_naive(&exp, &m),
+                "shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow_degenerate_operands() {
+        let m = n(97);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.pow(&n(5), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&BigUint::zero(), &n(5)), BigUint::zero());
+        assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&n(97), &n(3)), BigUint::zero()); // base ≡ 0
+    }
+
+    #[test]
+    fn modulus_one_collapses_to_zero() {
+        let ctx = MontgomeryCtx::new(&BigUint::one()).unwrap();
+        assert_eq!(ctx.pow(&n(5), &n(3)), BigUint::zero());
+        assert_eq!(ctx.pow(&n(5), &BigUint::zero()), BigUint::zero());
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&n(42))), BigUint::zero());
+    }
+
+    #[test]
+    fn fermat_little_in_form() {
+        let p = n(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let p1 = &p - &BigUint::one();
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(ctx.pow(&n(a), &p1), BigUint::one());
+            // And without leaving form: mont_pow(ã, p−1) is the form of 1.
+            let a_m = ctx.to_mont(&n(a));
+            assert_eq!(ctx.mont_pow(&a_m, &p1), *ctx.one());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be reduced")]
+    fn unreduced_operand_panics() {
+        let ctx = MontgomeryCtx::new(&n(97)).unwrap();
+        ctx.mont_mul(&n(97), &n(1));
+    }
+
+    #[test]
+    fn window_and_binary_pow_agree_at_threshold() {
+        // Exponents straddling POW_WINDOW_THRESHOLD_BITS take different
+        // internal paths; both must match the naive reference.
+        let m = n(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = n(123_456_789);
+        for bits in [14usize, 15, 16, 17] {
+            let exp = &(BigUint::one() << bits) - &BigUint::one();
+            assert_eq!(
+                ctx.pow(&base, &exp),
+                base.modpow_naive(&exp, &m),
+                "bits {bits}"
+            );
+        }
+    }
+}

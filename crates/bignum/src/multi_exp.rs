@@ -1,0 +1,198 @@
+//! Straus/Shamir simultaneous multi-exponentiation.
+//!
+//! Computing `∏ bᵢ^eᵢ mod m` by exponentiating each base separately and
+//! multiplying the results repeats the squaring chain once per base — the
+//! dominant cost for large exponents. The Straus trick (often called
+//! Shamir's when there are two bases) runs **one** shared squaring chain
+//! over the longest exponent and folds in a per-base window-table lookup
+//! whenever that base's current digit is nonzero: `p` bases of `k`-bit
+//! exponents cost ~`k` squarings plus `p·⌈k/w⌉` multiplications instead of
+//! `p·k` squarings.
+//!
+//! This is the shape of Paillier's encryption core `g^m · r^n mod n²` and
+//! of folding plaintext-weighted ciphertexts (`∏ cᵢ^{kᵢ}`) in a single
+//! pass — see `EncryptedSum::weighted_product` in `dpe-paillier`.
+//!
+//! For odd moduli the chain runs in Montgomery form (division-free, via
+//! [`MontgomeryCtx`]); even moduli use schoolbook [`BigUint::modmul`].
+//! Either way the result is bit-identical to the fold of
+//! [`BigUint::modpow_naive`] products it replaces.
+
+use crate::fixed_base::window_digit;
+use crate::montgomery::MontgomeryCtx;
+use crate::BigUint;
+
+/// Window width (bits) for the per-base digit tables. At 2–4 bases and
+/// crypto-sized exponents, 4 bits beats wider windows: each extra window
+/// bit doubles the `p · (2^w − 1)`-entry table cost but only trims the
+/// per-base multiplication count by `1/w`.
+const WINDOW_BITS: usize = 4;
+
+/// `∏ baseᵢ^expᵢ mod m` via Straus interleaving: one shared squaring
+/// chain, one windowed table per base.
+///
+/// An empty `pairs` slice yields `1 mod m`. Bit-identical to computing
+/// each `modpow` separately and multiplying the results.
+///
+/// ```
+/// use dpe_bignum::{multi_modpow, BigUint};
+///
+/// let m = BigUint::from(1_000_000_007u64);
+/// let pairs = [
+///     (BigUint::from(3u64), BigUint::from(1_234_567u64)),
+///     (BigUint::from(5u64), BigUint::from(7_654_321u64)),
+/// ];
+/// let naive = pairs
+///     .iter()
+///     .fold(BigUint::one(), |acc, (b, e)| {
+///         acc.modmul(&b.modpow_naive(e, &m), &m)
+///     });
+/// assert_eq!(multi_modpow(&pairs, &m), naive);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `m` is zero.
+pub fn multi_modpow(pairs: &[(BigUint, BigUint)], m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "multi_modpow modulus must be nonzero");
+    match MontgomeryCtx::new(m) {
+        Some(ctx) => multi_modpow_ctx(pairs, &ctx),
+        None => {
+            if m.is_one() {
+                return BigUint::zero();
+            }
+            straus(pairs, &BigUint::one(), |x| x % m, |a, b| a.modmul(b, m))
+        }
+    }
+}
+
+/// [`multi_modpow`] against a prebuilt [`MontgomeryCtx`] — callers holding
+/// a long-lived modulus (a Paillier `n²`) skip the per-call context setup.
+pub fn multi_modpow_ctx(pairs: &[(BigUint, BigUint)], ctx: &MontgomeryCtx) -> BigUint {
+    if ctx.modulus().is_one() {
+        return BigUint::zero();
+    }
+    let one = ctx.one().clone();
+    let result = straus(pairs, &one, |x| ctx.to_mont(x), |a, b| ctx.mont_mul(a, b));
+    ctx.from_mont(&result)
+}
+
+/// The interleaved chain, parameterized over the group representation:
+/// `one` is the neutral element, `lift` takes an ordinary residue into it,
+/// `mul` is the group operation. With the Montgomery representation every
+/// `mul` is a division-free REDC step.
+fn straus(
+    pairs: &[(BigUint, BigUint)],
+    one: &BigUint,
+    lift: impl Fn(&BigUint) -> BigUint,
+    mul: impl Fn(&BigUint, &BigUint) -> BigUint,
+) -> BigUint {
+    // Per-base tables: tables[i][d - 1] = baseᵢ^d for d ∈ [1, 2^w).
+    let tables: Vec<Vec<BigUint>> = pairs
+        .iter()
+        .map(|(base, _)| {
+            let base = lift(base);
+            let mut row = Vec::with_capacity((1 << WINDOW_BITS) - 1);
+            row.push(base.clone());
+            for _ in 1..(1 << WINDOW_BITS) - 1 {
+                let next = mul(row.last().unwrap(), &base);
+                row.push(next);
+            }
+            row
+        })
+        .collect();
+    let max_bits = pairs.iter().map(|(_, e)| e.bit_len()).max().unwrap_or(0);
+    let windows = max_bits.div_ceil(WINDOW_BITS);
+    let mut acc = one.clone();
+    for i in (0..windows).rev() {
+        if acc != *one {
+            for _ in 0..WINDOW_BITS {
+                acc = mul(&acc, &acc);
+            }
+        }
+        for (t, (_, exp)) in tables.iter().zip(pairs) {
+            let d = window_digit(exp, i, WINDOW_BITS);
+            if d != 0 {
+                acc = mul(&acc, &t[d - 1]);
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    fn naive(pairs: &[(BigUint, BigUint)], m: &BigUint) -> BigUint {
+        pairs.iter().fold(&BigUint::one() % m, |acc, (b, e)| {
+            acc.modmul(&b.modpow_naive(e, m), m)
+        })
+    }
+
+    #[test]
+    fn empty_product_is_one() {
+        assert_eq!(multi_modpow(&[], &n(97)), BigUint::one());
+        assert_eq!(multi_modpow(&[], &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn single_pair_matches_modpow() {
+        let m = n(1_000_000_007);
+        let pairs = [(n(3), n(987_654_321))];
+        assert_eq!(multi_modpow(&pairs, &m), naive(&pairs, &m));
+    }
+
+    #[test]
+    fn shamir_two_bases() {
+        let m = &(BigUint::one() << 256usize) - &n(189); // odd
+        let pairs = [
+            (
+                &(BigUint::one() << 130usize) + &n(7),
+                &(BigUint::one() << 200usize) + &n(3),
+            ),
+            (
+                &(BigUint::one() << 99usize) + &n(11),
+                &(BigUint::one() << 150usize) + &n(5),
+            ),
+        ];
+        assert_eq!(multi_modpow(&pairs, &m), naive(&pairs, &m));
+    }
+
+    #[test]
+    fn four_bases_mixed_exponent_widths() {
+        let m = n(0xFFFF_FFFF_FFFF_FFC5);
+        let pairs = [
+            (n(2), n(0)),
+            (n(3), n(1)),
+            (n(5), n(u64::MAX)),
+            (n(7), n(255)),
+        ];
+        assert_eq!(multi_modpow(&pairs, &m), naive(&pairs, &m));
+    }
+
+    #[test]
+    fn even_modulus_path() {
+        let m = n(1_000_000_006);
+        let pairs = [(n(3), n(987_654_321)), (n(5), n(123_456_789))];
+        assert_eq!(multi_modpow(&pairs, &m), naive(&pairs, &m));
+    }
+
+    #[test]
+    fn zero_base_and_modulus_one() {
+        let m = n(97);
+        let pairs = [(BigUint::zero(), n(5)), (n(3), n(7))];
+        assert_eq!(multi_modpow(&pairs, &m), BigUint::zero());
+        assert_eq!(multi_modpow(&pairs, &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "multi_modpow modulus must be nonzero")]
+    fn zero_modulus_asserts() {
+        multi_modpow(&[(n(2), n(3))], &BigUint::zero());
+    }
+}

@@ -5,9 +5,13 @@
 //! random bases. For inputs below 2^64 the fixed witness set
 //! `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` makes the test
 //! deterministic (Sorenson & Webster, 2015).
+//!
+//! Candidates surviving trial division are odd, so all Miller–Rabin rounds
+//! for one candidate share a single [`MontgomeryCtx`] and run their
+//! exponentiation and squaring chains division-free in REDC form.
 
 use crate::random::uniform_below;
-use crate::BigUint;
+use crate::{BigUint, MontgomeryCtx};
 use rand::RngCore;
 
 /// Small primes used for trial-division screening.
@@ -47,38 +51,47 @@ pub fn is_prime<R: RngCore>(n: &BigUint, rng: &mut R) -> bool {
     let s = trailing_zeros(&n_minus_1);
     let d = &n_minus_1 >> s;
 
+    // Past the trial-division filter n is odd, so every round can share
+    // one Montgomery context: the whole witness chain — exponentiation and
+    // repeated squaring — runs division-free in REDC form. Montgomery form
+    // is a bijection on [0, n), so comparing against the form-values of 1
+    // and n−1 is equivalent to comparing ordinary residues.
+    let ctx = MontgomeryCtx::new(n).expect("candidate is odd after trial division");
+    let minus_one_m = ctx.to_mont(&n_minus_1);
+
     if n.bit_len() <= 64 {
         DET_WITNESSES
             .iter()
-            .all(|&a| miller_rabin_round(n, &n_minus_1, &d, s, &BigUint::from(a)))
+            .all(|&a| miller_rabin_round(&ctx, &minus_one_m, &d, s, &BigUint::from(a)))
     } else {
         let hi = n - &BigUint::two(); // witnesses in [2, n-2]
         (0..MR_ROUNDS).all(|_| {
             let a = &uniform_below(&(&hi - &BigUint::one()), rng) + &BigUint::two();
-            miller_rabin_round(n, &n_minus_1, &d, s, &a)
+            miller_rabin_round(&ctx, &minus_one_m, &d, s, &a)
         })
     }
 }
 
-/// One Miller–Rabin round: returns `true` when `a` is *not* a witness of
-/// compositeness (i.e. `n` is still possibly prime).
+/// One Miller–Rabin round, entirely in Montgomery form: returns `true`
+/// when `a` is *not* a witness of compositeness (i.e. `n` is still
+/// possibly prime). `minus_one_m` is the form-value of `n − 1`.
 fn miller_rabin_round(
-    n: &BigUint,
-    n_minus_1: &BigUint,
+    ctx: &MontgomeryCtx,
+    minus_one_m: &BigUint,
     d: &BigUint,
     s: usize,
     a: &BigUint,
 ) -> bool {
-    let mut x = a.modpow(d, n);
-    if x.is_one() || &x == n_minus_1 {
+    let mut x = ctx.mont_pow(&ctx.to_mont(a), d);
+    if &x == ctx.one() || &x == minus_one_m {
         return true;
     }
     for _ in 1..s {
-        x = x.modmul(&x, n);
-        if &x == n_minus_1 {
+        x = ctx.mont_sqr(&x);
+        if &x == minus_one_m {
             return true;
         }
-        if x.is_one() {
+        if &x == ctx.one() {
             return false; // non-trivial square root of 1
         }
     }

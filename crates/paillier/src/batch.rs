@@ -19,6 +19,13 @@
 //!   deal plaintext chunks across scoped worker threads, overlapping the
 //!   production of the next chunk with the encryption of the current one.
 //!
+//! Underneath both sampling modes sits the bignum Montgomery layer:
+//! exact-mode refills run `r^n mod n²` through the key's cached
+//! [`dpe_bignum::MontgomeryCtx`] (via [`PublicKey::precompute_randomness`]),
+//! and the fixed-base table stores its rows in Montgomery form, so every
+//! per-factor multiplication is a division-free REDC step. Neither changes
+//! a single output bit — the equivalence proptests below hold unchanged.
+//!
 //! In **exact** mode ([`BatchEncryptor::new`]) every API here consumes
 //! randomness in the same order as sequential [`PublicKey::encrypt`]
 //! calls, so batched output is bit-for-bit identical to the one-at-a-time

@@ -3,8 +3,23 @@
 
 use crate::keys::PublicKey;
 use crate::scheme::{Ciphertext, PaillierError};
-use dpe_bignum::BigUint;
+use dpe_bignum::{multi_modpow_ctx, BigUint};
 use rand::RngCore;
+
+/// `∏ cᵢ^{kᵢ} mod n²` — the ciphertext encrypting `Σ kᵢ·mᵢ mod n` — in one
+/// Straus multi-exponentiation pass over the key's cached Montgomery
+/// context, instead of one full `modpow` per term.
+///
+/// Bit-identical to folding [`PublicKey::mul_scalar`] products together
+/// with [`PublicKey::add`]; an empty `terms` slice yields the trivial
+/// encryption of zero (ciphertext value `1`).
+pub fn weighted_product(public: &PublicKey, terms: &[(Ciphertext, u64)]) -> Ciphertext {
+    let pairs: Vec<(BigUint, BigUint)> = terms
+        .iter()
+        .map(|(ct, k)| (ct.value().clone(), BigUint::from(*k)))
+        .collect();
+    Ciphertext::new(multi_modpow_ctx(&pairs, public.mont()))
+}
 
 /// A running homomorphic sum over ciphertexts.
 ///
@@ -40,6 +55,17 @@ impl EncryptedSum {
         let scaled = self.public.mul_scalar(ct, k);
         self.acc = self.public.add(&self.acc, &scaled);
         self.count += 1;
+    }
+
+    /// Folds a batch of plaintext-weighted ciphertexts in one Straus
+    /// multi-exponentiation pass: `acc += Σ kᵢ · Dec(ctᵢ)`. Result is
+    /// identical to calling [`EncryptedSum::add_weighted`] per term, at a
+    /// fraction of the squaring work (one shared chain instead of one per
+    /// term).
+    pub fn add_weighted_batch(&mut self, terms: &[(Ciphertext, u64)]) {
+        let product = weighted_product(&self.public, terms);
+        self.acc = self.public.add(&self.acc, &product);
+        self.count += terms.len();
     }
 
     /// Number of folded terms (needed by the client to turn SUM into AVG).
@@ -115,6 +141,50 @@ mod tests {
         sum.add(&kp.public().encrypt_u64(5, &mut rng)); // +5
         assert_eq!(sum.count(), 2);
         assert_eq!(kp.private().decrypt_u64(sum.ciphertext()).unwrap(), 75);
+    }
+
+    #[test]
+    fn weighted_product_matches_scalar_fold() {
+        // The Straus pass must be bit-identical to the mul_scalar/add
+        // fold it replaces — same group elements, not just same plaintext.
+        let (kp, mut rng) = setup();
+        let terms: Vec<(Ciphertext, u64)> = [(3u64, 7u64), (1, 0), (4, 1), (9, u64::MAX >> 32)]
+            .iter()
+            .map(|&(m, k)| (kp.public().encrypt_u64(m, &mut rng), k))
+            .collect();
+        let fast = weighted_product(kp.public(), &terms);
+        let naive = terms
+            .iter()
+            .fold(Ciphertext::new(BigUint::one()), |acc, (ct, k)| {
+                kp.public().add(&acc, &kp.public().mul_scalar(ct, *k))
+            });
+        assert_eq!(fast, naive);
+        // Empty product is the trivial encryption of zero.
+        assert_eq!(
+            weighted_product(kp.public(), &[]),
+            Ciphertext::new(BigUint::one())
+        );
+    }
+
+    #[test]
+    fn add_weighted_batch_matches_per_term() {
+        let (kp, mut rng) = setup();
+        let terms: Vec<(Ciphertext, u64)> = [(10u64, 3u64), (20, 2), (30, 1)]
+            .iter()
+            .map(|&(m, k)| (kp.public().encrypt_u64(m, &mut rng), k))
+            .collect();
+        let mut batched = EncryptedSum::new(kp.public(), &mut StdRng::seed_from_u64(5));
+        batched.add_weighted_batch(&terms);
+        let mut per_term = EncryptedSum::new(kp.public(), &mut StdRng::seed_from_u64(5));
+        for (ct, k) in &terms {
+            per_term.add_weighted(ct, *k);
+        }
+        assert_eq!(batched.count(), per_term.count());
+        assert_eq!(
+            kp.private().decrypt(batched.ciphertext()).unwrap(),
+            kp.private().decrypt(per_term.ciphertext()).unwrap()
+        );
+        assert_eq!(kp.private().decrypt_u64(batched.ciphertext()).unwrap(), 100);
     }
 
     #[test]

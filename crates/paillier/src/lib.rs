@@ -15,8 +15,13 @@
 //! attributes) — `dpe-bench`'s S1 experiment quantifies that difference.
 //!
 //! Key generation uses `p, q` primes of equal bit length with `gcd(pq,
-//! (p−1)(q−1)) = 1`, `g = n + 1`, and the CRT-free decryption
-//! `m = L(c^λ mod n²) · μ mod n` with `L(u) = (u − 1)/n`.
+//! (p−1)(q−1)) = 1` and `g = n + 1`. Decryption takes the CRT fast path
+//! (two half-width exponentiations mod `p²`/`q²`, Garner recombination);
+//! the textbook λ-path `m = L(c^λ mod n²) · μ mod n` with
+//! `L(u) = (u − 1)/n` is kept as [`PrivateKey::decrypt_lambda`], the
+//! pinned reference and bench baseline. Both validate ciphertext
+//! membership in `(ℤ/n²ℤ)*` and all modular exponentiation under a key
+//! runs through its cached Montgomery context (see `dpe_bignum`).
 
 pub mod batch;
 mod hom;
@@ -24,7 +29,7 @@ mod keys;
 mod scheme;
 
 pub use batch::{BatchEncryptor, PoolStats, RandomnessPool};
-pub use hom::{sum_ciphertexts, EncryptedSum};
+pub use hom::{sum_ciphertexts, weighted_product, EncryptedSum};
 pub use keys::{KeyPair, PrivateKey, PublicKey};
 pub use scheme::{Ciphertext, PaillierError, DEFAULT_PRIME_BITS, TEST_PRIME_BITS};
 
@@ -123,6 +128,39 @@ mod proptests {
             });
             prop_assert_eq!(pool.stats().precomputed, total as u64);
             prop_assert_eq!(popped + pool.len(), total);
+        }
+
+        #[test]
+        fn crt_decrypt_matches_lambda(m in 0u64..u64::MAX, seed in 0u64..1000) {
+            // The CRT fast path is pinned bit-identical to the textbook
+            // λ-path on every encryptable plaintext.
+            let kp = test_keys();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ct = kp.public().encrypt_u64(m, &mut rng);
+            let crt = kp.private().decrypt(&ct).unwrap();
+            let lambda = kp.private().decrypt_lambda(&ct).unwrap();
+            prop_assert_eq!(&crt, &lambda);
+            prop_assert_eq!(crt.to_u64(), Some(m));
+        }
+
+        #[test]
+        fn decrypt_paths_agree_on_arbitrary_values(
+            limbs in proptest::collection::vec(any::<u64>(), 0..9),
+        ) {
+            // Adversarial ciphertexts (not produced by encrypt): both
+            // paths must agree on validity, and on the recovered residue
+            // when the value is a genuine group element.
+            let kp = test_keys();
+            let c = &dpe_bignum::BigUint::from_limbs(limbs) % kp.public().n_squared();
+            let ct = Ciphertext::new(c);
+            match (kp.private().decrypt(&ct), kp.private().decrypt_lambda(&ct)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(PaillierError::InvalidCiphertext), Err(PaillierError::InvalidCiphertext)) => {}
+                (crt, lambda) => prop_assert!(
+                    false,
+                    "paths disagree: crt={crt:?} lambda={lambda:?}"
+                ),
+            }
         }
 
         #[test]
