@@ -1,0 +1,224 @@
+//! `analyze.toml` — the policy file — and the TOML subset it needs.
+//!
+//! The parser covers exactly what the policy file uses: `[section]`
+//! headers, `key = "string"`, `key = ["a", "b", …]` (single- or
+//! multi-line), `key = true/false`, `key = <integer>`, and `#` comments.
+//! Anything else is a hard error: a policy file that silently
+//! half-parses would silently weaken the lints it configures.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    List(Vec<String>),
+    Bool(bool),
+    Int(i64),
+}
+
+/// Parsed sections → keys → values.
+#[derive(Debug, Default)]
+pub struct Toml {
+    sections: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+impl Toml {
+    pub fn parse(text: &str) -> Result<Toml, String> {
+        let mut toml = Toml::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((ln, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                toml.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, rest)) = line.split_once('=') else {
+                return Err(format!(
+                    "analyze.toml line {}: expected `key = value`",
+                    ln + 1
+                ));
+            };
+            let key = key.trim().to_string();
+            let mut rest = rest.trim().to_string();
+            // Multi-line array: keep consuming lines until the `]`.
+            if rest.starts_with('[') && !rest.contains(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont);
+                    rest.push(' ');
+                    rest.push_str(cont.trim());
+                    if cont.contains(']') {
+                        break;
+                    }
+                }
+            }
+            let value = parse_value(rest.trim()).ok_or_else(|| {
+                format!(
+                    "analyze.toml line {}: unparseable value for `{key}`",
+                    ln + 1
+                )
+            })?;
+            toml.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, value);
+        }
+        Ok(toml)
+    }
+
+    /// String list at `[section] key`, or an empty list when absent.
+    pub fn list(&self, section: &str, key: &str) -> Vec<String> {
+        match self.sections.get(section).and_then(|s| s.get(key)) {
+            Some(Value::List(v)) => v.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+
+    pub fn str(&self, section: &str, key: &str) -> Option<String> {
+        match self.sections.get(section).and_then(|s| s.get(key)) {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.contains_key(section)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string is content, not a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Option<Value> {
+    if let Some(body) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for item in split_top_level(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            items.push(item.strip_prefix('"')?.strip_suffix('"')?.to_string());
+        }
+        return Some(Value::List(items));
+    }
+    if let Some(s) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Some(Value::Str(s.to_string()));
+    }
+    match text {
+        "true" => return Some(Value::Bool(true)),
+        "false" => return Some(Value::Bool(false)),
+        _ => {}
+    }
+    text.parse::<i64>().ok().map(Value::Int)
+}
+
+/// Splits on commas that are not inside quotes.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// The analyzer's resolved policy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose root files must carry `#![forbid(unsafe_code)]`.
+    pub forbid_unsafe_crates: Vec<String>,
+    /// Crates the secret-flow pass scans.
+    pub secret_crates: Vec<String>,
+    /// Functions whose inputs are secret (`Type::method` or bare names,
+    /// matched as suffixes of the qualified name).
+    pub secret_roots: Vec<String>,
+    /// Call names the reachability walk ignores (ubiquitous std-ish names
+    /// that would otherwise glue unrelated functions together).
+    pub secret_ignore_calls: Vec<String>,
+    /// Crates the lock-order pass scans.
+    pub lock_crates: Vec<String>,
+    /// Crates where bare `.unwrap()` is banned in non-test code.
+    pub no_unwrap_crates: Vec<String>,
+}
+
+impl Config {
+    pub fn from_toml(text: &str) -> Result<Config, String> {
+        let toml = Toml::parse(text)?;
+        for required in ["forbid_unsafe", "secret_flow", "locks", "no_unwrap"] {
+            if !toml.has_section(required) {
+                return Err(format!(
+                    "analyze.toml: missing required [{required}] section"
+                ));
+            }
+        }
+        Ok(Config {
+            forbid_unsafe_crates: toml.list("forbid_unsafe", "crates"),
+            secret_crates: toml.list("secret_flow", "crates"),
+            secret_roots: toml.list("secret_flow", "roots"),
+            secret_ignore_calls: toml.list("secret_flow", "ignore_calls"),
+            lock_crates: toml.list("locks", "crates"),
+            no_unwrap_crates: toml.list("no_unwrap", "crates"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_strings_and_multiline_lists() {
+        let toml = Toml::parse(
+            "# header\n[a]\nx = \"one\"\nys = [\n  \"p\", # inline comment\n  \"q\",\n]\n[b.c]\nflag = true\nn = 7\n",
+        )
+        .unwrap();
+        assert_eq!(toml.str("a", "x").as_deref(), Some("one"));
+        assert_eq!(toml.list("a", "ys"), vec!["p", "q"]);
+        assert!(toml.has_section("b.c"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let toml = Toml::parse("[s]\nk = \"a#b\"\n").unwrap();
+        assert_eq!(toml.str("s", "k").as_deref(), Some("a#b"));
+    }
+
+    #[test]
+    fn garbage_is_a_hard_error() {
+        assert!(Toml::parse("[s]\nnot a kv pair\n").is_err());
+        assert!(Toml::parse("[s]\nk = @nope\n").is_err());
+    }
+
+    #[test]
+    fn config_requires_all_policy_sections() {
+        let err = Config::from_toml("[forbid_unsafe]\ncrates = []\n").unwrap_err();
+        assert!(err.contains("secret_flow"), "{err}");
+    }
+}

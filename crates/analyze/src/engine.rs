@@ -1,0 +1,398 @@
+//! The driver: waiver bookkeeping, the small per-crate hygiene passes,
+//! workspace source discovery, and the top-level [`analyze`] entry point
+//! that fans out to the secret-flow and lock-order passes and returns
+//! one deterministic, sorted findings list.
+
+use crate::config::Config;
+use crate::findings::{finding_key, Finding};
+use crate::model::{scan_file, FileModel, Waiver};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Tracks every inline waiver in the workspace, answers "is this finding
+/// waived?", and remembers which waivers were never consulted so they can
+/// be reported as dead weight.
+///
+/// A waiver covers a finding when it sits **on the flagged line** (a
+/// trailing comment) or **directly above it**, where "directly" allows
+/// intervening lines only if they carry no tokens (blank lines and other
+/// comment-only lines — so waiver stacks work).
+pub struct WaiverIndex {
+    files: BTreeMap<String, FileWaivers>,
+}
+
+struct FileWaivers {
+    waivers: Vec<WaiverState>,
+    waiver_lines: BTreeSet<u32>,
+    token_lines: BTreeSet<u32>,
+}
+
+struct WaiverState {
+    waiver: Waiver,
+    used: bool,
+}
+
+impl WaiverIndex {
+    pub fn new(files: &[FileModel]) -> WaiverIndex {
+        let mut map = BTreeMap::new();
+        for f in files {
+            map.insert(
+                f.path.clone(),
+                FileWaivers {
+                    waivers: f
+                        .waivers
+                        .iter()
+                        .map(|w| WaiverState {
+                            waiver: w.clone(),
+                            used: false,
+                        })
+                        .collect(),
+                    waiver_lines: f.waivers.iter().map(|w| w.line).collect(),
+                    token_lines: f.token_lines.clone(),
+                },
+            );
+        }
+        WaiverIndex { files: map }
+    }
+
+    /// True when a matching waiver covers `line`; marks that waiver used.
+    pub fn is_waived(&mut self, file: &str, rule: &str, line: u32) -> bool {
+        let Some(fw) = self.files.get_mut(file) else {
+            return false;
+        };
+        for w in fw.waivers.iter_mut() {
+            if w.waiver.rule != rule {
+                continue;
+            }
+            let covers = w.waiver.line == line
+                || (w.waiver.line < line
+                    && !fw
+                        .token_lines
+                        .range(w.waiver.line + 1..line)
+                        .any(|l| !fw.waiver_lines.contains(l)));
+            if covers {
+                w.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Waivers that never suppressed anything: (file, waiver).
+    pub fn unused(&self) -> Vec<(String, Waiver)> {
+        let mut out = Vec::new();
+        for (path, fw) in &self.files {
+            for w in &fw.waivers {
+                if !w.used {
+                    out.push((path.clone(), w.waiver.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs every pass over pre-scanned files and returns findings sorted by
+/// (file, line, rule, key). This is the pure core: tests inject synthetic
+/// [`FileModel`]s here, the CLI feeds it the real workspace.
+pub fn analyze(files: &[FileModel], config: &Config) -> Vec<Finding> {
+    let mut waivers = WaiverIndex::new(files);
+    let mut findings = Vec::new();
+
+    findings.extend(crate::secret::run(files, config, &mut waivers));
+    findings.extend(crate::locks::run(files, config, &mut waivers));
+    findings.extend(forbid_unsafe_pass(files, config, &mut waivers));
+    findings.extend(no_unwrap_pass(files, config, &mut waivers));
+
+    // Waiver hygiene, after every rule pass has had its chance to consume
+    // waivers: malformed waivers are always findings; so are unused ones
+    // (a waiver that suppresses nothing is a stale claim about the code).
+    for f in files {
+        for (i, bad) in f.bad_waivers.iter().enumerate() {
+            findings.push(Finding {
+                key: finding_key("malformed-waiver", &f.path, "-", "malformed", i),
+                rule: "malformed-waiver".into(),
+                file: f.path.clone(),
+                line: bad.line,
+                function: "-".into(),
+                message: bad.message.clone(),
+            });
+        }
+    }
+    let mut unused_idx: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (path, w) in waivers.unused() {
+        let idx = unused_idx
+            .entry((path.clone(), w.rule.clone()))
+            .or_insert(0);
+        findings.push(Finding {
+            key: finding_key("unused-waiver", &path, "-", &w.rule, *idx),
+            rule: "unused-waiver".into(),
+            file: path,
+            line: w.line,
+            function: "-".into(),
+            message: format!(
+                "waiver for `{}` suppresses nothing — remove it or fix the rule name",
+                w.rule
+            ),
+        });
+        *idx += 1;
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.key).cmp(&(&b.file, b.line, &b.rule, &b.key))
+    });
+    findings
+}
+
+/// Every configured crate root must carry `#![forbid(unsafe_code)]`.
+fn forbid_unsafe_pass(
+    files: &[FileModel],
+    config: &Config,
+    waivers: &mut WaiverIndex,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for crate_name in &config.forbid_unsafe_crates {
+        let root = files
+            .iter()
+            .find(|f| &f.crate_name == crate_name && is_crate_root(&f.path));
+        let (finding_file, ok, line) = match root {
+            Some(f) => (f.path.clone(), f.has_forbid_unsafe, 1),
+            None => (format!("crates/{crate_name}/src/lib.rs"), false, 1),
+        };
+        if ok || waivers.is_waived(&finding_file, "missing-forbid-unsafe", line) {
+            continue;
+        }
+        let message = match root {
+            Some(_) => format!(
+                "crate `{crate_name}` root lacks `#![forbid(unsafe_code)]` — required by analyze.toml [forbid_unsafe]"
+            ),
+            None => format!(
+                "analyze.toml lists crate `{crate_name}` under [forbid_unsafe] but no crate root was found"
+            ),
+        };
+        findings.push(Finding {
+            key: finding_key("missing-forbid-unsafe", &finding_file, "-", crate_name, 0),
+            rule: "missing-forbid-unsafe".into(),
+            file: finding_file,
+            line,
+            function: "-".into(),
+            message,
+        });
+    }
+    findings
+}
+
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || path.ends_with("/src/lib.rs")
+}
+
+/// Bare `.unwrap()` is banned in non-test code of the configured crates;
+/// `.expect("actionable message")` or a typed error is required instead.
+fn no_unwrap_pass(files: &[FileModel], config: &Config, waivers: &mut WaiverIndex) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !config
+            .no_unwrap_crates
+            .iter()
+            .any(|c| c == &file.crate_name)
+        {
+            continue;
+        }
+        for f in file.functions.iter().filter(|f| !f.in_test) {
+            let mut idx = 0usize;
+            for w in f.body.windows(3) {
+                if w[0].token.text == "." && w[1].token.text == "unwrap" && w[2].token.text == "(" {
+                    let line = w[1].token.line;
+                    let key = finding_key("bare-unwrap", &f.file, &f.qualified, "unwrap", idx);
+                    idx += 1;
+                    if waivers.is_waived(&f.file, "bare-unwrap", line) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        key,
+                        rule: "bare-unwrap".into(),
+                        file: f.file.clone(),
+                        line,
+                        function: f.qualified.clone(),
+                        message: format!(
+                            "bare `.unwrap()` in `{}`: use `.expect(\"actionable message\")` or a typed error",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// One workspace source file: crate name + repo-relative path + contents.
+pub struct SourceFile {
+    pub crate_name: String,
+    pub rel_path: String,
+    pub abs_path: PathBuf,
+}
+
+/// Finds every first-party Rust source in the workspace: the facade crate
+/// at `src/`, and each `crates/<name>/src/` tree. `vendor/` shims,
+/// `target/`, and crate-external `tests/`/`benches/` directories are out
+/// of scope. Deterministic (sorted) order.
+pub fn discover_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, "dpe", root, &mut out)?;
+    }
+    let crates = root.join("crates");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates)
+        .map_err(|e| format!("{}: {e}", crates.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("unreadable crate dir under {}", crates.display()))?
+            .to_string();
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &name, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn collect_rs(
+    dir: &Path,
+    crate_name: &str,
+    root: &Path,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, crate_name, root, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the workspace root", path.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                crate_name: crate_name.to_string(),
+                rel_path: rel,
+                abs_path: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Reads and scans the whole workspace, then runs [`analyze`].
+pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    let sources = discover_sources(root)?;
+    let mut files = Vec::with_capacity(sources.len());
+    for s in &sources {
+        let text = std::fs::read_to_string(&s.abs_path)
+            .map_err(|e| format!("{}: {e}", s.abs_path.display()))?;
+        files.push(scan_file(&s.crate_name, &s.rel_path, &text));
+    }
+    Ok(analyze(&files, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> Config {
+        Config {
+            forbid_unsafe_crates: vec!["c".into()],
+            secret_crates: vec!["c".into()],
+            secret_roots: vec!["decrypt".into()],
+            secret_ignore_calls: vec![],
+            lock_crates: vec!["c".into()],
+            no_unwrap_crates: vec!["c".into()],
+        }
+    }
+
+    fn scan(src: &str) -> Vec<FileModel> {
+        vec![scan_file("c", "src/lib.rs", src)]
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_flagged_and_presence_clears_it() {
+        let with = analyze(
+            &scan("#![forbid(unsafe_code)]\nfn decrypt() {}\n"),
+            &config(),
+        );
+        assert!(
+            with.iter().all(|f| f.rule != "missing-forbid-unsafe"),
+            "{with:?}"
+        );
+        let without = analyze(&scan("fn decrypt() {}\n"), &config());
+        assert!(without.iter().any(|f| f.rule == "missing-forbid-unsafe"));
+    }
+
+    #[test]
+    fn configured_crate_without_sources_is_flagged() {
+        let f = analyze(&[], &config());
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "missing-forbid-unsafe" && f.message.contains("no crate root")));
+    }
+
+    #[test]
+    fn bare_unwrap_flagged_outside_tests_only() {
+        let src = "#![forbid(unsafe_code)]\nfn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g(x: Option<u8>) { x.unwrap(); } }\nfn decrypt() {}\n";
+        let f = analyze(&scan(src), &config());
+        let unwraps: Vec<&Finding> = f.iter().filter(|f| f.rule == "bare-unwrap").collect();
+        assert_eq!(unwraps.len(), 1, "{f:?}");
+        assert!(unwraps[0].function.contains("f"));
+    }
+
+    #[test]
+    fn waived_unwrap_is_suppressed_and_waiver_counts_as_used() {
+        let src = "#![forbid(unsafe_code)]\nfn f(x: Option<u8>) {\n    // dpe-analyze: allow(bare-unwrap, reason = \"infallible: length checked above\")\n    x.unwrap();\n}\nfn decrypt() {}\n";
+        let f = analyze(&scan(src), &config());
+        assert!(f.iter().all(|f| f.rule != "bare-unwrap"), "{f:?}");
+        assert!(f.iter().all(|f| f.rule != "unused-waiver"), "{f:?}");
+    }
+
+    #[test]
+    fn unused_and_malformed_waivers_are_findings() {
+        let src = "#![forbid(unsafe_code)]\n// dpe-analyze: allow(secret-branch, reason = \"nothing here\")\nfn quiet() {}\n// dpe-analyze: allow(secret-branch)\nfn also_quiet() {}\nfn decrypt() {}\n";
+        let f = analyze(&scan(src), &config());
+        assert!(f.iter().any(|f| f.rule == "unused-waiver"), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "malformed-waiver"), "{f:?}");
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\nfn decrypt(k: &K) { if k.bit(0) {} }\n";
+        let a = analyze(&scan(src), &config());
+        let b = analyze(&scan(src), &config());
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_by(|x, y| {
+            (&x.file, x.line, &x.rule, &x.key).cmp(&(&y.file, y.line, &y.rule, &y.key))
+        });
+        assert_eq!(a, sorted);
+    }
+
+    #[test]
+    fn waiver_must_sit_adjacent_to_the_finding() {
+        // A waiver separated from the flagged line by a token-bearing line
+        // does not apply.
+        let src = "fn decrypt(k: &K) {\n    // dpe-analyze: allow(secret-branch, reason = \"too far away\")\n    let x = 1;\n    if k.bit(0) {}\n}\n";
+        let f = analyze(&scan(src), &config());
+        assert!(f.iter().any(|f| f.rule == "secret-branch"), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "unused-waiver"), "{f:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Findings, their machine-readable JSON form, and the baseline ratchet.
+//!
+//! A finding's **key** is what the ratchet compares, so it must be stable
+//! under unrelated edits: it is built from the rule, the file, the
+//! function's qualified name, the offending token text, and the
+//! occurrence index *within that function* — never from line numbers
+//! (which churn) or absolute token positions.
+//!
+//! Ratchet semantics ([`ratchet`]):
+//! * a current finding whose key is not in the baseline is **new** →
+//!   CI fails (fix it, waive it with a justified inline waiver, or — for
+//!   pre-existing debt being intentionally accepted — re-bless);
+//! * a baseline key with no current finding is **stale** → CI fails too,
+//!   with instructions to re-bless: the baseline may only shrink, and a
+//!   fixed finding must be locked out of coming back.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One finding.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive is field-wise over strings and integers.
+#[allow(clippy::disallowed_methods)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Stable ratchet key (sorted-by for deterministic output).
+    pub key: String,
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub function: String,
+    pub message: String,
+}
+
+/// Builds the stable key for a finding. `detail` is the offending token
+/// or lock-pair text; `index` disambiguates repeated occurrences of the
+/// same detail within one function.
+pub fn finding_key(rule: &str, file: &str, function: &str, detail: &str, index: usize) -> String {
+    format!("{rule}|{file}|{function}|{detail}|{index}")
+}
+
+/// JSON schema tag for both the findings report and the baseline.
+pub const SCHEMA: &str = "dpe-analyze/v1";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the full findings report (the CI artifact).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"count\": {},", findings.len());
+    let _ = writeln!(out, "  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"function\": \"{}\", \"message\": \"{}\", \"key\": \"{}\"}}{comma}",
+            json_escape(&f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.function),
+            json_escape(&f.message),
+            json_escape(&f.key),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+/// Serializes a baseline: the sorted set of accepted finding keys.
+pub fn baseline_to_json(keys: &BTreeSet<String>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"count\": {},", keys.len());
+    let _ = writeln!(out, "  \"keys\": [");
+    for (i, k) in keys.iter().enumerate() {
+        let comma = if i + 1 < keys.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\"{comma}", json_escape(k));
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+/// Parses a baseline file written by [`baseline_to_json`]. Key-order and
+/// whitespace insensitive; an unknown schema tag is an explicit error.
+pub fn baseline_from_json(text: &str) -> Result<BTreeSet<String>, String> {
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\""))
+        && !text.contains(&format!("\"schema\":\"{SCHEMA}\""))
+    {
+        return Err(format!(
+            "baseline: missing or unknown schema tag (expected \"{SCHEMA}\")"
+        ));
+    }
+    let at = text
+        .find("\"keys\"")
+        .ok_or_else(|| "baseline: no \"keys\" array".to_string())?;
+    let rest = &text[at..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| "baseline: malformed keys array".to_string())?;
+    let close = rest
+        .rfind(']')
+        .ok_or_else(|| "baseline: malformed keys array".to_string())?;
+    let body = &rest[open + 1..close];
+    let mut keys = BTreeSet::new();
+    // Keys are written by us and contain no quotes; parse quoted strings,
+    // honouring the escapes json_escape can produce.
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        let mut s = String::new();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => break,
+                '\\' => match chars.next() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(e) => s.push(e),
+                    None => break,
+                },
+                c => s.push(c),
+            }
+        }
+        keys.insert(s);
+    }
+    Ok(keys)
+}
+
+/// The result of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Findings not in the baseline — regressions; CI fails.
+    pub new: Vec<Finding>,
+    /// Baseline keys with no matching finding — fixed debt whose baseline
+    /// entry must now be removed (re-bless); CI fails until it shrinks.
+    pub stale: Vec<String>,
+}
+
+impl Ratchet {
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares `findings` to `baseline` keys.
+pub fn ratchet(findings: &[Finding], baseline: &BTreeSet<String>) -> Ratchet {
+    let current: BTreeSet<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+    Ratchet {
+        new: findings
+            .iter()
+            .filter(|f| !baseline.contains(&f.key))
+            .cloned()
+            .collect(),
+        stale: baseline
+            .iter()
+            .filter(|k| !current.contains(k.as_str()))
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, detail: &str, index: usize) -> Finding {
+        Finding {
+            key: finding_key(rule, "src/a.rs", "c::f", detail, index),
+            rule: rule.into(),
+            file: "src/a.rs".into(),
+            line: 3,
+            function: "c::f".into(),
+            message: format!("msg {detail}"),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let keys: BTreeSet<String> = [
+            "a|b|c|%|0".to_string(),
+            "x|y|z|if|2".to_string(),
+            "q|w \\ \"e\"|r|/|1".to_string(),
+        ]
+        .into();
+        let parsed = baseline_from_json(&baseline_to_json(&keys)).unwrap();
+        assert_eq!(parsed, keys);
+    }
+
+    #[test]
+    fn unknown_schema_rejected() {
+        assert!(baseline_from_json("{\"schema\": \"dpe-analyze/v9\", \"keys\": []}").is_err());
+    }
+
+    #[test]
+    fn ratchet_flags_new_and_stale() {
+        let findings = vec![f("r1", "%", 0), f("r2", "if", 0)];
+        let baseline: BTreeSet<String> = [
+            findings[0].key.clone(),
+            finding_key("gone", "src/a.rs", "c::g", "/", 0),
+        ]
+        .into();
+        let r = ratchet(&findings, &baseline);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].rule, "r2");
+        assert_eq!(
+            r.stale,
+            vec![finding_key("gone", "src/a.rs", "c::g", "/", 0)]
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn clean_ratchet_when_sets_match() {
+        let findings = vec![f("r1", "%", 0)];
+        let baseline: BTreeSet<String> = [findings[0].key.clone()].into();
+        assert!(ratchet(&findings, &baseline).is_clean());
+    }
+
+    #[test]
+    fn findings_json_contains_every_field() {
+        let json = findings_to_json(&[f("secret-division", "%", 0)]);
+        for needle in [
+            "\"schema\"",
+            "secret-division",
+            "src/a.rs",
+            "\"line\": 3",
+            "c::f",
+            "msg %",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

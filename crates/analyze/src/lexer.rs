@@ -1,0 +1,438 @@
+//! A small but honest Rust lexer.
+//!
+//! The passes in this crate reason about *token streams*, never raw text,
+//! so the one place that must get Rust's surface syntax right is here:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */` — Rust block comments nest, unlike C),
+//! * string literals with escapes, byte strings, and **raw strings**
+//!   (`r"…"`, `r#"…"#`, … with any number of `#`s, where `\` is literal
+//!   and `"` only terminates when followed by the matching `#` count),
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity (including
+//!   escaped chars `'\''` and multi-byte chars),
+//! * numeric literals with underscores, type suffixes, hex/oct/bin
+//!   prefixes, floats and exponents (without eating `..` ranges),
+//! * multi-char operators tokenized greedily (`::` before `:`, `..=`
+//!   before `..`, `<<=` before `<<`, …).
+//!
+//! Comments are not discarded: they are returned out-of-band so the
+//! waiver scanner ([`crate::model`]) can find
+//! `// dpe-analyze: allow(rule, reason = "…")` annotations.
+
+/// What a token is — coarse classes, enough for the passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `if`, `match`, names, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinct from char literals.
+    Lifetime,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Numeric literal (integer or float, any base, any suffix).
+    Num,
+    /// Operator or punctuation, possibly multi-char (`::`, `->`, `%=`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A comment captured out-of-band (waiver annotations live here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text without the `//` / `/*` framing.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+}
+
+/// The output of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators, longest-first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "..", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens plus out-of-band comments. The lexer never
+/// fails: malformed trailing syntax (unterminated literals at EOF) yields
+/// whatever tokens were complete before it.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    macro_rules! bump_lines {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_lines!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[i + 2..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment — nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    bump_lines!(chars[j]);
+                    j += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[i + 2..j.saturating_sub(2).max(i + 2)]
+                    .iter()
+                    .collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings: r"…" / r#"…"# / br##"…"## — `#` count must match.
+        if (c == 'r' || c == 'b') && raw_string_at(&chars, i) {
+            let start_line = line;
+            let mut j = i;
+            while chars[j] != 'r' {
+                j += 1; // skip the b prefix
+            }
+            j += 1;
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // opening quote
+            let body_start = j;
+            let mut body_end = n;
+            while j < n {
+                if chars[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        body_end = j;
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                bump_lines!(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[body_start..body_end].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain / byte strings with escapes.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            let start_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let body_start = j;
+            let mut body_end = n;
+            while j < n {
+                match chars[j] {
+                    '\\' => {
+                        j += 2;
+                        continue;
+                    }
+                    '"' => {
+                        body_end = j;
+                        j += 1;
+                        break;
+                    }
+                    ch => {
+                        bump_lines!(ch);
+                        j += 1;
+                    }
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[body_start..body_end.min(n)].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // `'` — lifetime or char literal.
+        if c == '\'' {
+            // Escaped char is always a literal: '\n', '\''.
+            if i + 1 < n && chars[i + 1] == '\\' {
+                let mut j = i + 2;
+                // Skip the escape payload up to the closing quote.
+                while j < n && chars[j] != '\'' {
+                    if chars[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i..(j + 1).min(n)].iter().collect(),
+                    line,
+                });
+                i = (j + 1).min(n);
+                continue;
+            }
+            // 'x' (any single char, closing quote right after) = char
+            // literal; otherwise a lifetime: ' followed by ident chars.
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i..i + 3].iter().collect(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (identifiers starting with a digit are not Rust).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            let hex = c == '0' && i + 1 < n && (chars[i + 1] == 'x' || chars[i + 1] == 'X');
+            while j < n {
+                let ch = chars[j];
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    // Decimal exponent sign: 1e-3 / 1E+3 (not for hex).
+                    if !hex
+                        && (ch == 'e' || ch == 'E')
+                        && j + 1 < n
+                        && (chars[j + 1] == '+' || chars[j + 1] == '-')
+                        && j + 2 < n
+                        && chars[j + 2].is_ascii_digit()
+                    {
+                        j += 2;
+                    }
+                    j += 1;
+                    continue;
+                }
+                // A float's dot: digit follows, and not a `..` range.
+                if ch == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() && !hex {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords (incl. raw identifiers r#type).
+        if is_ident_start(c) || (c == 'r' && i + 1 < n && chars[i + 1] == '#') {
+            let mut j = i;
+            if c == 'r'
+                && i + 1 < n
+                && chars[i + 1] == '#'
+                && i + 2 < n
+                && is_ident_start(chars[i + 2])
+            {
+                j = i + 2;
+            }
+            let start = j;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Multi-char operators, longest first.
+        let mut matched = false;
+        for op in OPERATORS {
+            let len = op.len();
+            if i + len <= n && chars[i..i + len].iter().collect::<String>() == **op {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Is position `i` the start of a raw-string literal (`r"`, `r#`, `br"`,
+/// `br#`)? Distinguishes raw strings from raw identifiers (`r#match`):
+/// a raw string's hashes are followed by `"`.
+fn raw_string_at(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if j >= chars.len() || chars[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak_tokens() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(texts(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes_and_braces() {
+        let src = r####"let s = r#"if x { "quoted" }"#; next"####;
+        let t = texts(src);
+        assert_eq!(
+            t,
+            vec!["let", "s", "=", r#"if x { "quoted" }"#, ";", "next"]
+        );
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[3].kind, TokenKind::Str);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a u8) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        let chars: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn operators_lex_greedily() {
+        assert_eq!(
+            texts("a::b->c..=d<<=e"),
+            vec!["a", "::", "b", "->", "c", "..=", "d", "<<=", "e"]
+        );
+    }
+
+    #[test]
+    fn floats_do_not_eat_ranges() {
+        assert_eq!(texts("0..10"), vec!["0", "..", "10"]);
+        assert_eq!(texts("1.5e-3"), vec!["1.5e-3"]);
+        assert_eq!(texts("0xFF_u64"), vec!["0xFF_u64"]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("x\n// dpe-analyze: allow(r, reason = \"ok\")\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("dpe-analyze"));
+        assert_eq!(lexed.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn strings_with_escapes_terminate_correctly() {
+        assert_eq!(
+            texts(r#"let s = "a\"b"; x"#),
+            vec!["let", "s", "=", r#"a\"b"#, ";", "x"]
+        );
+    }
+}

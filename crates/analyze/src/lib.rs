@@ -1,0 +1,43 @@
+//! # dpe-analyze — workspace static analysis for the DPE codebase
+//!
+//! A self-contained (dependency-free, like everything else in this
+//! workspace) static-analysis toolkit that encodes the repo's two
+//! domain-specific safety policies as enforceable lints:
+//!
+//! * **Secret-flow / constant-time** ([`secret`]): functions reachable
+//!   from the configured secret-input roots in `dpe-bignum`,
+//!   `dpe-paillier`, `dpe-ope` and `dpe-crypto` may not contain
+//!   secret-conditioned branches, variable-time division, early returns,
+//!   or variable-length loops — unless covered by an inline waiver with a
+//!   mandatory written justification.
+//! * **Lock order / race patterns** ([`locks`]): `dpe-server`'s mutex and
+//!   rwlock acquisitions are modelled as an order graph; cyclic orders,
+//!   re-entrant acquisitions, channel operations under a lock, instantly
+//!   dropped guards, and guard-returning functions are flagged.
+//!
+//! Plus two hygiene passes: `#![forbid(unsafe_code)]` required at every
+//! configured crate root, and bare `.unwrap()` banned in `dpe-server`
+//! non-test code.
+//!
+//! Findings are compared against the committed `ANALYZE_BASELINE.json`:
+//! **new findings fail CI** and the baseline may only shrink (fixed
+//! findings must be re-blessed out, so they cannot silently return).
+//! Policy lives in the root `analyze.toml`; the driver is
+//! `cargo run -p dpe-analyze -- --ci`. See `ANALYZE.md` for the rule
+//! catalogue and waiver syntax.
+//!
+//! Everything is built on an honest token scan ([`lexer`]) — nested
+//! block comments, raw strings, lifetimes vs char literals — feeding a
+//! per-function item model ([`model`]) with an approximate call graph.
+//! No name resolution, no types: the passes over-approximate and the
+//! waiver + ratchet machinery makes that workable.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod locks;
+pub mod model;
+pub mod secret;

@@ -1,0 +1,177 @@
+//! The `dpe-analyze` CLI.
+//!
+//! ```text
+//! cargo run -p dpe-analyze --                 # report findings vs baseline
+//! cargo run -p dpe-analyze -- --ci            # same, exit 1 on any drift
+//! cargo run -p dpe-analyze -- --bless         # rewrite ANALYZE_BASELINE.json (shrink only)
+//! cargo run -p dpe-analyze -- --bless --allow-growth   # …allow it to grow (new debt)
+//! cargo run -p dpe-analyze -- --json OUT.json # also write the findings artifact
+//! cargo run -p dpe-analyze -- --root DIR      # analyze another checkout
+//! ```
+
+#![forbid(unsafe_code)]
+
+use dpe_analyze::config::Config;
+use dpe_analyze::engine::analyze_workspace;
+use dpe_analyze::findings::{baseline_from_json, baseline_to_json, findings_to_json, ratchet};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    ci: bool,
+    bless: bool,
+    allow_growth: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        ci: false,
+        bless: false,
+        allow_growth: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ci" => args.ci = true,
+            "--bless" => args.bless = true,
+            "--allow-growth" => args.allow_growth = true,
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a path argument")?,
+                ));
+            }
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path argument")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dpe-analyze: secret-flow, lock-order and hygiene lints for the DPE workspace\n\
+                     \n\
+                     --ci            exit nonzero on any new or stale finding\n\
+                     --bless         rewrite ANALYZE_BASELINE.json from current findings\n\
+                     --allow-growth  permit --bless to grow the baseline\n\
+                     --json PATH     write the machine-readable findings report\n\
+                     --root DIR      workspace root (default: nearest dir with analyze.toml)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Nearest ancestor of the current directory containing `analyze.toml`.
+fn default_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("analyze.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let policy_path = args.root.join("analyze.toml");
+    let policy = std::fs::read_to_string(&policy_path)
+        .map_err(|e| format!("{}: {e}", policy_path.display()))?;
+    let config = Config::from_toml(&policy)?;
+    let findings = analyze_workspace(&args.root, &config)?;
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, findings_to_json(&findings))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote findings report to {}", path.display());
+    }
+
+    let baseline_path = args.root.join("ANALYZE_BASELINE.json");
+    let keys: BTreeSet<String> = findings.iter().map(|f| f.key.clone()).collect();
+
+    if args.bless {
+        let old = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Some(baseline_from_json(&text)?),
+            Err(_) => None,
+        };
+        if let Some(old) = &old {
+            let grown: Vec<&String> = keys.difference(old).collect();
+            if !grown.is_empty() && !args.allow_growth {
+                eprintln!(
+                    "--bless would ADD {} finding(s) to the baseline; the ratchet only shrinks.",
+                    grown.len()
+                );
+                for k in grown {
+                    eprintln!("  + {k}");
+                }
+                eprintln!(
+                    "Fix or waive them, or pass --allow-growth to accept new debt explicitly."
+                );
+                return Ok(false);
+            }
+        }
+        std::fs::write(&baseline_path, baseline_to_json(&keys))
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "blessed {} finding(s) into {}",
+            keys.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline_from_json(&text)?,
+        Err(e) => {
+            return Err(format!(
+                "{}: {e}\n(run `cargo run -p dpe-analyze -- --bless` to create it)",
+                baseline_path.display()
+            ))
+        }
+    };
+    let r = ratchet(&findings, &baseline);
+    println!(
+        "dpe-analyze: {} finding(s), baseline {} — {} new, {} stale",
+        findings.len(),
+        baseline.len(),
+        r.new.len(),
+        r.stale.len()
+    );
+    for f in &r.new {
+        println!(
+            "NEW  {}:{} [{}] {} — {}",
+            f.file, f.line, f.rule, f.function, f.message
+        );
+    }
+    for k in &r.stale {
+        println!("STALE {k}");
+    }
+    if !r.new.is_empty() {
+        println!("New findings: fix them, add a justified inline waiver, or (for accepted debt) re-bless with --allow-growth.");
+    }
+    if !r.stale.is_empty() {
+        println!("Stale baseline entries (fixed findings): run `cargo run -p dpe-analyze -- --bless` to shrink the baseline.");
+    }
+    if !r.is_clean() && !args.ci {
+        println!("(advisory mode: pass --ci to turn this into a failure)");
+    }
+    Ok(!args.ci || r.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("dpe-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

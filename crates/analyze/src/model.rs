@@ -1,0 +1,612 @@
+//! From token streams to a per-function model of the workspace.
+//!
+//! The scanner walks a file's tokens once, tracking module / `impl` /
+//! function nesting by brace depth, and produces a [`FunctionModel`] per
+//! `fn`: its qualified name (`crate::module::Type::method`), its body
+//! tokens annotated with the brace depth *relative to the body*, the
+//! calls it makes, and whether it is test-only code. Waiver comments
+//! (`// dpe-analyze: allow(rule, reason = "…")`) are collected per file.
+//!
+//! This is deliberately an approximation — no name resolution, no type
+//! inference. Passes that consume it over-approximate (a method call
+//! matches every known function of that name) and rely on the waiver +
+//! baseline machinery to stay actionable rather than on precision.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One body token plus its brace depth relative to the function body
+/// (the body's outermost statements sit at depth 1).
+#[derive(Debug, Clone)]
+pub struct BodyToken {
+    pub token: Token,
+    pub depth: u32,
+}
+
+/// A call site observed in a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// `Type::method` when the call was path-qualified, else the bare
+    /// function / method name.
+    pub name: String,
+    pub line: u32,
+}
+
+/// One scanned function.
+#[derive(Debug, Clone)]
+pub struct FunctionModel {
+    /// `crate_name::module::…::Type::fn_name` (modules from `mod` items,
+    /// not file paths; the file is carried separately).
+    pub qualified: String,
+    /// Unqualified name, and `Type::name` when inside an `impl`.
+    pub name: String,
+    pub type_qualified: Option<String>,
+    pub file: String,
+    pub crate_name: String,
+    pub start_line: u32,
+    /// Signature tokens between the function name and the body `{` (or
+    /// the `;` of a bodyless declaration) — return types live here.
+    pub signature: Vec<Token>,
+    pub body: Vec<BodyToken>,
+    pub calls: Vec<CallSite>,
+    /// Inside `#[cfg(test)]` / `#[test]` / a `tests` module.
+    pub in_test: bool,
+}
+
+/// An inline waiver: `// dpe-analyze: allow(rule, reason = "…")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub rule: String,
+    pub reason: String,
+    pub line: u32,
+}
+
+/// A malformed waiver comment (empty/missing reason): always an error —
+/// an undocumented suppression is exactly what the pass exists to forbid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadWaiver {
+    pub line: u32,
+    pub message: String,
+}
+
+/// One scanned file.
+#[derive(Debug)]
+pub struct FileModel {
+    pub path: String,
+    pub crate_name: String,
+    pub functions: Vec<FunctionModel>,
+    pub waivers: Vec<Waiver>,
+    pub bad_waivers: Vec<BadWaiver>,
+    /// Does the file carry `#![forbid(unsafe_code)]`? Only meaningful for
+    /// crate roots.
+    pub has_forbid_unsafe: bool,
+    /// Every source line that carries at least one non-comment token —
+    /// used to decide whether a waiver comment is adjacent to the code it
+    /// waives (only waiver-comment lines may sit in between).
+    pub token_lines: std::collections::BTreeSet<u32>,
+}
+
+/// Scans one file's source into its model.
+pub fn scan_file(crate_name: &str, path: &str, source: &str) -> FileModel {
+    let lexed = lex(source);
+    let (waivers, bad_waivers) = parse_waivers(&lexed.comments);
+    let mut scanner = Scanner {
+        crate_name,
+        path,
+        tokens: &lexed.tokens,
+        pos: 0,
+        functions: Vec::new(),
+    };
+    scanner.scan_items(&mut Vec::new(), false);
+    let functions = scanner.functions;
+    FileModel {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        functions,
+        waivers,
+        bad_waivers,
+        has_forbid_unsafe: has_forbid_unsafe(&lexed.tokens),
+        token_lines: lexed.tokens.iter().map(|t| t.line).collect(),
+    }
+}
+
+/// `#![forbid(unsafe_code)]` as a token sequence, anywhere in the file
+/// (crate roots put it at the top, but position is not load-bearing).
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(7).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+    })
+}
+
+/// Parses waiver annotations out of the comment list.
+fn parse_waivers(comments: &[crate::lexer::Comment]) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Doc comments (`///` / `//!`, text starting with the extra marker)
+        // are prose *about* waivers, not waivers; only plain `//` comments
+        // can carry one.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(at) = c.text.find("dpe-analyze:") else {
+            continue;
+        };
+        let rest = c.text[at + "dpe-analyze:".len()..].trim();
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.rfind(')').map(|e| &r[..e]))
+        else {
+            bad.push(BadWaiver {
+                line: c.line,
+                message: "malformed waiver: expected `dpe-analyze: allow(<rule>, reason = \"…\")`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let (rule, reason) = match args.split_once(',') {
+            Some((r, rest)) => (r.trim().to_string(), rest.trim()),
+            None => (args.trim().to_string(), ""),
+        };
+        let reason = reason
+            .strip_prefix("reason")
+            .map(|r| r.trim_start().strip_prefix('=').unwrap_or(r).trim())
+            .unwrap_or("")
+            .trim_matches('"')
+            .trim();
+        if rule.is_empty() || reason.is_empty() {
+            bad.push(BadWaiver {
+                line: c.line,
+                message: format!(
+                    "waiver for `{rule}` has no justification: a reason = \"…\" is mandatory"
+                ),
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            rule,
+            reason: reason.to_string(),
+            line: c.line,
+        });
+    }
+    (waivers, bad)
+}
+
+struct Scanner<'a> {
+    crate_name: &'a str,
+    path: &'a str,
+    tokens: &'a [Token],
+    pos: usize,
+    functions: Vec<FunctionModel>,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    /// Skips a balanced group that starts at the current `open` token.
+    /// Returns the content tokens (exclusive of delimiters).
+    fn skip_group(&mut self, open: &str, close: &str) -> &'a [Token] {
+        debug_assert_eq!(self.tokens[self.pos].text, open);
+        let start = self.pos + 1;
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return &self.tokens[start..self.pos - 1];
+                }
+            }
+        }
+        &self.tokens[start..self.tokens.len()]
+    }
+
+    /// Scans items at the current nesting level until the closing `}` of
+    /// the enclosing block (or EOF). `scope` is the module/type path so
+    /// far; `in_test` is inherited from enclosing `#[cfg(test)]` items.
+    fn scan_items(&mut self, scope: &mut Vec<String>, in_test: bool) {
+        // Attributes seen since the last item, pending application.
+        let mut pending_attrs: Vec<String> = Vec::new();
+        while let Some(t) = self.peek() {
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "}") => {
+                    self.bump();
+                    return;
+                }
+                (TokenKind::Punct, "#") => {
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.text == "!") {
+                        self.bump();
+                    }
+                    if self.peek().is_some_and(|t| t.text == "[") {
+                        let content = self.skip_group("[", "]");
+                        pending_attrs.push(
+                            content
+                                .iter()
+                                .map(|t| t.text.as_str())
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                        );
+                    }
+                }
+                (TokenKind::Ident, "mod") => {
+                    self.bump();
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    let test_mod = in_test
+                        || name == "tests"
+                        || pending_attrs.iter().any(|a| a.contains("cfg ( test )"));
+                    pending_attrs.clear();
+                    match self.peek().map(|t| t.text.as_str()) {
+                        Some("{") => {
+                            self.bump();
+                            scope.push(name);
+                            self.scan_items(scope, test_mod);
+                            scope.pop();
+                        }
+                        _ => {
+                            // `mod name;` — out-of-line, handled when that
+                            // file is scanned.
+                            self.bump();
+                        }
+                    }
+                }
+                (TokenKind::Ident, "impl") => {
+                    self.bump();
+                    let type_name = self.scan_impl_header();
+                    let impl_test =
+                        in_test || pending_attrs.iter().any(|a| a.contains("cfg ( test )"));
+                    pending_attrs.clear();
+                    if self.peek().is_some_and(|t| t.text == "{") {
+                        self.bump();
+                        scope.push(type_name);
+                        self.scan_items(scope, impl_test);
+                        scope.pop();
+                    }
+                }
+                (TokenKind::Ident, "trait") => {
+                    // Trait bodies hold default methods; scan them like an
+                    // impl so their code is not invisible to the passes.
+                    self.bump();
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    let trait_test =
+                        in_test || pending_attrs.iter().any(|a| a.contains("cfg ( test )"));
+                    pending_attrs.clear();
+                    while let Some(t) = self.peek() {
+                        if t.text == "{" || t.text == ";" {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    if self.peek().is_some_and(|t| t.text == "{") {
+                        self.bump();
+                        scope.push(name);
+                        self.scan_items(scope, trait_test);
+                        scope.pop();
+                    }
+                }
+                (TokenKind::Ident, "fn") => {
+                    let fn_test = in_test
+                        || pending_attrs.iter().any(|a| {
+                            a == "test" || a.contains("cfg ( test )") || a.starts_with("test ")
+                        });
+                    pending_attrs.clear();
+                    self.bump();
+                    self.scan_fn(scope, fn_test);
+                }
+                (TokenKind::Punct, "{") => {
+                    // A stray block at item level (e.g. const body): recurse
+                    // so nested fns are still found.
+                    self.bump();
+                    self.scan_items(scope, in_test);
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// After the `impl` keyword: skip generics, read the implemented
+    /// type's last path segment (the one after `for` when present).
+    fn scan_impl_header(&mut self) -> String {
+        let mut last_ident = String::new();
+        let mut after_for: Option<String> = None;
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "{" => break,
+                "where" if angle_depth == 0 => break,
+                "<" => {
+                    angle_depth += 1;
+                    self.bump();
+                }
+                ">" => {
+                    angle_depth -= 1;
+                    self.bump();
+                }
+                ">>" => {
+                    angle_depth -= 2;
+                    self.bump();
+                }
+                "for" if angle_depth == 0 => {
+                    after_for = Some(String::new());
+                    self.bump();
+                }
+                _ => {
+                    if t.kind == TokenKind::Ident && angle_depth == 0 {
+                        match &mut after_for {
+                            Some(s) => *s = t.text.clone(),
+                            None => last_ident = t.text.clone(),
+                        }
+                    }
+                    self.bump();
+                }
+            }
+        }
+        after_for.filter(|s| !s.is_empty()).unwrap_or(last_ident)
+    }
+
+    /// After the `fn` keyword: read the name, skip the signature, and (if
+    /// there is a body) collect depth-annotated body tokens and calls.
+    fn scan_fn(&mut self, scope: &[String], in_test: bool) {
+        let Some(name_tok) = self.bump() else { return };
+        let name = name_tok.text.clone();
+        let start_line = name_tok.line;
+        // Signature: until `{` (body) or `;` (decl) at angle/paren depth 0.
+        let mut angle_depth = 0i32;
+        let mut paren_depth = 0i32;
+        let mut signature: Vec<Token> = Vec::new();
+        loop {
+            let Some(t) = self.peek() else { return };
+            match t.text.as_str() {
+                "<" => angle_depth += 1,
+                ">" => angle_depth -= 1,
+                ">>" => angle_depth -= 2,
+                "->" => {}
+                "(" | "[" => paren_depth += 1,
+                ")" | "]" => paren_depth -= 1,
+                "{" if angle_depth <= 0 && paren_depth == 0 => break,
+                ";" if angle_depth <= 0 && paren_depth == 0 => {
+                    self.bump();
+                    return; // trait method declaration — no body
+                }
+                _ => {}
+            }
+            signature.push(t.clone());
+            self.bump();
+        }
+        // Body: consume the brace group, recording depth per token. Nested
+        // `fn` items inside the body become their own models too (scanned
+        // from the same token range afterwards would double-count; instead
+        // we model nested fns as part of the enclosing body, which is the
+        // conservative choice for reachability).
+        self.bump(); // `{`
+        let mut depth = 1u32;
+        let mut body: Vec<BodyToken> = Vec::new();
+        while let Some(t) = self.bump() {
+            match t.text.as_str() {
+                "{" => {
+                    body.push(BodyToken {
+                        token: t.clone(),
+                        depth,
+                    });
+                    depth += 1;
+                    continue;
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    body.push(BodyToken {
+                        token: t.clone(),
+                        depth,
+                    });
+                    continue;
+                }
+                _ => body.push(BodyToken {
+                    token: t.clone(),
+                    depth,
+                }),
+            }
+        }
+        let calls = extract_calls(&body);
+        let type_qualified = scope.last().and_then(|s| {
+            // Only impl/trait scopes qualify a method name; a plain module
+            // scope does not produce `Type::method`. Heuristic: type names
+            // in this workspace are CamelCase, modules snake_case.
+            s.chars()
+                .next()
+                .filter(|c| c.is_uppercase())
+                .map(|_| format!("{s}::{name}"))
+        });
+        let qualified = {
+            let mut parts = vec![self.crate_name.to_string()];
+            parts.extend(scope.iter().cloned());
+            parts.push(name.clone());
+            parts.join("::")
+        };
+        self.functions.push(FunctionModel {
+            qualified,
+            name,
+            type_qualified,
+            file: self.path.to_string(),
+            crate_name: self.crate_name.to_string(),
+            start_line,
+            signature,
+            body,
+            calls,
+            in_test,
+        });
+    }
+}
+
+/// Pulls call sites out of a token body: `name(…)`, `path::name(…)`,
+/// `.method(…)`, and `Type::method` references (callable paths passed to
+/// higher-order fns count too — conservative for reachability).
+fn extract_calls(body: &[BodyToken]) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for i in 0..body.len() {
+        let t = &body[i].token;
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let next = body.get(i + 1).map(|b| b.token.text.as_str());
+        // `name (` — direct call or macro-ish; `name ::` handled via the
+        // *last* segment's own match, plus the two-segment form below.
+        let is_call = matches!(next, Some("(")) || matches!(next, Some("!"));
+        let prev = i.checked_sub(1).map(|j| body[j].token.text.as_str());
+        let qualified =
+            if prev == Some("::") && i >= 2 && body[i - 2].token.kind == TokenKind::Ident {
+                Some(format!("{}::{}", body[i - 2].token.text, t.text))
+            } else {
+                None
+            };
+        if is_call || (qualified.is_some() && next != Some("::")) {
+            if let Some(q) = qualified {
+                calls.push(CallSite {
+                    name: q,
+                    line: t.line,
+                });
+            }
+            calls.push(CallSite {
+                name: t.text.clone(),
+                line: t.line,
+            });
+        }
+    }
+    calls
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "loop", "for", "in", "let", "mut", "fn", "return", "break",
+    "continue", "move", "ref", "pub", "crate", "super", "self", "Self", "use", "mod", "impl",
+    "trait", "struct", "enum", "union", "const", "static", "type", "where", "as", "dyn", "unsafe",
+    "extern", "true", "false", "async", "await",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileModel {
+        scan_file("testcrate", "src/lib.rs", src)
+    }
+
+    #[test]
+    fn functions_get_qualified_names_through_mods_and_impls() {
+        let m =
+            scan("mod inner { pub struct Foo; impl Foo { pub fn go(&self) {} } pub fn free() {} }");
+        let names: Vec<&str> = m.functions.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["testcrate::inner::Foo::go", "testcrate::inner::free"]
+        );
+        assert_eq!(m.functions[0].type_qualified.as_deref(), Some("Foo::go"));
+        assert_eq!(m.functions[1].type_qualified, None);
+    }
+
+    #[test]
+    fn trait_impls_qualify_by_the_implemented_type() {
+        let m = scan("impl Display for Wrapper { fn fmt(&self) {} }");
+        assert_eq!(
+            m.functions[0].type_qualified.as_deref(),
+            Some("Wrapper::fmt")
+        );
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_marked() {
+        let m = scan("fn live() {} #[cfg(test)] mod tests { #[test] fn t() {} fn helper() {} }");
+        let by_name = |n: &str| m.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("live").in_test);
+        assert!(by_name("t").in_test);
+        assert!(by_name("helper").in_test);
+    }
+
+    #[test]
+    fn body_depth_tracks_nesting() {
+        let m = scan("fn f() { if x { y(); } z(); }");
+        let f = &m.functions[0];
+        let depth_of = |name: &str| {
+            f.body
+                .iter()
+                .find(|b| b.token.text == name)
+                .map(|b| b.depth)
+                .unwrap()
+        };
+        assert_eq!(depth_of("y"), 2);
+        assert_eq!(depth_of("z"), 1);
+    }
+
+    #[test]
+    fn calls_include_methods_and_qualified_paths() {
+        let m = scan("fn f() { a.method(); Type::assoc(1); free(2); }");
+        let f = &m.functions[0];
+        let names: Vec<&str> = f.calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"method"));
+        assert!(names.contains(&"Type::assoc"));
+        assert!(names.contains(&"assoc"));
+        assert!(names.contains(&"free"));
+    }
+
+    #[test]
+    fn waivers_parse_and_bad_waivers_are_flagged() {
+        let m = scan(
+            "// dpe-analyze: allow(secret-branch, reason = \"range check on public modulus\")\nfn f() {}\n// dpe-analyze: allow(secret-branch)\nfn g() {}",
+        );
+        assert_eq!(m.waivers.len(), 1);
+        assert_eq!(m.waivers[0].rule, "secret-branch");
+        assert!(m.waivers[0].reason.contains("public modulus"));
+        assert_eq!(
+            m.bad_waivers.len(),
+            1,
+            "reason-less waiver must be rejected"
+        );
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(scan("#![forbid(unsafe_code)]\nfn f() {}").has_forbid_unsafe);
+        assert!(!scan("#![deny(unsafe_code)]\nfn f() {}").has_forbid_unsafe);
+    }
+
+    #[test]
+    fn adversarial_syntax_does_not_derail_the_scanner() {
+        // Nested comments containing fake fns, raw strings with braces,
+        // chars vs lifetimes, attributes with brackets.
+        let src = r####"
+/* fn fake() { /* } */ } */
+#[cfg(feature = "x", any(test))]
+fn real<'a>(x: &'a str) -> char {
+    let s = r#"} fn not_a_fn() { if true {} "#;
+    let c = '}';
+    let lt: &'a str = x;
+    c
+}
+"####;
+        let m = scan(src);
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].name, "real");
+        // The raw string's braces must not have ended the body early: the
+        // char literal assignment after it is inside the body.
+        assert!(m.functions[0].body.iter().any(|b| b.token.text == "'}'"));
+    }
+}

@@ -1,0 +1,309 @@
+//! The secret-flow / constant-time policy pass.
+//!
+//! The paper's security argument assumes the provider learns nothing
+//! beyond the permitted leakage profile; a single secret-dependent branch
+//! or variable-time division next to key material can void that in
+//! practice. This pass approximates "reachable from secret inputs" with
+//! a call graph over the configured crypto crates, seeded from the
+//! configured root functions (the ones that *receive* private keys, λ,
+//! p/q, OPE keys, Montgomery limbs), then forbids timing-variable
+//! constructs inside every reachable function:
+//!
+//! | rule | construct |
+//! |---|---|
+//! | `secret-branch` | `if` / `match` (data-dependent control flow) |
+//! | `secret-division` | `/` `%` `/=` `%=` (variable-time division) |
+//! | `secret-early-return` | `return` inside a nested block, and `?` |
+//! | `secret-loop` | `while` / `loop` (variable trip counts) |
+//!
+//! There is **no dataflow analysis**: every such construct in a reachable
+//! function is flagged, whether or not the operands are actually secret.
+//! That over-approximation is the point — each occurrence is either
+//! rewritten branchless, explicitly waived inline with a mandatory
+//! justification (`// dpe-analyze: allow(rule, reason = "…")`), or
+//! carried as ratcheted debt in `ANALYZE_BASELINE.json` where it can
+//! only shrink. `for` loops are deliberately out of scope (their trip
+//! counts are usually public limb counts); the limitation is documented
+//! in `ANALYZE.md`.
+
+use crate::config::Config;
+use crate::engine::WaiverIndex;
+use crate::findings::{finding_key, Finding};
+use crate::lexer::TokenKind;
+use crate::model::{FileModel, FunctionModel};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Runs the pass over the scanned workspace.
+pub fn run(files: &[FileModel], config: &Config, waivers: &mut WaiverIndex) -> Vec<Finding> {
+    let in_scope: Vec<&FunctionModel> = files
+        .iter()
+        .filter(|f| config.secret_crates.iter().any(|c| c == &f.crate_name))
+        .flat_map(|f| f.functions.iter())
+        .filter(|f| !f.in_test)
+        .collect();
+    let reachable = reachable_set(&in_scope, config);
+    let mut findings = Vec::new();
+    for f in &in_scope {
+        if !reachable.contains(f.qualified.as_str()) {
+            continue;
+        }
+        findings.extend(scan_function(f, waivers));
+    }
+    findings
+}
+
+/// BFS over the approximate call graph from the configured secret roots.
+/// Returns the qualified names of reachable functions (roots included).
+pub fn reachable_set<'a>(functions: &[&'a FunctionModel], config: &Config) -> BTreeSet<&'a str> {
+    // Indexes: bare name → functions, Type::method → functions.
+    let mut by_name: BTreeMap<&str, Vec<&FunctionModel>> = BTreeMap::new();
+    let mut by_typed: BTreeMap<&str, Vec<&FunctionModel>> = BTreeMap::new();
+    for f in functions {
+        by_name.entry(f.name.as_str()).or_default().push(f);
+        if let Some(t) = &f.type_qualified {
+            by_typed.entry(t.as_str()).or_default().push(f);
+        }
+    }
+    let ignore: BTreeSet<&str> = config
+        .secret_ignore_calls
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
+
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&FunctionModel> = VecDeque::new();
+    for f in functions {
+        if config.secret_roots.iter().any(|root| root_matches(root, f))
+            && reachable.insert(f.qualified.as_str())
+        {
+            queue.push_back(f);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for call in &f.calls {
+            if ignore.contains(call.name.as_str()) {
+                continue;
+            }
+            let targets = if call.name.contains("::") {
+                by_typed.get(call.name.as_str())
+            } else {
+                by_name.get(call.name.as_str())
+            };
+            for target in targets.into_iter().flatten() {
+                if reachable.insert(target.qualified.as_str()) {
+                    queue.push_back(target);
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// Does a configured root name designate this function? Roots are either
+/// `Type::method` (matched against the impl-qualified name) or a bare
+/// function name, optionally prefixed by crate/module path segments that
+/// are matched as a suffix of the fully qualified name.
+fn root_matches(root: &str, f: &FunctionModel) -> bool {
+    if let Some(t) = &f.type_qualified {
+        if t == root {
+            return true;
+        }
+    }
+    f.name == root || f.qualified == root || f.qualified.ends_with(&format!("::{root}"))
+}
+
+fn scan_function(f: &FunctionModel, waivers: &mut WaiverIndex) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Occurrence counters per (rule, detail) keep keys stable under
+    // unrelated edits elsewhere in the file.
+    let mut occurrence: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut push = |rule: &str,
+                    detail: &str,
+                    line: u32,
+                    message: String,
+                    occurrence: &mut BTreeMap<(String, String), usize>,
+                    waivers: &mut WaiverIndex| {
+        let idx = occurrence
+            .entry((rule.to_string(), detail.to_string()))
+            .or_insert(0);
+        let key = finding_key(rule, &f.file, &f.qualified, detail, *idx);
+        *idx += 1;
+        if waivers.is_waived(&f.file, rule, line) {
+            return;
+        }
+        findings.push(Finding {
+            key,
+            rule: rule.to_string(),
+            file: f.file.clone(),
+            line,
+            function: f.qualified.clone(),
+            message,
+        });
+    };
+
+    let mut i = 0usize;
+    let body = &f.body;
+    while i < body.len() {
+        let bt = &body[i];
+        let t = &bt.token;
+        // Skip attribute groups inside bodies (`#[cfg(…)]` carries `=`
+        // and `/`-free content, but stay safe and skip it wholesale).
+        if t.text == "#" && body.get(i + 1).is_some_and(|n| n.token.text == "[") {
+            let mut depth = 0usize;
+            i += 1;
+            while i < body.len() {
+                match body[i].token.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, kw @ ("if" | "match")) => push(
+                "secret-branch",
+                kw,
+                t.line,
+                format!("`{kw}` in secret-reachable `{}`: secret-dependent control flow is observable timing", f.name),
+                &mut occurrence,
+                waivers,
+            ),
+            (TokenKind::Punct, op @ ("/" | "%" | "/=" | "%=")) => push(
+                "secret-division",
+                op,
+                t.line,
+                format!("`{op}` in secret-reachable `{}`: division/remainder time varies with operand values", f.name),
+                &mut occurrence,
+                waivers,
+            ),
+            (TokenKind::Ident, "return") if bt.depth >= 2 => push(
+                "secret-early-return",
+                "return",
+                t.line,
+                format!("conditional `return` in secret-reachable `{}`: exit point depends on data", f.name),
+                &mut occurrence,
+                waivers,
+            ),
+            (TokenKind::Punct, "?") => push(
+                "secret-early-return",
+                "?",
+                t.line,
+                format!("`?` in secret-reachable `{}`: error path exits early on data-dependent condition", f.name),
+                &mut occurrence,
+                waivers,
+            ),
+            (TokenKind::Ident, kw @ ("while" | "loop")) => push(
+                "secret-loop",
+                kw,
+                t.line,
+                format!("`{kw}` in secret-reachable `{}`: trip count may depend on secret values", f.name),
+                &mut occurrence,
+                waivers,
+            ),
+            _ => {}
+        }
+        i += 1;
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::scan_file;
+
+    fn config(roots: &[&str]) -> Config {
+        Config {
+            forbid_unsafe_crates: vec![],
+            secret_crates: vec!["c".into()],
+            secret_roots: roots.iter().map(|s| s.to_string()).collect(),
+            secret_ignore_calls: vec!["clone".into()],
+            lock_crates: vec![],
+            no_unwrap_crates: vec![],
+        }
+    }
+
+    fn run_on(src: &str, roots: &[&str]) -> Vec<Finding> {
+        let file = scan_file("c", "src/lib.rs", src);
+        let files = vec![file];
+        let mut waivers = WaiverIndex::new(&files);
+        run(&files, &config(roots), &mut waivers)
+    }
+
+    #[test]
+    fn root_function_branches_are_flagged() {
+        let f = run_on(
+            "fn decrypt(k: &Key) { if k.bit(0) { other(); } }",
+            &["decrypt"],
+        );
+        assert!(f.iter().any(|f| f.rule == "secret-branch"));
+    }
+
+    #[test]
+    fn reachability_extends_through_calls_but_not_to_unrelated_fns() {
+        let src = "fn decrypt(k: &Key) { helper(k); }\nfn helper(k: &Key) { let x = a % b; }\nfn unrelated() { let y = a % b; }";
+        let f = run_on(src, &["decrypt"]);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "secret-division" && f.function.contains("helper")));
+        assert!(!f.iter().any(|f| f.function.contains("unrelated")));
+    }
+
+    #[test]
+    fn typed_roots_and_method_calls_resolve() {
+        let src =
+            "impl Key { fn decrypt(&self) { self.reduce(); } fn reduce(&self) { while x { } } }";
+        let f = run_on(src, &["Key::decrypt"]);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "secret-loop" && f.function.contains("reduce")));
+    }
+
+    #[test]
+    fn waivers_suppress_and_mark_used() {
+        let src = "fn decrypt(k: &Key) {\n    // dpe-analyze: allow(secret-branch, reason = \"branch is on the public modulus size\")\n    if k.public_bits() > 64 { other(); }\n}";
+        let file = scan_file("c", "src/lib.rs", src);
+        let files = vec![file];
+        let mut waivers = WaiverIndex::new(&files);
+        let f = run(&files, &config(&["decrypt"]), &mut waivers);
+        assert!(!f.iter().any(|f| f.rule == "secret-branch"), "{f:?}");
+        assert!(waivers.unused().is_empty());
+    }
+
+    #[test]
+    fn early_return_and_question_mark_flagged() {
+        let src = "fn decrypt(k: &Key) -> Result<u8, E> { k.validate()?; if bad { return Err(E); } Ok(0) }";
+        let f = run_on(src, &["decrypt"]);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"secret-early-return"));
+        // Both the `?` and the conditional `return` are separate findings.
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "secret-early-return").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)] mod tests { fn decrypt(k: &Key) { if x {} } }";
+        assert!(run_on(src, &["decrypt"]).is_empty());
+    }
+
+    #[test]
+    fn keys_are_stable_per_occurrence_not_per_line() {
+        let src = "fn decrypt(k: &Key) { let a = x % m; let b = y % m; }";
+        let f = run_on(src, &["decrypt"]);
+        let keys: Vec<&str> = f.iter().map(|f| f.key.as_str()).collect();
+        assert_eq!(keys.len(), 2);
+        assert!(keys[0].ends_with("|%|0"));
+        assert!(keys[1].ends_with("|%|1"));
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end ratchet tests against the *real* workspace: the committed
+//! `ANALYZE_BASELINE.json` must be exactly reproducible from the current
+//! sources, and injecting a synthetic violation — a secret-dependent
+//! branch in a crypto crate, a lock-order inversion in the server — must
+//! surface as a NEW finding that fails the ratchet.
+
+use dpe_analyze::config::Config;
+use dpe_analyze::engine::{analyze, discover_sources};
+use dpe_analyze::findings::{baseline_from_json, ratchet};
+use dpe_analyze::model::{scan_file, FileModel};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("crates/analyze/../.. resolves to the workspace root")
+}
+
+fn load_workspace(root: &Path) -> (Config, Vec<FileModel>) {
+    let config = Config::from_toml(
+        &std::fs::read_to_string(root.join("analyze.toml")).expect("analyze.toml exists"),
+    )
+    .expect("analyze.toml parses");
+    let files = discover_sources(root)
+        .expect("workspace sources discoverable")
+        .into_iter()
+        .map(|s| {
+            let text = std::fs::read_to_string(&s.abs_path).expect("source readable");
+            scan_file(&s.crate_name, &s.rel_path, &text)
+        })
+        .collect();
+    (config, files)
+}
+
+fn committed_baseline(root: &Path) -> std::collections::BTreeSet<String> {
+    baseline_from_json(
+        &std::fs::read_to_string(root.join("ANALYZE_BASELINE.json"))
+            .expect("ANALYZE_BASELINE.json committed"),
+    )
+    .expect("baseline parses")
+}
+
+#[test]
+fn workspace_is_clean_against_the_committed_baseline() {
+    let root = repo_root();
+    let (config, files) = load_workspace(&root);
+    let findings = analyze(&files, &config);
+    let r = ratchet(&findings, &committed_baseline(&root));
+    assert!(
+        r.is_clean(),
+        "the committed baseline must match the sources exactly.\nnew: {:#?}\nstale: {:#?}\n\
+         (fix the new findings, or re-bless with `cargo run -p dpe-analyze -- --bless`)",
+        r.new,
+        r.stale
+    );
+}
+
+#[test]
+fn injected_secret_dependent_branch_fails_the_ratchet() {
+    let root = repo_root();
+    let (config, mut files) = load_workspace(&root);
+    // A synthetic key-bit branch inside a secret root's impl: exactly the
+    // regression the pass exists to catch.
+    files.push(scan_file(
+        "paillier",
+        "crates/paillier/src/injected.rs",
+        "impl PrivateKey {\n    pub fn decrypt(&self, c: &C) -> u64 {\n        if self.lambda.bit(0) { 1 } else { 0 }\n    }\n}\n",
+    ));
+    let r = ratchet(&analyze(&files, &config), &committed_baseline(&root));
+    assert!(
+        r.new
+            .iter()
+            .any(|f| f.rule == "secret-branch" && f.file.ends_with("injected.rs")),
+        "a key-dependent branch in a secret root must be a NEW finding; got {:#?}",
+        r.new
+    );
+}
+
+#[test]
+fn injected_lock_order_inversion_fails_the_ratchet() {
+    let root = repo_root();
+    let (config, mut files) = load_workspace(&root);
+    // The server consistently acquires a shard lock before the cache
+    // lock; inject the reverse order.
+    files.push(scan_file(
+        "server",
+        "crates/server/src/injected.rs",
+        "impl Server {\n    fn inverted(&self, i: usize) {\n        let c = self.caches[i].lock().expect(\"cache\");\n        let s = self.shards[i].write().expect(\"shard\");\n    }\n}\n",
+    ));
+    let r = ratchet(&analyze(&files, &config), &committed_baseline(&root));
+    assert!(
+        r.new.iter().any(|f| f.rule == "lock-order-cycle"),
+        "an AB/BA inversion against the server's real lock order must be a NEW finding; got {:#?}",
+        r.new
+    );
+}
+
+#[test]
+fn injected_bare_unwrap_in_server_fails_the_ratchet() {
+    let root = repo_root();
+    let (config, mut files) = load_workspace(&root);
+    files.push(scan_file(
+        "server",
+        "crates/server/src/injected.rs",
+        "impl Server {\n    fn sloppy(&self, x: Option<u8>) -> u8 {\n        x.unwrap()\n    }\n}\n",
+    ));
+    let r = ratchet(&analyze(&files, &config), &committed_baseline(&root));
+    assert!(
+        r.new.iter().any(|f| f.rule == "bare-unwrap"),
+        "a bare unwrap in dpe-server non-test code must be a NEW finding; got {:#?}",
+        r.new
+    );
+}
+
+#[test]
+fn removing_a_crate_root_forbid_makes_a_new_finding() {
+    let root = repo_root();
+    let (config, mut files) = load_workspace(&root);
+    let bignum = files
+        .iter_mut()
+        .find(|f| f.path == "crates/bignum/src/lib.rs")
+        .expect("bignum root scanned");
+    bignum.has_forbid_unsafe = false;
+    let r = ratchet(&analyze(&files, &config), &committed_baseline(&root));
+    assert!(
+        r.new.iter().any(|f| f.rule == "missing-forbid-unsafe"),
+        "dropping #![forbid(unsafe_code)] must be a NEW finding; got {:#?}",
+        r.new
+    );
+}
+
+#[test]
+fn fixed_findings_show_up_as_stale_baseline_entries() {
+    let root = repo_root();
+    let (config, files) = load_workspace(&root);
+    let findings = analyze(&files, &config);
+    let mut baseline = committed_baseline(&root);
+    baseline.insert("secret-branch|crates/paillier/src/gone.rs|paillier::gone|if|0".to_string());
+    let r = ratchet(&findings, &baseline);
+    assert_eq!(
+        r.stale.len(),
+        1,
+        "a baseline entry with no finding is stale: {:#?}",
+        r.stale
+    );
+    assert!(
+        !r.is_clean(),
+        "stale entries fail the ratchet until re-blessed"
+    );
+}

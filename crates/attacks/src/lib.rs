@@ -24,6 +24,8 @@
 //! schemes and derives each class's *empirical leakage count*, which must
 //! reproduce the figure's rows.
 
+#![forbid(unsafe_code)]
+
 pub mod freq;
 pub mod gap_correlation;
 pub mod ind_game;

@@ -20,6 +20,8 @@
 //! module implementing the `dpe-bench/v1` perf-trajectory format that the
 //! `bench_json` consolidator and `bench_gate` regression gate share.
 
+#![forbid(unsafe_code)]
+
 pub mod trajectory;
 
 use dpe_core::scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};

@@ -28,6 +28,8 @@
 //! the ICDE 2018 DPE paper — it is **not** constant-time and must not be used
 //! to protect real data.
 
+#![forbid(unsafe_code)]
+
 mod arith;
 mod biguint;
 mod fixed_base;

@@ -193,42 +193,50 @@ impl MontgomeryCtx {
     ///
     /// Uses 4-bit windowed square-and-multiply for exponents of at least
     /// 16 bits, plain binary below that. `exp = 0` yields the form of `1`.
+    ///
+    /// The multiply schedule is *constant-flow in the exponent bits*: both
+    /// chains multiply on every step, selecting between the operand and
+    /// the Montgomery form of 1 (an exact `mont_mul` identity, so results
+    /// stay bit-identical) by indexing instead of branching. The exponent
+    /// *bit length* still shapes the chain; callers pad exponents when
+    /// that matters.
     pub fn mont_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         let bits = exp.bit_len();
         if bits == 0 {
             return self.one.clone();
         }
         if bits < POW_WINDOW_THRESHOLD_BITS {
-            // Left-to-right binary: the table would cost more than the chain.
+            // Left-to-right binary: the table would cost more than the
+            // window setup. `operands[0]` is the form of 1, so a zero bit
+            // costs the same multiply as a set bit.
+            let operands = [&self.one, base];
             let mut acc = base.clone();
             for i in (0..bits - 1).rev() {
                 acc = self.mont_sqr(&acc);
-                if exp.bit(i) {
-                    acc = self.mont_mul(&acc, base);
-                }
+                acc = self.mont_mul(&acc, operands[usize::from(exp.bit(i))]);
             }
             return acc;
         }
         let w = POW_WINDOW_BITS;
-        // table[d - 1] = base^d (in form) for digits d ∈ [1, 2^w).
-        let mut table = Vec::with_capacity((1 << w) - 1);
+        // table[d] = base^d (in form) for digits d ∈ [0, 2^w); table[0] is
+        // the form of 1 so a zero window multiplies like any other.
+        let mut table = Vec::with_capacity(1 << w);
+        table.push(self.one.clone());
         table.push(base.clone());
-        for _ in 1..(1 << w) - 1 {
+        for _ in 2..(1 << w) {
             let next = self.mont_mul(table.last().unwrap(), base);
             table.push(next);
         }
         let windows = bits.div_ceil(w);
         // The top window of a nonzero exponent is nonzero.
         let top = window_digit(exp, windows - 1, w);
-        let mut acc = table[top - 1].clone();
+        let mut acc = table[top].clone();
         for i in (0..windows - 1).rev() {
             for _ in 0..w {
                 acc = self.mont_sqr(&acc);
             }
             let d = window_digit(exp, i, w);
-            if d != 0 {
-                acc = self.mont_mul(&acc, &table[d - 1]);
-            }
+            acc = self.mont_mul(&acc, &table[d]);
         }
         acc
     }

@@ -23,6 +23,8 @@
 //!   cross-checks it against the published row contents;
 //! * [`procedure`] — the four KIT-DPE steps as an orchestrated pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod dpe;
 pub mod error;
 pub mod notions;

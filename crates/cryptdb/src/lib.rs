@@ -33,6 +33,8 @@
 //! queries immediately), and the SEARCH onion is omitted (no LIKE in the
 //! dialect).
 
+#![forbid(unsafe_code)]
+
 pub mod adjust;
 pub mod column;
 pub mod encoding;

@@ -40,6 +40,10 @@ impl fmt::Display for Onion {
 /// Fresh columns sit at [`EqLayer::Rnd`]; a query needing server-side
 /// equality triggers adjustment to [`EqLayer::Det`]. Layers only ever move
 /// downward (CryptDB never re-wraps).
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EqLayer {
     /// Outer probabilistic layer intact — maximum security, no predicates.

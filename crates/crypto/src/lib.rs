@@ -29,6 +29,8 @@
 //! Reference implementation for reproducing the paper's mining semantics —
 //! **not** constant-time, **not** for production secrets.
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod ctr;
 pub mod det;

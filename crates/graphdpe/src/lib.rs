@@ -33,6 +33,8 @@
 //! corpora and bridges SQL logs to co-access graphs so the two case studies
 //! compose.
 
+#![forbid(unsafe_code)]
+
 pub mod distance;
 pub mod graph;
 pub mod notions;

@@ -21,6 +21,8 @@
 //! * `result_tuples` is a **set** (Definition 4 operates on tuple sets), but
 //!   the executor also exposes bag results for completeness.
 
+#![forbid(unsafe_code)]
+
 pub mod database;
 pub mod error;
 pub mod exec;

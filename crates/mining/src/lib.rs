@@ -28,6 +28,8 @@
 //! seeds with a deterministic greedy (no RNG), so equal distance matrices
 //! imply equal outputs — no flaky "identical" assertions.
 
+#![forbid(unsafe_code)]
+
 mod order;
 
 pub mod agreement;

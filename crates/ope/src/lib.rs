@@ -23,6 +23,8 @@
 //! by induction on the recursion. Leakage is the same *kind* (order and
 //! equality), which is what the Fig. 1 attack experiments measure.
 
+#![forbid(unsafe_code)]
+
 pub mod domain;
 pub mod join_ope;
 pub mod mope;

@@ -281,10 +281,17 @@ impl PrivateKey {
     /// divisions instead of a full Euclid loop, keeping validation
     /// negligible next to the decryption exponentiations.
     fn validate(&self, c: &PaillierCiphertext) -> Result<(), PaillierError> {
-        if c.value() >= &self.public.n_squared
-            || (c.value() % &self.crt.p).is_zero()
-            || (c.value() % &self.crt.q).is_zero()
-        {
+        // Non-short-circuit `|`: both residues are always computed, so the
+        // rejection's timing does not reveal *which* prime divides an
+        // attacker-chosen ciphertext (gcd(c, n) would hand them a factor;
+        // short-circuit timing would narrow the search).
+        let out_of_range = c.value() >= &self.public.n_squared;
+        let shares_factor =
+            // dpe-analyze: allow(secret-division, reason = "validation must reduce c mod p and mod q to reject non-units; both residues are computed unconditionally, see comment above")
+            (c.value() % &self.crt.p).is_zero() | (c.value() % &self.crt.q).is_zero();
+        // dpe-analyze: allow(secret-branch, reason = "the accept/reject outcome itself is the caller-visible result, not a hidden timing channel")
+        if out_of_range | shares_factor {
+            // dpe-analyze: allow(secret-early-return, reason = "rejection is the observable API outcome; the branch guard above is already flat")
             return Err(PaillierError::InvalidCiphertext);
         }
         Ok(())

@@ -23,6 +23,8 @@
 //! membership in `(ℤ/n²ℤ)*` and all modular exponentiation under a key
 //! runs through its cached Montgomery context (see `dpe_bignum`).
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 mod hom;
 mod keys;

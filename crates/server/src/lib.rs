@@ -61,6 +61,8 @@
 //! assert!(results[0].1.is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod plan;
 mod request;

@@ -234,6 +234,10 @@ impl Response {
 
 /// Order-stamped receipt returned by [`crate::Server::submit`]; `drain`
 /// reports results sorted by ticket, so submission order is recoverable.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ticket(pub u64);
 
@@ -253,6 +257,9 @@ pub enum ServerError {
     BadRequest(String),
     /// Distance computation failed during ingest.
     Distance(DistanceError),
+    /// A caller-supplied producer (e.g. the chunk iterator fed to
+    /// [`crate::Server::ingest_stream`]) panicked on its worker thread.
+    ProducerPanicked,
 }
 
 impl fmt::Display for ServerError {
@@ -266,6 +273,12 @@ impl fmt::Display for ServerError {
             }
             ServerError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServerError::Distance(e) => write!(f, "distance computation failed: {e}"),
+            ServerError::ProducerPanicked => {
+                write!(
+                    f,
+                    "the caller-supplied chunk producer panicked; ingested prefix was kept"
+                )
+            }
         }
     }
 }

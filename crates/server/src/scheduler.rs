@@ -168,8 +168,14 @@ impl<J> ShardQueues<J> {
                     }
                 }));
             }
-            for h in handles {
-                worker_results.push(h.join().expect("scheduler worker panicked"));
+            for (w, h) in handles.into_iter().enumerate() {
+                worker_results.push(h.join().unwrap_or_else(|_| {
+                    panic!(
+                        "scheduler worker {w}/{threads} panicked inside the `process` \
+                         callback; its taken-but-unanswered jobs are lost — check the \
+                         shard answer path for the panic source"
+                    )
+                }));
             }
         });
 

