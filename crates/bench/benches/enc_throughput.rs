@@ -259,7 +259,15 @@ fn bench_server_ingest_pipeline(c: &mut Criterion) {
     // ingest — encryption and matrix extension strictly serialized.
     group.bench_function("encrypt_then_ingest", |b| {
         b.iter_batched(
-            || (TokenDpe::new(&master), Server::new(TokenDistance, 1, 0)),
+            || {
+                (
+                    TokenDpe::new(&master),
+                    Server::builder(TokenDistance)
+                        .shards(1)
+                        .cache_capacity(0)
+                        .build(),
+                )
+            },
             |(mut scheme, server)| {
                 let encrypted = scheme.encrypt_log(&log).unwrap();
                 server.ingest(0, &encrypted).unwrap();
@@ -273,7 +281,15 @@ fn bench_server_ingest_pipeline(c: &mut Criterion) {
     // thread while the server extends the matrix with chunk k.
     group.bench_function("pipelined_chunks12", |b| {
         b.iter_batched(
-            || (TokenDpe::new(&master), Server::new(TokenDistance, 1, 0)),
+            || {
+                (
+                    TokenDpe::new(&master),
+                    Server::builder(TokenDistance)
+                        .shards(1)
+                        .cache_capacity(0)
+                        .build(),
+                )
+            },
             |(mut scheme, server)| {
                 let chunks = log
                     .chunks(INGEST_CHUNK)

@@ -27,7 +27,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dpe_distance::TokenDistance;
 use dpe_mining::Linkage;
-use dpe_server::{Request, Server};
+use dpe_server::{ClusterRule, PlanOp, Projection, Request, Response, Server};
 use dpe_workload::{LogConfig, LogGenerator, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +38,10 @@ const PER_CLIENT: usize = 40;
 const PER_SHARD: usize = 96;
 
 fn build_server() -> Server<TokenDistance> {
-    let server = Server::new(TokenDistance, SHARDS, 512);
+    let server = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(512)
+        .build();
     for shard in 0..SHARDS {
         let log = LogGenerator::generate(&LogConfig {
             queries: PER_SHARD,
@@ -154,8 +157,8 @@ fn bench_server_throughput(c: &mut Criterion) {
     });
     group.finish();
 
-    let cache = server.cache_stats();
-    let sched = server.scheduler_stats();
+    let cache = server.stats().cache;
+    let sched = server.stats().scheduler;
     println!(
         "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions",
         cache.hits,
@@ -277,7 +280,7 @@ fn bench_clustering_plans(c: &mut Criterion) {
         })
         .collect();
     server.serve_batch(&sweep, 1); // warm the plan
-    let builds_before_sweep = server.plan_stats().builds;
+    let builds_before_sweep = server.stats().plans.builds;
     group.bench_function("cut_sweep_warm_plan", |b| {
         b.iter_batched(
             || server.clear_cache(),
@@ -287,7 +290,7 @@ fn bench_clustering_plans(c: &mut Criterion) {
     });
     group.finish();
 
-    let plans = server.plan_stats();
+    let plans = server.stats().plans;
     assert_eq!(
         plans.builds, builds_before_sweep,
         "a warm plan must serve every cut(k) with zero additional builds"
@@ -298,9 +301,147 @@ fn bench_clustering_plans(c: &mut Criterion) {
     );
 }
 
+/// One client's Zipf-skewed compound specs: a range filter around a hot
+/// item, then hierarchical cluster labels projected onto the selection —
+/// the PR 8 workload (`compound_pipeline_4shard`).
+fn compound_specs(client: usize) -> Vec<(usize, usize, f64, Linkage, usize)> {
+    const LINKAGES: [Linkage; 2] = [Linkage::Complete, Linkage::Average];
+    let shard_zipf = Zipf::new(SHARDS, 1.0);
+    let item_zipf = Zipf::new(PER_SHARD, 1.0);
+    let k_zipf = Zipf::new(8, 1.0);
+    let mut rng = StdRng::seed_from_u64(0xC0908 + client as u64);
+    (0..PER_CLIENT / 2)
+        .map(|_| {
+            let shard = shard_zipf.sample(&mut rng);
+            let item = item_zipf.sample(&mut rng);
+            let radius = 0.3 + 0.1 * (k_zipf.sample(&mut rng) % 5) as f64;
+            let linkage = LINKAGES[k_zipf.sample(&mut rng) % 2];
+            let k = 2 + k_zipf.sample(&mut rng);
+            (shard, item, radius, linkage, k)
+        })
+        .collect()
+}
+
+/// P8 — the compound-query pipeline (`compound_pipeline_4shard`): one
+/// filter → cluster-label pipeline answered in a single drain, vs the only
+/// option clients had before `Request::Pipeline` — two round trips (range,
+/// then whole-shard labels) composed client-side. Three disciplines over
+/// the identical spec stream, response cache cleared per iteration so the
+/// executor (not memoization) is what's measured:
+///
+/// * `multi_round_trip` — per spec, two sequential single-request calls
+///   through the full engine path, then client-side projection.
+/// * `two_phase_batched` — the best a client could do without compounds:
+///   one batched range phase, one batched label phase, then projection.
+/// * `compound_one_drain` — the pipeline: every spec is a single
+///   `FilterRange → ClusterLabels → Project` request, one 4-worker batch.
+///
+/// Bit-identity of the compound path to the client-side composition is
+/// asserted before any timing is believed.
+fn bench_compound_pipeline(c: &mut Criterion) {
+    let server = build_server();
+    let specs: Vec<_> = (0..CLIENTS).flat_map(compound_specs).collect();
+    let total = specs.len() as u64;
+
+    let compounds: Vec<Request> = specs
+        .iter()
+        .map(|&(shard, item, radius, linkage, k)| Request::Pipeline {
+            shard,
+            ops: vec![
+                PlanOp::FilterRange { item, radius },
+                PlanOp::ClusterLabels(ClusterRule::Hierarchical { linkage, k }),
+                PlanOp::Project(Projection::Labels),
+            ],
+        })
+        .collect();
+    let ranges: Vec<Request> = specs
+        .iter()
+        .map(|&(shard, item, radius, ..)| Request::Range {
+            shard,
+            item,
+            radius,
+        })
+        .collect();
+    let cuts: Vec<Request> = specs
+        .iter()
+        .map(|&(shard, _, _, linkage, k)| Request::Hierarchical { shard, linkage, k })
+        .collect();
+
+    let project = |sel: &Response, full: &Response| -> Vec<i64> {
+        let (Response::Indices(sel), Response::Labels(full)) = (sel, full) else {
+            panic!("range must answer indices, labels must answer labels");
+        };
+        sel.iter().map(|&j| full[j]).collect()
+    };
+    let compose_round_trips = |threads: usize| -> Vec<Vec<i64>> {
+        let sels = server.serve_batch(&ranges, threads);
+        let fulls = server.serve_batch(&cuts, threads);
+        sels.iter()
+            .zip(&fulls)
+            .map(|(s, f)| project(s.as_ref().unwrap(), f.as_ref().unwrap()))
+            .collect()
+    };
+
+    // Correctness gate: the one-drain compound answers must be
+    // bit-identical to the two-round-trip client composition.
+    let compound_answers = server.serve_batch(&compounds, 4);
+    let composed = compose_round_trips(4);
+    for ((a, want), req) in compound_answers.iter().zip(&composed).zip(&compounds) {
+        let Response::Labels(got) = a.as_ref().unwrap() else {
+            panic!("compound must answer labels");
+        };
+        assert_eq!(got, want, "compound diverged from composition on {req:?}");
+    }
+
+    let mut group = c.benchmark_group("compound_pipeline_4shard");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+
+    group.bench_function("multi_round_trip", |b| {
+        b.iter_batched(
+            || server.clear_cache(),
+            |()| {
+                ranges
+                    .iter()
+                    .zip(&cuts)
+                    .map(|(r, h)| {
+                        let sel = server.serve_batch(std::slice::from_ref(r), 1);
+                        let full = server.serve_batch(std::slice::from_ref(h), 1);
+                        project(sel[0].as_ref().unwrap(), full[0].as_ref().unwrap())
+                    })
+                    .collect::<Vec<_>>()
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("two_phase_batched", |b| {
+        b.iter_batched(
+            || server.clear_cache(),
+            |()| compose_round_trips(4),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("compound_one_drain", |b| {
+        b.iter_batched(
+            || server.clear_cache(),
+            |()| server.serve_batch(&compounds, 4),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+
+    let stats = server.stats();
+    println!(
+        "executor: {} queries, {} rows scanned, {} plan builds / {} plan hits",
+        stats.queries, stats.exec.rows_scanned, stats.exec.plan_builds, stats.exec.plan_hits
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_server_throughput, bench_clustering_plans
+    targets = bench_server_throughput, bench_clustering_plans, bench_compound_pipeline
 }
 criterion_main!(benches);

@@ -43,10 +43,12 @@ pub mod error;
 pub mod onion;
 pub mod proxy;
 pub mod rewrite;
+pub mod rewriter;
 pub mod schema;
 
 pub use column::{ColumnPolicy, OnionSet};
 pub use error::CryptDbError;
 pub use onion::{EqLayer, Onion};
 pub use proxy::CryptDbProxy;
+pub use rewriter::IdentRewriter;
 pub use schema::EncryptedSchema;

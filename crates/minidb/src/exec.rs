@@ -48,6 +48,28 @@ impl ResultSet {
             .map(|r| (self.columns.clone(), r.clone()))
             .collect()
     }
+
+    /// The named output column as `i64`s, in row order. Errors on a column
+    /// absent from the header ([`DbError::UnknownColumn`]) or a non-integer
+    /// cell ([`DbError::TypeMismatch`]) — the typed accessor differential
+    /// harnesses use to compare against another engine's integer results.
+    pub fn int_column(&self, name: &str) -> Result<Vec<i64>, DbError> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))?;
+        self.rows
+            .iter()
+            .map(|row| match &row[idx] {
+                Value::Int(v) => Ok(*v),
+                _ => Err(DbError::TypeMismatch {
+                    table: "<result>".into(),
+                    column: name.to_string(),
+                }),
+            })
+            .collect()
+    }
 }
 
 /// Executes `query` against `db`.

@@ -1,0 +1,254 @@
+//! The pull-pipeline interpreter of the physical-plan algebra.
+//!
+//! One [`execute`] call answers one compiled [`PhysicalPlan`] against one
+//! shard, under whatever lock the caller already holds (the batch path
+//! holds a single shard read lock for a whole coalesced batch). State
+//! between operators is a [`Frame`]: the ordered selection of item indices
+//! plus an optional payload aligned to it. Whole-shard algorithms compute
+//! over the entire matrix and project onto the selection, which is what
+//! makes a compound pipeline bit-identical to the equivalent sequence of
+//! single-shot requests (the `pipeline_differential` suite pins this).
+
+use super::metrics::ExecutionMetrics;
+use super::plan::{ClusterRule, OutlierRule, PhysicalPlan, PlanOp, Projection};
+use crate::request::{Response, ServerError};
+use crate::shard::{cut_response, Shard};
+use dpe_mining::{
+    canonical_dbscan_labels, db_outliers, dbscan, frequent_itemsets, kmedoids, lof, lof_outliers,
+    DbscanConfig, Dendrogram, Linkage, LofConfig, OutlierConfig,
+};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where the executor gets dendrograms: the batch path resolves through the
+/// per-shard plan cache (one build per `(epoch, linkage)`), the uncached
+/// baseline builds from scratch. Implementations report hits/builds into
+/// the query's metrics, so `ExecutionMetrics::plan_hits` stays truthful on
+/// both paths.
+pub(crate) trait PlanSource {
+    /// The dendrogram for `linkage` over the shard being executed.
+    fn resolve(&mut self, linkage: Linkage, metrics: &mut ExecutionMetrics) -> Arc<Dendrogram>;
+}
+
+/// Builds every dendrogram from scratch — the per-query dispatch baseline
+/// ([`crate::Server::serve_one_uncached`] and [`Shard::answer`]).
+pub(crate) struct DirectPlans<'a> {
+    pub(crate) shard: &'a Shard,
+}
+
+impl PlanSource for DirectPlans<'_> {
+    fn resolve(&mut self, linkage: Linkage, metrics: &mut ExecutionMetrics) -> Arc<Dendrogram> {
+        metrics.plan_builds += 1;
+        metrics.distance_cells += self.shard.matrix().packed_len() as u64;
+        Arc::new(self.shard.build_plan(linkage))
+    }
+}
+
+/// Total ascending order with every NaN after every number — the same
+/// ordering [`dpe_mining::knn_indices`] sorts by, so a `Knn` op over the
+/// full scan reproduces it bit-identically.
+#[inline]
+fn nan_last_cmp(a: f64, b: f64) -> Ordering {
+    a.is_nan().cmp(&b.is_nan()).then_with(|| a.total_cmp(&b))
+}
+
+/// Inter-operator state: the ordered selection plus payloads aligned to it.
+/// `medoids` and `itemsets` are whole-shard artefacts (validation confines
+/// their ops to undiluted scans).
+#[derive(Default)]
+struct Frame {
+    selection: Vec<usize>,
+    scores: Option<Vec<f64>>,
+    labels: Option<Vec<i64>>,
+    medoids: Option<(Vec<usize>, Vec<usize>, f64)>,
+    itemsets: Option<Vec<(Vec<String>, usize)>>,
+}
+
+impl Frame {
+    /// Reorders the selection (and aligned payloads) to `positions`, each a
+    /// position into the *current* selection.
+    fn take_positions(&mut self, positions: &[usize]) {
+        self.selection = positions.iter().map(|&p| self.selection[p]).collect();
+        if let Some(s) = &mut self.scores {
+            *s = positions.iter().map(|&p| s[p]).collect();
+        }
+        if let Some(l) = &mut self.labels {
+            *l = positions.iter().map(|&p| l[p]).collect();
+        }
+    }
+}
+
+/// Executes `plan` against `shard`, validating it first (the same
+/// [`PhysicalPlan::validate`] the eager [`Shard::validate`] path uses —
+/// single source, so the two can never disagree) and accumulating
+/// per-operator metrics.
+pub(crate) fn execute(
+    shard: &Shard,
+    shard_id: usize,
+    plan: &PhysicalPlan,
+    plans: &mut dyn PlanSource,
+    metrics: &mut ExecutionMetrics,
+) -> Result<Response, ServerError> {
+    let started = Instant::now();
+    plan.validate(shard_id, shard.len())?;
+    let matrix = shard.matrix();
+    let n = shard.len();
+    let mut frame = Frame::default();
+    let mut out: Option<Response> = None;
+
+    for op in plan.ops() {
+        let op_started = Instant::now();
+        match op {
+            PlanOp::Scan => {
+                frame = Frame {
+                    selection: (0..n).collect(),
+                    ..Frame::default()
+                };
+                metrics.rows_scanned += n as u64;
+            }
+            PlanOp::FilterRange { item, radius } => {
+                metrics.distance_cells += frame.selection.len() as u64;
+                let keep: Vec<usize> = (0..frame.selection.len())
+                    .filter(|&p| {
+                        let j = frame.selection[p];
+                        j != *item && matrix.get(*item, j) <= *radius
+                    })
+                    .collect();
+                frame.take_positions(&keep);
+            }
+            PlanOp::Knn { item, k } => {
+                let mut candidates: Vec<usize> = (0..frame.selection.len())
+                    .filter(|&p| frame.selection[p] != *item)
+                    .collect();
+                metrics.distance_cells += candidates.len() as u64;
+                candidates.sort_by(|&pa, &pb| {
+                    let (a, b) = (frame.selection[pa], frame.selection[pb]);
+                    nan_last_cmp(matrix.get(*item, a), matrix.get(*item, b)).then(a.cmp(&b))
+                });
+                candidates.truncate(*k);
+                frame.take_positions(&candidates);
+            }
+            PlanOp::Lof { min_pts } => {
+                metrics.distance_cells += matrix.packed_len() as u64;
+                let full = lof(matrix, LofConfig { min_pts: *min_pts });
+                frame.scores = Some(frame.selection.iter().map(|&i| full[i]).collect());
+            }
+            PlanOp::Outliers(rule) => {
+                metrics.distance_cells += matrix.packed_len() as u64;
+                let full = match rule {
+                    OutlierRule::DistanceBased { p, d } => {
+                        db_outliers(matrix, OutlierConfig { p: *p, d: *d })
+                    }
+                    OutlierRule::LofThreshold { min_pts, threshold } => {
+                        lof_outliers(matrix, LofConfig { min_pts: *min_pts }, *threshold)
+                    }
+                };
+                // Intersect with the selection, keeping the algorithm's
+                // output order (ascending index for DB(p, D), descending
+                // score for LOF outliers).
+                let mut position_of = vec![usize::MAX; n];
+                for (p, &i) in frame.selection.iter().enumerate() {
+                    position_of[i] = p;
+                }
+                let keep: Vec<usize> = full
+                    .into_iter()
+                    .filter_map(|i| (position_of[i] != usize::MAX).then_some(position_of[i]))
+                    .collect();
+                frame.take_positions(&keep);
+            }
+            PlanOp::ClusterLabels(rule) => match rule {
+                ClusterRule::Dbscan { eps, min_pts } => {
+                    metrics.distance_cells += matrix.packed_len() as u64;
+                    let full = canonical_dbscan_labels(&dbscan(
+                        matrix,
+                        DbscanConfig {
+                            eps: *eps,
+                            min_pts: *min_pts,
+                        },
+                    ));
+                    frame.labels = Some(frame.selection.iter().map(|&i| full[i]).collect());
+                }
+                ClusterRule::KMedoids { k } => {
+                    metrics.distance_cells += matrix.packed_len() as u64;
+                    let r = kmedoids(matrix, *k);
+                    let cost = r.cost(matrix);
+                    frame.medoids = Some((r.medoids, r.assignment, cost));
+                }
+                ClusterRule::Hierarchical { linkage, k } => {
+                    let dendrogram = plans.resolve(*linkage, metrics);
+                    metrics.distance_cells += frame.selection.len() as u64;
+                    let Response::Labels(full) = cut_response(&dendrogram, *k) else {
+                        unreachable!("cut_response always yields labels")
+                    };
+                    frame.labels = Some(frame.selection.iter().map(|&i| full[i]).collect());
+                }
+            },
+            PlanOp::Itemsets { min_support } => {
+                let fi = frequent_itemsets(&shard.feature_transactions(), *min_support);
+                frame.itemsets = Some(
+                    fi.into_iter()
+                        .map(|f| (f.items.into_iter().collect(), f.support))
+                        .collect(),
+                );
+            }
+            PlanOp::Limit(k) => {
+                let keep: Vec<usize> = (0..frame.selection.len().min(*k)).collect();
+                frame.take_positions(&keep);
+            }
+            PlanOp::Project(projection) => {
+                let missing = |what: &str| {
+                    ServerError::BadRequest(format!(
+                        "Project({what}) without an op producing that payload"
+                    ))
+                };
+                out = Some(match projection {
+                    Projection::Items => Response::Indices(frame.selection.clone()),
+                    Projection::Scores => {
+                        Response::Scores(frame.scores.take().ok_or_else(|| missing("Scores"))?)
+                    }
+                    Projection::Labels => {
+                        Response::Labels(frame.labels.take().ok_or_else(|| missing("Labels"))?)
+                    }
+                    Projection::Medoids => {
+                        let (medoids, assignment, cost) =
+                            frame.medoids.take().ok_or_else(|| missing("Medoids"))?;
+                        Response::Medoids {
+                            medoids,
+                            assignment,
+                            cost,
+                        }
+                    }
+                    Projection::Itemsets => Response::Itemsets(
+                        frame.itemsets.take().ok_or_else(|| missing("Itemsets"))?,
+                    ),
+                });
+            }
+        }
+        metrics.record_op(op_name(op), op_started.elapsed());
+    }
+
+    let elapsed = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    // Instant can report 0 ns on coarse clocks; the metrics contract is
+    // "non-zero for every executed query", so clamp up to 1.
+    metrics.total_nanos += elapsed.max(1);
+    out.ok_or_else(|| ServerError::BadRequest("pipeline produced no projection".into()))
+}
+
+/// Stable display name per operator kind, used in [`super::OpMetric`].
+fn op_name(op: &PlanOp) -> &'static str {
+    match op {
+        PlanOp::Scan => "Scan",
+        PlanOp::FilterRange { .. } => "FilterRange",
+        PlanOp::Knn { .. } => "Knn",
+        PlanOp::Lof { .. } => "Lof",
+        PlanOp::Outliers(OutlierRule::DistanceBased { .. }) => "Outliers(DB)",
+        PlanOp::Outliers(OutlierRule::LofThreshold { .. }) => "Outliers(LOF)",
+        PlanOp::ClusterLabels(ClusterRule::Dbscan { .. }) => "ClusterLabels(DBSCAN)",
+        PlanOp::ClusterLabels(ClusterRule::KMedoids { .. }) => "ClusterLabels(KMedoids)",
+        PlanOp::ClusterLabels(ClusterRule::Hierarchical { .. }) => "ClusterLabels(Hierarchical)",
+        PlanOp::Itemsets { .. } => "Itemsets",
+        PlanOp::Limit(_) => "Limit",
+        PlanOp::Project(_) => "Project",
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-query execution metrics, threaded through every plan operator.
+//!
+//! Every query answered by the executor — point queries, whole-shard
+//! clustering, compound pipelines, SQL — accumulates one
+//! [`ExecutionMetrics`] while it runs: rows scanned, distance cells
+//! touched, cache and plan-cache interactions, and per-operator wall time.
+//! The server folds the per-query records into the aggregate surfaced by
+//! [`crate::Server::stats`]; [`crate::Server::explain`] returns the
+//! per-query record itself.
+
+use std::time::Duration;
+
+/// Wall time and invocation count for one operator kind within a query (or,
+/// aggregated, across all queries — see [`ExecutionMetrics::merge`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMetric {
+    /// Operator name (`"Scan"`, `"FilterRange"`, `"Knn"`, …).
+    pub op: &'static str,
+    /// Times the operator ran.
+    pub invocations: u64,
+    /// Total wall time spent inside the operator, nanoseconds.
+    pub nanos: u64,
+}
+
+/// Counters accumulated while executing one physical plan.
+///
+/// A cache *hit* produces a record with `cache_hits = 1` and nothing else —
+/// the plan never ran. Every executed plan records at least its `Scan` and
+/// `Project` operators, so `ops` is never empty for a computed answer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionMetrics {
+    /// Items the `Scan` operator enumerated.
+    pub rows_scanned: u64,
+    /// Distance-matrix cells read by the operators (per-anchor operators
+    /// count one cell per candidate; whole-matrix algorithms count the
+    /// packed triangle they traverse; plan-cache hits count zero — the
+    /// dendrogram's cells were paid for when it was built).
+    pub distance_cells: u64,
+    /// Queries answered straight from the response cache.
+    pub cache_hits: u64,
+    /// Dendrograms resolved from the clustering-plan cache.
+    pub plan_hits: u64,
+    /// Dendrograms built because no cached plan matched.
+    pub plan_builds: u64,
+    /// Total wall time of the plan, nanoseconds.
+    pub total_nanos: u64,
+    /// Per-operator timings, in first-execution order.
+    pub ops: Vec<OpMetric>,
+}
+
+impl ExecutionMetrics {
+    /// Records one run of operator `op` taking `elapsed`.
+    pub(crate) fn record_op(&mut self, op: &'static str, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        match self.ops.iter_mut().find(|m| m.op == op) {
+            Some(m) => {
+                m.invocations += 1;
+                m.nanos += nanos;
+            }
+            None => self.ops.push(OpMetric {
+                op,
+                invocations: 1,
+                nanos,
+            }),
+        }
+    }
+
+    /// Folds `other` into `self` (operator timings merge by name) — how the
+    /// server aggregates per-query records into [`crate::ServerStats`].
+    pub fn merge(&mut self, other: &ExecutionMetrics) {
+        self.rows_scanned += other.rows_scanned;
+        self.distance_cells += other.distance_cells;
+        self.cache_hits += other.cache_hits;
+        self.plan_hits += other.plan_hits;
+        self.plan_builds += other.plan_builds;
+        self.total_nanos += other.total_nanos;
+        for m in &other.ops {
+            match self.ops.iter_mut().find(|o| o.op == m.op) {
+                Some(o) => {
+                    o.invocations += m.invocations;
+                    o.nanos += m.nanos;
+                }
+                None => self.ops.push(m.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_op_accumulates_per_name() {
+        let mut m = ExecutionMetrics::default();
+        m.record_op("Scan", Duration::from_nanos(10));
+        m.record_op("FilterRange", Duration::from_nanos(5));
+        m.record_op("FilterRange", Duration::from_nanos(7));
+        assert_eq!(m.ops.len(), 2);
+        assert_eq!(m.ops[1].op, "FilterRange");
+        assert_eq!(m.ops[1].invocations, 2);
+        assert_eq!(m.ops[1].nanos, 12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_joins_ops_by_name() {
+        let mut a = ExecutionMetrics {
+            rows_scanned: 10,
+            distance_cells: 45,
+            cache_hits: 1,
+            plan_hits: 0,
+            plan_builds: 1,
+            total_nanos: 100,
+            ops: vec![OpMetric {
+                op: "Scan",
+                invocations: 1,
+                nanos: 20,
+            }],
+        };
+        let b = ExecutionMetrics {
+            rows_scanned: 5,
+            distance_cells: 10,
+            cache_hits: 0,
+            plan_hits: 2,
+            plan_builds: 0,
+            total_nanos: 50,
+            ops: vec![
+                OpMetric {
+                    op: "Scan",
+                    invocations: 1,
+                    nanos: 5,
+                },
+                OpMetric {
+                    op: "Knn",
+                    invocations: 1,
+                    nanos: 9,
+                },
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 15);
+        assert_eq!(a.distance_cells, 55);
+        assert_eq!((a.cache_hits, a.plan_hits, a.plan_builds), (1, 2, 1));
+        assert_eq!(a.total_nanos, 150);
+        assert_eq!(a.ops.len(), 2);
+        assert_eq!(a.ops[0].invocations, 2);
+        assert_eq!(a.ops[0].nanos, 25);
+    }
+}

@@ -1,0 +1,24 @@
+//! # The physical-plan executor
+//!
+//! The server's one execution path. Every [`crate::Request`] — the nine
+//! single-shot variants and the compound [`crate::Request::Pipeline`] —
+//! compiles ([`PhysicalPlan::compile`]) into a small operator algebra
+//! ([`PlanOp`]): a `Scan`, a chain of selection/scoring operators, and a
+//! final `Project`. One interpreter (`executor`) runs the chain under a
+//! single shard read lock, accumulating [`ExecutionMetrics`] per query
+//! (rows scanned, distance cells touched, cache/plan interactions,
+//! per-operator wall time).
+//!
+//! Validation is **derived from the compiled plan**
+//! (`PhysicalPlan::validate`): [`crate::Shard::validate`] and the
+//! executor read the same op list, so an operator cannot ship with
+//! execution semantics but missing bounds checks.
+
+mod executor;
+mod metrics;
+mod plan;
+
+pub use metrics::{ExecutionMetrics, OpMetric};
+pub use plan::{ClusterRule, OutlierRule, PhysicalPlan, PlanOp, Projection};
+
+pub(crate) use executor::{execute, DirectPlans, PlanSource};

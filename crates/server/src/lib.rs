@@ -31,6 +31,14 @@
 //!   Ingests invalidate plans lazily through the same epoch keying. See
 //!   [`PlanStats`].
 //!
+//! Every request — the nine single-shot variants and the compound
+//! [`Request::Pipeline`] — compiles into one physical-plan algebra
+//! ([`PlanOp`]) answered by a single pull-pipeline executor (see [`exec`]),
+//! which accumulates per-query [`ExecutionMetrics`] surfaced through the
+//! unified [`ServerStats`] snapshot ([`Server::stats`]) and per query via
+//! [`Server::explain`]. A SQL front door ([`Server::sql`]) lowers a SELECT
+//! subset over virtual "pairs" tables ([`SqlTable`]) onto the same ops.
+//!
 //! Because every answer is a pure function of a shard's distance matrix,
 //! the engine inherits the paper's headline property end-to-end: a server
 //! loaded with DPE-encrypted queries returns **bit-identical** responses
@@ -45,7 +53,7 @@
 //! use dpe_sql::parse_query;
 //!
 //! // Two tenants, a 64-entry response cache.
-//! let server = Server::new(TokenDistance, 2, 64);
+//! let server = Server::builder(TokenDistance).shards(2).cache_capacity(64).build();
 //! let log: Vec<_> = ["SELECT ra FROM t", "SELECT dec FROM t", "SELECT ra FROM u"]
 //!     .iter()
 //!     .map(|s| parse_query(s).unwrap())
@@ -64,15 +72,21 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+pub mod exec;
 mod plan;
 mod request;
 mod scheduler;
 mod server;
 mod shard;
+pub mod sql;
 
 pub use cache::{CacheStats, LruCache};
+pub use exec::{
+    ClusterRule, ExecutionMetrics, OpMetric, OutlierRule, PhysicalPlan, PlanOp, Projection,
+};
 pub use plan::PlanStats;
 pub use request::{Request, Response, ServerError, Ticket};
 pub use scheduler::SchedulerStats;
-pub use server::Server;
+pub use server::{Server, ServerBuilder, ServerStats};
 pub use shard::Shard;
+pub use sql::{dist_literal, lower_select, SqlTable};

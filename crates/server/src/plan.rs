@@ -19,7 +19,7 @@ use dpe_mining::{Dendrogram, Linkage};
 use std::sync::Arc;
 
 /// Plan-cache counters, aggregated across shards by
-/// [`crate::Server::plan_stats`]. The amortization headline is
+/// [`crate::Server::stats`]. The amortization headline is
 /// `hits / builds`: how many `cut(k)` answers each dendrogram build served.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanStats {

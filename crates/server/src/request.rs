@@ -1,5 +1,6 @@
 //! The serving wire types: requests, responses, tickets and errors.
 
+use crate::exec::{ClusterRule, OutlierRule, PlanOp, Projection};
 use dpe_distance::DistanceError;
 use dpe_mining::Linkage;
 use std::fmt;
@@ -53,6 +54,15 @@ pub enum Request {
     /// Frequent feature itemsets of the shard's query log (Apriori over
     /// `features(Q)` transactions, absolute `min_support`).
     FrequentItemsets { shard: usize, min_support: usize },
+    /// A compound query: a chain of [`PlanOp`]s executed as **one** physical
+    /// plan under a single shard read lock — filter → cluster-label →
+    /// project in one scheduler pass instead of one round trip per step.
+    /// The compiler normalizes the chain (leading `Scan`, trailing natural
+    /// `Project` when omitted); whole-shard operators compute over the full
+    /// shard and project onto the pipeline's current selection, so results
+    /// are bit-identical to composing the single-shot variants client-side.
+    /// Fingerprinted bit-exactly and cached like every other request.
+    Pipeline { shard: usize, ops: Vec<PlanOp> },
 }
 
 impl Request {
@@ -68,6 +78,7 @@ impl Request {
             | Request::KMedoids { shard, .. }
             | Request::Hierarchical { shard, .. }
             | Request::FrequentItemsets { shard, .. } => shard,
+            Request::Pipeline { shard, .. } => shard,
         }
     }
 
@@ -75,82 +86,85 @@ impl Request {
     /// groups same-plan requests together and the plan cache builds each
     /// (shard, epoch, linkage) dendrogram exactly once.
     pub(crate) fn plan(&self) -> Option<Linkage> {
-        match *self {
-            Request::Hierarchical { linkage, .. } => Some(linkage),
+        match self {
+            Request::Hierarchical { linkage, .. } => Some(*linkage),
+            Request::Pipeline { ops, .. } => ops.iter().find_map(|op| match op {
+                PlanOp::ClusterLabels(ClusterRule::Hierarchical { linkage, .. }) => Some(*linkage),
+                _ => None,
+            }),
             _ => None,
         }
     }
 
     /// A hashable bit-exact fingerprint (shard excluded — the cache key
-    /// carries the shard and its epoch separately).
+    /// carries the shard and its epoch separately). The encoding is a
+    /// tag-led word sequence with a fixed arity per tag, so it is
+    /// self-delimiting: compound pipelines of any length fingerprint
+    /// collision-free next to the single-shot variants.
     pub(crate) fn fingerprint(&self) -> RequestKey {
-        match *self {
-            Request::Knn { item, k, .. } => RequestKey {
-                tag: 0,
-                a: item,
-                b: k,
-                x: 0,
-                y: 0,
-            },
-            Request::Range { item, radius, .. } => RequestKey {
-                tag: 1,
-                a: item,
-                b: 0,
-                x: radius.to_bits(),
-                y: 0,
-            },
-            Request::Lof { min_pts, .. } => RequestKey {
-                tag: 2,
-                a: min_pts,
-                b: 0,
-                x: 0,
-                y: 0,
-            },
+        let mut words: Vec<u64> = Vec::with_capacity(4);
+        match self {
+            Request::Knn { item, k, .. } => words.extend([0, *item as u64, *k as u64]),
+            Request::Range { item, radius, .. } => {
+                words.extend([1, *item as u64, radius.to_bits()])
+            }
+            Request::Lof { min_pts, .. } => words.extend([2, *min_pts as u64]),
             Request::LofOutliers {
                 min_pts, threshold, ..
-            } => RequestKey {
-                tag: 3,
-                a: min_pts,
-                b: 0,
-                x: threshold.to_bits(),
-                y: 0,
-            },
-            Request::Outliers { p, d, .. } => RequestKey {
-                tag: 4,
-                a: 0,
-                b: 0,
-                x: p.to_bits(),
-                y: d.to_bits(),
-            },
-            Request::Dbscan { eps, min_pts, .. } => RequestKey {
-                tag: 5,
-                a: min_pts,
-                b: 0,
-                x: eps.to_bits(),
-                y: 0,
-            },
-            Request::KMedoids { k, .. } => RequestKey {
-                tag: 6,
-                a: k,
-                b: 0,
-                x: 0,
-                y: 0,
-            },
-            Request::Hierarchical { linkage, k, .. } => RequestKey {
-                tag: 7,
-                a: k,
-                b: linkage_tag(linkage),
-                x: 0,
-                y: 0,
-            },
-            Request::FrequentItemsets { min_support, .. } => RequestKey {
-                tag: 8,
-                a: min_support,
-                b: 0,
-                x: 0,
-                y: 0,
-            },
+            } => words.extend([3, *min_pts as u64, threshold.to_bits()]),
+            Request::Outliers { p, d, .. } => words.extend([4, p.to_bits(), d.to_bits()]),
+            Request::Dbscan { eps, min_pts, .. } => {
+                words.extend([5, *min_pts as u64, eps.to_bits()])
+            }
+            Request::KMedoids { k, .. } => words.extend([6, *k as u64]),
+            Request::Hierarchical { linkage, k, .. } => {
+                words.extend([7, *k as u64, linkage_tag(*linkage) as u64])
+            }
+            Request::FrequentItemsets { min_support, .. } => words.extend([8, *min_support as u64]),
+            Request::Pipeline { ops, .. } => {
+                words.extend([9, ops.len() as u64]);
+                for op in ops {
+                    encode_op(op, &mut words);
+                }
+            }
         }
+        RequestKey(words)
+    }
+}
+
+/// Appends one plan op's fingerprint words: an op tag followed by a fixed
+/// number of operand words (floats bit-exact via `to_bits`).
+fn encode_op(op: &PlanOp, words: &mut Vec<u64>) {
+    match op {
+        PlanOp::Scan => words.push(0),
+        PlanOp::FilterRange { item, radius } => words.extend([1, *item as u64, radius.to_bits()]),
+        PlanOp::Knn { item, k } => words.extend([2, *item as u64, *k as u64]),
+        PlanOp::Lof { min_pts } => words.extend([3, *min_pts as u64]),
+        PlanOp::Outliers(OutlierRule::DistanceBased { p, d }) => {
+            words.extend([4, p.to_bits(), d.to_bits()])
+        }
+        PlanOp::Outliers(OutlierRule::LofThreshold { min_pts, threshold }) => {
+            words.extend([5, *min_pts as u64, threshold.to_bits()])
+        }
+        PlanOp::ClusterLabels(ClusterRule::Dbscan { eps, min_pts }) => {
+            words.extend([6, *min_pts as u64, eps.to_bits()])
+        }
+        PlanOp::ClusterLabels(ClusterRule::KMedoids { k }) => words.extend([7, *k as u64]),
+        PlanOp::ClusterLabels(ClusterRule::Hierarchical { linkage, k }) => {
+            words.extend([8, *k as u64, linkage_tag(*linkage) as u64])
+        }
+        PlanOp::Itemsets { min_support } => words.extend([9, *min_support as u64]),
+        PlanOp::Project(projection) => {
+            let kind = match projection {
+                Projection::Items => 0u64,
+                Projection::Scores => 1,
+                Projection::Labels => 2,
+                Projection::Medoids => 3,
+                Projection::Itemsets => 4,
+            };
+            words.extend([10, kind]);
+        }
+        PlanOp::Limit(k) => words.extend([11, *k as u64]),
     }
 }
 
@@ -165,15 +179,11 @@ pub(crate) fn linkage_tag(linkage: Linkage) -> usize {
     }
 }
 
-/// Bit-exact request fingerprint used in cache keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct RequestKey {
-    tag: u8,
-    a: usize,
-    b: usize,
-    x: u64,
-    y: u64,
-}
+/// Bit-exact request fingerprint used in cache keys: a self-delimiting
+/// tag-led word sequence (see [`Request::fingerprint`]), variable-length so
+/// compound pipelines fingerprint exactly like everything else.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct RequestKey(Vec<u64>);
 
 /// A computed answer.
 ///
@@ -234,12 +244,20 @@ impl Response {
 
 /// Order-stamped receipt returned by [`crate::Server::submit`]; `drain`
 /// reports results sorted by ticket, so submission order is recoverable.
+/// The inner counter is an engine detail — read it through [`Ticket::id`].
 // The clippy.toml ban on `PartialOrd::partial_cmp` targets NaN-prone
 // float sorts; this derive expands to field-wise partial_cmp over
 // non-float fields, which cannot hit the NaN pitfall.
 #[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Ticket(pub u64);
+pub struct Ticket(pub(crate) u64);
+
+impl Ticket {
+    /// The ticket's position in global submission order.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
 
 /// Why a request (or ingest) was rejected. Requests never panic a worker:
 /// everything the mining layer would assert on is validated up front.
@@ -260,6 +278,9 @@ pub enum ServerError {
     /// A caller-supplied producer (e.g. the chunk iterator fed to
     /// [`crate::Server::ingest_stream`]) panicked on its worker thread.
     ProducerPanicked,
+    /// A [`crate::Server::sql`] statement falls outside the supported
+    /// SELECT subset (or names an unregistered table).
+    UnsupportedSql(String),
 }
 
 impl fmt::Display for ServerError {
@@ -279,6 +300,7 @@ impl fmt::Display for ServerError {
                     "the caller-supplied chunk producer panicked; ingested prefix was kept"
                 )
             }
+            ServerError::UnsupportedSql(why) => write!(f, "unsupported SQL: {why}"),
         }
     }
 }
@@ -356,6 +378,49 @@ mod tests {
             Request::FrequentItemsets {
                 shard: 0,
                 min_support: 3,
+            },
+            // Compound pipelines: never collide with the single-shot
+            // variants they contain, and op order / parameters separate.
+            Request::Pipeline {
+                shard: 0,
+                ops: vec![PlanOp::Knn { item: 1, k: 3 }],
+            },
+            Request::Pipeline {
+                shard: 0,
+                ops: vec![
+                    PlanOp::FilterRange {
+                        item: 1,
+                        radius: 0.5,
+                    },
+                    PlanOp::Knn { item: 1, k: 3 },
+                ],
+            },
+            Request::Pipeline {
+                shard: 0,
+                ops: vec![
+                    PlanOp::FilterRange {
+                        item: 1,
+                        radius: 0.5,
+                    },
+                    PlanOp::ClusterLabels(ClusterRule::Hierarchical {
+                        linkage: Linkage::Complete,
+                        k: 3,
+                    }),
+                ],
+            },
+            Request::Pipeline {
+                shard: 0,
+                ops: vec![
+                    PlanOp::FilterRange {
+                        item: 1,
+                        radius: 0.5,
+                    },
+                    PlanOp::ClusterLabels(ClusterRule::Hierarchical {
+                        linkage: Linkage::Complete,
+                        k: 3,
+                    }),
+                    PlanOp::Limit(2),
+                ],
             },
         ];
         for (i, a) in reqs.iter().enumerate() {

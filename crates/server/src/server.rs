@@ -24,23 +24,83 @@
 //! addressable and age out of the LRU.
 
 use crate::cache::{CacheStats, LruCache};
+use crate::exec::{self, ExecutionMetrics, PhysicalPlan, PlanSource};
 use crate::plan::{PlanCache, PlanStats};
 use crate::request::{Request, RequestKey, Response, ServerError, Ticket};
 use crate::scheduler::{group_stable_by, SchedulerStats, ShardQueues};
-use crate::shard::{cut_response, Shard};
+use crate::shard::Shard;
+use crate::sql::SqlTable;
 use dpe_distance::QueryDistance;
+use dpe_mining::{Dendrogram, Linkage};
 use dpe_sql::Query;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Cache key: a response is valid for exactly one (shard, epoch, request)
 /// triple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     shard: usize,
     epoch: u64,
     request: RequestKey,
+}
+
+/// One unified server snapshot: every counter the engine keeps, in one
+/// coherent read. Replaces the former `cache_stats()` /
+/// `scheduler_stats()` / `plan_stats()` triple — callers no longer stitch
+/// three partially-ordered snapshots together.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Response-cache counters, aggregated over the per-shard partitions.
+    pub cache: CacheStats,
+    /// Scheduler counters (served / batches / steals).
+    pub scheduler: SchedulerStats,
+    /// Clustering-plan counters, aggregated over the per-shard caches.
+    pub plans: PlanStats,
+    /// Queries answered through the plan executor or the response cache.
+    pub queries: u64,
+    /// [`ExecutionMetrics`] summed over every answered query.
+    pub exec: ExecutionMetrics,
+}
+
+/// Executor counters aggregated across queries, behind one mutex.
+#[derive(Debug, Default)]
+struct ExecTotals {
+    queries: u64,
+    metrics: ExecutionMetrics,
+}
+
+/// Resolves dendrograms through a shard's plan cache: built at most once
+/// per `(epoch, linkage)`, shared across requests, batches and clients.
+/// Holding the mutex across a build is deliberate — a second worker
+/// wanting the same plan blocks and then hits, instead of burning another
+/// O(n³) build.
+struct CachedPlans<'a> {
+    shard: &'a Shard,
+    epoch: u64,
+    cache: &'a Mutex<PlanCache>,
+}
+
+impl PlanSource for CachedPlans<'_> {
+    fn resolve(&mut self, linkage: Linkage, metrics: &mut ExecutionMetrics) -> Arc<Dendrogram> {
+        let mut built = false;
+        let plan = self.cache.lock().expect("plan lock poisoned").get_or_build(
+            self.epoch,
+            linkage,
+            || {
+                built = true;
+                self.shard.build_plan(linkage)
+            },
+        );
+        if built {
+            metrics.plan_builds += 1;
+            metrics.distance_cells += self.shard.matrix().packed_len() as u64;
+        } else {
+            metrics.plan_hits += 1;
+        }
+        plan
+    }
 }
 
 /// The batch-serving engine. Generic over the distance measure used for
@@ -62,17 +122,56 @@ pub struct Server<M> {
     /// burning another O(n³) build.
     plans: Vec<Mutex<PlanCache>>,
     next_ticket: AtomicU64,
+    /// Executor counters summed across every answered query.
+    exec_totals: Mutex<ExecTotals>,
+    /// SQL front-door bindings: virtual pairs-table name → shard/column
+    /// binding (see [`crate::sql`]).
+    pub(crate) sql_tables: Mutex<BTreeMap<String, SqlTable>>,
 }
 
-impl<M: QueryDistance + Sync> Server<M> {
-    /// A server with `shards` empty tenant shards and a response cache of
-    /// `cache_capacity` entries (0 disables caching), partitioned evenly
-    /// across the shards.
+/// Staged configuration for a [`Server`] — the one way to construct one.
+///
+/// ```
+/// use dpe_server::Server;
+/// use dpe_distance::TokenDistance;
+/// let server = Server::builder(TokenDistance)
+///     .shards(4)
+///     .cache_capacity(1024)
+///     .build();
+/// assert_eq!(server.shard_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerBuilder<M> {
+    measure: M,
+    shards: usize,
+    cache_capacity: usize,
+}
+
+impl<M: QueryDistance + Sync> ServerBuilder<M> {
+    /// Number of tenant shards (default 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Total response-cache capacity in entries, partitioned evenly across
+    /// the shards (default 0 — caching disabled).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Builds the server.
     ///
     /// # Panics
     ///
-    /// Panics when `shards` is 0.
-    pub fn new(measure: M, shards: usize, cache_capacity: usize) -> Self {
+    /// Panics when configured with 0 shards.
+    pub fn build(self) -> Server<M> {
+        let ServerBuilder {
+            measure,
+            shards,
+            cache_capacity,
+        } = self;
         assert!(shards > 0, "a server needs at least one shard");
         let per_shard_capacity = cache_capacity.div_ceil(shards);
         Server {
@@ -84,7 +183,39 @@ impl<M: QueryDistance + Sync> Server<M> {
                 .collect(),
             plans: (0..shards).map(|_| Mutex::new(PlanCache::new())).collect(),
             next_ticket: AtomicU64::new(0),
+            exec_totals: Mutex::new(ExecTotals::default()),
+            sql_tables: Mutex::new(BTreeMap::new()),
         }
+    }
+}
+
+impl<M: QueryDistance + Sync> Server<M> {
+    /// Starts configuring a server over `measure`; finish with
+    /// [`ServerBuilder::build`].
+    pub fn builder(measure: M) -> ServerBuilder<M> {
+        ServerBuilder {
+            measure,
+            shards: 1,
+            cache_capacity: 0,
+        }
+    }
+
+    /// A server with `shards` empty tenant shards and a response cache of
+    /// `cache_capacity` entries (0 disables caching), partitioned evenly
+    /// across the shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is 0.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Server::builder(measure).shards(n).cache_capacity(c).build()"
+    )]
+    pub fn new(measure: M, shards: usize, cache_capacity: usize) -> Self {
+        Server::builder(measure)
+            .shards(shards)
+            .cache_capacity(cache_capacity)
+            .build()
     }
 
     /// Number of tenant shards.
@@ -103,7 +234,7 @@ impl<M: QueryDistance + Sync> Server<M> {
     }
 
     // dpe-analyze: allow(guard-escapes-function, reason = "deliberate crate-private helper: fusing the bounds check with acquisition keeps every read path on one code shape; all callers drop the guard within one expression")
-    fn read_shard(
+    pub(crate) fn read_shard(
         &self,
         shard: usize,
     ) -> Result<std::sync::RwLockReadGuard<'_, Shard>, ServerError> {
@@ -276,17 +407,46 @@ impl<M: QueryDistance + Sync> Server<M> {
     }
 
     /// Per-query dispatch baseline: answers one request with one lock
-    /// acquisition and **no** cache involvement. This is what serving looks
-    /// like without the batching layer — the `server_throughput` bench
-    /// measures the gap.
+    /// acquisition and **no** cache involvement (response cache *and* plan
+    /// cache are both bypassed). This is what serving looks like without
+    /// the batching layer — the `server_throughput` bench measures the gap.
     pub fn serve_one_uncached(&self, request: &Request) -> Result<Response, ServerError> {
-        self.read_shard(request.shard())?.answer(request)
+        let (response, metrics) = self
+            .read_shard(request.shard())?
+            .answer_with_metrics(request)?;
+        self.record_exec(&metrics);
+        Ok(response)
+    }
+
+    /// Answers one request through the plan executor *with* the plan cache
+    /// but **skipping the response cache**, returning the response together
+    /// with the query's own [`ExecutionMetrics`] — the per-query
+    /// observability hook (`EXPLAIN ANALYZE` for the encrypted store).
+    pub fn explain(&self, request: &Request) -> Result<(Response, ExecutionMetrics), ServerError> {
+        let shard = request.shard();
+        let guard = self.read_shard(shard)?;
+        let plan = PhysicalPlan::compile(request);
+        let mut metrics = ExecutionMetrics::default();
+        let mut plans = CachedPlans {
+            shard: &guard,
+            epoch: guard.epoch(),
+            cache: &self.plans[shard],
+        };
+        let response = exec::execute(&guard, shard, &plan, &mut plans, &mut metrics)?;
+        drop(guard);
+        self.record_exec(&metrics);
+        Ok((response, metrics))
     }
 
     /// Answers one coalesced shard batch under a single read-lock
-    /// acquisition, consulting the shard's cache partition per request.
-    /// Same-plan requests are grouped adjacently first, so one dendrogram
-    /// build amortizes across every `Hierarchical` cut in the batch.
+    /// acquisition, consulting the shard's cache partition per request,
+    /// then compiling the request into a [`PhysicalPlan`] and running the
+    /// plan executor. Same-plan requests are grouped adjacently first, and
+    /// dendrograms resolve through the shard's plan cache (built at most
+    /// once per `(epoch, linkage)` — the epoch was read under this read
+    /// lock, so a cached plan provably describes the store answering the
+    /// batch), so one build amortizes across every `Hierarchical` cut in
+    /// the batch.
     fn answer_shard_batch(
         &self,
         shard: usize,
@@ -304,24 +464,21 @@ impl<M: QueryDistance + Sync> Server<M> {
                     request: request.fingerprint(),
                 };
                 if let Some(hit) = cache.lock().expect("cache lock poisoned").get(&key) {
+                    self.record_exec(&ExecutionMetrics {
+                        cache_hits: 1,
+                        ..ExecutionMetrics::default()
+                    });
                     return (ticket, Ok(hit));
                 }
-                let result = match request {
-                    // Plan-backed: resolve the dendrogram through the plan
-                    // cache (built at most once per (epoch, linkage)), then
-                    // cut. The epoch was read under this read lock, so the
-                    // plan provably describes the store answering the batch.
-                    Request::Hierarchical { linkage, k, .. } => {
-                        guard.validate(&request).map(|()| {
-                            let plan = self.plans[shard]
-                                .lock()
-                                .expect("plan lock poisoned")
-                                .get_or_build(epoch, linkage, || guard.build_plan(linkage));
-                            cut_response(&plan, k)
-                        })
-                    }
-                    _ => guard.answer(&request),
+                let plan = PhysicalPlan::compile(&request);
+                let mut metrics = ExecutionMetrics::default();
+                let mut plans = CachedPlans {
+                    shard: &guard,
+                    epoch,
+                    cache: &self.plans[shard],
                 };
+                let result = exec::execute(&guard, shard, &plan, &mut plans, &mut metrics);
+                self.record_exec(&metrics);
                 if let Ok(response) = &result {
                     cache
                         .lock()
@@ -333,9 +490,21 @@ impl<M: QueryDistance + Sync> Server<M> {
             .collect()
     }
 
-    /// Response-cache counters, aggregated over the per-shard partitions.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.caches.iter().fold(CacheStats::default(), |acc, c| {
+    /// Folds one query's metrics into the server-wide totals.
+    fn record_exec(&self, metrics: &ExecutionMetrics) {
+        let mut totals = self.exec_totals.lock().expect("exec totals lock poisoned");
+        totals.queries += 1;
+        totals.metrics.merge(metrics);
+    }
+
+    /// One coherent snapshot of every counter the engine keeps: response
+    /// cache, scheduler, clustering-plan cache, and the aggregated
+    /// [`ExecutionMetrics`] over all answered queries. The plan-cache
+    /// amortization claim is checkable here: serving `cut(k)` for many `k`
+    /// against an unchanged store must grow `plans.hits` while
+    /// `plans.builds` stays put.
+    pub fn stats(&self) -> ServerStats {
+        let cache = self.caches.iter().fold(CacheStats::default(), |acc, c| {
             let s = c.lock().expect("cache lock poisoned").stats();
             CacheStats {
                 hits: acc.hits + s.hits,
@@ -343,20 +512,8 @@ impl<M: QueryDistance + Sync> Server<M> {
                 evictions: acc.evictions + s.evictions,
                 len: acc.len + s.len,
             }
-        })
-    }
-
-    /// Scheduler counters (served / batches / steals).
-    pub fn scheduler_stats(&self) -> SchedulerStats {
-        self.queues.stats()
-    }
-
-    /// Clustering-plan counters, aggregated over the per-shard caches. The
-    /// amortization claim is checkable here: serving `cut(k)` for many `k`
-    /// against an unchanged store must grow `hits` while `builds` stays
-    /// put.
-    pub fn plan_stats(&self) -> PlanStats {
-        self.plans.iter().fold(PlanStats::default(), |acc, p| {
+        });
+        let plans = self.plans.iter().fold(PlanStats::default(), |acc, p| {
             let s = p.lock().expect("plan lock poisoned").stats();
             PlanStats {
                 builds: acc.builds + s.builds,
@@ -364,7 +521,18 @@ impl<M: QueryDistance + Sync> Server<M> {
                 invalidations: acc.invalidations + s.invalidations,
                 live: acc.live + s.live,
             }
-        })
+        });
+        let (queries, exec) = {
+            let totals = self.exec_totals.lock().expect("exec totals lock poisoned");
+            (totals.queries, totals.metrics.clone())
+        };
+        ServerStats {
+            cache,
+            scheduler: self.queues.stats(),
+            plans,
+            queries,
+            exec,
+        }
     }
 
     /// Empties every cache partition (counters keep accumulating) — used
@@ -406,7 +574,10 @@ mod tests {
     }
 
     fn server() -> Server<TokenDistance> {
-        let s = Server::new(TokenDistance, 3, 64);
+        let s = Server::builder(TokenDistance)
+            .shards(3)
+            .cache_capacity(64)
+            .build();
         for shard in 0..3 {
             s.ingest(shard, &queries(8 + shard, shard * 100)).unwrap();
         }
@@ -416,10 +587,10 @@ mod tests {
     #[test]
     fn ingest_stream_matches_one_shot_ingest() {
         let all = queries(14, 0);
-        let oracle = Server::new(TokenDistance, 1, 0);
+        let oracle = Server::builder(TokenDistance).build();
         oracle.ingest(0, &all).unwrap();
 
-        let s = Server::new(TokenDistance, 1, 0);
+        let s = Server::builder(TokenDistance).build();
         // Chunks are produced lazily on the stream's producer thread —
         // the shape of an owner encrypting while the server ingests.
         let chunks = (0..4).map(|i| all[i * 4..(i * 4 + 4).min(14)].to_vec());
@@ -449,7 +620,7 @@ mod tests {
 
     #[test]
     fn ingest_stream_surfaces_producer_panic_as_typed_error() {
-        let s = Server::new(TokenDistance, 1, 0);
+        let s = Server::builder(TokenDistance).build();
         let chunks = (0..3).map(|i| {
             if i == 1 {
                 panic!("caller iterator bug");
@@ -539,14 +710,24 @@ mod tests {
             min_pts: 3,
         };
         let first = s.serve_batch(std::slice::from_ref(&req), 1);
-        let before = s.cache_stats();
+        let before = s.stats();
         let second = s.serve_batch(std::slice::from_ref(&req), 1);
-        let after = s.cache_stats();
+        let after = s.stats();
         assert!(first[0]
             .as_ref()
             .unwrap()
             .bits_eq(second[0].as_ref().unwrap()));
-        assert_eq!(after.hits, before.hits + 1, "second serve must be a hit");
+        assert_eq!(
+            after.cache.hits,
+            before.cache.hits + 1,
+            "second serve must be a hit"
+        );
+        assert_eq!(
+            after.exec.cache_hits,
+            before.exec.cache_hits + 1,
+            "the hit must surface in the aggregated executor metrics too"
+        );
+        assert_eq!(after.queries, before.queries + 1);
     }
 
     #[test]
@@ -596,7 +777,7 @@ mod tests {
         // repeats identically while the store is unchanged.
         let r2 = &s.serve_batch(std::slice::from_ref(&bad), 1)[0];
         assert_eq!(r1, r2);
-        assert_eq!(s.cache_stats().len, 0, "errors must not occupy cache slots");
+        assert_eq!(s.stats().cache.len, 0, "errors must not occupy cache slots");
     }
 
     #[test]
@@ -622,7 +803,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
-        Server::new(TokenDistance, 0, 8);
+        Server::builder(TokenDistance).shards(0).build();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_matches_builder() {
+        let s = Server::new(TokenDistance, 2, 8);
+        assert_eq!(s.shard_count(), 2);
+        s.ingest(1, &queries(4, 0)).unwrap();
+        assert_eq!(s.shard_len(1).unwrap(), 4);
     }
 
     #[test]
@@ -651,7 +841,7 @@ mod tests {
             let oracle = s.serve_one_uncached(req).unwrap();
             assert!(result.as_ref().unwrap().bits_eq(&oracle), "{req:?}");
         }
-        let stats = s.plan_stats();
+        let stats = s.stats().plans;
         assert_eq!(stats.builds, 1, "one dendrogram for the whole sweep");
         assert_eq!(stats.hits, 7);
 
@@ -666,7 +856,7 @@ mod tests {
             .collect();
         s.clear_cache(); // force plan reuse, not response-cache hits
         let _ = s.serve_batch(&more, 1);
-        let stats = s.plan_stats();
+        let stats = s.stats().plans;
         assert_eq!(stats.builds, 1, "warm plan must serve varying k");
         assert_eq!(stats.hits, 10);
     }
@@ -694,7 +884,7 @@ mod tests {
         ];
         let results = s.serve_batch(&reqs, 3);
         assert!(results.iter().all(|r| r.is_ok()));
-        let stats = s.plan_stats();
+        let stats = s.stats().plans;
         assert_eq!((stats.builds, stats.live), (3, 3));
     }
 
@@ -703,13 +893,51 @@ mod tests {
         let s = server();
         let req = Request::KMedoids { shard: 2, k: 3 };
         let first = s.serve_batch(std::slice::from_ref(&req), 1);
-        let before = s.cache_stats();
+        let before = s.stats();
         let second = s.serve_batch(std::slice::from_ref(&req), 1);
-        let after = s.cache_stats();
+        let after = s.stats();
         assert!(first[0]
             .as_ref()
             .unwrap()
             .bits_eq(second[0].as_ref().unwrap()));
-        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.cache.hits, before.cache.hits + 1);
+    }
+
+    #[test]
+    fn explain_returns_per_query_metrics() {
+        let s = server();
+        let (response, metrics) = s
+            .explain(&Request::Knn {
+                shard: 0,
+                item: 2,
+                k: 3,
+            })
+            .unwrap();
+        assert!(response.bits_eq(
+            &s.serve_one_uncached(&Request::Knn {
+                shard: 0,
+                item: 2,
+                k: 3,
+            })
+            .unwrap()
+        ));
+        assert_eq!(metrics.rows_scanned, 8, "shard 0 holds 8 items");
+        assert!(metrics.distance_cells > 0);
+        assert!(metrics.total_nanos > 0);
+        assert_eq!(metrics.cache_hits, 0, "explain skips the response cache");
+        let ops: Vec<&str> = metrics.ops.iter().map(|o| o.op).collect();
+        assert_eq!(ops, ["Scan", "Knn", "Project"]);
+
+        // A hierarchical explain resolves through the plan cache: the
+        // second call for the same (epoch, linkage) must be a plan hit.
+        let h = Request::Hierarchical {
+            shard: 1,
+            linkage: dpe_mining::Linkage::Average,
+            k: 3,
+        };
+        let (_, m1) = s.explain(&h).unwrap();
+        assert_eq!((m1.plan_builds, m1.plan_hits), (1, 0));
+        let (_, m2) = s.explain(&h).unwrap();
+        assert_eq!((m2.plan_builds, m2.plan_hits), (0, 1));
     }
 }

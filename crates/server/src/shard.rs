@@ -8,14 +8,11 @@
 //! queries cost exactly `m·n + m(m−1)/2` distance calls, and the packed
 //! upper-triangle layout keeps the per-shard memory at `n(n−1)/2` cells.
 
+use crate::exec::{self, ExecutionMetrics, PhysicalPlan};
 use crate::request::{Request, Response, ServerError};
 use dpe_distance::{DistanceMatrix, QueryDistance};
 use dpe_mining::apriori::Transaction;
-use dpe_mining::{
-    agglomerative, canonical_dbscan_labels, db_outliers, dbscan, frequent_itemsets, kmedoids,
-    knn_indices, lof, lof_outliers, range_indices, Dendrogram, Linkage,
-};
-use dpe_mining::{DbscanConfig, LofConfig, OutlierConfig};
+use dpe_mining::{agglomerative, Dendrogram, Linkage};
 use dpe_sql::{feature_set, Query};
 
 /// A tenant's slice of the store: queries in insertion order plus the
@@ -103,127 +100,34 @@ impl Shard {
 
     /// Validates `request` against the shard's current size, returning the
     /// error a worker would otherwise panic on inside the mining layer.
+    /// The checks are **derived from the compiled physical plan**
+    /// (`PhysicalPlan::validate`) — the same single source the
+    /// executor consults, so validation and execution cannot drift apart.
     pub fn validate(&self, request: &Request) -> Result<(), ServerError> {
-        let n = self.len();
-        let shard = request.shard();
-        let check_item = |item: usize| {
-            if item < n {
-                Ok(())
-            } else {
-                Err(ServerError::ItemOutOfBounds {
-                    shard,
-                    item,
-                    len: n,
-                })
-            }
-        };
-        let check_min_pts = |min_pts: usize| {
-            if min_pts == 0 {
-                Err(ServerError::BadRequest("LOF min_pts must be ≥ 1".into()))
-            } else if min_pts >= n {
-                Err(ServerError::BadRequest(format!(
-                    "LOF min_pts = {min_pts} needs ≥ {} stored items, shard {shard} has {n}",
-                    min_pts + 1
-                )))
-            } else {
-                Ok(())
-            }
-        };
-        match *request {
-            Request::Knn { item, .. } => check_item(item),
-            Request::Range { item, radius, .. } => {
-                if radius.is_nan() {
-                    return Err(ServerError::BadRequest("range radius is NaN".into()));
-                }
-                check_item(item)
-            }
-            Request::Lof { min_pts, .. } => check_min_pts(min_pts),
-            Request::LofOutliers {
-                min_pts, threshold, ..
-            } => {
-                if threshold.is_nan() {
-                    return Err(ServerError::BadRequest("LOF threshold is NaN".into()));
-                }
-                check_min_pts(min_pts)
-            }
-            Request::Outliers { p, d, .. } => {
-                if d.is_nan() {
-                    return Err(ServerError::BadRequest("outlier distance D is NaN".into()));
-                }
-                if (0.0..=1.0).contains(&p) {
-                    Ok(())
-                } else {
-                    Err(ServerError::BadRequest(format!(
-                        "outlier fraction p = {p} outside [0, 1]"
-                    )))
-                }
-            }
-            Request::Dbscan { eps, min_pts, .. } => {
-                if eps.is_nan() {
-                    return Err(ServerError::BadRequest("DBSCAN eps is NaN".into()));
-                }
-                if min_pts == 0 {
-                    return Err(ServerError::BadRequest("DBSCAN min_pts must be ≥ 1".into()));
-                }
-                Ok(())
-            }
-            Request::KMedoids { k, .. } => check_k("k-medoids", k, n, shard),
-            Request::Hierarchical { k, .. } => check_k("hierarchical cut", k, n, shard),
-            Request::FrequentItemsets { min_support, .. } => {
-                if min_support == 0 {
-                    Err(ServerError::BadRequest(
-                        "frequent-itemset min_support must be ≥ 1".into(),
-                    ))
-                } else {
-                    Ok(())
-                }
-            }
-        }
+        PhysicalPlan::compile(request).validate(request.shard(), self.len())
     }
 
-    /// Answers a validated request from the packed matrix. Pure matrix
-    /// reads — the caller holds (at least) a read lock. `Hierarchical`
-    /// requests build their dendrogram from scratch here; this is the
-    /// uncached baseline — the batch path routes them through the per-shard
-    /// plan cache instead (see [`crate::Server::plan_stats`]).
+    /// Answers a request from the packed matrix by compiling it into a
+    /// physical plan and running the plan executor. Pure matrix reads —
+    /// the caller holds (at least) a read lock. Dendrograms are built from
+    /// scratch here; this is the uncached baseline — the server's batch
+    /// path supplies the per-shard plan cache to the same executor instead
+    /// (see [`crate::Server::stats`]).
     pub fn answer(&self, request: &Request) -> Result<Response, ServerError> {
-        self.validate(request)?;
-        Ok(match *request {
-            Request::Knn { item, k, .. } => Response::Indices(knn_indices(&self.matrix, item, k)),
-            Request::Range { item, radius, .. } => {
-                Response::Indices(range_indices(&self.matrix, item, radius))
-            }
-            Request::Lof { min_pts, .. } => {
-                Response::Scores(lof(&self.matrix, LofConfig { min_pts }))
-            }
-            Request::LofOutliers {
-                min_pts, threshold, ..
-            } => Response::Indices(lof_outliers(&self.matrix, LofConfig { min_pts }, threshold)),
-            Request::Outliers { p, d, .. } => {
-                Response::Indices(db_outliers(&self.matrix, OutlierConfig { p, d }))
-            }
-            Request::Dbscan { eps, min_pts, .. } => Response::Labels(canonical_dbscan_labels(
-                &dbscan(&self.matrix, DbscanConfig { eps, min_pts }),
-            )),
-            Request::KMedoids { k, .. } => {
-                let r = kmedoids(&self.matrix, k);
-                let cost = r.cost(&self.matrix);
-                Response::Medoids {
-                    medoids: r.medoids,
-                    assignment: r.assignment,
-                    cost,
-                }
-            }
-            Request::Hierarchical { linkage, k, .. } => cut_response(&self.build_plan(linkage), k),
-            Request::FrequentItemsets { min_support, .. } => {
-                let fi = frequent_itemsets(&self.feature_transactions(), min_support);
-                Response::Itemsets(
-                    fi.into_iter()
-                        .map(|f| (f.items.into_iter().collect(), f.support))
-                        .collect(),
-                )
-            }
-        })
+        self.answer_with_metrics(request)
+            .map(|(response, _)| response)
+    }
+
+    /// [`Shard::answer`], also returning the query's [`ExecutionMetrics`].
+    pub fn answer_with_metrics(
+        &self,
+        request: &Request,
+    ) -> Result<(Response, ExecutionMetrics), ServerError> {
+        let plan = PhysicalPlan::compile(request);
+        let mut metrics = ExecutionMetrics::default();
+        let mut plans = exec::DirectPlans { shard: self };
+        let response = exec::execute(self, request.shard(), &plan, &mut plans, &mut metrics)?;
+        Ok((response, metrics))
     }
 
     /// Builds the agglomerative clustering plan for `linkage` from the
@@ -236,7 +140,7 @@ impl Shard {
     /// The shard's query log as Apriori transactions: each query's
     /// `features(Q)` set, printed — set equality is all Apriori reads, so
     /// this serves plaintext and DPE-encrypted logs alike.
-    fn feature_transactions(&self) -> Vec<Transaction<String>> {
+    pub(crate) fn feature_transactions(&self) -> Vec<Transaction<String>> {
         self.queries
             .iter()
             .map(|q| feature_set(q).iter().map(|f| f.to_string()).collect())
@@ -252,25 +156,14 @@ pub(crate) fn cut_response(plan: &Dendrogram, k: usize) -> Response {
     Response::Labels(plan.cut(k).into_iter().map(|c| c as i64).collect())
 }
 
-/// `k`-style parameter check shared by k-medoids and hierarchical cuts:
-/// the mining layer asserts `1 ≤ k ≤ n`; the server returns the error
-/// instead.
-fn check_k(what: &str, k: usize, n: usize, shard: usize) -> Result<(), ServerError> {
-    if k == 0 {
-        Err(ServerError::BadRequest(format!("{what} k must be ≥ 1")))
-    } else if k > n {
-        Err(ServerError::BadRequest(format!(
-            "{what} k = {k} exceeds shard {shard}'s {n} stored items"
-        )))
-    } else {
-        Ok(())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use dpe_distance::TokenDistance;
+    use dpe_mining::{
+        canonical_dbscan_labels, db_outliers, dbscan, kmedoids, knn_indices, lof, range_indices,
+        DbscanConfig, LofConfig, OutlierConfig,
+    };
     use dpe_sql::parse_query;
 
     fn queries(n: usize) -> Vec<Query> {

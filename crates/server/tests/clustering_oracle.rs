@@ -32,7 +32,10 @@ fn tenant_log(shard: usize, n: usize) -> Vec<Query> {
 }
 
 fn build_server(per_shard: usize, cache: usize) -> Server<TokenDistance> {
-    let server = Server::new(TokenDistance, SHARDS, cache);
+    let server = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(cache)
+        .build();
     for shard in 0..SHARDS {
         server.ingest(shard, &tenant_log(shard, per_shard)).unwrap();
     }
@@ -182,7 +185,7 @@ fn concurrent_clustering_submissions_match_sequential_oracle_bitwise() {
 
     // The whole concurrent run must have amortized dendrogram builds: at
     // most one per (shard, linkage), far fewer than hierarchical requests.
-    let plans = server.plan_stats();
+    let plans = server.stats().plans;
     assert!(plans.builds <= (SHARDS * LINKAGES.len()) as u64);
     assert!(
         plans.hits > plans.builds,
@@ -246,7 +249,7 @@ fn mid_stream_ingest_keeps_every_clustering_phase_bit_identical() {
 
     // Phase A: pre-insert store (warms plan + response caches).
     run_phase(&before, PER_SHARD);
-    let warmed = server.plan_stats();
+    let warmed = server.stats().plans;
     assert!(warmed.builds > 0);
 
     // Mid-stream: every shard ingests a batch, bumping its epoch. Plans
@@ -257,7 +260,7 @@ fn mid_stream_ingest_keeps_every_clustering_phase_bit_identical() {
             .unwrap();
     }
     assert_eq!(
-        server.plan_stats().builds,
+        server.stats().plans.builds,
         warmed.builds,
         "ingest itself must not rebuild plans"
     );
@@ -266,7 +269,7 @@ fn mid_stream_ingest_keeps_every_clustering_phase_bit_identical() {
     // answer re-derives from the new epoch; the stale plans surface as
     // invalidations, never as answers.
     run_phase(&after, PER_SHARD + EXTRA);
-    let final_stats = server.plan_stats();
+    let final_stats = server.stats().plans;
     assert!(
         final_stats.invalidations > 0,
         "phase B must have dropped stale plans: {final_stats:?}"
@@ -349,8 +352,8 @@ fn cached_and_uncached_clustering_paths_agree_under_churn() {
             );
         }
     }
-    assert!(cached.cache_stats().hits > 0);
+    assert!(cached.stats().cache.hits > 0);
     // The response-cache-disabled server still amortizes plan builds —
     // the two caches are independent layers.
-    assert!(uncached.plan_stats().hits > 0);
+    assert!(uncached.stats().plans.hits > 0);
 }

@@ -25,7 +25,10 @@ fn tenant_log(shard: usize, n: usize) -> Vec<Query> {
 }
 
 fn build_server(per_shard: usize, cache: usize) -> Server<TokenDistance> {
-    let server = Server::new(TokenDistance, SHARDS, cache);
+    let server = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(cache)
+        .build();
     for shard in 0..SHARDS {
         server.ingest(shard, &tenant_log(shard, per_shard)).unwrap();
     }
@@ -297,12 +300,12 @@ fn cached_and_uncached_paths_agree_under_churn() {
             );
         }
     }
-    let stats = cached.cache_stats();
+    let stats = cached.stats().cache;
     assert!(
         stats.hits > 0,
         "the repeated passes must actually exercise the cache: {stats:?}"
     );
-    assert_eq!(uncached.cache_stats().hits, 0);
+    assert_eq!(uncached.stats().cache.hits, 0);
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! with *lazy* invalidation — the ingest path never scans anything; the
 //! first plan lookup after the epoch bump drops the stale dendrogram and
 //! rebuilds. The cold-vs-warm build/hit counters exposed by
-//! [`Server::plan_stats`] are pinned exactly, so a silent regression in
+//! [`Server::stats`] are pinned exactly, so a silent regression in
 //! either direction (rebuild-per-request, or stale-serve) fails loudly.
 
 use dpe_distance::TokenDistance;
@@ -14,7 +14,10 @@ use dpe_server::{Request, Response, Server};
 use dpe_workload::{LogConfig, LogGenerator};
 
 fn build_server(per_shard: usize) -> Server<TokenDistance> {
-    let server = Server::new(TokenDistance, 2, 64);
+    let server = Server::builder(TokenDistance)
+        .shards(2)
+        .cache_capacity(64)
+        .build();
     for shard in 0..2 {
         let log = LogGenerator::generate(&LogConfig {
             queries: per_shard,
@@ -45,7 +48,7 @@ fn labels(result: &Response) -> &[i64] {
 fn cold_then_warm_counters_are_exact() {
     const N: usize = 12;
     let server = build_server(N);
-    assert_eq!(server.plan_stats(), Default::default(), "cold start");
+    assert_eq!(server.stats().plans, Default::default(), "cold start");
 
     // Cold: the first cut builds; the k-sweep that follows must not.
     let sweep: Vec<Request> = (1..=N).map(|k| cut(0, k)).collect();
@@ -56,7 +59,7 @@ fn cold_then_warm_counters_are_exact() {
         distinct.dedup();
         assert_eq!(distinct.len(), k);
     }
-    let cold = server.plan_stats();
+    let cold = server.stats().plans;
     assert_eq!(
         (cold.builds, cold.hits, cold.invalidations, cold.live),
         (1, (N - 1) as u64, 0, 1),
@@ -67,7 +70,7 @@ fn cold_then_warm_counters_are_exact() {
     // request reaches the plan layer again — still zero new builds.
     server.clear_cache();
     let _ = server.serve_batch(&sweep, 2);
-    let warm = server.plan_stats();
+    let warm = server.stats().plans;
     assert_eq!(warm.builds, 1, "warm plan must serve all k without builds");
     assert_eq!(warm.hits, (2 * N - 1) as u64);
 }
@@ -81,7 +84,7 @@ fn epoch_bump_invalidates_the_plan_lazily() {
     // Warm the plan and remember the stale answer's shape.
     let before = &server.serve_batch(&[cut(0, 2)], 1)[0];
     assert_eq!(labels(before.as_ref().unwrap()).len(), N);
-    let warmed = server.plan_stats();
+    let warmed = server.stats().plans;
     assert_eq!((warmed.builds, warmed.invalidations), (1, 0));
 
     // Ingest: epoch bumps, but invalidation is lazy — nothing rebuilt,
@@ -92,7 +95,7 @@ fn epoch_bump_invalidates_the_plan_lazily() {
         ..Default::default()
     });
     server.ingest(0, &extra).unwrap();
-    let after_ingest = server.plan_stats();
+    let after_ingest = server.stats().plans;
     assert_eq!(
         (after_ingest.builds, after_ingest.invalidations),
         (1, 0),
@@ -108,7 +111,7 @@ fn epoch_bump_invalidates_the_plan_lazily() {
         N + EXTRA,
         "stale cached dendrogram served after ingest"
     );
-    let rebuilt = server.plan_stats();
+    let rebuilt = server.stats().plans;
     assert_eq!(
         (rebuilt.builds, rebuilt.invalidations, rebuilt.live),
         (2, 1, 1),
@@ -123,7 +126,7 @@ fn epoch_bump_invalidates_the_plan_lazily() {
 fn only_the_ingested_shard_loses_its_plan() {
     let server = build_server(8);
     let _ = server.serve_batch(&[cut(0, 2), cut(1, 2)], 2);
-    assert_eq!(server.plan_stats().builds, 2);
+    assert_eq!(server.stats().plans.builds, 2);
 
     let extra = LogGenerator::generate(&LogConfig {
         queries: 2,
@@ -133,7 +136,7 @@ fn only_the_ingested_shard_loses_its_plan() {
     server.ingest(0, &extra).unwrap();
     server.clear_cache();
     let _ = server.serve_batch(&[cut(0, 3), cut(1, 3)], 2);
-    let stats = server.plan_stats();
+    let stats = server.stats().plans;
     assert_eq!(
         (stats.builds, stats.invalidations),
         (3, 1),
@@ -148,7 +151,7 @@ fn uncached_baseline_never_touches_the_plan_cache() {
         server.serve_one_uncached(&cut(0, k)).unwrap();
     }
     assert_eq!(
-        server.plan_stats(),
+        server.stats().plans,
         Default::default(),
         "serve_one_uncached is the no-cache baseline by contract"
     );
@@ -163,7 +166,7 @@ fn submit_drain_path_reuses_plans_too() {
     }
     let results = server.drain(2);
     assert!(results.iter().all(|(_, r)| r.is_ok()));
-    let stats = server.plan_stats();
+    let stats = server.stats().plans;
     assert_eq!(stats.builds, 2, "one plan per shard for the whole drain");
     assert_eq!(stats.hits, 20);
 }

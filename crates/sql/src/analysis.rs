@@ -120,6 +120,26 @@ fn rewrite_expr<T: IdentifierTransform>(e: &Expr, t: &mut T) -> Expr {
     }
 }
 
+/// Flattens a conjunction tree into its leaf predicates, in syntax order.
+/// Returns `None` when the expression is not a pure conjunction — an `OR`
+/// or `NOT` anywhere above the leaves — so callers that can only push
+/// conjuncts down (e.g. a range-predicate lowering) know to bail instead
+/// of mis-lowering.
+pub fn conjuncts(e: &Expr) -> Option<Vec<&Expr>> {
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) -> bool {
+        match e {
+            Expr::And(a, b) => walk(a, out) && walk(b, out),
+            Expr::Or(..) | Expr::Not(..) => false,
+            leaf => {
+                out.push(leaf);
+                true
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(e, &mut out).then_some(out)
+}
+
 /// All relation names mentioned by the query (FROM + JOIN + qualifiers).
 pub fn relations(q: &Query) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
@@ -296,6 +316,28 @@ mod tests {
         let consts = constants(&q);
         assert_eq!(consts.len(), 3);
         assert_eq!(consts[0], (ColumnRef::bare("dec"), Literal::Int(5)));
+    }
+
+    #[test]
+    fn conjuncts_flattens_and_chains() {
+        let q = parse_query("SELECT ra FROM t WHERE a = 1 AND b <= 2 AND c > 3").unwrap();
+        let cs = conjuncts(q.where_clause.as_ref().unwrap()).unwrap();
+        assert_eq!(cs.len(), 3);
+        assert!(cs.iter().all(|e| matches!(e, Expr::Comparison { .. })));
+    }
+
+    #[test]
+    fn conjuncts_rejects_disjunction_and_negation() {
+        for sql in [
+            "SELECT ra FROM t WHERE a = 1 OR b = 2",
+            "SELECT ra FROM t WHERE a = 1 AND NOT b = 2",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert!(
+                conjuncts(q.where_clause.as_ref().unwrap()).is_none(),
+                "{sql}"
+            );
+        }
     }
 
     #[test]

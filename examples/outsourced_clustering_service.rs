@@ -31,8 +31,14 @@ fn main() {
     // 1. Tenants encrypt their logs; the provider ingests ciphertexts
     //    only. The plaintext twin exists purely to verify the DPE claim.
     let mut scheme = TokenDpe::new(&MasterKey::from_bytes([0x5C; 32]));
-    let provider = Server::new(TokenDistance, SHARDS, 256);
-    let twin = Server::new(TokenDistance, SHARDS, 0);
+    let provider = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(256)
+        .build();
+    let twin = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(0)
+        .build();
     for shard in 0..SHARDS {
         let log = LogGenerator::generate(&LogConfig {
             queries: PER_SHARD,
@@ -74,7 +80,7 @@ fn main() {
     let start = Instant::now();
     let answers = provider.serve_batch(&requests, SHARDS);
     let elapsed = start.elapsed();
-    let plans = provider.plan_stats();
+    let plans = provider.stats().plans;
     println!(
         "\nserved {} clustering requests in {elapsed:.2?}: \
          {} dendrogram builds amortized over {} plan hits",
@@ -139,7 +145,7 @@ fn main() {
         k: 3,
     };
     let post = &provider.serve_batch(std::slice::from_ref(&recut), 1)[0];
-    let post_plans = provider.plan_stats();
+    let post_plans = provider.stats().plans;
     println!(
         "after streaming ingest: epoch {} → plan invalidations {}, builds {}",
         provider.shard_epoch(0).unwrap(),

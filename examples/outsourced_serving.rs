@@ -32,8 +32,14 @@ fn main() {
     //    the incremental matrix path; a plaintext twin server exists here
     //    purely to verify the DPE claim.
     let mut scheme = TokenDpe::new(&MasterKey::from_bytes([0x7B; 32]));
-    let provider = Server::new(TokenDistance, SHARDS, 256);
-    let oracle = Server::new(TokenDistance, SHARDS, 0);
+    let provider = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(256)
+        .build();
+    let oracle = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(0)
+        .build();
     for shard in 0..SHARDS {
         let log = LogGenerator::generate(&LogConfig {
             queries: PER_SHARD,
@@ -96,8 +102,8 @@ fn main() {
     let total = results.len();
     assert_eq!(total, CLIENTS * PER_CLIENT);
 
-    let cache = provider.cache_stats();
-    let sched = provider.scheduler_stats();
+    let cache = provider.stats().cache;
+    let sched = provider.stats().scheduler;
     println!(
         "\nserved {total} requests from {CLIENTS} clients in {:.2?} \
          ({:.0} req/s)",

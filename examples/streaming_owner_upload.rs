@@ -83,8 +83,14 @@ fn main() {
         seed: 0x10C,
         ..Default::default()
     });
-    let provider = Server::new(TokenDistance, 1, 64);
-    let oracle = Server::new(TokenDistance, 1, 0);
+    let provider = Server::builder(TokenDistance)
+        .shards(1)
+        .cache_capacity(64)
+        .build();
+    let oracle = Server::builder(TokenDistance)
+        .shards(1)
+        .cache_capacity(0)
+        .build();
     oracle.ingest(0, &log).expect("plaintext twin");
 
     let mut scheme = TokenDpe::new(&MasterKey::from_bytes([0x7B; 32]));

@@ -78,8 +78,14 @@ fn encrypted_server_answers_bit_identically_to_plaintext_server() {
     const PER_SHARD: usize = 22;
     let mut scheme = TokenDpe::new(&MasterKey::from_bytes([0x41; 32]));
 
-    let plain = Server::new(TokenDistance, SHARDS, 128);
-    let encrypted = Server::new(TokenDistance, SHARDS, 128);
+    let plain = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(128)
+        .build();
+    let encrypted = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(128)
+        .build();
     for shard in 0..SHARDS {
         let log = tenant_log(shard, PER_SHARD);
         let enc = scheme.encrypt_log(&log).unwrap();
@@ -104,8 +110,14 @@ fn streaming_encrypted_ingest_preserves_equivalence() {
     const EXTRA: usize = 6;
     let mut scheme = StructuralDpe::new(&MasterKey::from_bytes([0x52; 32]), 11);
 
-    let plain = Server::new(StructureDistance, SHARDS, 64);
-    let encrypted = Server::new(StructureDistance, SHARDS, 64);
+    let plain = Server::builder(StructureDistance)
+        .shards(SHARDS)
+        .cache_capacity(64)
+        .build();
+    let encrypted = Server::builder(StructureDistance)
+        .shards(SHARDS)
+        .cache_capacity(64)
+        .build();
     for shard in 0..SHARDS {
         let log = tenant_log(shard, PER_SHARD);
         let enc = scheme.encrypt_log(&log).unwrap();
@@ -141,8 +153,14 @@ fn streaming_encrypted_ingest_preserves_equivalence() {
 fn concurrent_clients_on_the_encrypted_store() {
     const PER_SHARD: usize = 18;
     let mut scheme = TokenDpe::new(&MasterKey::from_bytes([0x63; 32]));
-    let encrypted = Server::new(TokenDistance, SHARDS, 128);
-    let plain = Server::new(TokenDistance, SHARDS, 0);
+    let encrypted = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(128)
+        .build();
+    let plain = Server::builder(TokenDistance)
+        .shards(SHARDS)
+        .cache_capacity(0)
+        .build();
     for shard in 0..SHARDS {
         let log = tenant_log(shard, PER_SHARD);
         encrypted
