@@ -603,6 +603,15 @@ impl QueryDistance for AccessAreaDistance {
     fn name(&self) -> &'static str {
         "access-area"
     }
+
+    /// Explicitly **not** a metric: each pair averages δ over the *union
+    /// of that pair's* accessed attributes, so the normalizing denominator
+    /// changes from pair to pair and the triangle inequality does not
+    /// hold in general. Index pruning over this measure would be unsound,
+    /// which is exactly what this `false` prevents.
+    fn is_metric(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,342 @@
+//! MinHash LSH candidate generation with exact recheck — approximate mode.
+//!
+//! The Jaccard-based measures (token, structure, result — Table I's first
+//! three) compare characteristic *sets*, which is exactly the similarity
+//! MinHash sketches: `P[min-hash collision] = Jaccard similarity`. The
+//! index banding scheme ([`LshConfig`]: `bands` tables of `rows` MinHash
+//! rows each) buckets items whose band signatures collide; a query
+//! gathers the anchor's bucket mates as candidates and **exactly
+//! rechecks** every one through a [`DistanceSource`], so reported
+//! neighbours are never wrong — approximate mode can only *miss* a
+//! neighbour whose every band disagrees with the anchor's.
+//!
+//! The degenerate configuration [`LshConfig::exhaustive`] (`rows = 0`)
+//! collapses every band key to a constant, making every item a candidate:
+//! recall 1, zero hashing discrimination — and therefore **bit-identical**
+//! to the matrix paths, which is how the differential suites pin the
+//! recheck machinery itself (selection, comparator, tie-breaks) while
+//! general configurations are pinned for subset/no-false-positive
+//! properties.
+
+use super::{nan_last_cmp, splitmix64, DistanceSource, QueryCounters};
+use crate::measure::DistanceError;
+use std::collections::HashMap;
+
+/// Hashes a string feature (e.g. one of `dpe_sql::token_set`) into the
+/// `u64` feature space [`LshIndex::insert`] ingests (FNV-1a 64).
+pub fn hash_feature(feature: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in feature.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Banding parameters for a [`LshIndex`]: `bands` hash tables, each keyed
+/// by `rows` MinHash rows. More rows per band sharpens the similarity
+/// threshold (fewer candidates); more bands raises recall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshConfig {
+    /// Number of bands (hash tables). Must be ≥ 1.
+    pub bands: usize,
+    /// MinHash rows per band; 0 makes every band key constant (see
+    /// [`LshConfig::exhaustive`]).
+    pub rows: usize,
+    /// Seed of the deterministic hash family.
+    pub seed: u64,
+}
+
+impl LshConfig {
+    /// A banding configuration.
+    pub fn new(bands: usize, rows: usize, seed: u64) -> LshConfig {
+        assert!(bands >= 1, "an LSH index needs at least one band");
+        LshConfig { bands, rows, seed }
+    }
+
+    /// The recall-1 degenerate configuration: every item is a candidate
+    /// for every query, so answers are bit-identical to the matrix paths
+    /// (at brute-force cost — useful for pinning and as a safe default).
+    pub fn exhaustive() -> LshConfig {
+        LshConfig {
+            bands: 1,
+            rows: 0,
+            seed: 0,
+        }
+    }
+
+    /// `true` when every item collides with every other (`rows == 0`).
+    pub fn is_exhaustive(&self) -> bool {
+        self.rows == 0
+    }
+}
+
+/// The MinHash LSH index. Items are inserted as iterators of hashed
+/// features (in insertion order, item ids `0, 1, 2, …` — aligned with the
+/// [`DistanceSource`] handed to the query methods).
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    config: LshConfig,
+    /// band → (band key → items in that bucket, insertion order).
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    /// Per-item band keys, `bands` per item, flattened.
+    keys: Vec<u64>,
+    items: usize,
+}
+
+impl LshIndex {
+    /// An empty index with the given banding configuration.
+    pub fn new(config: LshConfig) -> LshIndex {
+        LshIndex {
+            tables: (0..config.bands).map(|_| HashMap::new()).collect(),
+            keys: Vec::new(),
+            items: 0,
+            config,
+        }
+    }
+
+    /// The banding configuration.
+    pub fn config(&self) -> LshConfig {
+        self.config
+    }
+
+    /// Items inserted.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// `true` before the first insert.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Inserts the next item (id = current [`LshIndex::len`]) from its
+    /// hashed feature set, returning the assigned id. An empty feature
+    /// set gets the sentinel signature, so empty items bucket together.
+    pub fn insert<I: IntoIterator<Item = u64>>(&mut self, features: I) -> usize {
+        let features: Vec<u64> = features.into_iter().collect();
+        let id = self.items as u32;
+        for band in 0..self.config.bands {
+            // Fold the band's MinHash rows into one bucket key. With
+            // rows == 0 the fold never runs and the key is a constant.
+            let mut key = splitmix64(self.config.seed ^ (band as u64));
+            for row in 0..self.config.rows {
+                let row_seed = splitmix64(
+                    self.config
+                        .seed
+                        .wrapping_add(((band * self.config.rows + row) as u64) << 1 | 1),
+                );
+                let sig = features
+                    .iter()
+                    .map(|&f| splitmix64(f ^ row_seed))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                key = splitmix64(key ^ sig);
+            }
+            self.tables[band].entry(key).or_default().push(id);
+            self.keys.push(key);
+        }
+        self.items += 1;
+        self.items - 1
+    }
+
+    /// The anchor's bucket mates across all bands, ascending and deduped,
+    /// excluding the anchor itself.
+    pub fn candidates(&self, item: usize) -> Vec<usize> {
+        assert!(
+            item < self.items,
+            "query item {item} out of bounds (len={})",
+            self.items
+        );
+        let mut out: Vec<usize> = Vec::new();
+        for band in 0..self.config.bands {
+            let key = self.keys[item * self.config.bands + band];
+            if let Some(bucket) = self.tables[band].get(&key) {
+                out.extend(
+                    bucket
+                        .iter()
+                        .filter(|&&j| j as usize != item)
+                        .map(|&j| j as usize),
+                );
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The `k` nearest *candidates* of `item`, exactly rechecked and
+    /// ordered by the matrix-path comparator (NaN-last distance, then
+    /// index). With [`LshConfig::exhaustive`] this is bit-identical to
+    /// the matrix kNN; otherwise it is a subset of it (misses are
+    /// possible, wrong answers are not).
+    pub fn knn<S: DistanceSource + ?Sized>(
+        &self,
+        source: &S,
+        item: usize,
+        k: usize,
+    ) -> Result<(Vec<usize>, QueryCounters), DistanceError> {
+        let candidates = self.candidates(item);
+        let counters = QueryCounters {
+            computed: candidates.len() as u64,
+            pruned: (self.items - 1 - candidates.len()) as u64,
+        };
+        let mut scored: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
+        for j in candidates {
+            scored.push((source.distance(item, j)?, j));
+        }
+        let cmp = |a: &(f64, usize), b: &(f64, usize)| nan_last_cmp(a.0, b.0).then(a.1.cmp(&b.1));
+        if k < scored.len() {
+            if k == 0 {
+                scored.clear();
+            } else {
+                scored.select_nth_unstable_by(k - 1, cmp);
+                scored.truncate(k);
+            }
+        }
+        scored.sort_by(cmp);
+        Ok((scored.into_iter().map(|(_, j)| j).collect(), counters))
+    }
+
+    /// Every *candidate* within `radius` of `item`, exactly rechecked,
+    /// ascending index. With [`LshConfig::exhaustive`] this is
+    /// bit-identical to the matrix range query; otherwise a subset of it.
+    pub fn range<S: DistanceSource + ?Sized>(
+        &self,
+        source: &S,
+        item: usize,
+        radius: f64,
+    ) -> Result<(Vec<usize>, QueryCounters), DistanceError> {
+        let candidates = self.candidates(item);
+        let counters = QueryCounters {
+            computed: candidates.len() as u64,
+            pruned: (self.items - 1 - candidates.len()) as u64,
+        };
+        let mut hits = Vec::new();
+        for j in candidates {
+            if source.distance(item, j)? <= radius {
+                hits.push(j);
+            }
+        }
+        Ok((hits, counters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{MatrixSource, MeasureSource};
+    use crate::matrix::DistanceMatrix;
+    use crate::token_distance::TokenDistance;
+    use dpe_sql::{parse_query, token_set, Query};
+
+    fn log(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                parse_query(&format!(
+                    "SELECT a{}, b{} FROM t{} WHERE x = {}",
+                    i % 4,
+                    i % 7,
+                    i % 3,
+                    i % 5
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn index_of(queries: &[Query], config: LshConfig) -> LshIndex {
+        let mut index = LshIndex::new(config);
+        for q in queries {
+            index.insert(token_set(q).iter().map(|t| hash_feature(t)));
+        }
+        index
+    }
+
+    fn brute_knn(m: &DistanceMatrix, i: usize, k: usize) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..m.len()).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| nan_last_cmp(m.get(i, a), m.get(i, b)).then(a.cmp(&b)));
+        others.truncate(k);
+        others
+    }
+
+    #[test]
+    fn exhaustive_config_is_bit_identical_to_matrix_paths() {
+        let queries = log(26);
+        let matrix = DistanceMatrix::compute(&queries, &TokenDistance).unwrap();
+        let index = index_of(&queries, LshConfig::exhaustive());
+        assert!(index.config().is_exhaustive());
+        for i in 0..queries.len() {
+            for k in [1, 4, 30] {
+                let (got, c) = index.knn(&MatrixSource(&matrix), i, k).unwrap();
+                assert_eq!(got, brute_knn(&matrix, i, k), "i={i} k={k}");
+                assert_eq!(c.pruned, 0, "exhaustive mode prunes nothing");
+            }
+            let (got, _) = index.range(&MatrixSource(&matrix), i, 0.5).unwrap();
+            let expect: Vec<usize> = (0..queries.len())
+                .filter(|&j| j != i && matrix.get(i, j) <= 0.5)
+                .collect();
+            assert_eq!(got, expect, "i={i}");
+        }
+    }
+
+    #[test]
+    fn banded_config_returns_verified_subsets() {
+        let queries = log(40);
+        let matrix = DistanceMatrix::compute(&queries, &TokenDistance).unwrap();
+        let index = index_of(&queries, LshConfig::new(8, 2, 42));
+        for i in 0..queries.len() {
+            // Range: every reported hit truly qualifies (no false
+            // positives), and the hit set is a subset of the exact one.
+            let (got, _) = index.range(&MatrixSource(&matrix), i, 0.4).unwrap();
+            for &j in &got {
+                assert!(matrix.get(i, j) <= 0.4, "false positive {i}->{j}");
+            }
+            // kNN: every reported neighbour is a real item drawn from the
+            // exact candidate ordering.
+            let (got, _) = index.knn(&MatrixSource(&matrix), i, 5).unwrap();
+            let exact = brute_knn(&matrix, i, queries.len());
+            for j in &got {
+                assert!(exact.contains(j));
+            }
+            // And self-similar items collide: identical queries share all
+            // bands, so an item's duplicates are always candidates.
+        }
+    }
+
+    #[test]
+    fn identical_items_always_collide() {
+        let queries = log(12);
+        let mut doubled = queries.clone();
+        doubled.extend(queries.iter().cloned());
+        let index = index_of(&doubled, LshConfig::new(4, 3, 7));
+        for i in 0..queries.len() {
+            let twin = i + queries.len();
+            assert!(
+                index.candidates(i).contains(&twin),
+                "identical feature sets must share every band: {i} vs {twin}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_source_recheck_matches_matrix_recheck() {
+        let queries = log(18);
+        let matrix = DistanceMatrix::compute(&queries, &TokenDistance).unwrap();
+        let index = index_of(&queries, LshConfig::exhaustive());
+        let by_measure = MeasureSource::new(&queries, &TokenDistance);
+        for i in 0..queries.len() {
+            let (a, _) = index.knn(&MatrixSource(&matrix), i, 6).unwrap();
+            let (b, _) = index.knn(&by_measure, i, 6).unwrap();
+            assert_eq!(a, b, "i={i}");
+        }
+    }
+
+    #[test]
+    fn empty_feature_sets_bucket_together() {
+        let mut index = LshIndex::new(LshConfig::new(2, 2, 9));
+        let a = index.insert(std::iter::empty());
+        let b = index.insert(std::iter::empty());
+        assert_eq!(index.candidates(a), vec![b]);
+    }
+}

@@ -22,6 +22,15 @@
 //! so even the engine-backed result-distance measure runs on the parallel
 //! path via [`result_distance::ResultDistanceFactory`].
 //!
+//! [`index`] escapes the matrix's O(n²) wall for the per-anchor queries:
+//! a vantage-point tree ([`index::VpTree`]) answers kNN and range queries
+//! **bit-identically** to the matrix paths while triangle-inequality
+//! pruning skips most distance evaluations, and a MinHash LSH recheck
+//! index ([`index::LshIndex`]) trades recall for even fewer evaluations.
+//! Both read distances through [`index::DistanceSource`] — a packed matrix
+//! or on-demand measure calls — so they serve stores the matrix could
+//! never materialize.
+//!
 //! All distances are **exact** rational computations rendered into `f64`
 //! as a final step: numerator and denominator are set cardinalities, so
 //! checking the DPE property `d(Enc(x), Enc(y)) = d(x, y)` with `==` is
@@ -30,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod access_area;
+pub mod index;
 pub mod jaccard;
 pub mod matrix;
 pub mod measure;
@@ -38,6 +48,10 @@ pub mod structure_distance;
 pub mod token_distance;
 
 pub use access_area::{AccessAreaDistance, AttributeDomain, DomainCatalog, IntervalSet};
+pub use index::{
+    hash_feature, DistanceSource, LshConfig, LshIndex, MatrixSource, MeasureSource, QueryCounters,
+    VpTree,
+};
 pub use jaccard::jaccard_distance;
 pub use matrix::{DistanceMatrix, MatrixBuilder, QueryDistanceFactory};
 pub use measure::{DistanceError, QueryDistance};

@@ -43,6 +43,17 @@ pub trait QueryDistance {
 
     /// Short measure name as used in Table I.
     fn name(&self) -> &'static str;
+
+    /// `true` when the measure is a true metric — symmetry, identity of
+    /// indiscernibles, and crucially the **triangle inequality** — which
+    /// makes triangle-inequality index pruning ([`crate::index::VpTree`])
+    /// sound. Defaults to `false`: a measure must opt in explicitly
+    /// (the Jaccard-based measures do; access-area distance, whose
+    /// per-pair attribute-union normalization breaks the triangle
+    /// inequality, must not).
+    fn is_metric(&self) -> bool {
+        false
+    }
 }
 
 /// Shared references measure through the referent, so `Sync` measures can
@@ -55,5 +66,9 @@ impl<M: QueryDistance + ?Sized> QueryDistance for &M {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn is_metric(&self) -> bool {
+        (**self).is_metric()
     }
 }

@@ -52,6 +52,12 @@ impl QueryDistance for ResultDistance<'_> {
     fn name(&self) -> &'static str {
         "result"
     }
+
+    /// Jaccard over result-tuple sets: a true metric (for a fixed
+    /// database state), so triangle-inequality index pruning is sound.
+    fn is_metric(&self) -> bool {
+        true
+    }
 }
 
 /// One worker's engine connection: executes queries against the database
@@ -103,6 +109,12 @@ impl QueryDistance for ResultConnection<'_> {
 
     fn name(&self) -> &'static str {
         "result"
+    }
+
+    /// Same Jaccard metric as [`ResultDistance`]; memoization does not
+    /// change the values.
+    fn is_metric(&self) -> bool {
+        true
     }
 }
 

@@ -16,6 +16,12 @@ impl QueryDistance for StructureDistance {
     fn name(&self) -> &'static str {
         "structure"
     }
+
+    /// Jaccard distance is a true metric, so triangle-inequality index
+    /// pruning is sound.
+    fn is_metric(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,13 @@ impl QueryDistance for TokenDistance {
     fn name(&self) -> &'static str {
         "token"
     }
+
+    /// Jaccard distance is a true metric (Steinhaus transform of the
+    /// symmetric-difference metric), so triangle-inequality index pruning
+    /// is sound.
+    fn is_metric(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -12,8 +12,21 @@ pub fn knn_indices(matrix: &DistanceMatrix, i: usize, k: usize) -> Vec<usize> {
     let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
     // NaN from a degenerate measure sorts last (either sign) instead of
     // panicking mid-mining.
-    others.sort_by(|&a, &b| nan_last_cmp(matrix.get(i, a), matrix.get(i, b)).then(a.cmp(&b)));
-    others.truncate(k);
+    let cmp =
+        |&a: &usize, &b: &usize| nan_last_cmp(matrix.get(i, a), matrix.get(i, b)).then(a.cmp(&b));
+    // O(n) selection of the k winners before the O(k log k) sort, instead
+    // of sorting all n−1 candidates. The comparator is a strict total
+    // order (ties split on index), so the selected set and its sorted
+    // order are exactly the full sort's prefix — bit-identical.
+    if k < others.len() {
+        if k == 0 {
+            others.clear();
+        } else {
+            others.select_nth_unstable_by(k - 1, cmp);
+            others.truncate(k);
+        }
+    }
+    others.sort_by(cmp);
     others
 }
 
@@ -52,5 +65,26 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn bad_query_index_panics() {
         knn_indices(&line(), 9, 1);
+    }
+
+    #[test]
+    fn selection_matches_full_sort_with_ties_and_nans() {
+        // The select-then-sort fast path must reproduce the full sort's
+        // prefix bit-identically, including NaN-last ordering and index
+        // tie-breaks, for every k.
+        let n = 23;
+        let m = DistanceMatrix::from_fn(n, |i, j| match (i * 31 + j * 7) % 5 {
+            0 => f64::NAN,
+            c => 0.25 * c as f64, // heavy ties
+        });
+        for i in 0..n {
+            let mut reference: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            reference.sort_by(|&a, &b| nan_last_cmp(m.get(i, a), m.get(i, b)).then(a.cmp(&b)));
+            for k in 0..=n {
+                let mut expect = reference.clone();
+                expect.truncate(k);
+                assert_eq!(knn_indices(&m, i, k), expect, "i={i} k={k}");
+            }
+        }
     }
 }

@@ -12,7 +12,7 @@
 use super::metrics::ExecutionMetrics;
 use super::plan::{ClusterRule, OutlierRule, PhysicalPlan, PlanOp, Projection};
 use crate::request::{Response, ServerError};
-use crate::shard::{cut_response, Shard};
+use crate::shard::{cut_response, Shard, ShardIndex};
 use dpe_mining::{
     canonical_dbscan_labels, db_outliers, dbscan, frequent_itemsets, kmedoids, lof, lof_outliers,
     DbscanConfig, Dendrogram, Linkage, LofConfig, OutlierConfig,
@@ -21,12 +21,23 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Where the executor gets the shard's metric index, when one is built:
+/// `PlanOp::{Knn, FilterRange}` pull from it instead of scanning the full
+/// matrix row, and the triangle-inequality skips surface as
+/// [`ExecutionMetrics::pruned_cells`]. Both plan sources sit beside it —
+/// `DirectPlans` and `CachedPlans` resolve to the same shard's index, so
+/// the cached and uncached paths prune identically.
+pub(crate) trait IndexSource {
+    /// The executing shard's metric index, when one is built.
+    fn index(&self) -> Option<&ShardIndex>;
+}
+
 /// Where the executor gets dendrograms: the batch path resolves through the
 /// per-shard plan cache (one build per `(epoch, linkage)`), the uncached
 /// baseline builds from scratch. Implementations report hits/builds into
 /// the query's metrics, so `ExecutionMetrics::plan_hits` stays truthful on
 /// both paths.
-pub(crate) trait PlanSource {
+pub(crate) trait PlanSource: IndexSource {
     /// The dendrogram for `linkage` over the shard being executed.
     fn resolve(&mut self, linkage: Linkage, metrics: &mut ExecutionMetrics) -> Arc<Dendrogram>;
 }
@@ -35,6 +46,12 @@ pub(crate) trait PlanSource {
 /// ([`crate::Server::serve_one_uncached`] and [`Shard::answer`]).
 pub(crate) struct DirectPlans<'a> {
     pub(crate) shard: &'a Shard,
+}
+
+impl IndexSource for DirectPlans<'_> {
+    fn index(&self) -> Option<&ShardIndex> {
+        self.shard.index()
+    }
 }
 
 impl PlanSource for DirectPlans<'_> {
@@ -108,26 +125,69 @@ pub(crate) fn execute(
                 metrics.rows_scanned += n as u64;
             }
             PlanOp::FilterRange { item, radius } => {
-                metrics.distance_cells += frame.selection.len() as u64;
-                let keep: Vec<usize> = (0..frame.selection.len())
-                    .filter(|&p| {
-                        let j = frame.selection[p];
-                        j != *item && matrix.get(*item, j) <= *radius
-                    })
-                    .collect();
-                frame.take_positions(&keep);
+                // Index path, taken when the selection is still the full
+                // scan (position p holds item p, so the index's hit list
+                // doubles as the position list): the VP-tree's hit set is
+                // exactly the matrix predicate's — both read the same
+                // packed cells, the tree just skips reading most of them.
+                // A diluted selection reads fewer cells than the whole
+                // index walk would, so it stays on the matrix path.
+                let index = (frame.selection.len() == n)
+                    .then(|| plans.index())
+                    .flatten();
+                if let Some(index) = index {
+                    debug_assert_eq!(index.len(), n, "index out of lockstep with matrix");
+                    let (hits, counters) = index.range(matrix, *item, *radius);
+                    metrics.distance_cells += counters.computed;
+                    metrics.pruned_cells += counters.pruned;
+                    frame.take_positions(&hits);
+                } else {
+                    metrics.distance_cells += frame.selection.len() as u64;
+                    let keep: Vec<usize> = (0..frame.selection.len())
+                        .filter(|&p| {
+                            let j = frame.selection[p];
+                            j != *item && matrix.get(*item, j) <= *radius
+                        })
+                        .collect();
+                    frame.take_positions(&keep);
+                }
             }
             PlanOp::Knn { item, k } => {
-                let mut candidates: Vec<usize> = (0..frame.selection.len())
-                    .filter(|&p| frame.selection[p] != *item)
-                    .collect();
-                metrics.distance_cells += candidates.len() as u64;
-                candidates.sort_by(|&pa, &pb| {
-                    let (a, b) = (frame.selection[pa], frame.selection[pb]);
-                    nan_last_cmp(matrix.get(*item, a), matrix.get(*item, b)).then(a.cmp(&b))
-                });
-                candidates.truncate(*k);
-                frame.take_positions(&candidates);
+                // Same full-scan gate as FilterRange: the tree's bounded
+                // worst-first heap reproduces the matrix comparator
+                // (NaN-last distance, then index) bit-identically.
+                let index = (frame.selection.len() == n)
+                    .then(|| plans.index())
+                    .flatten();
+                if let Some(index) = index {
+                    debug_assert_eq!(index.len(), n, "index out of lockstep with matrix");
+                    let (neighbours, counters) = index.knn(matrix, *item, *k);
+                    metrics.distance_cells += counters.computed;
+                    metrics.pruned_cells += counters.pruned;
+                    frame.take_positions(&neighbours);
+                } else {
+                    let mut candidates: Vec<usize> = (0..frame.selection.len())
+                        .filter(|&p| frame.selection[p] != *item)
+                        .collect();
+                    metrics.distance_cells += candidates.len() as u64;
+                    let cmp = |&pa: &usize, &pb: &usize| {
+                        let (a, b) = (frame.selection[pa], frame.selection[pb]);
+                        nan_last_cmp(matrix.get(*item, a), matrix.get(*item, b)).then(a.cmp(&b))
+                    };
+                    // O(|selection|) selection of the k winners before the
+                    // O(k log k) sort; the comparator is a strict total
+                    // order, so this equals the full sort's prefix.
+                    if *k < candidates.len() {
+                        if *k == 0 {
+                            candidates.clear();
+                        } else {
+                            candidates.select_nth_unstable_by(*k - 1, cmp);
+                            candidates.truncate(*k);
+                        }
+                    }
+                    candidates.sort_by(cmp);
+                    frame.take_positions(&candidates);
+                }
             }
             PlanOp::Lof { min_pts } => {
                 metrics.distance_cells += matrix.packed_len() as u64;

@@ -36,6 +36,11 @@ pub struct ExecutionMetrics {
     /// packed triangle they traverse; plan-cache hits count zero — the
     /// dendrogram's cells were paid for when it was built).
     pub distance_cells: u64,
+    /// Distance cells a shard's metric index proved irrelevant via
+    /// triangle-inequality pruning — never read at all. For an indexed
+    /// `Knn`/`FilterRange` over `n` items, `distance_cells + pruned_cells`
+    /// for that op totals `n`; non-indexed paths never increment this.
+    pub pruned_cells: u64,
     /// Queries answered straight from the response cache.
     pub cache_hits: u64,
     /// Dendrograms resolved from the clustering-plan cache.
@@ -70,6 +75,7 @@ impl ExecutionMetrics {
     pub fn merge(&mut self, other: &ExecutionMetrics) {
         self.rows_scanned += other.rows_scanned;
         self.distance_cells += other.distance_cells;
+        self.pruned_cells += other.pruned_cells;
         self.cache_hits += other.cache_hits;
         self.plan_hits += other.plan_hits;
         self.plan_builds += other.plan_builds;
@@ -107,6 +113,7 @@ mod tests {
         let mut a = ExecutionMetrics {
             rows_scanned: 10,
             distance_cells: 45,
+            pruned_cells: 3,
             cache_hits: 1,
             plan_hits: 0,
             plan_builds: 1,
@@ -120,6 +127,7 @@ mod tests {
         let b = ExecutionMetrics {
             rows_scanned: 5,
             distance_cells: 10,
+            pruned_cells: 4,
             cache_hits: 0,
             plan_hits: 2,
             plan_builds: 0,
@@ -140,6 +148,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.rows_scanned, 15);
         assert_eq!(a.distance_cells, 55);
+        assert_eq!(a.pruned_cells, 7);
         assert_eq!((a.cache_hits, a.plan_hits, a.plan_builds), (1, 2, 1));
         assert_eq!(a.total_nanos, 150);
         assert_eq!(a.ops.len(), 2);

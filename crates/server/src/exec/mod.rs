@@ -21,4 +21,4 @@ mod plan;
 pub use metrics::{ExecutionMetrics, OpMetric};
 pub use plan::{ClusterRule, OutlierRule, PhysicalPlan, PlanOp, Projection};
 
-pub(crate) use executor::{execute, DirectPlans, PlanSource};
+pub(crate) use executor::{execute, DirectPlans, IndexSource, PlanSource};

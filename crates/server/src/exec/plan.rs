@@ -498,4 +498,35 @@ mod tests {
             );
         }
     }
+
+    #[test]
+    fn validate_rejects_nan_radius_at_every_op_position() {
+        // A NaN radius would silently select nothing (every comparison is
+        // false) — it must be a typed BadRequest no matter where in the
+        // pipeline the FilterRange sits.
+        let nan_range = PlanOp::FilterRange {
+            item: 0,
+            radius: f64::NAN,
+        };
+        for ops in [
+            vec![nan_range.clone()],
+            vec![nan_range.clone(), PlanOp::Knn { item: 0, k: 1 }],
+            vec![PlanOp::Knn { item: 0, k: 2 }, nan_range.clone()],
+            vec![
+                PlanOp::FilterRange {
+                    item: 1,
+                    radius: 0.5,
+                },
+                PlanOp::Lof { min_pts: 2 },
+                nan_range.clone(),
+            ],
+        ] {
+            let plan = PhysicalPlan::compile(&Request::Pipeline { shard: 0, ops });
+            let err = plan.validate(0, 4).unwrap_err();
+            assert!(
+                matches!(&err, ServerError::BadRequest(msg) if msg.contains("radius is NaN")),
+                "expected NaN-radius BadRequest, got {err:?}"
+            );
+        }
+    }
 }

@@ -88,5 +88,5 @@ pub use plan::PlanStats;
 pub use request::{Request, Response, ServerError, Ticket};
 pub use scheduler::SchedulerStats;
 pub use server::{Server, ServerBuilder, ServerStats};
-pub use shard::Shard;
+pub use shard::{Shard, ShardIndex};
 pub use sql::{dist_literal, lower_select, SqlTable};

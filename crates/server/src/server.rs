@@ -24,11 +24,11 @@
 //! addressable and age out of the LRU.
 
 use crate::cache::{CacheStats, LruCache};
-use crate::exec::{self, ExecutionMetrics, PhysicalPlan, PlanSource};
+use crate::exec::{self, ExecutionMetrics, IndexSource, PhysicalPlan, PlanSource};
 use crate::plan::{PlanCache, PlanStats};
 use crate::request::{Request, RequestKey, Response, ServerError, Ticket};
 use crate::scheduler::{group_stable_by, SchedulerStats, ShardQueues};
-use crate::shard::Shard;
+use crate::shard::{Shard, ShardIndex};
 use crate::sql::SqlTable;
 use dpe_distance::QueryDistance;
 use dpe_mining::{Dendrogram, Linkage};
@@ -80,6 +80,12 @@ struct CachedPlans<'a> {
     shard: &'a Shard,
     epoch: u64,
     cache: &'a Mutex<PlanCache>,
+}
+
+impl IndexSource for CachedPlans<'_> {
+    fn index(&self) -> Option<&ShardIndex> {
+        self.shard.index()
+    }
 }
 
 impl PlanSource for CachedPlans<'_> {
@@ -145,6 +151,7 @@ pub struct ServerBuilder<M> {
     measure: M,
     shards: usize,
     cache_capacity: usize,
+    metric_index: bool,
 }
 
 impl<M: QueryDistance + Sync> ServerBuilder<M> {
@@ -161,22 +168,50 @@ impl<M: QueryDistance + Sync> ServerBuilder<M> {
         self
     }
 
+    /// Build and maintain a per-shard metric index (a VP-tree over the
+    /// packed matrix — see [`crate::ShardIndex`]), letting `Knn` and
+    /// `Range` plans skip most distance cells via triangle-inequality
+    /// pruning while staying bit-identical to the matrix paths. Requires
+    /// the measure to declare [`QueryDistance::is_metric`]; default off.
+    pub fn metric_index(mut self, metric_index: bool) -> Self {
+        self.metric_index = metric_index;
+        self
+    }
+
     /// Builds the server.
     ///
     /// # Panics
     ///
-    /// Panics when configured with 0 shards.
+    /// Panics when configured with 0 shards, or with
+    /// [`ServerBuilder::metric_index`] over a measure that does not
+    /// declare itself a metric (triangle-inequality pruning over such a
+    /// measure would silently drop answers).
     pub fn build(self) -> Server<M> {
         let ServerBuilder {
             measure,
             shards,
             cache_capacity,
+            metric_index,
         } = self;
         assert!(shards > 0, "a server needs at least one shard");
+        assert!(
+            !metric_index || measure.is_metric(),
+            "metric_index requires a metric measure, and {} does not declare \
+             the triangle inequality (QueryDistance::is_metric)",
+            measure.name()
+        );
         let per_shard_capacity = cache_capacity.div_ceil(shards);
         Server {
             measure,
-            shards: (0..shards).map(|_| RwLock::new(Shard::new())).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    let mut shard = Shard::new();
+                    if metric_index {
+                        shard.enable_index();
+                    }
+                    RwLock::new(shard)
+                })
+                .collect(),
             queues: ShardQueues::new(shards),
             caches: (0..shards)
                 .map(|_| Mutex::new(LruCache::new(per_shard_capacity)))
@@ -197,25 +232,8 @@ impl<M: QueryDistance + Sync> Server<M> {
             measure,
             shards: 1,
             cache_capacity: 0,
+            metric_index: false,
         }
-    }
-
-    /// A server with `shards` empty tenant shards and a response cache of
-    /// `cache_capacity` entries (0 disables caching), partitioned evenly
-    /// across the shards.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `shards` is 0.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Server::builder(measure).shards(n).cache_capacity(c).build()"
-    )]
-    pub fn new(measure: M, shards: usize, cache_capacity: usize) -> Self {
-        Server::builder(measure)
-            .shards(shards)
-            .cache_capacity(cache_capacity)
-            .build()
     }
 
     /// Number of tenant shards.
@@ -231,6 +249,44 @@ impl<M: QueryDistance + Sync> Server<M> {
     /// Current epoch of `shard` (bumped by every successful ingest).
     pub fn shard_epoch(&self, shard: usize) -> Result<u64, ServerError> {
         Ok(self.read_shard(shard)?.epoch())
+    }
+
+    /// Builds (or rebuilds) `shard`'s metric index over its current store;
+    /// every subsequent ingest maintains it incrementally. Refused with a
+    /// typed error for measures that do not declare
+    /// [`QueryDistance::is_metric`] — triangle-inequality pruning over a
+    /// non-metric measure (e.g. access-area distance) would silently drop
+    /// answers.
+    pub fn build_index(&self, shard: usize) -> Result<(), ServerError> {
+        if !self.measure.is_metric() {
+            return Err(ServerError::BadRequest(format!(
+                "measure {} is not a metric: a triangle-inequality index would prune \
+                 valid answers",
+                self.measure.name()
+            )));
+        }
+        let slot = self.shards.get(shard).ok_or(ServerError::UnknownShard {
+            shard,
+            shards: self.shards.len(),
+        })?;
+        slot.write().expect("shard lock poisoned").enable_index();
+        Ok(())
+    }
+
+    /// Drops `shard`'s metric index; its queries fall back to the matrix
+    /// paths.
+    pub fn drop_index(&self, shard: usize) -> Result<(), ServerError> {
+        let slot = self.shards.get(shard).ok_or(ServerError::UnknownShard {
+            shard,
+            shards: self.shards.len(),
+        })?;
+        slot.write().expect("shard lock poisoned").disable_index();
+        Ok(())
+    }
+
+    /// `true` when `shard` currently has a metric index.
+    pub fn has_index(&self, shard: usize) -> Result<bool, ServerError> {
+        Ok(self.read_shard(shard)?.index().is_some())
     }
 
     // dpe-analyze: allow(guard-escapes-function, reason = "deliberate crate-private helper: fusing the bounds check with acquisition keeps every read path on one code shape; all callers drop the guard within one expression")
@@ -807,12 +863,124 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_matches_builder() {
-        let s = Server::new(TokenDistance, 2, 8);
-        assert_eq!(s.shard_count(), 2);
-        s.ingest(1, &queries(4, 0)).unwrap();
-        assert_eq!(s.shard_len(1).unwrap(), 4);
+    fn indexed_server_matches_plain_server_bitwise() {
+        let indexed = Server::builder(TokenDistance)
+            .shards(2)
+            .metric_index(true)
+            .build();
+        let plain = Server::builder(TokenDistance).shards(2).build();
+        for shard in 0..2 {
+            assert!(indexed.has_index(shard).unwrap());
+            assert!(!plain.has_index(shard).unwrap());
+            let log = queries(14 + shard, shard * 31);
+            indexed.ingest(shard, &log).unwrap();
+            plain.ingest(shard, &log).unwrap();
+        }
+        for shard in 0..2 {
+            for item in 0..14 {
+                for req in [
+                    Request::Knn { shard, item, k: 5 },
+                    Request::Range {
+                        shard,
+                        item,
+                        radius: 0.45,
+                    },
+                ] {
+                    let a = indexed.serve_one_uncached(&req).unwrap();
+                    let b = plain.serve_one_uncached(&req).unwrap();
+                    assert!(a.bits_eq(&b), "{req:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_surfaces_pruned_cells_on_indexed_shards() {
+        let s = Server::builder(TokenDistance).metric_index(true).build();
+        s.ingest(0, &queries(20, 0)).unwrap();
+        let (_, m) = s
+            .explain(&Request::Knn {
+                shard: 0,
+                item: 3,
+                k: 2,
+            })
+            .unwrap();
+        // Every item is either computed or pruned — the indexed Knn op
+        // touches exactly n cells' worth of accounting, never more.
+        assert_eq!(m.distance_cells + m.pruned_cells, 20);
+        let (_, m) = s
+            .explain(&Request::Range {
+                shard: 0,
+                item: 3,
+                radius: 0.2,
+            })
+            .unwrap();
+        assert_eq!(m.distance_cells + m.pruned_cells, 20);
+    }
+
+    #[test]
+    fn build_index_refuses_non_metric_measures() {
+        /// A measure that never declares the triangle inequality
+        /// (`is_metric` defaults to false).
+        #[derive(Debug)]
+        struct NotAMetric;
+        impl QueryDistance for NotAMetric {
+            fn distance(
+                &self,
+                _: &dpe_sql::Query,
+                _: &dpe_sql::Query,
+            ) -> Result<f64, dpe_distance::DistanceError> {
+                Ok(0.5)
+            }
+            fn name(&self) -> &'static str {
+                "not-a-metric"
+            }
+        }
+        let s = Server::builder(NotAMetric).build();
+        assert!(matches!(s.build_index(0), Err(ServerError::BadRequest(_))));
+        assert!(!s.has_index(0).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "metric_index requires a metric measure")]
+    fn builder_metric_index_panics_for_non_metric_measures() {
+        #[derive(Debug)]
+        struct NotAMetric;
+        impl QueryDistance for NotAMetric {
+            fn distance(
+                &self,
+                _: &dpe_sql::Query,
+                _: &dpe_sql::Query,
+            ) -> Result<f64, dpe_distance::DistanceError> {
+                Ok(0.5)
+            }
+            fn name(&self) -> &'static str {
+                "not-a-metric"
+            }
+        }
+        Server::builder(NotAMetric).metric_index(true).build();
+    }
+
+    #[test]
+    fn retrofitted_and_dropped_indexes_round_trip() {
+        let s = server();
+        assert!(!s.has_index(0).unwrap());
+        s.build_index(0).unwrap();
+        assert!(s.has_index(0).unwrap());
+        let req = Request::Knn {
+            shard: 0,
+            item: 2,
+            k: 4,
+        };
+        let indexed = s.serve_one_uncached(&req).unwrap();
+        s.drop_index(0).unwrap();
+        assert!(!s.has_index(0).unwrap());
+        let plain = s.serve_one_uncached(&req).unwrap();
+        assert!(indexed.bits_eq(&plain));
+        assert!(matches!(
+            s.build_index(9),
+            Err(ServerError::UnknownShard { shard: 9, .. })
+        ));
     }
 
     #[test]

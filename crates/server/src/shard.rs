@@ -10,6 +10,7 @@
 
 use crate::exec::{self, ExecutionMetrics, PhysicalPlan};
 use crate::request::{Request, Response, ServerError};
+use dpe_distance::index::{MatrixSource, QueryCounters, VpTree};
 use dpe_distance::{DistanceMatrix, QueryDistance};
 use dpe_mining::apriori::Transaction;
 use dpe_mining::{agglomerative, Dendrogram, Linkage};
@@ -24,6 +25,92 @@ pub struct Shard {
     queries: Vec<Query>,
     matrix: DistanceMatrix,
     epoch: u64,
+    /// The optional metric index (see [`ShardIndex`]); kept in lockstep
+    /// with the matrix inside the same `&mut self` ingest, so it can never
+    /// describe a different epoch than the matrix it prunes for.
+    index: Option<ShardIndex>,
+}
+
+/// A shard's metric index: a [`VpTree`] over the shard's packed matrix.
+/// The matrix stays the ground truth — the tree only decides *which* cells
+/// a `Knn`/`FilterRange` op reads, so indexed answers are bit-identical to
+/// matrix-path answers while triangle-inequality pruning skips the rest
+/// (the skips surface as [`ExecutionMetrics::pruned_cells`]).
+///
+/// Building one is only sound for measures declaring
+/// [`QueryDistance::is_metric`]; [`crate::Server`] enforces that — a
+/// `Shard` handled directly leaves the check to the caller.
+#[derive(Debug, Clone)]
+pub struct ShardIndex {
+    tree: VpTree,
+}
+
+impl ShardIndex {
+    fn build(matrix: &DistanceMatrix) -> ShardIndex {
+        let tree = VpTree::build(&MatrixSource(matrix))
+            .expect("matrix-backed distance source cannot fail");
+        ShardIndex { tree }
+    }
+
+    /// Streaming-insert maintenance: appended items join the tree's
+    /// overflow (zero distance reads now), with a rebuild once the
+    /// overflow outgrows half the built tree.
+    fn absorb(&mut self, matrix: &DistanceMatrix) {
+        self.tree
+            .absorb(&MatrixSource(matrix))
+            .expect("matrix-backed distance source cannot fail");
+    }
+
+    /// Exact kNN of `item` through the tree — bit-identical to
+    /// [`dpe_mining::knn_indices`] over the same matrix.
+    pub fn knn(
+        &self,
+        matrix: &DistanceMatrix,
+        item: usize,
+        k: usize,
+    ) -> (Vec<usize>, QueryCounters) {
+        self.tree
+            .knn(&MatrixSource(matrix), item, k)
+            .expect("matrix-backed distance source cannot fail")
+    }
+
+    /// Exact range query through the tree — bit-identical to
+    /// [`dpe_mining::range_indices`] over the same matrix.
+    pub fn range(
+        &self,
+        matrix: &DistanceMatrix,
+        item: usize,
+        radius: f64,
+    ) -> (Vec<usize>, QueryCounters) {
+        self.tree
+            .range(&MatrixSource(matrix), item, radius)
+            .expect("matrix-backed distance source cannot fail")
+    }
+
+    /// Items the index covers (always the shard's length).
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when the index covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Items inside the tree structure proper (the rest are overflow).
+    pub fn built_len(&self) -> usize {
+        self.tree.built_len()
+    }
+
+    /// Appended items pending the next rebuild, scanned linearly.
+    pub fn overflow_len(&self) -> usize {
+        self.tree.overflow_len()
+    }
+
+    /// Full rebuilds triggered by streaming inserts so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.tree.rebuilds()
+    }
 }
 
 impl Shard {
@@ -42,6 +129,11 @@ impl Shard {
         self.matrix.extend(&self.queries, new, measure)?;
         self.queries.extend_from_slice(new);
         self.epoch += 1;
+        // Same &mut self as the epoch bump: the index is updated (or the
+        // whole ingest fails) before any reader can observe the new epoch.
+        if let Some(index) = &mut self.index {
+            index.absorb(&self.matrix);
+        }
         Ok(())
     }
 
@@ -96,6 +188,24 @@ impl Shard {
     /// The packed matrix over the stored queries.
     pub fn matrix(&self) -> &DistanceMatrix {
         &self.matrix
+    }
+
+    /// Builds (or rebuilds) the shard's metric index over the current
+    /// matrix; every subsequent [`Shard::ingest`] keeps it current
+    /// incrementally. The caller is responsible for only indexing metric
+    /// measures ([`QueryDistance::is_metric`]) — [`crate::Server`] checks.
+    pub fn enable_index(&mut self) {
+        self.index = Some(ShardIndex::build(&self.matrix));
+    }
+
+    /// Drops the metric index; queries fall back to the matrix paths.
+    pub fn disable_index(&mut self) {
+        self.index = None;
+    }
+
+    /// The shard's metric index, when one is built.
+    pub fn index(&self) -> Option<&ShardIndex> {
+        self.index.as_ref()
     }
 
     /// Validates `request` against the shard's current size, returning the
@@ -191,6 +301,43 @@ mod tests {
         assert_eq!(shard.epoch(), 2);
         assert_eq!(shard.len(), 12);
         assert!(shard.matrix().identical(&full));
+    }
+
+    #[test]
+    fn index_tracks_ingest_and_answers_match_mining() {
+        let all = queries(40);
+        let mut shard = Shard::new();
+        shard.ingest(&all[..10], &TokenDistance).unwrap();
+        shard.enable_index();
+        let built = shard.index().expect("index just built").built_len();
+        assert_eq!(built, 10);
+
+        // A small ingest lands in the overflow buffer; a large one forces
+        // a rebuild. Either way every answer stays bit-identical to the
+        // matrix path.
+        shard.ingest(&all[10..13], &TokenDistance).unwrap();
+        let index = shard.index().expect("index survives ingest");
+        assert_eq!(index.len(), 13);
+        assert_eq!(index.overflow_len(), 3, "small ingest buffers");
+
+        shard.ingest(&all[13..], &TokenDistance).unwrap();
+        let index = shard.index().expect("index survives ingest");
+        assert_eq!(index.len(), 40);
+        assert_eq!(index.overflow_len(), 0, "large ingest rebuilds");
+        assert!(index.rebuilds() >= 1);
+
+        for item in 0..shard.len() {
+            let (got, counters) = index.knn(shard.matrix(), item, 6);
+            let want = knn_indices(shard.matrix(), item, 6);
+            assert_eq!(got, want, "knn anchor {item}");
+            assert_eq!(counters.computed + counters.pruned, 40);
+            let (got, _) = index.range(shard.matrix(), item, 0.4);
+            let want = range_indices(shard.matrix(), item, 0.4);
+            assert_eq!(got, want, "range anchor {item}");
+        }
+
+        shard.disable_index();
+        assert!(shard.index().is_none());
     }
 
     #[test]
