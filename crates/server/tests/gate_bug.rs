@@ -1,0 +1,37 @@
+// Quick repro: Pipeline [Outliers(LofThreshold thr=0)] keeps all n items
+// reordered by descending LOF score; a following Knn/FilterRange sees
+// selection.len() == n and takes the index path, misinterpreting item ids
+// as positions.
+use dpe_server::{PlanOp, OutlierRule, Request, Server};
+use dpe_distance::TokenDistance;
+use dpe_sql::parse_query;
+
+#[test]
+fn gate_bug() {
+    let queries: Vec<_> = (0..12)
+        .map(|i| {
+            parse_query(&format!(
+                "SELECT a{}, b{} FROM t{} WHERE x = {}",
+                i % 4, i % 7, i % 3, i % 5
+            ))
+            .unwrap()
+        })
+        .collect();
+    let indexed = Server::builder(TokenDistance).metric_index(true).build();
+    let plain = Server::builder(TokenDistance).build();
+    indexed.ingest(0, &queries).unwrap();
+    plain.ingest(0, &queries).unwrap();
+    let req = Request::Pipeline {
+        shard: 0,
+        ops: vec![
+            PlanOp::Outliers(OutlierRule::LofThreshold { min_pts: 2, threshold: 0.0 }),
+            PlanOp::Knn { item: 0, k: 4 },
+        ],
+    };
+    let a = indexed.serve_one_uncached(&req).unwrap();
+    let b = plain.serve_one_uncached(&req).unwrap();
+    println!("indexed: {a:?}");
+    println!("plain:   {b:?}");
+    assert!(a.bits_eq(&b), "MISMATCH: indexed path diverges from plain path");
+    println!("no divergence");
+}
