@@ -1,0 +1,119 @@
+//! PR 10 — the cost of coming back from the dead.
+//!
+//! Three recovery trajectories, each vs dataset size:
+//!
+//! * `wal_replay` — recover a server whose entire history lives in the
+//!   write-ahead log (no snapshot was ever taken): every ingest record is
+//!   decoded, checksum-verified, and re-applied through the normal ingest
+//!   path (distances recomputed — that is what makes recovery
+//!   bit-identical). This is the worst case the epoch cursor allows.
+//! * `snapshot` — recover after a checkpoint: the packed matrix is loaded
+//!   straight from the epoch-consistent snapshot and the (empty) WAL tail
+//!   contributes nothing. The gap to `wal_replay` is the argument for
+//!   checkpointing at all.
+//! * `first_query` — `wal_replay` plus one kNN answer: time-to-first-query,
+//!   the number an operator restarting a crashed tenant actually waits on.
+//!
+//! Correctness is pinned before anything is timed: both recovery paths
+//! must reach the same epoch and serve a kNN response bit-identical to an
+//! uncrashed oracle that ingested the same history.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpe_distance::TokenDistance;
+use dpe_server::{Request, Server};
+use dpe_sql::Query;
+use dpe_workload::{LogConfig, LogGenerator};
+use std::path::PathBuf;
+
+/// Ingest chunk size: each chunk is one WAL record / one epoch bump, so an
+/// `n`-query history is `n / CHUNK` records of replay work.
+const CHUNK: usize = 32;
+
+fn history(n: usize) -> Vec<Query> {
+    LogGenerator::generate(&LogConfig {
+        queries: n,
+        seed: 0x4EC0,
+        ..Default::default()
+    })
+}
+
+fn fresh_dir(tag: &str, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dpe-recovery-replay-{tag}-{n}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a durable single-shard server at `dir`, feeds it `log` in
+/// [`CHUNK`]-sized WAL records, optionally checkpoints, and drops it —
+/// leaving on-disk state for the timed recoveries to chew on.
+fn lay_down_state(dir: &PathBuf, log: &[Query], checkpoint: bool) {
+    let server = Server::builder(TokenDistance).durability(dir).build();
+    for chunk in log.chunks(CHUNK) {
+        server.ingest(0, chunk).unwrap();
+    }
+    if checkpoint {
+        server.checkpoint().unwrap();
+    }
+}
+
+fn recover(dir: &PathBuf) -> Server<TokenDistance> {
+    Server::builder(TokenDistance)
+        .durability(dir)
+        .recover()
+        .unwrap()
+}
+
+fn bench_recovery_replay(c: &mut Criterion) {
+    let probe = Request::Knn {
+        shard: 0,
+        item: 1,
+        k: 5,
+    };
+
+    let mut group = c.benchmark_group("recovery_replay");
+    for &n in &[64usize, 256, 1024] {
+        let log = history(n);
+        let wal_dir = fresh_dir("wal", n);
+        let snap_dir = fresh_dir("snap", n);
+        lay_down_state(&wal_dir, &log, false);
+        lay_down_state(&snap_dir, &log, true);
+
+        // Pin before timing: both recovery paths reach the epoch frontier
+        // and answer the probe bit-identically to an uncrashed oracle.
+        let oracle = Server::builder(TokenDistance).build();
+        oracle.ingest(0, &log).unwrap();
+        let want = oracle.serve_one_uncached(&probe).unwrap();
+        let epochs = log.chunks(CHUNK).count() as u64;
+        for dir in [&wal_dir, &snap_dir] {
+            let recovered = recover(dir);
+            assert_eq!(recovered.shard_epoch(0).unwrap(), epochs, "n={n}");
+            assert_eq!(recovered.shard_len(0).unwrap(), n, "n={n}");
+            let got = recovered.serve_one_uncached(&probe).unwrap();
+            assert!(got.bits_eq(&want), "n={n}: recovered kNN diverged");
+        }
+
+        group.bench_with_input(BenchmarkId::new("wal_replay", n), &n, |b, _| {
+            b.iter(|| recover(&wal_dir));
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &n, |b, _| {
+            b.iter(|| recover(&snap_dir));
+        });
+        group.bench_with_input(BenchmarkId::new("first_query", n), &n, |b, _| {
+            b.iter(|| recover(&wal_dir).serve_one_uncached(&probe).unwrap());
+        });
+
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_recovery_replay
+}
+criterion_main!(benches);

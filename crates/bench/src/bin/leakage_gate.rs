@@ -1,0 +1,183 @@
+//! The leakage-regression gate: fails CI when any passive attack's
+//! advantage over the served workload *rises* past the committed
+//! baseline — the security-side mirror of `bench_gate`.
+//!
+//! Usage:
+//!
+//! * `leakage_gate measure <out.json>` — run the attack sweep of
+//!   [`dpe_bench::leakage::measure`] and write a `dpe-leakage/v1` file
+//!   (how `LEAKAGE_PR*.json` baselines are produced).
+//! * `leakage_gate <fresh.json> <baseline.json> [--tolerance <abs>]` —
+//!   compare a fresh sweep against the committed baseline. Exit 1 when
+//!   any shared attack's advantage exceeds baseline + tolerance
+//!   (default 0.01). Advantages may *fall* freely — that's a security
+//!   improvement; commit the lower baseline to ratchet it in.
+//!
+//! The measurement is deterministic (fixed seeds, integer recovery
+//! counts), so the tolerance absorbs intentional workload reshapes, not
+//! run-to-run noise. New attacks gate nothing until their baseline is
+//! committed; retired ones are reported but harmless.
+
+use dpe_bench::leakage::{self, LeakageComparison};
+use std::process::ExitCode;
+
+/// Default allowed absolute advantage growth.
+const DEFAULT_TOLERANCE: f64 = 0.01;
+
+fn measure_to(path: &str) -> Result<(), String> {
+    let attacks = leakage::measure();
+    let rendered = leakage::render(&attacks);
+    std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "leakage_gate: measured {} attack surfaces -> {path}",
+        attacks.len()
+    );
+    for (name, adv) in &attacks {
+        println!("  {name:<24} advantage {:.4}", adv);
+    }
+    Ok(())
+}
+
+fn run_compare(args: &[String]) -> Result<Vec<LeakageComparison>, String> {
+    let (fresh_path, baseline_path, tolerance) = match args {
+        [f, b] => (f, b, DEFAULT_TOLERANCE),
+        [f, b, flag, t] if flag == "--tolerance" => (
+            f,
+            b,
+            t.parse::<f64>()
+                .map_err(|_| format!("--tolerance expects a number, got {t:?}"))?,
+        ),
+        _ => {
+            return Err("usage: leakage_gate measure <out.json> | \
+                 leakage_gate <fresh.json> <baseline.json> [--tolerance <abs>]"
+                .into())
+        }
+    };
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(format!(
+            "--tolerance must be a non-negative number, got {tolerance}"
+        ));
+    }
+    let fresh_content = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read fresh results {fresh_path}: {e}"))?;
+    let baseline_content = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let fresh = leakage::parse(&fresh_content).map_err(|e| format!("{fresh_path}: {e}"))?;
+    let baseline =
+        leakage::parse(&baseline_content).map_err(|e| format!("{baseline_path}: {e}"))?;
+
+    let compared = leakage::compare(&fresh, &baseline, tolerance);
+    println!(
+        "leakage_gate: {} fresh / {} baseline attacks, {} compared (tolerance +{tolerance})",
+        fresh.len(),
+        baseline.len(),
+        compared.len()
+    );
+    for c in &compared {
+        println!(
+            "  {} {:<24} {:.4} -> {:.4}  ({:+.4})",
+            if c.regressed {
+                "RATCHETED"
+            } else {
+                "ok       "
+            },
+            c.attack,
+            c.baseline,
+            c.fresh,
+            c.fresh - c.baseline
+        );
+    }
+    for name in fresh.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("  new       {name} (no baseline yet — not gated)");
+    }
+    for name in baseline.keys().filter(|n| !fresh.contains_key(*n)) {
+        println!("  retired   {name} (in baseline, not in fresh sweep)");
+    }
+    Ok(compared)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [cmd, out] = args.as_slice() {
+        if cmd == "measure" {
+            return match measure_to(out) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("leakage_gate: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+    }
+    match run_compare(&args) {
+        Ok(compared) => {
+            let ratcheted = compared.iter().filter(|c| c.regressed).count();
+            if ratcheted > 0 {
+                eprintln!("leakage_gate: {ratcheted} attack advantage(s) ratcheted up — failing");
+                ExitCode::FAILURE
+            } else {
+                println!("leakage_gate: no attack advantage ratcheted up");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("leakage_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// The acceptance pin: an injected regression (one advantage bumped
+    /// past tolerance in the fresh file) must fail the gate end-to-end.
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let dir = std::env::temp_dir();
+        let base_path = dir.join(format!("dpe-leak-base-{}.json", std::process::id()));
+        let fresh_path = dir.join(format!("dpe-leak-fresh-{}.json", std::process::id()));
+        let base = BTreeMap::from([
+            ("freq/eq-det".to_string(), 0.42),
+            ("linkage/join".to_string(), 0.90),
+        ]);
+        let mut fresh = base.clone();
+        std::fs::write(&base_path, leakage::render(&base)).unwrap();
+        std::fs::write(&fresh_path, leakage::render(&fresh)).unwrap();
+        let args = vec![
+            fresh_path.to_str().unwrap().to_string(),
+            base_path.to_str().unwrap().to_string(),
+        ];
+        let clean = run_compare(&args).unwrap();
+        assert!(clean.iter().all(|c| !c.regressed), "identical files pass");
+
+        // Inject: frequency advantage creeps from 0.42 to 0.55.
+        fresh.insert("freq/eq-det".to_string(), 0.55);
+        std::fs::write(&fresh_path, leakage::render(&fresh)).unwrap();
+        let injected = run_compare(&args).unwrap();
+        assert!(
+            injected
+                .iter()
+                .any(|c| c.attack == "freq/eq-det" && c.regressed),
+            "{injected:?}"
+        );
+        // Falling advantage never trips the ratchet.
+        fresh.insert("freq/eq-det".to_string(), 0.05);
+        std::fs::write(&fresh_path, leakage::render(&fresh)).unwrap();
+        assert!(run_compare(&args).unwrap().iter().all(|c| !c.regressed));
+        std::fs::remove_file(&base_path).unwrap();
+        std::fs::remove_file(&fresh_path).unwrap();
+    }
+
+    #[test]
+    fn tolerance_must_be_sane() {
+        assert!(
+            run_compare(&["a".into(), "b".into(), "--tolerance".into(), "-1".into()])
+                .unwrap_err()
+                .contains("non-negative")
+        );
+        assert!(run_compare(&["one".into()]).unwrap_err().contains("usage"));
+    }
+}

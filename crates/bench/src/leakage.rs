@@ -1,0 +1,390 @@
+//! The `dpe-leakage/v1` leakage-trajectory format and the measurement
+//! sweep behind the `leakage_gate` CI lane.
+//!
+//! The gate answers one question every PR: *did the ciphertext-observable
+//! advantage of any passive attack go up?* A throughput win that comes
+//! from weakening an onion level (say, serving from DET where RND
+//! sufficed) shows up here as a ratcheted advantage and fails CI, the
+//! leakage-side mirror of the `bench_gate` perf lane.
+//!
+//! [`measure`] replays a Zipf-skewed workload through a real
+//! [`dpe_server::Server`] SQL front door (DET-rewritten identifiers —
+//! exactly what a curious provider observes while serving), then runs the
+//! `dpe-attacks` suite against the constants and tokens of that workload
+//! at each relevant scheme/onion surface:
+//!
+//! | attack | surface | expectation |
+//! |---|---|---|
+//! | `freq/*` | RND, DET, JOIN constant columns | DET/JOIN leak rank order; RND flat |
+//! | `known-query/*` | RND, DET token streams | DET dictionaries propagate; RND never match |
+//! | `linkage/*` | JOIN group vs per-slot DET | JOIN links columns; distinct DET slots don't |
+//!
+//! Every number is a deterministic recovery rate in `[0, 1]` (fixed seeds,
+//! integer counts), so the committed baseline compares exactly and the
+//! tolerance only has to absorb intentional workload changes, not run
+//! noise.
+
+use crate::experiment_master;
+use crate::trajectory::{f64_field, string_field};
+use dpe_attacks::{frequency_attack, join_linkage, known_query_attack};
+use dpe_cryptdb::IdentRewriter;
+use dpe_crypto::kdf::SlotLabel;
+use dpe_crypto::scheme::SymmetricScheme;
+use dpe_crypto::{DetScheme, JoinGroup, ProbScheme};
+use dpe_distance::TokenDistance;
+use dpe_server::{dist_literal, Server, SqlTable};
+use dpe_workload::{LogConfig, LogGenerator, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The leakage schema version this module reads and writes.
+pub const SCHEMA: &str = "dpe-leakage/v1";
+
+/// Workload shape: enough mass for stable frequency ranks, small enough
+/// that the lane costs seconds.
+const WORKLOAD: usize = 600;
+const DISTINCT: usize = 24;
+const KNOWN_QUERIES: usize = 12;
+const STORE: usize = 16;
+
+/// One gated attack comparison.
+#[derive(Debug, PartialEq)]
+pub struct LeakageComparison {
+    /// Attack/surface name, e.g. `freq/eq-det`.
+    pub attack: String,
+    /// Committed baseline advantage.
+    pub baseline: f64,
+    /// Freshly measured advantage.
+    pub fresh: f64,
+    /// `true` when fresh exceeds baseline by more than the tolerance.
+    pub regressed: bool,
+}
+
+/// The Zipf-skewed constants of the served workload: the value stream a
+/// provider observes in `WHERE anchor = <v>` position.
+fn zipf_constants(rng: &mut StdRng) -> Vec<i64> {
+    let zipf = Zipf::new(DISTINCT, 1.1);
+    (0..WORKLOAD)
+        .map(|_| 40_000 + zipf.sample(rng) as i64 * 17)
+        .collect()
+}
+
+/// Serves the workload through the encrypted SQL front door and returns
+/// the SQL texts the provider saw. The serving itself is the point: the
+/// attacked surfaces below are observations of *this* traffic, not a
+/// synthetic column.
+fn serve_workload(constants: &[i64]) -> Vec<String> {
+    let master = experiment_master();
+    let rewriter = IdentRewriter::new(&master);
+    let binding = SqlTable {
+        table: rewriter.table_ident("pairs"),
+        shard: 0,
+        item_col: rewriter.column_ident("item"),
+        anchor_col: rewriter.column_ident("anchor"),
+        dist_col: rewriter.column_ident("dist"),
+    };
+    let server = Server::builder(TokenDistance).cache_capacity(64).build();
+    server
+        .ingest(
+            0,
+            &LogGenerator::generate(&LogConfig {
+                queries: STORE,
+                seed: 0x1EAC,
+                ..Default::default()
+            }),
+        )
+        .expect("workload store ingest");
+    server
+        .register_sql_table(binding.clone())
+        .expect("pairs binding");
+    let (tb, it, an, di) = (
+        &binding.table,
+        &binding.item_col,
+        &binding.anchor_col,
+        &binding.dist_col,
+    );
+    let radius = dist_literal(0.8);
+    constants
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let anchor = (*v as usize) % STORE;
+            let sql = format!(
+                "SELECT {it} FROM {tb} WHERE {an} = {anchor} AND {di} <= {radius} \
+                 ORDER BY {di} LIMIT {}",
+                2 + i % 5
+            );
+            server.sql(&sql).expect("served workload query");
+            sql
+        })
+        .collect()
+}
+
+/// Measures every gated attack advantage. Deterministic: fixed master
+/// key, fixed seeds, integer recovery counts.
+pub fn measure() -> BTreeMap<String, f64> {
+    let master = experiment_master();
+    let mut rng = StdRng::seed_from_u64(0x1EAA);
+
+    let constants = zipf_constants(&mut rng);
+    let served_sql = serve_workload(&constants);
+
+    // The attacker's auxiliary knowledge: the public value distribution.
+    let truth: Vec<String> = constants.iter().map(|v| v.to_string()).collect();
+    let mut aux: BTreeMap<String, usize> = BTreeMap::new();
+    for t in &truth {
+        *aux.entry(t.clone()).or_default() += 1;
+    }
+    let aux: Vec<(String, usize)> = aux.into_iter().collect();
+
+    let mut out = BTreeMap::new();
+
+    // ---- frequency analysis per onion level ----
+    let prob = ProbScheme::new(&SlotLabel::Constant("leak-rnd").derive(&master));
+    let rnd_col: Vec<String> = constants
+        .iter()
+        .map(|v| prob.encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
+    out.insert(
+        "freq/eq-rnd".into(),
+        frequency_attack(&rnd_col, &truth, &aux).success_rate(),
+    );
+
+    let det = DetScheme::new(&SlotLabel::Constant("leak-det").derive(&master));
+    let det_col: Vec<String> = constants
+        .iter()
+        .map(|v| det.encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
+    out.insert(
+        "freq/eq-det".into(),
+        frequency_attack(&det_col, &truth, &aux).success_rate(),
+    );
+
+    let group = JoinGroup::new(&master, "leak-join");
+    let join_a: Vec<String> = constants
+        .iter()
+        .map(|v| group.scheme().encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
+    out.insert(
+        "freq/join".into(),
+        frequency_attack(&join_a, &truth, &aux).success_rate(),
+    );
+
+    // ---- known-query attack on the served SQL token streams ----
+    let tokens: Vec<Vec<String>> = served_sql
+        .iter()
+        .map(|sql| sql.split_whitespace().map(str::to_string).collect())
+        .collect();
+    let det_tok = DetScheme::new(&SlotLabel::Constant("leak-det-tok").derive(&master));
+    let enc_det: Vec<Vec<String>> = tokens
+        .iter()
+        .map(|q| {
+            q.iter()
+                .map(|t| det_tok.encrypt(t.as_bytes(), &mut rng).to_hex())
+                .collect()
+        })
+        .collect();
+    out.insert(
+        "known-query/eq-det".into(),
+        known_query_attack(
+            &tokens[..KNOWN_QUERIES]
+                .iter()
+                .cloned()
+                .zip(enc_det[..KNOWN_QUERIES].iter().cloned())
+                .collect::<Vec<_>>(),
+            &enc_det[KNOWN_QUERIES..],
+            &tokens[KNOWN_QUERIES..],
+        )
+        .success_rate(),
+    );
+    let enc_rnd: Vec<Vec<String>> = tokens
+        .iter()
+        .map(|q| {
+            q.iter()
+                .map(|t| prob.encrypt(t.as_bytes(), &mut rng).to_hex())
+                .collect()
+        })
+        .collect();
+    out.insert(
+        "known-query/eq-rnd".into(),
+        known_query_attack(
+            &tokens[..KNOWN_QUERIES]
+                .iter()
+                .cloned()
+                .zip(enc_rnd[..KNOWN_QUERIES].iter().cloned())
+                .collect::<Vec<_>>(),
+            &enc_rnd[KNOWN_QUERIES..],
+            &tokens[KNOWN_QUERIES..],
+        )
+        .success_rate(),
+    );
+
+    // ---- cross-column linkage ----
+    let half: Vec<i64> = constants.iter().take(WORKLOAD / 2).copied().collect();
+    let join_b: Vec<String> = half
+        .iter()
+        .map(|v| group.scheme().encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
+    out.insert(
+        "linkage/join".into(),
+        join_linkage(&join_a, &join_b, &constants, &half).success_rate(),
+    );
+    // Negative control: two DET columns under *different* slots share no
+    // ciphertexts — per-slot keying is what keeps DET out of JOIN's row.
+    let det_b = DetScheme::new(&SlotLabel::Constant("leak-det-b").derive(&master));
+    let det_col_b: Vec<String> = half
+        .iter()
+        .map(|v| det_b.encrypt(&v.to_be_bytes(), &mut rng).to_hex())
+        .collect();
+    out.insert(
+        "linkage/eq-det-slots".into(),
+        join_linkage(&det_col, &det_col_b, &constants, &half).success_rate(),
+    );
+
+    out
+}
+
+/// The `schema` tag of a leakage file, if present.
+pub fn schema_of(content: &str) -> Option<String> {
+    string_field(content, "schema")
+}
+
+/// Renders advantages as a committed `dpe-leakage/v1` file (name-sorted,
+/// one attack per line).
+pub fn render(attacks: &BTreeMap<String, f64>) -> String {
+    let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n");
+    out.push_str(&format!("  \"entries\": {},\n", attacks.len()));
+    out.push_str("  \"attacks\": [\n");
+    let body: Vec<String> = attacks
+        .iter()
+        .map(|(name, adv)| format!("    {{\"attack\": \"{name}\", \"advantage\": {adv:.6}}}"))
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Parses a `dpe-leakage/v1` file, insisting on the schema tag.
+pub fn parse(content: &str) -> Result<BTreeMap<String, f64>, String> {
+    match schema_of(content) {
+        Some(ref s) if s == SCHEMA => {}
+        Some(s) => {
+            return Err(format!(
+                "unknown leakage schema {s:?} (expected {SCHEMA:?})"
+            ))
+        }
+        None => return Err(format!("no \"schema\" field found (expected {SCHEMA:?})")),
+    }
+    let mut out = BTreeMap::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"attack\"") && !line.starts_with("{ \"attack\"") {
+            continue;
+        }
+        let name = string_field(line, "attack")
+            .ok_or_else(|| format!("malformed attack entry: {line}"))?;
+        let adv = f64_field(line, "advantage")
+            .ok_or_else(|| format!("malformed attack entry: {line}"))?;
+        if !(0.0..=1.0).contains(&adv) {
+            return Err(format!("advantage out of [0,1] for {name}: {adv}"));
+        }
+        out.insert(name, adv);
+    }
+    if out.is_empty() {
+        return Err("leakage file holds no attacks".into());
+    }
+    Ok(out)
+}
+
+/// Compares fresh advantages against the baseline for every shared attack
+/// name. The ratchet is one-directional: an advantage may *fall* freely
+/// (that's a security improvement — commit the new baseline), but rising
+/// past `tolerance` regresses.
+pub fn compare(
+    fresh: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<LeakageComparison> {
+    fresh
+        .iter()
+        .filter_map(|(attack, &f)| {
+            let &b = baseline.get(attack)?;
+            Some(LeakageComparison {
+                attack: attack.clone(),
+                baseline: b,
+                fresh: f,
+                regressed: f > b + tolerance,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_advantages_match_the_taxonomy() {
+        let m = measure();
+        // DET leaks rank order to frequency analysis; RND stays near the
+        // random-guess floor.
+        assert!(m["freq/eq-det"] > 0.3, "{m:?}");
+        assert!(m["freq/eq-rnd"] < 0.15, "{m:?}");
+        assert!(m["freq/join"] > 0.3, "{m:?}");
+        // Known-query dictionaries propagate under DET, never under RND.
+        assert!(m["known-query/eq-det"] > 0.5, "{m:?}");
+        assert_eq!(m["known-query/eq-rnd"], 0.0, "{m:?}");
+        // JOIN links columns; distinct DET slots must not.
+        assert!(m["linkage/join"] > 0.5, "{m:?}");
+        assert_eq!(m["linkage/eq-det-slots"], 0.0, "{m:?}");
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        assert_eq!(measure(), measure());
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = measure();
+        let parsed = parse(&render(&m)).unwrap();
+        assert_eq!(parsed.len(), m.len());
+        for (k, v) in &m {
+            assert!((parsed[k] - v).abs() < 1e-6, "{k}");
+        }
+    }
+
+    #[test]
+    fn unknown_schema_and_bad_ranges_are_rejected() {
+        let m = BTreeMap::from([("freq/x".to_string(), 0.5)]);
+        let v9 = render(&m).replace(SCHEMA, "dpe-leakage/v9");
+        assert!(parse(&v9).unwrap_err().contains("unknown"));
+        let oob = render(&m).replace("0.500000", "1.500000");
+        assert!(parse(&oob).unwrap_err().contains("out of [0,1]"));
+    }
+
+    #[test]
+    fn ratchet_is_one_directional() {
+        let base = BTreeMap::from([
+            ("freq/a".to_string(), 0.40),
+            ("freq/b".to_string(), 0.40),
+            ("freq/c".to_string(), 0.40),
+        ]);
+        let fresh = BTreeMap::from([
+            ("freq/a".to_string(), 0.405),  // within tolerance
+            ("freq/b".to_string(), 0.60),   // ratcheted up — regression
+            ("freq/c".to_string(), 0.10),   // improvement — fine
+            ("freq/new".to_string(), 0.99), // no baseline — not gated
+        ]);
+        let cmp = compare(&fresh, &base, 0.01);
+        let verdicts: Vec<(&str, bool)> = cmp
+            .iter()
+            .map(|c| (c.attack.as_str(), c.regressed))
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![("freq/a", false), ("freq/b", true), ("freq/c", false)]
+        );
+    }
+}

@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod leakage;
 pub mod trajectory;
 
 use dpe_core::scheme::{AccessAreaDpe, QueryEncryptor, ResultDpe, StructuralDpe, TokenDpe};

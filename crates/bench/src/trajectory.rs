@@ -32,8 +32,10 @@ pub struct BenchRecord {
 }
 
 /// Extracts the string value of `"key"` from `line`, honouring backslash
-/// escapes and optional whitespace after the colon.
-fn string_field(line: &str, key: &str) -> Option<String> {
+/// escapes and optional whitespace after the colon. Shared with the
+/// `leakage` module, whose `dpe-leakage/v1` files use the same JSON
+/// subset.
+pub(crate) fn string_field(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":");
     let at = line.find(&pat)? + pat.len();
     let rest = line[at..].trim_start();
@@ -57,8 +59,8 @@ fn string_field(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extracts the float value of `"key"` from `line` (whitespace after the
-/// colon allowed).
-fn f64_field(line: &str, key: &str) -> Option<f64> {
+/// colon allowed). Shared with the `leakage` module.
+pub(crate) fn f64_field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let at = line.find(&pat)? + pat.len();
     let rest = line[at..].trim_start();

@@ -283,6 +283,22 @@ impl DistanceMatrix {
         }
     }
 
+    /// The packed strict-upper-triangle cells in storage order — cell
+    /// `(i, j)` with `i < j` at `j(j−1)/2 + i`. This is the exact byte
+    /// content a snapshot must carry for a restored matrix to stay
+    /// bit-identical; round-trip with [`DistanceMatrix::from_packed`].
+    pub fn as_packed(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rebuilds a matrix from `n` and its packed cells (the inverse of
+    /// [`DistanceMatrix::as_packed`]). Returns `None` when `cells.len()`
+    /// is not exactly `n(n−1)/2`, so a truncated snapshot can never
+    /// produce a structurally inconsistent matrix.
+    pub fn from_packed(n: usize, cells: Vec<f64>) -> Option<DistanceMatrix> {
+        (cells.len() == packed_cells(n)).then_some(DistanceMatrix { n, data: cells })
+    }
+
     /// `true` iff the two matrices are bit-identical — the strongest form of
     /// the DPE check.
     pub fn identical(&self, other: &DistanceMatrix) -> bool {
@@ -612,6 +628,17 @@ mod tests {
         let mut m = DistanceMatrix::from_fn(9, f);
         m.extend_with(5, f);
         assert!(full.identical(&m));
+    }
+
+    #[test]
+    fn packed_round_trip_is_bit_identical() {
+        let m = DistanceMatrix::compute(&queries(11), &TokenDistance).unwrap();
+        let cells = m.as_packed().to_vec();
+        let back = DistanceMatrix::from_packed(11, cells).unwrap();
+        assert!(m.identical(&back));
+        // Wrong cell count for the claimed n is rejected, not misindexed.
+        assert!(DistanceMatrix::from_packed(11, m.as_packed()[1..].to_vec()).is_none());
+        assert!(DistanceMatrix::from_packed(0, Vec::new()).is_some());
     }
 
     #[test]

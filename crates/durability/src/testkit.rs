@@ -1,0 +1,165 @@
+//! Fault injection for crash-recovery sweeps.
+//!
+//! [`FailpointFs`] models the harshest crash: the process *believes*
+//! every append succeeded (no error surfaces to the ingest path), but
+//! bytes past a shared budget never reach the disk — exactly what a
+//! power cut after the page cache acknowledged a write looks like. A
+//! sweep then runs the same workload once per budget value and asserts
+//! the recovered server matches an oracle that only saw the durable
+//! prefix.
+
+use crate::engine::SinkFactory;
+use crate::wal::{FileSink, WalSink};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A byte budget shared by every sink the factory opens: the first
+/// `budget` bytes of appends (across all shards, in arrival order) reach
+/// the real file; everything after is acknowledged and dropped.
+#[derive(Debug)]
+pub struct FailpointFs {
+    budget: AtomicU64,
+}
+
+impl FailpointFs {
+    /// A factory whose sinks persist exactly `budget` appended bytes.
+    pub fn new(budget: u64) -> Arc<FailpointFs> {
+        Arc::new(FailpointFs {
+            budget: AtomicU64::new(budget),
+        })
+    }
+
+    /// Bytes of budget not yet consumed.
+    pub fn remaining(&self) -> u64 {
+        self.budget.load(Ordering::SeqCst)
+    }
+
+    /// Takes up to `want` bytes from the budget, returning how many may
+    /// still be persisted.
+    fn take(&self, want: u64) -> u64 {
+        let mut cur = self.budget.load(Ordering::SeqCst);
+        loop {
+            let granted = cur.min(want);
+            match self.budget.compare_exchange(
+                cur,
+                cur - granted,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return granted,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl SinkFactory for Arc<FailpointFs> {
+    fn open_wal(&self, _shard: usize, path: &Path) -> std::io::Result<Box<dyn WalSink>> {
+        Ok(Box::new(FailpointSink {
+            inner: FileSink::open(path)?,
+            fs: Arc::clone(self),
+        }))
+    }
+}
+
+/// A sink that silently drops acknowledged bytes once the shared budget
+/// is exhausted.
+struct FailpointSink {
+    inner: FileSink,
+    fs: Arc<FailpointFs>,
+}
+
+impl WalSink for FailpointSink {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let granted = self.fs.take(bytes.len() as u64) as usize;
+        if granted > 0 {
+            self.inner.append(&bytes[..granted])?;
+        }
+        // Acknowledge the whole write — the caller must not find out.
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.inner.sync()
+    }
+
+    fn truncate_to(&mut self, keep: u64) -> std::io::Result<()> {
+        self.inner.truncate_to(keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Durability;
+    use crate::wal::WAL_MAGIC;
+    use dpe_sql::{parse_query, Query};
+    use std::fs;
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| parse_query(&format!("SELECT c{i} FROM t")).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn budget_cuts_the_log_at_an_arbitrary_byte() {
+        let dir = std::env::temp_dir().join(format!("dpe-failpoint-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        // Unlimited run first: learn the full log length.
+        let fs_ok = FailpointFs::new(u64::MAX);
+        let d = Durability::create_with(&dir, 1, &fs_ok).unwrap();
+        d.log_ingest(0, 1, &queries(2)).unwrap();
+        d.log_ingest(0, 2, &queries(1)).unwrap();
+        let full = d.stats().wal_bytes;
+        drop(d);
+        let _ = fs::remove_dir_all(&dir);
+
+        // Budgeted run: cut 3 bytes short — the caller still sees Ok.
+        let fp = FailpointFs::new(full - 3);
+        let d = Durability::create_with(&dir, 1, &fp).unwrap();
+        d.log_ingest(0, 1, &queries(2)).unwrap();
+        d.log_ingest(0, 2, &queries(1)).unwrap();
+        assert_eq!(fp.remaining(), 0);
+        drop(d);
+
+        let on_disk = fs::read(dir.join("wal").join("shard-0.wal")).unwrap();
+        assert_eq!(on_disk.len() as u64, full - 3, "bytes past the budget lost");
+
+        // Recovery sees a torn tail: exactly one record survives.
+        let d = Durability::open(&dir).unwrap();
+        let rec = d.recover().unwrap();
+        assert_eq!(rec[0].tail.len(), 1);
+        assert_eq!(rec[0].final_epoch(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_loses_everything_including_the_header() {
+        let dir = std::env::temp_dir().join(format!("dpe-failpoint0-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let fp = FailpointFs::new(0);
+        let d = Durability::create_with(&dir, 1, &fp).unwrap();
+        d.log_ingest(0, 1, &queries(1)).unwrap();
+        drop(d);
+        // Nothing reached the file — an empty WAL is a fresh log.
+        let on_disk = fs::read(dir.join("wal").join("shard-0.wal")).unwrap();
+        assert!(on_disk.is_empty());
+        let d = Durability::open(&dir).unwrap();
+        assert!(d.recover().unwrap()[0].tail.is_empty());
+        drop(d);
+
+        // A budget that tears the magic itself is corruption — recovery
+        // refuses rather than serving garbage.
+        let dir2 = std::env::temp_dir().join(format!("dpe-failpoint0b-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir2);
+        let fp = FailpointFs::new(WAL_MAGIC.len() as u64 - 2);
+        let d = Durability::create_with(&dir2, 1, &fp).unwrap();
+        drop(d);
+        assert!(Durability::open(&dir2).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::exec::{ClusterRule, OutlierRule, PlanOp, Projection};
 use dpe_distance::DistanceError;
+use dpe_durability::DurabilityError;
 use dpe_mining::Linkage;
 use std::fmt;
 
@@ -281,6 +282,10 @@ pub enum ServerError {
     /// A [`crate::Server::sql`] statement falls outside the supported
     /// SELECT subset (or names an unregistered table).
     UnsupportedSql(String),
+    /// The durability layer failed: a WAL append, a checkpoint, or
+    /// damaged on-disk state found during recovery (see
+    /// [`dpe_durability::DurabilityError`] for the taxonomy).
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for ServerError {
@@ -301,6 +306,7 @@ impl fmt::Display for ServerError {
                 )
             }
             ServerError::UnsupportedSql(why) => write!(f, "unsupported SQL: {why}"),
+            ServerError::Durability(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -310,6 +316,12 @@ impl std::error::Error for ServerError {}
 impl From<DistanceError> for ServerError {
     fn from(e: DistanceError) -> Self {
         ServerError::Distance(e)
+    }
+}
+
+impl From<DurabilityError> for ServerError {
+    fn from(e: DurabilityError) -> Self {
+        ServerError::Durability(e)
     }
 }
 

@@ -31,9 +31,11 @@ use crate::scheduler::{group_stable_by, SchedulerStats, ShardQueues};
 use crate::shard::{Shard, ShardIndex};
 use crate::sql::SqlTable;
 use dpe_distance::QueryDistance;
+use dpe_durability::{Durability, DurabilityStats, ShardStateRef};
 use dpe_mining::{Dendrogram, Linkage};
 use dpe_sql::Query;
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -62,6 +64,9 @@ pub struct ServerStats {
     pub queries: u64,
     /// [`ExecutionMetrics`] summed over every answered query.
     pub exec: ExecutionMetrics,
+    /// Durability counters (WAL appends, bytes, checkpoints) — `None`
+    /// unless the server was built with [`ServerBuilder::durability`].
+    pub durability: Option<DurabilityStats>,
 }
 
 /// Executor counters aggregated across queries, behind one mutex.
@@ -133,6 +138,11 @@ pub struct Server<M> {
     /// SQL front-door bindings: virtual pairs-table name → shard/column
     /// binding (see [`crate::sql`]).
     pub(crate) sql_tables: Mutex<BTreeMap<String, SqlTable>>,
+    /// The WAL + snapshot engine, when durability is configured. Appends
+    /// happen inside the owning shard's write-lock hold (shard lock →
+    /// WAL mutex, never the reverse), so the log order always equals the
+    /// epoch order readers observe.
+    durability: Option<Arc<Durability>>,
 }
 
 /// Staged configuration for a [`Server`] — the one way to construct one.
@@ -149,15 +159,20 @@ pub struct Server<M> {
 #[derive(Debug, Clone)]
 pub struct ServerBuilder<M> {
     measure: M,
-    shards: usize,
+    /// `None` until [`ServerBuilder::shards`] is called — recovery needs
+    /// to distinguish "defaulted to 1" (adopt the manifest's count) from
+    /// "explicitly configured" (must match the manifest).
+    shards: Option<usize>,
     cache_capacity: usize,
     metric_index: bool,
+    durability: Option<PathBuf>,
+    durability_engine: Option<Arc<Durability>>,
 }
 
 impl<M: QueryDistance + Sync> ServerBuilder<M> {
     /// Number of tenant shards (default 1).
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards;
+        self.shards = Some(shards);
         self
     }
 
@@ -178,21 +193,83 @@ impl<M: QueryDistance + Sync> ServerBuilder<M> {
         self
     }
 
-    /// Builds the server.
+    /// Makes every ingest durable: a fresh WAL + snapshot directory is
+    /// created at `path` (refused with a typed error if it already holds
+    /// durable state — recover from it with [`ServerBuilder::recover`]
+    /// instead). Each ingest appends its batch to the owning shard's WAL
+    /// inside the same write-lock hold as the matrix extend and epoch
+    /// bump; [`Server::checkpoint`] folds the logs into an
+    /// epoch-consistent snapshot.
+    pub fn durability(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durability = Some(path.into());
+        self
+    }
+
+    /// Supplies a pre-opened [`Durability`] engine instead of a path —
+    /// the seam the crash-recovery sweep uses to inject
+    /// [`dpe_durability::testkit::FailpointFs`] fault sinks under an
+    /// otherwise production server. Takes precedence over
+    /// [`ServerBuilder::durability`].
+    pub fn durability_engine(mut self, engine: Arc<Durability>) -> Self {
+        self.durability_engine = Some(engine);
+        self
+    }
+
+    /// Builds the server, panicking on any configuration or durability
+    /// error — the ergonomic path when the configuration is static. Use
+    /// [`ServerBuilder::try_build`] to handle durability setup failures
+    /// (e.g. pointing at a directory that already holds state) as typed
+    /// errors.
     ///
     /// # Panics
     ///
-    /// Panics when configured with 0 shards, or with
+    /// Panics when configured with 0 shards, with
     /// [`ServerBuilder::metric_index`] over a measure that does not
     /// declare itself a metric (triangle-inequality pruning over such a
-    /// measure would silently drop answers).
+    /// measure would silently drop answers), or when durability setup
+    /// fails.
     pub fn build(self) -> Server<M> {
+        match self.try_build() {
+            Ok(server) => server,
+            Err(e) => panic!("ServerBuilder::build failed: {e}"),
+        }
+    }
+
+    /// Builds the server, surfacing durability setup failures as typed
+    /// errors. Configuration bugs (0 shards, non-metric index) still
+    /// panic — they are programmer errors, not runtime conditions.
+    pub fn try_build(self) -> Result<Server<M>, ServerError> {
         let ServerBuilder {
             measure,
             shards,
             cache_capacity,
             metric_index,
+            durability,
+            durability_engine,
         } = self;
+        if let Some(n) = shards {
+            assert!(n > 0, "a server needs at least one shard");
+        }
+        let engine = match (durability_engine, durability) {
+            (Some(engine), _) => Some(engine),
+            (None, Some(path)) => Some(Arc::new(Durability::create(path, shards.unwrap_or(1))?)),
+            (None, None) => None,
+        };
+        // A pre-opened engine knows its shard count; an explicit builder
+        // count must agree with it.
+        let shards = match (&engine, shards) {
+            (Some(e), Some(n)) if e.shards() != n => {
+                return Err(ServerError::Durability(
+                    dpe_durability::DurabilityError::Manifest(format!(
+                        "builder configured {n} shards but the durability engine is laid \
+                         out for {}",
+                        e.shards()
+                    )),
+                ))
+            }
+            (Some(e), _) => e.shards(),
+            (None, n) => n.unwrap_or(1),
+        };
         assert!(shards > 0, "a server needs at least one shard");
         assert!(
             !metric_index || measure.is_metric(),
@@ -200,27 +277,98 @@ impl<M: QueryDistance + Sync> ServerBuilder<M> {
              the triangle inequality (QueryDistance::is_metric)",
             measure.name()
         );
-        let per_shard_capacity = cache_capacity.div_ceil(shards);
-        Server {
+        Ok(Server::assemble(
             measure,
-            shards: (0..shards)
+            (0..shards)
                 .map(|_| {
                     let mut shard = Shard::new();
                     if metric_index {
                         shard.enable_index();
                     }
-                    RwLock::new(shard)
+                    shard
                 })
                 .collect(),
-            queues: ShardQueues::new(shards),
-            caches: (0..shards)
-                .map(|_| Mutex::new(LruCache::new(per_shard_capacity)))
-                .collect(),
-            plans: (0..shards).map(|_| Mutex::new(PlanCache::new())).collect(),
-            next_ticket: AtomicU64::new(0),
-            exec_totals: Mutex::new(ExecTotals::default()),
-            sql_tables: Mutex::new(BTreeMap::new()),
+            cache_capacity,
+            engine,
+        ))
+    }
+
+    /// Rebuilds a whole multi-tenant server from a durable directory: the
+    /// newest valid snapshot is loaded (its matrices bit-identical to the
+    /// snapshotted ones), WAL records past each shard's snapshot epoch
+    /// are re-applied through the normal ingest path (deterministic
+    /// distance recomputation — bit-identical again), and the engine
+    /// stays attached so post-recovery ingests keep logging. Plan and
+    /// response caches start empty (they rebuild lazily); metric indexes
+    /// are rebuilt eagerly when [`ServerBuilder::metric_index`] is set.
+    ///
+    /// The shard count is adopted from the directory's manifest; calling
+    /// [`ServerBuilder::shards`] with a different count is a typed error.
+    /// Damaged state — torn snapshot, corrupt WAL frame, epoch gap —
+    /// surfaces as [`ServerError::Durability`], never as a garbage shard.
+    pub fn recover(self) -> Result<Server<M>, ServerError> {
+        let ServerBuilder {
+            measure,
+            shards,
+            cache_capacity,
+            metric_index,
+            durability,
+            durability_engine,
+        } = self;
+        let engine = match (durability_engine, durability) {
+            (Some(engine), _) => engine,
+            (None, Some(path)) => Arc::new(Durability::open(path)?),
+            (None, None) => {
+                return Err(ServerError::BadRequest(
+                    "recover() needs ServerBuilder::durability(path) (or a pre-opened \
+                     engine) to know where the durable state lives"
+                        .into(),
+                ))
+            }
+        };
+        if let Some(n) = shards {
+            if n != engine.shards() {
+                return Err(ServerError::Durability(
+                    dpe_durability::DurabilityError::Manifest(format!(
+                        "builder configured {n} shards but the durable directory is laid \
+                         out for {}",
+                        engine.shards()
+                    )),
+                ));
+            }
         }
+        assert!(
+            !metric_index || measure.is_metric(),
+            "metric_index requires a metric measure, and {} does not declare \
+             the triangle inequality (QueryDistance::is_metric)",
+            measure.name()
+        );
+        let mut restored = Vec::with_capacity(engine.shards());
+        for recovery in engine.recover()? {
+            let mut shard = Shard::restore(
+                recovery.base.queries,
+                recovery.base.matrix,
+                recovery.base.epoch,
+            );
+            // Replay the WAL tail through the normal ingest path — the
+            // same deterministic distance calls the live server made, so
+            // the rebuilt cells are bit-identical. Note: *not* re-logged;
+            // these records are already in the WAL.
+            for record in &recovery.tail {
+                shard.ingest(&record.queries, &measure)?;
+                debug_assert_eq!(shard.epoch(), record.epoch, "replay must track the log");
+            }
+            if metric_index {
+                shard.enable_index();
+            }
+            restored.push(shard);
+        }
+        Ok(Server::assemble(
+            measure,
+            restored,
+            cache_capacity,
+            Some(engine),
+        ))
     }
 }
 
@@ -230,9 +378,37 @@ impl<M: QueryDistance + Sync> Server<M> {
     pub fn builder(measure: M) -> ServerBuilder<M> {
         ServerBuilder {
             measure,
-            shards: 1,
+            shards: None,
             cache_capacity: 0,
             metric_index: false,
+            durability: None,
+            durability_engine: None,
+        }
+    }
+
+    /// The one constructor behind [`ServerBuilder::try_build`] and
+    /// [`ServerBuilder::recover`]: wraps the (fresh or restored) shards in
+    /// their locks and initializes every per-shard partition.
+    fn assemble(
+        measure: M,
+        shards: Vec<Shard>,
+        cache_capacity: usize,
+        durability: Option<Arc<Durability>>,
+    ) -> Server<M> {
+        let n = shards.len();
+        let per_shard_capacity = cache_capacity.div_ceil(n);
+        Server {
+            measure,
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            queues: ShardQueues::new(n),
+            caches: (0..n)
+                .map(|_| Mutex::new(LruCache::new(per_shard_capacity)))
+                .collect(),
+            plans: (0..n).map(|_| Mutex::new(PlanCache::new())).collect(),
+            next_ticket: AtomicU64::new(0),
+            exec_totals: Mutex::new(ExecTotals::default()),
+            sql_tables: Mutex::new(BTreeMap::new()),
+            durability,
         }
     }
 
@@ -308,14 +484,25 @@ impl<M: QueryDistance + Sync> Server<M> {
     /// Takes the shard's write lock; concurrent readers of *other* shards
     /// are unaffected. On success the shard epoch bumps, invalidating every
     /// cached response for that shard.
+    ///
+    /// With [`ServerBuilder::durability`] configured, the batch is also
+    /// appended to the shard's WAL *inside the same write-lock hold* as
+    /// the matrix extend and epoch bump, so the log order is exactly the
+    /// epoch order readers observe. A WAL append failure surfaces as
+    /// [`ServerError::Durability`]; the in-memory apply stands (readers
+    /// may already depend on the epoch) and the next successful
+    /// [`Server::checkpoint`] re-anchors the log to the live state.
     pub fn ingest(&self, shard: usize, new: &[Query]) -> Result<(), ServerError> {
         let slot = self.shards.get(shard).ok_or(ServerError::UnknownShard {
             shard,
             shards: self.shards.len(),
         })?;
-        slot.write()
-            .expect("shard lock poisoned")
-            .ingest(new, &self.measure)
+        let mut guard = slot.write().expect("shard lock poisoned");
+        guard.ingest(new, &self.measure)?;
+        if let Some(d) = &self.durability {
+            d.log_ingest(shard, guard.epoch(), new)?;
+        }
+        Ok(())
     }
 
     /// Pipelined streaming insert: pulls chunks from `chunks` on a
@@ -356,16 +543,25 @@ impl<M: QueryDistance + Sync> Server<M> {
                 }
             });
             while let Ok(chunk) = rx.recv() {
-                // One-chunk delegation to the shard's streaming path, so
-                // the skip-empty / epoch / error-prefix semantics live in
-                // exactly one place.
-                let applied = slot
-                    .write()
-                    .expect("shard lock poisoned")
-                    // dpe-analyze: allow(lock-reentrant, reason = "bare-name collision in the analyzer's call graph: this is Shard::ingest_stream (lock-free), conflated with Server::ingest_stream")
-                    .ingest_stream(std::iter::once(chunk), &self.measure);
+                // Empty chunks are skipped without an epoch bump — the
+                // same semantics as `Shard::ingest_stream`, which this
+                // loop unrolls so each applied chunk can be WAL-logged
+                // inside its own write-lock hold.
+                if chunk.is_empty() {
+                    continue;
+                }
+                let applied = {
+                    let mut guard = slot.write().expect("shard lock poisoned");
+                    // dpe-analyze: allow(lock-reentrant, reason = "bare-name collision in the analyzer's call graph: this is Shard::ingest on the already-held guard (lock-free), conflated with Server::ingest")
+                    guard.ingest(&chunk, &self.measure).and_then(|()| {
+                        if let Some(d) = &self.durability {
+                            d.log_ingest(shard, guard.epoch(), &chunk)?;
+                        }
+                        Ok(())
+                    })
+                };
                 match applied {
-                    Ok(n) => total += n,
+                    Ok(()) => total += chunk.len(),
                     Err(e) => {
                         result = Err(e);
                         break;
@@ -546,6 +742,40 @@ impl<M: QueryDistance + Sync> Server<M> {
             .collect()
     }
 
+    /// Writes an epoch-consistent snapshot of every shard (ciphertext
+    /// store + packed matrix) and resets the WALs behind it, returning
+    /// the snapshot sequence number. Requires
+    /// [`ServerBuilder::durability`]; refused with a typed error
+    /// otherwise.
+    ///
+    /// Epoch consistency comes from lock order: all shard read locks are
+    /// acquired (in index order) before any byte is written, so no ingest
+    /// can slide between "shard 0 snapshotted" and "shard 1 snapshotted".
+    /// Queries keep being served throughout — only writers wait.
+    pub fn checkpoint(&self) -> Result<u64, ServerError> {
+        let Some(d) = &self.durability else {
+            return Err(ServerError::BadRequest(
+                "checkpoint() requires a durable server — configure \
+                 ServerBuilder::durability(path) first"
+                    .into(),
+            ));
+        };
+        // Hold every read lock for the duration: the snapshot is a
+        // single cross-shard cut of the epoch frontier.
+        let guards: Vec<_> = (0..self.shards.len())
+            .map(|s| self.shards[s].read().expect("shard lock poisoned"))
+            .collect();
+        let states: Vec<ShardStateRef<'_>> = guards
+            .iter()
+            .map(|g| ShardStateRef {
+                epoch: g.epoch(),
+                queries: g.queries(),
+                matrix: g.matrix(),
+            })
+            .collect();
+        Ok(d.checkpoint(&states)?)
+    }
+
     /// Folds one query's metrics into the server-wide totals.
     fn record_exec(&self, metrics: &ExecutionMetrics) {
         let mut totals = self.exec_totals.lock().expect("exec totals lock poisoned");
@@ -588,6 +818,7 @@ impl<M: QueryDistance + Sync> Server<M> {
             plans,
             queries,
             exec,
+            durability: self.durability.as_ref().map(|d| d.stats()),
         }
     }
 
@@ -860,6 +1091,189 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         Server::builder(TokenDistance).shards(0).build();
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpe-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_server_recovers_bit_identical_responses() {
+        let dir = durable_dir("round-trip");
+        let s = Server::builder(TokenDistance)
+            .shards(2)
+            .durability(&dir)
+            .build();
+        s.ingest(0, &queries(6, 0)).unwrap();
+        s.ingest(1, &queries(5, 50)).unwrap();
+        // Snapshot mid-history, then keep writing: recovery must combine
+        // the snapshot base with the WAL tail past its epoch.
+        let seq = s.checkpoint().unwrap();
+        assert_eq!(seq, 1);
+        s.ingest(0, &queries(3, 100)).unwrap();
+        let stats = s.stats().durability.expect("durable server has stats");
+        assert_eq!(stats.checkpoints, 1);
+        assert!(stats.wal_records >= 1, "post-checkpoint ingest re-logged");
+        let reqs = [
+            Request::Knn {
+                shard: 0,
+                item: 2,
+                k: 4,
+            },
+            Request::Range {
+                shard: 1,
+                item: 1,
+                radius: 0.7,
+            },
+            Request::Lof {
+                shard: 0,
+                min_pts: 2,
+            },
+        ];
+        let oracle: Vec<Response> = reqs
+            .iter()
+            .map(|r| s.serve_one_uncached(r).unwrap())
+            .collect();
+        let epochs = [s.shard_epoch(0).unwrap(), s.shard_epoch(1).unwrap()];
+        drop(s);
+
+        let r = Server::builder(TokenDistance)
+            .durability(&dir)
+            .recover()
+            .unwrap();
+        assert_eq!(r.shard_count(), 2, "shard count adopted from manifest");
+        assert_eq!(
+            [r.shard_epoch(0).unwrap(), r.shard_epoch(1).unwrap()],
+            epochs,
+            "recovery replays to the exact epoch frontier"
+        );
+        for (req, expected) in reqs.iter().zip(&oracle) {
+            assert!(
+                r.serve_one_uncached(req).unwrap().bits_eq(expected),
+                "{req:?}"
+            );
+        }
+        // Post-recovery ingests keep logging through the same engine.
+        r.ingest(1, &queries(2, 300)).unwrap();
+        assert_eq!(r.shard_epoch(1).unwrap(), epochs[1] + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let s = server();
+        assert!(matches!(s.checkpoint(), Err(ServerError::BadRequest(_))));
+        assert_eq!(s.stats().durability, None);
+    }
+
+    #[test]
+    fn durable_build_refuses_existing_state_as_typed_error() {
+        let dir = durable_dir("refuse-existing");
+        let s = Server::builder(TokenDistance)
+            .durability(&dir)
+            .try_build()
+            .unwrap();
+        drop(s);
+        let err = Server::builder(TokenDistance)
+            .durability(&dir)
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ServerError::Durability(dpe_durability::DurabilityError::ExistingState { .. })
+            ),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_shard_count() {
+        let dir = durable_dir("shard-mismatch");
+        drop(
+            Server::builder(TokenDistance)
+                .shards(3)
+                .durability(&dir)
+                .build(),
+        );
+        let err = Server::builder(TokenDistance)
+            .shards(2)
+            .durability(&dir)
+            .recover()
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ServerError::Durability(dpe_durability::DurabilityError::Manifest(_))
+            ),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_ingest_stream_logs_every_applied_chunk() {
+        let dir = durable_dir("stream");
+        let s = Server::builder(TokenDistance).durability(&dir).build();
+        let all = queries(9, 0);
+        let chunks = vec![
+            all[0..4].to_vec(),
+            Vec::new(), // skipped: no epoch bump, no WAL record
+            all[4..9].to_vec(),
+        ];
+        assert_eq!(s.ingest_stream(0, chunks).unwrap(), 9);
+        assert_eq!(s.shard_epoch(0).unwrap(), 2);
+        assert_eq!(s.stats().durability.unwrap().wal_records, 2);
+        let oracle = s
+            .serve_one_uncached(&Request::Knn {
+                shard: 0,
+                item: 3,
+                k: 5,
+            })
+            .unwrap();
+        drop(s);
+        let r = Server::builder(TokenDistance)
+            .durability(&dir)
+            .recover()
+            .unwrap();
+        assert_eq!(r.shard_epoch(0).unwrap(), 2);
+        assert!(r
+            .serve_one_uncached(&Request::Knn {
+                shard: 0,
+                item: 3,
+                k: 5,
+            })
+            .unwrap()
+            .bits_eq(&oracle));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_metric_index_stays_bit_identical() {
+        let dir = durable_dir("recovered-index");
+        let s = Server::builder(TokenDistance)
+            .metric_index(true)
+            .durability(&dir)
+            .build();
+        s.ingest(0, &queries(16, 7)).unwrap();
+        let req = Request::Knn {
+            shard: 0,
+            item: 5,
+            k: 6,
+        };
+        let oracle = s.serve_one_uncached(&req).unwrap();
+        drop(s);
+        let r = Server::builder(TokenDistance)
+            .metric_index(true)
+            .durability(&dir)
+            .recover()
+            .unwrap();
+        assert!(r.has_index(0).unwrap(), "index rebuilt eagerly on recover");
+        assert!(r.serve_one_uncached(&req).unwrap().bits_eq(&oracle));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -119,6 +119,33 @@ impl Shard {
         Shard::default()
     }
 
+    /// Rebuilds a shard from recovered state: the query store, the packed
+    /// matrix over it (bit-identical to the snapshotted one — recovery
+    /// never recomputes snapshot cells), and the epoch the store had at
+    /// that cut. The metric index is *not* restored — it is derived state;
+    /// call [`Shard::enable_index`] afterwards to rebuild it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix does not cover exactly the query count —
+    /// [`dpe_durability`] validates this while decoding, so hitting the
+    /// assert means a caller bypassed the snapshot codec.
+    pub fn restore(queries: Vec<Query>, matrix: DistanceMatrix, epoch: u64) -> Shard {
+        assert_eq!(
+            matrix.len(),
+            queries.len(),
+            "restore: matrix covers {} items but {} queries were recovered",
+            matrix.len(),
+            queries.len()
+        );
+        Shard {
+            queries,
+            matrix,
+            epoch,
+            index: None,
+        }
+    }
+
     /// Streaming insert: appends `new` queries, computing only the new
     /// distance pairs. On error the shard (and its epoch) is unchanged.
     pub fn ingest<M: QueryDistance>(

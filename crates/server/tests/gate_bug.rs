@@ -2,8 +2,8 @@
 // reordered by descending LOF score; a following Knn/FilterRange sees
 // selection.len() == n and takes the index path, misinterpreting item ids
 // as positions.
-use dpe_server::{PlanOp, OutlierRule, Request, Server};
 use dpe_distance::TokenDistance;
+use dpe_server::{OutlierRule, PlanOp, Request, Server};
 use dpe_sql::parse_query;
 
 #[test]
@@ -12,7 +12,10 @@ fn gate_bug() {
         .map(|i| {
             parse_query(&format!(
                 "SELECT a{}, b{} FROM t{} WHERE x = {}",
-                i % 4, i % 7, i % 3, i % 5
+                i % 4,
+                i % 7,
+                i % 3,
+                i % 5
             ))
             .unwrap()
         })
@@ -24,7 +27,10 @@ fn gate_bug() {
     let req = Request::Pipeline {
         shard: 0,
         ops: vec![
-            PlanOp::Outliers(OutlierRule::LofThreshold { min_pts: 2, threshold: 0.0 }),
+            PlanOp::Outliers(OutlierRule::LofThreshold {
+                min_pts: 2,
+                threshold: 0.0,
+            }),
             PlanOp::Knn { item: 0, k: 4 },
         ],
     };
@@ -32,6 +38,9 @@ fn gate_bug() {
     let b = plain.serve_one_uncached(&req).unwrap();
     println!("indexed: {a:?}");
     println!("plain:   {b:?}");
-    assert!(a.bits_eq(&b), "MISMATCH: indexed path diverges from plain path");
+    assert!(
+        a.bits_eq(&b),
+        "MISMATCH: indexed path diverges from plain path"
+    );
     println!("no divergence");
 }

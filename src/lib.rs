@@ -18,6 +18,9 @@
 //! * [`server`] — the sharded batch-serving engine answering concurrent
 //!   kNN/LOF/range requests over the encrypted store (work-stealing batch
 //!   scheduler + epoch-keyed LRU response cache).
+//! * [`durability`] — per-shard write-ahead log + epoch-consistent
+//!   snapshots behind the server: crash recovery replays to bit-identical
+//!   responses.
 //! * [`workload`] — synthetic SkyServer-like query-log generator.
 //! * [`attacks`] — the passive attacks of the threat model, used to validate
 //!   Fig. 1 empirically.
@@ -32,6 +35,7 @@ pub use dpe_core as core;
 pub use dpe_cryptdb as cryptdb;
 pub use dpe_crypto as crypto;
 pub use dpe_distance as distance;
+pub use dpe_durability as durability;
 pub use dpe_graphdpe as graphdpe;
 pub use dpe_minidb as minidb;
 pub use dpe_mining as mining;
